@@ -1,0 +1,192 @@
+//! Dataset and index metadata, and hash partitioning.
+//!
+//! Per §2.3 of the paper: every dataset has a unique primary key, records
+//! are hash-partitioned across the cluster on the primary key, each
+//! partition is an LSM B+-tree (the *primary index*), and secondary indexes
+//! (B+-tree, `keyword`, `ngram(n)`) are partitioned the same way — i.e. they
+//! are *local* indexes co-located with the primary partition, which is why
+//! index-nested-loop joins must broadcast the outer side (§4.2.1).
+
+use crate::error::AdmError;
+use crate::value::Value;
+use crate::{stable_hash, ValueKind};
+
+/// Identifies one storage/execution partition of the simulated cluster.
+pub type PartitionId = usize;
+
+/// The kind of a secondary index (Fig 13's compatibility table keys off
+/// this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Plain B+-tree on a field value; baseline for exact-match queries.
+    BTree,
+    /// Inverted index on the word tokens of a string/list field — suitable
+    /// for Jaccard (`keyword` index, §3.3).
+    Keyword,
+    /// Inverted index on the n-grams of a string field — suitable for edit
+    /// distance (`ngram(n)` index, §3.3).
+    NGram(usize),
+}
+
+impl IndexKind {
+    pub fn name(&self) -> String {
+        match self {
+            IndexKind::BTree => "btree".into(),
+            IndexKind::Keyword => "keyword".into(),
+            IndexKind::NGram(n) => format!("ngram({n})"),
+        }
+    }
+}
+
+/// A secondary index definition (`create index ... on DS(field) type ...`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    pub name: String,
+    /// Dotted path of the indexed field (e.g. `user.name`).
+    pub field: String,
+    pub kind: IndexKind,
+}
+
+/// A declared field (datasets are open; only the primary key must exist).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub kind: ValueKind,
+}
+
+/// Dataset metadata.
+#[derive(Clone, Debug)]
+pub struct DatasetDef {
+    pub name: String,
+    /// Primary key field name (auto-generated at load when absent, §6.1).
+    pub primary_key: String,
+    pub fields: Vec<FieldDef>,
+    pub indexes: Vec<IndexDef>,
+}
+
+impl DatasetDef {
+    pub fn new(name: impl Into<String>, primary_key: impl Into<String>) -> Self {
+        DatasetDef {
+            name: name.into(),
+            primary_key: primary_key.into(),
+            fields: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Register a secondary index; duplicate names are rejected.
+    pub fn add_index(&mut self, def: IndexDef) -> Result<(), AdmError> {
+        if self.indexes.iter().any(|i| i.name == def.name) {
+            return Err(AdmError::Schema(format!(
+                "index '{}' already exists on dataset '{}'",
+                def.name, self.name
+            )));
+        }
+        self.indexes.push(def);
+        Ok(())
+    }
+
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+
+    /// All indexes on a given field path.
+    pub fn indexes_on<'a>(&'a self, field: &'a str) -> impl Iterator<Item = &'a IndexDef> + 'a {
+        self.indexes.iter().filter(move |i| i.field == field)
+    }
+
+    /// Extract the primary key of `record`; error if missing (each record
+    /// must carry a unique primary key).
+    pub fn key_of(&self, record: &Value) -> Result<Value, AdmError> {
+        let k = record.field_path(&self.primary_key);
+        if k.is_unknown() {
+            Err(AdmError::Schema(format!(
+                "record lacks primary key '{}'",
+                self.primary_key
+            )))
+        } else {
+            Ok(k.clone())
+        }
+    }
+
+    /// Which partition owns this primary key (hash partitioning, §2.3).
+    pub fn partition_of(&self, key: &Value, num_partitions: usize) -> PartitionId {
+        debug_assert!(num_partitions > 0);
+        (stable_hash(key) % num_partitions as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_extraction() {
+        let ds = DatasetDef::new("ARevs", "review-id");
+        let rec = Value::record(vec![("review-id".into(), Value::Int64(7))]);
+        assert_eq!(ds.key_of(&rec).unwrap(), Value::Int64(7));
+        let bad = Value::record(vec![("x".into(), Value::Int64(7))]);
+        assert!(ds.key_of(&bad).is_err());
+    }
+
+    #[test]
+    fn partitioning_is_total_and_stable() {
+        let ds = DatasetDef::new("d", "id");
+        for i in 0..1000 {
+            let k = Value::Int64(i);
+            let p = ds.partition_of(&k, 8);
+            assert!(p < 8);
+            assert_eq!(p, ds.partition_of(&k, 8));
+        }
+    }
+
+    #[test]
+    fn partitioning_spreads() {
+        let ds = DatasetDef::new("d", "id");
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[ds.partition_of(&Value::Int64(i), 4)] += 1;
+        }
+        for c in counts {
+            // Roughly uniform: each partition should get 1000 ± 300.
+            assert!((700..=1300).contains(&c), "skewed partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut ds = DatasetDef::new("d", "id");
+        ds.add_index(IndexDef {
+            name: "nix".into(),
+            field: "name".into(),
+            kind: IndexKind::NGram(2),
+        })
+        .unwrap();
+        assert!(ds
+            .add_index(IndexDef {
+                name: "nix".into(),
+                field: "other".into(),
+                kind: IndexKind::Keyword,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn indexes_on_field() {
+        let mut ds = DatasetDef::new("d", "id");
+        ds.add_index(IndexDef {
+            name: "a".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        ds.add_index(IndexDef {
+            name: "b".into(),
+            field: "summary".into(),
+            kind: IndexKind::BTree,
+        })
+        .unwrap();
+        assert_eq!(ds.indexes_on("summary").count(), 2);
+        assert_eq!(ds.indexes_on("other").count(), 0);
+    }
+}

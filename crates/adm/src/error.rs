@@ -1,0 +1,27 @@
+//! Error type shared by the ADM layer.
+
+use std::fmt;
+
+/// Errors raised by the data-model layer (decoding, JSON import, dataset
+/// definition problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmError {
+    /// Binary decoding failed (corrupt page / truncated buffer).
+    Decode(String),
+    /// JSON import failed.
+    Json(String),
+    /// Dataset/schema misuse (duplicate index, missing primary key, ...).
+    Schema(String),
+}
+
+impl fmt::Display for AdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmError::Decode(m) => write!(f, "decode error: {m}"),
+            AdmError::Json(m) => write!(f, "json error: {m}"),
+            AdmError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmError {}

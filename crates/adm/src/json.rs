@@ -1,0 +1,105 @@
+//! JSON import/export for ADM values.
+//!
+//! The paper's datasets (Amazon reviews, Reddit submissions, tweets) are raw
+//! JSON (§6.1, Table 3); records are loaded with an auto-generated primary
+//! key and no further declared fields. This module converts between
+//! `serde_json::Value` and [`Value`].
+
+use crate::error::AdmError;
+use crate::value::Value;
+
+/// Convert a `serde_json::Value` into an ADM [`Value`].
+///
+/// JSON numbers become `Int64` when they are exact integers in range,
+/// `Double` otherwise. JSON arrays become ordered lists.
+pub fn from_json(j: &serde_json::Value) -> Value {
+    match j {
+        serde_json::Value::Null => Value::Null,
+        serde_json::Value::Bool(b) => Value::Boolean(*b),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int64(i)
+            } else {
+                Value::double(n.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+        serde_json::Value::String(s) => Value::String(s.clone()),
+        serde_json::Value::Array(items) => Value::OrderedList(items.iter().map(from_json).collect()),
+        serde_json::Value::Object(map) => Value::record(
+            map.iter()
+                .map(|(k, v)| (k.clone(), from_json(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Parse a JSON text into an ADM value.
+pub fn parse(text: &str) -> Result<Value, AdmError> {
+    let j: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| AdmError::Json(e.to_string()))?;
+    Ok(from_json(&j))
+}
+
+/// Convert an ADM value to JSON. `Missing` becomes `null`; unordered lists
+/// become arrays.
+pub fn to_json(v: &Value) -> serde_json::Value {
+    match v {
+        Value::Missing | Value::Null => serde_json::Value::Null,
+        Value::Boolean(b) => serde_json::Value::Bool(*b),
+        Value::Int64(i) => serde_json::Value::from(*i),
+        Value::Double(d) => serde_json::Number::from_f64(d.0)
+            .map(serde_json::Value::Number)
+            .unwrap_or(serde_json::Value::Null),
+        Value::String(s) => serde_json::Value::String(s.clone()),
+        Value::OrderedList(items) | Value::UnorderedList(items) => {
+            serde_json::Value::Array(items.iter().map(to_json).collect())
+        }
+        Value::Record(fields) => serde_json::Value::Object(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), to_json(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Render an ADM value as a JSON string.
+pub fn to_string(v: &Value) -> String {
+    to_json(v).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_review_record() {
+        let v = parse(r#"{"review-id": 5, "username": "maria", "score": 4.5, "tags": ["a","b"]}"#)
+            .unwrap();
+        assert_eq!(v.field("review-id"), &Value::Int64(5));
+        assert_eq!(v.field("username"), &Value::from("maria"));
+        assert_eq!(v.field("score"), &Value::double(4.5));
+        assert_eq!(
+            v.field("tags"),
+            &Value::OrderedList(vec![Value::from("a"), Value::from("b")])
+        );
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(parse("{nope").is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = parse(r#"{"a": [1, 2.5, null, {"b": true}], "s": "x"}"#).unwrap();
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn missing_serializes_as_null() {
+        assert_eq!(to_json(&Value::Missing), serde_json::Value::Null);
+    }
+}

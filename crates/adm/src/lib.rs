@@ -1,0 +1,114 @@
+//! # asterix-adm
+//!
+//! The ADM (Asterix Data Model) substrate: a semi-structured, JSON-superset
+//! data model with ordered lists, unordered lists (multisets), and open
+//! records, mirroring the data model layer of Apache AsterixDB described in
+//! §2.3 of *Supporting Similarity Queries in Apache AsterixDB* (EDBT 2018).
+//!
+//! The crate provides:
+//!
+//! * [`Value`] — the runtime value representation used throughout the engine,
+//!   with a total order (so values can be sort keys and B+-tree keys),
+//! * [`value::ValueKind`] — type tags used by the expression type checker,
+//! * binary serialization ([`binary`]) used by the storage layer,
+//! * JSON import/export ([`json`]) used to load the paper's JSON datasets,
+//! * dataset/partitioning metadata ([`dataset`]) — every dataset is
+//!   hash-partitioned on its primary key across node partitions, exactly as
+//!   in the paper's shared-nothing setup.
+
+pub mod binary;
+pub mod dataset;
+pub mod error;
+pub mod json;
+pub mod value;
+
+pub use dataset::{DatasetDef, FieldDef, IndexDef, IndexKind, PartitionId};
+pub use error::AdmError;
+pub use value::{Value, ValueKind};
+
+/// Hash a value for hash-partitioning / hash joins.
+///
+/// Uses FNV-1a over the binary encoding so that the hash is stable across
+/// processes and partitions (connectors on different "nodes" must agree).
+pub fn stable_hash(v: &Value) -> u64 {
+    let mut h = Fnv1a::new();
+    binary::hash_value(v, &mut h);
+    h.finish()
+}
+
+/// Hash a compound key (multiple columns) for repartitioning.
+pub fn stable_hash_many(vs: &[&Value]) -> u64 {
+    let mut h = Fnv1a::new();
+    for v in vs {
+        binary::hash_value(v, &mut h);
+    }
+    h.finish()
+}
+
+/// A tiny, dependency-free FNV-1a hasher with a stable (cross-process)
+/// output, unlike `std::collections::hash_map::DefaultHasher`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_stable() {
+        let v = Value::from("hello world");
+        assert_eq!(stable_hash(&v), stable_hash(&v.clone()));
+    }
+
+    #[test]
+    fn stable_hash_differs() {
+        assert_ne!(
+            stable_hash(&Value::from("a")),
+            stable_hash(&Value::from("b"))
+        );
+        assert_ne!(stable_hash(&Value::Int64(1)), stable_hash(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn compound_hash_order_sensitive() {
+        let a = Value::from("a");
+        let b = Value::from("b");
+        assert_ne!(stable_hash_many(&[&a, &b]), stable_hash_many(&[&b, &a]));
+    }
+}

@@ -1,0 +1,468 @@
+//! The ADM runtime value.
+//!
+//! `Value` is a superset of JSON: it adds `Missing` (absent field — distinct
+//! from `Null` per AsterixDB semantics), 64-bit integers as a first-class
+//! type, and an *unordered list* (multiset) next to the ordered list. Records
+//! are "open": any record may carry fields not mentioned in a dataset's
+//! declared type, which is how the paper imports raw JSON datasets with only
+//! a declared primary key (§6.1).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Type tag for a [`Value`]. The discriminant order defines the cross-type
+/// total order used when heterogeneous values meet in a sort or B+-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueKind {
+    Missing = 0,
+    Null = 1,
+    Boolean = 2,
+    Int64 = 3,
+    Double = 4,
+    String = 5,
+    OrderedList = 6,
+    UnorderedList = 7,
+    Record = 8,
+}
+
+impl ValueKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Missing => "missing",
+            ValueKind::Null => "null",
+            ValueKind::Boolean => "boolean",
+            ValueKind::Int64 => "int64",
+            ValueKind::Double => "double",
+            ValueKind::String => "string",
+            ValueKind::OrderedList => "orderedlist",
+            ValueKind::UnorderedList => "unorderedlist",
+            ValueKind::Record => "record",
+        }
+    }
+}
+
+/// A semi-structured ADM value.
+///
+/// Records store their fields sorted by field name so that equal records
+/// have equal representations (and stable hashes) regardless of construction
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Absent field. Accessing a missing field of a record yields `Missing`.
+    Missing,
+    Null,
+    Boolean(bool),
+    Int64(i64),
+    /// IEEE double; ordered with `total_cmp`, hashed by bit pattern.
+    Double(OrderedF64),
+    String(String),
+    /// An ordered list `[a, b, c]`.
+    OrderedList(Vec<Value>),
+    /// An unordered list (multiset) `{{a, b}}`; stored sorted for canonical
+    /// representation.
+    UnorderedList(Vec<Value>),
+    /// An open record; fields sorted by name, names unique.
+    Record(Vec<(String, Value)>),
+}
+
+/// An `f64` wrapper with total ordering (`f64::total_cmp`) and bit-pattern
+/// equality/hashing so `Value` can be `Eq + Ord + Hash`.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderedF64(pub f64);
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl Value {
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Missing => ValueKind::Missing,
+            Value::Null => ValueKind::Null,
+            Value::Boolean(_) => ValueKind::Boolean,
+            Value::Int64(_) => ValueKind::Int64,
+            Value::Double(_) => ValueKind::Double,
+            Value::String(_) => ValueKind::String,
+            Value::OrderedList(_) => ValueKind::OrderedList,
+            Value::UnorderedList(_) => ValueKind::UnorderedList,
+            Value::Record(_) => ValueKind::Record,
+        }
+    }
+
+    pub fn double(x: f64) -> Value {
+        Value::Double(OrderedF64(x))
+    }
+
+    /// Build a record from (name, value) pairs; sorts fields and rejects
+    /// nothing (last write wins on duplicate names, matching upsert
+    /// semantics).
+    pub fn record(fields: Vec<(String, Value)>) -> Value {
+        let mut fields = fields;
+        // Stable sort + dedup keeping the *last* occurrence.
+        fields.reverse();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|a, b| a.0 == b.0);
+        Value::Record(fields)
+    }
+
+    /// Build an unordered list (multiset): canonicalized by sorting.
+    pub fn unordered_list(mut items: Vec<Value>) -> Value {
+        items.sort();
+        Value::UnorderedList(items)
+    }
+
+    /// Field access; returns `Missing` for non-records or absent fields
+    /// (open-record semantics).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Record(fields) => fields
+                .binary_search_by(|(k, _)| k.as_str().cmp(name))
+                .map(|i| &fields[i].1)
+                .unwrap_or(&Value::Missing),
+            _ => &Value::Missing,
+        }
+    }
+
+    /// Nested field access through a dotted path such as `user.name`.
+    pub fn field_path(&self, path: &str) -> &Value {
+        let mut cur = self;
+        for part in path.split('.') {
+            cur = cur.field(part);
+        }
+        cur
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(d.0),
+            Value::Int64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::OrderedList(l) | Value::UnorderedList(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `Null` or `Missing`.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Value::Null | Value::Missing)
+    }
+
+    /// Truthiness for WHERE clauses: only `Boolean(true)` passes; unknowns
+    /// and non-booleans are filtered out (three-valued logic collapsed at
+    /// the selection boundary, as SQL/AQL do).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Boolean(true))
+    }
+
+    /// Number of items for lists, chars for strings (AQL `len()`).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::String(s) => Some(s.chars().count()),
+            Value::OrderedList(l) | Value::UnorderedList(l) => Some(l.len()),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
+    /// Deep size estimate in bytes, used for memory budgeting in operators.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Missing | Value::Null | Value::Boolean(_) => 1,
+            Value::Int64(_) | Value::Double(_) => 9,
+            Value::String(s) => 8 + s.len(),
+            Value::OrderedList(l) | Value::UnorderedList(l) => {
+                8 + l.iter().map(Value::heap_size).sum::<usize>()
+            }
+            Value::Record(fs) => {
+                8 + fs
+                    .iter()
+                    .map(|(k, v)| 8 + k.len() + v.heap_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Missing, Missing) | (Null, Null) => Ordering::Equal,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.cmp(b),
+            // Numeric cross-type comparison: compare as doubles, ties broken
+            // by kind so the order stays total and antisymmetric.
+            (Int64(a), Double(b)) => (*a as f64)
+                .total_cmp(&b.0)
+                .then(ValueKind::Int64.cmp(&ValueKind::Double)),
+            (Double(a), Int64(b)) => a
+                .0
+                .total_cmp(&(*b as f64))
+                .then(ValueKind::Double.cmp(&ValueKind::Int64)),
+            (String(a), String(b)) => a.cmp(b),
+            (OrderedList(a), OrderedList(b)) => a.cmp(b),
+            (UnorderedList(a), UnorderedList(b)) => a.cmp(b),
+            (Record(a), Record(b)) => a.cmp(b),
+            (a, b) => a.kind().cmp(&b.kind()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Missing => write!(f, "missing"),
+            Value::Null => write!(f, "null"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int64(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{}", d.0),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::OrderedList(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::UnorderedList(l) => {
+                write!(f, "{{{{")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}}}")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int64(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::double(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Boolean(b)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::OrderedList(l)
+    }
+}
+
+/// Convenience macro for building records in tests and examples.
+#[macro_export]
+macro_rules! record {
+    ($($k:expr => $v:expr),* $(,)?) => {
+        $crate::Value::record(vec![$(($k.to_string(), $crate::Value::from($v))),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Value {
+        Value::record(vec![
+            ("b".into(), Value::Int64(2)),
+            ("a".into(), Value::from("x")),
+        ])
+    }
+
+    #[test]
+    fn record_fields_sorted_and_accessible() {
+        let r = rec();
+        assert_eq!(r.field("a"), &Value::from("x"));
+        assert_eq!(r.field("b"), &Value::Int64(2));
+        assert_eq!(r.field("zzz"), &Value::Missing);
+    }
+
+    #[test]
+    fn record_duplicate_field_last_wins() {
+        let r = Value::record(vec![
+            ("a".into(), Value::Int64(1)),
+            ("a".into(), Value::Int64(2)),
+        ]);
+        assert_eq!(r.field("a"), &Value::Int64(2));
+    }
+
+    #[test]
+    fn record_field_order_irrelevant_for_eq() {
+        let r1 = Value::record(vec![
+            ("a".into(), Value::Int64(1)),
+            ("b".into(), Value::Int64(2)),
+        ]);
+        let r2 = Value::record(vec![
+            ("b".into(), Value::Int64(2)),
+            ("a".into(), Value::Int64(1)),
+        ]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn nested_field_path() {
+        let inner = Value::record(vec![("name".into(), Value::from("ada"))]);
+        let outer = Value::record(vec![("user".into(), inner)]);
+        assert_eq!(outer.field_path("user.name"), &Value::from("ada"));
+        assert_eq!(outer.field_path("user.missing"), &Value::Missing);
+        assert_eq!(outer.field_path("nope.name"), &Value::Missing);
+    }
+
+    #[test]
+    fn field_on_non_record_is_missing() {
+        assert_eq!(Value::Int64(3).field("x"), &Value::Missing);
+    }
+
+    #[test]
+    fn unordered_list_canonical() {
+        let a = Value::unordered_list(vec![Value::Int64(2), Value::Int64(1)]);
+        let b = Value::unordered_list(vec![Value::Int64(1), Value::Int64(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_kind_order_follows_kind() {
+        assert!(Value::Null < Value::Boolean(false));
+        assert!(Value::Boolean(true) < Value::Int64(0));
+        assert!(Value::from("z") < Value::OrderedList(vec![]));
+        assert!(Value::Missing < Value::Null);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert!(Value::Int64(1) < Value::double(1.5));
+        assert!(Value::double(0.5) < Value::Int64(1));
+        // Equal numeric value: kind breaks the tie; both directions must be
+        // consistent (antisymmetry).
+        let a = Value::Int64(2);
+        let b = Value::double(2.0);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn double_total_order_handles_nan() {
+        let nan = Value::double(f64::NAN);
+        let one = Value::double(1.0);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(one < nan);
+    }
+
+    #[test]
+    fn len_semantics() {
+        assert_eq!(Value::from("abc").len(), Some(3));
+        assert_eq!(
+            Value::OrderedList(vec![Value::Null, Value::Null]).len(),
+            Some(2)
+        );
+        assert_eq!(Value::Int64(5).len(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Boolean(true).is_true());
+        assert!(!Value::Boolean(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int64(1).is_true());
+    }
+
+    #[test]
+    fn display_roundtrippable_shapes() {
+        let r = rec();
+        let s = format!("{r}");
+        assert!(s.contains("\"a\""));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn record_macro() {
+        let r = record! {"id" => 1i64, "name" => "bob"};
+        assert_eq!(r.field("id"), &Value::Int64(1));
+        assert_eq!(r.field("name"), &Value::from("bob"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Catalog access for the optimizer, plus the index-function compatibility
+//! table of Fig 13.
+
+use asterix_adm::{DatasetDef, IndexDef, IndexKind};
+use asterix_hyracks::SearchMeasure;
+use std::collections::HashMap;
+
+/// What the rewrite rules need to know about the schema.
+pub trait Catalog: Send + Sync {
+    fn dataset(&self, name: &str) -> Option<&DatasetDef>;
+}
+
+/// An owned catalog for tests and the engine.
+#[derive(Debug, Default, Clone)]
+pub struct SimpleCatalog {
+    datasets: HashMap<String, DatasetDef>,
+}
+
+impl SimpleCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, def: DatasetDef) {
+        self.datasets.insert(def.name.clone(), def);
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut DatasetDef> {
+        self.datasets.get_mut(name)
+    }
+}
+
+impl Catalog for SimpleCatalog {
+    fn dataset(&self, name: &str) -> Option<&DatasetDef> {
+        self.datasets.get(name)
+    }
+}
+
+/// The index-function compatibility table (Fig 13): which index kinds can
+/// answer which search measures.
+///
+/// | Index type | Supported functions                  |
+/// |------------|--------------------------------------|
+/// | n-gram     | edit-distance(), contains()          |
+/// | keyword    | similarity-jaccard()                 |
+/// | B+-tree    | exact match (the baseline)           |
+pub fn index_compatible(kind: IndexKind, measure: &SearchMeasure) -> bool {
+    matches!(
+        (kind, measure),
+        (IndexKind::NGram(_), SearchMeasure::EditDistance { .. })
+            | (IndexKind::NGram(_), SearchMeasure::Contains)
+            | (IndexKind::Keyword, SearchMeasure::Jaccard { .. })
+            | (IndexKind::BTree, SearchMeasure::Exact)
+    )
+}
+
+/// Find an index on `dataset.field` compatible with `measure`.
+pub fn find_applicable_index<'a>(
+    dataset: &'a DatasetDef,
+    field: &'a str,
+    measure: &SearchMeasure,
+) -> Option<&'a IndexDef> {
+    dataset
+        .indexes_on(field)
+        .find(|idx| index_compatible(idx.kind, measure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> DatasetDef {
+        let mut d = DatasetDef::new("ARevs", "id");
+        d.add_index(IndexDef {
+            name: "nix".into(),
+            field: "reviewerName".into(),
+            kind: IndexKind::NGram(2),
+        })
+        .unwrap();
+        d.add_index(IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        d.add_index(IndexDef {
+            name: "bt".into(),
+            field: "summary".into(),
+            kind: IndexKind::BTree,
+        })
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn fig13_table() {
+        assert!(index_compatible(
+            IndexKind::NGram(2),
+            &SearchMeasure::EditDistance { k: 1 }
+        ));
+        assert!(index_compatible(
+            IndexKind::Keyword,
+            &SearchMeasure::Jaccard { delta: 0.5 }
+        ));
+        assert!(!index_compatible(
+            IndexKind::Keyword,
+            &SearchMeasure::EditDistance { k: 1 }
+        ));
+        assert!(!index_compatible(
+            IndexKind::NGram(2),
+            &SearchMeasure::Jaccard { delta: 0.5 }
+        ));
+        assert!(index_compatible(IndexKind::BTree, &SearchMeasure::Exact));
+        assert!(!index_compatible(
+            IndexKind::BTree,
+            &SearchMeasure::Jaccard { delta: 0.5 }
+        ));
+    }
+
+    #[test]
+    fn applicable_index_lookup() {
+        let d = ds();
+        assert_eq!(
+            find_applicable_index(&d, "reviewerName", &SearchMeasure::EditDistance { k: 2 })
+                .map(|i| i.name.as_str()),
+            Some("nix")
+        );
+        assert_eq!(
+            find_applicable_index(&d, "summary", &SearchMeasure::Jaccard { delta: 0.5 })
+                .map(|i| i.name.as_str()),
+            Some("smix")
+        );
+        assert_eq!(
+            find_applicable_index(&d, "summary", &SearchMeasure::Exact)
+                .map(|i| i.name.as_str()),
+            Some("bt")
+        );
+        assert!(
+            find_applicable_index(&d, "summary", &SearchMeasure::EditDistance { k: 1 }).is_none()
+        );
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = SimpleCatalog::new();
+        c.add(ds());
+        assert!(c.dataset("ARevs").is_some());
+        assert!(c.dataset("nope").is_none());
+    }
+}

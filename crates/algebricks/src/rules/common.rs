@@ -1,0 +1,347 @@
+//! Normalization rules that run before the similarity rule set:
+//!
+//! * [`SimilarityOperatorRule`] — desugars the `~=` similarity operator
+//!   (§3.2, Fig 4(a)) into the configured similarity function + threshold
+//!   ("During query parsing and compilation, it is easy for the optimizer
+//!   to detect this syntactic sugar and generate a desired optimized
+//!   plan").
+
+use crate::plan::{build, LogicalNode, LogicalOp, PlanRef};
+use crate::rules::{OptContext, RewriteRule};
+use asterix_hyracks::{CmpOp, Expr};
+use asterix_simfn::SimilarityMeasure;
+
+pub struct SimilarityOperatorRule;
+
+/// Rewrite every `~=`, i.e. `Call("~=", [a, b])`, according to the session
+/// measure.
+fn desugar(e: &Expr, measure: &SimilarityMeasure) -> Expr {
+    let rec = |x: &Expr| desugar(x, measure);
+    match e {
+        Expr::Call(name, args) if name == "~=" && args.len() == 2 => {
+            let a = rec(&args[0]);
+            let b = rec(&args[1]);
+            match measure {
+                SimilarityMeasure::Jaccard { delta } => Expr::cmp(
+                    CmpOp::Ge,
+                    Expr::call("similarity-jaccard", vec![a, b]),
+                    Expr::lit(*delta),
+                ),
+                SimilarityMeasure::EditDistance { k } => Expr::cmp(
+                    CmpOp::Le,
+                    Expr::call("edit-distance", vec![a, b]),
+                    Expr::lit(*k as i64),
+                ),
+            }
+        }
+        Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(rec).collect()),
+        Expr::Field(inner, name) => Expr::Field(Box::new(rec(inner)), name.clone()),
+        Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(rec(a)), Box::new(rec(b))),
+        Expr::And(parts) => Expr::And(parts.iter().map(rec).collect()),
+        Expr::Or(parts) => Expr::Or(parts.iter().map(rec).collect()),
+        Expr::Not(inner) => Expr::Not(Box::new(rec(inner))),
+        Expr::RecordCtor(fs) => {
+            Expr::RecordCtor(fs.iter().map(|(k, v)| (k.clone(), rec(v))).collect())
+        }
+        Expr::ListCtor(items) => Expr::ListCtor(items.iter().map(rec).collect()),
+        other => other.clone(),
+    }
+}
+
+fn contains_tilde(e: &Expr) -> bool {
+    match e {
+        Expr::Call(name, args) => name == "~=" || args.iter().any(contains_tilde),
+        Expr::Field(inner, _) | Expr::Not(inner) => contains_tilde(inner),
+        Expr::Cmp(_, a, b) => contains_tilde(a) || contains_tilde(b),
+        Expr::And(parts) | Expr::Or(parts) | Expr::ListCtor(parts) => {
+            parts.iter().any(contains_tilde)
+        }
+        Expr::RecordCtor(fs) => fs.iter().any(|(_, v)| contains_tilde(v)),
+        _ => false,
+    }
+}
+
+impl RewriteRule for SimilarityOperatorRule {
+    fn name(&self) -> &'static str {
+        "desugar-similarity-operator"
+    }
+
+    fn apply(&self, node: &PlanRef, ctx: &OptContext<'_>) -> Option<PlanRef> {
+        let measure = &ctx.config.simfunction;
+        match &node.op {
+            LogicalOp::Select { condition } if contains_tilde(condition) => {
+                Some(LogicalNode::new(
+                    LogicalOp::Select {
+                        condition: desugar(condition, measure),
+                    },
+                    node.inputs.clone(),
+                ))
+            }
+            LogicalOp::Join { condition, hint } if contains_tilde(condition) => {
+                Some(LogicalNode::new(
+                    LogicalOp::Join {
+                        condition: desugar(condition, measure),
+                        hint: *hint,
+                    },
+                    node.inputs.clone(),
+                ))
+            }
+            LogicalOp::Assign { vars, exprs } if exprs.iter().any(contains_tilde) => {
+                Some(LogicalNode::new(
+                    LogicalOp::Assign {
+                        vars: vars.clone(),
+                        exprs: exprs.iter().map(|e| desugar(e, measure)).collect(),
+                    },
+                    node.inputs.clone(),
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Merge a SELECT into the JOIN below it (and push single-side conjuncts
+/// into the join's inputs). The translator emits cross joins
+/// (`Join(true)`) for multiple `for` clauses and a SELECT for the `where`;
+/// this rule restores real join conditions so the similarity rules and
+/// the job generator can see them.
+pub struct SelectIntoJoinRule;
+
+impl RewriteRule for SelectIntoJoinRule {
+    fn name(&self) -> &'static str {
+        "push-select-into-join"
+    }
+
+    fn apply(&self, node: &PlanRef, _ctx: &OptContext<'_>) -> Option<PlanRef> {
+        use crate::analysis::{and_of, split_conjuncts};
+        use crate::rules::bound_by;
+        let LogicalOp::Select { condition } = &node.op else {
+            return None;
+        };
+        let join = &node.inputs[0];
+        let LogicalOp::Join {
+            condition: jcond,
+            hint,
+        } = &join.op
+        else {
+            return None;
+        };
+        let left = &join.inputs[0];
+        let right = &join.inputs[1];
+        let mut into_left = Vec::new();
+        let mut into_right = Vec::new();
+        let mut into_join = Vec::new();
+        for c in split_conjuncts(condition) {
+            if bound_by(&c, &left.schema) {
+                into_left.push(c);
+            } else if bound_by(&c, &right.schema) {
+                into_right.push(c);
+            } else {
+                into_join.push(c);
+            }
+        }
+        if into_left.is_empty() && into_right.is_empty() && into_join.is_empty() {
+            return None;
+        }
+        let new_left = if into_left.is_empty() {
+            left.clone()
+        } else {
+            build::select(left.clone(), and_of(into_left))
+        };
+        let new_right = if into_right.is_empty() {
+            right.clone()
+        } else {
+            build::select(right.clone(), and_of(into_right))
+        };
+        // Merge the remaining conjuncts with the existing join condition,
+        // dropping a trivial `true`.
+        let mut conj = split_conjuncts(jcond)
+            .into_iter()
+            .filter(|c| !matches!(c, Expr::Const(asterix_adm::Value::Boolean(true))))
+            .collect::<Vec<_>>();
+        conj.extend(into_join);
+        Some(build::join(new_left, new_right, and_of(conj), *hint))
+    }
+}
+
+/// Turn computed equi-join keys into variables: a conjunct `e_l = e_r`
+/// (with `e_l` over the left schema and `e_r` over the right) becomes an
+/// ASSIGN on each input plus a plain variable equality, so the job
+/// generator can hash-repartition on them instead of falling back to a
+/// nested-loop join.
+pub struct ExtractJoinKeysRule;
+
+impl RewriteRule for ExtractJoinKeysRule {
+    fn name(&self) -> &'static str {
+        "extract-computed-join-keys"
+    }
+
+    fn apply(&self, node: &PlanRef, ctx: &OptContext<'_>) -> Option<PlanRef> {
+        use crate::analysis::{and_of, split_conjuncts};
+        use crate::rules::bound_by;
+        let LogicalOp::Join { condition, hint } = &node.op else {
+            return None;
+        };
+        // Leave similarity joins alone: the similarity rules need their
+        // inner branch to stay a bare dataset scan.
+        let conjs = crate::analysis::split_conjuncts(condition);
+        if conjs.iter().any(|c| {
+            crate::analysis::recognize_similarity(c).is_some_and(|p| {
+                !crate::analysis::is_constant(&p.args[0])
+                    && !crate::analysis::is_constant(&p.args[1])
+            })
+        }) {
+            return None;
+        }
+        let left = &node.inputs[0];
+        let right = &node.inputs[1];
+        let mut l_assigns: Vec<Expr> = Vec::new();
+        let mut l_vars: Vec<usize> = Vec::new();
+        let mut r_assigns: Vec<Expr> = Vec::new();
+        let mut r_vars: Vec<usize> = Vec::new();
+        let mut changed = false;
+        let mut out_conjuncts = Vec::new();
+        for c in split_conjuncts(condition) {
+            if let Expr::Cmp(CmpOp::Eq, a, b) = &c {
+                let plain =
+                    matches!(a.as_ref(), Expr::Column(_)) && matches!(b.as_ref(), Expr::Column(_));
+                if !plain {
+                    let (le, re) = if bound_by(a, &left.schema) && bound_by(b, &right.schema) {
+                        (a.as_ref().clone(), b.as_ref().clone())
+                    } else if bound_by(b, &left.schema) && bound_by(a, &right.schema) {
+                        (b.as_ref().clone(), a.as_ref().clone())
+                    } else {
+                        out_conjuncts.push(c);
+                        continue;
+                    };
+                    let lv = match le {
+                        Expr::Column(v) => v,
+                        e => {
+                            let v = ctx.vargen.fresh();
+                            l_assigns.push(e);
+                            l_vars.push(v);
+                            v
+                        }
+                    };
+                    let rv = match re {
+                        Expr::Column(v) => v,
+                        e => {
+                            let v = ctx.vargen.fresh();
+                            r_assigns.push(e);
+                            r_vars.push(v);
+                            v
+                        }
+                    };
+                    out_conjuncts.push(Expr::eq(Expr::Column(lv), Expr::Column(rv)));
+                    changed = true;
+                    continue;
+                }
+            }
+            out_conjuncts.push(c);
+        }
+        if !changed {
+            return None;
+        }
+        let new_left = if l_assigns.is_empty() {
+            left.clone()
+        } else {
+            build::assign(left.clone(), l_vars, l_assigns)
+        };
+        let new_right = if r_assigns.is_empty() {
+            right.clone()
+        } else {
+            build::assign(right.clone(), r_vars, r_assigns)
+        };
+        // The original node's schema loses nothing (assigns append), but
+        // downstream operators expect exactly the old schema; keep the
+        // extra key columns — they are harmless — and preserve var order
+        // by projecting back to the original join schema.
+        let joined = build::join(new_left, new_right, and_of(out_conjuncts), *hint);
+        Some(build::project(joined, node.schema.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SimpleCatalog;
+    use crate::optimizer::OptimizerConfig;
+    use crate::plan::{build, VarGen};
+    use asterix_simfn::FunctionRegistry;
+
+    fn ctx_with<'a>(
+        cat: &'a SimpleCatalog,
+        reg: &'a FunctionRegistry,
+        cfg: &'a OptimizerConfig,
+        vg: &'a VarGen,
+    ) -> OptContext<'a> {
+        OptContext {
+            catalog: cat,
+            registry: reg,
+            config: cfg,
+            vargen: vg,
+        }
+    }
+
+    #[test]
+    fn tilde_desugars_to_jaccard() {
+        let vg = VarGen::new();
+        let cat = SimpleCatalog::new();
+        let reg = FunctionRegistry::with_builtins();
+        let cfg = OptimizerConfig {
+            simfunction: SimilarityMeasure::Jaccard { delta: 0.7 },
+            ..OptimizerConfig::default()
+        };
+        let (scan, _, rec) = build::scan("d", &vg);
+        let sel = build::select(
+            scan,
+            Expr::call("~=", vec![build::v(rec).field("a"), Expr::lit("x")]),
+        );
+        let out = SimilarityOperatorRule
+            .apply(&sel, &ctx_with(&cat, &reg, &cfg, &vg))
+            .expect("rewrite");
+        let LogicalOp::Select { condition } = &out.op else {
+            panic!()
+        };
+        let printed = format!("{condition:?}");
+        assert!(printed.contains("similarity-jaccard"), "{printed}");
+        assert!(printed.contains("0.7"), "{printed}");
+    }
+
+    #[test]
+    fn tilde_desugars_to_edit_distance() {
+        let vg = VarGen::new();
+        let cat = SimpleCatalog::new();
+        let reg = FunctionRegistry::with_builtins();
+        let cfg = OptimizerConfig {
+            simfunction: SimilarityMeasure::EditDistance { k: 2 },
+            ..OptimizerConfig::default()
+        };
+        let (l, _, _) = build::scan("d", &vg);
+        let (r, _, _) = build::scan("d", &vg);
+        let join = build::join(
+            l,
+            r,
+            Expr::call("~=", vec![Expr::col(1), Expr::col(3)]),
+            Default::default(),
+        );
+        let out = SimilarityOperatorRule
+            .apply(&join, &ctx_with(&cat, &reg, &cfg, &vg))
+            .expect("rewrite");
+        let printed = format!("{:?}", out.op);
+        assert!(printed.contains("edit-distance"), "{printed}");
+    }
+
+    #[test]
+    fn no_tilde_no_change() {
+        let vg = VarGen::new();
+        let cat = SimpleCatalog::new();
+        let reg = FunctionRegistry::with_builtins();
+        let cfg = OptimizerConfig::default();
+        let (scan, _, _) = build::scan("d", &vg);
+        let sel = build::select(scan, Expr::lit(true));
+        assert!(SimilarityOperatorRule
+            .apply(&sel, &ctx_with(&cat, &reg, &cfg, &vg))
+            .is_none());
+    }
+}

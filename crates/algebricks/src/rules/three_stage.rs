@@ -1,0 +1,445 @@
+//! The three-stage set-similarity join (§4.2.2, Figs 11/12), instantiated
+//! as an AQL+-style template (§5.2).
+//!
+//! The paper's AQL+ framework re-parses a parameterized AQL query whose
+//! meta clauses (`##LEFT`, `##RIGHT`) and meta variables (`$$LEFTPK`, ...)
+//! are bound to pieces of the incoming logical plan, and whose
+//! placeholders (`TOKENIZER`, `SIMILARITY`, `THRESHOLD`) are filled from
+//! the join predicate. [`ThreeStageParams`] is exactly that binding
+//! structure, and [`instantiate_three_stage`] is the template: given the
+//! two input branches (arbitrary subplans, like meta clauses), their
+//! row-key meta variables, the tokenizer expressions, and the threshold,
+//! it emits the full three-stage plan. The textual face of the same
+//! template lives in the `asterix-aql` crate (`aqlplus` module), which
+//! parses an AQL+ string into these parameters — the paper's two-step
+//! rewrite.
+//!
+//! Stage 1 — token ordering: count token frequencies over both branches'
+//! tokens, order ascending by (count, token), assign global ranks.
+//! Stage 2 — rid-pair generation: per branch, map tokens to sorted rank
+//! lists per row, extract the Jaccard prefix, hash-repartition on prefix
+//! tokens, join, verify the threshold on the full rank sets, and
+//! deduplicate rid pairs. Stage 3 — record join: hash-join the rid pairs
+//! back to both branches to recover full records.
+
+use crate::analysis::{and_of, is_constant, recognize_similarity, split_conjuncts};
+use crate::plan::{
+    build, AggFn, JoinHint, LogicalNode, LogicalOp, OrderKey, PlanRef, VarGen, VarId,
+};
+use crate::rules::{bound_by, subtree_row_keys, OptContext, RewriteRule};
+use asterix_hyracks::{CmpOp, Expr, SearchMeasure};
+
+/// The bindings an AQL+ three-stage template instantiation needs — the
+/// analogue of the meta clauses / meta variables / placeholders of §5.2.
+pub struct ThreeStageParams {
+    /// `##LEFT` — the outer branch subplan.
+    pub left: PlanRef,
+    /// `##RIGHT` — the inner branch subplan.
+    pub right: PlanRef,
+    /// `$$LEFTPK` — variables identifying a row of the left branch.
+    pub left_keys: Vec<VarId>,
+    /// `$$RIGHTPK`.
+    pub right_keys: Vec<VarId>,
+    /// `TOKENIZER(left)` — list-valued expression over the left schema.
+    pub left_tokens: Expr,
+    /// `TOKENIZER(right)`.
+    pub right_tokens: Expr,
+    /// `THRESHOLD`.
+    pub delta: f64,
+}
+
+/// Instantiate the three-stage-similarity-join template. The result's
+/// schema is `left.schema ++ right.schema` — a drop-in replacement for the
+/// original JOIN node.
+pub fn instantiate_three_stage(p: &ThreeStageParams, vg: &VarGen) -> PlanRef {
+    let delta = Expr::lit(p.delta);
+
+    // ---- Stage 1: global token order over both branches' tokens -------
+    let tok_l = vg.fresh();
+    let l_unnest = LogicalNode::new(
+        LogicalOp::Unnest {
+            var: tok_l,
+            expr: p.left_tokens.clone(),
+            pos_var: None,
+        },
+        vec![p.left.clone()],
+    );
+    let l_tokens = build::project(l_unnest, vec![tok_l]);
+    let tok_r = vg.fresh();
+    let r_unnest = LogicalNode::new(
+        LogicalOp::Unnest {
+            var: tok_r,
+            expr: p.right_tokens.clone(),
+            pos_var: None,
+        },
+        vec![p.right.clone()],
+    );
+    let r_tokens = build::project(r_unnest, vec![tok_r]);
+    let tok_u = vg.fresh();
+    let all_tokens = LogicalNode::new(
+        LogicalOp::UnionAll { vars: vec![tok_u] },
+        vec![l_tokens, r_tokens],
+    );
+    // `/*+ hash */ group by` of Fig 11 line 15-16.
+    let cnt = vg.fresh();
+    let tok_g = vg.fresh();
+    let counted = LogicalNode::new(
+        LogicalOp::GroupBy {
+            group_vars: vec![(tok_g, tok_u)],
+            aggs: vec![(cnt, AggFn::Count)],
+        },
+        vec![all_tokens],
+    );
+    // `order by count($id), $tokenGrouped` (global).
+    let ordered = LogicalNode::new(
+        LogicalOp::OrderBy {
+            keys: vec![
+                OrderKey { var: cnt, desc: false },
+                OrderKey { var: tok_g, desc: false },
+            ],
+            global: true,
+        },
+        vec![counted],
+    );
+    let rank = vg.fresh();
+    let ranked_full = LogicalNode::new(LogicalOp::StreamPos { var: rank }, vec![ordered]);
+    // (token, rank) — broadcast to every partition via the rank joins.
+    let ranked = build::project(ranked_full, vec![tok_g, rank]);
+
+    // ---- Stage 2: rid-pair generation ---------------------------------
+    let side = |input: &PlanRef,
+                keys: &[VarId],
+                tokens_expr: &Expr|
+     -> (PlanRef, VarId, VarId, Vec<VarId>) {
+        let tok = vg.fresh();
+        let unnested = LogicalNode::new(
+            LogicalOp::Unnest {
+                var: tok,
+                expr: tokens_expr.clone(),
+                pos_var: None,
+            },
+            vec![input.clone()],
+        );
+        // `where $tokenUnranked = /*+ bcast */ $tokenRanked` — broadcast
+        // the (small) ranked-token table and hash-join.
+        let with_rank = build::join(
+            ranked.clone(),
+            unnested,
+            Expr::eq(build::v(tok_g), build::v(tok)),
+            JoinHint::BroadcastLeftHash,
+        );
+        // Per row: sorted set of token ranks.
+        let ranks = vg.fresh();
+        let fresh_keys: Vec<VarId> = keys.iter().map(|_| vg.fresh()).collect();
+        let grouped = LogicalNode::new(
+            LogicalOp::GroupBy {
+                group_vars: fresh_keys.iter().copied().zip(keys.iter().copied()).collect(),
+                aggs: vec![(ranks, AggFn::CollectSortedSet(rank))],
+            },
+            vec![with_rank],
+        );
+        // Prefix length: prefix-len-jaccard(len(ranks), δ).
+        let (with_plen, plen) = build::assign1(
+            grouped,
+            vg,
+            Expr::call(
+                "prefix-len-jaccard",
+                vec![Expr::call("len", vec![build::v(ranks)]), delta.clone()],
+            ),
+        );
+        // Unnest the prefix tokens: subset-collection(ranks, 0, plen).
+        let prefix_tok = vg.fresh();
+        let prefixed = LogicalNode::new(
+            LogicalOp::Unnest {
+                var: prefix_tok,
+                expr: Expr::call(
+                    "subset-collection",
+                    vec![build::v(ranks), Expr::lit(0i64), build::v(plen)],
+                ),
+                pos_var: None,
+            },
+            vec![with_plen],
+        );
+        (prefixed, ranks, prefix_tok, fresh_keys)
+    };
+
+    let (l_prefixed, l_ranks, l_prefix_tok, l_side_keys) =
+        side(&p.left, &p.left_keys, &p.left_tokens);
+    let (r_prefixed, r_ranks, r_prefix_tok, r_side_keys) =
+        side(&p.right, &p.right_keys, &p.right_tokens);
+    // Hash-repartition both sides on the prefix token and join.
+    let pair_join = build::join(
+        l_prefixed,
+        r_prefixed,
+        Expr::eq(build::v(l_prefix_tok), build::v(r_prefix_tok)),
+        JoinHint::Auto,
+    );
+    // Verify on the full rank sets (exact: the global order covers both
+    // branches' tokens) — `similarity-jaccard($tokensLeft, $tokensRight,
+    // .5f)` with early termination, then the threshold check.
+    let sim = vg.fresh();
+    let with_sim = build::assign(
+        pair_join,
+        vec![sim],
+        vec![Expr::call(
+            "similarity-jaccard",
+            vec![build::v(l_ranks), build::v(r_ranks), delta.clone()],
+        )],
+    );
+    let verified = build::select(
+        with_sim,
+        Expr::cmp(CmpOp::Ge, build::v(sim), delta.clone()),
+    );
+    // A pair sharing several prefix tokens appears several times:
+    // deduplicate by grouping on the rid pair (Fig 11 lines 47-49).
+    let l_key_fresh: Vec<VarId> = p.left_keys.iter().map(|_| vg.fresh()).collect();
+    let r_key_fresh: Vec<VarId> = p.right_keys.iter().map(|_| vg.fresh()).collect();
+    let sim_out = vg.fresh();
+    let rid_pairs = LogicalNode::new(
+        LogicalOp::GroupBy {
+            group_vars: l_key_fresh
+                .iter()
+                .copied()
+                .zip(l_side_keys.iter().copied())
+                .chain(r_key_fresh.iter().copied().zip(r_side_keys.iter().copied()))
+                .collect(),
+            aggs: vec![(sim_out, AggFn::First(sim))],
+        },
+        vec![verified],
+    );
+
+    // ---- Stage 3: record join ------------------------------------------
+    let left_back = build::join(
+        rid_pairs,
+        p.left.clone(),
+        and_of(
+            l_key_fresh
+                .iter()
+                .zip(&p.left_keys)
+                .map(|(a, b)| Expr::eq(build::v(*a), build::v(*b)))
+                .collect(),
+        ),
+        JoinHint::Auto,
+    );
+    let both_back = build::join(
+        left_back,
+        p.right.clone(),
+        and_of(
+            r_key_fresh
+                .iter()
+                .zip(&p.right_keys)
+                .map(|(a, b)| Expr::eq(build::v(*a), build::v(*b)))
+                .collect(),
+        ),
+        JoinHint::Auto,
+    );
+    // Restore the original JOIN schema.
+    let mut out_schema = p.left.schema.clone();
+    out_schema.extend(&p.right.schema);
+    build::project(both_back, out_schema)
+}
+
+/// The rewrite rule wrapping the template: fires on a Jaccard join with no
+/// applicable index (or with index joins disabled).
+pub struct ThreeStageJoinRule;
+
+impl RewriteRule for ThreeStageJoinRule {
+    fn name(&self) -> &'static str {
+        "three-stage-similarity-join"
+    }
+
+    fn apply(&self, node: &PlanRef, ctx: &OptContext<'_>) -> Option<PlanRef> {
+        if !ctx.config.enable_three_stage {
+            return None;
+        }
+        let LogicalOp::Join { condition, hint } = &node.op else {
+            return None;
+        };
+        if *hint == JoinHint::BroadcastLeftNl {
+            return None;
+        }
+        let left = node.inputs[0].clone();
+        let right = node.inputs[1].clone();
+
+        let mut sim = None;
+        let mut residual = Vec::new();
+        for conjunct in split_conjuncts(condition) {
+            if sim.is_none() {
+                if let Some(p) = recognize_similarity(&conjunct) {
+                    if matches!(p.measure, SearchMeasure::Jaccard { .. })
+                        && !is_constant(&p.args[0])
+                        && !is_constant(&p.args[1])
+                    {
+                        sim = Some(p);
+                        continue;
+                    }
+                }
+            }
+            residual.push(conjunct);
+        }
+        let sim = sim?;
+        let SearchMeasure::Jaccard { delta } = sim.measure else {
+            return None;
+        };
+        // Which argument belongs to which branch?
+        let (left_tokens, right_tokens) = if bound_by(&sim.args[0], &left.schema)
+            && bound_by(&sim.args[1], &right.schema)
+        {
+            (sim.args[0].clone(), sim.args[1].clone())
+        } else if bound_by(&sim.args[1], &left.schema) && bound_by(&sim.args[0], &right.schema) {
+            (sim.args[1].clone(), sim.args[0].clone())
+        } else {
+            return None;
+        };
+        let left_keys = subtree_row_keys(&left)?;
+        let right_keys = subtree_row_keys(&right)?;
+
+        let params = ThreeStageParams {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            left_tokens,
+            right_tokens,
+            delta,
+        };
+        let joined = instantiate_three_stage(&params, ctx.vargen);
+        Some(if residual.is_empty() {
+            joined
+        } else {
+            build::select(joined, and_of(residual))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SimpleCatalog;
+    use crate::optimizer::OptimizerConfig;
+    use crate::plan::{explain, operator_counts, total_operators, VarGen};
+    use asterix_adm::DatasetDef;
+    use asterix_simfn::FunctionRegistry;
+
+    fn jaccard_join(vg: &VarGen) -> (PlanRef, VarId, VarId) {
+        let (l, _lpk, lrec) = build::scan("ARevs", vg);
+        let (r, _rpk, rrec) = build::scan("ARevs", vg);
+        let cond = Expr::cmp(
+            CmpOp::Ge,
+            Expr::call(
+                "similarity-jaccard",
+                vec![
+                    Expr::call("word-tokens", vec![Expr::Column(lrec).field("summary")]),
+                    Expr::call("word-tokens", vec![Expr::Column(rrec).field("summary")]),
+                ],
+            ),
+            Expr::lit(0.5f64),
+        );
+        (build::join(l, r, cond, JoinHint::Auto), lrec, rrec)
+    }
+
+    fn apply(node: &PlanRef) -> Option<PlanRef> {
+        let vg = VarGen::starting_at(1000);
+        let cat = {
+            let mut c = SimpleCatalog::new();
+            c.add(DatasetDef::new("ARevs", "id"));
+            c
+        };
+        let reg = FunctionRegistry::with_builtins();
+        let cfg = OptimizerConfig::default();
+        let ctx = OptContext {
+            catalog: &cat,
+            registry: &reg,
+            config: &cfg,
+            vargen: &vg,
+        };
+        ThreeStageJoinRule.apply(node, &ctx)
+    }
+
+    #[test]
+    fn rewrites_jaccard_join() {
+        let vg = VarGen::new();
+        let (join, lrec, rrec) = jaccard_join(&vg);
+        let original_schema = join.schema.clone();
+        let plan = apply(&join).expect("must rewrite");
+        // Drop-in: same output schema.
+        assert_eq!(plan.schema, original_schema);
+        assert!(plan.schema.contains(&lrec));
+        assert!(plan.schema.contains(&rrec));
+        let text = explain(&plan);
+        assert!(text.contains("stream-pos"), "stage 1 rank: {text}");
+        assert!(text.contains("prefix-len-jaccard"), "stage 2: {text}");
+        assert!(text.contains("subset-collection"), "stage 2: {text}");
+    }
+
+    #[test]
+    fn plan_is_large_fig15() {
+        // Fig 15: the three-stage plan has dozens of operators vs ~6 for
+        // the nested-loop plan.
+        let vg = VarGen::new();
+        let (join, ..) = jaccard_join(&vg);
+        let before = total_operators(&join);
+        let plan = apply(&join).expect("rewrite");
+        let after = total_operators(&plan);
+        assert!(before <= 4, "NL-side plan is small: {before}");
+        assert!(after >= 20, "three-stage plan is large: {after}");
+        let counts = operator_counts(&plan);
+        let joins = counts.iter().find(|(n, _)| *n == "join").map(|(_, c)| *c);
+        assert!(joins.unwrap_or(0) >= 5, "{counts:?}");
+    }
+
+    #[test]
+    fn shares_scan_subtrees() {
+        let vg = VarGen::new();
+        let (join, ..) = jaccard_join(&vg);
+        let plan = apply(&join).expect("rewrite");
+        let text = explain(&plan);
+        // Each input branch is consumed by stage 1, stage 2, and stage 3:
+        // shared, not recomputed (§5.4.2).
+        assert!(text.contains("(reused)"), "{text}");
+    }
+
+    #[test]
+    fn residual_conjuncts_become_select() {
+        let vg = VarGen::new();
+        let (l, lpk, lrec) = build::scan("ARevs", &vg);
+        let (r, rpk, rrec) = build::scan("ARevs", &vg);
+        let cond = Expr::And(vec![
+            Expr::cmp(
+                CmpOp::Ge,
+                Expr::call(
+                    "similarity-jaccard",
+                    vec![
+                        Expr::call("word-tokens", vec![Expr::Column(lrec).field("summary")]),
+                        Expr::call("word-tokens", vec![Expr::Column(rrec).field("summary")]),
+                    ],
+                ),
+                Expr::lit(0.5f64),
+            ),
+            Expr::cmp(CmpOp::Lt, build::v(lpk), build::v(rpk)),
+        ]);
+        let join = build::join(l, r, cond, JoinHint::Auto);
+        let plan = apply(&join).expect("rewrite");
+        assert!(matches!(plan.op, LogicalOp::Select { .. }));
+    }
+
+    #[test]
+    fn edit_distance_join_not_rewritten() {
+        let vg = VarGen::new();
+        let (l, _, lrec) = build::scan("ARevs", &vg);
+        let (r, _, rrec) = build::scan("ARevs", &vg);
+        let cond = Expr::cmp(
+            CmpOp::Le,
+            Expr::call(
+                "edit-distance",
+                vec![
+                    Expr::Column(lrec).field("name"),
+                    Expr::Column(rrec).field("name"),
+                ],
+            ),
+            Expr::lit(1i64),
+        );
+        let join = build::join(l, r, cond, JoinHint::Auto);
+        assert!(apply(&join).is_none());
+    }
+}

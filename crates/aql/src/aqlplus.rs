@@ -1,0 +1,240 @@
+//! The AQL+ framework (§5.2): template-driven plan rewriting.
+//!
+//! AQL+ extends AQL with meta variables (`$$NAME`), meta clauses
+//! (`##NAME`), an explicit `join` clause, and placeholders (`@NAME@`).
+//! A rewrite takes the *two-step* path of Fig 16: the optimizer extracts
+//! information from the incoming logical plan (the join's branches, their
+//! primary keys, the tokenizer, the threshold), fills an AQL+ query
+//! template, re-parses it with the AQL+ parser, and re-translates it —
+//! with the meta clauses bound to the original plan's subtrees — yielding
+//! the transformed logical plan.
+//!
+//! [`THREE_STAGE_SELF_JOIN`] is the faithful textual rendition of the
+//! paper's Fig 11/17 template: the full three-stage set-similarity
+//! self-join, expressed in AQL+ over two meta-clause branches. The
+//! `asterix-algebricks` crate carries the equivalent *typed* template
+//! (`instantiate_three_stage`) used by the general rewrite rule (it also
+//! handles non-self joins and composite row keys); this module
+//! demonstrates — and tests verify — that the textual two-step path
+//! produces an equivalent executable plan.
+
+use crate::parser::parse_query;
+use crate::translate::{translate, Bindings, TranslateError};
+use asterix_algebricks::plan::PlanRef;
+use asterix_algebricks::{VarGen, VarId};
+use std::collections::HashMap;
+
+/// The textual AQL+ template for the three-stage similarity self join
+/// (Fig 11 expressed over meta clauses/variables as in Fig 17).
+///
+/// Placeholders:
+/// * `@LTOKENS@` / `@RTOKENS@` — tokenizer expression for each branch
+///   (e.g. `word-tokens($$LEFTREC.summary)`),
+/// * `@THRESHOLD@` — the Jaccard threshold.
+///
+/// Meta clauses: `##LEFT_1` (stage 1 source), `##LEFT_2`/`##RIGHT_2`
+/// (stage 2 branches), `##LEFT_3`/`##RIGHT_3` (stage 3 record joins) —
+/// all typically bound to the same two scan subplans. Meta variables:
+/// `$$LEFTPK`, `$$RIGHTPK`, `$$LEFTREC`, `$$RIGHTREC`.
+pub const THREE_STAGE_SELF_JOIN: &str = r#"
+for $ridpair in (
+    // --- Stage 2: RID-pair generation ---
+    for $l in (
+        ##LEFT_2
+        let $lid := $$LEFTPK
+        for $tokenUnranked in @LTOKENS@
+        for $tokenRanked at $i in (
+            // --- Stage 1: token ordering ---
+            ##LEFT_1
+            let $sid := $$LEFTPK
+            for $token in @LTOKENS@
+            /*+ hash */
+            group by $tokenGrouped := $token with $sid
+            order by count($sid), $tokenGrouped
+            return $tokenGrouped
+        )
+        where $tokenUnranked = /*+ bcast */ $tokenRanked
+        group by $gid := $lid with $i
+        let $plen := prefix-len-jaccard(len($i), @THRESHOLD@)
+        for $prefixToken in subset-collection($i, 0, $plen)
+        return { 'id': $gid, 'ranks': $i, 'prefix': $prefixToken }
+    )
+    for $r in (
+        ##RIGHT_2
+        let $rid := $$RIGHTPK
+        for $tokenUnranked in @RTOKENS@
+        for $tokenRanked at $i in (
+            // --- Stage 1 (detected as a common subplan and executed once,
+            // Fig 20) ---
+            ##LEFT_1
+            let $sid := $$LEFTPK
+            for $token in @LTOKENS@
+            /*+ hash */
+            group by $tokenGrouped := $token with $sid
+            order by count($sid), $tokenGrouped
+            return $tokenGrouped
+        )
+        where $tokenUnranked = /*+ bcast */ $tokenRanked
+        group by $gid := $rid with $i
+        let $plen := prefix-len-jaccard(len($i), @THRESHOLD@)
+        for $prefixToken in subset-collection($i, 0, $plen)
+        return { 'id': $gid, 'ranks': $i, 'prefix': $prefixToken }
+    )
+    where $l.prefix = $r.prefix and $l.id < $r.id
+    let $sim := similarity-jaccard($l.ranks, $r.ranks, @THRESHOLD@)
+    where $sim >= @THRESHOLD@
+    group by $idLeft := $l.id, $idRight := $r.id with $sim
+    return { 'idLeft': $idLeft, 'idRight': $idRight, 'sim': $sim[0] }
+)
+// --- Stage 3: record join ---
+##LEFT_3
+##RIGHT_3
+where $ridpair.idLeft = $$LEFTPK and $ridpair.idRight = $$RIGHTPK
+order by $$LEFTPK, $$RIGHTPK
+return { 'left': $$LEFTREC, 'right': $$RIGHTREC, 'sim': $ridpair.sim }
+"#;
+
+/// Substitute `@NAME@` placeholders. Unknown placeholders left in the
+/// text are reported as an error (they would not lex).
+pub fn render(template: &str, placeholders: &[(&str, String)]) -> Result<String, String> {
+    let mut text = template.to_string();
+    for (name, value) in placeholders {
+        text = text.replace(&format!("@{name}@"), value);
+    }
+    if let Some(at) = text.find('@') {
+        let tail: String = text[at..].chars().take(24).collect();
+        return Err(format!("unbound placeholder near '{tail}'"));
+    }
+    Ok(text)
+}
+
+/// The bindings the three-stage template needs (the optimizer extracts
+/// these from the logical join it is rewriting — Fig 16's "extracts the
+/// information from the logical plan and integrates it into an AQL+ query
+/// template").
+#[derive(Clone, Debug)]
+pub struct ThreeStageTextBindings {
+    pub left: PlanRef,
+    pub right: PlanRef,
+    pub left_pk: VarId,
+    pub left_rec: VarId,
+    pub right_pk: VarId,
+    pub right_rec: VarId,
+    /// The tokenized field (dotted path), e.g. `summary`.
+    pub field: String,
+    pub threshold: f64,
+}
+
+/// Two-step rewrite: render the textual AQL+ template, re-parse it, and
+/// re-translate it against the bound subplans. The result is a complete
+/// logical plan (rooted at `Write`) computing
+/// `{left, right, sim}` records for every similar pair.
+pub fn instantiate_three_stage_text(
+    b: &ThreeStageTextBindings,
+    vargen: &VarGen,
+) -> Result<PlanRef, TranslateError> {
+    let text = render(
+        THREE_STAGE_SELF_JOIN,
+        &[
+            (
+                "LTOKENS",
+                format!("word-tokens($$LEFTREC.{})", b.field),
+            ),
+            (
+                "RTOKENS",
+                format!("word-tokens($$RIGHTREC.{})", b.field),
+            ),
+            ("THRESHOLD", format!("{:?}", b.threshold)),
+        ],
+    )
+    .map_err(TranslateError)?;
+    let query = parse_query(&text).map_err(|e| TranslateError(e.to_string()))?;
+    let mut clauses = HashMap::new();
+    clauses.insert("LEFT_1".to_string(), b.left.clone());
+    clauses.insert("LEFT_2".to_string(), b.left.clone());
+    clauses.insert("LEFT_3".to_string(), b.left.clone());
+    clauses.insert("RIGHT_2".to_string(), b.right.clone());
+    clauses.insert("RIGHT_3".to_string(), b.right.clone());
+    let mut vars = HashMap::new();
+    vars.insert("LEFTPK".to_string(), b.left_pk);
+    vars.insert("LEFTREC".to_string(), b.left_rec);
+    vars.insert("RIGHTPK".to_string(), b.right_pk);
+    vars.insert("RIGHTREC".to_string(), b.right_rec);
+    let bindings = Bindings { clauses, vars };
+    let t = translate(&query, vargen, &bindings)?;
+    Ok(t.plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_algebricks::plan::{build, explain, operator_counts, total_operators};
+
+    #[test]
+    fn render_substitutes_and_rejects_unbound() {
+        let out = render("a @X@ b @Y@", &[("X", "1".into()), ("Y", "2".into())]).unwrap();
+        assert_eq!(out, "a 1 b 2");
+        assert!(render("a @X@", &[]).is_err());
+    }
+
+    #[test]
+    fn template_parses_after_rendering() {
+        let text = render(
+            THREE_STAGE_SELF_JOIN,
+            &[
+                ("LTOKENS", "word-tokens($$LEFTREC.summary)".into()),
+                ("RTOKENS", "word-tokens($$RIGHTREC.summary)".into()),
+                ("THRESHOLD", "0.5".into()),
+            ],
+        )
+        .unwrap();
+        parse_query(&text).expect("template must parse");
+    }
+
+    #[test]
+    fn two_step_instantiation_builds_large_plan() {
+        let vg = VarGen::new();
+        let (left, lpk, lrec) = build::scan("ARevs", &vg);
+        let (right, rpk, rrec) = build::scan("ARevs", &vg);
+        let plan = instantiate_three_stage_text(
+            &ThreeStageTextBindings {
+                left,
+                right,
+                left_pk: lpk,
+                left_rec: lrec,
+                right_pk: rpk,
+                right_rec: rrec,
+                field: "summary".into(),
+                threshold: 0.5,
+            },
+            &vg,
+        )
+        .expect("instantiation");
+        // Fig 15: the three-stage plan is large (tens of operators, vs ~6
+        // for a nested-loop plan).
+        let n = total_operators(&plan);
+        assert!(n >= 30, "expected a large plan, got {n}:\n{}", explain(&plan));
+        let counts = operator_counts(&plan);
+        let get = |name: &str| {
+            counts
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert!(get("group") >= 3, "{counts:?}"); // token counts ×2 (+dedup)
+        assert!(get("unnest") >= 4, "{counts:?}");
+        assert!(get("join") >= 5, "{counts:?}");
+        // The two branches are shared Arcs: scans appear once each.
+        assert_eq!(get("data-scan"), 2, "{counts:?}");
+    }
+
+    #[test]
+    fn unbound_meta_clause_is_an_error() {
+        let vg = VarGen::new();
+        let text = "##NOPE\nlet $x := $$X\nreturn $x";
+        let query = parse_query(text).unwrap();
+        let err = translate(&query, &vg, &Bindings::default()).unwrap_err();
+        assert!(err.0.contains("unbound meta clause"), "{err}");
+    }
+}

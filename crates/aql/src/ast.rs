@@ -1,0 +1,226 @@
+//! The AQL/AQL+ abstract syntax tree.
+
+use asterix_adm::Value;
+use asterix_hyracks::CmpOp;
+
+/// A full query: prologue statements + body expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub statements: Vec<Stmt>,
+    pub body: AstExpr,
+}
+
+impl Query {
+    /// The body as a FLWOR expression, unwrapping a top-level aggregate
+    /// call like `count( for ... )`.
+    pub fn body_flwor(&self) -> Option<&Flwor> {
+        match &self.body {
+            AstExpr::Subquery(f) => Some(f),
+            AstExpr::Call(_, args) if args.len() == 1 => match &args[0] {
+                AstExpr::Subquery(f) => Some(f),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Prologue statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `use dataverse X;`
+    UseDataverse(String),
+    /// `set simfunction 'jaccard';` / `set simthreshold '0.5f';`
+    Set(String, String),
+}
+
+/// A FLWOR expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Flwor {
+    pub clauses: Vec<Clause>,
+    pub ret: AstExpr,
+}
+
+/// FLWOR clauses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clause {
+    /// `for $v (at $p)? in <expr>`
+    For {
+        var: String,
+        pos: Option<String>,
+        source: AstExpr,
+    },
+    /// `let $v := <expr>`
+    Let { var: String, expr: AstExpr },
+    /// `where <expr>`
+    Where(AstExpr),
+    /// `group by $k := e, ... with $w, ...` (hints recorded).
+    GroupBy {
+        keys: Vec<(String, AstExpr)>,
+        with: Vec<String>,
+        hints: Vec<String>,
+    },
+    /// `order by e (asc|desc), ...`
+    OrderBy(Vec<(AstExpr, bool)>),
+    /// `limit n`
+    Limit(usize),
+    /// AQL+ meta clause used as a source clause: `##LEFT_3` (its schema's
+    /// variables are reachable through `$$` meta variables).
+    MetaSource(String),
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// `$x`
+    Var(String),
+    /// `$$x` — AQL+ meta variable (resolved through bindings).
+    MetaVar(String),
+    /// `##x` — AQL+ meta clause (a bound subplan).
+    MetaClause(String),
+    Lit(Value),
+    /// `dataset X` / `dataset('X')`
+    Dataset(String),
+    /// `f(args...)`, including `~=` as `Call("~=", ...)` after parsing.
+    Call(String, Vec<AstExpr>),
+    /// `e.field`
+    Field(Box<AstExpr>, String),
+    /// `e[i]` — positional access into an ordered list.
+    Index(Box<AstExpr>, usize),
+    Cmp(CmpOp, Box<AstExpr>, Box<AstExpr>),
+    And(Vec<AstExpr>),
+    Or(Vec<AstExpr>),
+    Not(Box<AstExpr>),
+    /// `{ 'k': e, ... }`
+    Record(Vec<(String, AstExpr)>),
+    /// `[e, ...]`
+    List(Vec<AstExpr>),
+    /// A nested FLWOR.
+    Subquery(Box<Flwor>),
+    /// AQL+ explicit `join((l), (r), cond)`.
+    JoinClause {
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+        condition: Box<AstExpr>,
+    },
+    /// An expression preceded by a compiler hint (e.g. `/*+ bcast */ $x`).
+    Hinted(String, Box<AstExpr>),
+}
+
+impl AstExpr {
+    /// Strip hint wrappers.
+    pub fn unhinted(&self) -> &AstExpr {
+        match self {
+            AstExpr::Hinted(_, inner) => inner.unhinted(),
+            other => other,
+        }
+    }
+
+    /// Free variables of the expression (bound FLWOR variables inside
+    /// subqueries excluded).
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            AstExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            AstExpr::MetaVar(_) | AstExpr::MetaClause(_) | AstExpr::Lit(_) | AstExpr::Dataset(_) => {}
+            AstExpr::Call(_, args) | AstExpr::And(args) | AstExpr::Or(args) | AstExpr::List(args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            AstExpr::Field(e, _) | AstExpr::Index(e, _) | AstExpr::Not(e) => e.free_vars(out),
+            AstExpr::Cmp(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            AstExpr::Record(fields) => {
+                for (_, e) in fields {
+                    e.free_vars(out);
+                }
+            }
+            AstExpr::Subquery(f) => {
+                let mut inner = Vec::new();
+                let mut bound: Vec<String> = Vec::new();
+                for c in &f.clauses {
+                    match c {
+                        Clause::For { var, pos, source } => {
+                            source.free_vars(&mut inner);
+                            bound.push(var.clone());
+                            if let Some(p) = pos {
+                                bound.push(p.clone());
+                            }
+                        }
+                        Clause::Let { var, expr } => {
+                            expr.free_vars(&mut inner);
+                            bound.push(var.clone());
+                        }
+                        Clause::Where(e) => e.free_vars(&mut inner),
+                        Clause::GroupBy { keys, with, .. } => {
+                            for (k, e) in keys {
+                                e.free_vars(&mut inner);
+                                bound.push(k.clone());
+                            }
+                            bound.extend(with.iter().cloned());
+                        }
+                        Clause::OrderBy(keys) => {
+                            for (e, _) in keys {
+                                e.free_vars(&mut inner);
+                            }
+                        }
+                        Clause::Limit(_) => {}
+                        Clause::MetaSource(_) => {}
+                    }
+                }
+                f.ret.free_vars(&mut inner);
+                for v in inner {
+                    if !bound.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            AstExpr::JoinClause {
+                left,
+                right,
+                condition,
+            } => {
+                left.free_vars(out);
+                right.free_vars(out);
+                condition.free_vars(out);
+            }
+            AstExpr::Hinted(_, e) => e.free_vars(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_of_subquery() {
+        // for $x in $outer.list return $x  — free: outer
+        let f = Flwor {
+            clauses: vec![Clause::For {
+                var: "x".into(),
+                pos: None,
+                source: AstExpr::Field(Box::new(AstExpr::Var("outer".into())), "list".into()),
+            }],
+            ret: AstExpr::Var("x".into()),
+        };
+        let mut vars = Vec::new();
+        AstExpr::Subquery(Box::new(f)).free_vars(&mut vars);
+        assert_eq!(vars, vec!["outer".to_string()]);
+    }
+
+    #[test]
+    fn unhinted_strips_nested() {
+        let e = AstExpr::Hinted(
+            "bcast".into(),
+            Box::new(AstExpr::Hinted("hash".into(), Box::new(AstExpr::Var("x".into())))),
+        );
+        assert_eq!(e.unhinted(), &AstExpr::Var("x".into()));
+    }
+}

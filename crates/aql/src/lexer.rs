@@ -1,0 +1,407 @@
+//! The AQL/AQL+ lexer.
+
+use std::fmt;
+
+/// Lexical tokens. Keywords are case-insensitive identifiers; identifiers
+/// may contain `-` (AQL function names like `similarity-jaccard`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// `$name`
+    Var(String),
+    /// `$$name` (AQL+ meta variable)
+    MetaVar(String),
+    /// `##name` (AQL+ meta clause)
+    MetaClause(String),
+    /// bare identifier / keyword
+    Ident(String),
+    /// 'text' or "text"
+    Str(String),
+    Int(i64),
+    Float(f64),
+    /// `/*+ hash */`-style compiler hint (§4.2.2); carried through and
+    /// recorded by the parser.
+    Hint(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Assign, // :=
+    Eq,     // =
+    Ne,     // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    SimEq, // ~=
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Var(v) => write!(f, "${v}"),
+            Token::MetaVar(v) => write!(f, "$${v}"),
+            Token::MetaClause(v) => write!(f, "##{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Hint(h) => write!(f, "/*+ {h} */"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, ":="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::SimEq => write!(f, "~="),
+        }
+    }
+}
+
+/// A lexing error with a character offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.offset, self.message)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    // AQL identifiers include '-' (function names); a '-' is part of the
+    // identifier only when followed by a letter, so `a-b` lexes as one
+    // identifier but `a - 1` does not.
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize a query text.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let err = |i: usize, m: &str| LexError {
+        offset: i,
+        message: m.to_string(),
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Comment or hint: /*+ ... */ is a hint.
+                let is_hint = chars.get(i + 2) == Some(&'+');
+                let start = i + if is_hint { 3 } else { 2 };
+                let mut j = start;
+                while j + 1 < chars.len() && !(chars[j] == '*' && chars[j + 1] == '/') {
+                    j += 1;
+                }
+                if j + 1 >= chars.len() {
+                    return Err(err(i, "unterminated comment"));
+                }
+                if is_hint {
+                    let text: String = chars[start..j].iter().collect();
+                    out.push(Token::Hint(text.trim().to_string()));
+                }
+                i = j + 2;
+            }
+            '$' => {
+                if chars.get(i + 1) == Some(&'$') {
+                    let (name, next) = take_ident(&chars, i + 2);
+                    if name.is_empty() {
+                        return Err(err(i, "expected name after $$"));
+                    }
+                    out.push(Token::MetaVar(name));
+                    i = next;
+                } else {
+                    let (name, next) = take_ident(&chars, i + 1);
+                    if name.is_empty() {
+                        return Err(err(i, "expected name after $"));
+                    }
+                    out.push(Token::Var(name));
+                    i = next;
+                }
+            }
+            '#' if chars.get(i + 1) == Some(&'#') => {
+                let (name, next) = take_ident(&chars, i + 2);
+                if name.is_empty() {
+                    return Err(err(i, "expected name after ##"));
+                }
+                out.push(Token::MetaClause(name));
+                i = next;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != quote {
+                    if chars[j] == '\\' && j + 1 < chars.len() {
+                        j += 1;
+                    }
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(err(i, "unterminated string"));
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let (tok, next) = take_number(&chars, i);
+                out.push(tok);
+                i = next;
+            }
+            '.' if chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                // `.5f` style float literal.
+                let (tok, next) = take_number(&chars, i);
+                out.push(tok);
+                i = next;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ':' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Assign);
+                i += 2;
+            }
+            ':' => {
+                // Record constructors use `'k': v`; treat as field sep —
+                // parser handles via expecting it; reuse Assign? Use a
+                // dedicated token: we map ':' to Assign for simplicity in
+                // record contexts.
+                out.push(Token::Assign);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Le);
+                i += 2;
+            }
+            '<' => {
+                out.push(Token::Lt);
+                i += 1;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ge);
+                i += 2;
+            }
+            '>' => {
+                out.push(Token::Gt);
+                i += 1;
+            }
+            '~' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::SimEq);
+                i += 2;
+            }
+            c if is_ident_start(c) => {
+                let (name, next) = take_ident(&chars, i);
+                out.push(Token::Ident(name));
+                i = next;
+            }
+            other => return Err(err(i, &format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+fn take_ident(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    let mut s = String::new();
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '-' {
+            // '-' joins identifiers only when followed by a letter.
+            if j + 1 < chars.len() && chars[j + 1].is_alphabetic() && !s.is_empty() {
+                s.push(c);
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if (j == start && is_ident_start(c)) || (j > start && is_ident_continue(c)) {
+            s.push(c);
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    (s, j)
+}
+
+fn take_number(chars: &[char], start: usize) -> (Token, usize) {
+    let mut j = start;
+    let mut text = String::new();
+    let mut is_float = false;
+    while j < chars.len() {
+        match chars[j] {
+            '0'..='9' => {
+                text.push(chars[j]);
+                j += 1;
+            }
+            '.' if !is_float && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit() || *d == 'f')
+                || (j == start && chars[j] == '.') =>
+            {
+                is_float = true;
+                text.push('.');
+                j += 1;
+            }
+            'f' => {
+                // Float suffix as in `.5f`.
+                is_float = true;
+                j += 1;
+                break;
+            }
+            _ => break,
+        }
+    }
+    if is_float {
+        (Token::Float(text.parse().unwrap_or(0.0)), j)
+    } else {
+        (Token::Int(text.parse().unwrap_or(0)), j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = lex("for $t1 in dataset AmazonReview where $t1.x >= 0.5 return $t1").unwrap();
+        assert_eq!(toks[0], Token::Ident("for".into()));
+        assert_eq!(toks[1], Token::Var("t1".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Float(0.5)));
+    }
+
+    #[test]
+    fn hyphenated_function_names() {
+        let toks = lex("similarity-jaccard(word-tokens($t.summary), 3)").unwrap();
+        assert_eq!(toks[0], Token::Ident("similarity-jaccard".into()));
+        assert_eq!(toks[2], Token::Ident("word-tokens".into()));
+    }
+
+    #[test]
+    fn minus_vs_hyphen() {
+        // `a-b` is one identifier; `1 - 2` would be an error (no binary
+        // minus in the subset) — ensure `x-1` splits cleanly.
+        let toks = lex("edit-distance").unwrap();
+        assert_eq!(toks, vec![Token::Ident("edit-distance".into())]);
+    }
+
+    #[test]
+    fn strings_and_floats() {
+        let toks = lex("set simthreshold '0.5'; return .5f").unwrap();
+        assert!(toks.contains(&Token::Str("0.5".into())));
+        assert!(toks.contains(&Token::Float(0.5)));
+    }
+
+    #[test]
+    fn hints_captured() {
+        let toks = lex("/*+ hash */ group by /*+ bcast */ $x").unwrap();
+        assert_eq!(toks[0], Token::Hint("hash".into()));
+        assert!(toks.contains(&Token::Hint("bcast".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("// --- Stage 3 ---\nfor /* c */ $x in $y").unwrap();
+        assert_eq!(toks[0], Token::Ident("for".into()));
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn aqlplus_tokens() {
+        let toks = lex("join((##LEFT_1), (##RIGHT_1), $$LEFTPK_3 = $id)").unwrap();
+        assert!(toks.contains(&Token::MetaClause("LEFT_1".into())));
+        assert!(toks.contains(&Token::MetaClause("RIGHT_1".into())));
+        assert!(toks.contains(&Token::MetaVar("LEFTPK_3".into())));
+    }
+
+    #[test]
+    fn sim_operator() {
+        let toks = lex("$a ~= $b").unwrap();
+        assert_eq!(toks[1], Token::SimEq);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ^ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn record_constructor_tokens() {
+        let toks = lex("{ 'k': $v, 'j': 1 }").unwrap();
+        assert_eq!(toks[0], Token::LBrace);
+        assert!(toks.contains(&Token::Assign)); // ':' maps to Assign
+    }
+}

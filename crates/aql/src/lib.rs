@@ -1,0 +1,39 @@
+//! # asterix-aql
+//!
+//! The query-language substrate: an AQL subset sufficient for every query
+//! in the paper's figures and evaluation templates (Figs 4, 5, 8, 21, 23,
+//! 26), plus the AQL+ extensions of §5.2:
+//!
+//! * **meta variables** `$$NAME` — references to logical-plan variables,
+//! * **meta clauses** `##NAME` — references to logical subplans,
+//! * **explicit `join` clauses** — `join((left), (right), condition)`,
+//! * **placeholders** `@NAME@` — textual template parameters (e.g.
+//!   `@THRESHOLD@`, `@TOKENIZER@`) substituted before parsing.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`translate`]
+//! (logical plan in `asterix-algebricks`). [`aqlplus`] carries the
+//! AQL+ template machinery used by the three-stage-join rewrite.
+//!
+//! Example (the paper's Fig 4(b) join):
+//!
+//! ```
+//! use asterix_aql::parse_query;
+//! let q = parse_query(r#"
+//!     for $t1 in dataset AmazonReview
+//!     for $t2 in dataset AmazonReview
+//!     where similarity-jaccard(word-tokens($t1.summary),
+//!                              word-tokens($t2.summary)) >= 0.5
+//!     return { 'summary1': $t1, 'summary2': $t2 }
+//! "#).unwrap();
+//! assert_eq!(q.body_flwor().unwrap().clauses.len(), 3);
+//! ```
+
+pub mod aqlplus;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{AstExpr, Clause, Flwor, Query, Stmt};
+pub use parser::{parse_query, ParseError};
+pub use translate::{translate, Bindings, TranslateError};

@@ -1,0 +1,657 @@
+//! Recursive-descent parser for the AQL subset + AQL+ extensions.
+
+use crate::ast::{AstExpr, Clause, Flwor, Query, Stmt};
+use crate::lexer::{lex, LexError, Token};
+use asterix_adm::Value;
+use asterix_hyracks::CmpOp;
+use std::fmt;
+
+/// Parse error with a token index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            at: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a full query (prologue statements + body).
+pub fn parse_query(text: &str) -> Result<Query, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    loop {
+        match p.peek_keyword() {
+            Some("use") => {
+                p.next();
+                p.expect_keyword("dataverse")?;
+                let name = p.expect_ident()?;
+                p.expect(&Token::Semi)?;
+                statements.push(Stmt::UseDataverse(name));
+            }
+            Some("set") => {
+                p.next();
+                let key = p.expect_ident()?;
+                let value = match p.next() {
+                    Some(Token::Str(s)) => s,
+                    Some(t) => return Err(p.err(&format!("expected string, got {t}"))),
+                    None => return Err(p.err("expected string")),
+                };
+                p.expect(&Token::Semi)?;
+                statements.push(Stmt::Set(key, value));
+            }
+            _ => break,
+        }
+    }
+    let body = p.parse_expr()?;
+    // Allow a trailing semicolon.
+    if p.peek() == Some(&Token::Semi) {
+        p.next();
+    }
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after query body"));
+    }
+    Ok(Query { statements, body })
+}
+
+/// Parse a standalone expression.
+pub fn parse_expr(text: &str) -> Result<AstExpr, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_keyword(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if &got == t => Ok(()),
+            Some(got) => Err(ParseError {
+                at: self.pos - 1,
+                message: format!("expected {t}, got {got}"),
+            }),
+            None => Err(self.err(&format!("expected {t}, got end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected '{kw}', got {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected identifier, got {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Var(s)) => Ok(s),
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected $variable, got {other:?}"),
+            }),
+        }
+    }
+
+    fn at_flwor_start(&self) -> bool {
+        if matches!(self.peek_keyword(), Some("for" | "let")) {
+            return true;
+        }
+        // A meta clause starts a FLWOR unless it stands alone as a branch
+        // expression (e.g. inside `join((##LEFT), ...)`).
+        if matches!(self.peek(), Some(Token::MetaClause(_))) {
+            return !matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::RParen) | Some(Token::Comma) | None
+            );
+        }
+        false
+    }
+
+    fn parse_expr(&mut self) -> Result<AstExpr, ParseError> {
+        if self.at_flwor_start() {
+            let f = self.parse_flwor()?;
+            return Ok(AstExpr::Subquery(Box::new(f)));
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> Result<Flwor, ParseError> {
+        let mut clauses = Vec::new();
+        let mut pending_hints: Vec<String> = Vec::new();
+        loop {
+            // Hints may precede a clause (Fig 11's `/*+ hash */ group by`).
+            while let Some(Token::Hint(h)) = self.peek() {
+                pending_hints.push(h.clone());
+                self.next();
+            }
+            if let Some(Token::MetaClause(name)) = self.peek() {
+                let name = name.clone();
+                self.next();
+                clauses.push(Clause::MetaSource(name));
+                continue;
+            }
+            match self.peek_keyword() {
+                Some("for") => {
+                    self.next();
+                    let var = self.expect_var()?;
+                    let pos = if self.peek_keyword() == Some("at") {
+                        self.next();
+                        Some(self.expect_var()?)
+                    } else {
+                        None
+                    };
+                    self.expect_keyword("in")?;
+                    let source = self.parse_expr()?;
+                    clauses.push(Clause::For { var, pos, source });
+                }
+                Some("let") => {
+                    self.next();
+                    let var = self.expect_var()?;
+                    self.expect(&Token::Assign)?;
+                    let expr = self.parse_expr()?;
+                    clauses.push(Clause::Let { var, expr });
+                }
+                Some("where") => {
+                    self.next();
+                    let e = self.parse_expr()?;
+                    clauses.push(Clause::Where(e));
+                }
+                Some("group") => {
+                    self.next();
+                    self.expect_keyword("by")?;
+                    let mut keys = Vec::new();
+                    loop {
+                        let k = self.expect_var()?;
+                        self.expect(&Token::Assign)?;
+                        let e = self.parse_or()?;
+                        keys.push((k, e));
+                        if self.peek() == Some(&Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect_keyword("with")?;
+                    let mut with = vec![self.expect_var()?];
+                    while self.peek() == Some(&Token::Comma) {
+                        self.next();
+                        with.push(self.expect_var()?);
+                    }
+                    clauses.push(Clause::GroupBy {
+                        keys,
+                        with,
+                        hints: std::mem::take(&mut pending_hints),
+                    });
+                }
+                Some("order") => {
+                    self.next();
+                    self.expect_keyword("by")?;
+                    let mut keys = Vec::new();
+                    loop {
+                        let e = self.parse_or()?;
+                        let desc = match self.peek_keyword() {
+                            Some("desc") => {
+                                self.next();
+                                true
+                            }
+                            Some("asc") => {
+                                self.next();
+                                false
+                            }
+                            _ => false,
+                        };
+                        keys.push((e, desc));
+                        if self.peek() == Some(&Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    clauses.push(Clause::OrderBy(keys));
+                }
+                Some("limit") => {
+                    self.next();
+                    match self.next() {
+                        Some(Token::Int(n)) if n >= 0 => clauses.push(Clause::Limit(n as usize)),
+                        other => {
+                            return Err(self.err(&format!("expected limit count, got {other:?}")))
+                        }
+                    }
+                }
+                Some("return") => {
+                    self.next();
+                    let ret = self.parse_expr()?;
+                    if clauses.is_empty() {
+                        return Err(self.err("FLWOR requires at least one clause"));
+                    }
+                    return Ok(Flwor { clauses, ret });
+                }
+                other => {
+                    return Err(self.err(&format!(
+                        "expected FLWOR clause or 'return', got {other:?}"
+                    )))
+                }
+            }
+            pending_hints.clear();
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr, ParseError> {
+        let first = self.parse_and()?;
+        let mut parts = vec![first];
+        while self.peek_keyword() == Some("or") {
+            self.next();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            AstExpr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, ParseError> {
+        let first = self.parse_cmp()?;
+        let mut parts = vec![first];
+        while self.peek_keyword() == Some("and") {
+            self.next();
+            parts.push(self.parse_cmp()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            AstExpr::And(parts)
+        })
+    }
+
+    fn parse_cmp(&mut self) -> Result<AstExpr, ParseError> {
+        let left = self.parse_postfix()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            Some(Token::SimEq) => None, // handled below
+            _ => return Ok(left),
+        };
+        match op {
+            Some(op) => {
+                self.next();
+                let right = self.parse_postfix()?;
+                Ok(AstExpr::Cmp(op, Box::new(left), Box::new(right)))
+            }
+            None => {
+                self.next(); // ~=
+                let right = self.parse_postfix()?;
+                Ok(AstExpr::Call("~=".into(), vec![left, right]))
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<AstExpr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.next();
+                    let field = self.expect_ident()?;
+                    e = AstExpr::Field(Box::new(e), field);
+                }
+                Some(Token::LBracket) => {
+                    self.next();
+                    match self.next() {
+                        Some(Token::Int(i)) if i >= 0 => {
+                            e = AstExpr::Index(Box::new(e), i as usize);
+                        }
+                        other => {
+                            return Err(self.err(&format!("expected list index, got {other:?}")))
+                        }
+                    }
+                    self.expect(&Token::RBracket)?;
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.next() {
+            Some(Token::Var(v)) => Ok(AstExpr::Var(v)),
+            Some(Token::MetaVar(v)) => Ok(AstExpr::MetaVar(v)),
+            Some(Token::MetaClause(v)) => Ok(AstExpr::MetaClause(v)),
+            Some(Token::Str(s)) => Ok(AstExpr::Lit(Value::String(s))),
+            Some(Token::Int(i)) => Ok(AstExpr::Lit(Value::Int64(i))),
+            Some(Token::Float(x)) => Ok(AstExpr::Lit(Value::double(x))),
+            Some(Token::Hint(h)) => {
+                let inner = self.parse_postfix()?;
+                Ok(AstExpr::Hinted(h, Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::LBrace) => {
+                let mut fields = Vec::new();
+                if self.peek() != Some(&Token::RBrace) {
+                    loop {
+                        let name = match self.next() {
+                            Some(Token::Str(s)) => s,
+                            Some(Token::Ident(s)) => s,
+                            other => {
+                                return Err(self.err(&format!(
+                                    "expected field name, got {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&Token::Assign)?; // ':'
+                        let e = self.parse_expr()?;
+                        fields.push((name, e));
+                        if self.peek() == Some(&Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(AstExpr::Record(fields))
+            }
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                if self.peek() != Some(&Token::RBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.peek() == Some(&Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(AstExpr::List(items))
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "true" => Ok(AstExpr::Lit(Value::Boolean(true))),
+                "false" => Ok(AstExpr::Lit(Value::Boolean(false))),
+                "null" => Ok(AstExpr::Lit(Value::Null)),
+                "dataset" => match self.peek() {
+                    Some(Token::LParen) => {
+                        self.next();
+                        let ds = match self.next() {
+                            Some(Token::Str(s)) => s,
+                            Some(Token::Ident(s)) => s,
+                            other => {
+                                return Err(
+                                    self.err(&format!("expected dataset name, got {other:?}"))
+                                )
+                            }
+                        };
+                        self.expect(&Token::RParen)?;
+                        Ok(AstExpr::Dataset(ds))
+                    }
+                    Some(Token::Ident(_)) => {
+                        let ds = self.expect_ident()?;
+                        Ok(AstExpr::Dataset(ds))
+                    }
+                    other => Err(self.err(&format!("expected dataset name, got {other:?}"))),
+                },
+                "join" => {
+                    // AQL+: join((left), (right), condition)
+                    self.expect(&Token::LParen)?;
+                    self.expect(&Token::LParen)?;
+                    let left = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Comma)?;
+                    self.expect(&Token::LParen)?;
+                    let right = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    self.expect(&Token::Comma)?;
+                    let condition = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(AstExpr::JoinClause {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        condition: Box::new(condition),
+                    })
+                }
+                _ => {
+                    if self.peek() == Some(&Token::LParen) {
+                        self.next();
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if self.peek() == Some(&Token::Comma) {
+                                    self.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                        Ok(AstExpr::Call(name, args))
+                    } else {
+                        Err(ParseError {
+                            at: self.pos - 1,
+                            message: format!("bare identifier '{name}' is not an expression"),
+                        })
+                    }
+                }
+            },
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_tilde_query() {
+        let q = parse_query(
+            r#"
+            use dataverse TextStore;
+            set simfunction 'jaccard';
+            set simthreshold '0.5';
+            for $t1 in dataset AmazonReview
+            for $t2 in dataset AmazonReview
+            where word-tokens($t1.summary) ~= word-tokens($t2.summary)
+            return { 'summary1': $t1, 'summary2': $t2 }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.statements.len(), 3);
+        let f = q.body_flwor().unwrap();
+        assert_eq!(f.clauses.len(), 3);
+        let Clause::Where(w) = &f.clauses[2] else {
+            panic!("expected where");
+        };
+        assert!(matches!(w, AstExpr::Call(n, _) if n == "~="));
+    }
+
+    #[test]
+    fn fig5_selection() {
+        let q = parse_query(
+            r#"
+            for $t1 in dataset bar
+            where edit-distance($t1.V, 'C') < 2
+            return {"id": $t1.id, "field": $t1.V}
+            "#,
+        )
+        .unwrap();
+        let f = q.body_flwor().unwrap();
+        assert_eq!(f.clauses.len(), 2);
+        assert!(matches!(&f.ret, AstExpr::Record(fields) if fields.len() == 2));
+    }
+
+    #[test]
+    fn fig21_count_template() {
+        let q = parse_query(
+            r#"
+            count( for $o in dataset X
+                   where similarity-jaccard(word-tokens($o.V), word-tokens('q w')) >= 0.5
+                   return {"oid": $o.id, "v": $o.V} );
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(&q.body, AstExpr::Call(n, _) if n == "count"));
+        assert!(q.body_flwor().is_some());
+    }
+
+    #[test]
+    fn group_by_with_hint() {
+        let q = parse_query(
+            r#"
+            for $t in dataset ARevs
+            for $token in word-tokens($t.summary)
+            /*+ hash */
+            group by $tokenGrouped := $token with $id
+            order by count($id), $tokenGrouped
+            return $tokenGrouped
+            "#,
+        )
+        .unwrap();
+        let f = q.body_flwor().unwrap();
+        let Clause::GroupBy { hints, keys, with } = &f.clauses[2] else {
+            panic!("expected group by, got {:?}", f.clauses[2]);
+        };
+        assert_eq!(hints, &vec!["hash".to_string()]);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(with, &vec!["id".to_string()]);
+    }
+
+    #[test]
+    fn nested_subquery_with_positional() {
+        let q = parse_query(
+            r#"
+            for $t in dataset A
+            for $r at $i in ( for $x in dataset B order by $x.c return $x.tok )
+            where $r = $t.tok
+            return $i
+            "#,
+        )
+        .unwrap();
+        let f = q.body_flwor().unwrap();
+        let Clause::For { pos, source, .. } = &f.clauses[1] else {
+            panic!()
+        };
+        assert_eq!(pos.as_deref(), Some("i"));
+        assert!(matches!(source, AstExpr::Subquery(_)));
+    }
+
+    #[test]
+    fn aqlplus_join_and_meta() {
+        let e = parse_expr("join((##LEFT_1), (##RIGHT_1), $$LEFTPK = $$RIGHTPK)").unwrap();
+        let AstExpr::JoinClause { left, condition, .. } = e else {
+            panic!()
+        };
+        assert!(matches!(*left, AstExpr::MetaClause(ref n) if n == "LEFT_1"));
+        assert!(matches!(*condition, AstExpr::Cmp(CmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn bcast_hint_on_expr() {
+        let q = parse_query(
+            r#"
+            for $a in dataset X
+            for $b in dataset Y
+            where $a.tok = /*+ bcast */ $b.tok
+            return $a
+            "#,
+        )
+        .unwrap();
+        let f = q.body_flwor().unwrap();
+        let Clause::Where(AstExpr::Cmp(_, _, rhs)) = &f.clauses[2] else {
+            panic!()
+        };
+        assert!(matches!(rhs.as_ref(), AstExpr::Hinted(h, _) if h == "bcast"));
+    }
+
+    #[test]
+    fn index_access() {
+        let e = parse_expr("$sim[0]").unwrap();
+        assert!(matches!(e, AstExpr::Index(_, 0)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        assert!(parse_query("for $t in return $t").is_err());
+        assert!(parse_query("return").is_err());
+        assert!(parse_query("for $t in dataset A return $t extra").is_err());
+        assert!(parse_expr("{ 'a' $b }").is_err());
+    }
+
+    #[test]
+    fn limit_clause() {
+        let q = parse_query("for $t in dataset A limit 10 return $t").unwrap();
+        let f = q.body_flwor().unwrap();
+        assert!(matches!(f.clauses[1], Clause::Limit(10)));
+    }
+}

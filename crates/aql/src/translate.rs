@@ -1,0 +1,621 @@
+//! AST → logical plan translation.
+//!
+//! A FLWOR over datasets becomes scans joined by cross products (the
+//! normalization rules later merge the `where` conjuncts into the joins);
+//! a `for` over a record field becomes an unnest; a `for` over an
+//! *uncorrelated* subquery becomes a plan branch joined in (with a
+//! `StreamPos` when the clause carries `at $i`); `group by ... with $w`
+//! becomes a logical group-by whose `with` variables turn into `count` or
+//! collect aggregates depending on how they are used downstream — enough
+//! to translate every query shape the paper's figures use, including the
+//! AQL+ stage templates.
+
+use crate::ast::{AstExpr, Clause, Flwor, Query, Stmt};
+use asterix_algebricks::plan::{
+    build, AggFn, JoinHint, LogicalNode, LogicalOp, OrderKey, PlanRef,
+};
+use asterix_algebricks::{VarGen, VarId};
+use asterix_hyracks::Expr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Translation error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranslateError(pub String);
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translate error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TranslateError> {
+    Err(TranslateError(msg.into()))
+}
+
+/// AQL+ bindings: meta clause name → subplan; meta variable name → plan
+/// variable (§5.2, Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    pub clauses: HashMap<String, PlanRef>,
+    pub vars: HashMap<String, VarId>,
+}
+
+/// Session settings gathered from the prologue.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Settings {
+    pub dataverse: Option<String>,
+    pub simfunction: Option<String>,
+    pub simthreshold: Option<String>,
+}
+
+/// A translated query.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// Plan rooted at `Write`; the output schema is a single column with
+    /// the `return` value (or the aggregate result).
+    pub plan: PlanRef,
+    pub settings: Settings,
+}
+
+/// How a name in scope maps to plan variables.
+#[derive(Clone, Debug)]
+enum Binding {
+    /// A plain value variable.
+    Var(VarId),
+    /// A `with` variable aggregated as COUNT: usable only as `count($w)`.
+    CountAgg(VarId),
+    /// A `with` variable aggregated as a collected sorted set.
+    CollectAgg(VarId),
+}
+
+type Env = Vec<(String, Binding)>;
+
+fn lookup<'a>(env: &'a Env, name: &str) -> Option<&'a Binding> {
+    env.iter().rev().find(|(n, _)| n == name).map(|(_, b)| b)
+}
+
+/// Translate a parsed query into a logical plan.
+pub fn translate(
+    query: &Query,
+    vargen: &VarGen,
+    bindings: &Bindings,
+) -> Result<Translation, TranslateError> {
+    let mut settings = Settings::default();
+    for stmt in &query.statements {
+        match stmt {
+            Stmt::UseDataverse(d) => settings.dataverse = Some(d.clone()),
+            Stmt::Set(k, v) => match k.as_str() {
+                "simfunction" => settings.simfunction = Some(v.clone()),
+                "simthreshold" => settings.simthreshold = Some(v.clone()),
+                other => return err(format!("unknown set parameter '{other}'")),
+            },
+        }
+    }
+    let t = Translator { vargen, bindings };
+    // Body: a FLWOR, or `count(<flwor>)`.
+    let (plan, _result) = match &query.body {
+        AstExpr::Subquery(f) => t.flwor(f)?,
+        AstExpr::Call(name, args) if name == "count" && args.len() == 1 => {
+            let AstExpr::Subquery(f) = &args[0] else {
+                return err("count() at the top level takes a FLWOR argument");
+            };
+            let (inner, _rv) = t.flwor(f)?;
+            let out = vargen.fresh();
+            let counted = LogicalNode::new(
+                LogicalOp::GroupBy {
+                    group_vars: vec![],
+                    aggs: vec![(out, AggFn::Count)],
+                },
+                vec![inner],
+            );
+            (counted, out)
+        }
+        _ => return err("query body must be a FLWOR or count(FLWOR)"),
+    };
+    Ok(Translation {
+        plan: build::write(plan),
+        settings,
+    })
+}
+
+struct Translator<'a> {
+    vargen: &'a VarGen,
+    bindings: &'a Bindings,
+}
+
+impl Translator<'_> {
+    /// Translate a FLWOR into a plan whose final schema is one column:
+    /// the `return` value. Returns (plan, result var).
+    fn flwor(&self, f: &Flwor) -> Result<(PlanRef, VarId), TranslateError> {
+        let mut env: Env = Vec::new();
+        let mut plan: Option<PlanRef> = None;
+
+        let attach = |plan: Option<PlanRef>, branch: PlanRef| -> PlanRef {
+            match plan {
+                None => branch,
+                Some(p) => build::join(p, branch, Expr::lit(true), JoinHint::Auto),
+            }
+        };
+
+        for (ci, clause) in f.clauses.iter().enumerate() {
+            match clause {
+                Clause::For { var, pos, source } => match source.unhinted() {
+                    AstExpr::Dataset(name) => {
+                        if pos.is_some() {
+                            return err("`at` is not supported on dataset scans");
+                        }
+                        let (scan, _pk, rec) = build::scan(name, self.vargen);
+                        env.push((var.clone(), Binding::Var(rec)));
+                        plan = Some(attach(plan, scan));
+                    }
+                    AstExpr::MetaClause(name) => {
+                        let branch = self
+                            .bindings
+                            .clauses
+                            .get(name)
+                            .ok_or_else(|| TranslateError(format!("unbound meta clause ##{name}")))?
+                            .clone();
+                        // The iteration variable is not bindable for a raw
+                        // subplan; meta variables provide access instead.
+                        env.push((var.clone(), Binding::Var(*branch.schema.last().unwrap_or(&0))));
+                        plan = Some(attach(plan, branch));
+                    }
+                    AstExpr::Subquery(sub) => {
+                        // Correlated subqueries are not supported: the
+                        // subquery must not reference in-scope variables.
+                        let mut free = Vec::new();
+                        source.free_vars(&mut free);
+                        if free.iter().any(|v| lookup(&env, v).is_some()) {
+                            return err(format!(
+                                "correlated subquery in `for ${var}` is not supported"
+                            ));
+                        }
+                        let (sub_plan, rv) = self.flwor(sub)?;
+                        let branch = match pos {
+                            None => sub_plan,
+                            Some(p) => {
+                                let pv = self.vargen.fresh();
+                                let node = LogicalNode::new(
+                                    LogicalOp::StreamPos { var: pv },
+                                    vec![sub_plan],
+                                );
+                                env.push((p.clone(), Binding::Var(pv)));
+                                node
+                            }
+                        };
+                        env.push((var.clone(), Binding::Var(rv)));
+                        plan = Some(attach(plan, branch));
+                    }
+                    // A list-valued expression over in-scope variables:
+                    // unnest.
+                    _ => {
+                        let input = plan
+                            .clone()
+                            .ok_or_else(|| TranslateError("unnest requires a prior `for`".into()))?;
+                        let e = self.expr(source, &env)?;
+                        let v = self.vargen.fresh();
+                        let pos_var = pos.as_ref().map(|_| self.vargen.fresh());
+                        let node = LogicalNode::new(
+                            LogicalOp::Unnest {
+                                var: v,
+                                expr: e,
+                                pos_var,
+                            },
+                            vec![input],
+                        );
+                        env.push((var.clone(), Binding::Var(v)));
+                        if let (Some(p), Some(pv)) = (pos, pos_var) {
+                            env.push((p.clone(), Binding::Var(pv)));
+                        }
+                        plan = Some(node);
+                    }
+                },
+                Clause::MetaSource(name) => {
+                    let branch = self
+                        .bindings
+                        .clauses
+                        .get(name)
+                        .ok_or_else(|| TranslateError(format!("unbound meta clause ##{name}")))?
+                        .clone();
+                    plan = Some(attach(plan, branch));
+                }
+                Clause::Let { var, expr } => {
+                    let input = plan
+                        .clone()
+                        .ok_or_else(|| TranslateError("`let` requires a prior `for`".into()))?;
+                    let e = self.expr(expr, &env)?;
+                    let (node, v) = build::assign1(input, self.vargen, e);
+                    env.push((var.clone(), Binding::Var(v)));
+                    plan = Some(node);
+                }
+                Clause::Where(cond) => {
+                    let input = plan
+                        .clone()
+                        .ok_or_else(|| TranslateError("`where` requires a prior `for`".into()))?;
+                    let e = self.expr(cond, &env)?;
+                    plan = Some(build::select(input, e));
+                }
+                Clause::GroupBy { keys, with, .. } => {
+                    let input = plan
+                        .clone()
+                        .ok_or_else(|| TranslateError("`group by` requires a prior `for`".into()))?;
+                    // Materialize key expressions as variables first.
+                    let mut key_in_vars = Vec::new();
+                    let mut assigns = Vec::new();
+                    let mut assign_vars = Vec::new();
+                    for (_, e) in keys {
+                        let te = self.expr(e, &env)?;
+                        if let Expr::Column(v) = te {
+                            key_in_vars.push(v);
+                        } else {
+                            let v = self.vargen.fresh();
+                            assigns.push(te);
+                            assign_vars.push(v);
+                            key_in_vars.push(v);
+                        }
+                    }
+                    let input = if assigns.is_empty() {
+                        input
+                    } else {
+                        build::assign(input, assign_vars, assigns)
+                    };
+                    // Decide each `with` variable's aggregate from usage in
+                    // the remaining clauses + return.
+                    let mut new_env: Env = Vec::new();
+                    let mut group_vars = Vec::new();
+                    for ((name, _), in_var) in keys.iter().zip(&key_in_vars) {
+                        let out = self.vargen.fresh();
+                        group_vars.push((out, *in_var));
+                        new_env.push((name.clone(), Binding::Var(out)));
+                    }
+                    let mut aggs = Vec::new();
+                    for w in with {
+                        let Some(Binding::Var(wv)) = lookup(&env, w) else {
+                            return err(format!("`with ${w}` does not name an in-scope variable"));
+                        };
+                        let out = self.vargen.fresh();
+                        if only_counted(w, &f.clauses[ci + 1..], &f.ret) {
+                            aggs.push((out, AggFn::Count));
+                            new_env.push((w.clone(), Binding::CountAgg(out)));
+                        } else {
+                            aggs.push((out, AggFn::CollectSortedSet(*wv)));
+                            new_env.push((w.clone(), Binding::CollectAgg(out)));
+                        }
+                    }
+                    plan = Some(LogicalNode::new(
+                        LogicalOp::GroupBy { group_vars, aggs },
+                        vec![input],
+                    ));
+                    env = new_env;
+                }
+                Clause::OrderBy(keys) => {
+                    let mut input = plan
+                        .clone()
+                        .ok_or_else(|| TranslateError("`order by` requires a prior `for`".into()))?;
+                    let mut order_keys = Vec::new();
+                    for (e, desc) in keys {
+                        let te = self.expr(e, &env)?;
+                        let var = match te {
+                            Expr::Column(v) => v,
+                            other => {
+                                let (node, v) = build::assign1(input.clone(), self.vargen, other);
+                                input = node;
+                                v
+                            }
+                        };
+                        order_keys.push(OrderKey { var, desc: *desc });
+                    }
+                    plan = Some(LogicalNode::new(
+                        LogicalOp::OrderBy {
+                            keys: order_keys,
+                            global: true,
+                        },
+                        vec![input],
+                    ));
+                }
+                Clause::Limit(n) => {
+                    let input = plan
+                        .clone()
+                        .ok_or_else(|| TranslateError("`limit` requires a prior `for`".into()))?;
+                    plan = Some(LogicalNode::new(LogicalOp::Limit { n: *n }, vec![input]));
+                }
+            }
+        }
+
+        let input = plan.ok_or_else(|| TranslateError("FLWOR has no source clause".into()))?;
+        let ret = self.expr(&f.ret, &env)?;
+        let (with_result, rv) = build::assign1(input, self.vargen, ret);
+        Ok((build::project(with_result, vec![rv]), rv))
+    }
+
+    /// Translate an expression against the environment.
+    fn expr(&self, e: &AstExpr, env: &Env) -> Result<Expr, TranslateError> {
+        Ok(match e {
+            AstExpr::Var(name) => match lookup(env, name) {
+                Some(Binding::Var(v)) | Some(Binding::CollectAgg(v)) => Expr::Column(*v),
+                Some(Binding::CountAgg(_)) => {
+                    return err(format!(
+                        "`${name}` was grouped with count semantics; use count(${name})"
+                    ))
+                }
+                None => return err(format!("unbound variable ${name}")),
+            },
+            AstExpr::MetaVar(name) => match self.bindings.vars.get(name) {
+                Some(v) => Expr::Column(*v),
+                None => return err(format!("unbound meta variable $${name}")),
+            },
+            AstExpr::Lit(v) => Expr::Const(v.clone()),
+            AstExpr::Call(name, args) if name == "count" && args.len() == 1 => {
+                if let AstExpr::Var(w) = &args[0] {
+                    if let Some(Binding::CountAgg(v)) = lookup(env, w) {
+                        return Ok(Expr::Column(*v));
+                    }
+                    if let Some(Binding::CollectAgg(v)) = lookup(env, w) {
+                        return Ok(Expr::call("len", vec![Expr::Column(*v)]));
+                    }
+                }
+                Expr::call("len", vec![self.expr(&args[0], env)?])
+            }
+            AstExpr::Call(name, args) => {
+                let targs = args
+                    .iter()
+                    .map(|a| self.expr(a.unhinted(), env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::Call(name.clone(), targs)
+            }
+            AstExpr::Field(inner, field) => self.expr(inner, env)?.field(field.clone()),
+            AstExpr::Index(inner, i) => Expr::call(
+                "get-item",
+                vec![self.expr(inner, env)?, Expr::lit(*i as i64)],
+            ),
+            AstExpr::Cmp(op, a, b) => Expr::cmp(
+                *op,
+                self.expr(a.unhinted(), env)?,
+                self.expr(b.unhinted(), env)?,
+            ),
+            AstExpr::And(parts) => Expr::And(
+                parts
+                    .iter()
+                    .map(|p| self.expr(p, env))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            AstExpr::Or(parts) => Expr::Or(
+                parts
+                    .iter()
+                    .map(|p| self.expr(p, env))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            AstExpr::Not(inner) => Expr::Not(Box::new(self.expr(inner, env)?)),
+            AstExpr::Record(fields) => Expr::RecordCtor(
+                fields
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), self.expr(v, env)?)))
+                    .collect::<Result<Vec<_>, TranslateError>>()?,
+            ),
+            AstExpr::List(items) => Expr::ListCtor(
+                items
+                    .iter()
+                    .map(|i| self.expr(i, env))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            AstExpr::Hinted(_, inner) => self.expr(inner, env)?,
+            AstExpr::Dataset(_) => {
+                return err("`dataset` is only valid as a `for` source")
+            }
+            AstExpr::Subquery(_) => {
+                return err("nested subqueries are only supported as `for` sources")
+            }
+            AstExpr::MetaClause(name) => {
+                return err(format!("##{name} is only valid as a clause or `for` source"))
+            }
+            AstExpr::JoinClause { .. } => {
+                return err("`join` clauses are only valid at the top level of AQL+ templates")
+            }
+        })
+    }
+}
+
+/// Is `$w` used only inside `count($w)` in the given clauses + return?
+fn only_counted(w: &str, rest: &[Clause], ret: &AstExpr) -> bool {
+    fn expr_ok(w: &str, e: &AstExpr) -> bool {
+        match e {
+            AstExpr::Var(name) => name != w,
+            AstExpr::Call(name, args) if name == "count" && args.len() == 1 => {
+                matches!(&args[0], AstExpr::Var(v) if v == w)
+                    || args.iter().all(|a| expr_ok(w, a))
+            }
+            AstExpr::Call(_, args)
+            | AstExpr::And(args)
+            | AstExpr::Or(args)
+            | AstExpr::List(args) => args.iter().all(|a| expr_ok(w, a)),
+            AstExpr::Field(inner, _) | AstExpr::Index(inner, _) | AstExpr::Not(inner) => {
+                expr_ok(w, inner)
+            }
+            AstExpr::Cmp(_, a, b) => expr_ok(w, a) && expr_ok(w, b),
+            AstExpr::Record(fs) => fs.iter().all(|(_, v)| expr_ok(w, v)),
+            AstExpr::Hinted(_, inner) => expr_ok(w, inner),
+            AstExpr::Subquery(_) => true, // fresh scope
+            _ => true,
+        }
+    }
+    let clause_ok = |c: &Clause| match c {
+        Clause::For { source, .. } => expr_ok(w, source),
+        Clause::Let { expr, .. } => expr_ok(w, expr),
+        Clause::Where(e) => expr_ok(w, e),
+        Clause::GroupBy { keys, .. } => keys.iter().all(|(_, e)| expr_ok(w, e)),
+        Clause::OrderBy(keys) => keys.iter().all(|(e, _)| expr_ok(w, e)),
+        Clause::Limit(_) | Clause::MetaSource(_) => true,
+    };
+    rest.iter().all(clause_ok) && expr_ok(w, ret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use asterix_algebricks::plan::{explain, operator_counts};
+
+    fn tr(text: &str) -> Result<Translation, TranslateError> {
+        let q = parse_query(text).map_err(|e| TranslateError(e.to_string()))?;
+        translate(&q, &VarGen::new(), &Bindings::default())
+    }
+
+    #[test]
+    fn selection_query() {
+        let t = tr(r#"
+            for $t in dataset bar
+            where edit-distance($t.V, 'C') < 2
+            return {"id": $t.id, "field": $t.V}
+        "#)
+        .unwrap();
+        let text = explain(&t.plan);
+        assert!(text.contains("data-scan bar"), "{text}");
+        assert!(text.contains("select"), "{text}");
+        assert!(text.contains("edit-distance"), "{text}");
+        assert_eq!(t.plan.schema.len(), 1);
+    }
+
+    #[test]
+    fn settings_extracted() {
+        let t = tr(r#"
+            use dataverse TextStore;
+            set simfunction 'jaccard';
+            set simthreshold '0.5';
+            for $t in dataset X return $t
+        "#)
+        .unwrap();
+        assert_eq!(t.settings.dataverse.as_deref(), Some("TextStore"));
+        assert_eq!(t.settings.simfunction.as_deref(), Some("jaccard"));
+        assert_eq!(t.settings.simthreshold.as_deref(), Some("0.5"));
+    }
+
+    #[test]
+    fn join_query_builds_cross_join_plus_select() {
+        let t = tr(r#"
+            for $t1 in dataset A
+            for $t2 in dataset B
+            where similarity-jaccard(word-tokens($t1.s), word-tokens($t2.s)) >= 0.5
+            return { 'a': $t1, 'b': $t2 }
+        "#)
+        .unwrap();
+        let counts = operator_counts(&t.plan);
+        assert!(counts.contains(&("data-scan", 2)), "{counts:?}");
+        assert!(counts.contains(&("join", 1)), "{counts:?}");
+        assert!(counts.contains(&("select", 1)), "{counts:?}");
+    }
+
+    #[test]
+    fn count_wrapper_becomes_global_aggregate() {
+        let t = tr("count( for $t in dataset A return $t );").unwrap();
+        let text = explain(&t.plan);
+        assert!(text.contains("group by [] aggs"), "{text}");
+    }
+
+    #[test]
+    fn unnest_field() {
+        let t = tr(r#"
+            for $t in dataset A
+            for $tok in word-tokens($t.summary)
+            return $tok
+        "#)
+        .unwrap();
+        assert!(explain(&t.plan).contains("unnest"));
+    }
+
+    #[test]
+    fn group_by_count_usage() {
+        let t = tr(r#"
+            for $t in dataset A
+            for $token in word-tokens($t.summary)
+            let $id := $t.id
+            /*+ hash */
+            group by $tokenGrouped := $token with $id
+            order by count($id), $tokenGrouped
+            return $tokenGrouped
+        "#)
+        .unwrap();
+        let text = explain(&t.plan);
+        assert!(text.contains("Count"), "{text}");
+        assert!(text.contains("order (global)"), "{text}");
+    }
+
+    #[test]
+    fn group_by_collect_usage() {
+        let t = tr(r#"
+            for $t in dataset A
+            for $token in word-tokens($t.summary)
+            group by $id := $t.id with $token
+            return $token
+        "#)
+        .unwrap();
+        assert!(explain(&t.plan).contains("CollectSortedSet"));
+    }
+
+    #[test]
+    fn uncorrelated_subquery_with_positional() {
+        let t = tr(r#"
+            for $t in dataset A
+            for $tok in word-tokens($t.s)
+            for $ranked at $i in (
+                for $x in dataset A
+                for $xt in word-tokens($x.s)
+                group by $g := $xt with $x
+                order by count($x), $g
+                return $g
+            )
+            where $tok = $ranked
+            return $i
+        "#)
+        .unwrap();
+        let text = explain(&t.plan);
+        assert!(text.contains("stream-pos"), "{text}");
+    }
+
+    #[test]
+    fn correlated_subquery_rejected() {
+        let e = tr(r#"
+            for $t in dataset A
+            for $x in ( for $y in dataset B where $y.id = $t.id return $y )
+            return $x
+        "#)
+        .unwrap_err();
+        assert!(e.0.contains("correlated"), "{e}");
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let e = tr("for $t in dataset A return $nope").unwrap_err();
+        assert!(e.0.contains("unbound variable"), "{e}");
+    }
+
+    #[test]
+    fn limit_and_order() {
+        let t = tr(r#"
+            for $t in dataset A
+            order by $t.score desc
+            limit 10
+            return $t
+        "#)
+        .unwrap();
+        let text = explain(&t.plan);
+        assert!(text.contains("limit 10"), "{text}");
+        assert!(text.contains("order (global)"), "{text}");
+    }
+
+    #[test]
+    fn sim_operator_survives_translation() {
+        let t = tr(r#"
+            set simfunction 'jaccard';
+            set simthreshold '0.8';
+            for $t1 in dataset A
+            for $t2 in dataset A
+            where word-tokens($t1.s) ~= word-tokens($t2.s)
+            return { 'a': $t1.id, 'b': $t2.id }
+        "#)
+        .unwrap();
+        assert!(explain(&t.plan).contains("~="));
+    }
+}

@@ -1,0 +1,57 @@
+//! Engine-level join benchmarks: nested-loop vs index-nested-loop vs the
+//! three-stage similarity join (Figs 24/25 at criterion scale).
+
+use asterix_algebricks::OptimizerConfig;
+use asterix_bench::{WorkloadConfig, Workloads};
+use asterix_core::QueryOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
+    let mut cfg = OptimizerConfig::default();
+    f(&mut cfg);
+    QueryOptions {
+        optimizer: Some(cfg),
+    }
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let w = Workloads::amazon_only(WorkloadConfig {
+        partitions: 2,
+        amazon_records: 800,
+        reddit_records: 0,
+        twitter_records: 0,
+        seed: 11,
+    });
+    w.build_indexes();
+    let q = r#"count( for $o in dataset AmazonReview
+                 for $i in dataset AmazonReview
+                 where $o.id < 100
+                   and similarity-jaccard(word-tokens($o.summary),
+                                          word-tokens($i.summary)) >= 0.8
+                   and $o.id < $i.id
+                 return {"oid": $o.id} );"#;
+    let mut g = c.benchmark_group("jaccard_join_0.8_outer100");
+    g.sample_size(10);
+    g.bench_function("index_nested_loop", |b| {
+        b.iter(|| w.db.query(q).unwrap())
+    });
+    g.bench_function("three_stage", |b| {
+        b.iter(|| w.db.query_with(q, &options(|c| c.enable_index_join = false)).unwrap())
+    });
+    g.bench_function("nested_loop", |b| {
+        b.iter(|| {
+            w.db.query_with(
+                q,
+                &options(|c| {
+                    c.enable_index_join = false;
+                    c.enable_three_stage = false;
+                }),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Engine-level selection benchmarks: the Fig 22 comparison (index vs
+//! scan for Jaccard and edit distance) at criterion scale.
+
+use asterix_algebricks::OptimizerConfig;
+use asterix_bench::{WorkloadConfig, Workloads};
+use asterix_core::QueryOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_workload() -> Workloads {
+    let w = Workloads::amazon_only(WorkloadConfig {
+        partitions: 2,
+        amazon_records: 2_000,
+        reddit_records: 0,
+        twitter_records: 0,
+        seed: 7,
+    });
+    w.build_indexes();
+    w
+}
+
+fn no_index() -> QueryOptions {
+    QueryOptions {
+        optimizer: Some(OptimizerConfig {
+            enable_index_select: false,
+            enable_index_join: false,
+            ..OptimizerConfig::default()
+        }),
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let w = small_workload();
+    let probe = w
+        .search_values("AmazonReview", "summary", 1, 3, 3, 3)
+        .pop()
+        .unwrap();
+    let name = w
+        .search_values("AmazonReview", "reviewerName", 1, 1, 4, 4)
+        .pop()
+        .unwrap();
+    let jac = format!(
+        r#"count( for $o in dataset AmazonReview
+             where similarity-jaccard(word-tokens($o.summary),
+                                      word-tokens('{probe}')) >= 0.8
+             return {{"oid": $o.id}} );"#
+    );
+    let ed = format!(
+        r#"count( for $o in dataset AmazonReview
+             where edit-distance($o.reviewerName, '{name}') <= 1
+             return {{"oid": $o.id}} );"#
+    );
+    let mut g = c.benchmark_group("selection");
+    g.sample_size(20);
+    g.bench_function("jaccard_0.8_index", |b| {
+        b.iter(|| w.db.query(&jac).unwrap())
+    });
+    g.bench_function("jaccard_0.8_scan", |b| {
+        b.iter(|| w.db.query_with(&jac, &no_index()).unwrap())
+    });
+    g.bench_function("edit_distance_1_index", |b| {
+        b.iter(|| w.db.query(&ed).unwrap())
+    });
+    g.bench_function("edit_distance_1_scan", |b| {
+        b.iter(|| w.db.query_with(&ed, &no_index()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

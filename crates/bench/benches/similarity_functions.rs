@@ -1,0 +1,69 @@
+//! Microbenchmarks for the similarity-function library: exact functions
+//! vs their early-terminating threshold checks (§6.3.1's "optimizations
+//! such as early termination and pruning based on string lengths"), and
+//! the tokenizers.
+
+use asterix_simfn::{
+    edit_distance, edit_distance_check, gram_tokens, jaccard, jaccard_check, word_tokens,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let a = "the quick brown fox jumps over the lazy dog";
+    let b = "the quick browm fox jumped over a lazy dog";
+    let far = "completely unrelated text with nothing in common at all";
+    let mut g = c.benchmark_group("edit_distance");
+    g.bench_function("full_dp_similar", |bench| {
+        bench.iter(|| edit_distance(black_box(a), black_box(b)))
+    });
+    g.bench_function("check_k2_similar", |bench| {
+        bench.iter(|| edit_distance_check(black_box(a), black_box(b), 2))
+    });
+    g.bench_function("full_dp_dissimilar", |bench| {
+        bench.iter(|| edit_distance(black_box(a), black_box(far)))
+    });
+    // Early termination shines on dissimilar strings: the band exceeds k
+    // after a few rows.
+    g.bench_function("check_k2_dissimilar", |bench| {
+        bench.iter(|| edit_distance_check(black_box(a), black_box(far), 2))
+    });
+    g.finish();
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let r: Vec<String> = (0..40).map(|i| format!("tok{i}")).collect();
+    let s: Vec<String> = (20..60).map(|i| format!("tok{i}")).collect();
+    let far: Vec<String> = (100..140).map(|i| format!("tok{i}")).collect();
+    let mut g = c.benchmark_group("jaccard");
+    g.bench_function("full", |bench| {
+        bench.iter(|| jaccard(black_box(&r), black_box(&s)))
+    });
+    g.bench_function("check_0.5_overlapping", |bench| {
+        bench.iter(|| jaccard_check(black_box(&r), black_box(&s), 0.5))
+    });
+    // The length filter + early termination reject dissimilar pairs fast.
+    g.bench_function("check_0.5_disjoint", |bench| {
+        bench.iter(|| jaccard_check(black_box(&r), black_box(&far), 0.5))
+    });
+    g.finish();
+}
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let text = "Better ever than I expected - great product, fantastic gift idea for the family";
+    let mut g = c.benchmark_group("tokenize");
+    g.bench_function("word_tokens", |bench| {
+        bench.iter(|| word_tokens(black_box(text)))
+    });
+    g.bench_function("gram_tokens_2", |bench| {
+        bench.iter(|| gram_tokens(black_box("reviewer name text"), 2))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edit_distance,
+    bench_jaccard,
+    bench_tokenizers
+);
+criterion_main!(benches);

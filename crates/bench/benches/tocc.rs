@@ -1,0 +1,48 @@
+//! T-occurrence merge-algorithm ablation (DESIGN.md): ScanCount vs the
+//! heap merge, across inverted-list shapes.
+
+use asterix_simfn::{t_occurrence_divide_skip, t_occurrence_heap, t_occurrence_scan_count};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `lists` sorted inverted lists of ~`len` ids drawn from `universe`.
+fn make_lists(num: usize, len: usize, universe: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num)
+        .map(|_| {
+            let mut l: Vec<u64> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+            l.sort_unstable();
+            l.dedup();
+            l
+        })
+        .collect()
+}
+
+fn bench_tocc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t_occurrence");
+    for (num, len) in [(4usize, 200usize), (8, 1000), (16, 5000)] {
+        let lists = make_lists(num, len, (len * 4) as u64, 42);
+        let refs: Vec<&[u64]> = lists.iter().map(|l| l.as_slice()).collect();
+        let t = num / 2;
+        g.bench_with_input(
+            BenchmarkId::new("scan_count", format!("{num}x{len}")),
+            &refs,
+            |b, refs| b.iter(|| t_occurrence_scan_count(black_box(refs), t)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("heap", format!("{num}x{len}")),
+            &refs,
+            |b, refs| b.iter(|| t_occurrence_heap(black_box(refs), t)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("divide_skip", format!("{num}x{len}")),
+            &refs,
+            |b, refs| b.iter(|| t_occurrence_divide_skip(black_box(refs), t)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tocc);
+criterion_main!(benches);

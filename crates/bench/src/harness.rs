@@ -1,0 +1,97 @@
+//! Timing and table-printing helpers for the experiment harness.
+
+use asterix_core::{CoreError, Instance, QueryOptions, QueryResult};
+use std::time::Duration;
+
+/// A timed query outcome.
+#[derive(Clone, Debug)]
+pub struct Timed {
+    pub avg: Duration,
+    pub runs: usize,
+    /// Result cardinality of the last run.
+    pub rows: usize,
+    /// Index candidates of the last run (0 when no index search ran).
+    pub candidates: u64,
+}
+
+/// Run a query once, returning the result.
+pub fn time_once(
+    db: &Instance,
+    query: &str,
+    options: &QueryOptions,
+) -> Result<QueryResult, CoreError> {
+    db.query_with(query, options)
+}
+
+/// Average execution time across the given query texts (the paper's §6.3
+/// methodology: many random search values, averaged).
+pub fn avg_time(
+    db: &Instance,
+    queries: &[String],
+    options: &QueryOptions,
+) -> Result<Timed, CoreError> {
+    assert!(!queries.is_empty());
+    let mut total = Duration::ZERO;
+    let mut rows = 0;
+    let mut candidates = 0;
+    for q in queries {
+        let r = db.query_with(q, options)?;
+        total += r.execution_time;
+        rows = r.rows.len();
+        candidates = r.index_candidates();
+    }
+    Ok(Timed {
+        avg: total / queries.len() as u32,
+        runs: queries.len(),
+        rows,
+        candidates,
+    })
+}
+
+/// Human-friendly duration.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 10 {
+        format!("{:.1} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Print an aligned ASCII table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(15)), "15.0 s");
+    }
+}

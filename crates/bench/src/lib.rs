@@ -1,0 +1,12 @@
+//! # asterix-bench
+//!
+//! The experiment harness: workload construction, query templates, and
+//! timing utilities used by the `experiments` binary (which regenerates
+//! every table and figure of the paper's §6 at laptop scale) and by the
+//! Criterion micro/ablation benches.
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{avg_time, fmt_duration, print_table, time_once, Timed};
+pub use workloads::{WorkloadConfig, Workloads};

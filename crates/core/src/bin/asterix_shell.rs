@@ -1,0 +1,165 @@
+//! `asterix-shell` — a small interactive shell over the engine, in the
+//! spirit of AsterixDB's web console: DDL, loading, and AQL similarity
+//! queries against an in-process simulated cluster.
+//!
+//! ```text
+//! cargo run --release -p asterix-core --bin asterix_shell
+//! asterix> :create Reviews id
+//! asterix> :loadjson Reviews /path/to/reviews.jsonl
+//! asterix> :index Reviews smix summary keyword
+//! asterix> for $r in dataset Reviews
+//!          where similarity-jaccard(word-tokens($r.summary),
+//!                                   word-tokens('great product')) >= 0.5
+//!          return $r;
+//! ```
+//!
+//! Statements end with `;`. Meta commands start with `:`; `:help` lists
+//! them.
+
+use asterix_adm::IndexKind;
+use asterix_core::{Instance, InstanceConfig};
+use std::io::{BufRead, Write};
+
+const HELP: &str = r#"meta commands:
+  :create <dataset> <pk-field>          create a dataset
+  :index <dataset> <name> <field> <kind>  kind: keyword | ngram<N> | btree
+  :drop <dataset> <index>               drop a secondary index
+  :loadjson <dataset> <path>            load newline-delimited JSON
+  :count <dataset>                      number of records
+  :sizes <dataset>                      index sizes
+  :explain <aql...>;                    show the optimized plan
+  :partitions                           show partition count
+  :help                                 this text
+  :quit                                 exit
+anything else is AQL, terminated by ';'"#;
+
+fn main() {
+    let partitions = std::env::var("ASTERIX_PARTITIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let db = Instance::new(InstanceConfig::with_partitions(partitions));
+    println!(
+        "asterix-shell — simulated {partitions}-partition cluster. :help for commands."
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("asterix> ");
+        } else {
+            print!("      -> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') && !trimmed.starts_with(":explain") {
+            if !meta_command(&db, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let statement = std::mem::take(&mut buffer);
+        let statement = statement.trim();
+        if let Some(rest) = statement.strip_prefix(":explain") {
+            match db.explain(rest.trim_end_matches(';')) {
+                Ok(info) => {
+                    println!("{}", info.explain);
+                    println!("rewrites: {:?}", info.rewrites);
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        match db.query(statement) {
+            Ok(result) => {
+                for row in result.rows.iter().take(50) {
+                    println!("{}", asterix_adm::json::to_string(row));
+                }
+                if result.rows.len() > 50 {
+                    println!("... ({} rows total)", result.rows.len());
+                }
+                println!(
+                    "-- {} row(s), compile {:?}, execute {:?}",
+                    result.rows.len(),
+                    result.compile_time,
+                    result.execution_time
+                );
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Returns false to quit.
+fn meta_command(db: &Instance, line: &str) -> bool {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts.as_slice() {
+        [":help"] => println!("{HELP}"),
+        [":quit"] | [":exit"] => return false,
+        [":partitions"] => println!("{}", db.num_partitions()),
+        [":create", ds, pk] => match db.create_dataset(ds, pk) {
+            Ok(()) => println!("created dataset {ds} (pk {pk})"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        [":index", ds, name, field, kind] => {
+            let kind = match *kind {
+                "keyword" => IndexKind::Keyword,
+                "btree" => IndexKind::BTree,
+                k if k.starts_with("ngram") => {
+                    let n = k.trim_start_matches("ngram").parse().unwrap_or(2);
+                    IndexKind::NGram(n)
+                }
+                other => {
+                    eprintln!("unknown index kind '{other}' (keyword | ngramN | btree)");
+                    return true;
+                }
+            };
+            match db.create_index(ds, name, field, kind) {
+                Ok(stats) => println!(
+                    "built {} over {} records in {:?} ({} bytes)",
+                    stats.index, stats.records_indexed, stats.build_time, stats.size_bytes
+                ),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        [":drop", ds, index] => match db.drop_index(ds, index) {
+            Ok(()) => println!("dropped {ds}.{index}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        [":loadjson", ds, path] => match std::fs::read_to_string(path) {
+            Ok(text) => match db.load_json_lines(ds, &text) {
+                Ok(n) => println!("loaded {n} records into {ds}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => eprintln!("cannot read {path}: {e}"),
+        },
+        [":count", ds] => match db.count_records(ds) {
+            Ok(n) => println!("{n}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        [":sizes", ds] => match db.index_sizes(ds) {
+            Ok(sizes) => {
+                for (name, bytes) in sizes {
+                    println!("{name:<24} {bytes} bytes");
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        _ => eprintln!("unrecognized command; :help for help"),
+    }
+    true
+}

@@ -1,0 +1,95 @@
+//! Instance configuration — the reproduction of Table 2.
+
+use asterix_algebricks::OptimizerConfig;
+use asterix_storage::StorageConfig;
+
+/// Configuration of a simulated cluster instance.
+///
+/// The paper's cluster (Table 2): 8 nodes × 2 partitions = 16 partitions,
+/// 128 KB pages, 2 GB buffer cache, 1.5 GB memory components. The
+/// defaults here are laptop-scale but keep the same page size; every knob
+/// is adjustable for the scale-out/speed-up experiments (Fig 27).
+#[derive(Clone, Debug)]
+pub struct InstanceConfig {
+    /// Number of data + execution partitions (the paper's 16).
+    pub num_partitions: usize,
+    pub storage: StorageConfig,
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig {
+            num_partitions: 4,
+            storage: StorageConfig::default(),
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+impl InstanceConfig {
+    pub fn with_partitions(n: usize) -> Self {
+        InstanceConfig {
+            num_partitions: n,
+            ..Self::default()
+        }
+    }
+
+    /// Tiny storage budgets to exercise flush/merge paths in tests.
+    pub fn tiny(n: usize) -> Self {
+        InstanceConfig {
+            num_partitions: n,
+            storage: StorageConfig::tiny(),
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+
+    /// The Table 2 rows as printable `(parameter, value)` pairs.
+    pub fn table2(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Simulated partitions (paper: 8 nodes x 2)".into(),
+                self.num_partitions.to_string(),
+            ),
+            (
+                "Data page size".into(),
+                format!("{} KB", self.storage.page_size / 1024),
+            ),
+            (
+                "Disk buffer cache size".into(),
+                format!(
+                    "{} KB ({} pages)",
+                    self.storage.buffer_cache_pages * self.storage.page_size / 1024,
+                    self.storage.buffer_cache_pages
+                ),
+            ),
+            (
+                "Budget for in-memory components".into(),
+                format!("{} KB", self.storage.mem_component_budget / 1024),
+            ),
+            (
+                "Max disk components before merge".into(),
+                self.storage.max_components.to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_page_size() {
+        let c = InstanceConfig::default();
+        assert_eq!(c.storage.page_size, 128 * 1024);
+        assert!(c.num_partitions > 0);
+    }
+
+    #[test]
+    fn table2_is_printable() {
+        let rows = InstanceConfig::default().table2();
+        assert!(rows.iter().any(|(k, _)| k.contains("page size")));
+        assert_eq!(rows.len(), 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! The engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong across the query lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Parse(String),
+    Translate(String),
+    Schema(String),
+    Execution(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(m) => write!(f, "parse error: {m}"),
+            CoreError::Translate(m) => write!(f, "translate error: {m}"),
+            CoreError::Schema(m) => write!(f, "schema error: {m}"),
+            CoreError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<asterix_adm::AdmError> for CoreError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        CoreError::Schema(e.to_string())
+    }
+}
+
+impl From<asterix_aql::ParseError> for CoreError {
+    fn from(e: asterix_aql::ParseError) -> Self {
+        CoreError::Parse(e.to_string())
+    }
+}
+
+impl From<asterix_aql::TranslateError> for CoreError {
+    fn from(e: asterix_aql::TranslateError) -> Self {
+        CoreError::Translate(e.to_string())
+    }
+}

@@ -1,0 +1,847 @@
+//! The cluster instance: DDL, loading, and the query lifecycle.
+
+use crate::config::InstanceConfig;
+use crate::error::CoreError;
+use crate::result::{PlanInfo, QueryOptions, QueryResult};
+use asterix_adm::{DatasetDef, IndexDef, IndexKind, Value};
+use asterix_algebricks::plan::{explain as explain_plan, operator_counts};
+use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen};
+use asterix_aql::{parse_query, translate, Bindings};
+use asterix_hyracks::{run_job, ClusterContext};
+use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
+use asterix_storage::{BufferCache, CacheStats, Disk, PartitionStore};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Statistics from building one secondary index (Table 5).
+#[derive(Clone, Debug)]
+pub struct IndexBuildStats {
+    pub index: String,
+    pub records_indexed: u64,
+    pub build_time: Duration,
+    pub size_bytes: u64,
+}
+
+/// A simulated AsterixDB cluster instance.
+pub struct Instance {
+    ctx: ClusterContext,
+    catalog: RwLock<SimpleCatalog>,
+    /// One simulated disk + buffer cache per partition (node-local
+    /// storage, §2.3).
+    caches: Vec<Arc<BufferCache>>,
+    config: InstanceConfig,
+}
+
+impl Instance {
+    pub fn new(config: InstanceConfig) -> Self {
+        let caches: Vec<Arc<BufferCache>> = (0..config.num_partitions)
+            .map(|_| {
+                Arc::new(BufferCache::new(
+                    Arc::new(Disk::new()),
+                    config.storage.buffer_cache_pages,
+                ))
+            })
+            .collect();
+        Instance {
+            ctx: ClusterContext::new(config.num_partitions, FunctionRegistry::with_builtins()),
+            catalog: RwLock::new(SimpleCatalog::new()),
+            caches,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &InstanceConfig {
+        &self.config
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.config.num_partitions
+    }
+
+    /// Register a user-defined function usable in any query (§3.1).
+    pub fn register_udf<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.ctx.registry.register(name, f);
+    }
+
+    /// `create dataset <name> primary key <pk>`.
+    pub fn create_dataset(&self, name: &str, primary_key: &str) -> Result<(), CoreError> {
+        let mut catalog = self.catalog.write();
+        if catalog.dataset(name).is_some() {
+            return Err(CoreError::Schema(format!("dataset '{name}' already exists")));
+        }
+        let def = DatasetDef::new(name, primary_key);
+        for (pidx, pset) in self.ctx.partitions.iter().enumerate() {
+            pset.write().insert_store(PartitionStore::new(
+                def.clone(),
+                pidx,
+                self.caches[pidx].clone(),
+                self.config.storage.clone(),
+            ));
+        }
+        catalog.add(def);
+        Ok(())
+    }
+
+    /// `create index <index> on <dataset>(<field>) type <kind>` — builds
+    /// the index on existing data in parallel and returns Table-5-style
+    /// statistics.
+    pub fn create_index(
+        &self,
+        dataset: &str,
+        index: &str,
+        field: &str,
+        kind: IndexKind,
+    ) -> Result<IndexBuildStats, CoreError> {
+        let def = IndexDef {
+            name: index.to_string(),
+            field: field.to_string(),
+            kind,
+        };
+        {
+            let mut catalog = self.catalog.write();
+            let ds = catalog
+                .get_mut(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            ds.add_index(def.clone())?;
+        }
+        let started = Instant::now();
+        let mut records = 0u64;
+        // Parallel backfill: one thread per partition, as a bulk-load job
+        // would run.
+        let counts = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .ctx
+                .partitions
+                .iter()
+                .map(|pset| {
+                    let def = def.clone();
+                    scope.spawn(move || {
+                        let mut set = pset.write();
+                        let store = set
+                            .store_mut(dataset)
+                            .ok_or_else(|| format!("dataset '{dataset}' missing in partition"))?;
+                        store.create_index(&def).map_err(|e| e.to_string())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build thread"))
+                .collect::<Vec<Result<u64, String>>>()
+        });
+        for c in counts {
+            records += c.map_err(CoreError::Schema)?;
+        }
+        Ok(IndexBuildStats {
+            index: index.to_string(),
+            records_indexed: records,
+            build_time: started.elapsed(),
+            size_bytes: self.index_size(dataset, index)?,
+        })
+    }
+
+    /// `drop index <dataset>.<index>`.
+    pub fn drop_index(&self, dataset: &str, index: &str) -> Result<(), CoreError> {
+        {
+            let mut catalog = self.catalog.write();
+            let ds = catalog
+                .get_mut(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            let before = ds.indexes.len();
+            ds.indexes.retain(|i| i.name != index);
+            if ds.indexes.len() == before {
+                return Err(CoreError::Schema(format!(
+                    "no index '{index}' on dataset '{dataset}'"
+                )));
+            }
+        }
+        for pset in &self.ctx.partitions {
+            let mut set = pset.write();
+            if let Some(store) = set.store_mut(dataset) {
+                store.drop_index(index);
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert one record, hash-routed to its partition by primary key.
+    pub fn insert(&self, dataset: &str, record: Value) -> Result<(), CoreError> {
+        let (key, partition) = {
+            let catalog = self.catalog.read();
+            let def = catalog
+                .dataset(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            let key = def.key_of(&record)?;
+            let p = def.partition_of(&key, self.config.num_partitions);
+            (key, p)
+        };
+        let _ = key;
+        let mut set = self.ctx.partitions[partition].write();
+        let store = set
+            .store_mut(dataset)
+            .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
+        store.insert(record)?;
+        Ok(())
+    }
+
+    /// Delete a record by primary key (tombstoned in the LSM components;
+    /// secondary postings are removed too).
+    pub fn delete(&self, dataset: &str, pk: &Value) -> Result<(), CoreError> {
+        let partition = {
+            let catalog = self.catalog.read();
+            let def = catalog
+                .dataset(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            def.partition_of(pk, self.config.num_partitions)
+        };
+        let mut set = self.ctx.partitions[partition].write();
+        let store = set
+            .store_mut(dataset)
+            .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
+        store.delete(pk);
+        Ok(())
+    }
+
+    /// Bulk load many records (routed per record), in parallel batches.
+    pub fn load(
+        &self,
+        dataset: &str,
+        records: impl IntoIterator<Item = Value>,
+    ) -> Result<u64, CoreError> {
+        let def = {
+            let catalog = self.catalog.read();
+            catalog
+                .dataset(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?
+                .clone()
+        };
+        // Partition the batch, then insert per partition in parallel.
+        let mut buckets: Vec<Vec<Value>> = (0..self.config.num_partitions)
+            .map(|_| Vec::new())
+            .collect();
+        let mut n = 0u64;
+        for rec in records {
+            let key = def.key_of(&rec)?;
+            let p = def.partition_of(&key, self.config.num_partitions);
+            buckets[p].push(rec);
+            n += 1;
+        }
+        let errs: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .zip(&self.ctx.partitions)
+                .map(|(bucket, pset)| {
+                    scope.spawn(move || -> Result<(), String> {
+                        let mut set = pset.write();
+                        let store = set
+                            .store_mut(dataset)
+                            .ok_or_else(|| format!("dataset '{dataset}' missing"))?;
+                        for rec in bucket {
+                            store.insert(rec).map_err(|e| e.to_string())?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("load thread").err())
+                .collect()
+        });
+        if let Some(e) = errs.into_iter().next() {
+            return Err(CoreError::Schema(e));
+        }
+        Ok(n)
+    }
+
+    /// Load newline-delimited JSON (the paper's raw dataset format).
+    pub fn load_json_lines(&self, dataset: &str, text: &str) -> Result<u64, CoreError> {
+        let records = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(asterix_adm::json::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        self.load(dataset, records)
+    }
+
+    /// Flush all memory components to disk.
+    pub fn flush(&self, dataset: &str) -> Result<(), CoreError> {
+        for pset in &self.ctx.partitions {
+            let mut set = pset.write();
+            if let Some(store) = set.store_mut(dataset) {
+                store.flush_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Total size of one index (or `<primary>`) across partitions.
+    pub fn index_size(&self, dataset: &str, index: &str) -> Result<u64, CoreError> {
+        let mut total = 0u64;
+        for pset in &self.ctx.partitions {
+            let set = pset.read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            for (name, bytes) in store.index_sizes() {
+                if name == index {
+                    total += bytes;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// All index sizes for a dataset, aggregated over partitions
+    /// (Table 5).
+    pub fn index_sizes(&self, dataset: &str) -> Result<Vec<(String, u64)>, CoreError> {
+        let mut agg: Vec<(String, u64)> = Vec::new();
+        for pset in &self.ctx.partitions {
+            let set = pset.read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            for (name, bytes) in store.index_sizes() {
+                match agg.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, b)) => *b += bytes,
+                    None => agg.push((name, bytes)),
+                }
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Number of records in a dataset.
+    pub fn count_records(&self, dataset: &str) -> Result<u64, CoreError> {
+        let mut n = 0;
+        for pset in &self.ctx.partitions {
+            let set = pset.read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
+            n += store.primary().len();
+        }
+        Ok(n)
+    }
+
+    /// Aggregate buffer-cache statistics across partitions.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    pub fn reset_cache_stats(&self) {
+        for c in &self.caches {
+            c.reset_stats();
+        }
+    }
+
+    /// Run an AQL query with the instance's optimizer settings.
+    pub fn query(&self, aql: &str) -> Result<QueryResult, CoreError> {
+        self.query_with(aql, &QueryOptions::default())
+    }
+
+    /// Run an AQL query with per-query optimizer overrides.
+    pub fn query_with(&self, aql: &str, options: &QueryOptions) -> Result<QueryResult, CoreError> {
+        let compile_started = Instant::now();
+        let query = parse_query(aql)?;
+        let vargen = VarGen::new();
+        let translation = translate(&query, &vargen, &Bindings::default())?;
+
+        // `set simfunction` / `set simthreshold` override the default ~=
+        // measure (§3.2).
+        let mut opt_config = options
+            .optimizer
+            .clone()
+            .unwrap_or_else(|| self.config.optimizer.clone());
+        if let Some(f) = &translation.settings.simfunction {
+            let threshold = translation.settings.simthreshold.as_deref();
+            opt_config.simfunction = parse_measure(f, threshold)?;
+        }
+
+        let catalog = self.catalog.read().clone();
+        let (optimized, rewrites) = optimize(
+            &translation.plan,
+            &catalog,
+            &self.ctx.registry,
+            &opt_config,
+            &vargen,
+        );
+        let job = generate_job(&optimized, opt_config.enable_subplan_reuse)
+            .map_err(CoreError::Translate)?;
+        let plan = PlanInfo {
+            logical_ops_before: operator_counts(&translation.plan),
+            logical_ops_after: operator_counts(&optimized),
+            rewrites,
+            explain: explain_plan(&optimized),
+            physical_ops: job.operator_counts(),
+        };
+        let compile_time = compile_started.elapsed();
+
+        let exec_started = Instant::now();
+        let (tuples, stats) = run_job(&job, &self.ctx).map_err(CoreError::Execution)?;
+        let execution_time = exec_started.elapsed();
+        // Results are single-column (the translator projects the return
+        // value).
+        let rows: Vec<Value> = tuples
+            .into_iter()
+            .map(|mut t| {
+                debug_assert_eq!(t.len(), 1);
+                t.pop().unwrap_or(Value::Missing)
+            })
+            .collect();
+        Ok(QueryResult {
+            rows,
+            stats,
+            plan,
+            compile_time,
+            execution_time,
+        })
+    }
+
+    /// Compile only: the optimized logical plan explanation (plus rewrite
+    /// log), without executing.
+    pub fn explain(&self, aql: &str) -> Result<PlanInfo, CoreError> {
+        self.explain_with_options(aql, &QueryOptions::default())
+    }
+
+    /// Compile only, with per-query optimizer overrides.
+    pub fn explain_with_options(
+        &self,
+        aql: &str,
+        options: &QueryOptions,
+    ) -> Result<PlanInfo, CoreError> {
+        let query = parse_query(aql)?;
+        let vargen = VarGen::new();
+        let translation = translate(&query, &vargen, &Bindings::default())?;
+        let mut opt_config = options
+            .optimizer
+            .clone()
+            .unwrap_or_else(|| self.config.optimizer.clone());
+        if let Some(f) = &translation.settings.simfunction {
+            opt_config.simfunction =
+                parse_measure(f, translation.settings.simthreshold.as_deref())?;
+        }
+        let catalog = self.catalog.read().clone();
+        let (optimized, rewrites) = optimize(
+            &translation.plan,
+            &catalog,
+            &self.ctx.registry,
+            &opt_config,
+            &vargen,
+        );
+        let job = generate_job(&optimized, opt_config.enable_subplan_reuse)
+            .map_err(CoreError::Translate)?;
+        Ok(PlanInfo {
+            logical_ops_before: operator_counts(&translation.plan),
+            logical_ops_after: operator_counts(&optimized),
+            rewrites,
+            explain: explain_plan(&optimized),
+            physical_ops: job.operator_counts(),
+        })
+    }
+
+    /// Direct access for tests and the experiment harness.
+    pub fn cluster(&self) -> &ClusterContext {
+        &self.ctx
+    }
+
+    pub fn catalog(&self) -> SimpleCatalog {
+        self.catalog.read().clone()
+    }
+}
+
+/// Parse `set simfunction` / `set simthreshold` values.
+fn parse_measure(name: &str, threshold: Option<&str>) -> Result<SimilarityMeasure, CoreError> {
+    let t = threshold.map(|s| s.trim_end_matches('f').to_string());
+    match name.to_ascii_lowercase().as_str() {
+        "jaccard" => {
+            let delta = t
+                .as_deref()
+                .unwrap_or("0.5")
+                .parse::<f64>()
+                .map_err(|e| CoreError::Parse(format!("bad simthreshold: {e}")))?;
+            Ok(SimilarityMeasure::Jaccard { delta })
+        }
+        "edit-distance" => {
+            let k = t
+                .as_deref()
+                .unwrap_or("2")
+                .parse::<f64>()
+                .map_err(|e| CoreError::Parse(format!("bad simthreshold: {e}")))? as u32;
+            Ok(SimilarityMeasure::EditDistance { k })
+        }
+        other => Err(CoreError::Parse(format!("unknown simfunction '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::record;
+
+    fn small_instance() -> Instance {
+        let db = Instance::new(InstanceConfig::tiny(2));
+        db.create_dataset("ARevs", "id").unwrap();
+        let rows = [
+            (1i64, "james", "this movie touched my heart"),
+            (2, "mary", "the best car charger i ever bought"),
+            (3, "mario", "different than my usual but good"),
+            (4, "jamie", "great product fantastic gift"),
+            (5, "maria", "better ever than i expected"),
+            (6, "bob", "great product fantastic gift idea"),
+        ];
+        for (id, name, summary) in rows {
+            db.insert(
+                "ARevs",
+                record! {"id" => id, "reviewerName" => name, "summary" => summary},
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scan_query_returns_all() {
+        let db = small_instance();
+        let r = db.query("for $t in dataset ARevs return $t.id").unwrap();
+        assert_eq!(r.ids(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn jaccard_selection_no_index() {
+        let db = small_instance();
+        let r = db
+            .query(
+                r#"
+            for $t in dataset ARevs
+            where similarity-jaccard(word-tokens($t.summary),
+                                     word-tokens('great product fantastic gift')) >= 0.5
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), vec![4, 6]);
+        assert!(!r.plan.used_rule("introduce-index-for-selection"));
+    }
+
+    #[test]
+    fn jaccard_selection_with_index_same_answer() {
+        let db = small_instance();
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        let r = db
+            .query(
+                r#"
+            for $t in dataset ARevs
+            where similarity-jaccard(word-tokens($t.summary),
+                                     word-tokens('great product fantastic gift')) >= 0.5
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), vec![4, 6]);
+        assert!(r.plan.used_rule("introduce-index-for-selection"));
+        assert!(r.index_candidates() >= 2);
+    }
+
+    #[test]
+    fn edit_distance_selection_with_index() {
+        let db = small_instance();
+        db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        let r = db
+            .query(
+                r#"
+            for $t in dataset ARevs
+            where edit-distance($t.reviewerName, 'marla') <= 1
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), vec![5]); // maria
+        assert!(r.plan.used_rule("introduce-index-for-selection"));
+    }
+
+    #[test]
+    fn edit_distance_corner_case_falls_back_to_scan() {
+        let db = small_instance();
+        db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        // "mary" has 3 distinct grams; k=2 → T = 3-4 < 0: corner case.
+        let r = db
+            .query(
+                r#"
+            for $t in dataset ARevs
+            where edit-distance($t.reviewerName, 'mary') <= 2
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert!(!r.plan.used_rule("introduce-index-for-selection"));
+        // mary(0), maria(2), mario(2) are within distance 2.
+        assert_eq!(r.ids(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn tilde_operator_uses_set_statements() {
+        let db = small_instance();
+        let r = db
+            .query(
+                r#"
+            set simfunction 'jaccard';
+            set simthreshold '0.5';
+            for $t in dataset ARevs
+            where word-tokens($t.summary) ~= word-tokens('great product fantastic gift')
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), vec![4, 6]);
+    }
+
+    #[test]
+    fn exact_match_btree_baseline() {
+        let db = small_instance();
+        db.create_index("ARevs", "bt", "reviewerName", IndexKind::BTree)
+            .unwrap();
+        let r = db
+            .query("for $t in dataset ARevs where $t.reviewerName = 'maria' return $t.id")
+            .unwrap();
+        assert_eq!(r.ids(), vec![5]);
+        assert!(r.plan.used_rule("introduce-index-for-selection"));
+    }
+
+    #[test]
+    fn count_query() {
+        let db = small_instance();
+        let r = db
+            .query("count( for $t in dataset ARevs where $t.id <= 3 return $t.id );")
+            .unwrap();
+        assert_eq!(r.count(), Some(3));
+    }
+
+    #[test]
+    fn jaccard_join_three_stage() {
+        let db = small_instance();
+        let r = db
+            .query(
+                r#"
+            for $t1 in dataset ARevs
+            for $t2 in dataset ARevs
+            where similarity-jaccard(word-tokens($t1.summary),
+                                     word-tokens($t2.summary)) >= 0.5
+              and $t1.id < $t2.id
+            return { 'a': $t1.id, 'b': $t2.id }
+        "#,
+            )
+            .unwrap();
+        assert!(r.plan.used_rule("three-stage-similarity-join"), "{:?}", r.plan.rewrites);
+        // Only the (4, 6) pair is >= 0.5 similar.
+        assert_eq!(r.rows.len(), 1);
+        let pair = &r.rows[0];
+        assert_eq!(pair.field("a"), &Value::Int64(4));
+        assert_eq!(pair.field("b"), &Value::Int64(6));
+    }
+
+    #[test]
+    fn jaccard_join_index_nested_loop() {
+        let db = small_instance();
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        let r = db
+            .query(
+                r#"
+            for $t1 in dataset ARevs
+            for $t2 in dataset ARevs
+            where similarity-jaccard(word-tokens($t1.summary),
+                                     word-tokens($t2.summary)) >= 0.5
+              and $t1.id < $t2.id
+            return { 'a': $t1.id, 'b': $t2.id }
+        "#,
+            )
+            .unwrap();
+        assert!(
+            r.plan.used_rule("introduce-index-nested-loop-join"),
+            "{:?}",
+            r.plan.rewrites
+        );
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn edit_distance_join_with_corner_union() {
+        let db = small_instance();
+        db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        let r = db
+            .query(
+                r#"
+            for $t1 in dataset ARevs
+            for $t2 in dataset ARevs
+            where edit-distance($t1.reviewerName, $t2.reviewerName) <= 1
+              and $t1.id < $t2.id
+            return { 'a': $t1.id, 'b': $t2.id }
+        "#,
+            )
+            .unwrap();
+        assert!(r.plan.used_rule("introduce-index-nested-loop-join"));
+        // Only mario~maria is within edit distance 1 (james~jamie and
+        // mary~maria are both distance 2).
+        assert_eq!(r.rows.len(), 1, "{:?}", r.rows);
+        assert_eq!(r.rows[0].field("a"), &Value::Int64(3));
+        assert_eq!(r.rows[0].field("b"), &Value::Int64(5));
+
+        // With k = 2 the distance-2 pairs appear; some outer keys become
+        // corner cases at runtime (T = grams - 4 <= 0 for 4-5 char names)
+        // and flow through the union's nested-loop path.
+        let r2 = db
+            .query(
+                r#"
+            for $t1 in dataset ARevs
+            for $t2 in dataset ARevs
+            where edit-distance($t1.reviewerName, $t2.reviewerName) <= 2
+              and $t1.id < $t2.id
+            return { 'a': $t1.id, 'b': $t2.id }
+        "#,
+            )
+            .unwrap();
+        // Pairs within distance 2: (1,4) james~jamie, (2,3) mary~mario,
+        // (2,5) mary~maria, (3,5) mario~maria.
+        assert_eq!(r2.rows.len(), 4, "{:?}", r2.rows);
+    }
+
+    #[test]
+    fn contains_selection_via_ngram_index() {
+        let db = small_instance();
+        db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        let r = db
+            .query("for $t in dataset ARevs where contains($t.reviewerName, 'ari') return $t.id")
+            .unwrap();
+        assert_eq!(r.ids(), vec![3, 5]); // mario, maria
+        assert!(r.plan.used_rule("introduce-index-for-selection"), "{:?}", r.plan.rewrites);
+        // Short patterns compile to a scan but still answer correctly.
+        let short = db
+            .query("for $t in dataset ARevs where contains($t.reviewerName, 'a') return $t.id")
+            .unwrap();
+        assert!(!short.plan.used_rule("introduce-index-for-selection"));
+        assert_eq!(short.ids(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drop_index_reverts_to_scan() {
+        let db = small_instance();
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        let q = r#"
+            for $t in dataset ARevs
+            where similarity-jaccard(word-tokens($t.summary),
+                                     word-tokens('great product fantastic gift')) >= 0.5
+            return $t.id
+        "#;
+        let with = db.query(q).unwrap();
+        assert!(with.plan.used_rule("introduce-index-for-selection"));
+        db.drop_index("ARevs", "smix").unwrap();
+        let without = db.query(q).unwrap();
+        assert!(!without.plan.used_rule("introduce-index-for-selection"));
+        assert_eq!(with.ids(), without.ids());
+        assert!(db.drop_index("ARevs", "smix").is_err());
+    }
+
+    #[test]
+    fn udf_in_query() {
+        let mut db = Instance::new(InstanceConfig::tiny(2));
+        db.register_udf("similarity-firstchar", |args| {
+            let a = args[0].as_str().unwrap_or_default().chars().next();
+            let b = args[1].as_str().unwrap_or_default().chars().next();
+            Ok(Value::double(if a == b && a.is_some() { 1.0 } else { 0.0 }))
+        });
+        db.create_dataset("D", "id").unwrap();
+        db.insert("D", record! {"id" => 1i64, "name" => "ada"}).unwrap();
+        db.insert("D", record! {"id" => 2i64, "name" => "alan"}).unwrap();
+        db.insert("D", record! {"id" => 3i64, "name" => "bob"}).unwrap();
+        let r = db
+            .query(
+                r#"
+            for $t in dataset D
+            where similarity-firstchar($t.name, 'apple') >= 1.0
+            return $t.id
+        "#,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = small_instance();
+        assert!(matches!(db.query("for $t in"), Err(CoreError::Parse(_))));
+        assert!(matches!(
+            db.query("for $t in dataset Nope return $t"),
+            Err(CoreError::Execution(_))
+        ));
+        assert!(db.create_dataset("ARevs", "id").is_err());
+        assert!(db.insert("ARevs", record! {"noid" => 1i64}).is_err());
+    }
+
+    #[test]
+    fn index_sizes_and_counts() {
+        let db = small_instance();
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.flush("ARevs").unwrap();
+        assert_eq!(db.count_records("ARevs").unwrap(), 6);
+        let sizes = db.index_sizes("ARevs").unwrap();
+        assert!(sizes.iter().any(|(n, b)| n == "<primary>" && *b > 0));
+        assert!(sizes.iter().any(|(n, b)| n == "smix" && *b > 0));
+    }
+
+    #[test]
+    fn delete_removes_from_all_plans() {
+        let db = small_instance();
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.delete("ARevs", &Value::Int64(4)).unwrap();
+        let q = r#"
+            for $t in dataset ARevs
+            where similarity-jaccard(word-tokens($t.summary),
+                                     word-tokens('great product fantastic gift')) >= 0.5
+            return $t.id
+        "#;
+        let with = db.query(q).unwrap();
+        assert_eq!(with.ids(), vec![6], "deleted record must vanish from index plan");
+        let scan = db
+            .query_with(
+                q,
+                &crate::result::QueryOptions {
+                    optimizer: Some(asterix_algebricks::OptimizerConfig {
+                        enable_index_select: false,
+                        ..Default::default()
+                    }),
+                },
+            )
+            .unwrap();
+        assert_eq!(scan.ids(), vec![6]);
+    }
+
+    #[test]
+    fn json_loading() {
+        let db = Instance::new(InstanceConfig::tiny(2));
+        db.create_dataset("J", "id").unwrap();
+        let n = db
+            .load_json_lines("J", "{\"id\": 1, \"t\": \"x\"}\n{\"id\": 2, \"t\": \"y\"}\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.count_records("J").unwrap(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # asterix-core
+//!
+//! The end-to-end engine of the reproduction: a single-process simulated
+//! shared-nothing cluster offering the whole lifecycle of a similarity
+//! query that the paper describes — DDL (datasets and `keyword` /
+//! `ngram(n)` / B+-tree indexes), hash-partitioned loading, AQL queries
+//! with the `~=` operator and `set simfunction`/`simthreshold`, rule-based
+//! optimization (index selections, index-nested-loop joins with
+//! corner-case handling, surrogate joins, the AQL+-driven three-stage
+//! similarity join), parallel execution, and per-operator statistics.
+//!
+//! ```
+//! use asterix_core::{Instance, InstanceConfig};
+//! use asterix_adm::{record, IndexKind, Value};
+//!
+//! let mut db = Instance::new(InstanceConfig::default());
+//! db.create_dataset("ARevs", "id").unwrap();
+//! db.insert("ARevs", record! {"id" => 1i64, "summary" => "great product"}).unwrap();
+//! db.insert("ARevs", record! {"id" => 2i64, "summary" => "great product value"}).unwrap();
+//! let result = db.query(r#"
+//!     for $t in dataset ARevs
+//!     where similarity-jaccard(word-tokens($t.summary),
+//!                              word-tokens('great product')) >= 0.5
+//!     return $t.id
+//! "#).unwrap();
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub mod builder;
+pub mod config;
+pub mod error;
+pub mod instance;
+pub mod result;
+
+pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
+pub use config::InstanceConfig;
+pub use error::CoreError;
+pub use instance::{IndexBuildStats, Instance};
+pub use result::{PlanInfo, QueryOptions, QueryResult};

@@ -1,0 +1,75 @@
+//! Query results and per-query plan/runtime information.
+
+use asterix_adm::Value;
+use asterix_hyracks::JobStats;
+use std::time::Duration;
+
+/// Per-query optimizer overrides (the experiment harness flips these to
+/// force specific plans, matching the paper's with/without-index runs).
+#[derive(Clone, Debug, Default)]
+pub struct QueryOptions {
+    /// Override the instance's optimizer configuration for this query.
+    pub optimizer: Option<asterix_algebricks::OptimizerConfig>,
+}
+
+/// Compile-time information about the chosen plan.
+#[derive(Clone, Debug, Default)]
+pub struct PlanInfo {
+    /// Operator counts of the logical plan before optimization (Fig 15's
+    /// left column).
+    pub logical_ops_before: Vec<(&'static str, usize)>,
+    /// ... and after optimization (Fig 15's right column).
+    pub logical_ops_after: Vec<(&'static str, usize)>,
+    /// Which rewrite rules fired, with counts.
+    pub rewrites: Vec<(&'static str, usize)>,
+    /// Pretty-printed optimized logical plan.
+    pub explain: String,
+    /// Physical operator counts in the generated job.
+    pub physical_ops: Vec<(&'static str, usize)>,
+}
+
+impl PlanInfo {
+    pub fn total_logical_ops_after(&self) -> usize {
+        self.logical_ops_after.iter().map(|(_, n)| n).sum()
+    }
+
+    pub fn used_rule(&self, name: &str) -> bool {
+        self.rewrites.iter().any(|(r, _)| *r == name)
+    }
+}
+
+/// The result of one query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Result values (one per row — the `return` expression's value).
+    pub rows: Vec<Value>,
+    pub stats: JobStats,
+    pub plan: PlanInfo,
+    /// Parse + translate + optimize + job generation time.
+    pub compile_time: Duration,
+    /// Parallel execution wall time.
+    pub execution_time: Duration,
+}
+
+impl QueryResult {
+    /// Candidate tuples produced by index searches (Table 6's column C).
+    pub fn index_candidates(&self) -> u64 {
+        self.stats.total_output_of("secondary-index-search")
+    }
+
+    /// Rows as i64s, sorted — convenient in tests against id results.
+    pub fn ids(&self) -> Vec<i64> {
+        let mut ids: Vec<i64> = self.rows.iter().filter_map(Value::as_i64).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// For a `count(...)` query: the single count value.
+    pub fn count(&self) -> Option<i64> {
+        match self.rows.as_slice() {
+            [v] => v.as_i64(),
+            [] => Some(0),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! # asterix-datagen
+//!
+//! Seeded synthetic generators standing in for the paper's three real
+//! datasets (Table 3) with field characteristics matched to Table 4:
+//!
+//! | Field                     | avg chars | avg words |
+//! |---------------------------|-----------|-----------|
+//! | AmazonReview.reviewerName | 10.3      | 1.7       |
+//! | Reddit.author             | 24.3      | 4.1       |
+//! | Twitter.user.name         | 10.6      | 1.7       |
+//! | AmazonReview.summary      | 22.8      | 4.0       |
+//! | Reddit.title              | larger    | larger    |
+//! | Twitter.text              | 62.5      | 9.7       |
+//!
+//! Token frequencies are Zipf-distributed (real text is), which is what
+//! gives prefix filtering and T-occurrence their selectivity behaviour;
+//! names are drawn from a pool with *edit-distance-close variants*
+//! injected so edit-distance experiments have non-trivial answers.
+//!
+//! Substitution note (DESIGN.md #2): the paper used 83.7M–196M record
+//! crawls; these generators produce arbitrarily many records with the
+//! same field shapes at laptop scale. Everything is deterministic in the
+//! seed.
+
+pub mod profile;
+pub mod text;
+
+pub use profile::{profile_field, FieldProfile};
+pub use text::{TextGen, Vocabulary};
+
+use asterix_adm::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate Amazon-review-like records:
+/// `{id, reviewerName, summary, score}`.
+pub fn amazon_reviews(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::synthetic(2_000, seed ^ 0xA1);
+    let names = text::NamePool::new(400, seed ^ 0xA2);
+    let gen = TextGen::new(vocab);
+    (0..n)
+        .map(|i| {
+            Value::record(vec![
+                ("id".into(), Value::Int64(i as i64)),
+                ("reviewerName".into(), Value::String(names.name(&mut rng))),
+                (
+                    "summary".into(),
+                    Value::String(gen.sentence(&mut rng, 4.0, 44)),
+                ),
+                ("score".into(), Value::Int64(rng.gen_range(1..=5))),
+            ])
+        })
+        .collect()
+}
+
+/// Generate Reddit-submission-like records: `{id, author, title}`.
+pub fn reddit_submissions(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::synthetic(4_000, seed ^ 0xB1);
+    let names = text::NamePool::new(600, seed ^ 0xB2);
+    let gen = TextGen::new(vocab);
+    (0..n)
+        .map(|i| {
+            // Reddit authors are longer handles: name + digits.
+            let author = format!("{}_{}", names.name(&mut rng), rng.gen_range(0..10_000));
+            Value::record(vec![
+                ("id".into(), Value::Int64(i as i64)),
+                ("author".into(), Value::String(author)),
+                ("title".into(), Value::String(gen.sentence(&mut rng, 9.0, 60))),
+            ])
+        })
+        .collect()
+}
+
+/// Generate tweet-like records: `{id, user: {name}, text}`.
+pub fn tweets(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab = Vocabulary::synthetic(3_000, seed ^ 0xC1);
+    let names = text::NamePool::new(500, seed ^ 0xC2);
+    let gen = TextGen::new(vocab);
+    (0..n)
+        .map(|i| {
+            Value::record(vec![
+                ("id".into(), Value::Int64(i as i64)),
+                (
+                    "user".into(),
+                    Value::record(vec![("name".into(), Value::String(names.name(&mut rng)))]),
+                ),
+                ("text".into(), Value::String(gen.sentence(&mut rng, 9.7, 70))),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(amazon_reviews(50, 7), amazon_reviews(50, 7));
+        assert_ne!(amazon_reviews(50, 7), amazon_reviews(50, 8));
+    }
+
+    #[test]
+    fn amazon_shape() {
+        let rows = amazon_reviews(200, 42);
+        assert_eq!(rows.len(), 200);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.field("id"), &Value::Int64(i as i64));
+            assert!(r.field("reviewerName").as_str().is_some());
+            assert!(r.field("summary").as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn tweets_have_nested_user_name() {
+        let rows = tweets(20, 1);
+        for r in &rows {
+            assert!(r.field_path("user.name").as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn summaries_match_table4_shape() {
+        let rows = amazon_reviews(2_000, 3);
+        let summaries: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.field("summary").as_str())
+            .collect();
+        let p = profile_field(summaries.iter().copied());
+        // Table 4: avg 4.0 words, max 44 words.
+        assert!((3.0..=5.5).contains(&p.avg_words), "avg words {p:?}");
+        assert!(p.max_words <= 44, "{p:?}");
+        assert!(p.avg_chars > 10.0, "{p:?}");
+    }
+
+    #[test]
+    fn names_include_similar_variants() {
+        use asterix_simfn::edit_distance;
+        let rows = amazon_reviews(800, 5);
+        let names: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.field("reviewerName").as_str())
+            .collect();
+        // There must exist pairs of distinct names within edit distance 2
+        // (typo variants), or edit-distance experiments would return
+        // nothing.
+        let mut found = false;
+        'outer: for (i, a) in names.iter().enumerate().take(200) {
+            for b in names.iter().skip(i + 1).take(200) {
+                if a != b && edit_distance(a, b) <= 2 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no near-duplicate names generated");
+    }
+
+    #[test]
+    fn token_frequencies_are_skewed() {
+        use std::collections::HashMap;
+        let rows = amazon_reviews(2_000, 11);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for r in &rows {
+            if let Some(s) = r.field("summary").as_str() {
+                for t in asterix_simfn::word_tokens(s) {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf: the most common token is much more frequent than the
+        // median one.
+        let top = freqs[0];
+        let median = freqs[freqs.len() / 2];
+        assert!(top >= median * 10, "top {top} median {median}");
+    }
+}

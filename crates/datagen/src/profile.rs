@@ -1,0 +1,66 @@
+//! Field profiling — regenerating Table 4's characteristics from data.
+
+/// Character/word statistics of a text field (one row of Table 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FieldProfile {
+    pub avg_chars: f64,
+    pub max_chars: usize,
+    pub avg_words: f64,
+    pub max_words: usize,
+    pub count: usize,
+}
+
+/// Profile an iterator of field values.
+pub fn profile_field<'a>(values: impl IntoIterator<Item = &'a str>) -> FieldProfile {
+    let mut total_chars = 0usize;
+    let mut total_words = 0usize;
+    let mut max_chars = 0usize;
+    let mut max_words = 0usize;
+    let mut count = 0usize;
+    for v in values {
+        let chars = v.chars().count();
+        let words = v.split_whitespace().count();
+        total_chars += chars;
+        total_words += words;
+        max_chars = max_chars.max(chars);
+        max_words = max_words.max(words);
+        count += 1;
+    }
+    FieldProfile {
+        avg_chars: if count == 0 {
+            0.0
+        } else {
+            total_chars as f64 / count as f64
+        },
+        max_chars,
+        avg_words: if count == 0 {
+            0.0
+        } else {
+            total_words as f64 / count as f64
+        },
+        max_words,
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_basic() {
+        let p = profile_field(["one two", "three"]);
+        assert_eq!(p.count, 2);
+        assert_eq!(p.max_words, 2);
+        assert_eq!(p.max_chars, 7);
+        assert!((p.avg_words - 1.5).abs() < 1e-12);
+        assert!((p.avg_chars - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_empty() {
+        let p = profile_field(std::iter::empty());
+        assert_eq!(p.count, 0);
+        assert_eq!(p.avg_chars, 0.0);
+    }
+}

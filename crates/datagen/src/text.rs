@@ -1,0 +1,217 @@
+//! Synthetic vocabularies, Zipf sampling, sentence and name generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CONSONANTS: &[char] = &[
+    'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'w', 'z',
+];
+const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+/// Build a pronounceable pseudo-word of `syllables` CV syllables.
+fn syllable_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+        w.push(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    w
+}
+
+/// A fixed vocabulary with Zipf-distributed sampling weights
+/// (`weight(rank) ∝ 1/(rank+1)`), the standard model for natural-language
+/// token frequencies.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative weights for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// `size` distinct pseudo-words, deterministic in `seed`.
+    pub fn synthetic(size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::new();
+        while words.len() < size {
+            let s = 1 + (words.len() % 4).min(3); // 1-4 syllables, mixed
+            let w = syllable_word(&mut rng, s + 1);
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for rank in 0..size {
+            acc += 1.0 / (rank as f64 + 1.0);
+            cumulative.push(acc);
+        }
+        Vocabulary { words, cumulative }
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Sample one word with Zipf weights.
+    pub fn sample(&self, rng: &mut StdRng) -> &str {
+        let total = *self.cumulative.last().expect("non-empty vocabulary");
+        let x = rng.gen_range(0.0..total);
+        let idx = self
+            .cumulative
+            .partition_point(|c| *c < x)
+            .min(self.words.len() - 1);
+        &self.words[idx]
+    }
+}
+
+/// Sentence generator over a vocabulary.
+#[derive(Clone, Debug)]
+pub struct TextGen {
+    vocab: Vocabulary,
+}
+
+impl TextGen {
+    pub fn new(vocab: Vocabulary) -> Self {
+        TextGen { vocab }
+    }
+
+    /// A sentence with a geometric-ish word count averaging `avg_words`,
+    /// capped at `max_words`.
+    pub fn sentence(&self, rng: &mut StdRng, avg_words: f64, max_words: usize) -> String {
+        // Geometric distribution with mean `avg_words` (p = 1/avg).
+        let p = (1.0 / avg_words.max(1.0)).clamp(0.001, 1.0);
+        let mut n = 1usize;
+        while n < max_words && rng.gen_range(0.0..1.0) > p {
+            n += 1;
+        }
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.vocab.sample(rng));
+        }
+        out
+    }
+}
+
+/// A pool of person-like names; 30% of draws are *typo variants* of a base
+/// name (1-2 character edits), so edit-distance queries have answers.
+#[derive(Clone, Debug)]
+pub struct NamePool {
+    base: Vec<String>,
+}
+
+impl NamePool {
+    pub fn new(size: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::new();
+        while base.len() < size {
+            let syllables = rng.gen_range(2..=4);
+            let n = syllable_word(&mut rng, syllables);
+            if seen.insert(n.clone()) {
+                base.push(n);
+            }
+        }
+        NamePool { base }
+    }
+
+    /// Draw a name: either a base name or a near-duplicate variant;
+    /// ~60% of names carry a second word (matching Table 4's avg 1.7
+    /// words per reviewer name).
+    pub fn name(&self, rng: &mut StdRng) -> String {
+        let first = self.single(rng);
+        if rng.gen_range(0.0..1.0) < 0.6 {
+            format!("{first} {}", self.single(rng))
+        } else {
+            first
+        }
+    }
+
+    /// One name word (base or typo variant).
+    pub fn single(&self, rng: &mut StdRng) -> String {
+        let base = &self.base[rng.gen_range(0..self.base.len())];
+        if rng.gen_range(0.0..1.0) < 0.7 {
+            return base.clone();
+        }
+        // Apply 1-2 random single-character edits.
+        let mut chars: Vec<char> = base.chars().collect();
+        let edits = rng.gen_range(1..=2);
+        for _ in 0..edits {
+            if chars.is_empty() {
+                break;
+            }
+            let pos = rng.gen_range(0..chars.len());
+            match rng.gen_range(0..3) {
+                0 => chars[pos] = VOWELS[rng.gen_range(0..VOWELS.len())], // substitute
+                1 => {
+                    chars.insert(pos, CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                    // insert
+                }
+                _ => {
+                    chars.remove(pos); // delete
+                }
+            }
+        }
+        if chars.is_empty() {
+            base.clone()
+        } else {
+            chars.into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_distinct_and_deterministic() {
+        let v1 = Vocabulary::synthetic(500, 9);
+        let v2 = Vocabulary::synthetic(500, 9);
+        assert_eq!(v1.words, v2.words);
+        let set: std::collections::HashSet<&String> = v1.words.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_low_ranks() {
+        let v = Vocabulary::synthetic(100, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut first = 0;
+        for _ in 0..2000 {
+            if v.sample(&mut rng) == v.words[0] {
+                first += 1;
+            }
+        }
+        // Rank 0 should appear far more than 1/100 of the time.
+        assert!(first > 100, "rank-0 count {first}");
+    }
+
+    #[test]
+    fn sentence_word_counts_bounded() {
+        let gen = TextGen::new(Vocabulary::synthetic(200, 5));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = gen.sentence(&mut rng, 4.0, 10);
+            let words = s.split(' ').count();
+            assert!((1..=10).contains(&words), "{s}");
+        }
+    }
+
+    #[test]
+    fn name_pool_nonempty_names() {
+        let pool = NamePool::new(50, 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            assert!(!pool.name(&mut rng).is_empty());
+        }
+    }
+}

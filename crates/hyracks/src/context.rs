@@ -1,0 +1,100 @@
+//! Cluster execution context: the simulated shared-nothing cluster.
+//!
+//! Each partition owns its own [`PartitionStore`]s (one per dataset), just
+//! as each AsterixDB node controller owns local LSM partitions (§2.3).
+//! Operators only ever touch the stores of *their own* partition; data
+//! crosses partitions exclusively through connectors — preserving the
+//! shared-nothing discipline the paper's plans are designed around.
+
+use asterix_simfn::FunctionRegistry;
+use asterix_storage::PartitionStore;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// The datasets of one partition.
+#[derive(Debug, Default)]
+pub struct PartitionSet {
+    stores: HashMap<String, PartitionStore>,
+}
+
+impl PartitionSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert_store(&mut self, store: PartitionStore) {
+        self.stores.insert(store.dataset.name.clone(), store);
+    }
+
+    pub fn store(&self, dataset: &str) -> Option<&PartitionStore> {
+        self.stores.get(dataset)
+    }
+
+    pub fn store_mut(&mut self, dataset: &str) -> Option<&mut PartitionStore> {
+        self.stores.get_mut(dataset)
+    }
+
+    pub fn dataset_names(&self) -> impl Iterator<Item = &str> {
+        self.stores.keys().map(|s| s.as_str())
+    }
+}
+
+/// The whole simulated cluster, shared read-only during query execution.
+pub struct ClusterContext {
+    /// One entry per partition; `RwLock` because loads mutate and queries
+    /// read concurrently across operator threads.
+    pub partitions: Vec<RwLock<PartitionSet>>,
+    pub registry: FunctionRegistry,
+}
+
+impl ClusterContext {
+    pub fn new(num_partitions: usize, registry: FunctionRegistry) -> Self {
+        assert!(num_partitions > 0);
+        ClusterContext {
+            partitions: (0..num_partitions)
+                .map(|_| RwLock::new(PartitionSet::new()))
+                .collect(),
+            registry,
+        }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asterix_adm::DatasetDef;
+    use asterix_storage::{BufferCache, Disk, StorageConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn partition_set_store_access() {
+        let cache = Arc::new(BufferCache::new(Arc::new(Disk::new()), 16));
+        let store = PartitionStore::new(
+            DatasetDef::new("d", "id"),
+            0,
+            cache,
+            StorageConfig::tiny(),
+        );
+        let mut set = PartitionSet::new();
+        set.insert_store(store);
+        assert!(set.store("d").is_some());
+        assert!(set.store("other").is_none());
+        assert_eq!(set.dataset_names().collect::<Vec<_>>(), vec!["d"]);
+    }
+
+    #[test]
+    fn context_partition_count() {
+        let ctx = ClusterContext::new(4, FunctionRegistry::with_builtins());
+        assert_eq!(ctx.num_partitions(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_partitions_rejected() {
+        ClusterContext::new(0, FunctionRegistry::with_builtins());
+    }
+}

@@ -1,0 +1,679 @@
+//! The job executor: instantiate every operator on every partition, wire
+//! connectors as channels, run, and collect results + statistics.
+
+use crate::context::ClusterContext;
+use crate::job::{JobSpec, OpId};
+use crate::ops::{run_operator, Out, Router};
+use crate::tuple::{Frame, Tuple};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-operator runtime statistics, aggregated over partitions.
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    pub name: &'static str,
+    /// Total tuples consumed across partitions.
+    pub input_tuples: u64,
+    /// Total tuples produced across partitions.
+    pub output_tuples: u64,
+    /// Longest per-partition wall time (the critical path contribution).
+    pub max_partition_time: Duration,
+    /// Most tuples consumed by any single partition instance — the
+    /// hardware-independent critical-path proxy used by the scale-out /
+    /// speed-up experiments when the host cannot run partitions on
+    /// separate cores.
+    pub max_partition_input: u64,
+}
+
+/// Statistics for a whole job run.
+#[derive(Clone, Debug, Default)]
+pub struct JobStats {
+    pub per_op: HashMap<OpId, OpStats>,
+    pub elapsed: Duration,
+}
+
+impl JobStats {
+    /// Output-tuple count of the first operator with the given name
+    /// (e.g. candidate counts from "secondary-index-search" for Table 6).
+    pub fn output_of(&self, op_name: &str) -> Option<u64> {
+        let mut ids: Vec<(&OpId, &OpStats)> = self
+            .per_op
+            .iter()
+            .filter(|(_, s)| s.name == op_name)
+            .collect();
+        ids.sort_by_key(|(id, _)| **id);
+        ids.first().map(|(_, s)| s.output_tuples)
+    }
+
+    /// Simulated critical-path work: the sum over operators of the
+    /// busiest partition's input tuples. Under ideal parallel hardware
+    /// this is proportional to the job's wall time; it is what the
+    /// scale-out and speed-up experiments report on hosts whose cores
+    /// cannot actually run the partitions concurrently.
+    pub fn critical_path_tuples(&self) -> u64 {
+        self.per_op.values().map(|s| s.max_partition_input).sum()
+    }
+
+    /// Sum of output tuples across all operators with the given name.
+    pub fn total_output_of(&self, op_name: &str) -> u64 {
+        self.per_op
+            .values()
+            .filter(|s| s.name == op_name)
+            .map(|s| s.output_tuples)
+            .sum()
+    }
+}
+
+/// Execute a job on the cluster, returning the sink's tuples (unordered
+/// unless the plan sorted them) and per-operator statistics.
+pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobStats), String> {
+    job.validate()?;
+    let p = ctx.num_partitions();
+    let started = Instant::now();
+
+    // Channels: one (sender, receiver) pair per (edge, consumer partition).
+    // Producers of an edge share clones of all its senders.
+    struct EdgeChannels {
+        senders: Vec<Sender<Frame>>,
+        receivers: Vec<Option<Receiver<Frame>>>,
+    }
+    let mut edge_channels: Vec<EdgeChannels> = Vec::with_capacity(job.edges.len());
+    for _ in &job.edges {
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        edge_channels.push(EdgeChannels { senders, receivers });
+    }
+
+    let sink_tuples: Mutex<Vec<Tuple>> = Mutex::new(Vec::new());
+    let stats: Mutex<HashMap<OpId, OpStats>> = Mutex::new(HashMap::new());
+    let first_error: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (op_id, op) in &job.ops {
+            // Edge indices by role.
+            let input_edges: Vec<usize> = {
+                let mut v: Vec<(usize, usize)> = job
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.to == *op_id)
+                    .map(|(i, e)| (e.input, i))
+                    .collect();
+                v.sort();
+                v.into_iter().map(|(_, i)| i).collect()
+            };
+            let output_edges: Vec<usize> = job
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.from == *op_id)
+                .map(|(i, _)| i)
+                .collect();
+
+            for partition in 0..p {
+                let inputs: Vec<Receiver<Frame>> = input_edges
+                    .iter()
+                    .map(|ei| {
+                        edge_channels[*ei].receivers[partition]
+                            .take()
+                            .expect("receiver already taken")
+                    })
+                    .collect();
+                let routers: Vec<Router> = output_edges
+                    .iter()
+                    .map(|ei| {
+                        Router::new(
+                            job.edges[*ei].connector.clone(),
+                            edge_channels[*ei].senders.clone(),
+                            partition,
+                        )
+                    })
+                    .collect();
+                let stats = &stats;
+                let first_error = &first_error;
+                let sink_tuples = &sink_tuples;
+                let op_id = *op_id;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let result = run_operator(
+                        op,
+                        partition,
+                        inputs,
+                        Out::new(routers),
+                        ctx,
+                        sink_tuples,
+                    );
+                    let elapsed = t0.elapsed();
+                    match result {
+                        Ok((input_tuples, output_tuples)) => {
+                            let mut st = stats.lock();
+                            let entry = st.entry(op_id).or_insert_with(|| OpStats {
+                                name: op.name(),
+                                ..OpStats::default()
+                            });
+                            entry.input_tuples += input_tuples;
+                            entry.output_tuples += output_tuples;
+                            entry.max_partition_time = entry.max_partition_time.max(elapsed);
+                            entry.max_partition_input =
+                                entry.max_partition_input.max(input_tuples);
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(format!("{op_id} ({}): {e}", op.name()));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        // Senders for every edge are still alive in `edge_channels`; drop
+        // them so end-of-stream can propagate once producers finish.
+        for ec in &mut edge_channels {
+            ec.senders.clear();
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    // ResultSink counts its own stats under its OpId; subtract nothing.
+    let per_op = stats.into_inner();
+    Ok((
+        sink_tuples.into_inner(),
+        JobStats {
+            per_op,
+            elapsed: started.elapsed(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PartitionSet;
+    use crate::expr::{CmpOp, Expr};
+    use crate::job::{AggSpec, ConnectorKind, PhysicalOp, SearchMeasure};
+    use crate::tuple::SortKey;
+    use asterix_adm::{record, DatasetDef, IndexDef, IndexKind, Value};
+    use asterix_simfn::FunctionRegistry;
+    use asterix_storage::{BufferCache, Disk, PartitionStore, StorageConfig};
+    use std::sync::Arc;
+
+    /// Build a cluster with one dataset of `reviews` distributed by pk.
+    fn cluster(partitions: usize, rows: &[(i64, &str, &str)]) -> ClusterContext {
+        let ctx = ClusterContext::new(partitions, FunctionRegistry::with_builtins());
+        let def = DatasetDef::new("ARevs", "id");
+        for (pidx, pset) in ctx.partitions.iter().enumerate() {
+            let cache = Arc::new(BufferCache::new(Arc::new(Disk::new()), 64));
+            let mut store =
+                PartitionStore::new(def.clone(), pidx, cache, StorageConfig::tiny());
+            store
+                .create_index(&IndexDef {
+                    name: "smix".into(),
+                    field: "summary".into(),
+                    kind: IndexKind::Keyword,
+                })
+                .unwrap();
+            store
+                .create_index(&IndexDef {
+                    name: "nix".into(),
+                    field: "name".into(),
+                    kind: IndexKind::NGram(2),
+                })
+                .unwrap();
+            for (id, name, summary) in rows {
+                if def.partition_of(&Value::Int64(*id), partitions) == pidx {
+                    store
+                        .insert(record! {"id" => *id, "name" => *name, "summary" => *summary})
+                        .unwrap();
+                }
+            }
+            pset.write().insert_store(store);
+        }
+        ctx
+    }
+
+    fn sample_rows() -> Vec<(i64, &'static str, &'static str)> {
+        vec![
+            (1, "james", "this movie touched my heart"),
+            (2, "mary", "the best car charger i ever bought"),
+            (3, "mario", "different than my usual but good"),
+            (4, "jamie", "great product fantastic gift"),
+            (5, "maria", "better ever than i expected"),
+            (6, "bob", "great product fantastic gift idea"),
+        ]
+    }
+
+    #[test]
+    fn scan_collects_all_rows() {
+        let ctx = cluster(4, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sink, 0, ConnectorKind::ToOne);
+        let (rows, stats) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(stats.total_output_of("dataset-scan"), 6);
+    }
+
+    #[test]
+    fn select_filters() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let select = job.add(PhysicalOp::Select {
+            predicate: Expr::cmp(
+                CmpOp::Le,
+                Expr::col(0),
+                Expr::lit(3i64),
+            ),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, select);
+        job.connect(select, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn sort_after_gather_is_global() {
+        let ctx = cluster(3, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sort = job.add(PhysicalOp::Sort {
+            keys: vec![SortKey::desc(0)],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sort, 0, ConnectorKind::ToOne);
+        job.pipe(sort, sink);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        let ids: Vec<i64> = rows.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn hash_join_equi() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan_l = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let scan_r = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let join = job.add(PhysicalOp::HashJoin {
+            left_keys: vec![0],
+            right_keys: vec![0],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan_l, join, 0, ConnectorKind::Hash(vec![0]));
+        job.connect(scan_r, join, 1, ConnectorKind::Hash(vec![0]));
+        job.connect(join, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 6); // self equi-join on pk
+        for r in rows {
+            assert_eq!(r[0], r[2]);
+        }
+    }
+
+    #[test]
+    fn broadcast_nested_loop_join() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan_l = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let scan_r = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        // Predicate: left.id < right.id (left cols 0-1, right cols 2-3).
+        let join = job.add(PhysicalOp::NestedLoopJoin {
+            predicate: Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::col(2)),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan_l, join, 0, ConnectorKind::Broadcast);
+        job.connect(scan_r, join, 1, ConnectorKind::OneToOne);
+        job.connect(join, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 15); // C(6,2)
+    }
+
+    #[test]
+    fn group_by_count() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        // Tokenize summaries, count token frequencies globally.
+        let unnest = job.add(PhysicalOp::Unnest {
+            expr: Expr::call("word-tokens", vec![Expr::col(1).field("summary")]),
+            with_pos: false,
+        });
+        let gb = job.add(PhysicalOp::HashGroupBy {
+            keys: vec![2],
+            aggs: vec![AggSpec::Count],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, unnest);
+        job.connect(unnest, gb, 0, ConnectorKind::Hash(vec![2]));
+        job.connect(gb, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        let greats: Vec<&Tuple> = rows
+            .iter()
+            .filter(|t| t[0] == Value::from("great"))
+            .collect();
+        assert_eq!(greats.len(), 1, "hash repartition must co-locate groups");
+        assert_eq!(greats[0][1], Value::Int64(2));
+    }
+
+    #[test]
+    fn index_search_jaccard_candidates() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        // Constant query: "great product gift" δ=0.5 via the keyword index.
+        let (_, assign) = crate::job::constant_source(
+            &mut job,
+            vec![Value::from("great product fantastic gift")],
+        );
+        let search = job.add(PhysicalOp::SecondaryIndexSearch {
+            dataset: "ARevs".into(),
+            index: "smix".into(),
+            key_col: 0,
+            measure: SearchMeasure::Jaccard { delta: 0.5 },
+        });
+        let sort = job.add(PhysicalOp::Sort { keys: vec![SortKey::asc(1)] });
+        let lookup = job.add(PhysicalOp::PrimaryIndexLookup {
+            dataset: "ARevs".into(),
+            pk_col: 1,
+        });
+        let verify = job.add(PhysicalOp::Select {
+            predicate: Expr::cmp(
+                CmpOp::Ge,
+                Expr::call(
+                    "similarity-jaccard",
+                    vec![
+                        Expr::call("word-tokens", vec![Expr::col(0)]),
+                        Expr::call("word-tokens", vec![Expr::col(2).field("summary")]),
+                    ],
+                ),
+                Expr::lit(0.5f64),
+            ),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(assign, search, 0, ConnectorKind::Broadcast);
+        job.pipe(search, sort);
+        job.pipe(sort, lookup);
+        job.pipe(lookup, verify);
+        job.connect(verify, sink, 0, ConnectorKind::ToOne);
+        let (rows, stats) = run_job(&job, &ctx).unwrap();
+        let mut ids: Vec<i64> = rows.iter().map(|t| t[1].as_i64().unwrap()).collect();
+        ids.sort();
+        assert_eq!(ids, vec![4, 6]);
+        // Candidates include at least the true results.
+        assert!(stats.total_output_of("secondary-index-search") >= 2);
+    }
+
+    #[test]
+    fn index_search_edit_distance() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let (_, assign) = crate::job::constant_source(&mut job, vec![Value::from("marla")]);
+        let search = job.add(PhysicalOp::SecondaryIndexSearch {
+            dataset: "ARevs".into(),
+            index: "nix".into(),
+            key_col: 0,
+            measure: SearchMeasure::EditDistance { k: 1 },
+        });
+        let lookup = job.add(PhysicalOp::PrimaryIndexLookup {
+            dataset: "ARevs".into(),
+            pk_col: 1,
+        });
+        let verify = job.add(PhysicalOp::Select {
+            predicate: Expr::call(
+                "edit-distance-check",
+                vec![Expr::col(0), Expr::col(2).field("name"), Expr::lit(1i64)],
+            ),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(assign, search, 0, ConnectorKind::Broadcast);
+        job.pipe(search, lookup);
+        job.pipe(lookup, verify);
+        job.connect(verify, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        let ids: Vec<i64> = rows.iter().map(|t| t[1].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![5]); // only "maria" is within distance 1
+    }
+
+    #[test]
+    fn union_merges_streams() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan1 = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let scan2 = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let union = job.add(PhysicalOp::Union);
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan1, union, 0, ConnectorKind::OneToOne);
+        job.connect(scan2, union, 1, ConnectorKind::OneToOne);
+        job.connect(union, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 12);
+    }
+
+    #[test]
+    fn replicated_output_feeds_two_consumers() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sel_low = job.add(PhysicalOp::Select {
+            predicate: Expr::cmp(CmpOp::Le, Expr::col(0), Expr::lit(3i64)),
+        });
+        let sel_high = job.add(PhysicalOp::Select {
+            predicate: Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::lit(3i64)),
+        });
+        let union = job.add(PhysicalOp::Union);
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, sel_low);
+        job.connect(scan, sel_high, 0, ConnectorKind::OneToOne);
+        job.connect(sel_low, union, 0, ConnectorKind::OneToOne);
+        job.connect(sel_high, union, 1, ConnectorKind::OneToOne);
+        job.connect(union, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 6, "split + union must reconstruct the input");
+    }
+
+    #[test]
+    fn stream_pos_assigns_global_rank_after_gather() {
+        let ctx = cluster(3, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sort = job.add(PhysicalOp::Sort {
+            keys: vec![SortKey::asc(0)],
+        });
+        let pos = job.add(PhysicalOp::StreamPos);
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sort, 0, ConnectorKind::ToOne);
+        job.pipe(sort, pos);
+        job.pipe(pos, sink);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        for t in rows {
+            // id i (1-based) gets rank i-1 (0-based).
+            assert_eq!(t[0].as_i64().unwrap() - 1, t[2].as_i64().unwrap());
+        }
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let gather = job.add(PhysicalOp::Materialize);
+        let limit = job.add(PhysicalOp::Limit { n: 2 });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, gather, 0, ConnectorKind::ToOne);
+        job.pipe(gather, limit);
+        job.pipe(limit, sink);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn runtime_error_propagates() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let bad = job.add(PhysicalOp::Assign {
+            exprs: vec![Expr::call("no-such-function", vec![])],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, bad);
+        job.connect(bad, sink, 0, ConnectorKind::ToOne);
+        let err = run_job(&job, &ctx).unwrap_err();
+        assert!(err.contains("no-such-function"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let ctx = cluster(1, &[]);
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "nope".into(),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sink, 0, ConnectorKind::ToOne);
+        assert!(run_job(&job, &ctx).is_err());
+    }
+
+    #[test]
+    fn stats_record_tuple_counts() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sink, 0, ConnectorKind::ToOne);
+        let (_, stats) = run_job(&job, &ctx).unwrap();
+        assert_eq!(stats.output_of("dataset-scan"), Some(6));
+        assert_eq!(stats.output_of("result-sink"), Some(6));
+        assert!(stats.output_of("no-such-op").is_none());
+    }
+
+    #[test]
+    fn aggregate_functions_sum_min_max_collect() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        // Group everything into one bucket keyed by a constant.
+        let key = job.add(PhysicalOp::Assign {
+            exprs: vec![Expr::lit(1i64)],
+        });
+        let gb = job.add(PhysicalOp::HashGroupBy {
+            keys: vec![2],
+            aggs: vec![
+                AggSpec::Count,
+                AggSpec::Sum(0),
+                AggSpec::Min(0),
+                AggSpec::Max(0),
+                AggSpec::CollectSortedSet(0),
+            ],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, key);
+        job.connect(key, gb, 0, ConnectorKind::Hash(vec![2]));
+        job.connect(gb, sink, 0, ConnectorKind::ToOne);
+        let (rows, _) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r[1], Value::Int64(6)); // count
+        assert_eq!(r[2], Value::Int64(21)); // sum of ids 1..=6
+        assert_eq!(r[3], Value::Int64(1)); // min
+        assert_eq!(r[4], Value::Int64(6)); // max
+        assert_eq!(r[5].len(), Some(6)); // collected distinct ids
+    }
+
+    #[test]
+    fn frames_cross_capacity_boundaries() {
+        // More rows than FRAME_CAPACITY must flow through hash
+        // repartitioning without loss or duplication.
+        let rows: Vec<(i64, String, String)> = (0..1000)
+            .map(|i| (i, format!("user{i}"), format!("summary {}", i % 7)))
+            .collect();
+        let borrowed: Vec<(i64, &str, &str)> = rows
+            .iter()
+            .map(|(i, a, b)| (*i, a.as_str(), b.as_str()))
+            .collect();
+        let ctx = cluster(3, &borrowed);
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let shuffle = job.add(PhysicalOp::Project { cols: vec![0] });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, shuffle, 0, ConnectorKind::Hash(vec![0]));
+        job.connect(shuffle, sink, 0, ConnectorKind::ToOne);
+        let (out, _) = run_job(&job, &ctx).unwrap();
+        let mut ids: Vec<i64> = out.iter().map(|t| t[0].as_i64().unwrap()).collect();
+        ids.sort();
+        assert_eq!(ids, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn materialize_preserves_stream() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let mat = job.add(PhysicalOp::Materialize);
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, mat);
+        job.connect(mat, sink, 0, ConnectorKind::ToOne);
+        let (rows, stats) = run_job(&job, &ctx).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(stats.total_output_of("materialize"), 6);
+    }
+
+    #[test]
+    fn critical_path_tuples_accounts_busiest_partition() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sink, 0, ConnectorKind::ToOne);
+        let (_, stats) = run_job(&job, &ctx).unwrap();
+        let cp = stats.critical_path_tuples();
+        // The sink consumes all 6 rows on one partition.
+        assert!(cp >= 6, "critical path {cp}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # asterix-hyracks
+//!
+//! The parallel dataflow runtime substrate (the paper's §2.3: "AsterixDB
+//! translates a computation into a directed-acyclic graph (DAG) of
+//! operators and connectors, and sends it to Hyracks for execution").
+//!
+//! A [`job::JobSpec`] is a DAG of physical operators connected by
+//! [`job::ConnectorKind`]s. The executor ([`exec`]) instantiates every
+//! operator once per partition (the simulated cluster's node × partition
+//! grid), runs each instance on its own thread, and moves frames of tuples
+//! between instances over channels according to the connector:
+//!
+//! * `OneToOne` — partition-local pipeline edge ("Local" in the paper's
+//!   plan figures),
+//! * `Broadcast` — every producer partition replicates its stream to all
+//!   consumer partitions ("Broadcast to all nodes"),
+//! * `Hash(keys)` — route each tuple by the stable hash of its key columns
+//!   ("Hash repartition"),
+//! * `ToOne` — gather every partition's stream at partition 0 (the
+//!   coordinator step that combines local results).
+//!
+//! Operators cover everything the paper's plans need: dataset scans,
+//! secondary-inverted-index search solving the T-occurrence problem,
+//! primary-index lookup, select/assign/project, sort, hash join,
+//! (block-)nested-loop join, hash group-by with aggregates, unnest,
+//! stream-position (global rank), union, limit, materialize, and a result
+//! sink. Per-operator runtime statistics (input/output tuple counts,
+//! wall time) feed the paper's candidate-set measurements (Table 6).
+
+pub mod context;
+pub mod exec;
+pub mod expr;
+pub mod job;
+pub mod ops;
+pub mod tuple;
+
+pub use context::{ClusterContext, PartitionSet};
+pub use exec::{run_job, JobStats, OpStats};
+pub use expr::{CmpOp, Expr};
+pub use job::{AggSpec, ConnectorKind, JobSpec, OpId, PhysicalOp, SearchMeasure};
+pub use tuple::{SortKey, Tuple};

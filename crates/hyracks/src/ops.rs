@@ -1,0 +1,557 @@
+//! Operator implementations. Each operator instance runs on its own thread
+//! for one partition; `run_operator` is its body.
+
+use crate::context::ClusterContext;
+use crate::expr::sql_compare;
+use crate::job::{AggSpec, ConnectorKind, PhysicalOp, SearchMeasure};
+use crate::tuple::{compare_tuples, Frame, Tuple, FRAME_CAPACITY};
+use asterix_adm::{stable_hash_many, IndexKind, Value};
+use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound, tokenize};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Routes a producer partition's output tuples to the consumer partitions
+/// of one edge.
+pub struct Router {
+    kind: ConnectorKind,
+    /// One sender per consumer partition.
+    senders: Vec<Sender<Frame>>,
+    buffers: Vec<Frame>,
+    producer_partition: usize,
+}
+
+impl Router {
+    pub fn new(kind: ConnectorKind, senders: Vec<Sender<Frame>>, producer_partition: usize) -> Self {
+        let n = senders.len();
+        Router {
+            kind,
+            senders,
+            buffers: (0..n).map(|_| Frame::new()).collect(),
+            producer_partition,
+        }
+    }
+
+    fn push(&mut self, tuple: &Tuple) {
+        match &self.kind {
+            ConnectorKind::OneToOne => self.buffer(self.producer_partition, tuple.clone()),
+            ConnectorKind::ToOne => self.buffer(0, tuple.clone()),
+            ConnectorKind::Broadcast => {
+                for p in 0..self.senders.len() {
+                    self.buffer(p, tuple.clone());
+                }
+            }
+            ConnectorKind::Hash(cols) => {
+                let keys: Vec<&Value> = cols.iter().map(|c| &tuple[*c]).collect();
+                let p = (stable_hash_many(&keys) % self.senders.len() as u64) as usize;
+                self.buffer(p, tuple.clone());
+            }
+        }
+    }
+
+    fn buffer(&mut self, partition: usize, tuple: Tuple) {
+        let buf = &mut self.buffers[partition];
+        buf.push(tuple);
+        if buf.len() >= FRAME_CAPACITY {
+            // A send failure means the consumer already terminated (error
+            // or limit); dropping the frame is correct either way.
+            let frame = std::mem::take(buf);
+            let _ = self.senders[partition].send(frame);
+        }
+    }
+
+    fn flush(&mut self) {
+        for p in 0..self.senders.len() {
+            if !self.buffers[p].is_empty() {
+                let frame = std::mem::take(&mut self.buffers[p]);
+                let _ = self.senders[p].send(frame);
+            }
+        }
+    }
+}
+
+/// All outgoing edges of one operator instance.
+pub struct Out {
+    routers: Vec<Router>,
+    pub produced: u64,
+}
+
+impl Out {
+    pub fn new(routers: Vec<Router>) -> Self {
+        Out {
+            routers,
+            produced: 0,
+        }
+    }
+
+    pub fn push(&mut self, tuple: Tuple) {
+        self.produced += 1;
+        for r in &mut self.routers {
+            r.push(&tuple);
+        }
+    }
+
+    pub fn finish(mut self) -> u64 {
+        for r in &mut self.routers {
+            r.flush();
+        }
+        self.produced
+        // Senders drop here, signalling end-of-stream downstream.
+    }
+}
+
+fn recv_tuples(rx: &Receiver<Frame>) -> impl Iterator<Item = Tuple> + '_ {
+    rx.iter().flatten()
+}
+
+fn drain_all(rx: &Receiver<Frame>) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for frame in rx.iter() {
+        out.extend(frame);
+    }
+    out
+}
+
+/// Aggregate state for one group.
+enum AggState {
+    Count(i64),
+    Sum(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    First(Option<Value>),
+    Collect(Vec<Value>),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        match spec {
+            AggSpec::Count => AggState::Count(0),
+            AggSpec::Sum(_) => AggState::Sum(0.0, true),
+            AggSpec::Min(_) => AggState::Min(None),
+            AggSpec::Max(_) => AggState::Max(None),
+            AggSpec::First(_) => AggState::First(None),
+            AggSpec::CollectSortedSet(_) => AggState::Collect(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, spec: &AggSpec, tuple: &Tuple) {
+        match (self, spec) {
+            (AggState::Count(n), AggSpec::Count) => *n += 1,
+            (AggState::Sum(acc, int), AggSpec::Sum(c)) => {
+                if let Some(x) = tuple[*c].as_f64() {
+                    *acc += x;
+                    *int &= matches!(tuple[*c], Value::Int64(_));
+                }
+            }
+            (AggState::Min(m), AggSpec::Min(c)) => {
+                let v = &tuple[*c];
+                if !v.is_unknown() && m.as_ref().map_or(true, |cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::Max(m), AggSpec::Max(c)) => {
+                let v = &tuple[*c];
+                if !v.is_unknown() && m.as_ref().map_or(true, |cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::First(f), AggSpec::First(c)) => {
+                if f.is_none() {
+                    *f = Some(tuple[*c].clone());
+                }
+            }
+            (AggState::Collect(items), AggSpec::CollectSortedSet(c)) => {
+                items.push(tuple[*c].clone());
+            }
+            _ => unreachable!("agg state/spec mismatch"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int64(n),
+            AggState::Sum(acc, int) => {
+                if int {
+                    Value::Int64(acc as i64)
+                } else {
+                    Value::double(acc)
+                }
+            }
+            AggState::Min(m) | AggState::Max(m) | AggState::First(m) => {
+                m.unwrap_or(Value::Null)
+            }
+            AggState::Collect(mut items) => {
+                items.sort();
+                items.dedup();
+                Value::OrderedList(items)
+            }
+        }
+    }
+}
+
+/// Run one operator instance. Returns (input tuples, output tuples).
+pub fn run_operator(
+    op: &PhysicalOp,
+    partition: usize,
+    inputs: Vec<Receiver<Frame>>,
+    out: Out,
+    ctx: &ClusterContext,
+    sink: &Mutex<Vec<Tuple>>,
+) -> Result<(u64, u64), String> {
+    let reg = &ctx.registry;
+    let mut consumed: u64 = 0;
+    match op {
+        PhysicalOp::EmptySource => {
+            let mut out = out;
+            if partition == 0 {
+                out.push(Vec::new());
+            }
+            Ok((0, out.finish()))
+        }
+        PhysicalOp::DatasetScan { dataset } => {
+            let mut out = out;
+            let set = ctx.partitions[partition].read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+            for (pk, rec) in store.primary().scan() {
+                out.push(vec![pk, rec]);
+            }
+            Ok((0, out.finish()))
+        }
+        PhysicalOp::Select { predicate } => {
+            let mut out = out;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                if predicate.eval(&t, reg)?.is_true() {
+                    out.push(t);
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Assign { exprs } => {
+            let mut out = out;
+            for mut t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                let base = t.clone();
+                for e in exprs {
+                    t.push(e.eval(&base, reg)?);
+                }
+                out.push(t);
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Project { cols } => {
+            let mut out = out;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                out.push(cols.iter().map(|c| t[*c].clone()).collect());
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Sort { keys } => {
+            let mut out = out;
+            let mut all = drain_all(&inputs[0]);
+            consumed = all.len() as u64;
+            all.sort_by(|a, b| compare_tuples(a, b, keys));
+            for t in all {
+                out.push(t);
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::HashJoin {
+            left_keys,
+            right_keys,
+        } => run_hash_join(left_keys, right_keys, &inputs, out, &mut consumed),
+        PhysicalOp::NestedLoopJoin { predicate } => {
+            let mut out = out;
+            let left = drain_all(&inputs[0]);
+            consumed += left.len() as u64;
+            for rt in recv_tuples(&inputs[1]) {
+                consumed += 1;
+                for lt in &left {
+                    let mut combined = lt.clone();
+                    combined.extend(rt.iter().cloned());
+                    if predicate.eval(&combined, reg)?.is_true() {
+                        out.push(combined);
+                    }
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::HashGroupBy { keys, aggs } => {
+            let mut out = out;
+            let mut groups: HashMap<u64, Vec<(Tuple, Vec<AggState>)>> = HashMap::new();
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                let key: Tuple = keys.iter().map(|c| t[*c].clone()).collect();
+                let refs: Vec<&Value> = key.iter().collect();
+                let h = stable_hash_many(&refs);
+                let bucket = groups.entry(h).or_default();
+                let entry = bucket.iter_mut().find(|(k, _)| k == &key);
+                let states = match entry {
+                    Some((_, s)) => s,
+                    None => {
+                        bucket.push((key, aggs.iter().map(AggState::new).collect()));
+                        &mut bucket.last_mut().unwrap().1
+                    }
+                };
+                for (state, spec) in states.iter_mut().zip(aggs) {
+                    state.update(spec, &t);
+                }
+            }
+            for (_, bucket) in groups {
+                for (key, states) in bucket {
+                    let mut row = key;
+                    for s in states {
+                        row.push(s.finish());
+                    }
+                    out.push(row);
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Unnest { expr, with_pos } => {
+            let mut out = out;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                let v = expr.eval(&t, reg)?;
+                if let Some(items) = v.as_list() {
+                    for (i, item) in items.iter().enumerate() {
+                        let mut row = t.clone();
+                        row.push(item.clone());
+                        if *with_pos {
+                            row.push(Value::Int64(i as i64));
+                        }
+                        out.push(row);
+                    }
+                }
+                // Non-list (including null/missing): no rows, like AQL's
+                // `for $x in <non-list>`.
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::StreamPos => {
+            let mut out = out;
+            let mut pos: i64 = 0;
+            for mut t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                t.push(Value::Int64(pos));
+                pos += 1;
+                out.push(t);
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::SecondaryIndexSearch {
+            dataset,
+            index,
+            key_col,
+            measure,
+        } => {
+            let mut out = out;
+            let set = ctx.partitions[partition].read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                let key = &t[*key_col];
+                let candidates =
+                    index_candidates(store, index, key, measure).map_err(|e| e.to_string())?;
+                for pk in candidates {
+                    let mut row = t.clone();
+                    row.push(pk);
+                    out.push(row);
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::PrimaryIndexLookup { dataset, pk_col } => {
+            let mut out = out;
+            let set = ctx.partitions[partition].read();
+            let store = set
+                .store(dataset)
+                .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                if let Some(rec) = store.primary().get(&t[*pk_col]) {
+                    let mut row = t;
+                    row.push(rec);
+                    out.push(row);
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Union => {
+            let mut out = out;
+            for rx in &inputs {
+                for t in recv_tuples(rx) {
+                    consumed += 1;
+                    out.push(t);
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Materialize => {
+            let mut out = out;
+            let all = drain_all(&inputs[0]);
+            consumed = all.len() as u64;
+            for t in all {
+                out.push(t);
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::Limit { n } => {
+            let mut out = out;
+            let mut taken = 0usize;
+            for t in recv_tuples(&inputs[0]) {
+                consumed += 1;
+                if taken < *n {
+                    taken += 1;
+                    out.push(t);
+                }
+                if taken >= *n {
+                    break; // stop reading; upstream sends are dropped
+                }
+            }
+            Ok((consumed, out.finish()))
+        }
+        PhysicalOp::ResultSink => {
+            let collected = drain_all(&inputs[0]);
+            consumed = collected.len() as u64;
+            sink.lock().extend(collected);
+            out.finish();
+            Ok((consumed, consumed))
+        }
+    }
+}
+
+fn run_hash_join(
+    left_keys: &[usize],
+    right_keys: &[usize],
+    inputs: &[Receiver<Frame>],
+    mut out: Out,
+    consumed: &mut u64,
+) -> Result<(u64, u64), String> {
+    // Build on input 0.
+    let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
+    for t in recv_tuples(&inputs[0]) {
+        *consumed += 1;
+        let refs: Vec<&Value> = left_keys.iter().map(|c| &t[*c]).collect();
+        table.entry(stable_hash_many(&refs)).or_default().push(t);
+    }
+    // Probe with input 1.
+    for rt in recv_tuples(&inputs[1]) {
+        *consumed += 1;
+        let refs: Vec<&Value> = right_keys.iter().map(|c| &rt[*c]).collect();
+        let h = stable_hash_many(&refs);
+        if let Some(bucket) = table.get(&h) {
+            for lt in bucket {
+                let equal = left_keys.iter().zip(right_keys).all(|(lc, rc)| {
+                    sql_compare(&lt[*lc], &rt[*rc]) == Some(Ordering::Equal)
+                });
+                if equal {
+                    let mut combined = lt.clone();
+                    combined.extend(rt.iter().cloned());
+                    out.push(combined);
+                }
+            }
+        }
+    }
+    Ok((*consumed, out.finish()))
+}
+
+/// Candidate primary keys from a secondary index for one search key.
+fn index_candidates(
+    store: &asterix_storage::PartitionStore,
+    index: &str,
+    key: &Value,
+    measure: &SearchMeasure,
+) -> Result<Vec<Value>, asterix_adm::AdmError> {
+    match measure {
+        SearchMeasure::Exact => store.btree_lookup(index, key),
+        SearchMeasure::Jaccard { delta } => {
+            let idx = store
+                .secondary(index)
+                .and_then(|s| s.as_inverted())
+                .ok_or_else(|| {
+                    asterix_adm::AdmError::Schema(format!("no inverted index '{index}'"))
+                })?;
+            let tokens = idx.tokens_of(key);
+            let t = jaccard_t_bound(tokens.len(), *delta);
+            if t <= 0 || tokens.is_empty() {
+                return Ok(Vec::new());
+            }
+            store.inverted_candidates(index, &tokens, t as usize)
+        }
+        SearchMeasure::Contains => {
+            let idx = store
+                .secondary(index)
+                .and_then(|s| s.as_inverted())
+                .ok_or_else(|| {
+                    asterix_adm::AdmError::Schema(format!("no inverted index '{index}'"))
+                })?;
+            let n = match idx.kind {
+                IndexKind::NGram(n) => n,
+                _ => {
+                    return Err(asterix_adm::AdmError::Schema(format!(
+                        "contains search requires an ngram index, '{index}' is {}",
+                        idx.kind.name()
+                    )))
+                }
+            };
+            let s = match key.as_str() {
+                Some(s) => s,
+                None => return Ok(Vec::new()),
+            };
+            let tokens: Vec<Value> = tokenize::gram_tokens_distinct(s, n)
+                .into_iter()
+                .map(Value::String)
+                .collect();
+            // Patterns shorter than n produce a truncated gram that full
+            // strings do not index: the plan must not reach here for
+            // them (compile-time corner case).
+            if s.chars().count() < n || tokens.is_empty() {
+                return Ok(Vec::new());
+            }
+            let t = tokens.len();
+            store.inverted_candidates(index, &tokens, t)
+        }
+        SearchMeasure::EditDistance { k } => {
+            let idx = store
+                .secondary(index)
+                .and_then(|s| s.as_inverted())
+                .ok_or_else(|| {
+                    asterix_adm::AdmError::Schema(format!("no inverted index '{index}'"))
+                })?;
+            let n = match idx.kind {
+                IndexKind::NGram(n) => n,
+                _ => {
+                    return Err(asterix_adm::AdmError::Schema(format!(
+                        "edit-distance search requires an ngram index, '{index}' is {}",
+                        idx.kind.name()
+                    )))
+                }
+            };
+            let s = match key.as_str() {
+                Some(s) => s,
+                None => return Ok(Vec::new()),
+            };
+            let tokens: Vec<Value> = tokenize::gram_tokens_distinct(s, n)
+                .into_iter()
+                .map(Value::String)
+                .collect();
+            // T over *distinct* grams: each edit operation can remove at
+            // most n distinct grams from the intersection.
+            let t = edit_distance_t_bound(tokens.len(), *k, n);
+            if t <= 0 {
+                // Corner case: the plan must route these keys to a scan
+                // path (Fig 14); reaching here means the key emits no
+                // candidates from the index.
+                return Ok(Vec::new());
+            }
+            store.inverted_candidates(index, &tokens, t as usize)
+        }
+    }
+}

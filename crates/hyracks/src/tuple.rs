@@ -1,0 +1,63 @@
+//! Tuples, frames, and sort-key comparison.
+
+use asterix_adm::Value;
+use std::cmp::Ordering;
+
+/// A tuple is a row of positional columns.
+pub type Tuple = Vec<Value>;
+
+/// A frame is a batch of tuples moved over a connector in one send.
+pub type Frame = Vec<Tuple>;
+
+/// Tuples per frame. Small enough to keep pipelines responsive, large
+/// enough to amortize channel overhead.
+pub const FRAME_CAPACITY: usize = 256;
+
+/// One sort key: a column index and a direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortKey {
+    pub col: usize,
+    pub desc: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: usize) -> Self {
+        SortKey { col, desc: false }
+    }
+
+    pub fn desc(col: usize) -> Self {
+        SortKey { col, desc: true }
+    }
+}
+
+/// Compare two tuples under a sort-key list.
+pub fn compare_tuples(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.col].cmp(&b[k.col]);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_key_compare() {
+        let a = vec![Value::Int64(1), Value::from("b")];
+        let b = vec![Value::Int64(1), Value::from("a")];
+        assert_eq!(compare_tuples(&a, &b, &[SortKey::asc(0)]), Ordering::Equal);
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::asc(0), SortKey::asc(1)]),
+            Ordering::Greater
+        );
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::asc(0), SortKey::desc(1)]),
+            Ordering::Less
+        );
+    }
+}

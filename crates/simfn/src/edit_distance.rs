@@ -1,0 +1,230 @@
+//! Edit (Levenshtein) distance on strings and on ordered lists.
+//!
+//! The paper (§2.1) defines edit distance as the minimum number of
+//! single-character insertions, deletions, and substitutions, and extends it
+//! to ordered lists (a string is an ordered list of characters). AsterixDB
+//! also ships an early-terminating variant that a user can choose (§3.2);
+//! here [`edit_distance_check`] is the early-terminating verifier used by
+//! index post-verification and by selection/join predicates with a
+//! threshold: it runs banded dynamic programming in `O((2k+1)·n)` and bails
+//! out as soon as the band's minimum exceeds the threshold.
+
+/// Exact edit distance between two strings (by Unicode scalar values).
+///
+/// ```
+/// use asterix_simfn::edit_distance;
+/// assert_eq!(edit_distance("james", "jamie"), 2); // the paper's example
+/// ```
+pub fn edit_distance(a: &str, b: &str) -> u32 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    generic_edit_distance(&a, &b)
+}
+
+/// Exact edit distance between two ordered lists of comparable items, e.g.
+/// the paper's `["Better","than","I","expected"]` vs
+/// `["Better","than","expected"]` = 1.
+pub fn list_edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> u32 {
+    generic_edit_distance(a, b)
+}
+
+/// Threshold check with early termination: returns `Some(d)` with the exact
+/// distance if `d <= k`, or `None` if the distance exceeds `k` (possibly
+/// terminating long before the full table is filled).
+pub fn edit_distance_check(a: &str, b: &str, k: u32) -> Option<u32> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    generic_edit_distance_check(&a, &b, k)
+}
+
+/// Threshold-checked edit distance on ordered lists.
+pub fn list_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Option<u32> {
+    generic_edit_distance_check(a, b, k)
+}
+
+/// Two-row dynamic program, O(m·n) time, O(min(m,n)) space.
+fn generic_edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> u32 {
+    // Keep the shorter sequence as the row to minimize memory.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let n = b.len();
+    if n == 0 {
+        return a.len() as u32;
+    }
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, ai) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for j in 1..=n {
+            let cost = if *ai == b[j - 1] { 0 } else { 1 };
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Banded DP bounded by threshold `k`: only cells with `|i - j| <= k` can be
+/// on an optimal path of cost `<= k`. Terminates early when an entire band
+/// row exceeds `k`.
+fn generic_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Option<u32> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let (m, n) = (a.len(), b.len());
+    // Length filter: |m - n| is a lower bound on the distance.
+    if (m - n) as u32 > k {
+        return None;
+    }
+    if n == 0 {
+        return if m as u32 <= k { Some(m as u32) } else { None };
+    }
+    let k = k as usize;
+    // Any cell with |i - j| > k has D[i][j] >= |i - j| > k, so the band
+    // outside is safely represented by `inf` = k + 1.
+    let inf = (k + 1) as u32;
+    // prev[j] = D[i-1][j] (inf outside the band).
+    let mut prev: Vec<u32> = (0..=n)
+        .map(|j| if j <= k { j as u32 } else { inf })
+        .collect();
+    let mut cur = vec![inf; n + 1];
+    for i in 1..=m {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(n);
+        cur[0] = if i <= k { i as u32 } else { inf };
+        let mut row_min = cur[0];
+        for j in lo..=hi {
+            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            let sub = prev[j - 1].saturating_add(cost);
+            let v = del.min(ins).min(sub).min(inf);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if row_min >= inf {
+            return None; // early termination: the whole band exceeded k
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        for x in cur.iter_mut() {
+            *x = inf;
+        }
+    }
+    let d = prev[n];
+    if d <= k as u32 {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(edit_distance("james", "jamie"), 2);
+        assert_eq!(edit_distance("marla", "maria"), 1);
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(edit_distance("caé", "cae"), 1);
+        assert_eq!(edit_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn list_distance_paper_example() {
+        let a = ["Better", "than", "I", "expected"];
+        let b = ["Better", "than", "expected"];
+        assert_eq!(list_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn check_agrees_when_under_threshold() {
+        assert_eq!(edit_distance_check("kitten", "sitting", 3), Some(3));
+        assert_eq!(edit_distance_check("kitten", "sitting", 5), Some(3));
+        assert_eq!(edit_distance_check("kitten", "sitting", 2), None);
+    }
+
+    #[test]
+    fn check_zero_threshold() {
+        assert_eq!(edit_distance_check("abc", "abc", 0), Some(0));
+        assert_eq!(edit_distance_check("abc", "abd", 0), None);
+    }
+
+    #[test]
+    fn check_length_filter() {
+        // Length difference 5 > k=2: must reject without DP.
+        assert_eq!(edit_distance_check("a", "abcdef", 2), None);
+    }
+
+    #[test]
+    fn check_empty_sides() {
+        assert_eq!(edit_distance_check("", "", 0), Some(0));
+        assert_eq!(edit_distance_check("", "ab", 2), Some(2));
+        assert_eq!(edit_distance_check("", "ab", 1), None);
+    }
+
+    #[test]
+    fn list_check() {
+        let a = [1, 2, 3, 4];
+        let b = [1, 3, 4];
+        assert_eq!(list_edit_distance_check(&a, &b, 1), Some(1));
+        assert_eq!(list_edit_distance_check(&a, &b, 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in "[a-b]{0,8}", b in "[a-b]{0,8}", c in "[a-b]{0,8}") {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn prop_identity(a in "[a-z]{0,16}") {
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+        }
+
+        #[test]
+        fn prop_check_matches_exact(a in "[a-c]{0,10}", b in "[a-c]{0,10}", k in 0u32..6) {
+            let exact = edit_distance(&a, &b);
+            let checked = edit_distance_check(&a, &b, k);
+            if exact <= k {
+                prop_assert_eq!(checked, Some(exact));
+            } else {
+                prop_assert_eq!(checked, None);
+            }
+        }
+
+        #[test]
+        fn prop_length_diff_lower_bound(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            let d = edit_distance(&a, &b) as i64;
+            let ld = (a.chars().count() as i64 - b.chars().count() as i64).abs();
+            prop_assert!(d >= ld);
+        }
+
+        #[test]
+        fn prop_string_equals_char_list(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            let la: Vec<char> = a.chars().collect();
+            let lb: Vec<char> = b.chars().collect();
+            prop_assert_eq!(edit_distance(&a, &b), list_edit_distance(&la, &lb));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Set-similarity measures: Jaccard (the paper's focus), dice, and cosine.
+//!
+//! Set semantics follow the paper's worked example (§2.1):
+//! `J({Good, Product, Value}, {Nice, Product}) = 1/4` — duplicate elements
+//! are collapsed. All functions accept unsorted inputs; internally they
+//! operate on sorted, deduplicated views so the intersection is a linear
+//! merge. [`jaccard_check`] is the early-terminating variant referenced in
+//! §6.3.1 ("optimizations such as early termination and pruning based on
+//! string lengths"): it applies the length filter `δ·|r| ≤ |s| ≤ |r|/δ`
+//! first and abandons the merge as soon as the remaining elements cannot
+//! reach the threshold.
+
+use std::cmp::Ordering;
+
+/// Sorted, deduplicated copy of `items`.
+fn canonical<T: Ord + Clone>(items: &[T]) -> Vec<T> {
+    let mut v = items.to_vec();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Intersection size of two sorted, deduplicated slices (linear merge).
+fn intersection_size<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard similarity `|r ∩ s| / |r ∪ s|` with set semantics.
+///
+/// Two empty sets have similarity 1 (they are identical).
+///
+/// ```
+/// use asterix_simfn::jaccard;
+/// let r = ["Good", "Product", "Value"];
+/// let s = ["Nice", "Product"];
+/// assert!((jaccard(&r, &s) - 0.25).abs() < 1e-12); // the paper's example
+/// ```
+pub fn jaccard<T: Ord + Clone>(r: &[T], s: &[T]) -> f64 {
+    let r = canonical(r);
+    let s = canonical(s);
+    if r.is_empty() && s.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(&r, &s);
+    let union = r.len() + s.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|r ∩ s| / (|r| + |s|)` with set semantics.
+pub fn dice<T: Ord + Clone>(r: &[T], s: &[T]) -> f64 {
+    let r = canonical(r);
+    let s = canonical(s);
+    if r.is_empty() && s.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(&r, &s);
+    2.0 * inter as f64 / (r.len() + s.len()) as f64
+}
+
+/// Cosine similarity `|r ∩ s| / sqrt(|r| · |s|)` with set semantics.
+pub fn cosine<T: Ord + Clone>(r: &[T], s: &[T]) -> f64 {
+    let r = canonical(r);
+    let s = canonical(s);
+    if r.is_empty() && s.is_empty() {
+        return 1.0;
+    }
+    if r.is_empty() || s.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(&r, &s);
+    inter as f64 / ((r.len() as f64) * (s.len() as f64)).sqrt()
+}
+
+/// Early-terminating Jaccard threshold check: returns `Some(sim)` iff
+/// `jaccard(r, s) >= delta`.
+///
+/// Applies the length filter first (`δ·|r| ≤ |s| ≤ |r|/δ` on deduplicated
+/// sizes), then merges with an upper-bound cutoff: if even matching all
+/// remaining elements cannot reach `δ`, the merge stops.
+pub fn jaccard_check<T: Ord + Clone>(r: &[T], s: &[T], delta: f64) -> Option<f64> {
+    let r = canonical(r);
+    let s = canonical(s);
+    jaccard_check_sorted(&r, &s, delta)
+}
+
+/// Like [`jaccard_check`] but requires both inputs already sorted and
+/// deduplicated (the three-stage join path keeps token lists in this form).
+pub fn jaccard_check_sorted<T: Ord>(r: &[T], s: &[T], delta: f64) -> Option<f64> {
+    if r.is_empty() && s.is_empty() {
+        return if delta <= 1.0 { Some(1.0) } else { None };
+    }
+    if r.is_empty() || s.is_empty() {
+        return if delta <= 0.0 { Some(0.0) } else { None };
+    }
+    let (lr, ls) = (r.len() as f64, s.len() as f64);
+    // Length filter: J(r,s) <= min(|r|,|s|) / max(|r|,|s|).
+    if delta > 0.0 && lr.min(ls) / lr.max(ls) < delta - 1e-12 {
+        return None;
+    }
+    // Required intersection size: inter / (|r|+|s|-inter) >= δ
+    //   ⇔ inter >= δ(|r|+|s|) / (1+δ).
+    let required = (delta * (lr + ls) / (1.0 + delta) - 1e-9).ceil().max(0.0) as usize;
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        // Upper bound on achievable intersection from here on.
+        let rest = (r.len() - i).min(s.len() - j);
+        if inter + rest < required {
+            return None; // early termination
+        }
+        match r[i].cmp(&s[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let sim = inter as f64 / (r.len() + s.len() - inter) as f64;
+    if sim >= delta - 1e-12 {
+        Some(sim)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        let r = ["Good", "Product", "Value"];
+        let s = ["Nice", "Product"];
+        assert!((jaccard(&r, &s) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(dice(&[1, 2], &[2, 1]), 1.0);
+        assert_eq!(cosine(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(dice(&[1], &[2]), 0.0);
+        assert_eq!(cosine(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        // {a,a,b} vs {a,b,b} are both {a,b}.
+        assert_eq!(jaccard(&["a", "a", "b"], &["a", "b", "b"]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(jaccard::<i32>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[], &[1]), 0.0);
+        assert_eq!(cosine(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn check_accepts_and_rejects() {
+        let r = ["good", "product", "value"];
+        let s = ["nice", "product"];
+        assert!(jaccard_check(&r, &s, 0.25).is_some());
+        assert!(jaccard_check(&r, &s, 0.26).is_none());
+        assert_eq!(jaccard_check(&r, &s, 0.2), Some(0.25));
+    }
+
+    #[test]
+    fn check_length_filter_rejects_fast() {
+        let r: Vec<i32> = (0..100).collect();
+        let s = [0];
+        // min/max = 1/100 < 0.5, rejected by the length filter.
+        assert!(jaccard_check(&r, &s, 0.5).is_none());
+    }
+
+    #[test]
+    fn check_zero_threshold_accepts_all() {
+        assert!(jaccard_check(&[1], &[2], 0.0).is_some());
+    }
+
+    #[test]
+    fn dice_cosine_bounds() {
+        let r = [1, 2, 3];
+        let s = [2, 3, 4, 5];
+        let d = dice(&r, &s);
+        let c = cosine(&r, &s);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jaccard_symmetric(r in prop::collection::vec(0u8..20, 0..16),
+                                  s in prop::collection::vec(0u8..20, 0..16)) {
+            prop_assert_eq!(jaccard(&r, &s), jaccard(&s, &r));
+        }
+
+        #[test]
+        fn prop_jaccard_in_unit_interval(r in prop::collection::vec(0u8..20, 0..16),
+                                         s in prop::collection::vec(0u8..20, 0..16)) {
+            let j = jaccard(&r, &s);
+            prop_assert!((0.0..=1.0).contains(&j));
+        }
+
+        #[test]
+        fn prop_check_agrees_with_exact(r in prop::collection::vec(0u8..12, 0..12),
+                                        s in prop::collection::vec(0u8..12, 0..12),
+                                        delta in 0.0f64..1.0) {
+            let exact = jaccard(&r, &s);
+            match jaccard_check(&r, &s, delta) {
+                Some(sim) => {
+                    prop_assert!((sim - exact).abs() < 1e-9);
+                    prop_assert!(exact >= delta - 1e-9);
+                }
+                None => prop_assert!(exact < delta + 1e-9),
+            }
+        }
+
+        #[test]
+        fn prop_jaccard_le_dice(r in prop::collection::vec(0u8..10, 0..12),
+                                s in prop::collection::vec(0u8..10, 0..12)) {
+            // Dice >= Jaccard always.
+            prop_assert!(dice(&r, &s) >= jaccard(&r, &s) - 1e-12);
+        }
+    }
+}

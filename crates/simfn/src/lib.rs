@@ -1,0 +1,40 @@
+//! # asterix-simfn
+//!
+//! The similarity-function library of the reproduction: everything §2
+//! ("Preliminaries") and §3.1 ("Supported Similarity Measures") of
+//! *Supporting Similarity Queries in Apache AsterixDB* (EDBT 2018) relies
+//! on:
+//!
+//! * [`edit_distance`] — Levenshtein distance on strings *and* on ordered
+//!   lists (the paper's extension: a string is an ordered list of
+//!   characters), with a banded, early-terminating threshold check used in
+//!   verification,
+//! * [`jaccard`] — set-semantics Jaccard (the paper's worked example:
+//!   J({Good, Product, Value}, {Nice, Product}) = 1/4), plus dice and
+//!   cosine, with a length-filtered, early-terminating check,
+//! * [`tokenize`] — `word-tokens()` and `gram-tokens(n)` tokenizers,
+//! * [`prefix`] — prefix-filtering helpers (`prefix-len-jaccard()`,
+//!   `subset-collection()`, global token orders),
+//! * [`toccurrence`] — the *T-occurrence problem* (§2.2): lower bounds and
+//!   inverted-list merge algorithms (ScanCount, heap merge),
+//! * [`registry`] — the similarity-function registry, including user-defined
+//!   functions (§3.1's UDF support).
+
+pub mod edit_distance;
+pub mod jaccard;
+pub mod prefix;
+pub mod registry;
+pub mod string_extra;
+pub mod toccurrence;
+pub mod tokenize;
+
+pub use edit_distance::{edit_distance, edit_distance_check, list_edit_distance};
+pub use jaccard::{cosine, dice, jaccard, jaccard_check};
+pub use prefix::{prefix_len_jaccard, subset_collection};
+pub use registry::{FunctionRegistry, SimilarityMeasure};
+pub use string_extra::{hamming_distance, jaro, jaro_winkler, overlap_coefficient};
+pub use toccurrence::{
+    edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip, t_occurrence_heap,
+    t_occurrence_scan_count,
+};
+pub use tokenize::{gram_tokens, word_tokens};

@@ -1,0 +1,178 @@
+//! Prefix filtering (§1.1, §4.2.2): two sets can reach a Jaccard threshold
+//! only if their *prefixes* under a global token order share an element.
+//!
+//! The three-stage join (Stage 1) establishes a global token order — we
+//! implement the paper's choice, increasing token frequency ("which tends to
+//! generate fewer candidate pairs [34]") — and Stage 2 extracts each
+//! record's prefix with `prefix-len-jaccard()` + `subset-collection()`,
+//! which are reproduced here verbatim as library functions.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Length of the prefix that must be indexed/probed for Jaccard threshold
+/// `delta` on a (deduplicated) token set of size `len`:
+/// `len - ceil(delta * len) + 1`.
+///
+/// Any two sets r, s with `J(r,s) >= delta` must share at least one token
+/// within their first `prefix_len_jaccard(|·|, delta)` tokens under a common
+/// global order.
+pub fn prefix_len_jaccard(len: usize, delta: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let required = (delta * len as f64 - 1e-9).ceil().max(0.0) as usize;
+    len - required.min(len) + 1
+}
+
+/// AQL's `subset-collection(list, start, count)` — the contiguous slice
+/// used to take the prefix of a ranked token list (clamped to bounds).
+pub fn subset_collection<T: Clone>(list: &[T], start: usize, count: usize) -> Vec<T> {
+    if start >= list.len() {
+        return Vec::new();
+    }
+    let end = (start + count).min(list.len());
+    list[start..end].to_vec()
+}
+
+/// A global token order: token → rank. Stage 2 sorts each record's tokens
+/// by rank before prefix extraction.
+#[derive(Clone, Debug, Default)]
+pub struct TokenOrder<T: Eq + Hash> {
+    ranks: HashMap<T, u32>,
+}
+
+impl<T: Eq + Hash + Clone + Ord> TokenOrder<T> {
+    /// Build the increasing-frequency order from `(token, count)` pairs.
+    /// Ties are broken by the token itself (the paper's
+    /// `order by count($id), $tokenGrouped`).
+    pub fn from_counts(counts: impl IntoIterator<Item = (T, usize)>) -> Self {
+        let mut pairs: Vec<(T, usize)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let ranks = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (tok, _))| (tok, rank as u32))
+            .collect();
+        TokenOrder { ranks }
+    }
+
+    /// Build an arbitrary (insertion) order — the ablation baseline for the
+    /// §4.2.2 claim that frequency order beats arbitrary order.
+    pub fn arbitrary(tokens: impl IntoIterator<Item = T>) -> Self {
+        let mut ranks = HashMap::new();
+        let mut next = 0u32;
+        for t in tokens {
+            ranks.entry(t).or_insert_with(|| {
+                let r = next;
+                next += 1;
+                r
+            });
+        }
+        TokenOrder { ranks }
+    }
+
+    pub fn rank(&self, token: &T) -> Option<u32> {
+        self.ranks.get(token).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Map a record's distinct tokens to their sorted ranks (tokens absent
+    /// from the order are dropped, matching the join-with-ranks semantics
+    /// of the AQL in Fig 11).
+    pub fn ranked(&self, tokens: &[T]) -> Vec<u32> {
+        let mut ranks: Vec<u32> = tokens.iter().filter_map(|t| self.rank(t)).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// The prefix of a record's ranked tokens for a Jaccard threshold.
+    pub fn prefix(&self, tokens: &[T], delta: f64) -> Vec<u32> {
+        let ranked = self.ranked(tokens);
+        let plen = prefix_len_jaccard(ranked.len(), delta);
+        subset_collection(&ranked, 0, plen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_len_formula() {
+        // len 4, delta 0.5 -> required overlap 2 -> prefix 3.
+        assert_eq!(prefix_len_jaccard(4, 0.5), 3);
+        assert_eq!(prefix_len_jaccard(10, 0.8), 3);
+        assert_eq!(prefix_len_jaccard(0, 0.5), 0);
+        assert_eq!(prefix_len_jaccard(5, 0.0), 6.min(5 + 1)); // delta 0: whole set + 1 clamps later
+        assert_eq!(prefix_len_jaccard(1, 1.0), 1);
+    }
+
+    #[test]
+    fn subset_collection_bounds() {
+        let v = [1, 2, 3, 4];
+        assert_eq!(subset_collection(&v, 0, 2), vec![1, 2]);
+        assert_eq!(subset_collection(&v, 2, 10), vec![3, 4]);
+        assert_eq!(subset_collection(&v, 9, 2), Vec::<i32>::new());
+        assert_eq!(subset_collection(&v, 0, 0), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn frequency_order_ranks_rare_first() {
+        let order =
+            TokenOrder::from_counts(vec![("common", 100usize), ("rare", 1), ("mid", 10)]);
+        assert!(order.rank(&"rare").unwrap() < order.rank(&"mid").unwrap());
+        assert!(order.rank(&"mid").unwrap() < order.rank(&"common").unwrap());
+    }
+
+    #[test]
+    fn ranked_sorted_dedup() {
+        let order = TokenOrder::from_counts(vec![("a", 1usize), ("b", 2), ("c", 3)]);
+        let ranked = order.ranked(&["c", "a", "c", "zzz-unknown"]);
+        assert_eq!(ranked, order.ranked(&["a", "c"]));
+        assert!(ranked.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    proptest! {
+        /// The prefix-filter completeness property: if J(r, s) >= delta then
+        /// their prefixes under a shared order intersect.
+        #[test]
+        fn prop_prefix_filter_complete(
+            r in prop::collection::hash_set(0u8..30, 1..12),
+            s in prop::collection::hash_set(0u8..30, 1..12),
+            delta in 0.05f64..1.0,
+        ) {
+            let r: Vec<u8> = r.into_iter().collect();
+            let s: Vec<u8> = s.into_iter().collect();
+            let all: Vec<(u8, usize)> = (0u8..30).map(|t| (t, (t as usize) + 1)).collect();
+            let order = TokenOrder::from_counts(all);
+            if jaccard(&r, &s) >= delta {
+                let pr = order.prefix(&r, delta);
+                let ps = order.prefix(&s, delta);
+                let shared = pr.iter().any(|x| ps.contains(x));
+                prop_assert!(shared, "prefixes must share a token: {pr:?} vs {ps:?}");
+            }
+        }
+
+        #[test]
+        fn prop_prefix_len_bounds(len in 0usize..200, delta in 0.0f64..=1.0) {
+            let p = prefix_len_jaccard(len, delta);
+            if len == 0 {
+                prop_assert_eq!(p, 0);
+            } else {
+                prop_assert!(p >= 1);
+                prop_assert!(p <= len + 1 - ((delta * len as f64).ceil() as usize).min(len));
+            }
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The similarity-function registry and the [`SimilarityMeasure`]
+//! descriptor.
+//!
+//! §3.1: AsterixDB ships built-in measures (edit distance, Jaccard) and
+//! lets users register their own similarity UDFs (`create function
+//! similarity-cosine(x, y) { ... }`). The registry maps function names to
+//! implementations over ADM [`Value`]s; the expression evaluator of the
+//! runtime resolves calls through it, so a UDF is usable anywhere a
+//! built-in is — including inside `~=` via `set simfunction`.
+
+use asterix_adm::{Value, ValueKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::edit_distance::{edit_distance, edit_distance_check, list_edit_distance, list_edit_distance_check};
+use crate::jaccard::{cosine, dice, jaccard, jaccard_check};
+use crate::prefix::{prefix_len_jaccard, subset_collection};
+use crate::tokenize::{gram_tokens, word_tokens};
+
+/// A scalar function over ADM values. Errors are runtime type errors.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
+
+/// A similarity predicate with its threshold — what `~=` desugars to after
+/// reading `set simfunction` / `set simthreshold` (§3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimilarityMeasure {
+    /// `similarity-jaccard(x, y) >= delta`
+    Jaccard { delta: f64 },
+    /// `edit-distance(x, y) <= k`
+    EditDistance { k: u32 },
+}
+
+impl SimilarityMeasure {
+    pub fn function_name(&self) -> &'static str {
+        match self {
+            SimilarityMeasure::Jaccard { .. } => "similarity-jaccard",
+            SimilarityMeasure::EditDistance { .. } => "edit-distance",
+        }
+    }
+
+    /// Verify the predicate on two values (the SELECT operator that removes
+    /// false positives runs exactly this).
+    pub fn verify(&self, a: &Value, b: &Value) -> bool {
+        match self {
+            SimilarityMeasure::Jaccard { delta } => match (a.as_list(), b.as_list()) {
+                (Some(x), Some(y)) => jaccard_check(x, y, *delta).is_some(),
+                _ => false,
+            },
+            SimilarityMeasure::EditDistance { k } => match (a, b) {
+                (Value::String(x), Value::String(y)) => edit_distance_check(x, y, *k).is_some(),
+                (Value::OrderedList(x), Value::OrderedList(y)) => {
+                    list_edit_distance_check(x, y, *k).is_some()
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for SimilarityMeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimilarityMeasure::Jaccard { delta } => write!(f, "jaccard >= {delta}"),
+            SimilarityMeasure::EditDistance { k } => write!(f, "edit-distance <= {k}"),
+        }
+    }
+}
+
+/// Function registry: the built-ins of §3 plus user-defined functions.
+#[derive(Clone)]
+pub struct FunctionRegistry {
+    fns: HashMap<String, ScalarFn>,
+}
+
+impl fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(|s| s.as_str()).collect();
+        names.sort();
+        f.debug_struct("FunctionRegistry").field("functions", &names).finish()
+    }
+}
+
+impl FunctionRegistry {
+    /// Registry pre-populated with every built-in function used by the
+    /// paper's queries and plans.
+    pub fn with_builtins() -> Self {
+        let mut r = FunctionRegistry { fns: HashMap::new() };
+        r.register("edit-distance", |args| {
+            expect_arity(args, 2, "edit-distance")?;
+            match (&args[0], &args[1]) {
+                (Value::String(a), Value::String(b)) => {
+                    Ok(Value::Int64(edit_distance(a, b) as i64))
+                }
+                (Value::OrderedList(a), Value::OrderedList(b)) => {
+                    Ok(Value::Int64(list_edit_distance(a, b) as i64))
+                }
+                (a, b) if a.is_unknown() || b.is_unknown() => Ok(Value::Null),
+                (a, b) => Err(type_err("edit-distance", &[a, b])),
+            }
+        });
+        r.register("edit-distance-check", |args| {
+            expect_arity(args, 3, "edit-distance-check")?;
+            let k = int_arg(&args[2], "edit-distance-check")? as u32;
+            let ok = match (&args[0], &args[1]) {
+                (Value::String(a), Value::String(b)) => edit_distance_check(a, b, k).is_some(),
+                (Value::OrderedList(a), Value::OrderedList(b)) => {
+                    list_edit_distance_check(a, b, k).is_some()
+                }
+                (a, b) if a.is_unknown() || b.is_unknown() => false,
+                (a, b) => return Err(type_err("edit-distance-check", &[a, b])),
+            };
+            Ok(Value::Boolean(ok))
+        });
+        r.register("similarity-jaccard", |args| {
+            if args.len() == 3 {
+                // Early-terminating variant with an inline threshold, as in
+                // Fig 11 line 45: similarity-jaccard($l, $r, .5f).
+                let delta = float_arg(&args[2], "similarity-jaccard")?;
+                return match (args[0].as_list(), args[1].as_list()) {
+                    (Some(a), Some(b)) => Ok(Value::double(
+                        jaccard_check(a, b, delta).unwrap_or(0.0),
+                    )),
+                    _ => Ok(Value::double(0.0)),
+                };
+            }
+            expect_arity(args, 2, "similarity-jaccard")?;
+            match (args[0].as_list(), args[1].as_list()) {
+                (Some(a), Some(b)) => Ok(Value::double(jaccard(a, b))),
+                _ if args[0].is_unknown() || args[1].is_unknown() => Ok(Value::Null),
+                _ => Err(type_err("similarity-jaccard", &[&args[0], &args[1]])),
+            }
+        });
+        r.register("similarity-dice", |args| {
+            expect_arity(args, 2, "similarity-dice")?;
+            match (args[0].as_list(), args[1].as_list()) {
+                (Some(a), Some(b)) => Ok(Value::double(dice(a, b))),
+                _ => Err(type_err("similarity-dice", &[&args[0], &args[1]])),
+            }
+        });
+        r.register("similarity-cosine", |args| {
+            expect_arity(args, 2, "similarity-cosine")?;
+            match (args[0].as_list(), args[1].as_list()) {
+                (Some(a), Some(b)) => Ok(Value::double(cosine(a, b))),
+                _ => Err(type_err("similarity-cosine", &[&args[0], &args[1]])),
+            }
+        });
+        r.register("word-tokens", |args| {
+            expect_arity(args, 1, "word-tokens")?;
+            match &args[0] {
+                Value::String(s) => Ok(Value::OrderedList(
+                    word_tokens(s).into_iter().map(Value::String).collect(),
+                )),
+                Value::OrderedList(_) => Ok(args[0].clone()),
+                v if v.is_unknown() => Ok(Value::OrderedList(vec![])),
+                v => Err(type_err("word-tokens", &[v])),
+            }
+        });
+        r.register("gram-tokens", |args| {
+            expect_arity(args, 2, "gram-tokens")?;
+            let n = int_arg(&args[1], "gram-tokens")? as usize;
+            match &args[0] {
+                Value::String(s) => Ok(Value::OrderedList(
+                    gram_tokens(s, n.max(1)).into_iter().map(Value::String).collect(),
+                )),
+                v if v.is_unknown() => Ok(Value::OrderedList(vec![])),
+                v => Err(type_err("gram-tokens", &[v])),
+            }
+        });
+        r.register("prefix-len-jaccard", |args| {
+            expect_arity(args, 2, "prefix-len-jaccard")?;
+            let len = int_arg(&args[0], "prefix-len-jaccard")? as usize;
+            let delta = float_arg(&args[1], "prefix-len-jaccard")?;
+            Ok(Value::Int64(prefix_len_jaccard(len, delta) as i64))
+        });
+        r.register("subset-collection", |args| {
+            expect_arity(args, 3, "subset-collection")?;
+            let start = int_arg(&args[1], "subset-collection")?.max(0) as usize;
+            let count = int_arg(&args[2], "subset-collection")?.max(0) as usize;
+            match args[0].as_list() {
+                Some(items) => Ok(Value::OrderedList(subset_collection(items, start, count))),
+                None => Err(type_err("subset-collection", &[&args[0]])),
+            }
+        });
+        r.register("len", |args| {
+            expect_arity(args, 1, "len")?;
+            match args[0].len() {
+                Some(n) => Ok(Value::Int64(n as i64)),
+                None if args[0].is_unknown() => Ok(Value::Null),
+                None => Err(type_err("len", &[&args[0]])),
+            }
+        });
+        r.register("edit-distance-can-use-index", |args| {
+            // True iff an ngram(n) index search for this key with threshold
+            // k has a positive T-occurrence bound (non-corner-case, §5.1.1).
+            // Mirrors the runtime index search: T over distinct grams.
+            expect_arity(args, 3, "edit-distance-can-use-index")?;
+            let k = int_arg(&args[1], "edit-distance-can-use-index")?.max(0) as u32;
+            let n = int_arg(&args[2], "edit-distance-can-use-index")?.max(1) as usize;
+            let ok = match &args[0] {
+                Value::String(s) => {
+                    let grams = crate::tokenize::gram_tokens_distinct(s, n);
+                    crate::toccurrence::edit_distance_t_bound(grams.len(), k, n) > 0
+                }
+                _ => false,
+            };
+            Ok(Value::Boolean(ok))
+        });
+        r.register("hamming-distance", |args| {
+            expect_arity(args, 2, "hamming-distance")?;
+            match (&args[0], &args[1]) {
+                (Value::String(a), Value::String(b)) => {
+                    Ok(match crate::string_extra::hamming_distance(a, b) {
+                        Some(d) => Value::Int64(d as i64),
+                        None => Value::Null, // undefined for unequal lengths
+                    })
+                }
+                (a, b) if a.is_unknown() || b.is_unknown() => Ok(Value::Null),
+                (a, b) => Err(type_err("hamming-distance", &[a, b])),
+            }
+        });
+        r.register("similarity-jaro-winkler", |args| {
+            expect_arity(args, 2, "similarity-jaro-winkler")?;
+            match (&args[0], &args[1]) {
+                (Value::String(a), Value::String(b)) => {
+                    Ok(Value::double(crate::string_extra::jaro_winkler(a, b)))
+                }
+                (a, b) if a.is_unknown() || b.is_unknown() => Ok(Value::Null),
+                (a, b) => Err(type_err("similarity-jaro-winkler", &[a, b])),
+            }
+        });
+        r.register("similarity-overlap", |args| {
+            expect_arity(args, 2, "similarity-overlap")?;
+            match (args[0].as_list(), args[1].as_list()) {
+                (Some(a), Some(b)) => {
+                    Ok(Value::double(crate::string_extra::overlap_coefficient(a, b)))
+                }
+                _ => Err(type_err("similarity-overlap", &[&args[0], &args[1]])),
+            }
+        });
+        r.register("get-item", |args| {
+            expect_arity(args, 2, "get-item")?;
+            let i = int_arg(&args[1], "get-item")?;
+            match args[0].as_list() {
+                Some(items) if i >= 0 => {
+                    Ok(items.get(i as usize).cloned().unwrap_or(Value::Missing))
+                }
+                _ => Ok(Value::Missing),
+            }
+        });
+        r.register("contains", |args| {
+            expect_arity(args, 2, "contains")?;
+            match (&args[0], &args[1]) {
+                (Value::String(a), Value::String(b)) => Ok(Value::Boolean(a.contains(b.as_str()))),
+                (a, b) => Err(type_err("contains", &[a, b])),
+            }
+        });
+        r
+    }
+
+    /// Register a function (built-in or UDF). Overwrites any previous
+    /// binding with the same name.
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.fns.insert(name.to_string(), Arc::new(f));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&ScalarFn> {
+        self.fns.get(name)
+    }
+
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, String> {
+        match self.fns.get(name) {
+            Some(f) => f(args),
+            None => Err(format!("unknown function '{name}'")),
+        }
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+fn expect_arity(args: &[Value], n: usize, name: &str) -> Result<(), String> {
+    if args.len() != n {
+        Err(format!("{name} expects {n} arguments, got {}", args.len()))
+    } else {
+        Ok(())
+    }
+}
+
+fn int_arg(v: &Value, name: &str) -> Result<i64, String> {
+    v.as_i64()
+        .or_else(|| v.as_f64().map(|x| x as i64))
+        .ok_or_else(|| format!("{name}: expected integer, got {}", v.kind().name()))
+}
+
+fn float_arg(v: &Value, name: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("{name}: expected number, got {}", v.kind().name()))
+}
+
+fn type_err(name: &str, args: &[&Value]) -> String {
+    let kinds: Vec<&str> = args.iter().map(|v| v.kind().name()).collect();
+    format!("{name}: unsupported argument types {kinds:?}")
+}
+
+/// Helper: does `kind` describe a value a similarity measure can apply to?
+pub fn measure_applicable(measure: &SimilarityMeasure, kind: ValueKind) -> bool {
+    match measure {
+        SimilarityMeasure::Jaccard { .. } => {
+            matches!(kind, ValueKind::OrderedList | ValueKind::UnorderedList)
+        }
+        SimilarityMeasure::EditDistance { .. } => {
+            matches!(kind, ValueKind::String | ValueKind::OrderedList)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_of(words: &[&str]) -> Value {
+        Value::OrderedList(words.iter().map(|w| Value::from(*w)).collect())
+    }
+
+    #[test]
+    fn builtin_edit_distance() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("edit-distance", &[Value::from("james"), Value::from("jamie")]),
+            Ok(Value::Int64(2))
+        );
+    }
+
+    #[test]
+    fn builtin_jaccard_paper_example() {
+        let r = FunctionRegistry::with_builtins();
+        let a = list_of(&["Good", "Product", "Value"]);
+        let b = list_of(&["Nice", "Product"]);
+        assert_eq!(
+            r.call("similarity-jaccard", &[a, b]),
+            Ok(Value::double(0.25))
+        );
+    }
+
+    #[test]
+    fn builtin_word_tokens_then_jaccard() {
+        let r = FunctionRegistry::with_builtins();
+        let t1 = r.call("word-tokens", &[Value::from("Great Product")]).unwrap();
+        let t2 = r.call("word-tokens", &[Value::from("great product!")]).unwrap();
+        assert_eq!(r.call("similarity-jaccard", &[t1, t2]), Ok(Value::double(1.0)));
+    }
+
+    #[test]
+    fn builtin_prefix_helpers() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("prefix-len-jaccard", &[Value::Int64(4), Value::double(0.5)]),
+            Ok(Value::Int64(3))
+        );
+        let lst = Value::OrderedList(vec![1.into(), 2.into(), 3.into(), 4.into()]);
+        assert_eq!(
+            r.call("subset-collection", &[lst, Value::Int64(0), Value::Int64(2)]),
+            Ok(Value::OrderedList(vec![1.into(), 2.into()]))
+        );
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let r = FunctionRegistry::with_builtins();
+        assert!(r.call("no-such-fn", &[]).is_err());
+    }
+
+    #[test]
+    fn udf_registration_and_override() {
+        let mut r = FunctionRegistry::with_builtins();
+        r.register("similarity-reverse-eq", |args| {
+            let a = args[0].as_str().unwrap_or_default();
+            let b: String = args[1].as_str().unwrap_or_default().chars().rev().collect();
+            Ok(Value::double(if a == b { 1.0 } else { 0.0 }))
+        });
+        assert_eq!(
+            r.call("similarity-reverse-eq", &[Value::from("abc"), Value::from("cba")]),
+            Ok(Value::double(1.0))
+        );
+        // Overriding a built-in is allowed (user-provided logic wins).
+        r.register("len", |_| Ok(Value::Int64(99)));
+        assert_eq!(r.call("len", &[Value::from("x")]), Ok(Value::Int64(99)));
+    }
+
+    #[test]
+    fn measure_verify() {
+        let jac = SimilarityMeasure::Jaccard { delta: 0.5 };
+        assert!(jac.verify(&list_of(&["a", "b"]), &list_of(&["a", "b", "c"])));
+        assert!(!jac.verify(&list_of(&["a"]), &list_of(&["b"])));
+        let ed = SimilarityMeasure::EditDistance { k: 1 };
+        assert!(ed.verify(&Value::from("marla"), &Value::from("maria")));
+        assert!(!ed.verify(&Value::from("marla"), &Value::from("bob")));
+    }
+
+    #[test]
+    fn measure_verify_type_mismatch_is_false() {
+        let jac = SimilarityMeasure::Jaccard { delta: 0.5 };
+        assert!(!jac.verify(&Value::Int64(1), &Value::Int64(1)));
+        let ed = SimilarityMeasure::EditDistance { k: 2 };
+        assert!(!ed.verify(&Value::Null, &Value::from("x")));
+    }
+
+    #[test]
+    fn edit_distance_null_propagates() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("edit-distance", &[Value::Null, Value::from("x")]),
+            Ok(Value::Null)
+        );
+    }
+
+    #[test]
+    fn extra_string_measures() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("hamming-distance", &[Value::from("karolin"), Value::from("kathrin")]),
+            Ok(Value::Int64(3))
+        );
+        assert_eq!(
+            r.call("hamming-distance", &[Value::from("ab"), Value::from("abc")]),
+            Ok(Value::Null)
+        );
+        let jw = r
+            .call("similarity-jaro-winkler", &[Value::from("martha"), Value::from("marhta")])
+            .unwrap();
+        assert!(jw.as_f64().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn arity_errors() {
+        let r = FunctionRegistry::with_builtins();
+        assert!(r.call("edit-distance", &[Value::from("a")]).is_err());
+        assert!(r.call("len", &[]).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Additional string-similarity measures the paper mentions alongside
+//! edit distance (§2.1: "There are other string-similarity functions such
+//! as Hamming distance and Jaro-winkler distance"). They are available as
+//! built-in functions and usable anywhere a UDF is (§3.1).
+
+/// Hamming distance: number of positions at which two equal-length
+/// strings differ; `None` when lengths differ (Hamming is undefined
+/// there).
+pub fn hamming_distance(a: &str, b: &str) -> Option<u32> {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.len() != bc.len() {
+        return None;
+    }
+    Some(ac.iter().zip(&bc).filter(|(x, y)| x != y).count() as u32)
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.is_empty() && bc.is_empty() {
+        return 1.0;
+    }
+    if ac.is_empty() || bc.is_empty() {
+        return 0.0;
+    }
+    let window = (ac.len().max(bc.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; bc.len()];
+    let mut a_used = vec![false; ac.len()];
+    let mut matches = 0usize;
+    for (i, ca) in ac.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(bc.len());
+        for (j, used) in b_used.iter_mut().enumerate().take(hi).skip(lo) {
+            if !*used && bc[j] == *ca {
+                *used = true;
+                a_used[i] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Standard transposition count: walk both matched sequences in their
+    // own string order; t = (#positions where they differ) / 2.
+    let a_seq: Vec<char> = ac
+        .iter()
+        .zip(&a_used)
+        .filter_map(|(c, used)| used.then_some(*c))
+        .collect();
+    let b_seq: Vec<char> = bc
+        .iter()
+        .zip(&b_used)
+        .filter_map(|(c, used)| used.then_some(*c))
+        .collect();
+    let half_transpositions = a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count();
+    let m = matches as f64;
+    let t = half_transpositions as f64 / 2.0;
+    (m / ac.len() as f64 + m / bc.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix length (up to
+/// 4 characters) with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Overlap coefficient on sets: `|r ∩ s| / min(|r|, |s|)`.
+pub fn overlap_coefficient<T: Ord + Clone>(r: &[T], s: &[T]) -> f64 {
+    let mut a = r.to_vec();
+    a.sort();
+    a.dedup();
+    let mut b = s.to_vec();
+    b.sort();
+    b.dedup();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming_distance("karolin", "kathrin"), Some(3));
+        assert_eq!(hamming_distance("abc", "abc"), Some(0));
+        assert_eq!(hamming_distance("abc", "ab"), None);
+        assert_eq!(hamming_distance("", ""), Some(0));
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let jw = jaro_winkler("martha", "marhta");
+        let j = jaro("martha", "marhta");
+        assert!(jw > j, "{jw} vs {j}");
+        assert!((jw - 0.9611).abs() < 1e-2);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn overlap_basics() {
+        assert_eq!(overlap_coefficient(&[1, 2, 3], &[2, 3]), 1.0);
+        assert_eq!(overlap_coefficient(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(overlap_coefficient::<i32>(&[], &[]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jaro_unit_interval(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            let j = jaro(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j), "{j}");
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&jw), "{jw}");
+        }
+
+        #[test]
+        fn prop_jaro_symmetric(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_identity_is_one(a in "[a-z]{1,12}") {
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+            prop_assert_eq!(hamming_distance(&a, &a), Some(0));
+        }
+
+        #[test]
+        fn prop_overlap_ge_jaccard(
+            r in prop::collection::vec(0u8..15, 0..10),
+            s in prop::collection::vec(0u8..15, 0..10),
+        ) {
+            let o = overlap_coefficient(&r, &s);
+            let j = crate::jaccard(&r, &s);
+            prop_assert!(o >= j - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The T-occurrence problem (§2.2): given the inverted lists of a query's
+//! tokens, find the record ids appearing on at least `T` lists.
+//!
+//! The lower bounds:
+//!
+//! * edit distance `k` with gram length `n`: a string within distance `k` of
+//!   the query must share `T = |G(q)| - k·n` grams ([17] in the paper). If
+//!   `T <= 0` the query is a *corner case* and the whole dataset must be
+//!   scanned (§2.2, §5.1.1).
+//! * Jaccard `δ`: a record similar to a query with `|q|` distinct tokens
+//!   must share `T = ceil(δ·|q|)` tokens (since `|r ∪ q| >= |q|`). Jaccard
+//!   has no corner case for `δ > 0` (§5.1.1).
+//!
+//! Two merge algorithms are provided; both are exercised by the `tocc`
+//! ablation bench:
+//!
+//! * [`t_occurrence_scan_count`] — ScanCount: one hash-count pass over all
+//!   lists,
+//! * [`t_occurrence_heap`] — a k-way heap merge over sorted lists that
+//!   skips allocation of the count table and exploits sortedness.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// `T = |G(q)| - k·n` for edit-distance queries; may be zero or negative
+/// (the corner case).
+pub fn edit_distance_t_bound(num_grams: usize, k: u32, n: usize) -> i64 {
+    num_grams as i64 - (k as i64) * (n as i64)
+}
+
+/// `T = ceil(δ·|q|)` for Jaccard queries, at least 1 for `δ > 0`.
+pub fn jaccard_t_bound(num_tokens: usize, delta: f64) -> i64 {
+    if delta <= 0.0 {
+        return 0;
+    }
+    ((delta * num_tokens as f64 - 1e-9).ceil() as i64).max(1)
+}
+
+/// ScanCount: count occurrences across all lists with a hash map, then
+/// keep ids reaching `t`. Lists need not be sorted. `t` must be >= 1
+/// (corner cases are handled by the plan, not here).
+///
+/// Candidates are returned in *first-encounter order* over the inverted
+/// lists — the arrival order a real list merge produces, and the reason
+/// the paper's index plans sort primary keys before the primary-index
+/// search (§4.1.1). Use [`t_occurrence_heap`] when sorted output is
+/// needed directly.
+pub fn t_occurrence_scan_count<I: Eq + Hash + Clone + Ord>(lists: &[&[I]], t: usize) -> Vec<I> {
+    assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
+    let mut counts: HashMap<&I, usize> = HashMap::new();
+    let mut order: Vec<&I> = Vec::new();
+    for list in lists {
+        for id in *list {
+            let c = counts.entry(id).or_insert(0);
+            if *c == 0 {
+                order.push(id);
+            }
+            *c += 1;
+        }
+    }
+    order
+        .into_iter()
+        .filter(|id| counts[id] >= t)
+        .cloned()
+        .collect()
+}
+
+/// Heap-based merge for *sorted* inverted lists: pops equal ids together and
+/// emits those reaching `t`. `O(total · log(#lists))`, no count table.
+pub fn t_occurrence_heap<I: Ord + Clone>(lists: &[&[I]], t: usize) -> Vec<I> {
+    assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
+    debug_assert!(lists
+        .iter()
+        .all(|l| l.windows(2).all(|w| w[0] <= w[1])));
+    let mut heap: BinaryHeap<Reverse<(&I, usize, usize)>> = BinaryHeap::new();
+    for (li, list) in lists.iter().enumerate() {
+        if let Some(first) = list.first() {
+            heap.push(Reverse((first, li, 0)));
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(Reverse((id, li, pos))) = heap.pop() {
+        let mut count = 1;
+        advance(&mut heap, lists, li, pos);
+        while let Some(Reverse((id2, li2, pos2))) = heap.peek().copied() {
+            if id2 != id {
+                break;
+            }
+            heap.pop();
+            count += 1;
+            advance(&mut heap, lists, li2, pos2);
+        }
+        if count >= t {
+            out.push(id.clone());
+        }
+    }
+    out
+}
+
+fn advance<'a, I: Ord>(
+    heap: &mut BinaryHeap<Reverse<(&'a I, usize, usize)>>,
+    lists: &[&'a [I]],
+    li: usize,
+    pos: usize,
+) {
+    if let Some(next) = lists[li].get(pos + 1) {
+        heap.push(Reverse((next, li, pos + 1)));
+    }
+}
+
+/// DivideSkip (Li, Lu, Lu — "Efficient Merging and Filtering Algorithms
+/// for Approximate String Searches", the paper's [20]): split the inverted
+/// lists into the `L` longest lists and the rest; heap-merge only the
+/// short lists with a reduced threshold `t - L`, then verify each
+/// survivor against the long lists with binary searches. Skipping the
+/// long, frequent-token lists is what makes merges on skewed (Zipfian)
+/// data fast.
+///
+/// Requires sorted lists. `t >= 1`.
+pub fn t_occurrence_divide_skip<I: Ord + Clone + Hash>(lists: &[&[I]], t: usize) -> Vec<I> {
+    assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    // Choose how many long lists to set aside: the classic heuristic is
+    // L = t / (μ·log(max_len) + 1); a simple, robust variant is
+    // L = t - 1 capped by the list count (any id must appear on at least
+    // one short list when t - L >= 1).
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|i| std::cmp::Reverse(lists[*i].len()));
+    let l = (t - 1).min(lists.len().saturating_sub(1));
+    let (long_idx, short_idx) = order.split_at(l);
+    let short: Vec<&[I]> = short_idx.iter().map(|i| lists[*i]).collect();
+    let reduced_t = t - l;
+    // Merge the short lists with the reduced threshold, keeping counts.
+    let mut counts: HashMap<&I, usize> = HashMap::new();
+    let mut encounter: Vec<&I> = Vec::new();
+    for list in &short {
+        for id in *list {
+            let c = counts.entry(id).or_insert(0);
+            if *c == 0 {
+                encounter.push(id);
+            }
+            *c += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for id in encounter {
+        let mut c = counts[id];
+        if c < reduced_t {
+            continue;
+        }
+        // Probe the long lists by binary search.
+        for li in long_idx {
+            if lists[*li].binary_search(id).is_ok() {
+                c += 1;
+            }
+        }
+        if c >= t {
+            out.push(id.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_marla() {
+        // Fig 3: query "marla", grams {ma, ar, rl, la}; lists of "ma" and
+        // "ar" are [2,3,5]; "rl" and "la" empty. T = 4 - 2*1 = 2.
+        let ma = [2i64, 3, 5];
+        let ar = [2i64, 3, 5];
+        let lists: Vec<&[i64]> = vec![&ma, &ar];
+        let t = edit_distance_t_bound(4, 1, 2);
+        assert_eq!(t, 2);
+        let cands = t_occurrence_scan_count(&lists, t as usize);
+        assert_eq!(cands, vec![2, 3, 5]); // first-encounter order
+    }
+
+    #[test]
+    fn corner_case_bound() {
+        // Fig 3 discussion: threshold 3 gives T = 4 - 2*3 = -2.
+        assert_eq!(edit_distance_t_bound(4, 3, 2), -2);
+        assert!(edit_distance_t_bound(4, 2, 2) == 0);
+    }
+
+    #[test]
+    fn jaccard_bound() {
+        assert_eq!(jaccard_t_bound(4, 0.5), 2);
+        assert_eq!(jaccard_t_bound(3, 0.5), 2); // ceil(1.5)
+        assert_eq!(jaccard_t_bound(10, 0.2), 2);
+        assert_eq!(jaccard_t_bound(1, 0.1), 1); // at least one shared token
+        assert_eq!(jaccard_t_bound(5, 0.0), 0);
+    }
+
+    #[test]
+    fn scan_count_thresholding() {
+        let l1 = [1, 2, 3];
+        let l2 = [2, 3];
+        let l3 = [3];
+        let lists: Vec<&[i32]> = vec![&l1, &l2, &l3];
+        assert_eq!(t_occurrence_scan_count(&lists, 1), vec![1, 2, 3]);
+        assert_eq!(t_occurrence_scan_count(&lists, 2), vec![2, 3]);
+        assert_eq!(t_occurrence_scan_count(&lists, 3), vec![3]);
+        assert_eq!(t_occurrence_scan_count(&lists, 4), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn heap_empty_lists() {
+        let lists: Vec<&[i32]> = vec![&[], &[]];
+        assert_eq!(t_occurrence_heap(&lists, 1), Vec::<i32>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_t_panics() {
+        let l: Vec<&[i32]> = vec![];
+        t_occurrence_scan_count(&l, 0);
+    }
+
+    #[test]
+    fn divide_skip_basic() {
+        let l1 = [1, 2, 3];
+        let l2 = [2, 3];
+        let l3 = [3];
+        let lists: Vec<&[i32]> = vec![&l1, &l2, &l3];
+        for t in 1..=4 {
+            let mut a = t_occurrence_divide_skip(&lists, t);
+            a.sort();
+            let b = t_occurrence_heap(&lists, t);
+            assert_eq!(a, b, "t={t}");
+        }
+    }
+
+    #[test]
+    fn divide_skip_skewed_lists() {
+        // One very long list (a frequent token) plus short ones.
+        let long: Vec<i64> = (0..10_000).collect();
+        let s1 = [5i64, 100, 9_999];
+        let s2 = [5i64, 9_999];
+        let lists: Vec<&[i64]> = vec![&long, &s1, &s2];
+        let mut a = t_occurrence_divide_skip(&lists, 3);
+        a.sort();
+        assert_eq!(a, vec![5, 9_999]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_divide_skip_equals_heap(
+            lists in prop::collection::vec(prop::collection::btree_set(0u16..60, 0..25), 1..7),
+            t in 1usize..5,
+        ) {
+            let sorted: Vec<Vec<u16>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+            let refs: Vec<&[u16]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let mut a = t_occurrence_divide_skip(&refs, t);
+            a.sort();
+            let b = t_occurrence_heap(&refs, t);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_scan_count_equals_heap(
+            lists in prop::collection::vec(prop::collection::btree_set(0u16..50, 0..20), 0..6),
+            t in 1usize..4,
+        ) {
+            let sorted: Vec<Vec<u16>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+            let refs: Vec<&[u16]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let mut a = t_occurrence_scan_count(&refs, t);
+            a.sort();
+            let b = t_occurrence_heap(&refs, t);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_monotone_in_t(
+            lists in prop::collection::vec(prop::collection::btree_set(0u16..30, 0..15), 0..5),
+        ) {
+            let sorted: Vec<Vec<u16>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+            let refs: Vec<&[u16]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let mut prev = t_occurrence_scan_count(&refs, 1);
+            for t in 2..5 {
+                let cur = t_occurrence_scan_count(&refs, t);
+                // result for larger t is a subset of smaller t
+                prop_assert!(cur.iter().all(|x| prev.contains(x)));
+                prev = cur;
+            }
+        }
+    }
+}

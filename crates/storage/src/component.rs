@@ -1,0 +1,395 @@
+//! One immutable LSM disk component: a sorted run serialized to pages.
+//!
+//! Entries are `(key, Put(value) | Tombstone)` pairs in key order. The
+//! component keeps a sparse index (first key of every page) in memory;
+//! lookups binary-search the sparse index, fetch one page through the
+//! buffer cache, decode it, and binary-search within.
+//!
+//! Page layout: `u32 entry_count`, then per entry: encoded key, one flag
+//! byte (0 = tombstone, 1 = put), and for puts a `u32` length + value
+//! bytes.
+
+use crate::cache::BufferCache;
+use crate::disk::{Disk, FileId};
+use asterix_adm::{binary, AdmError, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+#[cfg(test)]
+use std::sync::Arc;
+
+/// A stored entry: a value or a tombstone (delete marker).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry {
+    Put(Bytes),
+    Tombstone,
+}
+
+impl Entry {
+    pub fn bytes(&self) -> Option<&Bytes> {
+        match self {
+            Entry::Put(b) => Some(b),
+            Entry::Tombstone => None,
+        }
+    }
+}
+
+/// An immutable sorted run on the simulated disk.
+#[derive(Debug)]
+pub struct RunComponent {
+    file: FileId,
+    /// First key of each page, in order.
+    sparse_index: Vec<Value>,
+    entry_count: u64,
+    byte_size: u64,
+}
+
+impl RunComponent {
+    /// Serialize a sorted entry stream into pages. The caller guarantees
+    /// strictly increasing keys (duplicates must be resolved upstream).
+    pub fn build<I>(disk: &Disk, page_size: usize, entries: I) -> RunComponent
+    where
+        I: IntoIterator<Item = (Value, Entry)>,
+    {
+        let file = disk.create();
+        let mut sparse_index = Vec::new();
+        let mut entry_count = 0u64;
+        let mut byte_size = 0u64;
+
+        let mut page = BytesMut::with_capacity(page_size + 1024);
+        let mut page_entries: u32 = 0;
+        let mut page_first_key: Option<Value> = None;
+        let mut body = BytesMut::with_capacity(page_size + 1024);
+
+        let mut flush_page = |body: &mut BytesMut,
+                              page_entries: &mut u32,
+                              page_first_key: &mut Option<Value>,
+                              sparse_index: &mut Vec<Value>,
+                              byte_size: &mut u64| {
+            if *page_entries == 0 {
+                return;
+            }
+            page.clear();
+            page.put_u32_le(*page_entries);
+            page.extend_from_slice(body);
+            let bytes = Bytes::copy_from_slice(&page);
+            *byte_size += bytes.len() as u64;
+            disk.append(file, bytes);
+            sparse_index.push(page_first_key.take().expect("first key set"));
+            body.clear();
+            *page_entries = 0;
+        };
+
+        #[cfg(debug_assertions)]
+        let mut last_key: Option<Value> = None;
+        for (key, entry) in entries {
+            #[cfg(debug_assertions)]
+            {
+                if let Some(prev) = &last_key {
+                    debug_assert!(prev < &key, "component keys must be strictly increasing");
+                }
+                last_key = Some(key.clone());
+            }
+            if page_first_key.is_none() {
+                page_first_key = Some(key.clone());
+            }
+            binary::encode_value(&key, &mut body);
+            match &entry {
+                Entry::Tombstone => body.put_u8(0),
+                Entry::Put(v) => {
+                    body.put_u8(1);
+                    body.put_u32_le(v.len() as u32);
+                    body.extend_from_slice(v);
+                }
+            }
+            page_entries += 1;
+            entry_count += 1;
+            if body.len() >= page_size {
+                flush_page(
+                    &mut body,
+                    &mut page_entries,
+                    &mut page_first_key,
+                    &mut sparse_index,
+                    &mut byte_size,
+                );
+            }
+        }
+        flush_page(
+            &mut body,
+            &mut page_entries,
+            &mut page_first_key,
+            &mut sparse_index,
+            &mut byte_size,
+        );
+
+        RunComponent {
+            file,
+            sparse_index,
+            entry_count,
+            byte_size,
+        }
+    }
+
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    pub fn byte_size(&self) -> u64 {
+        self.byte_size
+    }
+
+    pub fn num_pages(&self) -> u32 {
+        self.sparse_index.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sparse_index.is_empty()
+    }
+
+    /// Which page could contain `key` (the last page whose first key is
+    /// `<= key`).
+    fn page_for(&self, key: &Value) -> Option<u32> {
+        if self.sparse_index.is_empty() {
+            return None;
+        }
+        match self.sparse_index.binary_search(key) {
+            Ok(i) => Some(i as u32),
+            Err(0) => None, // key < first key of first page
+            Err(i) => Some((i - 1) as u32),
+        }
+    }
+
+    fn decode_page(bytes: &Bytes) -> Result<Vec<(Value, Entry)>, AdmError> {
+        let mut buf: &[u8] = bytes;
+        if buf.remaining() < 4 {
+            return Err(AdmError::Decode("short page header".into()));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = binary::decode_value(&mut buf)?;
+            if !buf.has_remaining() {
+                return Err(AdmError::Decode("truncated entry flag".into()));
+            }
+            let flag = buf.get_u8();
+            let entry = if flag == 0 {
+                Entry::Tombstone
+            } else {
+                if buf.remaining() < 4 {
+                    return Err(AdmError::Decode("truncated value length".into()));
+                }
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(AdmError::Decode("truncated value".into()));
+                }
+                let mut v = vec![0u8; len];
+                buf.copy_to_slice(&mut v);
+                Entry::Put(Bytes::from(v))
+            };
+            out.push((key, entry));
+        }
+        Ok(out)
+    }
+
+    /// Point lookup through the buffer cache (decoded-page layer).
+    pub fn get(&self, key: &Value, cache: &BufferCache) -> Option<Entry> {
+        let page_no = self.page_for(key)?;
+        let entries = self.fetch_decoded(page_no, cache)?;
+        entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| entries[i].1.clone())
+    }
+
+    /// Decoded page through the shared cache.
+    fn fetch_decoded(&self, page_no: u32, cache: &BufferCache) -> Option<crate::cache::DecodedPage> {
+        cache.get_decoded(self.file, page_no, |bytes| {
+            Self::decode_page(bytes).ok().map(std::sync::Arc::new)
+        })
+    }
+
+    /// Iterate entries with key `>= from` (or all), in key order.
+    pub fn scan_from<'a>(
+        &'a self,
+        from: Option<&Value>,
+        cache: &'a BufferCache,
+    ) -> ComponentScan<'a> {
+        let start_page = match from {
+            None => 0,
+            Some(k) => self.page_for(k).unwrap_or(0),
+        };
+        ComponentScan {
+            component: self,
+            cache,
+            page_no: start_page,
+            entries: std::sync::Arc::new(Vec::new()),
+            pos: 0,
+            lower_bound: from.cloned(),
+        }
+    }
+}
+
+/// Streaming scan over a component's pages.
+pub struct ComponentScan<'a> {
+    component: &'a RunComponent,
+    cache: &'a BufferCache,
+    page_no: u32,
+    entries: crate::cache::DecodedPage,
+    pos: usize,
+    lower_bound: Option<Value>,
+}
+
+impl Iterator for ComponentScan<'_> {
+    type Item = (Value, Entry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let item = self.entries[self.pos].clone();
+                self.pos += 1;
+                if let Some(lb) = &self.lower_bound {
+                    if &item.0 < lb {
+                        continue;
+                    }
+                    // Past the bound: stop filtering.
+                    self.lower_bound = None;
+                }
+                return Some(item);
+            }
+            if self.page_no >= self.component.num_pages() {
+                return None;
+            }
+            let decoded = self.component.fetch_decoded(self.page_no, self.cache)?;
+            self.page_no += 1;
+            self.pos = 0;
+            self.entries = decoded;
+        }
+    }
+}
+
+/// Convenience for tests: build a component over an in-memory disk and
+/// return both with a cache.
+#[cfg(test)]
+pub(crate) fn test_component(
+    pairs: Vec<(Value, Entry)>,
+    page_size: usize,
+) -> (Arc<Disk>, Arc<BufferCache>, RunComponent) {
+    let disk = Arc::new(Disk::new());
+    let cache = Arc::new(BufferCache::new(disk.clone(), 64));
+    let comp = RunComponent::build(&disk, page_size, pairs);
+    (disk, cache, comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(s: &str) -> Entry {
+        Entry::Put(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    fn pairs(n: i64) -> Vec<(Value, Entry)> {
+        (0..n)
+            .map(|i| (Value::Int64(i), put(&format!("val{i}"))))
+            .collect()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let (_d, cache, comp) = test_component(pairs(100), 256);
+        assert_eq!(comp.entry_count(), 100);
+        assert!(comp.num_pages() > 1, "small page size must split pages");
+        for i in [0i64, 1, 42, 99] {
+            let e = comp.get(&Value::Int64(i), &cache).unwrap();
+            assert_eq!(e, put(&format!("val{i}")));
+        }
+        assert_eq!(comp.get(&Value::Int64(100), &cache), None);
+        assert_eq!(comp.get(&Value::Int64(-1), &cache), None);
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let (_d, cache, comp) = test_component(
+            vec![
+                (Value::Int64(1), put("a")),
+                (Value::Int64(2), Entry::Tombstone),
+                (Value::Int64(3), put("c")),
+            ],
+            1024,
+        );
+        assert_eq!(comp.get(&Value::Int64(2), &cache), Some(Entry::Tombstone));
+        assert_eq!(comp.get(&Value::Int64(3), &cache), Some(put("c")));
+    }
+
+    #[test]
+    fn full_scan_in_order() {
+        let (_d, cache, comp) = test_component(pairs(50), 128);
+        let keys: Vec<Value> = comp.scan_from(None, &cache).map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 50);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scan_from_bound() {
+        let (_d, cache, comp) = test_component(pairs(50), 128);
+        let keys: Vec<i64> = comp
+            .scan_from(Some(&Value::Int64(37)), &cache)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (37..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_from_before_first() {
+        let (_d, cache, comp) = test_component(pairs(5), 1024);
+        let keys: Vec<i64> = comp
+            .scan_from(Some(&Value::Int64(-10)), &cache)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_component() {
+        let (_d, cache, comp) = test_component(vec![], 1024);
+        assert!(comp.is_empty());
+        assert_eq!(comp.get(&Value::Int64(0), &cache), None);
+        assert_eq!(comp.scan_from(None, &cache).count(), 0);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut ps: Vec<(Value, Entry)> = ["alpha", "beta", "gamma", "zeta"]
+            .iter()
+            .map(|s| (Value::from(*s), put(s)))
+            .collect();
+        ps.sort_by(|a, b| a.0.cmp(&b.0));
+        let (_d, cache, comp) = test_component(ps, 64);
+        assert_eq!(comp.get(&Value::from("gamma"), &cache), Some(put("gamma")));
+        assert_eq!(comp.get(&Value::from("delta"), &cache), None);
+    }
+
+    #[test]
+    fn composite_list_keys_group_by_prefix() {
+        // Inverted-index style keys: [token, pk].
+        let mk = |t: &str, pk: i64| {
+            Value::OrderedList(vec![Value::from(t), Value::Int64(pk)])
+        };
+        let mut ps: Vec<(Value, Entry)> = vec![
+            (mk("am", 1), Entry::Tombstone),
+            (mk("am", 4), Entry::Tombstone),
+            (mk("ja", 1), Entry::Tombstone),
+        ];
+        ps.sort_by(|a, b| a.0.cmp(&b.0));
+        let (_d, cache, comp) = test_component(ps, 1024);
+        let from = Value::OrderedList(vec![Value::from("am"), Value::Missing]);
+        let hits: Vec<Value> = comp
+            .scan_from(Some(&from), &cache)
+            .map(|(k, _)| k)
+            .take_while(|k| k.as_list().unwrap()[0] == Value::from("am"))
+            .collect();
+        assert_eq!(hits.len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! The simulated disk: a set of append-only page files with I/O counters.
+//!
+//! The reproduction runs the paper's cluster on one machine (see
+//! DESIGN.md substitution #4), so "disk" is a process-wide page store.
+//! I/O counts — not wall-clock seek times — are the first-class metric;
+//! they drive the buffer-cache experiments and the index-size accounting
+//! of Table 5.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one page file (one LSM component).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Simulated disk shared by all partitions of a node.
+#[derive(Debug, Default)]
+pub struct Disk {
+    files: Mutex<HashMap<FileId, Vec<Bytes>>>,
+    next_file: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl Disk {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new empty file.
+    pub fn create(&self) -> FileId {
+        let id = FileId(self.next_file.fetch_add(1, Ordering::Relaxed));
+        self.files.lock().insert(id, Vec::new());
+        id
+    }
+
+    /// Append a page to a file, returning its page number.
+    pub fn append(&self, file: FileId, page: Bytes) -> u32 {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut files = self.files.lock();
+        let pages = files.get_mut(&file).expect("append to deleted file");
+        pages.push(page);
+        (pages.len() - 1) as u32
+    }
+
+    /// Read a page (counted as one physical I/O).
+    pub fn read(&self, file: FileId, page_no: u32) -> Option<Bytes> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.files
+            .lock()
+            .get(&file)
+            .and_then(|pages| pages.get(page_no as usize).cloned())
+    }
+
+    /// Drop a file (after a merge supersedes its component).
+    pub fn delete(&self, file: FileId) {
+        self.files.lock().remove(&file);
+    }
+
+    pub fn file_pages(&self, file: FileId) -> u32 {
+        self.files.lock().get(&file).map_or(0, |p| p.len() as u32)
+    }
+
+    pub fn file_bytes(&self, file: FileId) -> u64 {
+        self.files
+            .lock()
+            .get(&file)
+            .map_or(0, |p| p.iter().map(|b| b.len() as u64).sum())
+    }
+
+    /// Total bytes across all live files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files
+            .lock()
+            .values()
+            .map(|pages| pages.iter().map(|b| b.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    pub fn physical_reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    pub fn physical_writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_append_read() {
+        let d = Disk::new();
+        let f = d.create();
+        let p0 = d.append(f, Bytes::from_static(b"page0"));
+        let p1 = d.append(f, Bytes::from_static(b"page1"));
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 1);
+        assert_eq!(d.read(f, 0).unwrap().as_ref(), b"page0");
+        assert_eq!(d.read(f, 1).unwrap().as_ref(), b"page1");
+        assert_eq!(d.read(f, 2), None);
+        assert_eq!(d.physical_reads(), 3);
+        assert_eq!(d.physical_writes(), 2);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let d = Disk::new();
+        let f = d.create();
+        d.append(f, Bytes::from_static(b"0123456789"));
+        assert_eq!(d.total_bytes(), 10);
+        d.delete(f);
+        assert_eq!(d.total_bytes(), 0);
+        assert_eq!(d.read(f, 0), None);
+    }
+
+    #[test]
+    fn distinct_files() {
+        let d = Disk::new();
+        let f1 = d.create();
+        let f2 = d.create();
+        assert_ne!(f1, f2);
+        d.append(f1, Bytes::from_static(b"a"));
+        assert_eq!(d.file_pages(f1), 1);
+        assert_eq!(d.file_pages(f2), 0);
+    }
+}

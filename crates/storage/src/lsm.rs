@@ -1,0 +1,470 @@
+//! The LSM tree: one mutable in-memory component plus a stack of immutable
+//! disk components, with flush, merge, bulk load, point lookup, and merged
+//! scans.
+//!
+//! This mirrors AsterixDB's storage described in §2.3 and [2]: writes go to
+//! the memory component; when it exceeds its budget it is flushed to a new
+//! disk component; lookups consult components newest-first; scans merge all
+//! components with newest-wins semantics; a simple merge policy compacts
+//! all disk components into one when their number exceeds a threshold.
+
+use crate::cache::BufferCache;
+use crate::component::{Entry, RunComponent};
+use crate::StorageConfig;
+use asterix_adm::Value;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An LSM-based B+-tree over `Value` keys and opaque byte values.
+#[derive(Debug)]
+pub struct LsmTree {
+    mem: BTreeMap<Value, Entry>,
+    mem_bytes: usize,
+    /// Disk components, newest first.
+    disk_components: Vec<RunComponent>,
+    cache: Arc<BufferCache>,
+    config: StorageConfig,
+    /// Lifetime counters for observability.
+    flushes: u64,
+    merges: u64,
+}
+
+impl LsmTree {
+    pub fn new(cache: Arc<BufferCache>, config: StorageConfig) -> Self {
+        LsmTree {
+            mem: BTreeMap::new(),
+            mem_bytes: 0,
+            disk_components: Vec::new(),
+            cache,
+            config,
+            flushes: 0,
+            merges: 0,
+        }
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&mut self, key: Value, value: Bytes) {
+        self.mem_bytes += key.heap_size() + value.len() + 16;
+        self.mem.insert(key, Entry::Put(value));
+        self.maybe_flush();
+    }
+
+    /// Delete (tombstone).
+    pub fn delete(&mut self, key: Value) {
+        self.mem_bytes += key.heap_size() + 16;
+        self.mem.insert(key, Entry::Tombstone);
+        self.maybe_flush();
+    }
+
+    /// Point lookup: memory first, then disk components newest-first.
+    pub fn get(&self, key: &Value) -> Option<Bytes> {
+        if let Some(e) = self.mem.get(key) {
+            return e.bytes().cloned();
+        }
+        for comp in &self.disk_components {
+            if let Some(e) = comp.get(key, &self.cache) {
+                return e.bytes().cloned();
+            }
+        }
+        None
+    }
+
+    /// True if the key currently has a live value.
+    pub fn contains(&self, key: &Value) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Merged scan of live entries with key `>= from`, in key order.
+    pub fn scan_from(&self, from: Option<&Value>) -> impl Iterator<Item = (Value, Bytes)> + '_ {
+        let mem_iter: Box<dyn Iterator<Item = (Value, Entry)> + '_> = match from {
+            None => Box::new(self.mem.iter().map(|(k, e)| (k.clone(), e.clone()))),
+            Some(f) => Box::new(
+                self.mem
+                    .range(f.clone()..)
+                    .map(|(k, e)| (k.clone(), e.clone())),
+            ),
+        };
+        let mut sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + '_>> = vec![mem_iter];
+        for comp in &self.disk_components {
+            sources.push(Box::new(comp.scan_from(from, &self.cache)));
+        }
+        MergedScan::new(sources)
+    }
+
+    /// Full scan of live entries.
+    pub fn scan(&self) -> impl Iterator<Item = (Value, Bytes)> + '_ {
+        self.scan_from(None)
+    }
+
+    /// Force the memory component to disk.
+    pub fn flush(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.mem);
+        self.mem_bytes = 0;
+        let comp = RunComponent::build(
+            self.cache.disk(),
+            self.config.page_size,
+            entries.into_iter(),
+        );
+        self.disk_components.insert(0, comp);
+        self.flushes += 1;
+        self.maybe_merge();
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.mem_bytes >= self.config.mem_component_budget {
+            self.flush();
+        }
+    }
+
+    fn maybe_merge(&mut self) {
+        if self.disk_components.len() > self.config.max_components {
+            self.merge_all();
+        }
+    }
+
+    /// Merge every disk component into one (keeping tombstones out of the
+    /// result — a full merge is a major compaction).
+    pub fn merge_all(&mut self) {
+        if self.disk_components.len() <= 1 {
+            return;
+        }
+        let sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + '_>> = self
+            .disk_components
+            .iter()
+            .map(|c| {
+                Box::new(c.scan_from(None, &self.cache))
+                    as Box<dyn Iterator<Item = (Value, Entry)>>
+            })
+            .collect();
+        let merged: Vec<(Value, Entry)> = MergedScan::new_raw(sources)
+            .filter(|(_, e)| !matches!(e, Entry::Tombstone))
+            .collect();
+        let new_comp = RunComponent::build(
+            self.cache.disk(),
+            self.config.page_size,
+            merged.into_iter(),
+        );
+        let old = std::mem::replace(&mut self.disk_components, vec![new_comp]);
+        for comp in old {
+            self.cache.invalidate_file(comp.file());
+            self.cache.disk().delete(comp.file());
+        }
+        self.merges += 1;
+    }
+
+    /// Bulk load from a *sorted, unique-key* stream directly into a single
+    /// disk component (the fast path used by `create index` on existing
+    /// data, matching AsterixDB's bulk-load pipeline behind Table 5).
+    pub fn bulk_load<I>(&mut self, sorted: I)
+    where
+        I: IntoIterator<Item = (Value, Bytes)>,
+    {
+        assert!(
+            self.mem.is_empty() && self.disk_components.is_empty(),
+            "bulk_load requires an empty tree"
+        );
+        let comp = RunComponent::build(
+            self.cache.disk(),
+            self.config.page_size,
+            sorted.into_iter().map(|(k, v)| (k, Entry::Put(v))),
+        );
+        self.disk_components.push(comp);
+    }
+
+    /// Total on-disk bytes plus an estimate of the memory component.
+    pub fn size_bytes(&self) -> u64 {
+        self.disk_components
+            .iter()
+            .map(RunComponent::byte_size)
+            .sum::<u64>()
+            + self.mem_bytes as u64
+    }
+
+    pub fn num_disk_components(&self) -> usize {
+        self.disk_components.len()
+    }
+
+    pub fn num_flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    pub fn num_merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Count of live entries (scans everything; test/stats use only).
+    pub fn live_entries(&self) -> u64 {
+        self.scan().count() as u64
+    }
+
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        &self.cache
+    }
+}
+
+/// K-way merge over entry streams ordered by key; on duplicate keys the
+/// *earliest source wins* (sources are ordered newest-first). Tombstones
+/// shadow older puts and are dropped from the live output.
+struct MergedScan<'a> {
+    heads: Vec<Option<(Value, Entry)>>,
+    sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>,
+    keep_tombstones: bool,
+}
+
+impl<'a> MergedScan<'a> {
+    fn new(sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>) -> LiveScan<'a> {
+        LiveScan(Self::new_raw(sources))
+    }
+
+    fn new_raw(mut sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>) -> Self {
+        let heads = sources.iter_mut().map(|s| s.next()).collect();
+        MergedScan {
+            heads,
+            sources,
+            keep_tombstones: true,
+        }
+    }
+}
+
+impl Iterator for MergedScan<'_> {
+    type Item = (Value, Entry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Find the minimal key among heads; earliest source wins ties.
+            let mut best: Option<usize> = None;
+            for (i, head) in self.heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    match &best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            let (bk, _) = self.heads[*b].as_ref().unwrap();
+                            if k < bk {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let best = best?;
+            let (key, entry) = self.heads[best].take().unwrap();
+            self.heads[best] = self.sources[best].next();
+            // Discard same-key entries from older sources.
+            for i in 0..self.heads.len() {
+                while let Some((k, _)) = &self.heads[i] {
+                    if *k == key {
+                        self.heads[i] = self.sources[i].next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !self.keep_tombstones && matches!(entry, Entry::Tombstone) {
+                continue;
+            }
+            return Some((key, entry));
+        }
+    }
+}
+
+/// Live view: tombstones removed.
+struct LiveScan<'a>(MergedScan<'a>);
+
+impl Iterator for LiveScan<'_> {
+    type Item = (Value, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (k, e) = self.0.next()?;
+            if let Entry::Put(b) = e {
+                return Some((k, b));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use proptest::prelude::*;
+
+    fn tree(config: StorageConfig) -> LsmTree {
+        let disk = Arc::new(Disk::new());
+        let cache = Arc::new(BufferCache::new(disk, 64));
+        LsmTree::new(cache, config)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_memory_only() {
+        let mut t = tree(StorageConfig::default());
+        t.put(Value::Int64(1), b("one"));
+        t.put(Value::Int64(2), b("two"));
+        assert_eq!(t.get(&Value::Int64(1)), Some(b("one")));
+        assert_eq!(t.get(&Value::Int64(3)), None);
+        assert_eq!(t.num_disk_components(), 0);
+    }
+
+    #[test]
+    fn overwrite_takes_latest() {
+        let mut t = tree(StorageConfig::tiny());
+        t.put(Value::Int64(1), b("v1"));
+        t.flush();
+        t.put(Value::Int64(1), b("v2"));
+        assert_eq!(t.get(&Value::Int64(1)), Some(b("v2")));
+        t.flush();
+        assert_eq!(t.get(&Value::Int64(1)), Some(b("v2")));
+    }
+
+    #[test]
+    fn delete_shadows_older_component() {
+        let mut t = tree(StorageConfig::tiny());
+        t.put(Value::Int64(7), b("x"));
+        t.flush();
+        t.delete(Value::Int64(7));
+        assert_eq!(t.get(&Value::Int64(7)), None);
+        t.flush();
+        assert_eq!(t.get(&Value::Int64(7)), None);
+        let keys: Vec<Value> = t.scan().map(|(k, _)| k).collect();
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn auto_flush_on_budget() {
+        let mut t = tree(StorageConfig::tiny());
+        for i in 0..500 {
+            t.put(Value::Int64(i), b("some value payload here"));
+        }
+        assert!(t.num_flushes() > 0, "tiny budget must trigger flushes");
+        for i in (0..500).step_by(97) {
+            assert_eq!(t.get(&Value::Int64(i)), Some(b("some value payload here")));
+        }
+    }
+
+    #[test]
+    fn merge_compacts_components() {
+        let mut t = tree(StorageConfig::tiny());
+        for round in 0..6 {
+            for i in 0..30 {
+                t.put(Value::Int64(i + round * 30), b("payload"));
+            }
+            t.flush();
+        }
+        assert!(t.num_merges() > 0, "merge policy must have fired");
+        assert!(t.num_disk_components() <= StorageConfig::tiny().max_components + 1);
+        assert_eq!(t.live_entries(), 180);
+    }
+
+    #[test]
+    fn merged_scan_sorted_and_deduped() {
+        let mut t = tree(StorageConfig::tiny());
+        for i in [5i64, 3, 1] {
+            t.put(Value::Int64(i), b("old"));
+        }
+        t.flush();
+        for i in [4i64, 3] {
+            t.put(Value::Int64(i), b("new"));
+        }
+        let all: Vec<(i64, Bytes)> = t
+            .scan()
+            .map(|(k, v)| (k.as_i64().unwrap(), v))
+            .collect();
+        assert_eq!(
+            all,
+            vec![
+                (1, b("old")),
+                (3, b("new")),
+                (4, b("new")),
+                (5, b("old"))
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_from_bound_across_components() {
+        let mut t = tree(StorageConfig::tiny());
+        for i in 0..20 {
+            t.put(Value::Int64(i), b("a"));
+            if i % 5 == 0 {
+                t.flush();
+            }
+        }
+        let keys: Vec<i64> = t
+            .scan_from(Some(&Value::Int64(13)))
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (13..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_then_read() {
+        let mut t = tree(StorageConfig::tiny());
+        let data: Vec<(Value, Bytes)> =
+            (0..100).map(|i| (Value::Int64(i), b("blk"))).collect();
+        t.bulk_load(data);
+        assert_eq!(t.num_disk_components(), 1);
+        assert_eq!(t.get(&Value::Int64(55)), Some(b("blk")));
+        assert_eq!(t.live_entries(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bulk_load_nonempty_panics() {
+        let mut t = tree(StorageConfig::tiny());
+        t.put(Value::Int64(0), b("x"));
+        t.bulk_load(vec![(Value::Int64(1), b("y"))]);
+    }
+
+    #[test]
+    fn size_accounting_grows() {
+        let mut t = tree(StorageConfig::tiny());
+        let s0 = t.size_bytes();
+        for i in 0..50 {
+            t.put(Value::Int64(i), b("0123456789"));
+        }
+        t.flush();
+        assert!(t.size_bytes() > s0);
+    }
+
+    proptest! {
+        /// The LSM tree behaves like a BTreeMap under an arbitrary workload
+        /// of puts, deletes, and flushes.
+        #[test]
+        fn prop_model_equivalence(ops in prop::collection::vec((0u8..3, 0i64..40, "[a-z]{0,6}"), 1..120)) {
+            let mut t = tree(StorageConfig::tiny());
+            let mut model: BTreeMap<i64, String> = BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        t.put(Value::Int64(key), Bytes::from(val.clone().into_bytes()));
+                        model.insert(key, val);
+                    }
+                    1 => {
+                        t.delete(Value::Int64(key));
+                        model.remove(&key);
+                    }
+                    _ => t.flush(),
+                }
+            }
+            // Point lookups agree.
+            for k in 0..40i64 {
+                let got = t.get(&Value::Int64(k)).map(|b| String::from_utf8(b.to_vec()).unwrap());
+                prop_assert_eq!(got, model.get(&k).cloned());
+            }
+            // Scans agree.
+            let scanned: Vec<(i64, String)> = t.scan()
+                .map(|(k, v)| (k.as_i64().unwrap(), String::from_utf8(v.to_vec()).unwrap()))
+                .collect();
+            let expected: Vec<(i64, String)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

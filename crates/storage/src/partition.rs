@@ -1,0 +1,384 @@
+//! All storage of one dataset partition: the primary LSM B+-tree plus the
+//! partition-local secondary indexes, kept in sync on every insert/delete
+//! (secondary indexes are co-partitioned with the primary index, §2.3 —
+//! the root cause of the broadcast in index-nested-loop joins, §4.2.1).
+
+use crate::cache::BufferCache;
+use crate::index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
+use crate::StorageConfig;
+use asterix_adm::{AdmError, DatasetDef, IndexDef, IndexKind, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One secondary index instance.
+#[derive(Debug)]
+pub enum SecondaryIndex {
+    BTree(SecondaryBTreeIndex),
+    Inverted(InvertedIndex),
+}
+
+impl SecondaryIndex {
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            SecondaryIndex::BTree(i) => i.size_bytes(),
+            SecondaryIndex::Inverted(i) => i.size_bytes(),
+        }
+    }
+
+    pub fn insert(&mut self, record: &Value, pk: &Value) {
+        match self {
+            SecondaryIndex::BTree(i) => i.insert(record, pk),
+            SecondaryIndex::Inverted(i) => i.insert(record, pk),
+        }
+    }
+
+    pub fn delete(&mut self, record: &Value, pk: &Value) {
+        match self {
+            SecondaryIndex::BTree(i) => i.delete(record, pk),
+            SecondaryIndex::Inverted(i) => i.delete(record, pk),
+        }
+    }
+
+    pub fn flush(&mut self) {
+        match self {
+            SecondaryIndex::BTree(i) => i.flush(),
+            SecondaryIndex::Inverted(i) => i.flush(),
+        }
+    }
+
+    pub fn as_inverted(&self) -> Option<&InvertedIndex> {
+        match self {
+            SecondaryIndex::Inverted(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_btree(&self) -> Option<&SecondaryBTreeIndex> {
+        match self {
+            SecondaryIndex::BTree(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// One partition of one dataset: primary index + local secondary indexes.
+#[derive(Debug)]
+pub struct PartitionStore {
+    pub dataset: DatasetDef,
+    pub partition: usize,
+    primary: PrimaryIndex,
+    secondaries: HashMap<String, SecondaryIndex>,
+    cache: Arc<BufferCache>,
+    config: StorageConfig,
+}
+
+impl PartitionStore {
+    pub fn new(
+        dataset: DatasetDef,
+        partition: usize,
+        cache: Arc<BufferCache>,
+        config: StorageConfig,
+    ) -> Self {
+        PartitionStore {
+            dataset,
+            partition,
+            primary: PrimaryIndex::new(cache.clone(), config.clone()),
+            secondaries: HashMap::new(),
+            cache,
+            config,
+        }
+    }
+
+    /// Insert a record routed to this partition. The caller has already
+    /// verified the partition assignment.
+    pub fn insert(&mut self, record: Value) -> Result<(), AdmError> {
+        let pk = self.dataset.key_of(&record)?;
+        // Secondary maintenance: remove old postings if overwriting.
+        if let Some(old) = self.primary.get(&pk) {
+            for idx in self.secondaries.values_mut() {
+                idx.delete(&old, &pk);
+            }
+        }
+        for idx in self.secondaries.values_mut() {
+            idx.insert(&record, &pk);
+        }
+        self.primary.insert(pk, &record);
+        Ok(())
+    }
+
+    pub fn delete(&mut self, pk: &Value) {
+        if let Some(old) = self.primary.get(pk) {
+            for idx in self.secondaries.values_mut() {
+                idx.delete(&old, pk);
+            }
+            self.primary.delete(pk.clone());
+        }
+    }
+
+    /// Create a secondary index and backfill it from the primary index,
+    /// returning the number of records indexed (the Table 5 build path).
+    pub fn create_index(&mut self, def: &IndexDef) -> Result<u64, AdmError> {
+        if self.secondaries.contains_key(&def.name) {
+            return Err(AdmError::Schema(format!(
+                "index '{}' already exists in partition {}",
+                def.name, self.partition
+            )));
+        }
+        let mut index = match def.kind {
+            IndexKind::BTree => SecondaryIndex::BTree(SecondaryBTreeIndex::new(
+                self.cache.clone(),
+                self.config.clone(),
+                def.field.clone(),
+            )),
+            IndexKind::Keyword | IndexKind::NGram(_) => {
+                SecondaryIndex::Inverted(InvertedIndex::new(
+                    self.cache.clone(),
+                    self.config.clone(),
+                    def.field.clone(),
+                    def.kind,
+                ))
+            }
+        };
+        let mut count = 0u64;
+        let rows: Vec<(Value, Value)> = self.primary.scan().collect();
+        for (pk, record) in rows {
+            index.insert(&record, &pk);
+            count += 1;
+        }
+        index.flush();
+        self.secondaries.insert(def.name.clone(), index);
+        Ok(count)
+    }
+
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        self.secondaries.remove(name).is_some()
+    }
+
+    pub fn primary(&self) -> &PrimaryIndex {
+        &self.primary
+    }
+
+    pub fn primary_mut(&mut self) -> &mut PrimaryIndex {
+        &mut self.primary
+    }
+
+    pub fn secondary(&self, name: &str) -> Option<&SecondaryIndex> {
+        self.secondaries.get(name)
+    }
+
+    pub fn secondary_names(&self) -> impl Iterator<Item = &str> {
+        self.secondaries.keys().map(|s| s.as_str())
+    }
+
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        &self.cache
+    }
+
+    /// T-occurrence candidate search against a named inverted index:
+    /// sorted primary keys of records sharing at least `t` query tokens.
+    pub fn inverted_candidates(
+        &self,
+        index_name: &str,
+        tokens: &[Value],
+        t: usize,
+    ) -> Result<Vec<Value>, AdmError> {
+        let idx = self
+            .secondaries
+            .get(index_name)
+            .and_then(SecondaryIndex::as_inverted)
+            .ok_or_else(|| {
+                AdmError::Schema(format!("no inverted index named '{index_name}'"))
+            })?;
+        Ok(idx.t_occurrence(tokens, t))
+    }
+
+    /// Exact-match candidate lookup against a named B+-tree index.
+    pub fn btree_lookup(&self, index_name: &str, key: &Value) -> Result<Vec<Value>, AdmError> {
+        let idx = self
+            .secondaries
+            .get(index_name)
+            .and_then(SecondaryIndex::as_btree)
+            .ok_or_else(|| AdmError::Schema(format!("no btree index named '{index_name}'")))?;
+        Ok(idx.lookup(key))
+    }
+
+    /// Flush all components (end of a load).
+    pub fn flush_all(&mut self) {
+        self.primary.flush();
+        for idx in self.secondaries.values_mut() {
+            idx.flush();
+        }
+    }
+
+    /// (index name, size in bytes) for every index including the primary.
+    pub fn index_sizes(&self) -> Vec<(String, u64)> {
+        let mut out = vec![("<primary>".to_string(), self.primary.size_bytes())];
+        let mut names: Vec<&String> = self.secondaries.keys().collect();
+        names.sort();
+        for name in names {
+            out.push((name.clone(), self.secondaries[name].size_bytes()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use asterix_adm::record;
+
+    fn store() -> PartitionStore {
+        let cache = Arc::new(BufferCache::new(Arc::new(Disk::new()), 64));
+        PartitionStore::new(
+            DatasetDef::new("ARevs", "id"),
+            0,
+            cache,
+            StorageConfig::tiny(),
+        )
+    }
+
+    fn review(id: i64, name: &str, summary: &str) -> Value {
+        record! {"id" => id, "reviewerName" => name, "summary" => summary}
+    }
+
+    #[test]
+    fn insert_then_index_backfill() {
+        let mut s = store();
+        s.insert(review(1, "james", "great product")).unwrap();
+        s.insert(review(2, "maria", "bad product")).unwrap();
+        let n = s
+            .create_index(&IndexDef {
+                name: "smix".into(),
+                field: "summary".into(),
+                kind: IndexKind::Keyword,
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        let cands = s
+            .inverted_candidates("smix", &[Value::from("product")], 1)
+            .unwrap();
+        assert_eq!(cands, vec![Value::Int64(1), Value::Int64(2)]);
+    }
+
+    #[test]
+    fn index_maintained_on_insert_after_create() {
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "nix".into(),
+            field: "reviewerName".into(),
+            kind: IndexKind::NGram(2),
+        })
+        .unwrap();
+        s.insert(review(1, "james", "x")).unwrap();
+        let cands = s
+            .inverted_candidates("nix", &[Value::from("ja"), Value::from("am")], 2)
+            .unwrap();
+        assert_eq!(cands, vec![Value::Int64(1)]);
+    }
+
+    #[test]
+    fn overwrite_updates_postings() {
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        s.insert(review(1, "a", "old words")).unwrap();
+        s.insert(review(1, "a", "new words")).unwrap();
+        assert_eq!(
+            s.inverted_candidates("smix", &[Value::from("old")], 1).unwrap(),
+            Vec::<Value>::new()
+        );
+        assert_eq!(
+            s.inverted_candidates("smix", &[Value::from("new")], 1).unwrap(),
+            vec![Value::Int64(1)]
+        );
+    }
+
+    #[test]
+    fn delete_cleans_everything() {
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        s.insert(review(5, "x", "hello")).unwrap();
+        s.delete(&Value::Int64(5));
+        assert_eq!(s.primary().get(&Value::Int64(5)), None);
+        assert_eq!(
+            s.inverted_candidates("smix", &[Value::from("hello")], 1).unwrap(),
+            Vec::<Value>::new()
+        );
+    }
+
+    #[test]
+    fn btree_secondary_lookup() {
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "bt".into(),
+            field: "reviewerName".into(),
+            kind: IndexKind::BTree,
+        })
+        .unwrap();
+        s.insert(review(1, "maria", "a")).unwrap();
+        s.insert(review(2, "james", "b")).unwrap();
+        assert_eq!(
+            s.btree_lookup("bt", &Value::from("maria")).unwrap(),
+            vec![Value::Int64(1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut s = store();
+        let def = IndexDef {
+            name: "i".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        };
+        s.create_index(&def).unwrap();
+        assert!(s.create_index(&def).is_err());
+    }
+
+    #[test]
+    fn missing_pk_rejected() {
+        let mut s = store();
+        assert!(s.insert(record! {"notid" => 1i64}).is_err());
+    }
+
+    #[test]
+    fn index_sizes_reported() {
+        let mut s = store();
+        for i in 0..50 {
+            s.insert(review(i, "name", "some summary words here")).unwrap();
+        }
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        s.flush_all();
+        let sizes = s.index_sizes();
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes.iter().all(|(_, b)| *b > 0));
+    }
+
+    #[test]
+    fn wrong_index_type_errors() {
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "bt".into(),
+            field: "summary".into(),
+            kind: IndexKind::BTree,
+        })
+        .unwrap();
+        assert!(s.inverted_candidates("bt", &[Value::from("x")], 1).is_err());
+        assert!(s.btree_lookup("nope", &Value::from("x")).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Record linkage (§1's motivating application): match customer records
+//! across two independently-collected datasets whose names carry typos,
+//! using an edit-distance similarity join through an n-gram index —
+//! including the runtime corner-case path of Fig 14 for very short names.
+//!
+//! Run with: `cargo run --example record_linkage`
+
+use asterix_adm::{record, IndexKind};
+use asterix_core::{Instance, InstanceConfig};
+use asterix_datagen::text::NamePool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Instance::new(InstanceConfig::with_partitions(4));
+    db.create_dataset("CrmCustomers", "cid")?;
+    db.create_dataset("BillingAccounts", "aid")?;
+
+    // Two systems recorded overlapping customers; the billing system's
+    // data entry introduced typos (the NamePool injects 1-2 edit
+    // variants).
+    let pool = NamePool::new(120, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..400i64 {
+        db.insert(
+            "CrmCustomers",
+            record! {"cid" => i, "name" => pool.name(&mut rng), "segment" => "retail"},
+        )?;
+    }
+    for i in 0..400i64 {
+        db.insert(
+            "BillingAccounts",
+            record! {"aid" => i, "holder" => pool.name(&mut rng), "balance" => i * 10},
+        )?;
+    }
+
+    // Index the *inner* side's name: the join broadcasts CRM rows to each
+    // partition's local 2-gram index (Fig 9).
+    db.create_index("BillingAccounts", "holder_ngram", "holder", IndexKind::NGram(2))?;
+
+    let linked = db.query(
+        r#"
+        for $c in dataset CrmCustomers
+        for $b in dataset BillingAccounts
+        where edit-distance($c.name, $b.holder) <= 1
+        return { 'customer': $c.cid, 'account': $b.aid,
+                 'name': $c.name, 'holder': $b.holder }
+    "#,
+    )?;
+
+    println!(
+        "linked {} candidate identity pairs (index-NL join used: {})",
+        linked.rows.len(),
+        linked.plan.used_rule("introduce-index-nested-loop-join"),
+    );
+    for row in linked.rows.iter().take(10) {
+        println!("  {row}");
+    }
+    println!(
+        "\nplan has a union for the corner-case path: {}",
+        linked
+            .plan
+            .physical_ops
+            .iter()
+            .any(|(n, _)| *n == "union")
+    );
+    println!(
+        "index candidates examined: {} (then verified exactly)",
+        linked.index_candidates()
+    );
+    Ok(())
+}

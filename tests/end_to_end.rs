@@ -1,0 +1,207 @@
+//! End-to-end integration: load synthetic paper-shaped datasets, run the
+//! paper's query templates, and check that index-based and scan-based
+//! plans agree on every answer (the fundamental soundness requirement
+//! behind all of §6's comparisons).
+
+use asterix_adm::IndexKind;
+use asterix_algebricks::OptimizerConfig;
+use asterix_core::{Instance, InstanceConfig, QueryOptions};
+use asterix_datagen::amazon_reviews;
+
+fn instance_with_reviews(n: usize, partitions: usize) -> Instance {
+    let db = Instance::new(InstanceConfig::with_partitions(partitions));
+    db.create_dataset("ARevs", "id").unwrap();
+    db.load("ARevs", amazon_reviews(n, 77)).unwrap();
+    db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+        .unwrap();
+    db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+        .unwrap();
+    db
+}
+
+fn no_index() -> QueryOptions {
+    QueryOptions {
+        optimizer: Some(OptimizerConfig {
+            enable_index_select: false,
+            enable_index_join: false,
+            ..OptimizerConfig::default()
+        }),
+    }
+}
+
+#[test]
+fn jaccard_selection_index_equals_scan() {
+    let db = instance_with_reviews(600, 4);
+    // Probe with actual summaries so results are non-trivial.
+    let probes = [
+        "great product value",
+        "works as expected",
+        "nice gift idea for the family",
+    ];
+    for probe in probes {
+        for delta in [0.2, 0.5, 0.8] {
+            let q = format!(
+                r#"
+                for $t in dataset ARevs
+                where similarity-jaccard(word-tokens($t.summary),
+                                         word-tokens('{probe}')) >= {delta}
+                return $t.id
+            "#
+            );
+            let with = db.query(&q).unwrap();
+            let without = db.query_with(&q, &no_index()).unwrap();
+            assert!(with.plan.used_rule("introduce-index-for-selection"));
+            assert!(!without.plan.used_rule("introduce-index-for-selection"));
+            assert_eq!(with.ids(), without.ids(), "delta={delta} probe={probe}");
+        }
+    }
+}
+
+#[test]
+fn edit_distance_selection_index_equals_scan() {
+    let db = instance_with_reviews(600, 4);
+    // Take some real names as probes.
+    let names = db
+        .query("for $t in dataset ARevs where $t.id <= 5 return $t.reviewerName")
+        .unwrap();
+    for name in names.rows.iter().filter_map(|v| v.as_str()) {
+        for k in [1, 2] {
+            let q = format!(
+                r#"
+                for $t in dataset ARevs
+                where edit-distance($t.reviewerName, '{name}') <= {k}
+                return $t.id
+            "#
+            );
+            let with = db.query(&q).unwrap();
+            let without = db.query_with(&q, &no_index()).unwrap();
+            assert_eq!(with.ids(), without.ids(), "k={k} name={name}");
+            // Candidates are a superset of answers when the index ran.
+            if with.plan.used_rule("introduce-index-for-selection") {
+                assert!(with.index_candidates() >= with.rows.len() as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn candidate_ratio_shrinks_with_threshold_table6() {
+    let db = instance_with_reviews(800, 4);
+    let probe = "great product value works well";
+    let mut candidate_counts = Vec::new();
+    for delta in [0.2, 0.5, 0.8] {
+        let q = format!(
+            r#"
+            for $t in dataset ARevs
+            where similarity-jaccard(word-tokens($t.summary),
+                                     word-tokens('{probe}')) >= {delta}
+            return $t.id
+        "#
+        );
+        let r = db.query(&q).unwrap();
+        candidate_counts.push((delta, r.index_candidates(), r.rows.len() as u64));
+    }
+    // Table 6's trend: candidate set size decreases as δ increases.
+    assert!(
+        candidate_counts[0].1 >= candidate_counts[1].1
+            && candidate_counts[1].1 >= candidate_counts[2].1,
+        "{candidate_counts:?}"
+    );
+    // And candidates always cover the answers.
+    for (d, c, b) in candidate_counts {
+        assert!(c >= b, "delta={d}: candidates {c} < answers {b}");
+    }
+}
+
+#[test]
+fn count_template_fig21() {
+    let db = instance_with_reviews(300, 2);
+    let r = db
+        .query(
+            r#"
+        count( for $o in dataset ARevs
+               where similarity-jaccard(word-tokens($o.summary),
+                                        word-tokens('great product')) >= 0.2
+               return {"oid": $o.id, "v": $o.summary} );
+    "#,
+        )
+        .unwrap();
+    let direct = db
+        .query(
+            r#"
+        for $o in dataset ARevs
+        where similarity-jaccard(word-tokens($o.summary),
+                                 word-tokens('great product')) >= 0.2
+        return $o.id
+    "#,
+        )
+        .unwrap();
+    assert_eq!(r.count(), Some(direct.rows.len() as i64));
+}
+
+#[test]
+fn exact_match_baseline_via_btree() {
+    let db = instance_with_reviews(300, 2);
+    db.create_index("ARevs", "bt_name", "reviewerName", IndexKind::BTree)
+        .unwrap();
+    let name = db
+        .query("for $t in dataset ARevs where $t.id = 7 return $t.reviewerName")
+        .unwrap()
+        .rows[0]
+        .clone();
+    let name = name.as_str().unwrap().to_string();
+    let q =
+        format!("for $t in dataset ARevs where $t.reviewerName = '{name}' return $t.id");
+    let with = db.query(&q).unwrap();
+    let without = db.query_with(&q, &no_index()).unwrap();
+    assert!(with.plan.used_rule("introduce-index-for-selection"));
+    assert_eq!(with.ids(), without.ids());
+    assert!(!with.ids().is_empty());
+}
+
+#[test]
+fn updates_are_visible_to_similarity_queries() {
+    let db = instance_with_reviews(100, 2);
+    // Overwrite record 3's summary and re-query through the index.
+    db.insert(
+        "ARevs",
+        asterix_adm::record! {"id" => 3i64, "reviewerName" => "zz",
+                              "summary" => "entirely unique xylophone zebra"},
+    )
+    .unwrap();
+    let r = db
+        .query(
+            r#"
+        for $t in dataset ARevs
+        where similarity-jaccard(word-tokens($t.summary),
+                                 word-tokens('unique xylophone zebra entirely')) >= 0.9
+        return $t.id
+    "#,
+        )
+        .unwrap();
+    assert_eq!(r.ids(), vec![3]);
+}
+
+#[test]
+fn nested_field_similarity_twitter_shape() {
+    let db = Instance::new(InstanceConfig::with_partitions(2));
+    db.create_dataset("Tweets", "id").unwrap();
+    db.load("Tweets", asterix_datagen::tweets(300, 5)).unwrap();
+    db.create_index("Tweets", "name_ngram", "user.name", IndexKind::NGram(2))
+        .unwrap();
+    let name = db
+        .query("for $t in dataset Tweets where $t.id = 1 return $t.user.name")
+        .unwrap()
+        .rows[0]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let q = format!(
+        "for $t in dataset Tweets where edit-distance($t.user.name, '{name}') <= 1 return $t.id"
+    );
+    let with = db.query(&q).unwrap();
+    assert!(with.plan.used_rule("introduce-index-for-selection"), "{:?}", with.plan.rewrites);
+    let without = db.query_with(&q, &no_index()).unwrap();
+    assert_eq!(with.ids(), without.ids());
+    assert!(with.ids().contains(&1));
+}

@@ -1,0 +1,207 @@
+//! Multi-way similarity joins (§5.2 Fig 18, §6.4.3 Fig 26): queries with
+//! more than one similarity condition, and chains of similarity joins
+//! over several datasets — the capability the paper claims first for a
+//! parallel data management system.
+
+use asterix_adm::{IndexKind, Value};
+use asterix_core::{Instance, InstanceConfig};
+use asterix_datagen::amazon_reviews;
+
+fn setup(n: usize) -> Instance {
+    let db = Instance::new(InstanceConfig::with_partitions(2));
+    db.create_dataset("ARevs", "id").unwrap();
+    db.load("ARevs", amazon_reviews(n, 55)).unwrap();
+    db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+        .unwrap();
+    db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+        .unwrap();
+    // A small "seed" dataset for Fig 26's outer equality restriction.
+    db.create_dataset("Seeds", "sid").unwrap();
+    let seeds: Vec<Value> = amazon_reviews(n, 55)
+        .into_iter()
+        .take(20)
+        .enumerate()
+        .map(|(i, r)| {
+            Value::record(vec![
+                ("sid".into(), Value::Int64(i as i64)),
+                ("score".into(), r.field("score").clone()),
+            ])
+        })
+        .collect();
+    db.load("Seeds", seeds).unwrap();
+    db
+}
+
+fn pairs(rows: &[Value]) -> Vec<(i64, i64)> {
+    let mut out: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|v| {
+            let l = v.as_list().unwrap();
+            (l[0].as_i64().unwrap(), l[1].as_i64().unwrap())
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Fig 26: equi join to limit the outer branch + two similarity
+/// conditions (one Jaccard, one edit distance) on the inner pair.
+fn fig26_query(jaccard_first: bool) -> String {
+    let (first, second) = if jaccard_first {
+        (
+            "similarity-jaccard(word-tokens($o.summary), word-tokens($i.summary)) >= 0.8",
+            "edit-distance($o.reviewerName, $i.reviewerName) <= 1",
+        )
+    } else {
+        (
+            "edit-distance($o.reviewerName, $i.reviewerName) <= 1",
+            "similarity-jaccard(word-tokens($o.summary), word-tokens($i.summary)) >= 0.8",
+        )
+    };
+    format!(
+        r#"
+        for $p in dataset Seeds
+        for $o in dataset ARevs
+        for $i in dataset ARevs
+        where $p.score = $o.score and $p.sid = 3
+          and {first}
+          and {second}
+          and $o.id < $i.id
+        return [ $o.id, $i.id ]
+    "#
+    )
+}
+
+#[test]
+fn fig26_condition_orders_agree() {
+    let db = setup(300);
+    let jac_first = db.query(&fig26_query(true)).unwrap();
+    let ed_first = db.query(&fig26_query(false)).unwrap();
+    assert_eq!(pairs(&jac_first.rows), pairs(&ed_first.rows));
+    // Whichever order, an index-based join must have been chosen for the
+    // first similarity predicate.
+    assert!(jac_first.plan.used_rule("introduce-index-nested-loop-join"));
+    assert!(ed_first.plan.used_rule("introduce-index-nested-loop-join"));
+    // The edit-distance-first plan carries the corner-case machinery
+    // (union), the jaccard-first plan does not (§6.4.3's explanation of
+    // why jaccard-first wins).
+    let has_union = |r: &asterix_core::QueryResult| {
+        r.plan.physical_ops.iter().any(|(n, _)| *n == "union")
+    };
+    assert!(!has_union(&jac_first), "{:?}", jac_first.plan.physical_ops);
+    assert!(has_union(&ed_first), "{:?}", ed_first.plan.physical_ops);
+}
+
+#[test]
+fn fig26_matches_brute_force() {
+    let db = setup(200);
+    let engine = db.query(&fig26_query(true)).unwrap();
+    // Brute force over the generated data.
+    let rows = amazon_reviews(200, 55);
+    let seed_score = rows[3].field("score").clone();
+    let mut expected = Vec::new();
+    for a in &rows {
+        if a.field("score") != &seed_score {
+            continue;
+        }
+        for b in &rows {
+            let (ida, idb) = (
+                a.field("id").as_i64().unwrap(),
+                b.field("id").as_i64().unwrap(),
+            );
+            if ida >= idb {
+                continue;
+            }
+            let ta = asterix_simfn::word_tokens(a.field("summary").as_str().unwrap());
+            let tb = asterix_simfn::word_tokens(b.field("summary").as_str().unwrap());
+            let ed = asterix_simfn::edit_distance(
+                a.field("reviewerName").as_str().unwrap(),
+                b.field("reviewerName").as_str().unwrap(),
+            );
+            if asterix_simfn::jaccard(&ta, &tb) >= 0.8 && ed <= 1 {
+                expected.push((ida, idb));
+            }
+        }
+    }
+    expected.sort();
+    expected.dedup();
+    assert_eq!(pairs(&engine.rows), expected);
+}
+
+/// Fig 18: a chain of similarity joins across three datasets, all
+/// rewritten (iteratively) to three-stage plans.
+#[test]
+fn fig18_chained_similarity_joins() {
+    let db = Instance::new(InstanceConfig::with_partitions(2));
+    for name in ["R", "S", "T"] {
+        db.create_dataset(name, "id").unwrap();
+        db.load(name, amazon_reviews(150, 71)).unwrap();
+    }
+    let r = db
+        .query(
+            r#"
+        for $r in dataset R
+        for $s in dataset S
+        for $t in dataset T
+        where similarity-jaccard(word-tokens($r.summary),
+                                 word-tokens($s.summary)) >= 0.9
+          and similarity-jaccard(word-tokens($s.summary),
+                                 word-tokens($t.summary)) >= 0.9
+        return [ $r.id, $s.id, $t.id ]
+    "#,
+        )
+        .unwrap();
+    let fired = r
+        .plan
+        .rewrites
+        .iter()
+        .filter(|(n, _)| *n == "three-stage-similarity-join")
+        .map(|(_, c)| *c)
+        .sum::<usize>();
+    assert_eq!(fired, 2, "{:?}", r.plan.rewrites);
+
+    // Every triple satisfies both predicates (spot-verified).
+    let rows = amazon_reviews(150, 71);
+    for v in r.rows.iter().take(50) {
+        let l = v.as_list().unwrap();
+        let (a, b, c) = (
+            l[0].as_i64().unwrap() as usize,
+            l[1].as_i64().unwrap() as usize,
+            l[2].as_i64().unwrap() as usize,
+        );
+        let tok = |i: usize| {
+            asterix_simfn::word_tokens(rows[i].field("summary").as_str().unwrap())
+        };
+        assert!(asterix_simfn::jaccard(&tok(a), &tok(b)) >= 0.9);
+        assert!(asterix_simfn::jaccard(&tok(b), &tok(c)) >= 0.9);
+    }
+    assert!(!r.rows.is_empty(), "identical summaries exist, triples expected");
+}
+
+/// Self-join triples: every record pairs with itself, so (x, x, x) must
+/// always be present — a completeness smoke test for chained joins.
+#[test]
+fn chained_self_joins_include_reflexive_triples() {
+    let db = Instance::new(InstanceConfig::with_partitions(2));
+    for name in ["R", "S", "T"] {
+        db.create_dataset(name, "id").unwrap();
+        db.load(name, amazon_reviews(60, 13)).unwrap();
+    }
+    let r = db
+        .query(
+            r#"
+        for $r in dataset R
+        for $s in dataset S
+        for $t in dataset T
+        where similarity-jaccard(word-tokens($r.summary),
+                                 word-tokens($s.summary)) >= 1.0
+          and similarity-jaccard(word-tokens($s.summary),
+                                 word-tokens($t.summary)) >= 1.0
+          and $r.id = 5 and $s.id = 5 and $t.id = 5
+        return [ $r.id, $s.id, $t.id ]
+    "#,
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "{:?}", r.rows);
+}

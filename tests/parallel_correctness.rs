@@ -1,0 +1,198 @@
+//! Parallel-execution invariants: the answer of every similarity query is
+//! independent of the partition count and of the physical join strategy
+//! (nested-loop vs index-nested-loop vs three-stage vs surrogate), and
+//! shared-subplan reuse does not change results. These are the properties
+//! that make the paper's Fig 24/25/27 comparisons meaningful.
+
+use asterix_adm::{IndexKind, Value};
+use asterix_algebricks::OptimizerConfig;
+use asterix_core::{Instance, InstanceConfig, QueryOptions};
+use asterix_datagen::amazon_reviews;
+
+fn build(n: usize, partitions: usize, with_indexes: bool) -> Instance {
+    let db = Instance::new(InstanceConfig::with_partitions(partitions));
+    db.create_dataset("ARevs", "id").unwrap();
+    db.load("ARevs", amazon_reviews(n, 99)).unwrap();
+    if with_indexes {
+        db.create_index("ARevs", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.create_index("ARevs", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+    }
+    db
+}
+
+fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
+    let mut cfg = OptimizerConfig::default();
+    f(&mut cfg);
+    QueryOptions {
+        optimizer: Some(cfg),
+    }
+}
+
+const JACCARD_JOIN: &str = r#"
+    for $t1 in dataset ARevs
+    for $t2 in dataset ARevs
+    where similarity-jaccard(word-tokens($t1.summary),
+                             word-tokens($t2.summary)) >= 0.8
+      and $t1.id < $t2.id
+    return [ $t1.id, $t2.id ]
+"#;
+
+fn pairs(rows: &[Value]) -> Vec<(i64, i64)> {
+    let mut out: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|v| {
+            let l = v.as_list().unwrap();
+            (l[0].as_i64().unwrap(), l[1].as_i64().unwrap())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The brute-force reference answer, computed without the engine.
+fn reference_pairs(n: usize, delta: f64) -> Vec<(i64, i64)> {
+    let rows = amazon_reviews(n, 99);
+    let toks: Vec<(i64, Vec<String>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.field("id").as_i64().unwrap(),
+                asterix_simfn::word_tokens(r.field("summary").as_str().unwrap()),
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (i, (ida, ta)) in toks.iter().enumerate() {
+        for (idb, tb) in toks.iter().skip(i + 1) {
+            // Pairs with no tokens at all are excluded: a prefix join
+            // requires at least one shared token, and both the paper's
+            // three-stage plan and ours inherit that semantics.
+            if ta.is_empty() && tb.is_empty() {
+                continue;
+            }
+            if asterix_simfn::jaccard(ta, tb) >= delta {
+                let (x, y) = if ida < idb { (*ida, *idb) } else { (*idb, *ida) };
+                out.push((x.min(y), x.max(y)));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn three_stage_join_matches_reference() {
+    let n = 400;
+    let db = build(n, 4, false);
+    let r = db.query(JACCARD_JOIN).unwrap();
+    assert!(r.plan.used_rule("three-stage-similarity-join"));
+    assert_eq!(pairs(&r.rows), reference_pairs(n, 0.8));
+}
+
+#[test]
+fn index_join_matches_reference() {
+    let n = 400;
+    let db = build(n, 4, true);
+    let r = db.query(JACCARD_JOIN).unwrap();
+    assert!(r.plan.used_rule("introduce-index-nested-loop-join"));
+    assert_eq!(pairs(&r.rows), reference_pairs(n, 0.8));
+}
+
+#[test]
+fn surrogate_join_matches_reference() {
+    let n = 400;
+    let db = build(n, 4, true);
+    let r = db
+        .query_with(JACCARD_JOIN, &options(|c| c.enable_surrogate = true))
+        .unwrap();
+    assert!(r.plan.used_rule("introduce-index-nested-loop-join"));
+    assert_eq!(pairs(&r.rows), reference_pairs(n, 0.8));
+}
+
+#[test]
+fn nested_loop_join_matches_reference() {
+    let n = 200; // quadratic: keep small
+    let db = build(n, 4, false);
+    let r = db
+        .query_with(
+            JACCARD_JOIN,
+            &options(|c| {
+                c.enable_index_join = false;
+                c.enable_three_stage = false;
+            }),
+        )
+        .unwrap();
+    assert!(r.plan.rewrites.iter().all(|(n, _)| *n != "three-stage-similarity-join"));
+    assert_eq!(pairs(&r.rows), reference_pairs(n, 0.8));
+}
+
+#[test]
+fn answers_stable_across_partition_counts() {
+    let n = 300;
+    let reference = reference_pairs(n, 0.8);
+    for partitions in [1, 2, 4, 8] {
+        let db = build(n, partitions, false);
+        let r = db.query(JACCARD_JOIN).unwrap();
+        assert_eq!(pairs(&r.rows), reference, "partitions={partitions}");
+    }
+}
+
+#[test]
+fn subplan_reuse_does_not_change_answers() {
+    let n = 300;
+    let db = build(n, 2, false);
+    let with = db
+        .query_with(JACCARD_JOIN, &options(|c| c.enable_subplan_reuse = true))
+        .unwrap();
+    let without = db
+        .query_with(JACCARD_JOIN, &options(|c| c.enable_subplan_reuse = false))
+        .unwrap();
+    assert_eq!(pairs(&with.rows), pairs(&without.rows));
+    // Reuse shrinks the physical job: fewer dataset scans.
+    let scans = |r: &asterix_core::QueryResult| {
+        r.plan
+            .physical_ops
+            .iter()
+            .find(|(n, _)| *n == "dataset-scan")
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    assert!(scans(&with) < scans(&without), "{} vs {}", scans(&with), scans(&without));
+}
+
+#[test]
+fn pk_sorting_toggle_does_not_change_answers() {
+    let db = build(300, 4, true);
+    let q = r#"
+        for $t in dataset ARevs
+        where similarity-jaccard(word-tokens($t.summary),
+                                 word-tokens('great product value')) >= 0.5
+        return $t.id
+    "#;
+    let sorted = db.query_with(q, &options(|c| c.sort_pks = true)).unwrap();
+    let unsorted = db.query_with(q, &options(|c| c.sort_pks = false)).unwrap();
+    assert_eq!(sorted.ids(), unsorted.ids());
+}
+
+#[test]
+fn edit_distance_join_strategies_agree() {
+    let n = 250;
+    let db = build(n, 4, true);
+    let q = r#"
+        for $t1 in dataset ARevs
+        for $t2 in dataset ARevs
+        where edit-distance($t1.reviewerName, $t2.reviewerName) <= 1
+          and $t1.id < $t2.id
+        return [ $t1.id, $t2.id ]
+    "#;
+    let indexed = db.query(q).unwrap();
+    assert!(indexed.plan.used_rule("introduce-index-nested-loop-join"));
+    let nl = db
+        .query_with(q, &options(|c| c.enable_index_join = false))
+        .unwrap();
+    assert_eq!(pairs(&indexed.rows), pairs(&nl.rows));
+    assert!(!pairs(&indexed.rows).is_empty(), "datagen must produce near names");
+}

@@ -1,0 +1,184 @@
+//! Property-based integration tests: for randomized datasets and query
+//! parameters, every physical plan the optimizer can choose returns the
+//! same answers (the soundness invariant behind every comparison in the
+//! paper's evaluation), and selection answers match a model computed
+//! directly with the similarity library.
+
+use asterix_adm::{record, IndexKind, Value};
+use asterix_algebricks::OptimizerConfig;
+use asterix_core::{Instance, InstanceConfig, QueryOptions};
+use proptest::prelude::*;
+
+fn no_index() -> QueryOptions {
+    QueryOptions {
+        optimizer: Some(OptimizerConfig {
+            enable_index_select: false,
+            enable_index_join: false,
+            ..OptimizerConfig::default()
+        }),
+    }
+}
+
+/// A tiny text corpus with heavy token overlap so similarity results are
+/// non-trivial.
+fn summary_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "great", "product", "value", "gift", "nice", "works", "fine", "bad",
+        ]),
+        1..6,
+    )
+    .prop_map(|words| words.join(" "))
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-d]{3,7}".prop_map(|s| s)
+}
+
+fn build_db(rows: &[(String, String)], partitions: usize) -> Instance {
+    let db = Instance::new(InstanceConfig::tiny(partitions));
+    db.create_dataset("D", "id").unwrap();
+    for (i, (name, summary)) in rows.iter().enumerate() {
+        db.insert(
+            "D",
+            record! {"id" => i as i64, "name" => name.as_str(), "summary" => summary.as_str()},
+        )
+        .unwrap();
+    }
+    db.create_index("D", "kw", "summary", IndexKind::Keyword)
+        .unwrap();
+    db.create_index("D", "ng", "name", IndexKind::NGram(2))
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Indexed Jaccard selection ≡ scan ≡ the similarity library.
+    #[test]
+    fn jaccard_selection_equivalence(
+        rows in prop::collection::vec((name_strategy(), summary_strategy()), 3..25),
+        probe in summary_strategy(),
+        delta in prop::sample::select(vec![0.2f64, 0.5, 0.8, 1.0]),
+    ) {
+        let db = build_db(&rows, 2);
+        let q = format!(
+            "for $t in dataset D \
+             where similarity-jaccard(word-tokens($t.summary), word-tokens('{probe}')) >= {delta} \
+             return $t.id"
+        );
+        let with = db.query(&q).unwrap();
+        let without = db.query_with(&q, &no_index()).unwrap();
+        prop_assert_eq!(with.ids(), without.ids());
+        // Model: compute directly with the library.
+        let probe_tokens = asterix_simfn::word_tokens(&probe);
+        let expected: Vec<i64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| {
+                asterix_simfn::jaccard(&asterix_simfn::word_tokens(s), &probe_tokens) >= delta
+            })
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(with.ids(), expected);
+    }
+
+    /// Indexed edit-distance selection ≡ scan ≡ the similarity library
+    /// (including corner cases where the optimizer refuses the index).
+    #[test]
+    fn edit_distance_selection_equivalence(
+        rows in prop::collection::vec((name_strategy(), summary_strategy()), 3..25),
+        probe in name_strategy(),
+        k in 0u32..4,
+    ) {
+        let db = build_db(&rows, 2);
+        let q = format!(
+            "for $t in dataset D where edit-distance($t.name, '{probe}') <= {k} return $t.id"
+        );
+        let with = db.query(&q).unwrap();
+        let without = db.query_with(&q, &no_index()).unwrap();
+        prop_assert_eq!(with.ids(), without.ids());
+        let expected: Vec<i64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, _))| asterix_simfn::edit_distance(n, &probe) <= k)
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(with.ids(), expected);
+    }
+
+    /// All three join strategies agree on random data.
+    #[test]
+    fn join_strategy_equivalence(
+        rows in prop::collection::vec((name_strategy(), summary_strategy()), 4..18),
+        delta in prop::sample::select(vec![0.5f64, 0.8]),
+    ) {
+        let db = build_db(&rows, 2);
+        let q = format!(
+            "for $a in dataset D for $b in dataset D \
+             where similarity-jaccard(word-tokens($a.summary), word-tokens($b.summary)) >= {delta} \
+             and $a.id < $b.id return [ $a.id, $b.id ]"
+        );
+        let pairs = |r: &asterix_core::QueryResult| {
+            let mut v: Vec<(i64, i64)> = r
+                .rows
+                .iter()
+                .map(|x| {
+                    let l = x.as_list().unwrap();
+                    (l[0].as_i64().unwrap(), l[1].as_i64().unwrap())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let indexed = db.query(&q).unwrap();
+        let three_stage = db
+            .query_with(
+                &q,
+                &QueryOptions {
+                    optimizer: Some(OptimizerConfig {
+                        enable_index_join: false,
+                        ..OptimizerConfig::default()
+                    }),
+                },
+            )
+            .unwrap();
+        let nl = db
+            .query_with(
+                &q,
+                &QueryOptions {
+                    optimizer: Some(OptimizerConfig {
+                        enable_index_join: false,
+                        enable_three_stage: false,
+                        ..OptimizerConfig::default()
+                    }),
+                },
+            )
+            .unwrap();
+        prop_assert_eq!(pairs(&indexed), pairs(&nl));
+        prop_assert_eq!(pairs(&three_stage), pairs(&nl));
+    }
+
+    /// Contains through the n-gram index ≡ scan ≡ `str::contains`.
+    #[test]
+    fn contains_selection_equivalence(
+        rows in prop::collection::vec((name_strategy(), summary_strategy()), 3..20),
+        pattern in "[a-d]{1,4}",
+    ) {
+        let db = build_db(&rows, 2);
+        let q = format!(
+            "for $t in dataset D where contains($t.name, '{pattern}') return $t.id"
+        );
+        let with = db.query(&q).unwrap();
+        let without = db.query_with(&q, &no_index()).unwrap();
+        prop_assert_eq!(with.ids(), without.ids());
+        let expected: Vec<i64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, _))| n.contains(&pattern))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(with.ids(), expected);
+    }
+}
