@@ -105,7 +105,7 @@ impl RewriteRule for IndexSelectionRule {
                 let IndexKind::NGram(n) = index.kind else {
                     continue;
                 };
-                if probe.as_str().map_or(true, |s| s.chars().count() < n) {
+                if probe.as_str().is_none_or(|s| s.chars().count() < n) {
                     return None;
                 }
             }

@@ -297,28 +297,32 @@ impl Parser {
 
     fn parse_or(&mut self) -> Result<AstExpr, ParseError> {
         let first = self.parse_and()?;
-        let mut parts = vec![first];
+        let mut rest = Vec::new();
         while self.peek_keyword() == Some("or") {
             self.next();
-            parts.push(self.parse_and()?);
+            rest.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.extend(rest);
             AstExpr::Or(parts)
         })
     }
 
     fn parse_and(&mut self) -> Result<AstExpr, ParseError> {
         let first = self.parse_cmp()?;
-        let mut parts = vec![first];
+        let mut rest = Vec::new();
         while self.peek_keyword() == Some("and") {
             self.next();
-            parts.push(self.parse_cmp()?);
+            rest.push(self.parse_cmp()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.extend(rest);
             AstExpr::And(parts)
         })
     }
@@ -653,5 +657,73 @@ mod tests {
         let q = parse_query("for $t in dataset A limit 10 return $t").unwrap();
         let f = q.body_flwor().unwrap();
         assert!(matches!(f.clauses[1], Clause::Limit(10)));
+    }
+
+    /// Malformed-input corpus: every entry must produce `Err`, never a
+    /// panic. Grown from fuzz-style probing of each grammar production —
+    /// truncations, unbalanced delimiters, misplaced keywords, bad
+    /// literals, and degenerate boolean chains (the spots where a pop/
+    /// unwrap-style parser shortcut would blow up).
+    #[test]
+    fn malformed_corpus_errors_never_panic() {
+        let corpus: &[&str] = &[
+            "",
+            "   ",
+            "for",
+            "for $",
+            "for $t",
+            "for $t in",
+            "for $t in dataset",
+            "for $t in dataset A",
+            "for $t in dataset A where",
+            "for $t in dataset A where and return $t",
+            "for $t in dataset A where $t.x and return $t",
+            "for $t in dataset A where or $t.x return $t",
+            "for $t in dataset A where $t.x or or $t.y return $t",
+            "for $t in dataset A where $t.x and and $t.y return $t",
+            "for $t in dataset A where $t.x = return $t",
+            "for $t in dataset A where = $t.x return $t",
+            "for $t in dataset A where $t.x ~= return $t",
+            "for $t in dataset A order by return $t",
+            "for $t in dataset A group by return $t",
+            "for $t in dataset A limit return $t",
+            "for $t in dataset A limit -3 return $t",
+            "for $t in dataset A limit ten return $t",
+            "return }",
+            "return {",
+            "return { 'a': }",
+            "return { 'a' 1 }",
+            "return [1, 2",
+            "return (1",
+            "return 'unterminated",
+            "return $t.",
+            "return $t[",
+            "return $t[0",
+            "return $t[$x]",
+            "return word-tokens(",
+            "return word-tokens($t.x",
+            "return word-tokens($t.x,,)",
+            "let := 1 return $x",
+            "let $x 1 return $x",
+            "let $x := return $x",
+            "use dataverse; return 1",
+            "set simfunction return 1",
+            "set simthreshold 0.5 for $t in dataset A return $t",
+            "for $t in dataset A return $t;;",
+            "for $t in dataset A return $t garbage",
+            "where $t.x return $t",
+            "for $t in dataset A for return $t",
+            "for $t in dataset A at return $t",
+        ];
+        for (i, src) in corpus.iter().enumerate() {
+            let res = std::panic::catch_unwind(|| parse_query(src));
+            match res {
+                Ok(parsed) => assert!(
+                    parsed.is_err(),
+                    "corpus[{i}] {src:?}: malformed input parsed successfully"
+                ),
+                Err(_) => panic!("corpus[{i}] {src:?}: parser panicked"),
+            }
+        }
     }
 }

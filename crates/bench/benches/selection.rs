@@ -25,6 +25,7 @@ fn no_index() -> QueryOptions {
             enable_index_join: false,
             ..OptimizerConfig::default()
         }),
+        timeout: None,
     }
 }
 

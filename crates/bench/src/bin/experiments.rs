@@ -25,6 +25,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
     f(&mut cfg);
     QueryOptions {
         optimizer: Some(cfg),
+        timeout: None,
     }
 }
 

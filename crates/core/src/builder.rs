@@ -30,7 +30,7 @@ use crate::result::{PlanInfo, QueryOptions, QueryResult};
 use asterix_adm::Value;
 use asterix_algebricks::plan::{build, LogicalNode, LogicalOp, OrderKey, PlanRef};
 use asterix_algebricks::{generate_job, optimize, VarGen, VarId};
-use asterix_hyracks::{run_job, CmpOp, Expr};
+use asterix_hyracks::{run_job_with, CmpOp, Expr, JobOptions};
 use std::sync::Arc;
 
 /// A reference to the current row while building expressions.
@@ -285,7 +285,11 @@ impl PreparedQuery {
         };
         let compile_time = compile_started.elapsed();
         let exec_started = std::time::Instant::now();
-        let (tuples, stats) = run_job(&job, db.cluster()).map_err(CoreError::Execution)?;
+        let job_options = JobOptions {
+            timeout: options.timeout,
+        };
+        let (tuples, stats) =
+            run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;
         Ok(QueryResult {
             rows: tuples
                 .into_iter()

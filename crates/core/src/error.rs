@@ -1,6 +1,8 @@
 //! The engine error type.
 
+use asterix_hyracks::ExecError;
 use std::fmt;
+use std::time::Duration;
 
 /// Anything that can go wrong across the query lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -8,7 +10,15 @@ pub enum CoreError {
     Parse(String),
     Translate(String),
     Schema(String),
-    Execution(String),
+    /// A runtime failure inside the executor (operator error or panic).
+    Execution(ExecError),
+    /// The query exceeded its [`crate::QueryOptions::timeout`] budget.
+    Timeout(Duration),
+    /// The query was cancelled from outside (e.g. via
+    /// [`asterix_hyracks::ClusterContext::cancel_active`]).
+    Cancelled,
+    /// A storage-layer i/o failure that survived retries.
+    Io(String),
 }
 
 impl fmt::Display for CoreError {
@@ -17,16 +27,47 @@ impl fmt::Display for CoreError {
             CoreError::Parse(m) => write!(f, "parse error: {m}"),
             CoreError::Translate(m) => write!(f, "translate error: {m}"),
             CoreError::Schema(m) => write!(f, "schema error: {m}"),
-            CoreError::Execution(m) => write!(f, "execution error: {m}"),
+            CoreError::Execution(e) => write!(f, "execution error: {e}"),
+            CoreError::Timeout(d) => {
+                write!(f, "query timed out after {} ms", d.as_millis())
+            }
+            CoreError::Cancelled => write!(f, "query cancelled"),
+            CoreError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
 
 impl std::error::Error for CoreError {}
 
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::Timeout(d) => CoreError::Timeout(d),
+            ExecError::Cancelled => CoreError::Cancelled,
+            ExecError::Io(m) => CoreError::Io(m),
+            other => CoreError::Execution(other),
+        }
+    }
+}
+
 impl From<asterix_adm::AdmError> for CoreError {
     fn from(e: asterix_adm::AdmError) -> Self {
         CoreError::Schema(e.to_string())
+    }
+}
+
+impl From<asterix_storage::IoError> for CoreError {
+    fn from(e: asterix_storage::IoError) -> Self {
+        CoreError::Io(e.to_string())
+    }
+}
+
+impl From<asterix_storage::StorageError> for CoreError {
+    fn from(e: asterix_storage::StorageError) -> Self {
+        match e {
+            asterix_storage::StorageError::Adm(adm) => adm.into(),
+            asterix_storage::StorageError::Io(io) => io.into(),
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use asterix_adm::{DatasetDef, IndexDef, IndexKind, Value};
 use asterix_algebricks::plan::{explain as explain_plan, operator_counts};
 use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen};
 use asterix_aql::{parse_query, translate, Bindings};
-use asterix_hyracks::{run_job, ClusterContext};
+use asterix_hyracks::{run_job_with, ClusterContext, JobOptions};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
 use asterix_storage::{BufferCache, CacheStats, Disk, PartitionStore};
 use parking_lot::RwLock;
@@ -202,7 +202,7 @@ impl Instance {
         let store = set
             .store_mut(dataset)
             .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
-        store.delete(pk);
+        store.delete(pk)?;
         Ok(())
     }
 
@@ -269,11 +269,28 @@ impl Instance {
     }
 
     /// Flush all memory components to disk.
+    ///
+    /// Transient I/O faults (the kind a [`asterix_storage::FaultInjector`]
+    /// marks retryable) are retried with bounded exponential backoff;
+    /// `flush_all` preserves the in-memory components on failure, so a
+    /// retry loses nothing. Permanent faults — and transient ones that
+    /// survive every attempt — surface as [`CoreError::Io`].
     pub fn flush(&self, dataset: &str) -> Result<(), CoreError> {
+        const MAX_ATTEMPTS: u32 = 4;
         for pset in &self.ctx.partitions {
             let mut set = pset.write();
             if let Some(store) = set.store_mut(dataset) {
-                store.flush_all();
+                let mut attempt = 0u32;
+                loop {
+                    match store.flush_all() {
+                        Ok(()) => break,
+                        Err(e) if e.transient && attempt + 1 < MAX_ATTEMPTS => {
+                            attempt += 1;
+                            std::thread::sleep(Duration::from_millis(1u64 << attempt));
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
             }
         }
         Ok(())
@@ -323,7 +340,7 @@ impl Instance {
             let store = set
                 .store(dataset)
                 .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
-            n += store.primary().len();
+            n += store.primary().len()?;
         }
         Ok(n)
     }
@@ -337,6 +354,13 @@ impl Instance {
             total.misses += s.misses;
         }
         total
+    }
+
+    /// The buffer cache of one partition. Fault-injection tests reach the
+    /// partition's simulated disk through this (`cache.disk()`), e.g. to
+    /// install an [`asterix_storage::FaultInjector`].
+    pub fn partition_cache(&self, partition: usize) -> &Arc<BufferCache> {
+        &self.caches[partition]
     }
 
     pub fn reset_cache_stats(&self) {
@@ -388,7 +412,11 @@ impl Instance {
         let compile_time = compile_started.elapsed();
 
         let exec_started = Instant::now();
-        let (tuples, stats) = run_job(&job, &self.ctx).map_err(CoreError::Execution)?;
+        let job_options = JobOptions {
+            timeout: options.timeout,
+        };
+        let (tuples, stats) =
+            run_job_with(&job, &self.ctx, &job_options).map_err(CoreError::from)?;
         let execution_time = exec_started.elapsed();
         // Results are single-column (the translator projects the return
         // value).
@@ -828,6 +856,7 @@ mod tests {
                         enable_index_select: false,
                         ..Default::default()
                     }),
+                    timeout: None,
                 },
             )
             .unwrap();

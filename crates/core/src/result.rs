@@ -10,6 +10,10 @@ use std::time::Duration;
 pub struct QueryOptions {
     /// Override the instance's optimizer configuration for this query.
     pub optimizer: Option<asterix_algebricks::OptimizerConfig>,
+    /// Wall-clock budget for execution; exceeding it cancels every
+    /// operator partition cooperatively and the query returns
+    /// [`crate::CoreError::Timeout`].
+    pub timeout: Option<Duration>,
 }
 
 /// Compile-time information about the chosen plan.

@@ -6,10 +6,12 @@
 //! crosses partitions exclusively through connectors — preserving the
 //! shared-nothing discipline the paper's plans are designed around.
 
+use crate::error::CancelToken;
 use asterix_simfn::FunctionRegistry;
 use asterix_storage::PartitionStore;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The datasets of one partition.
 #[derive(Debug, Default)]
@@ -45,6 +47,12 @@ pub struct ClusterContext {
     /// read concurrently across operator threads.
     pub partitions: Vec<RwLock<PartitionSet>>,
     pub registry: FunctionRegistry,
+    /// Cancel token of the job currently running on this context, if any;
+    /// installed by the executor for the duration of a run so that
+    /// [`ClusterContext::cancel_active`] can stop it from outside. When
+    /// several jobs share a context concurrently, the slot tracks the most
+    /// recently started one (each job's own token still governs it).
+    active_cancel: Mutex<Option<Arc<CancelToken>>>,
 }
 
 impl ClusterContext {
@@ -55,11 +63,32 @@ impl ClusterContext {
                 .map(|_| RwLock::new(PartitionSet::new()))
                 .collect(),
             registry,
+            active_cancel: Mutex::new(None),
         }
     }
 
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    pub(crate) fn install_cancel(&self, token: Arc<CancelToken>) {
+        *self.active_cancel.lock() = Some(token);
+    }
+
+    pub(crate) fn clear_cancel(&self) {
+        *self.active_cancel.lock() = None;
+    }
+
+    /// Request cooperative cancellation of the job currently running on
+    /// this context. Returns whether a job was active.
+    pub fn cancel_active(&self) -> bool {
+        match &*self.active_cancel.lock() {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
     }
 }
 

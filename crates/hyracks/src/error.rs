@@ -1,0 +1,269 @@
+//! Typed execution errors and cooperative cancellation.
+//!
+//! Real Hyracks supervises every operator task: a failing task aborts the
+//! whole job, and the abort propagates to the other node controllers so
+//! their tasks stop instead of running (or blocking) to completion. This
+//! module provides the same contract for the simulated cluster:
+//!
+//! * [`ExecError`] — the typed reason a job stopped (replacing stringly
+//!   errors), so callers can distinguish an operator failure from a panic,
+//!   a deadline, or an external cancellation.
+//! * [`CancelToken`] — a shared flag (plus optional deadline) that every
+//!   operator loop and connector send checks cooperatively; the first
+//!   failure flips it and all other partitions unwind within one poll
+//!   interval instead of hanging on full/empty channels.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a job stopped before (or instead of) producing a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The job DAG failed validation; nothing ran.
+    InvalidJob(String),
+    /// An operator instance returned an error (expression evaluation,
+    /// unknown dataset, index failure, injected fault, ...).
+    Operator {
+        op: String,
+        partition: usize,
+        message: String,
+    },
+    /// An operator instance panicked; the panic was caught and converted.
+    Panic {
+        op: String,
+        partition: usize,
+        message: String,
+    },
+    /// The job exceeded its deadline ([`crate::exec::JobOptions::timeout`]).
+    Timeout(Duration),
+    /// The job was cancelled from outside (or a sibling partition failed
+    /// first and this partition observed the cancellation).
+    Cancelled,
+    /// A storage-level I/O failure surfaced through an operator.
+    Io(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            ExecError::Operator {
+                op,
+                partition,
+                message,
+            } => write!(f, "{op} failed on partition {partition}: {message}"),
+            ExecError::Panic {
+                op,
+                partition,
+                message,
+            } => write!(f, "{op} panicked on partition {partition}: {message}"),
+            ExecError::Timeout(budget) => {
+                write!(f, "query timed out after {} ms", budget.as_millis())
+            }
+            ExecError::Cancelled => f.write_str("query cancelled"),
+            ExecError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Extract a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Error type for one operator instance. Operator-local failures carry
+/// only a message (the executor adds the operator id and partition);
+/// cancellation, timeouts and I/O errors pass through typed.
+#[derive(Clone, Debug)]
+pub enum OpError {
+    /// Operator-local failure; the executor wraps it into
+    /// [`ExecError::Operator`] with op/partition context.
+    Failed(String),
+    /// An already-typed error (cancellation, timeout, I/O) bubbling up.
+    Exec(ExecError),
+}
+
+impl From<String> for OpError {
+    fn from(message: String) -> Self {
+        OpError::Failed(message)
+    }
+}
+
+impl From<ExecError> for OpError {
+    fn from(e: ExecError) -> Self {
+        OpError::Exec(e)
+    }
+}
+
+impl From<asterix_storage::IoError> for OpError {
+    fn from(e: asterix_storage::IoError) -> Self {
+        OpError::Exec(ExecError::Io(e.to_string()))
+    }
+}
+
+impl From<asterix_storage::StorageError> for OpError {
+    fn from(e: asterix_storage::StorageError) -> Self {
+        match e {
+            asterix_storage::StorageError::Io(io) => OpError::Exec(ExecError::Io(io.to_string())),
+            asterix_storage::StorageError::Adm(adm) => OpError::Failed(adm.to_string()),
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const TIMED_OUT: u8 = 2;
+
+/// Shared cooperative-cancellation flag for one job run.
+///
+/// Every operator receive loop, every connector send, and the test-support
+/// operators poll [`CancelToken::check`]; once the token trips, all
+/// partitions unwind with the corresponding [`ExecError`] within one poll
+/// interval. The deadline is evaluated lazily on `check`, so a timed-out
+/// job converts to [`ExecError::Timeout`] at the next cooperative point.
+#[derive(Debug)]
+pub struct CancelToken {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+    budget: Duration,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only trips on explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            state: AtomicU8::new(LIVE),
+            deadline: None,
+            budget: Duration::ZERO,
+        }
+    }
+
+    /// A token that additionally trips once `timeout` has elapsed.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            state: AtomicU8::new(LIVE),
+            deadline: Some(Instant::now() + timeout),
+            budget: timeout,
+        }
+    }
+
+    /// Request cancellation. A token that already timed out stays timed
+    /// out (the more specific reason wins).
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Has the token tripped (either way)?
+    pub fn is_stopped(&self) -> bool {
+        self.state.load(Ordering::SeqCst) != LIVE
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Cooperative check: `Ok` while live, the stop reason once tripped.
+    pub fn check(&self) -> Result<(), ExecError> {
+        match self.state.load(Ordering::SeqCst) {
+            CANCELLED => Err(ExecError::Cancelled),
+            TIMED_OUT => Err(ExecError::Timeout(self.budget)),
+            _ => {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        let _ = self.state.compare_exchange(
+                            LIVE,
+                            TIMED_OUT,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                        // Re-read: a concurrent cancel() may have won; the
+                        // stored state is the authoritative reason.
+                        return match self.state.load(Ordering::SeqCst) {
+                            CANCELLED => Err(ExecError::Cancelled),
+                            _ => Err(ExecError::Timeout(self.budget)),
+                        };
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_token_checks_ok() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_stopped());
+    }
+
+    #[test]
+    fn cancelled_token_reports_cancelled() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert_eq!(t.check(), Err(ExecError::Cancelled));
+        assert!(t.is_stopped());
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        match t.check() {
+            Err(ExecError::Timeout(_)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // Once timed out, a later cancel() does not change the reason.
+        t.cancel();
+        assert!(matches!(t.check(), Err(ExecError::Timeout(_))));
+    }
+
+    #[test]
+    fn future_deadline_checks_ok() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = ExecError::Operator {
+            op: "op3 (select)".into(),
+            partition: 1,
+            message: "no-such-function".into(),
+        };
+        assert!(e.to_string().contains("no-such-function"));
+        assert!(e.to_string().contains("partition 1"));
+        assert!(ExecError::Timeout(Duration::from_millis(250))
+            .to_string()
+            .contains("250 ms"));
+        assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
+    }
+
+    #[test]
+    fn panic_message_downcasts() {
+        let payload: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(payload.as_ref()), "kaboom");
+        let payload: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
+    }
+}

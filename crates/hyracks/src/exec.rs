@@ -1,14 +1,37 @@
 //! The job executor: instantiate every operator on every partition, wire
 //! connectors as channels, run, and collect results + statistics.
+//!
+//! Execution is supervised: every operator instance runs under
+//! `catch_unwind`, the first failure (error, panic, or deadline) trips the
+//! job's shared [`CancelToken`], and all other partitions observe it at
+//! their next cooperative check instead of running — or blocking — to
+//! completion. Edge channels are bounded, so a fast producer feeding a slow
+//! consumer exerts backpressure rather than buffering without limit.
 
 use crate::context::ClusterContext;
+use crate::error::{panic_message, CancelToken, ExecError, OpError};
 use crate::job::{JobSpec, OpId};
 use crate::ops::{run_operator, Out, Router};
 use crate::tuple::{Frame, Tuple};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Capacity, in frames, of each per-(edge, consumer-partition) channel.
+/// Generous enough that small jobs never block, small enough that a
+/// runaway producer is throttled by its slowest consumer.
+pub const EDGE_CHANNEL_FRAMES: usize = 64;
+
+/// Knobs for one job run.
+#[derive(Clone, Debug, Default)]
+pub struct JobOptions {
+    /// Wall-clock budget for the whole job; exceeded ⇒
+    /// [`ExecError::Timeout`]. `None` = no deadline.
+    pub timeout: Option<Duration>,
+}
 
 /// Per-operator runtime statistics, aggregated over partitions.
 #[derive(Clone, Debug, Default)]
@@ -66,15 +89,33 @@ impl JobStats {
     }
 }
 
-/// Execute a job on the cluster, returning the sink's tuples (unordered
-/// unless the plan sorted them) and per-operator statistics.
-pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobStats), String> {
-    job.validate()?;
+/// Execute a job on the cluster with default options (no deadline),
+/// returning the sink's tuples (unordered unless the plan sorted them)
+/// and per-operator statistics.
+pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobStats), ExecError> {
+    run_job_with(job, ctx, &JobOptions::default())
+}
+
+/// Execute a job under the given options. The first operator failure
+/// (typed error or caught panic) or an elapsed deadline cancels all other
+/// partitions cooperatively; the originating [`ExecError`] is returned.
+pub fn run_job_with(
+    job: &JobSpec,
+    ctx: &ClusterContext,
+    options: &JobOptions,
+) -> Result<(Vec<Tuple>, JobStats), ExecError> {
+    job.validate().map_err(ExecError::InvalidJob)?;
     let p = ctx.num_partitions();
     let started = Instant::now();
 
-    // Channels: one (sender, receiver) pair per (edge, consumer partition).
-    // Producers of an edge share clones of all its senders.
+    let cancel = Arc::new(match options.timeout {
+        Some(budget) => CancelToken::with_timeout(budget),
+        None => CancelToken::new(),
+    });
+    ctx.install_cancel(cancel.clone());
+
+    // Channels: one bounded (sender, receiver) pair per (edge, consumer
+    // partition). Producers of an edge share clones of all its senders.
     struct EdgeChannels {
         senders: Vec<Sender<Frame>>,
         receivers: Vec<Option<Receiver<Frame>>>,
@@ -84,7 +125,7 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(EDGE_CHANNEL_FRAMES);
             senders.push(tx);
             receivers.push(Some(rx));
         }
@@ -93,7 +134,17 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
 
     let sink_tuples: Mutex<Vec<Tuple>> = Mutex::new(Vec::new());
     let stats: Mutex<HashMap<OpId, OpStats>> = Mutex::new(HashMap::new());
-    let first_error: Mutex<Option<String>> = Mutex::new(None);
+    let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+
+    // Record a failure (keeping only the first) and trip the token so
+    // every other partition unwinds at its next cooperative check.
+    let report = |e: ExecError| {
+        let mut slot = first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        cancel.cancel();
+    };
 
     std::thread::scope(|scope| {
         for (op_id, op) in &job.ops {
@@ -118,14 +169,27 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
                 .collect();
 
             for partition in 0..p {
-                let inputs: Vec<Receiver<Frame>> = input_edges
-                    .iter()
-                    .map(|ei| {
-                        edge_channels[*ei].receivers[partition]
-                            .take()
-                            .expect("receiver already taken")
-                    })
-                    .collect();
+                // `validate()` rejects double-consumed input slots, so each
+                // receiver is taken exactly once; a `None` here means an
+                // internal wiring bug, reported as an error, never a panic.
+                let mut inputs: Vec<Receiver<Frame>> = Vec::with_capacity(input_edges.len());
+                let mut wiring_error = None;
+                for ei in &input_edges {
+                    match edge_channels[*ei].receivers[partition].take() {
+                        Some(rx) => inputs.push(rx),
+                        None => {
+                            wiring_error = Some(ExecError::InvalidJob(format!(
+                                "{op_id} ({}) partition {partition}: input edge already consumed",
+                                op.name()
+                            )));
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = wiring_error {
+                    report(e);
+                    continue;
+                }
                 let routers: Vec<Router> = output_edges
                     .iter()
                     .map(|ei| {
@@ -133,25 +197,44 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
                             job.edges[*ei].connector.clone(),
                             edge_channels[*ei].senders.clone(),
                             partition,
+                            cancel.clone(),
                         )
                     })
                     .collect();
                 let stats = &stats;
-                let first_error = &first_error;
+                let report = &report;
                 let sink_tuples = &sink_tuples;
+                let cancel = &cancel;
                 let op_id = *op_id;
                 scope.spawn(move || {
                     let t0 = Instant::now();
-                    let result = run_operator(
-                        op,
-                        partition,
-                        inputs,
-                        Out::new(routers),
-                        ctx,
-                        sink_tuples,
-                    );
+                    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_operator(
+                            op,
+                            partition,
+                            inputs,
+                            Out::new(routers),
+                            ctx,
+                            cancel,
+                            sink_tuples,
+                        )
+                    }));
                     let elapsed = t0.elapsed();
-                    match result {
+                    let outcome = match caught {
+                        Ok(Ok(io)) => Ok(io),
+                        Ok(Err(OpError::Exec(e))) => Err(e),
+                        Ok(Err(OpError::Failed(message))) => Err(ExecError::Operator {
+                            op: format!("{op_id} ({})", op.name()),
+                            partition,
+                            message,
+                        }),
+                        Err(payload) => Err(ExecError::Panic {
+                            op: format!("{op_id} ({})", op.name()),
+                            partition,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    };
+                    match outcome {
                         Ok((input_tuples, output_tuples)) => {
                             let mut st = stats.lock();
                             let entry = st.entry(op_id).or_insert_with(|| OpStats {
@@ -164,12 +247,7 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
                             entry.max_partition_input =
                                 entry.max_partition_input.max(input_tuples);
                         }
-                        Err(e) => {
-                            let mut slot = first_error.lock();
-                            if slot.is_none() {
-                                *slot = Some(format!("{op_id} ({}): {e}", op.name()));
-                            }
-                        }
+                        Err(e) => report(e),
                     }
                 });
             }
@@ -181,6 +259,7 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
         }
     });
 
+    ctx.clear_cancel();
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
@@ -198,9 +277,9 @@ pub fn run_job(job: &JobSpec, ctx: &ClusterContext) -> Result<(Vec<Tuple>, JobSt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::PartitionSet;
+    use crate::error::ExecError;
     use crate::expr::{CmpOp, Expr};
-    use crate::job::{AggSpec, ConnectorKind, PhysicalOp, SearchMeasure};
+    use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, SearchMeasure};
     use crate::tuple::SortKey;
     use asterix_adm::{record, DatasetDef, IndexDef, IndexKind, Value};
     use asterix_simfn::FunctionRegistry;
@@ -555,7 +634,11 @@ mod tests {
         job.pipe(scan, bad);
         job.connect(bad, sink, 0, ConnectorKind::ToOne);
         let err = run_job(&job, &ctx).unwrap_err();
-        assert!(err.contains("no-such-function"), "got: {err}");
+        assert!(
+            matches!(err, ExecError::Operator { .. }),
+            "expected operator error, got: {err:?}"
+        );
+        assert!(err.to_string().contains("no-such-function"), "got: {err}");
     }
 
     #[test]
@@ -660,6 +743,169 @@ mod tests {
         let (rows, stats) = run_job(&job, &ctx).unwrap();
         assert_eq!(rows.len(), 6);
         assert_eq!(stats.total_output_of("materialize"), 6);
+    }
+
+    /// scan → fault-inject → sink over 2 partitions; the chosen mode on
+    /// partition 1 must surface as the matching typed error.
+    fn faulty_job(mode: FaultMode) -> (ClusterContext, JobSpec) {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let fault = job.add(PhysicalOp::FaultInject {
+            partition: 1,
+            after_tuples: 1,
+            mode,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, fault);
+        job.connect(fault, sink, 0, ConnectorKind::ToOne);
+        (ctx, job)
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_typed() {
+        let (ctx, job) = faulty_job(FaultMode::Panic);
+        let err = run_job(&job, &ctx).unwrap_err();
+        match &err {
+            ExecError::Panic {
+                partition, message, ..
+            } => {
+                assert_eq!(*partition, 1);
+                assert!(message.contains("injected panic"), "got: {message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_error_is_typed() {
+        let (ctx, job) = faulty_job(FaultMode::Error);
+        let err = run_job(&job, &ctx).unwrap_err();
+        match &err {
+            ExecError::Operator {
+                partition, message, ..
+            } => {
+                assert_eq!(*partition, 1);
+                assert!(message.contains("injected operator failure"), "got: {message}");
+            }
+            other => panic!("expected operator error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_produces_timeout_error() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        // ~100 ms per tuple against a 40 ms budget: the deadline must win.
+        let slow = job.add(PhysicalOp::Throttle {
+            micros_per_tuple: 100_000,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, slow);
+        job.connect(slow, sink, 0, ConnectorKind::ToOne);
+        let started = Instant::now();
+        let err = run_job_with(
+            &job,
+            &ctx,
+            &JobOptions {
+                timeout: Some(Duration::from_millis(40)),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Timeout(_)),
+            "expected timeout, got {err:?}"
+        );
+        // Cooperative cancellation must unwind promptly, far inside the
+        // ~600 ms the job would need to finish.
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "timeout took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn external_cancel_stops_job() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let slow = job.add(PhysicalOp::Throttle {
+            micros_per_tuple: 100_000,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, slow);
+        job.connect(slow, sink, 0, ConnectorKind::ToOne);
+        let err = std::thread::scope(|s| {
+            let ctx = &ctx;
+            let job = &job;
+            s.spawn(move || {
+                // Let the job install its token, then cancel it. Bounded
+                // retries so the helper can never outlive the test.
+                std::thread::sleep(Duration::from_millis(30));
+                for _ in 0..200 {
+                    if ctx.cancel_active() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+            run_job(job, ctx).unwrap_err()
+        });
+        assert!(
+            matches!(err, ExecError::Cancelled),
+            "expected cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_job_is_typed() {
+        let job = JobSpec::new(); // no sink
+        let ctx = cluster(1, &[]);
+        let err = run_job(&job, &ctx).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidJob(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn failure_on_one_partition_cancels_slow_siblings() {
+        // Partition 0 fails almost immediately while partition 1 crawls;
+        // supervision must cancel the slow partition instead of letting the
+        // job run (or hang) to completion.
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let slow = job.add(PhysicalOp::Throttle {
+            micros_per_tuple: 50_000,
+        });
+        let fault = job.add(PhysicalOp::FaultInject {
+            partition: 0,
+            after_tuples: 0,
+            mode: FaultMode::Error,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, slow);
+        job.pipe(slow, fault);
+        job.connect(fault, sink, 0, ConnectorKind::ToOne);
+        let started = Instant::now();
+        let err = run_job(&job, &ctx).unwrap_err();
+        assert!(
+            matches!(err, ExecError::Operator { .. } | ExecError::Cancelled),
+            "got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cancellation too slow: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub enum SearchMeasure {
     Contains,
 }
 
+/// How a [`PhysicalOp::FaultInject`] operator fails (test support for the
+/// fault-tolerance matrix: both paths must surface as typed errors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// `panic!` inside the operator body; the executor must catch it.
+    Panic,
+    /// Return an operator error through the normal error path.
+    Error,
+}
+
 /// A physical operator. Column indices refer to the operator's input
 /// tuple; operators that add columns append them on the right.
 #[derive(Clone, Debug)]
@@ -122,6 +132,16 @@ pub enum PhysicalOp {
     Materialize,
     /// Keep the first `n` tuples per partition.
     Limit { n: usize },
+    /// Test support: forward tuples, sleeping `micros_per_tuple` per tuple
+    /// (a deterministic slow operator for deadline/cancellation tests).
+    Throttle { micros_per_tuple: u64 },
+    /// Test support: forward tuples, except on `partition`, which fails
+    /// (per `mode`) after forwarding at most `after_tuples` tuples.
+    FaultInject {
+        partition: usize,
+        after_tuples: u64,
+        mode: FaultMode,
+    },
     /// Collect tuples at the coordinator; a job has exactly one sink.
     ResultSink,
 }
@@ -146,6 +166,8 @@ impl PhysicalOp {
             PhysicalOp::Union => "union",
             PhysicalOp::Materialize => "materialize",
             PhysicalOp::Limit { .. } => "limit",
+            PhysicalOp::Throttle { .. } => "throttle",
+            PhysicalOp::FaultInject { .. } => "fault-inject",
             PhysicalOp::ResultSink => "result-sink",
         }
     }
@@ -237,6 +259,17 @@ impl JobSpec {
             .count();
         if sinks != 1 {
             return Err(format!("job must have exactly one result sink, found {sinks}"));
+        }
+        // Two edges feeding the same (consumer, slot) would contend for one
+        // receiver at runtime; reject the plan up front.
+        let mut seen_slots: HashMap<(OpId, usize), ()> = HashMap::new();
+        for e in &self.edges {
+            if seen_slots.insert((e.to, e.input), ()).is_some() {
+                return Err(format!(
+                    "{} input slot {} is fed by more than one edge",
+                    e.to, e.input
+                ));
+            }
         }
         for (id, op) in &self.ops {
             let inputs = self.inputs_of(*id);
@@ -382,6 +415,17 @@ mod tests {
         j.pipe(b, a);
         j.connect(b, sink, 0, ConnectorKind::ToOne);
         assert!(j.validate().is_err());
+    }
+
+    #[test]
+    fn double_consumed_slot_rejected() {
+        let mut j = JobSpec::new();
+        let a = j.add(PhysicalOp::EmptySource);
+        let b = j.add(PhysicalOp::EmptySource);
+        let sink = j.add(PhysicalOp::ResultSink);
+        j.connect(a, sink, 0, ConnectorKind::ToOne);
+        j.connect(b, sink, 0, ConnectorKind::ToOne);
+        assert!(j.validate().unwrap_err().contains("more than one edge"));
     }
 
     #[test]

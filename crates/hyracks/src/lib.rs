@@ -28,6 +28,7 @@
 //! wall time) feed the paper's candidate-set measurements (Table 6).
 
 pub mod context;
+pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod job;
@@ -35,7 +36,8 @@ pub mod ops;
 pub mod tuple;
 
 pub use context::{ClusterContext, PartitionSet};
-pub use exec::{run_job, JobStats, OpStats};
+pub use error::{CancelToken, ExecError};
+pub use exec::{run_job, run_job_with, JobOptions, JobStats, OpStats};
 pub use expr::{CmpOp, Expr};
-pub use job::{AggSpec, ConnectorKind, JobSpec, OpId, PhysicalOp, SearchMeasure};
+pub use job::{AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, SearchMeasure};
 pub use tuple::{SortKey, Tuple};

@@ -1,16 +1,46 @@
 //! Operator implementations. Each operator instance runs on its own thread
 //! for one partition; `run_operator` is its body.
+//!
+//! Every receive loop and every connector send is *cancel-aware*: instead
+//! of blocking indefinitely it polls in short intervals and consults the
+//! job's [`CancelToken`], so a failure (or deadline) on any partition
+//! unwinds the whole job instead of deadlocking on full or empty channels.
 
 use crate::context::ClusterContext;
+use crate::error::{CancelToken, ExecError, OpError};
 use crate::expr::sql_compare;
-use crate::job::{AggSpec, ConnectorKind, PhysicalOp, SearchMeasure};
+use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, SearchMeasure};
 use crate::tuple::{compare_tuples, Frame, Tuple, FRAME_CAPACITY};
 use asterix_adm::{stable_hash_many, IndexKind, Value};
 use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound, tokenize};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked send/receive waits before re-checking the cancel
+/// token. Bounds how stale a cancellation can go unnoticed.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Send a frame, polling the cancel token while the channel is full. A
+/// disconnected consumer (error or limit downstream) is not an error:
+/// dropping the frame is correct either way.
+fn send_frame(
+    tx: &Sender<Frame>,
+    mut frame: Frame,
+    cancel: &CancelToken,
+) -> Result<(), ExecError> {
+    loop {
+        cancel.check()?;
+        match tx.send_timeout(frame, POLL_INTERVAL) {
+            Ok(()) => return Ok(()),
+            Err(SendTimeoutError::Timeout(f)) => frame = f,
+            Err(SendTimeoutError::Disconnected(_)) => return Ok(()),
+        }
+    }
+}
 
 /// Routes a producer partition's output tuples to the consumer partitions
 /// of one edge.
@@ -20,54 +50,62 @@ pub struct Router {
     senders: Vec<Sender<Frame>>,
     buffers: Vec<Frame>,
     producer_partition: usize,
+    cancel: Arc<CancelToken>,
 }
 
 impl Router {
-    pub fn new(kind: ConnectorKind, senders: Vec<Sender<Frame>>, producer_partition: usize) -> Self {
+    pub fn new(
+        kind: ConnectorKind,
+        senders: Vec<Sender<Frame>>,
+        producer_partition: usize,
+        cancel: Arc<CancelToken>,
+    ) -> Self {
         let n = senders.len();
         Router {
             kind,
             senders,
             buffers: (0..n).map(|_| Frame::new()).collect(),
             producer_partition,
+            cancel,
         }
     }
 
-    fn push(&mut self, tuple: &Tuple) {
+    fn push(&mut self, tuple: &Tuple) -> Result<(), ExecError> {
         match &self.kind {
             ConnectorKind::OneToOne => self.buffer(self.producer_partition, tuple.clone()),
             ConnectorKind::ToOne => self.buffer(0, tuple.clone()),
             ConnectorKind::Broadcast => {
                 for p in 0..self.senders.len() {
-                    self.buffer(p, tuple.clone());
+                    self.buffer(p, tuple.clone())?;
                 }
+                Ok(())
             }
             ConnectorKind::Hash(cols) => {
                 let keys: Vec<&Value> = cols.iter().map(|c| &tuple[*c]).collect();
                 let p = (stable_hash_many(&keys) % self.senders.len() as u64) as usize;
-                self.buffer(p, tuple.clone());
+                self.buffer(p, tuple.clone())
             }
         }
     }
 
-    fn buffer(&mut self, partition: usize, tuple: Tuple) {
+    fn buffer(&mut self, partition: usize, tuple: Tuple) -> Result<(), ExecError> {
         let buf = &mut self.buffers[partition];
         buf.push(tuple);
         if buf.len() >= FRAME_CAPACITY {
-            // A send failure means the consumer already terminated (error
-            // or limit); dropping the frame is correct either way.
             let frame = std::mem::take(buf);
-            let _ = self.senders[partition].send(frame);
+            send_frame(&self.senders[partition], frame, &self.cancel)?;
         }
+        Ok(())
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), ExecError> {
         for p in 0..self.senders.len() {
             if !self.buffers[p].is_empty() {
                 let frame = std::mem::take(&mut self.buffers[p]);
-                let _ = self.senders[p].send(frame);
+                send_frame(&self.senders[p], frame, &self.cancel)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -85,32 +123,74 @@ impl Out {
         }
     }
 
-    pub fn push(&mut self, tuple: Tuple) {
+    pub fn push(&mut self, tuple: Tuple) -> Result<(), ExecError> {
         self.produced += 1;
         for r in &mut self.routers {
-            r.push(&tuple);
+            r.push(&tuple)?;
         }
+        Ok(())
     }
 
-    pub fn finish(mut self) -> u64 {
+    pub fn finish(mut self) -> Result<u64, ExecError> {
         for r in &mut self.routers {
-            r.flush();
+            r.flush()?;
         }
-        self.produced
+        Ok(self.produced)
         // Senders drop here, signalling end-of-stream downstream.
     }
 }
 
-fn recv_tuples(rx: &Receiver<Frame>) -> impl Iterator<Item = Tuple> + '_ {
-    rx.iter().flatten()
+/// Cancel-aware tuple stream over one input edge. Yields `Err` once the
+/// job's cancel token trips; ends cleanly on upstream disconnect.
+struct TupleStream<'a> {
+    rx: &'a Receiver<Frame>,
+    cancel: &'a CancelToken,
+    frame: std::vec::IntoIter<Tuple>,
+    done: bool,
 }
 
-fn drain_all(rx: &Receiver<Frame>) -> Vec<Tuple> {
-    let mut out = Vec::new();
-    for frame in rx.iter() {
-        out.extend(frame);
+impl Iterator for TupleStream<'_> {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(t) = self.frame.next() {
+                return Some(Ok(t));
+            }
+            if self.done {
+                return None;
+            }
+            if let Err(e) = self.cancel.check() {
+                self.done = true;
+                return Some(Err(e));
+            }
+            match self.rx.recv_timeout(POLL_INTERVAL) {
+                Ok(frame) => self.frame = frame.into_iter(),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
     }
-    out
+}
+
+fn recv_tuples<'a>(rx: &'a Receiver<Frame>, cancel: &'a CancelToken) -> TupleStream<'a> {
+    TupleStream {
+        rx,
+        cancel,
+        frame: Vec::new().into_iter(),
+        done: false,
+    }
+}
+
+fn drain_all(rx: &Receiver<Frame>, cancel: &CancelToken) -> Result<Vec<Tuple>, ExecError> {
+    let mut out = Vec::new();
+    for t in recv_tuples(rx, cancel) {
+        out.push(t?);
+    }
+    Ok(out)
 }
 
 /// Aggregate state for one group.
@@ -146,13 +226,13 @@ impl AggState {
             }
             (AggState::Min(m), AggSpec::Min(c)) => {
                 let v = &tuple[*c];
-                if !v.is_unknown() && m.as_ref().map_or(true, |cur| v < cur) {
+                if !v.is_unknown() && m.as_ref().is_none_or(|cur| v < cur) {
                     *m = Some(v.clone());
                 }
             }
             (AggState::Max(m), AggSpec::Max(c)) => {
                 let v = &tuple[*c];
-                if !v.is_unknown() && m.as_ref().map_or(true, |cur| v > cur) {
+                if !v.is_unknown() && m.as_ref().is_none_or(|cur| v > cur) {
                     *m = Some(v.clone());
                 }
             }
@@ -197,17 +277,18 @@ pub fn run_operator(
     inputs: Vec<Receiver<Frame>>,
     out: Out,
     ctx: &ClusterContext,
+    cancel: &CancelToken,
     sink: &Mutex<Vec<Tuple>>,
-) -> Result<(u64, u64), String> {
+) -> Result<(u64, u64), OpError> {
     let reg = &ctx.registry;
     let mut consumed: u64 = 0;
     match op {
         PhysicalOp::EmptySource => {
             let mut out = out;
             if partition == 0 {
-                out.push(Vec::new());
+                out.push(Vec::new())?;
             }
-            Ok((0, out.finish()))
+            Ok((0, out.finish()?))
         }
         PhysicalOp::DatasetScan { dataset } => {
             let mut out = out;
@@ -215,75 +296,81 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            for (pk, rec) in store.primary().scan() {
-                out.push(vec![pk, rec]);
+            for item in store.primary().scan() {
+                let (pk, rec) = item?;
+                out.push(vec![pk, rec])?;
             }
-            Ok((0, out.finish()))
+            Ok((0, out.finish()?))
         }
         PhysicalOp::Select { predicate } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
                 if predicate.eval(&t, reg)?.is_true() {
-                    out.push(t);
+                    out.push(t)?;
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Assign { exprs } => {
             let mut out = out;
-            for mut t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let mut t = t?;
                 consumed += 1;
                 let base = t.clone();
                 for e in exprs {
                     t.push(e.eval(&base, reg)?);
                 }
-                out.push(t);
+                out.push(t)?;
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Project { cols } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
-                out.push(cols.iter().map(|c| t[*c].clone()).collect());
+                out.push(cols.iter().map(|c| t[*c].clone()).collect())?;
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Sort { keys } => {
             let mut out = out;
-            let mut all = drain_all(&inputs[0]);
+            let mut all = drain_all(&inputs[0], cancel)?;
             consumed = all.len() as u64;
             all.sort_by(|a, b| compare_tuples(a, b, keys));
             for t in all {
-                out.push(t);
+                out.push(t)?;
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::HashJoin {
             left_keys,
             right_keys,
-        } => run_hash_join(left_keys, right_keys, &inputs, out, &mut consumed),
+        } => run_hash_join(left_keys, right_keys, &inputs, out, cancel, &mut consumed),
         PhysicalOp::NestedLoopJoin { predicate } => {
             let mut out = out;
-            let left = drain_all(&inputs[0]);
+            let left = drain_all(&inputs[0], cancel)?;
             consumed += left.len() as u64;
-            for rt in recv_tuples(&inputs[1]) {
+            for rt in recv_tuples(&inputs[1], cancel) {
+                let rt = rt?;
                 consumed += 1;
                 for lt in &left {
                     let mut combined = lt.clone();
                     combined.extend(rt.iter().cloned());
                     if predicate.eval(&combined, reg)?.is_true() {
-                        out.push(combined);
+                        out.push(combined)?;
                     }
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::HashGroupBy { keys, aggs } => {
             let mut out = out;
             let mut groups: HashMap<u64, Vec<(Tuple, Vec<AggState>)>> = HashMap::new();
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
                 let key: Tuple = keys.iter().map(|c| t[*c].clone()).collect();
                 let refs: Vec<&Value> = key.iter().collect();
@@ -307,14 +394,15 @@ pub fn run_operator(
                     for s in states {
                         row.push(s.finish());
                     }
-                    out.push(row);
+                    out.push(row)?;
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Unnest { expr, with_pos } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
                 let v = expr.eval(&t, reg)?;
                 if let Some(items) = v.as_list() {
@@ -324,24 +412,23 @@ pub fn run_operator(
                         if *with_pos {
                             row.push(Value::Int64(i as i64));
                         }
-                        out.push(row);
+                        out.push(row)?;
                     }
                 }
                 // Non-list (including null/missing): no rows, like AQL's
                 // `for $x in <non-list>`.
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::StreamPos => {
             let mut out = out;
-            let mut pos: i64 = 0;
-            for mut t in recv_tuples(&inputs[0]) {
+            for (pos, t) in recv_tuples(&inputs[0], cancel).enumerate() {
+                let mut t = t?;
                 consumed += 1;
-                t.push(Value::Int64(pos));
-                pos += 1;
-                out.push(t);
+                t.push(Value::Int64(pos as i64));
+                out.push(t)?;
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::SecondaryIndexSearch {
             dataset,
@@ -354,18 +441,18 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
                 let key = &t[*key_col];
-                let candidates =
-                    index_candidates(store, index, key, measure).map_err(|e| e.to_string())?;
+                let candidates = index_candidates(store, index, key, measure)?;
                 for pk in candidates {
                     let mut row = t.clone();
                     row.push(pk);
-                    out.push(row);
+                    out.push(row)?;
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::PrimaryIndexLookup { dataset, pk_col } => {
             let mut out = out;
@@ -373,57 +460,147 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
-                if let Some(rec) = store.primary().get(&t[*pk_col]) {
+                if let Some(rec) = store.primary().get(&t[*pk_col])? {
                     let mut row = t;
                     row.push(rec);
-                    out.push(row);
+                    out.push(row)?;
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Union => {
+            // Round-robin over all open inputs rather than draining them in
+            // order: with bounded edge channels, sequential draining can
+            // deadlock when several inputs share an upstream producer (the
+            // producer blocks on the un-drained branch).
             let mut out = out;
-            for rx in &inputs {
-                for t in recv_tuples(rx) {
-                    consumed += 1;
-                    out.push(t);
+            let mut open: Vec<Option<&Receiver<Frame>>> = inputs.iter().map(Some).collect();
+            let mut remaining = open.len();
+            while remaining > 0 {
+                cancel.check()?;
+                let mut received = false;
+                for slot in open.iter_mut() {
+                    let Some(rx) = slot else { continue };
+                    match rx.try_recv() {
+                        Ok(frame) => {
+                            received = true;
+                            for t in frame {
+                                consumed += 1;
+                                out.push(t)?;
+                            }
+                        }
+                        Err(TryRecvError::Empty) => {}
+                        Err(TryRecvError::Disconnected) => {
+                            *slot = None;
+                            remaining -= 1;
+                        }
+                    }
+                }
+                if !received && remaining > 0 {
+                    // Nothing ready on any input: park briefly on the first
+                    // open one instead of spinning.
+                    if let Some(rx) = open.iter().flatten().next() {
+                        match rx.recv_timeout(POLL_INTERVAL) {
+                            Ok(frame) => {
+                                for t in frame {
+                                    consumed += 1;
+                                    out.push(t)?;
+                                }
+                            }
+                            Err(RecvTimeoutError::Timeout)
+                            | Err(RecvTimeoutError::Disconnected) => {}
+                        }
+                    }
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Materialize => {
             let mut out = out;
-            let all = drain_all(&inputs[0]);
+            let all = drain_all(&inputs[0], cancel)?;
             consumed = all.len() as u64;
             for t in all {
-                out.push(t);
+                out.push(t)?;
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::Limit { n } => {
             let mut out = out;
             let mut taken = 0usize;
-            for t in recv_tuples(&inputs[0]) {
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
                 consumed += 1;
                 if taken < *n {
                     taken += 1;
-                    out.push(t);
+                    out.push(t)?;
                 }
                 if taken >= *n {
                     break; // stop reading; upstream sends are dropped
                 }
             }
-            Ok((consumed, out.finish()))
+            Ok((consumed, out.finish()?))
+        }
+        PhysicalOp::Throttle { micros_per_tuple } => {
+            // Test-support: forward tuples at a bounded rate, re-checking
+            // the cancel token every couple of milliseconds so deadlines
+            // are honored mid-sleep.
+            let mut out = out;
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
+                consumed += 1;
+                let mut remaining = *micros_per_tuple;
+                while remaining > 0 {
+                    cancel.check()?;
+                    let slice = remaining.min(2_000);
+                    std::thread::sleep(Duration::from_micros(slice));
+                    remaining -= slice;
+                }
+                out.push(t)?;
+            }
+            Ok((consumed, out.finish()?))
+        }
+        PhysicalOp::FaultInject {
+            partition: fail_partition,
+            after_tuples,
+            mode,
+        } => {
+            // Test-support: pass tuples through, except on the chosen
+            // partition, which always fails — after forwarding at most
+            // `after_tuples` tuples, or at end-of-stream if fewer arrive
+            // (hash routing may starve it).
+            let mut out = out;
+            for t in recv_tuples(&inputs[0], cancel) {
+                let t = t?;
+                consumed += 1;
+                if partition == *fail_partition && consumed > *after_tuples {
+                    inject_fault(mode, partition)?;
+                }
+                out.push(t)?;
+            }
+            if partition == *fail_partition {
+                inject_fault(mode, partition)?;
+            }
+            Ok((consumed, out.finish()?))
         }
         PhysicalOp::ResultSink => {
-            let collected = drain_all(&inputs[0]);
+            let collected = drain_all(&inputs[0], cancel)?;
             consumed = collected.len() as u64;
             sink.lock().extend(collected);
-            out.finish();
+            out.finish()?;
             Ok((consumed, consumed))
         }
+    }
+}
+
+fn inject_fault(mode: &FaultMode, partition: usize) -> Result<(), OpError> {
+    match mode {
+        FaultMode::Panic => panic!("injected panic on partition {partition}"),
+        FaultMode::Error => Err(OpError::Failed(format!(
+            "injected operator failure on partition {partition}"
+        ))),
     }
 }
 
@@ -432,17 +609,20 @@ fn run_hash_join(
     right_keys: &[usize],
     inputs: &[Receiver<Frame>],
     mut out: Out,
+    cancel: &CancelToken,
     consumed: &mut u64,
-) -> Result<(u64, u64), String> {
+) -> Result<(u64, u64), OpError> {
     // Build on input 0.
     let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
-    for t in recv_tuples(&inputs[0]) {
+    for t in recv_tuples(&inputs[0], cancel) {
+        let t = t?;
         *consumed += 1;
         let refs: Vec<&Value> = left_keys.iter().map(|c| &t[*c]).collect();
         table.entry(stable_hash_many(&refs)).or_default().push(t);
     }
     // Probe with input 1.
-    for rt in recv_tuples(&inputs[1]) {
+    for rt in recv_tuples(&inputs[1], cancel) {
+        let rt = rt?;
         *consumed += 1;
         let refs: Vec<&Value> = right_keys.iter().map(|c| &rt[*c]).collect();
         let h = stable_hash_many(&refs);
@@ -454,12 +634,12 @@ fn run_hash_join(
                 if equal {
                     let mut combined = lt.clone();
                     combined.extend(rt.iter().cloned());
-                    out.push(combined);
+                    out.push(combined)?;
                 }
             }
         }
     }
-    Ok((*consumed, out.finish()))
+    Ok((*consumed, out.finish()?))
 }
 
 /// Candidate primary keys from a secondary index for one search key.
@@ -468,7 +648,7 @@ fn index_candidates(
     index: &str,
     key: &Value,
     measure: &SearchMeasure,
-) -> Result<Vec<Value>, asterix_adm::AdmError> {
+) -> Result<Vec<Value>, asterix_storage::StorageError> {
     match measure {
         SearchMeasure::Exact => store.btree_lookup(index, key),
         SearchMeasure::Jaccard { delta } => {
@@ -498,7 +678,8 @@ fn index_candidates(
                     return Err(asterix_adm::AdmError::Schema(format!(
                         "contains search requires an ngram index, '{index}' is {}",
                         idx.kind.name()
-                    )))
+                    ))
+                    .into())
                 }
             };
             let s = match key.as_str() {
@@ -531,7 +712,8 @@ fn index_candidates(
                     return Err(asterix_adm::AdmError::Schema(format!(
                         "edit-distance search requires an ngram index, '{index}' is {}",
                         idx.kind.name()
-                    )))
+                    ))
+                    .into())
                 }
             };
             let s = match key.as_str() {

@@ -6,6 +6,7 @@
 //! bench `pk_sort`).
 
 use crate::disk::{Disk, FileId};
+use crate::fault::IoError;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -75,8 +76,14 @@ impl BufferCache {
 
     /// Fetch the decoded form of a page, parsing (through the byte-level
     /// cache, so I/O accounting still applies) only on a decoded-cache
-    /// miss.
-    pub fn get_decoded<F>(&self, file: FileId, page_no: u32, decode: F) -> Option<DecodedPage>
+    /// miss. `Ok(None)` means the page does not exist or failed to
+    /// decode; `Err` is a disk fault.
+    pub fn get_decoded<F>(
+        &self,
+        file: FileId,
+        page_no: u32,
+        decode: F,
+    ) -> Result<Option<DecodedPage>, IoError>
     where
         F: FnOnce(&Bytes) -> Option<DecodedPage>,
     {
@@ -89,11 +96,15 @@ impl BufferCache {
                 // Count as a byte-cache hit too: the bytes are resident by
                 // construction and the paper's metric is page-cache hits.
                 self.inner.lock().stats.hits += 1;
-                return Some(page.clone());
+                return Ok(Some(page.clone()));
             }
         }
-        let bytes = self.get(file, page_no)?;
-        let decoded = decode(&bytes)?;
+        let Some(bytes) = self.get(file, page_no)? else {
+            return Ok(None);
+        };
+        let Some(decoded) = decode(&bytes) else {
+            return Ok(None);
+        };
         let mut d = self.decoded.lock();
         d.clock += 1;
         let clock = d.clock;
@@ -108,15 +119,17 @@ impl BufferCache {
             }
         }
         d.map.insert((file, page_no), (decoded.clone(), clock));
-        Some(decoded)
+        Ok(Some(decoded))
     }
 
     pub fn disk(&self) -> &Arc<Disk> {
         &self.disk
     }
 
-    /// Fetch a page through the cache.
-    pub fn get(&self, file: FileId, page_no: u32) -> Option<Bytes> {
+    /// Fetch a page through the cache. `Ok(None)` means the page does not
+    /// exist; `Err` is a disk fault (the miss is still counted — the
+    /// request reached the disk).
+    pub fn get(&self, file: FileId, page_no: u32) -> Result<Option<Bytes>, IoError> {
         {
             let mut inner = self.inner.lock();
             inner.clock += 1;
@@ -129,12 +142,14 @@ impl BufferCache {
             };
             if let Some(bytes) = hit {
                 inner.stats.hits += 1;
-                return Some(bytes);
+                return Ok(Some(bytes));
             }
             inner.stats.misses += 1;
         }
         // Miss path: read outside the lock, then insert.
-        let bytes = self.disk.read(file, page_no)?;
+        let Some(bytes) = self.disk.read(file, page_no)? else {
+            return Ok(None);
+        };
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -149,7 +164,7 @@ impl BufferCache {
             }
         }
         inner.map.insert((file, page_no), (bytes.clone(), clock));
-        Some(bytes)
+        Ok(Some(bytes))
     }
 
     /// Invalidate all pages of a file (after component deletion).
@@ -182,7 +197,7 @@ mod tests {
         let disk = Arc::new(Disk::new());
         let file = disk.create();
         for i in 0u8..10 {
-            disk.append(file, Bytes::from(vec![i; 4]));
+            disk.append(file, Bytes::from(vec![i; 4])).unwrap();
         }
         let cache = BufferCache::new(disk.clone(), capacity);
         (disk, cache, file)
@@ -191,8 +206,8 @@ mod tests {
     #[test]
     fn hit_after_miss() {
         let (_d, cache, f) = setup(4);
-        assert!(cache.get(f, 0).is_some());
-        assert!(cache.get(f, 0).is_some());
+        assert!(cache.get(f, 0).unwrap().is_some());
+        assert!(cache.get(f, 0).unwrap().is_some());
         let s = cache.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 1);
@@ -202,22 +217,22 @@ mod tests {
     #[test]
     fn eviction_under_capacity_pressure() {
         let (_d, cache, f) = setup(2);
-        cache.get(f, 0);
-        cache.get(f, 1);
-        cache.get(f, 2); // evicts page 0
+        cache.get(f, 0).unwrap();
+        cache.get(f, 1).unwrap();
+        cache.get(f, 2).unwrap(); // evicts page 0
         assert_eq!(cache.resident_pages(), 2);
-        cache.get(f, 0); // miss again
+        cache.get(f, 0).unwrap(); // miss again
         assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]
     fn lru_keeps_recent() {
         let (_d, cache, f) = setup(2);
-        cache.get(f, 0);
-        cache.get(f, 1);
-        cache.get(f, 0); // touch 0 so 1 is LRU
-        cache.get(f, 2); // evicts 1
-        cache.get(f, 0); // must still be a hit
+        cache.get(f, 0).unwrap();
+        cache.get(f, 1).unwrap();
+        cache.get(f, 0).unwrap(); // touch 0 so 1 is LRU
+        cache.get(f, 2).unwrap(); // evicts 1
+        cache.get(f, 0).unwrap(); // must still be a hit
         let s = cache.stats();
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 3);
@@ -230,7 +245,7 @@ mod tests {
         // rationale in miniature.
         let (_d, cache, f) = setup(2);
         for _ in 0..3 {
-            cache.get(f, 5);
+            cache.get(f, 5).unwrap();
         }
         assert_eq!(cache.stats().hits, 2);
     }
@@ -238,7 +253,7 @@ mod tests {
     #[test]
     fn invalidate_file_drops_pages() {
         let (_d, cache, f) = setup(4);
-        cache.get(f, 0);
+        cache.get(f, 0).unwrap();
         cache.invalidate_file(f);
         assert_eq!(cache.resident_pages(), 0);
     }
@@ -246,6 +261,6 @@ mod tests {
     #[test]
     fn missing_page_is_none() {
         let (_d, cache, f) = setup(4);
-        assert!(cache.get(f, 99).is_none());
+        assert!(cache.get(f, 99).unwrap().is_none());
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::cache::BufferCache;
 use crate::disk::{Disk, FileId};
+use crate::fault::IoError;
 use asterix_adm::{binary, AdmError, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 #[cfg(test)]
@@ -45,11 +46,33 @@ pub struct RunComponent {
 impl RunComponent {
     /// Serialize a sorted entry stream into pages. The caller guarantees
     /// strictly increasing keys (duplicates must be resolved upstream).
-    pub fn build<I>(disk: &Disk, page_size: usize, entries: I) -> RunComponent
+    ///
+    /// Failure-atomic: if any page append fails, the partially written
+    /// file is deleted before the error is returned, so no half-built
+    /// component ever becomes visible.
+    pub fn build<I>(disk: &Disk, page_size: usize, entries: I) -> Result<RunComponent, IoError>
     where
         I: IntoIterator<Item = (Value, Entry)>,
     {
         let file = disk.create();
+        match Self::build_inner(disk, file, page_size, entries) {
+            Ok(comp) => Ok(comp),
+            Err(e) => {
+                disk.delete(file);
+                Err(e)
+            }
+        }
+    }
+
+    fn build_inner<I>(
+        disk: &Disk,
+        file: FileId,
+        page_size: usize,
+        entries: I,
+    ) -> Result<RunComponent, IoError>
+    where
+        I: IntoIterator<Item = (Value, Entry)>,
+    {
         let mut sparse_index = Vec::new();
         let mut entry_count = 0u64;
         let mut byte_size = 0u64;
@@ -63,19 +86,21 @@ impl RunComponent {
                               page_entries: &mut u32,
                               page_first_key: &mut Option<Value>,
                               sparse_index: &mut Vec<Value>,
-                              byte_size: &mut u64| {
+                              byte_size: &mut u64|
+         -> Result<(), IoError> {
             if *page_entries == 0 {
-                return;
+                return Ok(());
             }
             page.clear();
             page.put_u32_le(*page_entries);
             page.extend_from_slice(body);
             let bytes = Bytes::copy_from_slice(&page);
             *byte_size += bytes.len() as u64;
-            disk.append(file, bytes);
+            disk.append(file, bytes)?;
             sparse_index.push(page_first_key.take().expect("first key set"));
             body.clear();
             *page_entries = 0;
+            Ok(())
         };
 
         #[cfg(debug_assertions)]
@@ -109,7 +134,7 @@ impl RunComponent {
                     &mut page_first_key,
                     &mut sparse_index,
                     &mut byte_size,
-                );
+                )?;
             }
         }
         flush_page(
@@ -118,14 +143,14 @@ impl RunComponent {
             &mut page_first_key,
             &mut sparse_index,
             &mut byte_size,
-        );
+        )?;
 
-        RunComponent {
+        Ok(RunComponent {
             file,
             sparse_index,
             entry_count,
             byte_size,
-        }
+        })
     }
 
     pub fn file(&self) -> FileId {
@@ -194,17 +219,25 @@ impl RunComponent {
     }
 
     /// Point lookup through the buffer cache (decoded-page layer).
-    pub fn get(&self, key: &Value, cache: &BufferCache) -> Option<Entry> {
-        let page_no = self.page_for(key)?;
-        let entries = self.fetch_decoded(page_no, cache)?;
-        entries
+    pub fn get(&self, key: &Value, cache: &BufferCache) -> Result<Option<Entry>, IoError> {
+        let Some(page_no) = self.page_for(key) else {
+            return Ok(None);
+        };
+        let Some(entries) = self.fetch_decoded(page_no, cache)? else {
+            return Ok(None);
+        };
+        Ok(entries
             .binary_search_by(|(k, _)| k.cmp(key))
             .ok()
-            .map(|i| entries[i].1.clone())
+            .map(|i| entries[i].1.clone()))
     }
 
     /// Decoded page through the shared cache.
-    fn fetch_decoded(&self, page_no: u32, cache: &BufferCache) -> Option<crate::cache::DecodedPage> {
+    fn fetch_decoded(
+        &self,
+        page_no: u32,
+        cache: &BufferCache,
+    ) -> Result<Option<crate::cache::DecodedPage>, IoError> {
         cache.get_decoded(self.file, page_no, |bytes| {
             Self::decode_page(bytes).ok().map(std::sync::Arc::new)
         })
@@ -227,11 +260,14 @@ impl RunComponent {
             entries: std::sync::Arc::new(Vec::new()),
             pos: 0,
             lower_bound: from.cloned(),
+            failed: false,
         }
     }
 }
 
-/// Streaming scan over a component's pages.
+/// Streaming scan over a component's pages. A page fetch that hits a
+/// disk fault yields `Err` once and then fuses — a fault never silently
+/// truncates a scan.
 pub struct ComponentScan<'a> {
     component: &'a RunComponent,
     cache: &'a BufferCache,
@@ -239,12 +275,16 @@ pub struct ComponentScan<'a> {
     entries: crate::cache::DecodedPage,
     pos: usize,
     lower_bound: Option<Value>,
+    failed: bool,
 }
 
 impl Iterator for ComponentScan<'_> {
-    type Item = (Value, Entry);
+    type Item = Result<(Value, Entry), IoError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
         loop {
             if self.pos < self.entries.len() {
                 let item = self.entries[self.pos].clone();
@@ -256,12 +296,19 @@ impl Iterator for ComponentScan<'_> {
                     // Past the bound: stop filtering.
                     self.lower_bound = None;
                 }
-                return Some(item);
+                return Some(Ok(item));
             }
             if self.page_no >= self.component.num_pages() {
                 return None;
             }
-            let decoded = self.component.fetch_decoded(self.page_no, self.cache)?;
+            let decoded = match self.component.fetch_decoded(self.page_no, self.cache) {
+                Ok(Some(d)) => d,
+                Ok(None) => return None, // undecodable page: treat as end
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
             self.page_no += 1;
             self.pos = 0;
             self.entries = decoded;
@@ -278,7 +325,7 @@ pub(crate) fn test_component(
 ) -> (Arc<Disk>, Arc<BufferCache>, RunComponent) {
     let disk = Arc::new(Disk::new());
     let cache = Arc::new(BufferCache::new(disk.clone(), 64));
-    let comp = RunComponent::build(&disk, page_size, pairs);
+    let comp = RunComponent::build(&disk, page_size, pairs).unwrap();
     (disk, cache, comp)
 }
 
@@ -302,11 +349,11 @@ mod tests {
         assert_eq!(comp.entry_count(), 100);
         assert!(comp.num_pages() > 1, "small page size must split pages");
         for i in [0i64, 1, 42, 99] {
-            let e = comp.get(&Value::Int64(i), &cache).unwrap();
+            let e = comp.get(&Value::Int64(i), &cache).unwrap().unwrap();
             assert_eq!(e, put(&format!("val{i}")));
         }
-        assert_eq!(comp.get(&Value::Int64(100), &cache), None);
-        assert_eq!(comp.get(&Value::Int64(-1), &cache), None);
+        assert_eq!(comp.get(&Value::Int64(100), &cache).unwrap(), None);
+        assert_eq!(comp.get(&Value::Int64(-1), &cache).unwrap(), None);
     }
 
     #[test]
@@ -319,14 +366,20 @@ mod tests {
             ],
             1024,
         );
-        assert_eq!(comp.get(&Value::Int64(2), &cache), Some(Entry::Tombstone));
-        assert_eq!(comp.get(&Value::Int64(3), &cache), Some(put("c")));
+        assert_eq!(
+            comp.get(&Value::Int64(2), &cache).unwrap(),
+            Some(Entry::Tombstone)
+        );
+        assert_eq!(comp.get(&Value::Int64(3), &cache).unwrap(), Some(put("c")));
     }
 
     #[test]
     fn full_scan_in_order() {
         let (_d, cache, comp) = test_component(pairs(50), 128);
-        let keys: Vec<Value> = comp.scan_from(None, &cache).map(|(k, _)| k).collect();
+        let keys: Vec<Value> = comp
+            .scan_from(None, &cache)
+            .map(|r| r.unwrap().0)
+            .collect();
         assert_eq!(keys.len(), 50);
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
     }
@@ -336,7 +389,7 @@ mod tests {
         let (_d, cache, comp) = test_component(pairs(50), 128);
         let keys: Vec<i64> = comp
             .scan_from(Some(&Value::Int64(37)), &cache)
-            .map(|(k, _)| k.as_i64().unwrap())
+            .map(|r| r.unwrap().0.as_i64().unwrap())
             .collect();
         assert_eq!(keys, (37..50).collect::<Vec<_>>());
     }
@@ -346,7 +399,7 @@ mod tests {
         let (_d, cache, comp) = test_component(pairs(5), 1024);
         let keys: Vec<i64> = comp
             .scan_from(Some(&Value::Int64(-10)), &cache)
-            .map(|(k, _)| k.as_i64().unwrap())
+            .map(|r| r.unwrap().0.as_i64().unwrap())
             .collect();
         assert_eq!(keys, vec![0, 1, 2, 3, 4]);
     }
@@ -355,7 +408,7 @@ mod tests {
     fn empty_component() {
         let (_d, cache, comp) = test_component(vec![], 1024);
         assert!(comp.is_empty());
-        assert_eq!(comp.get(&Value::Int64(0), &cache), None);
+        assert_eq!(comp.get(&Value::Int64(0), &cache).unwrap(), None);
         assert_eq!(comp.scan_from(None, &cache).count(), 0);
     }
 
@@ -367,8 +420,11 @@ mod tests {
             .collect();
         ps.sort_by(|a, b| a.0.cmp(&b.0));
         let (_d, cache, comp) = test_component(ps, 64);
-        assert_eq!(comp.get(&Value::from("gamma"), &cache), Some(put("gamma")));
-        assert_eq!(comp.get(&Value::from("delta"), &cache), None);
+        assert_eq!(
+            comp.get(&Value::from("gamma"), &cache).unwrap(),
+            Some(put("gamma"))
+        );
+        assert_eq!(comp.get(&Value::from("delta"), &cache).unwrap(), None);
     }
 
     #[test]
@@ -387,7 +443,7 @@ mod tests {
         let from = Value::OrderedList(vec![Value::from("am"), Value::Missing]);
         let hits: Vec<Value> = comp
             .scan_from(Some(&from), &cache)
-            .map(|(k, _)| k)
+            .map(|r| r.unwrap().0)
             .take_while(|k| k.as_list().unwrap()[0] == Value::from("am"))
             .collect();
         assert_eq!(hits.len(), 2);

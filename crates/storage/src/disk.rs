@@ -5,11 +5,17 @@
 //! I/O counts — not wall-clock seek times — are the first-class metric;
 //! they drive the buffer-cache experiments and the index-size accounting
 //! of Table 5.
+//!
+//! Every read and append consults the optional [`FaultInjector`] first,
+//! so storage failures surface as typed [`IoError`]s that propagate up
+//! through cache → component → LSM → index instead of panicking.
 
+use crate::fault::{FaultInjector, IoError, IoOp};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifies one page file (one LSM component).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,11 +28,35 @@ pub struct Disk {
     next_file: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl Disk {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install (or replace) the fault injector consulted by every I/O.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.fault.lock() = Some(injector);
+    }
+
+    /// Remove the fault injector; subsequent I/O always succeeds.
+    pub fn clear_fault_injector(&self) {
+        *self.fault.lock() = None;
+    }
+
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.lock().clone()
+    }
+
+    /// Consult the injector for a (possibly file-less) operation. The LSM
+    /// layer uses this for [`IoOp::Flush`] checks before building a run.
+    pub fn fault_check(&self, op: IoOp, file: Option<FileId>) -> Result<(), IoError> {
+        match &*self.fault.lock() {
+            Some(inj) => inj.check(op, file),
+            None => Ok(()),
+        }
     }
 
     /// Create a new empty file.
@@ -37,21 +67,27 @@ impl Disk {
     }
 
     /// Append a page to a file, returning its page number.
-    pub fn append(&self, file: FileId, page: Bytes) -> u32 {
+    pub fn append(&self, file: FileId, page: Bytes) -> Result<u32, IoError> {
+        self.fault_check(IoOp::Append, Some(file))?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         let mut files = self.files.lock();
-        let pages = files.get_mut(&file).expect("append to deleted file");
+        let pages = files.get_mut(&file).ok_or_else(|| {
+            IoError::permanent(format!("append to deleted file {}", file.0))
+        })?;
         pages.push(page);
-        (pages.len() - 1) as u32
+        Ok((pages.len() - 1) as u32)
     }
 
-    /// Read a page (counted as one physical I/O).
-    pub fn read(&self, file: FileId, page_no: u32) -> Option<Bytes> {
+    /// Read a page (counted as one physical I/O). `Ok(None)` means the
+    /// page does not exist; `Err` is a (possibly injected) device fault.
+    pub fn read(&self, file: FileId, page_no: u32) -> Result<Option<Bytes>, IoError> {
+        self.fault_check(IoOp::Read, Some(file))?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        self.files
+        Ok(self
+            .files
             .lock()
             .get(&file)
-            .and_then(|pages| pages.get(page_no as usize).cloned())
+            .and_then(|pages| pages.get(page_no as usize).cloned()))
     }
 
     /// Drop a file (after a merge supersedes its component).
@@ -91,18 +127,19 @@ impl Disk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRule;
 
     #[test]
     fn create_append_read() {
         let d = Disk::new();
         let f = d.create();
-        let p0 = d.append(f, Bytes::from_static(b"page0"));
-        let p1 = d.append(f, Bytes::from_static(b"page1"));
+        let p0 = d.append(f, Bytes::from_static(b"page0")).unwrap();
+        let p1 = d.append(f, Bytes::from_static(b"page1")).unwrap();
         assert_eq!(p0, 0);
         assert_eq!(p1, 1);
-        assert_eq!(d.read(f, 0).unwrap().as_ref(), b"page0");
-        assert_eq!(d.read(f, 1).unwrap().as_ref(), b"page1");
-        assert_eq!(d.read(f, 2), None);
+        assert_eq!(d.read(f, 0).unwrap().unwrap().as_ref(), b"page0");
+        assert_eq!(d.read(f, 1).unwrap().unwrap().as_ref(), b"page1");
+        assert_eq!(d.read(f, 2).unwrap(), None);
         assert_eq!(d.physical_reads(), 3);
         assert_eq!(d.physical_writes(), 2);
     }
@@ -111,11 +148,11 @@ mod tests {
     fn delete_frees_space() {
         let d = Disk::new();
         let f = d.create();
-        d.append(f, Bytes::from_static(b"0123456789"));
+        d.append(f, Bytes::from_static(b"0123456789")).unwrap();
         assert_eq!(d.total_bytes(), 10);
         d.delete(f);
         assert_eq!(d.total_bytes(), 0);
-        assert_eq!(d.read(f, 0), None);
+        assert_eq!(d.read(f, 0).unwrap(), None);
     }
 
     #[test]
@@ -124,8 +161,38 @@ mod tests {
         let f1 = d.create();
         let f2 = d.create();
         assert_ne!(f1, f2);
-        d.append(f1, Bytes::from_static(b"a"));
+        d.append(f1, Bytes::from_static(b"a")).unwrap();
         assert_eq!(d.file_pages(f1), 1);
         assert_eq!(d.file_pages(f2), 0);
+    }
+
+    #[test]
+    fn append_to_deleted_file_is_error_not_panic() {
+        let d = Disk::new();
+        let f = d.create();
+        d.delete(f);
+        let err = d.append(f, Bytes::from_static(b"x")).unwrap_err();
+        assert!(!err.transient);
+        assert!(err.message.contains("deleted file"));
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces() {
+        let d = Disk::new();
+        let f = d.create();
+        d.append(f, Bytes::from_static(b"x")).unwrap();
+        d.set_fault_injector(Arc::new(FaultInjector::new(7).with_rule(FaultRule {
+            op: IoOp::Read,
+            file: Some(f),
+            nth: 1,
+            transient: true,
+        })));
+        assert!(d.read(f, 0).is_err());
+        // Transient: the retry succeeds and the counters only saw one
+        // physical read (the failed attempt never reached the platter).
+        assert_eq!(d.read(f, 0).unwrap().unwrap().as_ref(), b"x");
+        assert_eq!(d.physical_reads(), 1);
+        d.clear_fault_injector();
+        assert!(d.fault_injector().is_none());
     }
 }

@@ -12,8 +12,12 @@
 //! candidate to its record requires a primary-index lookup, which is why
 //! the paper's index plans sort primary keys and then search the primary
 //! index (§4.1.1).
+//!
+//! All disk-touching methods return `Result<_, IoError>`, propagating
+//! (possibly injected) storage faults typed rather than panicking.
 
 use crate::cache::BufferCache;
+use crate::fault::IoError;
 use crate::lsm::LsmTree;
 use crate::StorageConfig;
 use asterix_adm::{binary, IndexKind, Value};
@@ -34,50 +38,59 @@ impl PrimaryIndex {
         }
     }
 
-    pub fn insert(&mut self, pk: Value, record: &Value) {
-        self.tree.put(pk, binary::to_bytes(record));
+    pub fn insert(&mut self, pk: Value, record: &Value) -> Result<(), IoError> {
+        self.tree.put(pk, binary::to_bytes(record))
     }
 
-    pub fn delete(&mut self, pk: Value) {
-        self.tree.delete(pk);
+    pub fn delete(&mut self, pk: Value) -> Result<(), IoError> {
+        self.tree.delete(pk)
     }
 
     /// Point lookup, decoding the record.
-    pub fn get(&self, pk: &Value) -> Option<Value> {
-        self.tree
-            .get(pk)
-            .and_then(|b| binary::from_bytes(&b).ok())
+    pub fn get(&self, pk: &Value) -> Result<Option<Value>, IoError> {
+        Ok(self
+            .tree
+            .get(pk)?
+            .and_then(|b| binary::from_bytes(&b).ok()))
     }
 
     /// Full scan in pk order.
-    pub fn scan(&self) -> impl Iterator<Item = (Value, Value)> + '_ {
-        self.tree
-            .scan()
-            .filter_map(|(k, v)| binary::from_bytes(&v).ok().map(|rec| (k, rec)))
+    pub fn scan(&self) -> impl Iterator<Item = Result<(Value, Value), IoError>> + '_ {
+        self.tree.scan().filter_map(|item| match item {
+            Ok((k, v)) => binary::from_bytes(&v).ok().map(|rec| Ok((k, rec))),
+            Err(e) => Some(Err(e)),
+        })
     }
 
-    pub fn len(&self) -> u64 {
+    pub fn len(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.tree.scan().next().is_none()
+    pub fn is_empty(&self) -> Result<bool, IoError> {
+        match self.tree.scan().next() {
+            None => Ok(true),
+            Some(Ok(_)) => Ok(false),
+            Some(Err(e)) => Err(e),
+        }
     }
 
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
-    pub fn flush(&mut self) {
-        self.tree.flush();
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        self.tree.flush()
     }
 
-    pub fn bulk_load(&mut self, sorted: impl IntoIterator<Item = (Value, Value)>) {
+    pub fn bulk_load(
+        &mut self,
+        sorted: impl IntoIterator<Item = (Value, Value)>,
+    ) -> Result<(), IoError> {
         self.tree.bulk_load(
             sorted
                 .into_iter()
                 .map(|(pk, rec)| (pk, binary::to_bytes(&rec))),
-        );
+        )
     }
 }
 
@@ -107,42 +120,45 @@ impl SecondaryBTreeIndex {
         }
     }
 
-    pub fn insert(&mut self, record: &Value, pk: &Value) {
+    pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let key = record.field_path(&self.field);
         if key.is_unknown() {
-            return; // unindexable: field absent
+            return Ok(()); // unindexable: field absent
         }
         self.tree
-            .put(composite(key.clone(), pk.clone()), Bytes::new());
+            .put(composite(key.clone(), pk.clone()), Bytes::new())
     }
 
-    pub fn delete(&mut self, record: &Value, pk: &Value) {
+    pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let key = record.field_path(&self.field);
         if key.is_unknown() {
-            return;
+            return Ok(());
         }
-        self.tree.delete(composite(key.clone(), pk.clone()));
+        self.tree.delete(composite(key.clone(), pk.clone()))
     }
 
     /// All primary keys whose field equals `key` (sorted).
-    pub fn lookup(&self, key: &Value) -> Vec<Value> {
-        self.tree
-            .scan_from(Some(&range_start(key.clone())))
-            .map(|(k, _)| k)
-            .take_while(|k| matches!(k.as_list(), Some(items) if &items[0] == key))
-            .map(|k| k.as_list().unwrap()[1].clone())
-            .collect()
+    pub fn lookup(&self, key: &Value) -> Result<Vec<Value>, IoError> {
+        let mut out = Vec::new();
+        for item in self.tree.scan_from(Some(&range_start(key.clone()))) {
+            let (k, _) = item?;
+            match k.as_list() {
+                Some(items) if &items[0] == key => out.push(items[1].clone()),
+                _ => break,
+            }
+        }
+        Ok(out)
     }
 
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
-    pub fn flush(&mut self) {
-        self.tree.flush();
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        self.tree.flush()
     }
 
-    pub fn entry_count(&self) -> u64 {
+    pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
 }
@@ -201,48 +217,56 @@ impl InvertedIndex {
         }
     }
 
-    pub fn insert(&mut self, record: &Value, pk: &Value) {
+    pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let field_value = record.field_path(&self.field).clone();
         for token in self.tokens_of(&field_value) {
-            self.tree.put(composite(token, pk.clone()), Bytes::new());
+            self.tree.put(composite(token, pk.clone()), Bytes::new())?;
         }
+        Ok(())
     }
 
-    pub fn delete(&mut self, record: &Value, pk: &Value) {
+    pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let field_value = record.field_path(&self.field).clone();
         for token in self.tokens_of(&field_value) {
-            self.tree.delete(composite(token, pk.clone()));
+            self.tree.delete(composite(token, pk.clone()))?;
         }
+        Ok(())
     }
 
     /// The inverted list of one token: sorted primary keys.
-    pub fn postings(&self, token: &Value) -> Vec<Value> {
-        self.tree
-            .scan_from(Some(&range_start(token.clone())))
-            .map(|(k, _)| k)
-            .take_while(|k| matches!(k.as_list(), Some(items) if &items[0] == token))
-            .map(|k| k.as_list().unwrap()[1].clone())
-            .collect()
+    pub fn postings(&self, token: &Value) -> Result<Vec<Value>, IoError> {
+        let mut out = Vec::new();
+        for item in self.tree.scan_from(Some(&range_start(token.clone()))) {
+            let (k, _) = item?;
+            match k.as_list() {
+                Some(items) if &items[0] == token => out.push(items[1].clone()),
+                _ => break,
+            }
+        }
+        Ok(out)
     }
 
     /// Solve the T-occurrence problem for a set of query tokens: primary
     /// keys appearing on at least `t` of the tokens' inverted lists
     /// (candidates, possibly with false positives — §2.2). `t >= 1`.
-    pub fn t_occurrence(&self, tokens: &[Value], t: usize) -> Vec<Value> {
-        let lists: Vec<Vec<Value>> = tokens.iter().map(|tok| self.postings(tok)).collect();
+    pub fn t_occurrence(&self, tokens: &[Value], t: usize) -> Result<Vec<Value>, IoError> {
+        let lists: Vec<Vec<Value>> = tokens
+            .iter()
+            .map(|tok| self.postings(tok))
+            .collect::<Result<_, _>>()?;
         let refs: Vec<&[Value]> = lists.iter().map(|l| l.as_slice()).collect();
-        asterix_simfn::t_occurrence_scan_count(&refs, t)
+        Ok(asterix_simfn::t_occurrence_scan_count(&refs, t))
     }
 
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
-    pub fn flush(&mut self) {
-        self.tree.flush();
+    pub fn flush(&mut self) -> Result<(), IoError> {
+        self.tree.flush()
     }
 
-    pub fn entry_count(&self) -> u64 {
+    pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
 }
@@ -261,40 +285,46 @@ mod tests {
     fn primary_roundtrip() {
         let mut p = PrimaryIndex::new(cache(), StorageConfig::tiny());
         let rec = record! {"id" => 1i64, "name" => "james"};
-        p.insert(Value::Int64(1), &rec);
-        assert_eq!(p.get(&Value::Int64(1)), Some(rec));
-        assert_eq!(p.get(&Value::Int64(2)), None);
-        assert_eq!(p.len(), 1);
+        p.insert(Value::Int64(1), &rec).unwrap();
+        assert_eq!(p.get(&Value::Int64(1)).unwrap(), Some(rec));
+        assert_eq!(p.get(&Value::Int64(2)).unwrap(), None);
+        assert_eq!(p.len().unwrap(), 1);
     }
 
     #[test]
     fn primary_scan_ordered() {
         let mut p = PrimaryIndex::new(cache(), StorageConfig::tiny());
         for i in [3i64, 1, 2] {
-            p.insert(Value::Int64(i), &record! {"id" => i});
+            p.insert(Value::Int64(i), &record! {"id" => i}).unwrap();
         }
-        let keys: Vec<i64> = p.scan().map(|(k, _)| k.as_i64().unwrap()).collect();
+        let keys: Vec<i64> = p
+            .scan()
+            .map(|r| r.unwrap().0.as_i64().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 2, 3]);
     }
 
     #[test]
     fn secondary_btree_lookup() {
         let mut s = SecondaryBTreeIndex::new(cache(), StorageConfig::tiny(), "name");
-        s.insert(&record! {"id" => 1i64, "name" => "maria"}, &Value::Int64(1));
-        s.insert(&record! {"id" => 2i64, "name" => "mario"}, &Value::Int64(2));
-        s.insert(&record! {"id" => 3i64, "name" => "maria"}, &Value::Int64(3));
+        s.insert(&record! {"id" => 1i64, "name" => "maria"}, &Value::Int64(1))
+            .unwrap();
+        s.insert(&record! {"id" => 2i64, "name" => "mario"}, &Value::Int64(2))
+            .unwrap();
+        s.insert(&record! {"id" => 3i64, "name" => "maria"}, &Value::Int64(3))
+            .unwrap();
         assert_eq!(
-            s.lookup(&Value::from("maria")),
+            s.lookup(&Value::from("maria")).unwrap(),
             vec![Value::Int64(1), Value::Int64(3)]
         );
-        assert_eq!(s.lookup(&Value::from("nobody")), Vec::<Value>::new());
+        assert_eq!(s.lookup(&Value::from("nobody")).unwrap(), Vec::<Value>::new());
     }
 
     #[test]
     fn secondary_skips_missing_fields() {
         let mut s = SecondaryBTreeIndex::new(cache(), StorageConfig::tiny(), "name");
-        s.insert(&record! {"id" => 1i64}, &Value::Int64(1));
-        assert_eq!(s.entry_count(), 0);
+        s.insert(&record! {"id" => 1i64}, &Value::Int64(1)).unwrap();
+        assert_eq!(s.entry_count().unwrap(), 0);
     }
 
     #[test]
@@ -310,17 +340,25 @@ mod tests {
         idx.insert(
             &record! {"id" => 1i64, "summary" => "great product value"},
             &Value::Int64(1),
-        );
+        )
+        .unwrap();
         idx.insert(
             &record! {"id" => 2i64, "summary" => "great gift"},
             &Value::Int64(2),
-        );
+        )
+        .unwrap();
         assert_eq!(
-            idx.postings(&Value::from("great")),
+            idx.postings(&Value::from("great")).unwrap(),
             vec![Value::Int64(1), Value::Int64(2)]
         );
-        assert_eq!(idx.postings(&Value::from("value")), vec![Value::Int64(1)]);
-        assert_eq!(idx.postings(&Value::from("absent")), Vec::<Value>::new());
+        assert_eq!(
+            idx.postings(&Value::from("value")).unwrap(),
+            vec![Value::Int64(1)]
+        );
+        assert_eq!(
+            idx.postings(&Value::from("absent")).unwrap(),
+            Vec::<Value>::new()
+        );
     }
 
     #[test]
@@ -340,19 +378,20 @@ mod tests {
             (5, "maria"),
         ];
         for (id, name) in users {
-            idx.insert(&record! {"id" => id, "username" => name}, &Value::Int64(id));
+            idx.insert(&record! {"id" => id, "username" => name}, &Value::Int64(id))
+                .unwrap();
         }
         // Fig 2: list("ma") = {2, 3, 5}; list("ja") = {1, 4}; list("am") = {1, 4}.
         assert_eq!(
-            idx.postings(&Value::from("ma")),
+            idx.postings(&Value::from("ma")).unwrap(),
             vec![Value::Int64(2), Value::Int64(3), Value::Int64(5)]
         );
         assert_eq!(
-            idx.postings(&Value::from("ja")),
+            idx.postings(&Value::from("ja")).unwrap(),
             vec![Value::Int64(1), Value::Int64(4)]
         );
         assert_eq!(
-            idx.postings(&Value::from("am")),
+            idx.postings(&Value::from("am")).unwrap(),
             vec![Value::Int64(1), Value::Int64(4)]
         );
     }
@@ -374,7 +413,8 @@ mod tests {
             (4, "jamie"),
             (5, "maria"),
         ] {
-            idx.insert(&record! {"id" => id, "username" => name}, &Value::Int64(id));
+            idx.insert(&record! {"id" => id, "username" => name}, &Value::Int64(id))
+                .unwrap();
         }
         let query_tokens: Vec<Value> = asterix_simfn::tokenize::gram_tokens_distinct("marla", 2)
             .into_iter()
@@ -382,7 +422,7 @@ mod tests {
             .collect();
         let t = asterix_simfn::edit_distance_t_bound(query_tokens.len(), 1, 2);
         assert_eq!(t, 2);
-        let candidates = idx.t_occurrence(&query_tokens, t as usize);
+        let candidates = idx.t_occurrence(&query_tokens, t as usize).unwrap();
         assert_eq!(
             candidates,
             vec![Value::Int64(2), Value::Int64(3), Value::Int64(5)]
@@ -400,11 +440,17 @@ mod tests {
                 Value::OrderedList(vec![Value::from("b"), Value::from("a"), Value::from("b")]),
             ),
         ]);
-        idx.insert(&rec, &Value::Int64(1));
-        assert_eq!(idx.postings(&Value::from("a")), vec![Value::Int64(1)]);
-        assert_eq!(idx.postings(&Value::from("b")), vec![Value::Int64(1)]);
+        idx.insert(&rec, &Value::Int64(1)).unwrap();
+        assert_eq!(
+            idx.postings(&Value::from("a")).unwrap(),
+            vec![Value::Int64(1)]
+        );
+        assert_eq!(
+            idx.postings(&Value::from("b")).unwrap(),
+            vec![Value::Int64(1)]
+        );
         // Duplicates collapsed: 2 distinct tokens total.
-        assert_eq!(idx.entry_count(), 2);
+        assert_eq!(idx.entry_count().unwrap(), 2);
     }
 
     #[test]
@@ -416,9 +462,12 @@ mod tests {
             IndexKind::Keyword,
         );
         let rec = record! {"id" => 1i64, "summary" => "hello world"};
-        idx.insert(&rec, &Value::Int64(1));
-        idx.delete(&rec, &Value::Int64(1));
-        assert_eq!(idx.postings(&Value::from("hello")), Vec::<Value>::new());
+        idx.insert(&rec, &Value::Int64(1)).unwrap();
+        idx.delete(&rec, &Value::Int64(1)).unwrap();
+        assert_eq!(
+            idx.postings(&Value::from("hello")).unwrap(),
+            Vec::<Value>::new()
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod cache;
 pub mod component;
 pub mod disk;
+pub mod fault;
 pub mod index;
 pub mod lsm;
 pub mod partition;
@@ -35,9 +36,48 @@ pub mod partition;
 pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
 pub use disk::{Disk, FileId};
+pub use fault::{FaultInjector, FaultRule, IoError, IoOp};
 pub use index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
 pub use lsm::LsmTree;
 pub use partition::PartitionStore;
+
+/// Any error a [`PartitionStore`] operation can produce: a logical ADM
+/// error (bad key, unknown index, …) or a device-level I/O fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    Adm(asterix_adm::AdmError),
+    Io(IoError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Adm(e) => write!(f, "{e}"),
+            StorageError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<asterix_adm::AdmError> for StorageError {
+    fn from(e: asterix_adm::AdmError) -> Self {
+        StorageError::Adm(e)
+    }
+}
+
+impl From<IoError> for StorageError {
+    fn from(e: IoError) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl StorageError {
+    /// True when retrying the operation may succeed (transient I/O fault).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io(e) if e.transient)
+    }
+}
 
 /// Storage configuration (the storage-relevant rows of Table 2).
 #[derive(Clone, Debug)]

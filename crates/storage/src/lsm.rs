@@ -7,14 +7,24 @@
 //! disk component; lookups consult components newest-first; scans merge all
 //! components with newest-wins semantics; a simple merge policy compacts
 //! all disk components into one when their number exceeds a threshold.
+//!
+//! Failure model: every disk-touching operation returns `Result<_,
+//! IoError>`. [`LsmTree::flush`] and [`LsmTree::merge_all`] are
+//! failure-atomic — on error the memory component (resp. the old disk
+//! components) is left intact and any partially written file is deleted,
+//! so a transient fault can simply be retried.
 
 use crate::cache::BufferCache;
 use crate::component::{Entry, RunComponent};
+use crate::fault::{IoError, IoOp};
 use crate::StorageConfig;
 use asterix_adm::Value;
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// One source of a merged scan: fallible `(key, entry)` items.
+type EntryStream<'a> = Box<dyn Iterator<Item = Result<(Value, Entry), IoError>> + 'a>;
 
 /// An LSM-based B+-tree over `Value` keys and opaque byte values.
 #[derive(Debug)]
@@ -43,123 +53,137 @@ impl LsmTree {
         }
     }
 
-    /// Insert or overwrite.
-    pub fn put(&mut self, key: Value, value: Bytes) {
+    /// Insert or overwrite. May trigger a flush (and thus fail) when the
+    /// memory budget is exceeded; the write itself is already applied.
+    pub fn put(&mut self, key: Value, value: Bytes) -> Result<(), IoError> {
         self.mem_bytes += key.heap_size() + value.len() + 16;
         self.mem.insert(key, Entry::Put(value));
-        self.maybe_flush();
+        self.maybe_flush()
     }
 
     /// Delete (tombstone).
-    pub fn delete(&mut self, key: Value) {
+    pub fn delete(&mut self, key: Value) -> Result<(), IoError> {
         self.mem_bytes += key.heap_size() + 16;
         self.mem.insert(key, Entry::Tombstone);
-        self.maybe_flush();
+        self.maybe_flush()
     }
 
     /// Point lookup: memory first, then disk components newest-first.
-    pub fn get(&self, key: &Value) -> Option<Bytes> {
+    pub fn get(&self, key: &Value) -> Result<Option<Bytes>, IoError> {
         if let Some(e) = self.mem.get(key) {
-            return e.bytes().cloned();
+            return Ok(e.bytes().cloned());
         }
         for comp in &self.disk_components {
-            if let Some(e) = comp.get(key, &self.cache) {
-                return e.bytes().cloned();
+            if let Some(e) = comp.get(key, &self.cache)? {
+                return Ok(e.bytes().cloned());
             }
         }
-        None
+        Ok(None)
     }
 
     /// True if the key currently has a live value.
-    pub fn contains(&self, key: &Value) -> bool {
-        self.get(key).is_some()
+    pub fn contains(&self, key: &Value) -> Result<bool, IoError> {
+        Ok(self.get(key)?.is_some())
     }
 
-    /// Merged scan of live entries with key `>= from`, in key order.
-    pub fn scan_from(&self, from: Option<&Value>) -> impl Iterator<Item = (Value, Bytes)> + '_ {
-        let mem_iter: Box<dyn Iterator<Item = (Value, Entry)> + '_> = match from {
-            None => Box::new(self.mem.iter().map(|(k, e)| (k.clone(), e.clone()))),
+    /// Merged scan of live entries with key `>= from`, in key order. A
+    /// disk fault mid-scan yields one `Err` item and ends the stream.
+    pub fn scan_from(
+        &self,
+        from: Option<&Value>,
+    ) -> impl Iterator<Item = Result<(Value, Bytes), IoError>> + '_ {
+        let mem_iter: EntryStream<'_> = match from {
+            None => Box::new(self.mem.iter().map(|(k, e)| Ok((k.clone(), e.clone())))),
             Some(f) => Box::new(
                 self.mem
                     .range(f.clone()..)
-                    .map(|(k, e)| (k.clone(), e.clone())),
+                    .map(|(k, e)| Ok((k.clone(), e.clone()))),
             ),
         };
-        let mut sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + '_>> = vec![mem_iter];
+        let mut sources: Vec<EntryStream<'_>> = vec![mem_iter];
         for comp in &self.disk_components {
             sources.push(Box::new(comp.scan_from(from, &self.cache)));
         }
-        MergedScan::new(sources)
+        MergedScan::live(sources)
     }
 
     /// Full scan of live entries.
-    pub fn scan(&self) -> impl Iterator<Item = (Value, Bytes)> + '_ {
+    pub fn scan(&self) -> impl Iterator<Item = Result<(Value, Bytes), IoError>> + '_ {
         self.scan_from(None)
     }
 
-    /// Force the memory component to disk.
-    pub fn flush(&mut self) {
+    /// Force the memory component to disk. Failure-atomic: on error the
+    /// memory component is untouched and no partial file survives, so a
+    /// transient fault can be retried by calling `flush` again.
+    pub fn flush(&mut self) -> Result<(), IoError> {
         if self.mem.is_empty() {
-            return;
+            return Ok(());
         }
-        let entries = std::mem::take(&mut self.mem);
-        self.mem_bytes = 0;
+        self.cache.disk().fault_check(IoOp::Flush, None)?;
         let comp = RunComponent::build(
             self.cache.disk(),
             self.config.page_size,
-            entries.into_iter(),
-        );
+            self.mem.iter().map(|(k, e)| (k.clone(), e.clone())),
+        )?;
+        self.mem.clear();
+        self.mem_bytes = 0;
         self.disk_components.insert(0, comp);
         self.flushes += 1;
-        self.maybe_merge();
+        self.maybe_merge()
     }
 
-    fn maybe_flush(&mut self) {
+    fn maybe_flush(&mut self) -> Result<(), IoError> {
         if self.mem_bytes >= self.config.mem_component_budget {
-            self.flush();
+            self.flush()
+        } else {
+            Ok(())
         }
     }
 
-    fn maybe_merge(&mut self) {
+    fn maybe_merge(&mut self) -> Result<(), IoError> {
         if self.disk_components.len() > self.config.max_components {
-            self.merge_all();
+            self.merge_all()
+        } else {
+            Ok(())
         }
     }
 
     /// Merge every disk component into one (keeping tombstones out of the
-    /// result — a full merge is a major compaction).
-    pub fn merge_all(&mut self) {
+    /// result — a full merge is a major compaction). Failure-atomic: on
+    /// error the old components remain in place.
+    pub fn merge_all(&mut self) -> Result<(), IoError> {
         if self.disk_components.len() <= 1 {
-            return;
+            return Ok(());
         }
-        let sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + '_>> = self
-            .disk_components
-            .iter()
-            .map(|c| {
-                Box::new(c.scan_from(None, &self.cache))
-                    as Box<dyn Iterator<Item = (Value, Entry)>>
-            })
-            .collect();
-        let merged: Vec<(Value, Entry)> = MergedScan::new_raw(sources)
-            .filter(|(_, e)| !matches!(e, Entry::Tombstone))
-            .collect();
-        let new_comp = RunComponent::build(
-            self.cache.disk(),
-            self.config.page_size,
-            merged.into_iter(),
-        );
+        let mut merged: Vec<(Value, Entry)> = Vec::new();
+        {
+            let sources: Vec<EntryStream<'_>> = self
+                .disk_components
+                .iter()
+                .map(|c| Box::new(c.scan_from(None, &self.cache)) as EntryStream<'_>)
+                .collect();
+            for item in MergedScan::new_raw(sources) {
+                let (key, entry) = item?;
+                if !matches!(entry, Entry::Tombstone) {
+                    merged.push((key, entry));
+                }
+            }
+        }
+        let new_comp =
+            RunComponent::build(self.cache.disk(), self.config.page_size, merged)?;
         let old = std::mem::replace(&mut self.disk_components, vec![new_comp]);
         for comp in old {
             self.cache.invalidate_file(comp.file());
             self.cache.disk().delete(comp.file());
         }
         self.merges += 1;
+        Ok(())
     }
 
     /// Bulk load from a *sorted, unique-key* stream directly into a single
     /// disk component (the fast path used by `create index` on existing
     /// data, matching AsterixDB's bulk-load pipeline behind Table 5).
-    pub fn bulk_load<I>(&mut self, sorted: I)
+    pub fn bulk_load<I>(&mut self, sorted: I) -> Result<(), IoError>
     where
         I: IntoIterator<Item = (Value, Bytes)>,
     {
@@ -171,8 +195,9 @@ impl LsmTree {
             self.cache.disk(),
             self.config.page_size,
             sorted.into_iter().map(|(k, v)| (k, Entry::Put(v))),
-        );
+        )?;
         self.disk_components.push(comp);
+        Ok(())
     }
 
     /// Total on-disk bytes plus an estimate of the memory component.
@@ -197,8 +222,13 @@ impl LsmTree {
     }
 
     /// Count of live entries (scans everything; test/stats use only).
-    pub fn live_entries(&self) -> u64 {
-        self.scan().count() as u64
+    pub fn live_entries(&self) -> Result<u64, IoError> {
+        let mut n = 0u64;
+        for item in self.scan() {
+            item?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     pub fn cache(&self) -> &Arc<BufferCache> {
@@ -208,32 +238,65 @@ impl LsmTree {
 
 /// K-way merge over entry streams ordered by key; on duplicate keys the
 /// *earliest source wins* (sources are ordered newest-first). Tombstones
-/// shadow older puts and are dropped from the live output.
+/// shadow older puts and are dropped from the live output. A source
+/// yielding `Err` ends the merge with that error (fused afterwards).
 struct MergedScan<'a> {
     heads: Vec<Option<(Value, Entry)>>,
-    sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>,
+    sources: Vec<EntryStream<'a>>,
     keep_tombstones: bool,
+    /// A failure seen while priming heads, surfaced on the first next().
+    error: Option<IoError>,
+    failed: bool,
 }
 
 impl<'a> MergedScan<'a> {
-    fn new(sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>) -> LiveScan<'a> {
+    /// The live view used by scans: tombstones filtered out.
+    fn live(sources: Vec<EntryStream<'a>>) -> LiveScan<'a> {
         LiveScan(Self::new_raw(sources))
     }
 
-    fn new_raw(mut sources: Vec<Box<dyn Iterator<Item = (Value, Entry)> + 'a>>) -> Self {
-        let heads = sources.iter_mut().map(|s| s.next()).collect();
-        MergedScan {
-            heads,
+    fn new_raw(sources: Vec<EntryStream<'a>>) -> Self {
+        let mut scan = MergedScan {
+            heads: Vec::with_capacity(sources.len()),
             sources,
             keep_tombstones: true,
+            error: None,
+            failed: false,
+        };
+        for i in 0..scan.sources.len() {
+            match scan.sources[i].next() {
+                Some(Ok(kv)) => scan.heads.push(Some(kv)),
+                Some(Err(e)) => {
+                    scan.heads.push(None);
+                    scan.error.get_or_insert(e);
+                }
+                None => scan.heads.push(None),
+            }
         }
+        scan
+    }
+
+    fn refill(&mut self, i: usize) -> Result<(), IoError> {
+        self.heads[i] = match self.sources[i].next() {
+            None => None,
+            Some(Ok(kv)) => Some(kv),
+            Some(Err(e)) => return Err(e),
+        };
+        Ok(())
     }
 }
 
 impl Iterator for MergedScan<'_> {
-    type Item = (Value, Entry);
+    type Item = Result<(Value, Entry), IoError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if let Some(e) = self.error.take() {
+            self.failed = true;
+            return Some(Err(e));
+        }
         loop {
             // Find the minimal key among heads; earliest source wins ties.
             let mut best: Option<usize> = None;
@@ -252,12 +315,18 @@ impl Iterator for MergedScan<'_> {
             }
             let best = best?;
             let (key, entry) = self.heads[best].take().unwrap();
-            self.heads[best] = self.sources[best].next();
+            if let Err(e) = self.refill(best) {
+                self.failed = true;
+                return Some(Err(e));
+            }
             // Discard same-key entries from older sources.
             for i in 0..self.heads.len() {
                 while let Some((k, _)) = &self.heads[i] {
                     if *k == key {
-                        self.heads[i] = self.sources[i].next();
+                        if let Err(e) = self.refill(i) {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
                     } else {
                         break;
                     }
@@ -266,22 +335,23 @@ impl Iterator for MergedScan<'_> {
             if !self.keep_tombstones && matches!(entry, Entry::Tombstone) {
                 continue;
             }
-            return Some((key, entry));
+            return Some(Ok((key, entry)));
         }
     }
 }
 
-/// Live view: tombstones removed.
+/// Live view: tombstones removed, errors passed through.
 struct LiveScan<'a>(MergedScan<'a>);
 
 impl Iterator for LiveScan<'_> {
-    type Item = (Value, Bytes);
+    type Item = Result<(Value, Bytes), IoError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            let (k, e) = self.0.next()?;
-            if let Entry::Put(b) = e {
-                return Some((k, b));
+            match self.0.next()? {
+                Ok((k, Entry::Put(b))) => return Some(Ok((k, b))),
+                Ok((_, Entry::Tombstone)) => continue,
+                Err(e) => return Some(Err(e)),
             }
         }
     }
@@ -291,6 +361,7 @@ impl Iterator for LiveScan<'_> {
 mod tests {
     use super::*;
     use crate::disk::Disk;
+    use crate::fault::{FaultInjector, FaultRule};
     use proptest::prelude::*;
 
     fn tree(config: StorageConfig) -> LsmTree {
@@ -303,49 +374,60 @@ mod tests {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
+    fn live(t: &LsmTree) -> Vec<(i64, Bytes)> {
+        t.scan()
+            .map(|r| {
+                let (k, v) = r.unwrap();
+                (k.as_i64().unwrap(), v)
+            })
+            .collect()
+    }
+
     #[test]
     fn put_get_memory_only() {
         let mut t = tree(StorageConfig::default());
-        t.put(Value::Int64(1), b("one"));
-        t.put(Value::Int64(2), b("two"));
-        assert_eq!(t.get(&Value::Int64(1)), Some(b("one")));
-        assert_eq!(t.get(&Value::Int64(3)), None);
+        t.put(Value::Int64(1), b("one")).unwrap();
+        t.put(Value::Int64(2), b("two")).unwrap();
+        assert_eq!(t.get(&Value::Int64(1)).unwrap(), Some(b("one")));
+        assert_eq!(t.get(&Value::Int64(3)).unwrap(), None);
         assert_eq!(t.num_disk_components(), 0);
     }
 
     #[test]
     fn overwrite_takes_latest() {
         let mut t = tree(StorageConfig::tiny());
-        t.put(Value::Int64(1), b("v1"));
-        t.flush();
-        t.put(Value::Int64(1), b("v2"));
-        assert_eq!(t.get(&Value::Int64(1)), Some(b("v2")));
-        t.flush();
-        assert_eq!(t.get(&Value::Int64(1)), Some(b("v2")));
+        t.put(Value::Int64(1), b("v1")).unwrap();
+        t.flush().unwrap();
+        t.put(Value::Int64(1), b("v2")).unwrap();
+        assert_eq!(t.get(&Value::Int64(1)).unwrap(), Some(b("v2")));
+        t.flush().unwrap();
+        assert_eq!(t.get(&Value::Int64(1)).unwrap(), Some(b("v2")));
     }
 
     #[test]
     fn delete_shadows_older_component() {
         let mut t = tree(StorageConfig::tiny());
-        t.put(Value::Int64(7), b("x"));
-        t.flush();
-        t.delete(Value::Int64(7));
-        assert_eq!(t.get(&Value::Int64(7)), None);
-        t.flush();
-        assert_eq!(t.get(&Value::Int64(7)), None);
-        let keys: Vec<Value> = t.scan().map(|(k, _)| k).collect();
-        assert!(keys.is_empty());
+        t.put(Value::Int64(7), b("x")).unwrap();
+        t.flush().unwrap();
+        t.delete(Value::Int64(7)).unwrap();
+        assert_eq!(t.get(&Value::Int64(7)).unwrap(), None);
+        t.flush().unwrap();
+        assert_eq!(t.get(&Value::Int64(7)).unwrap(), None);
+        assert!(live(&t).is_empty());
     }
 
     #[test]
     fn auto_flush_on_budget() {
         let mut t = tree(StorageConfig::tiny());
         for i in 0..500 {
-            t.put(Value::Int64(i), b("some value payload here"));
+            t.put(Value::Int64(i), b("some value payload here")).unwrap();
         }
         assert!(t.num_flushes() > 0, "tiny budget must trigger flushes");
         for i in (0..500).step_by(97) {
-            assert_eq!(t.get(&Value::Int64(i)), Some(b("some value payload here")));
+            assert_eq!(
+                t.get(&Value::Int64(i)).unwrap(),
+                Some(b("some value payload here"))
+            );
         }
     }
 
@@ -354,31 +436,27 @@ mod tests {
         let mut t = tree(StorageConfig::tiny());
         for round in 0..6 {
             for i in 0..30 {
-                t.put(Value::Int64(i + round * 30), b("payload"));
+                t.put(Value::Int64(i + round * 30), b("payload")).unwrap();
             }
-            t.flush();
+            t.flush().unwrap();
         }
         assert!(t.num_merges() > 0, "merge policy must have fired");
         assert!(t.num_disk_components() <= StorageConfig::tiny().max_components + 1);
-        assert_eq!(t.live_entries(), 180);
+        assert_eq!(t.live_entries().unwrap(), 180);
     }
 
     #[test]
     fn merged_scan_sorted_and_deduped() {
         let mut t = tree(StorageConfig::tiny());
         for i in [5i64, 3, 1] {
-            t.put(Value::Int64(i), b("old"));
+            t.put(Value::Int64(i), b("old")).unwrap();
         }
-        t.flush();
+        t.flush().unwrap();
         for i in [4i64, 3] {
-            t.put(Value::Int64(i), b("new"));
+            t.put(Value::Int64(i), b("new")).unwrap();
         }
-        let all: Vec<(i64, Bytes)> = t
-            .scan()
-            .map(|(k, v)| (k.as_i64().unwrap(), v))
-            .collect();
         assert_eq!(
-            all,
+            live(&t),
             vec![
                 (1, b("old")),
                 (3, b("new")),
@@ -392,14 +470,14 @@ mod tests {
     fn scan_from_bound_across_components() {
         let mut t = tree(StorageConfig::tiny());
         for i in 0..20 {
-            t.put(Value::Int64(i), b("a"));
+            t.put(Value::Int64(i), b("a")).unwrap();
             if i % 5 == 0 {
-                t.flush();
+                t.flush().unwrap();
             }
         }
         let keys: Vec<i64> = t
             .scan_from(Some(&Value::Int64(13)))
-            .map(|(k, _)| k.as_i64().unwrap())
+            .map(|r| r.unwrap().0.as_i64().unwrap())
             .collect();
         assert_eq!(keys, (13..20).collect::<Vec<_>>());
     }
@@ -409,18 +487,18 @@ mod tests {
         let mut t = tree(StorageConfig::tiny());
         let data: Vec<(Value, Bytes)> =
             (0..100).map(|i| (Value::Int64(i), b("blk"))).collect();
-        t.bulk_load(data);
+        t.bulk_load(data).unwrap();
         assert_eq!(t.num_disk_components(), 1);
-        assert_eq!(t.get(&Value::Int64(55)), Some(b("blk")));
-        assert_eq!(t.live_entries(), 100);
+        assert_eq!(t.get(&Value::Int64(55)).unwrap(), Some(b("blk")));
+        assert_eq!(t.live_entries().unwrap(), 100);
     }
 
     #[test]
     #[should_panic]
     fn bulk_load_nonempty_panics() {
         let mut t = tree(StorageConfig::tiny());
-        t.put(Value::Int64(0), b("x"));
-        t.bulk_load(vec![(Value::Int64(1), b("y"))]);
+        t.put(Value::Int64(0), b("x")).unwrap();
+        let _ = t.bulk_load(vec![(Value::Int64(1), b("y"))]);
     }
 
     #[test]
@@ -428,10 +506,90 @@ mod tests {
         let mut t = tree(StorageConfig::tiny());
         let s0 = t.size_bytes();
         for i in 0..50 {
-            t.put(Value::Int64(i), b("0123456789"));
+            t.put(Value::Int64(i), b("0123456789")).unwrap();
         }
-        t.flush();
+        t.flush().unwrap();
         assert!(t.size_bytes() > s0);
+    }
+
+    #[test]
+    fn failed_flush_keeps_memory_component_and_retry_succeeds() {
+        let disk = Arc::new(Disk::new());
+        disk.set_fault_injector(Arc::new(FaultInjector::new(5).with_rule(FaultRule {
+            op: IoOp::Flush,
+            file: None,
+            nth: 1,
+            transient: true,
+        })));
+        let cache = Arc::new(BufferCache::new(disk.clone(), 64));
+        let mut t = LsmTree::new(cache, StorageConfig::tiny());
+        for i in 0..5 {
+            // Keep below the tiny budget so no auto-flush happens.
+            t.mem.insert(Value::Int64(i), Entry::Put(b("v")));
+        }
+        let err = t.flush().unwrap_err();
+        assert!(err.transient);
+        // Atomicity: memory untouched, nothing on disk.
+        assert_eq!(t.num_disk_components(), 0);
+        assert_eq!(t.get(&Value::Int64(3)).unwrap(), Some(b("v")));
+        assert_eq!(disk.total_bytes(), 0, "partial file must be cleaned up");
+        // The fault was transient: a retry drains the memory component.
+        t.flush().unwrap();
+        assert_eq!(t.num_disk_components(), 1);
+        assert_eq!(t.get(&Value::Int64(3)).unwrap(), Some(b("v")));
+    }
+
+    #[test]
+    fn failed_append_during_flush_deletes_partial_file() {
+        let disk = Arc::new(Disk::new());
+        // Fail the 2nd append ever: the first page lands, the second dies,
+        // exercising the partial-file cleanup path.
+        disk.set_fault_injector(Arc::new(FaultInjector::new(5).with_rule(FaultRule {
+            op: IoOp::Append,
+            file: None,
+            nth: 2,
+            transient: true,
+        })));
+        let cache = Arc::new(BufferCache::new(disk.clone(), 64));
+        let mut t = LsmTree::new(cache, StorageConfig::tiny());
+        for i in 0..200 {
+            t.mem
+                .insert(Value::Int64(i), Entry::Put(b("some payload text")));
+        }
+        assert!(t.flush().is_err());
+        assert_eq!(t.num_disk_components(), 0);
+        assert_eq!(disk.total_bytes(), 0, "partial file must be cleaned up");
+        t.flush().unwrap();
+        assert_eq!(t.live_entries().unwrap(), 200);
+    }
+
+    #[test]
+    fn failed_merge_keeps_old_components() {
+        let disk = Arc::new(Disk::new());
+        let cache = Arc::new(BufferCache::new(disk.clone(), 64));
+        let mut t = LsmTree::new(cache, StorageConfig::tiny());
+        for round in 0..3 {
+            for i in 0..10 {
+                t.put(Value::Int64(i + round * 10), b("p")).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let before = t.num_disk_components();
+        assert!(before > 1);
+        disk.set_fault_injector(Arc::new(FaultInjector::new(5).with_rule(FaultRule {
+            op: IoOp::Read,
+            file: None,
+            nth: 1,
+            transient: true,
+        })));
+        let result = t.merge_all();
+        // The merge may succeed if every page was cache-resident; if it
+        // failed, the old components must still be there and readable.
+        if result.is_err() {
+            assert_eq!(t.num_disk_components(), before);
+        }
+        disk.clear_fault_injector();
+        assert_eq!(t.live_entries().unwrap(), 30);
     }
 
     proptest! {
@@ -444,24 +602,24 @@ mod tests {
             for (op, key, val) in ops {
                 match op {
                     0 => {
-                        t.put(Value::Int64(key), Bytes::from(val.clone().into_bytes()));
+                        t.put(Value::Int64(key), Bytes::from(val.clone().into_bytes())).unwrap();
                         model.insert(key, val);
                     }
                     1 => {
-                        t.delete(Value::Int64(key));
+                        t.delete(Value::Int64(key)).unwrap();
                         model.remove(&key);
                     }
-                    _ => t.flush(),
+                    _ => t.flush().unwrap(),
                 }
             }
             // Point lookups agree.
             for k in 0..40i64 {
-                let got = t.get(&Value::Int64(k)).map(|b| String::from_utf8(b.to_vec()).unwrap());
+                let got = t.get(&Value::Int64(k)).unwrap().map(|b| String::from_utf8(b.to_vec()).unwrap());
                 prop_assert_eq!(got, model.get(&k).cloned());
             }
             // Scans agree.
             let scanned: Vec<(i64, String)> = t.scan()
-                .map(|(k, v)| (k.as_i64().unwrap(), String::from_utf8(v.to_vec()).unwrap()))
+                .map(|r| { let (k, v) = r.unwrap(); (k.as_i64().unwrap(), String::from_utf8(v.to_vec()).unwrap()) })
                 .collect();
             let expected: Vec<(i64, String)> = model.iter().map(|(k, v)| (*k, v.clone())).collect();
             prop_assert_eq!(scanned, expected);

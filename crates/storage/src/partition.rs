@@ -4,8 +4,9 @@
 //! the root cause of the broadcast in index-nested-loop joins, §4.2.1).
 
 use crate::cache::BufferCache;
+use crate::fault::IoError;
 use crate::index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
-use crate::StorageConfig;
+use crate::{StorageConfig, StorageError};
 use asterix_adm::{AdmError, DatasetDef, IndexDef, IndexKind, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,21 +26,21 @@ impl SecondaryIndex {
         }
     }
 
-    pub fn insert(&mut self, record: &Value, pk: &Value) {
+    pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.insert(record, pk),
             SecondaryIndex::Inverted(i) => i.insert(record, pk),
         }
     }
 
-    pub fn delete(&mut self, record: &Value, pk: &Value) {
+    pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.delete(record, pk),
             SecondaryIndex::Inverted(i) => i.delete(record, pk),
         }
     }
 
-    pub fn flush(&mut self) {
+    pub fn flush(&mut self) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.flush(),
             SecondaryIndex::Inverted(i) => i.flush(),
@@ -91,38 +92,39 @@ impl PartitionStore {
 
     /// Insert a record routed to this partition. The caller has already
     /// verified the partition assignment.
-    pub fn insert(&mut self, record: Value) -> Result<(), AdmError> {
+    pub fn insert(&mut self, record: Value) -> Result<(), StorageError> {
         let pk = self.dataset.key_of(&record)?;
         // Secondary maintenance: remove old postings if overwriting.
-        if let Some(old) = self.primary.get(&pk) {
+        if let Some(old) = self.primary.get(&pk)? {
             for idx in self.secondaries.values_mut() {
-                idx.delete(&old, &pk);
+                idx.delete(&old, &pk)?;
             }
         }
         for idx in self.secondaries.values_mut() {
-            idx.insert(&record, &pk);
+            idx.insert(&record, &pk)?;
         }
-        self.primary.insert(pk, &record);
+        self.primary.insert(pk, &record)?;
         Ok(())
     }
 
-    pub fn delete(&mut self, pk: &Value) {
-        if let Some(old) = self.primary.get(pk) {
+    pub fn delete(&mut self, pk: &Value) -> Result<(), StorageError> {
+        if let Some(old) = self.primary.get(pk)? {
             for idx in self.secondaries.values_mut() {
-                idx.delete(&old, pk);
+                idx.delete(&old, pk)?;
             }
-            self.primary.delete(pk.clone());
+            self.primary.delete(pk.clone())?;
         }
+        Ok(())
     }
 
     /// Create a secondary index and backfill it from the primary index,
     /// returning the number of records indexed (the Table 5 build path).
-    pub fn create_index(&mut self, def: &IndexDef) -> Result<u64, AdmError> {
+    pub fn create_index(&mut self, def: &IndexDef) -> Result<u64, StorageError> {
         if self.secondaries.contains_key(&def.name) {
-            return Err(AdmError::Schema(format!(
+            return Err(StorageError::Adm(AdmError::Schema(format!(
                 "index '{}' already exists in partition {}",
                 def.name, self.partition
-            )));
+            ))));
         }
         let mut index = match def.kind {
             IndexKind::BTree => SecondaryIndex::BTree(SecondaryBTreeIndex::new(
@@ -140,12 +142,15 @@ impl PartitionStore {
             }
         };
         let mut count = 0u64;
-        let rows: Vec<(Value, Value)> = self.primary.scan().collect();
+        let rows: Vec<(Value, Value)> = self
+            .primary
+            .scan()
+            .collect::<Result<_, IoError>>()?;
         for (pk, record) in rows {
-            index.insert(&record, &pk);
+            index.insert(&record, &pk)?;
             count += 1;
         }
-        index.flush();
+        index.flush()?;
         self.secondaries.insert(def.name.clone(), index);
         Ok(count)
     }
@@ -181,33 +186,42 @@ impl PartitionStore {
         index_name: &str,
         tokens: &[Value],
         t: usize,
-    ) -> Result<Vec<Value>, AdmError> {
+    ) -> Result<Vec<Value>, StorageError> {
         let idx = self
             .secondaries
             .get(index_name)
             .and_then(SecondaryIndex::as_inverted)
             .ok_or_else(|| {
-                AdmError::Schema(format!("no inverted index named '{index_name}'"))
+                StorageError::Adm(AdmError::Schema(format!(
+                    "no inverted index named '{index_name}'"
+                )))
             })?;
-        Ok(idx.t_occurrence(tokens, t))
+        Ok(idx.t_occurrence(tokens, t)?)
     }
 
     /// Exact-match candidate lookup against a named B+-tree index.
-    pub fn btree_lookup(&self, index_name: &str, key: &Value) -> Result<Vec<Value>, AdmError> {
+    pub fn btree_lookup(&self, index_name: &str, key: &Value) -> Result<Vec<Value>, StorageError> {
         let idx = self
             .secondaries
             .get(index_name)
             .and_then(SecondaryIndex::as_btree)
-            .ok_or_else(|| AdmError::Schema(format!("no btree index named '{index_name}'")))?;
-        Ok(idx.lookup(key))
+            .ok_or_else(|| {
+                StorageError::Adm(AdmError::Schema(format!(
+                    "no btree index named '{index_name}'"
+                )))
+            })?;
+        Ok(idx.lookup(key)?)
     }
 
-    /// Flush all components (end of a load).
-    pub fn flush_all(&mut self) {
-        self.primary.flush();
+    /// Flush all components (end of a load). On a (possibly injected)
+    /// I/O fault the in-memory components are preserved, so the caller
+    /// may retry transient errors.
+    pub fn flush_all(&mut self) -> Result<(), IoError> {
+        self.primary.flush()?;
         for idx in self.secondaries.values_mut() {
-            idx.flush();
+            idx.flush()?;
         }
+        Ok(())
     }
 
     /// (index name, size in bytes) for every index including the primary.
@@ -308,8 +322,8 @@ mod tests {
         })
         .unwrap();
         s.insert(review(5, "x", "hello")).unwrap();
-        s.delete(&Value::Int64(5));
-        assert_eq!(s.primary().get(&Value::Int64(5)), None);
+        s.delete(&Value::Int64(5)).unwrap();
+        assert_eq!(s.primary().get(&Value::Int64(5)).unwrap(), None);
         assert_eq!(
             s.inverted_candidates("smix", &[Value::from("hello")], 1).unwrap(),
             Vec::<Value>::new()
@@ -363,10 +377,59 @@ mod tests {
             kind: IndexKind::Keyword,
         })
         .unwrap();
-        s.flush_all();
+        s.flush_all().unwrap();
         let sizes = s.index_sizes();
         assert_eq!(sizes.len(), 2);
         assert!(sizes.iter().all(|(_, b)| *b > 0));
+    }
+
+    #[test]
+    fn transient_flush_fault_is_retryable() {
+        use crate::fault::{FaultInjector, FaultRule, IoOp};
+        let mut s = store();
+        for i in 0..10 {
+            s.insert(review(i, "name", "words")).unwrap();
+        }
+        let disk = s.cache().disk().clone();
+        disk.set_fault_injector(Arc::new(FaultInjector::new(3).with_rule(FaultRule {
+            op: IoOp::Flush,
+            file: None,
+            nth: 1,
+            transient: true,
+        })));
+        let err = s.flush_all().unwrap_err();
+        assert!(err.transient);
+        // The failed flush preserved everything; a retry drains it.
+        s.flush_all().unwrap();
+        assert_eq!(s.primary().len().unwrap(), 10);
+    }
+
+    #[test]
+    fn permanent_read_fault_surfaces_as_storage_error() {
+        use crate::fault::{FaultInjector, FaultRule, IoOp};
+        let mut s = store();
+        for i in 0..200 {
+            s.insert(review(i, "name", "some longer summary text here")).unwrap();
+        }
+        s.flush_all().unwrap();
+        s.cache().disk().set_fault_injector(Arc::new(
+            FaultInjector::new(11).with_rule(FaultRule {
+                op: IoOp::Read,
+                file: None,
+                nth: 1,
+                transient: false,
+            }),
+        ));
+        // Backfill scans the primary index from disk → typed Io error.
+        let err = s
+            .create_index(&IndexDef {
+                name: "late".into(),
+                field: "summary".into(),
+                kind: IndexKind::Keyword,
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(!err.is_transient());
     }
 
     #[test]

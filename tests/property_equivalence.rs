@@ -4,7 +4,7 @@
 //! paper's evaluation), and selection answers match a model computed
 //! directly with the similarity library.
 
-use asterix_adm::{record, IndexKind, Value};
+use asterix_adm::{record, IndexKind};
 use asterix_algebricks::OptimizerConfig;
 use asterix_core::{Instance, InstanceConfig, QueryOptions};
 use proptest::prelude::*;
@@ -16,6 +16,7 @@ fn no_index() -> QueryOptions {
             enable_index_join: false,
             ..OptimizerConfig::default()
         }),
+        timeout: None,
     }
 }
 
@@ -141,6 +142,7 @@ proptest! {
                         enable_index_join: false,
                         ..OptimizerConfig::default()
                     }),
+                    timeout: None,
                 },
             )
             .unwrap();
@@ -153,6 +155,7 @@ proptest! {
                         enable_three_stage: false,
                         ..OptimizerConfig::default()
                     }),
+                    timeout: None,
                 },
             )
             .unwrap();

@@ -1,0 +1,381 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! executor uses: MPMC bounded/unbounded channels with blocking,
+//! timeout-aware send/recv and disconnect semantics, implemented with
+//! `std::sync::{Mutex, Condvar}`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create a channel holding at most `cap` messages; sends block (or
+    /// time out) while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Create a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn is_full(&self, state: &State<T>) -> bool {
+            self.cap.is_some_and(|c| state.queue.len() >= c)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued or every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if !self.inner.is_full(&state) {
+                    state.queue.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .inner
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Like [`Sender::send`] but give up after `timeout`.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if !self.inner.is_full(&state) {
+                    state.queue.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+                let (s, _timed_out) = self
+                    .inner
+                    .not_full
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = s;
+            }
+        }
+
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if self.inner.is_full(&state) {
+                return Err(TrySendError::Full(msg));
+            }
+            state.queue.push_back(msg);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Like [`Receiver::recv`] but give up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, _timed_out) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = s;
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.lock();
+            if let Some(msg) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocking iterator that ends when the channel is disconnected
+        /// and drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_fifo_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_blocks_and_unblocks() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn send_timeout_on_full() {
+            let (tx, _rx) = bounded(1);
+            tx.send(1).unwrap();
+            match tx.send_timeout(2, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(2)) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn recv_timeout_on_empty() {
+            let (_tx, rx) = bounded::<i32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+    }
+}

@@ -1,0 +1,718 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and simple regex-pattern strategies, tuple and
+//! collection combinators, `prop_oneof!` / `proptest!` /
+//! `prop_assert*!` macros, and a deterministic per-test RNG.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (derived from the test's module path and name), there
+//! is no shrinking, and failures surface as ordinary panics with the
+//! generated inputs in the assertion message.
+
+pub mod test_runner {
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name: stable across
+            // runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.gen_value(rng)))
+        }
+
+        /// Build recursive structures: each level picks the base strategy
+        /// or one recursive application, up to `depth` levels deep.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+    }
+
+    /// Type-erased strategy (cheap to clone).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed branches (built by `prop_oneof!`).
+    pub struct Union<T> {
+        branches: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+            Union { branches }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                branches: self.branches.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.branches.len());
+            self.branches[i].gen_value(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                recurse: self.recurse.clone(),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            if self.depth == 0 || rng.below(2) == 0 {
+                self.base.gen_value(rng)
+            } else {
+                let shallower = Recursive {
+                    base: self.base.clone(),
+                    recurse: self.recurse.clone(),
+                    depth: self.depth - 1,
+                };
+                (self.recurse)(shallower.boxed()).gen_value(rng)
+            }
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for a primitive type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<u8> {
+        type Value = u8;
+        fn gen_value(&self, rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Strategy for Any<i64> {
+        type Value = i64;
+        fn gen_value(&self, rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            // Arbitrary bit patterns, excluding NaN/infinity so equality
+            // round-trips behave.
+            loop {
+                let f = f64::from_bits(rng.next_u64());
+                if f.is_finite() {
+                    return f;
+                }
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            // unit_f64 is half-open; stretch marginally to make the upper
+            // bound reachable.
+            let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            start + unit * (end - start)
+        }
+    }
+
+    /// String-pattern strategies: a `&'static str` acts as a simplified
+    /// regex of atoms (`[a-z0-9]` character classes or `.`) each followed
+    /// by an optional quantifier (`{m,n}`, `{n}`, `*`, `+`, `?`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    expand_class(body, pattern)
+                }
+                '.' => {
+                    i += 1;
+                    (0x20u8..0x7f).map(|b| b as char).collect()
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i)
+                            .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse::<usize>().unwrap_or(0),
+                                hi.trim().parse::<usize>().unwrap_or(8),
+                            ),
+                            None => {
+                                let n = body.trim().parse::<usize>().unwrap_or(1);
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                out.push(class[rng.below(class.len())]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                for cp in lo..=hi {
+                    if let Some(c) = char::from_u32(cp) {
+                        set.push(c);
+                    }
+                }
+                j += 3;
+            } else {
+                set.push(body[j]);
+                j += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+        set
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection size specifications accepted by the combinators below.
+    pub trait SizeRange: Clone {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+        fn min(&self) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below(self.end - self.start)
+        }
+        fn min(&self) -> usize {
+            self.start
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            *self.start() + rng.below(*self.end() - *self.start() + 1)
+        }
+        fn min(&self) -> usize {
+            *self.start()
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+        fn min(&self) -> usize {
+            *self
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            // Duplicates shrink the set; retry within a generous budget so
+            // the requested minimum size is honored when feasible.
+            let mut budget = 64 * (target + 1);
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.gen_value(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut budget = 64 * (target + 1);
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.gen_value(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list of values.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real crate's `prelude::prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Each `fn` runs `cases` times with fresh inputs
+/// drawn from its strategies; a deterministic per-test seed makes runs
+/// reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property test (plain panic; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = crate::test_runner::TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_honor_min_size() {
+        let mut rng = crate::test_runner::TestRng::deterministic("coll");
+        for _ in 0..100 {
+            let s = Strategy::gen_value(&prop::collection::hash_set(0u8..30, 5..12), &mut rng);
+            assert!(s.len() >= 5 && s.len() < 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u8..10, 0u8..10), s in "[x-z]{1,3}") {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursion_terminate(v in nested()) {
+            fn depth(v: &[Vec<u8>]) -> usize { v.len() }
+            prop_assert!(depth(&v) <= 6);
+        }
+    }
+
+    fn nested() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..3), 0..6)
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares a `serde` dependency but no code currently
+//! derives or implements its traits; this empty crate satisfies the
+//! manifest so the build works without network access. If serialization
+//! is needed later, grow this into a real subset or vendor the real
+//! crate.
