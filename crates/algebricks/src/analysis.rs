@@ -8,9 +8,9 @@
 //! field a similarity argument reads (to find applicable indexes), and
 //! compile-time corner-case detection for edit distance (§5.1.1).
 
-use asterix_adm::Value;
+use asterix_adm::{IndexKind, Value};
 use asterix_hyracks::{CmpOp, Expr, SearchMeasure};
-use asterix_simfn::{edit_distance_t_bound, tokenize, FunctionRegistry};
+use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound, tokenize, FunctionRegistry};
 
 /// A recognized similarity predicate inside a conjunct.
 #[derive(Clone, Debug)]
@@ -185,6 +185,29 @@ pub fn edit_distance_index_usable(constant: &Value, k: u32, n: usize) -> bool {
         }
         None => false,
     }
+}
+
+/// Compile-time corner-case check for a Jaccard *selection* whose probe
+/// side folded to a constant: `true` means the index is usable
+/// (`T = ceil(δ·|tokens|) >= 1` over the probe's distinct tokens under the
+/// index's own tokenizer), `false` means fall back to a scan. `δ <= 0`
+/// and empty probe token sets are corner cases — the scan plan still
+/// matches (everything, resp. empty-token records, since `J(∅, ∅) = 1`)
+/// while an index search would emit no candidates.
+pub fn jaccard_index_usable(constant: &Value, delta: f64, kind: IndexKind) -> bool {
+    let num_tokens = match (kind, constant) {
+        (IndexKind::Keyword, Value::String(s)) => tokenize::word_tokens_distinct(s).len(),
+        (IndexKind::Keyword, Value::OrderedList(items))
+        | (IndexKind::Keyword, Value::UnorderedList(items)) => {
+            let mut v = items.clone();
+            v.sort();
+            v.dedup();
+            v.len()
+        }
+        (IndexKind::NGram(n), Value::String(s)) => tokenize::gram_tokens_distinct(s, n).len(),
+        _ => 0,
+    };
+    jaccard_t_bound(num_tokens, delta) > 0
 }
 
 #[cfg(test)]

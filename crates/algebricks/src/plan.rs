@@ -125,8 +125,15 @@ pub enum LogicalOp {
         n: usize,
     },
     /// Concatenate two inputs with identical schemas, renaming to `vars`.
+    ///
+    /// `disjoint` is a rewrite-supplied guarantee that the two branches
+    /// emit disjoint row sets (they partition the rows of one logical
+    /// stream by a predicate, as in the Fig 14 corner-case split), so a
+    /// row key shared by both branches still identifies rows of the
+    /// union. Plain unions must set it `false`.
     UnionAll {
         vars: Vec<VarId>,
+        disjoint: bool,
     },
     /// Secondary-index search (introduced by index rewrites): appends the
     /// candidate primary key as `pk_var`.
@@ -201,7 +208,7 @@ impl LogicalNode {
                 s.push(*var);
                 s
             }
-            LogicalOp::UnionAll { vars } => vars.clone(),
+            LogicalOp::UnionAll { vars, .. } => vars.clone(),
             LogicalOp::IndexSearch { pk_var, .. } => {
                 let mut s = inputs[0].schema.clone();
                 s.push(*pk_var);

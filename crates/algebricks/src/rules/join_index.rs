@@ -10,11 +10,14 @@
 //! primary-index lookup, and a verification SELECT of the original join
 //! condition.
 //!
-//! Edit-distance corner cases are runtime events here — the search keys
-//! come from outer records (§5.1.2) — so the plan splits the outer stream
-//! with `edit-distance-can-use-index(key, k, n)`: T > 0 rows go through
-//! the index, T ≤ 0 rows take a broadcast nested-loop join against the
-//! same scan, and a UNION combines both (Fig 14).
+//! Similarity corner cases are runtime events here — the search keys come
+//! from outer records (§5.1.2) — so the plan splits the outer stream with
+//! a `*-can-use-index(key, ...)` predicate: usable rows go through the
+//! index, corner rows take a broadcast nested-loop join against the same
+//! scan, and a UNION combines both (Fig 14). Edit distance corners on
+//! `T ≤ 0` keys; Jaccard corners on empty-token keys (`J(∅, ∅) = 1`, so
+//! they can still match empty-token inner records that appear on no
+//! inverted list). Only exact-match and contains joins are corner-free.
 //!
 //! The surrogate variant (Fig 19, §5.4.1) broadcasts only the search key
 //! plus a compact surrogate (the outer subtree's scan primary keys),
@@ -74,6 +77,10 @@ impl RewriteRule for IndexJoinRule {
             };
             if is_constant(&p.args[0]) || is_constant(&p.args[1]) {
                 continue; // selection-shaped; not a join predicate
+            }
+            // δ <= 0 matches every pair; no index path can produce that.
+            if matches!(p.measure, SearchMeasure::Jaccard { delta } if delta <= 0.0) {
+                continue;
             }
             // Which side reads the inner record's indexed field?
             for (inner_arg, outer_arg) in [(&p.args[0], &p.args[1]), (&p.args[1], &p.args[0])] {
@@ -158,6 +165,36 @@ fn index_path(
     build::project(verified, out_schema.to_vec())
 }
 
+/// The runtime corner-split predicate for a measure, or `None` when the
+/// measure has no runtime corner cases (§5.1.1): `true` rows can use the
+/// index, `false` rows must take the nested-loop path (Fig 14).
+fn corner_usable_expr(m: &Match, key_var: VarId) -> Option<Expr> {
+    match &m.measure {
+        SearchMeasure::Exact | SearchMeasure::Contains => None,
+        SearchMeasure::Jaccard { .. } => {
+            // Empty-token keys corner out: J(∅, ∅) = 1 can still match
+            // inner records that appear on no inverted list.
+            let n = match m.index_kind {
+                IndexKind::NGram(n) => n as i64,
+                _ => 0,
+            };
+            Some(Expr::call(
+                "jaccard-can-use-index",
+                vec![build::v(key_var), Expr::lit(n)],
+            ))
+        }
+        SearchMeasure::EditDistance { k } => {
+            let IndexKind::NGram(n) = m.index_kind else {
+                unreachable!("compatibility table guarantees an ngram index");
+            };
+            Some(Expr::call(
+                "edit-distance-can-use-index",
+                vec![build::v(key_var), Expr::lit(*k as i64), Expr::lit(n as i64)],
+            ))
+        }
+    }
+}
+
 /// Fig 10 / Fig 14.
 fn build_basic_join(
     node: &PlanRef,
@@ -171,20 +208,10 @@ fn build_basic_join(
     let (keyed, key_var) = build::assign1(outer.clone(), ctx.vargen, probe);
     let out_schema: Vec<VarId> = node.schema.clone();
 
-    match &m.measure {
-        SearchMeasure::Jaccard { .. } | SearchMeasure::Exact | SearchMeasure::Contains => {
-            // No corner cases possible (§5.1.1): pure index path.
-            index_path(keyed, key_var, m, condition, &out_schema, ctx)
-        }
-        SearchMeasure::EditDistance { k } => {
-            let IndexKind::NGram(n) = m.index_kind else {
-                unreachable!("compatibility table guarantees an ngram index");
-            };
+    match corner_usable_expr(m, key_var) {
+        None => index_path(keyed, key_var, m, condition, &out_schema, ctx),
+        Some(usable) => {
             // Runtime split (Fig 14): replicate the keyed outer stream.
-            let usable = Expr::call(
-                "edit-distance-can-use-index",
-                vec![build::v(key_var), Expr::lit(*k as i64), Expr::lit(n as i64)],
-            );
             let non_corner = build::select(keyed.clone(), usable.clone());
             let index_branch = index_path(non_corner, key_var, m, condition, &out_schema, ctx);
             let corner = build::select(keyed, Expr::Not(Box::new(usable)));
@@ -195,8 +222,12 @@ fn build_basic_join(
                 JoinHint::BroadcastLeftNl,
             );
             let nl_projected = build::project(nl, out_schema.clone());
+            // Disjoint: the branches split the outer stream by `usable`.
             LogicalNode::new(
-                LogicalOp::UnionAll { vars: out_schema },
+                LogicalOp::UnionAll {
+                    vars: out_schema,
+                    disjoint: true,
+                },
                 vec![index_branch, nl_projected],
             )
         }
@@ -255,26 +286,19 @@ fn build_surrogate_join(
     inner_out.push(m.inner_pk);
     inner_out.push(m.inner_rec);
 
-    let right = match &m.measure {
-        SearchMeasure::Jaccard { .. } | SearchMeasure::Exact | SearchMeasure::Contains => {
-            index_path(slim, key_var, m, &verify, &inner_out, ctx)
-        }
-        SearchMeasure::EditDistance { k } => {
-            let IndexKind::NGram(n) = m.index_kind else {
-                return None;
-            };
-            let usable = Expr::call(
-                "edit-distance-can-use-index",
-                vec![build::v(key_var), Expr::lit(*k as i64), Expr::lit(n as i64)],
-            );
+    let right = match corner_usable_expr(m, key_var) {
+        None => index_path(slim, key_var, m, &verify, &inner_out, ctx),
+        Some(usable) => {
             let non_corner = build::select(slim.clone(), usable.clone());
             let index_branch = index_path(non_corner, key_var, m, &verify, &inner_out, ctx);
             let corner = build::select(slim, Expr::Not(Box::new(usable)));
             let nl = build::join(corner, inner.clone(), verify.clone(), JoinHint::BroadcastLeftNl);
             let nl_projected = build::project(nl, inner_out.clone());
+            // Disjoint: the branches split the outer stream by `usable`.
             LogicalNode::new(
                 LogicalOp::UnionAll {
                     vars: inner_out.clone(),
+                    disjoint: true,
                 },
                 vec![index_branch, nl_projected],
             )
@@ -404,11 +428,15 @@ mod tests {
     }
 
     #[test]
-    fn jaccard_join_uses_index_no_union() {
+    fn jaccard_join_has_empty_token_corner_union() {
         let plan = setup(OptimizerConfig::default(), true).expect("rewrite");
         let text = explain(&plan);
         assert!(text.contains("index-search ARevs.smix"), "{text}");
-        assert!(!text.contains("union-all"), "no corner path for jaccard: {text}");
+        // Empty-token outer keys must take the NL path (J(∅, ∅) = 1 still
+        // matches inner records that appear on no inverted list).
+        assert!(text.contains("union-all"), "{text}");
+        assert!(text.contains("jaccard-can-use-index"), "{text}");
+        assert!(text.contains("join[BroadcastLeftNl]"), "{text}");
     }
 
     #[test]

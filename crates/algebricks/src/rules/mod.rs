@@ -36,9 +36,10 @@ pub trait RewriteRule {
 /// * a scan's rows are keyed by its primary key,
 /// * a join's rows by the union of its inputs' keys,
 /// * a group-by's rows by its (renamed) group variables,
-/// * filters/sorts/assigns/lookups preserve keys; an unnest or union
-///   duplicates rows and loses them; a projection keeps a key only if it
-///   retains all of its variables.
+/// * filters/sorts/assigns/lookups preserve keys; an unnest or plain
+///   union duplicates rows and loses them; a *disjoint* union (corner
+///   split) keeps keys shared by both branches; a projection keeps a key
+///   only if it retains all of its variables.
 ///
 /// Used by the three-stage join (to join record-id pairs back to full
 /// records in stage 3) and by the surrogate index-nested-loop join
@@ -135,9 +136,43 @@ pub fn subtree_row_keys(node: &PlanRef) -> Option<Vec<VarId>> {
                 .into_iter()
                 .filter(|k| k.iter().all(|v| vars.contains(v)))
                 .collect(),
+            // A disjoint union (the Fig 14 / three-stage corner splits
+            // partition one stream by a predicate) keeps any key that
+            // identifies rows in *both* branches: rename each branch's
+            // keys positionally into the union's output variables and
+            // intersect.
+            LogicalOp::UnionAll { vars, disjoint } => {
+                if !*disjoint {
+                    Vec::new()
+                } else {
+                    fn renamed(
+                        input: &PlanRef,
+                        vars: &[VarId],
+                        memo: &mut Vec<(*const LogicalNode, Alts)>,
+                    ) -> Alts {
+                        let schema = &input.schema;
+                        keys(input, memo)
+                            .into_iter()
+                            .filter_map(|k| {
+                                k.iter()
+                                    .map(|v| {
+                                        schema
+                                            .iter()
+                                            .position(|s| s == v)
+                                            .map(|i| vars[i])
+                                    })
+                                    .collect::<Option<Vec<VarId>>>()
+                                    .map(norm)
+                            })
+                            .collect()
+                    }
+                    let l = renamed(&node.inputs[0], vars, memo);
+                    let r = renamed(&node.inputs[1], vars, memo);
+                    l.into_iter().filter(|k| r.contains(k)).collect()
+                }
+            }
             // Row-multiplying or row-merging operators lose key identity.
             LogicalOp::Unnest { .. }
-            | LogicalOp::UnionAll { .. }
             | LogicalOp::IndexSearch { .. }
             | LogicalOp::EmptyTupleSource => Vec::new(),
         };

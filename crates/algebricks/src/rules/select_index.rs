@@ -21,8 +21,8 @@
 //! "When detecting a corner case, it simply stops rewriting the plan."
 
 use crate::analysis::{
-    const_fold, edit_distance_index_usable, indexed_field_of, is_constant, probe_expr_of,
-    recognize_similarity, split_conjuncts,
+    const_fold, edit_distance_index_usable, indexed_field_of, is_constant, jaccard_index_usable,
+    probe_expr_of, recognize_similarity, split_conjuncts,
 };
 use crate::catalog::find_applicable_index;
 use crate::plan::{build, LogicalNode, LogicalOp, PlanRef};
@@ -96,6 +96,14 @@ impl RewriteRule for IndexSelectionRule {
                 };
                 if !edit_distance_index_usable(&probe, *k, n) {
                     // Corner case: stop rewriting; keep the scan plan.
+                    return None;
+                }
+            }
+            // Compile-time corner-case check for Jaccard: δ <= 0 or an
+            // empty probe token set (J(∅, ∅) = 1 still matches
+            // empty-token records the index cannot surface).
+            if let SearchMeasure::Jaccard { delta } = &measure {
+                if !jaccard_index_usable(&probe, *delta, index.kind) {
                     return None;
                 }
             }

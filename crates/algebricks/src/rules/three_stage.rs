@@ -77,7 +77,10 @@ pub fn instantiate_three_stage(p: &ThreeStageParams, vg: &VarGen) -> PlanRef {
     let r_tokens = build::project(r_unnest, vec![tok_r]);
     let tok_u = vg.fresh();
     let all_tokens = LogicalNode::new(
-        LogicalOp::UnionAll { vars: vec![tok_u] },
+        LogicalOp::UnionAll {
+            vars: vec![tok_u],
+            disjoint: false,
+        },
         vec![l_tokens, r_tokens],
     );
     // `/*+ hash */ group by` of Fig 11 line 15-16.
@@ -236,7 +239,40 @@ pub fn instantiate_three_stage(p: &ThreeStageParams, vg: &VarGen) -> PlanRef {
     // Restore the original JOIN schema.
     let mut out_schema = p.left.schema.clone();
     out_schema.extend(&p.right.schema);
-    build::project(both_back, out_schema)
+    let main = build::project(both_back, out_schema.clone());
+
+    // ---- Corner branch: empty-token rows --------------------------------
+    // A row with no tokens never survives the stage-2 unnest, yet
+    // J(∅, ∅) = 1, so two empty-token rows can still satisfy the
+    // threshold. Join the (tiny) empty-token subsets of both branches
+    // under the original predicate and union the pairs in.
+    let empty = |input: &PlanRef, tokens: &Expr| {
+        build::select(
+            input.clone(),
+            Expr::eq(Expr::call("len", vec![tokens.clone()]), Expr::lit(0i64)),
+        )
+    };
+    let l_empty = empty(&p.left, &p.left_tokens);
+    let r_empty = empty(&p.right, &p.right_tokens);
+    let vacuous = Expr::cmp(
+        CmpOp::Ge,
+        Expr::call(
+            "similarity-jaccard",
+            vec![p.left_tokens.clone(), p.right_tokens.clone()],
+        ),
+        delta,
+    );
+    let empty_pairs = build::join(l_empty, r_empty, vacuous, JoinHint::BroadcastLeftNl);
+    let empty_projected = build::project(empty_pairs, out_schema.clone());
+    // Disjoint: the main branch only emits pairs whose sides both have
+    // tokens; the corner branch only pairs whose sides both have none.
+    LogicalNode::new(
+        LogicalOp::UnionAll {
+            vars: out_schema,
+            disjoint: true,
+        },
+        vec![main, empty_projected],
+    )
 }
 
 /// The rewrite rule wrapping the template: fires on a Jaccard join with no
@@ -266,7 +302,10 @@ impl RewriteRule for ThreeStageJoinRule {
         for conjunct in split_conjuncts(condition) {
             if sim.is_none() {
                 if let Some(p) = recognize_similarity(&conjunct) {
-                    if matches!(p.measure, SearchMeasure::Jaccard { .. })
+                    // δ <= 0 matches token-disjoint pairs too; the
+                    // prefix-filter plan cannot produce those — leave the
+                    // join for the nested-loop fallback.
+                    if matches!(p.measure, SearchMeasure::Jaccard { delta } if delta > 0.0)
                         && !is_constant(&p.args[0])
                         && !is_constant(&p.args[1])
                     {

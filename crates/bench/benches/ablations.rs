@@ -17,6 +17,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
     QueryOptions {
         optimizer: Some(cfg),
         timeout: None,
+        profile: false,
     }
 }
 

@@ -26,6 +26,7 @@ fn no_index() -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout: None,
+        profile: false,
     }
 }
 

@@ -5,9 +5,12 @@
 //!   cargo run --release -p asterix-bench --bin experiments [-- <which>...]
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
-//! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, all}
-//! (default: all). Scale via env `ASTERIX_SCALE` (default 1.0 ≈ 20k
+//! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
+//! all} (default: all). Scale via env `ASTERIX_SCALE` (default 1.0 ≈ 20k
 //! Amazon records) and `ASTERIX_PARTITIONS` (default 4).
+//!
+//! `profile` runs representative queries with per-query profiling and
+//! writes the full `QueryProfile` of each to `BENCH_profile.json`.
 //!
 //! Absolute times are not comparable with the paper's 8-node cluster; the
 //! *shapes* (who wins, how ratios move with thresholds and sizes) are the
@@ -26,6 +29,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
     QueryOptions {
         optimizer: Some(cfg),
         timeout: None,
+        profile: false,
     }
 }
 
@@ -106,6 +110,84 @@ fn main() {
         ablation_surrogate(&cfg);
         ablation_token_order(&cfg);
     }
+    if run("profile") {
+        profile_report(&cfg);
+    }
+}
+
+/// Per-query profiles (§6's instrumentation story): run representative
+/// indexed similarity queries with `profile: true`, print the headline
+/// numbers, and dump every full `QueryProfile` to `BENCH_profile.json`.
+fn profile_report(cfg: &WorkloadConfig) {
+    use asterix_adm::Value;
+    let w = Workloads::amazon_only(cfg.clone());
+    w.build_indexes();
+    // Flush so the profiled queries read disk components through the
+    // buffer cache; otherwise the cache/LSM sections stay empty.
+    w.db.flush("AmazonReview").unwrap();
+
+    let profiled = QueryOptions {
+        profile: true,
+        ..QueryOptions::default()
+    };
+    let jac_probe = w
+        .search_values("AmazonReview", "summary", 1, 3, 3, 66)
+        .pop()
+        .unwrap_or_else(|| "great product value".into());
+    let ed_probe = w
+        .search_values("AmazonReview", "reviewerName", 1, 1, 3, 67)
+        .pop()
+        .unwrap_or_else(|| "maria".into());
+    let specs: Vec<(&str, String)> = vec![
+        ("jac-sel-0.5-index", jaccard_sel_query(&jac_probe, 0.5)),
+        ("jac-sel-0.8-index", jaccard_sel_query(&jac_probe, 0.8)),
+        ("ed-sel-1-index", ed_sel_query(&ed_probe, 1)),
+        ("jac-join-0.8-index", jaccard_join_query(50, 0.8)),
+    ];
+    let mut entries = Vec::new();
+    let mut rows = Vec::new();
+    for (name, q) in &specs {
+        let r = w.db.query_with(q, &profiled).unwrap();
+        let p = r.profile.as_ref().expect("profile was requested");
+        rows.push(vec![
+            name.to_string(),
+            r.count().unwrap_or(0).to_string(),
+            format!(
+                "{} / {}",
+                p.index_search.toccurrence_candidates, p.index_search.post_verification_survivors
+            ),
+            format!("{:.1}%", p.cache.hit_ratio() * 100.0),
+            fmt_duration(p.execution_time),
+        ]);
+        entries.push(Value::record(vec![
+            ("name".to_string(), Value::from(*name)),
+            ("query".to_string(), Value::from(q.as_str())),
+            ("result_count".to_string(), Value::Int64(r.count().unwrap_or(0))),
+            ("profile".to_string(), p.to_json()),
+        ]));
+    }
+    let doc = Value::record(vec![
+        ("partitions".to_string(), Value::Int64(cfg.partitions as i64)),
+        (
+            "amazon_records".to_string(),
+            Value::Int64(cfg.amazon_records as i64),
+        ),
+        ("queries".to_string(), Value::OrderedList(entries)),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_profile.json", &json).unwrap();
+    print_table(
+        "Per-query profiles (full detail in BENCH_profile.json)",
+        &[
+            "Query",
+            "Results",
+            "Candidates / verified",
+            "Cache hit ratio",
+            "Execution",
+        ],
+        &rows,
+    );
+    println!("wrote BENCH_profile.json ({} bytes)", json.len());
 }
 
 /// Table 2: configuration parameters.

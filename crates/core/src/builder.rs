@@ -285,11 +285,27 @@ impl PreparedQuery {
         };
         let compile_time = compile_started.elapsed();
         let exec_started = std::time::Instant::now();
+        let counters = options
+            .profile
+            .then(asterix_storage::QueryCounters::handle);
         let job_options = JobOptions {
             timeout: options.timeout,
+            counters: counters.clone(),
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;
+        let execution_time = exec_started.elapsed();
+        let profile = counters.map(|c| {
+            crate::QueryProfile::build(
+                &job,
+                &stats,
+                c.snapshot(),
+                db.lsm_totals(),
+                plan.rewrites.clone(),
+                compile_time,
+                execution_time,
+            )
+        });
         Ok(QueryResult {
             rows: tuples
                 .into_iter()
@@ -298,7 +314,8 @@ impl PreparedQuery {
             stats,
             plan,
             compile_time,
-            execution_time: exec_started.elapsed(),
+            execution_time,
+            profile,
         })
     }
 }

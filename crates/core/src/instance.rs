@@ -9,7 +9,7 @@ use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen}
 use asterix_aql::{parse_query, translate, Bindings};
 use asterix_hyracks::{run_job_with, ClusterContext, JobOptions};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
-use asterix_storage::{BufferCache, CacheStats, Disk, PartitionStore};
+use asterix_storage::{BufferCache, CacheStats, Disk, PartitionStore, QueryCounters};
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -352,8 +352,24 @@ impl Instance {
             let s = c.stats();
             total.hits += s.hits;
             total.misses += s.misses;
+            total.evictions += s.evictions;
         }
         total
+    }
+
+    /// Instance-lifetime (flushes, merges) summed over every LSM tree of
+    /// every partition store.
+    pub fn lsm_totals(&self) -> (u64, u64) {
+        let (mut flushes, mut merges) = (0u64, 0u64);
+        for pset in &self.ctx.partitions {
+            let set = pset.read();
+            for store in set.stores() {
+                let (f, m) = store.lsm_counters();
+                flushes += f;
+                merges += m;
+            }
+        }
+        (flushes, merges)
     }
 
     /// The buffer cache of one partition. Fault-injection tests reach the
@@ -412,12 +428,25 @@ impl Instance {
         let compile_time = compile_started.elapsed();
 
         let exec_started = Instant::now();
+        let counters = options.profile.then(QueryCounters::handle);
         let job_options = JobOptions {
             timeout: options.timeout,
+            counters: counters.clone(),
         };
         let (tuples, stats) =
             run_job_with(&job, &self.ctx, &job_options).map_err(CoreError::from)?;
         let execution_time = exec_started.elapsed();
+        let profile = counters.map(|c| {
+            crate::QueryProfile::build(
+                &job,
+                &stats,
+                c.snapshot(),
+                self.lsm_totals(),
+                plan.rewrites.clone(),
+                compile_time,
+                execution_time,
+            )
+        });
         // Results are single-column (the translator projects the return
         // value).
         let rows: Vec<Value> = tuples
@@ -433,6 +462,7 @@ impl Instance {
             plan,
             compile_time,
             execution_time,
+            profile,
         })
     }
 
@@ -857,6 +887,7 @@ mod tests {
                         ..Default::default()
                     }),
                     timeout: None,
+                    profile: false,
                 },
             )
             .unwrap();

@@ -30,10 +30,12 @@ pub mod builder;
 pub mod config;
 pub mod error;
 pub mod instance;
+pub mod profile;
 pub mod result;
 
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
 pub use config::InstanceConfig;
 pub use error::CoreError;
 pub use instance::{IndexBuildStats, Instance};
+pub use profile::{CacheProfile, IndexSearchProfile, LsmProfile, OpProfile, QueryProfile};
 pub use result::{PlanInfo, QueryOptions, QueryResult};

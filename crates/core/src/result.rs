@@ -14,6 +14,10 @@ pub struct QueryOptions {
     /// operator partition cooperatively and the query returns
     /// [`crate::CoreError::Timeout`].
     pub timeout: Option<Duration>,
+    /// Collect a [`crate::QueryProfile`] for this query: per-operator
+    /// runtime stats plus storage counters (cache, index search, LSM)
+    /// attributed to this query alone, even under concurrency.
+    pub profile: bool,
 }
 
 /// Compile-time information about the chosen plan.
@@ -53,6 +57,8 @@ pub struct QueryResult {
     pub compile_time: Duration,
     /// Parallel execution wall time.
     pub execution_time: Duration,
+    /// Present when the query ran with [`QueryOptions::profile`] set.
+    pub profile: Option<crate::QueryProfile>,
 }
 
 impl QueryResult {

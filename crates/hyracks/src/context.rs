@@ -39,6 +39,10 @@ impl PartitionSet {
     pub fn dataset_names(&self) -> impl Iterator<Item = &str> {
         self.stores.keys().map(|s| s.as_str())
     }
+
+    pub fn stores(&self) -> impl Iterator<Item = &PartitionStore> {
+        self.stores.values()
+    }
 }
 
 /// The whole simulated cluster, shared read-only during query execution.

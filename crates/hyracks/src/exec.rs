@@ -13,6 +13,7 @@ use crate::error::{panic_message, CancelToken, ExecError, OpError};
 use crate::job::{JobSpec, OpId};
 use crate::ops::{run_operator, Out, Router};
 use crate::tuple::{Frame, Tuple};
+use asterix_storage::QueryCounters;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -31,6 +32,11 @@ pub struct JobOptions {
     /// Wall-clock budget for the whole job; exceeded ⇒
     /// [`ExecError::Timeout`]. `None` = no deadline.
     pub timeout: Option<Duration>,
+    /// Per-query storage counters: when set, the executor scopes this
+    /// handle onto every operator thread so all storage-layer events
+    /// (cache hits/misses, index probes, …) are attributed to this job
+    /// even while other jobs run concurrently.
+    pub counters: Option<Arc<QueryCounters>>,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
@@ -48,6 +54,13 @@ pub struct OpStats {
     /// speed-up experiments when the host cannot run partitions on
     /// separate cores.
     pub max_partition_input: u64,
+    /// Frames sent downstream across all partitions (a frame is one
+    /// channel send of up to `FRAME_CAPACITY` tuples).
+    pub frames_emitted: u64,
+    /// Heap bytes of the values sent downstream across all partitions.
+    pub bytes_emitted: u64,
+    /// Wall time of every partition instance, as (partition, time).
+    pub partition_times: Vec<(usize, Duration)>,
 }
 
 /// Statistics for a whole job run.
@@ -206,7 +219,12 @@ pub fn run_job_with(
                 let sink_tuples = &sink_tuples;
                 let cancel = &cancel;
                 let op_id = *op_id;
+                let counters = options.counters.clone();
                 scope.spawn(move || {
+                    // Attribute every storage event on this thread to the
+                    // owning query (concurrent jobs each scope their own
+                    // handle, so their stats stay independent).
+                    let _counter_scope = counters.as_ref().map(|c| c.enter());
                     let t0 = Instant::now();
                     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_operator(
@@ -235,17 +253,20 @@ pub fn run_job_with(
                         }),
                     };
                     match outcome {
-                        Ok((input_tuples, output_tuples)) => {
+                        Ok((input_tuples, out_counts)) => {
                             let mut st = stats.lock();
                             let entry = st.entry(op_id).or_insert_with(|| OpStats {
                                 name: op.name(),
                                 ..OpStats::default()
                             });
                             entry.input_tuples += input_tuples;
-                            entry.output_tuples += output_tuples;
+                            entry.output_tuples += out_counts.tuples;
+                            entry.frames_emitted += out_counts.frames;
+                            entry.bytes_emitted += out_counts.bytes;
                             entry.max_partition_time = entry.max_partition_time.max(elapsed);
                             entry.max_partition_input =
                                 entry.max_partition_input.max(input_tuples);
+                            entry.partition_times.push((partition, elapsed));
                         }
                         Err(e) => report(e),
                     }
@@ -814,6 +835,7 @@ mod tests {
             &ctx,
             &JobOptions {
                 timeout: Some(Duration::from_millis(40)),
+                ..JobOptions::default()
             },
         )
         .unwrap_err();

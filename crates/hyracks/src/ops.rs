@@ -51,6 +51,8 @@ pub struct Router {
     buffers: Vec<Frame>,
     producer_partition: usize,
     cancel: Arc<CancelToken>,
+    frames_sent: u64,
+    bytes_sent: u64,
 }
 
 impl Router {
@@ -67,6 +69,8 @@ impl Router {
             buffers: (0..n).map(|_| Frame::new()).collect(),
             producer_partition,
             cancel,
+            frames_sent: 0,
+            bytes_sent: 0,
         }
     }
 
@@ -92,21 +96,39 @@ impl Router {
         let buf = &mut self.buffers[partition];
         buf.push(tuple);
         if buf.len() >= FRAME_CAPACITY {
-            let frame = std::mem::take(buf);
-            send_frame(&self.senders[partition], frame, &self.cancel)?;
+            self.send_buffered(partition)?;
         }
         Ok(())
+    }
+
+    /// Ship the buffered frame of one consumer partition, counting it.
+    fn send_buffered(&mut self, partition: usize) -> Result<(), ExecError> {
+        let frame = std::mem::take(&mut self.buffers[partition]);
+        self.frames_sent += 1;
+        self.bytes_sent += frame
+            .iter()
+            .map(|t| t.iter().map(|v| v.heap_size() as u64).sum::<u64>())
+            .sum::<u64>();
+        send_frame(&self.senders[partition], frame, &self.cancel)
     }
 
     fn flush(&mut self) -> Result<(), ExecError> {
         for p in 0..self.senders.len() {
             if !self.buffers[p].is_empty() {
-                let frame = std::mem::take(&mut self.buffers[p]);
-                send_frame(&self.senders[p], frame, &self.cancel)?;
+                self.send_buffered(p)?;
             }
         }
         Ok(())
     }
+}
+
+/// What one operator instance pushed downstream: tuples, frames (channel
+/// sends of up to [`FRAME_CAPACITY`] tuples), and their heap bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OutCounts {
+    pub tuples: u64,
+    pub frames: u64,
+    pub bytes: u64,
 }
 
 /// All outgoing edges of one operator instance.
@@ -131,11 +153,15 @@ impl Out {
         Ok(())
     }
 
-    pub fn finish(mut self) -> Result<u64, ExecError> {
+    pub fn finish(mut self) -> Result<OutCounts, ExecError> {
         for r in &mut self.routers {
             r.flush()?;
         }
-        Ok(self.produced)
+        Ok(OutCounts {
+            tuples: self.produced,
+            frames: self.routers.iter().map(|r| r.frames_sent).sum(),
+            bytes: self.routers.iter().map(|r| r.bytes_sent).sum(),
+        })
         // Senders drop here, signalling end-of-stream downstream.
     }
 }
@@ -270,7 +296,7 @@ impl AggState {
     }
 }
 
-/// Run one operator instance. Returns (input tuples, output tuples).
+/// Run one operator instance. Returns (input tuples, output counts).
 pub fn run_operator(
     op: &PhysicalOp,
     partition: usize,
@@ -279,7 +305,7 @@ pub fn run_operator(
     ctx: &ClusterContext,
     cancel: &CancelToken,
     sink: &Mutex<Vec<Tuple>>,
-) -> Result<(u64, u64), OpError> {
+) -> Result<(u64, OutCounts), OpError> {
     let reg = &ctx.registry;
     let mut consumed: u64 = 0;
     match op {
@@ -590,7 +616,15 @@ pub fn run_operator(
             consumed = collected.len() as u64;
             sink.lock().extend(collected);
             out.finish()?;
-            Ok((consumed, consumed))
+            // The sink "emits" its rows to the client, not to a channel.
+            Ok((
+                consumed,
+                OutCounts {
+                    tuples: consumed,
+                    frames: 0,
+                    bytes: 0,
+                },
+            ))
         }
     }
 }
@@ -611,7 +645,7 @@ fn run_hash_join(
     mut out: Out,
     cancel: &CancelToken,
     consumed: &mut u64,
-) -> Result<(u64, u64), OpError> {
+) -> Result<(u64, OutCounts), OpError> {
     // Build on input 0.
     let mut table: HashMap<u64, Vec<Tuple>> = HashMap::new();
     for t in recv_tuples(&inputs[0], cancel) {

@@ -34,7 +34,8 @@ pub use prefix::{prefix_len_jaccard, subset_collection};
 pub use registry::{FunctionRegistry, SimilarityMeasure};
 pub use string_extra::{hamming_distance, jaro, jaro_winkler, overlap_coefficient};
 pub use toccurrence::{
-    edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip, t_occurrence_heap,
-    t_occurrence_scan_count,
+    edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip,
+    t_occurrence_divide_skip_with_stats, t_occurrence_heap, t_occurrence_scan_count,
+    DivideSkipStats,
 };
 pub use tokenize::{gram_tokens, word_tokens};

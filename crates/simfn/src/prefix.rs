@@ -12,17 +12,19 @@ use std::hash::Hash;
 
 /// Length of the prefix that must be indexed/probed for Jaccard threshold
 /// `delta` on a (deduplicated) token set of size `len`:
-/// `len - ceil(delta * len) + 1`.
+/// `min(len, len - ceil(delta * len) + 1)`.
 ///
 /// Any two sets r, s with `J(r,s) >= delta` must share at least one token
 /// within their first `prefix_len_jaccard(|·|, delta)` tokens under a common
-/// global order.
+/// global order. The result is clamped to `len` — for `delta <= 1/len` the
+/// raw formula yields `len + 1`, an out-of-range prefix length (the whole
+/// set already is the prefix).
 pub fn prefix_len_jaccard(len: usize, delta: f64) -> usize {
     if len == 0 {
         return 0;
     }
     let required = (delta * len as f64 - 1e-9).ceil().max(0.0) as usize;
-    len - required.min(len) + 1
+    (len - required.min(len) + 1).min(len)
 }
 
 /// AQL's `subset-collection(list, start, count)` — the contiguous slice
@@ -114,8 +116,9 @@ mod tests {
         assert_eq!(prefix_len_jaccard(4, 0.5), 3);
         assert_eq!(prefix_len_jaccard(10, 0.8), 3);
         assert_eq!(prefix_len_jaccard(0, 0.5), 0);
-        assert_eq!(prefix_len_jaccard(5, 0.0), 6); // delta 0: whole set + 1 clamps later
+        assert_eq!(prefix_len_jaccard(5, 0.0), 5); // delta 0: whole set, clamped in range
         assert_eq!(prefix_len_jaccard(1, 1.0), 1);
+        assert_eq!(prefix_len_jaccard(1, 0.0), 1);
     }
 
     #[test]
@@ -171,7 +174,8 @@ mod tests {
                 prop_assert_eq!(p, 0);
             } else {
                 prop_assert!(p >= 1);
-                prop_assert!(p <= len + 1 - ((delta * len as f64).ceil() as usize).min(len));
+                prop_assert!(p <= len, "prefix length must be a valid in-range length");
+                prop_assert!(p <= (len + 1 - ((delta * len as f64).ceil() as usize).min(len)).min(len));
             }
         }
     }

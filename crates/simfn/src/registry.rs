@@ -206,6 +206,31 @@ impl FunctionRegistry {
             };
             Ok(Value::Boolean(ok))
         });
+        r.register("jaccard-can-use-index", |args| {
+            // True iff an inverted-index search for this key has at least
+            // one token to probe (non-corner case). J(∅, ∅) = 1, so
+            // empty-token keys must take the scan/NL path or they would
+            // silently miss empty-token records. `n` is the index gram
+            // length, 0 for a keyword index — mirrors the index-side
+            // tokenization exactly.
+            expect_arity(args, 2, "jaccard-can-use-index")?;
+            let n = int_arg(&args[1], "jaccard-can-use-index")?.max(0) as usize;
+            let has_tokens = match &args[0] {
+                Value::String(s) => {
+                    if n == 0 {
+                        !crate::tokenize::word_tokens(s).is_empty()
+                    } else {
+                        !crate::tokenize::gram_tokens(s, n).is_empty()
+                    }
+                }
+                // A keyword index on a list field uses the list elements.
+                Value::OrderedList(items) | Value::UnorderedList(items) => {
+                    n == 0 && !items.is_empty()
+                }
+                _ => false,
+            };
+            Ok(Value::Boolean(has_tokens))
+        });
         r.register("hamming-distance", |args| {
             expect_arity(args, 2, "hamming-distance")?;
             match (&args[0], &args[1]) {

@@ -11,13 +11,15 @@
 //!   must share `T = ceil(δ·|q|)` tokens (since `|r ∪ q| >= |q|`). Jaccard
 //!   has no corner case for `δ > 0` (§5.1.1).
 //!
-//! Two merge algorithms are provided; both are exercised by the `tocc`
+//! Three merge algorithms are provided; all are exercised by the `tocc`
 //! ablation bench:
 //!
 //! * [`t_occurrence_scan_count`] — ScanCount: one hash-count pass over all
 //!   lists,
 //! * [`t_occurrence_heap`] — a k-way heap merge over sorted lists that
-//!   skips allocation of the count table and exploits sortedness.
+//!   skips allocation of the count table and exploits sortedness,
+//! * [`t_occurrence_divide_skip`] — DivideSkip ([20]): skips the longest
+//!   lists during the merge and verifies survivors by binary search.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -29,9 +31,15 @@ pub fn edit_distance_t_bound(num_grams: usize, k: u32, n: usize) -> i64 {
     num_grams as i64 - (k as i64) * (n as i64)
 }
 
-/// `T = ceil(δ·|q|)` for Jaccard queries, at least 1 for `δ > 0`.
+/// `T = ceil(δ·|q|)` for Jaccard queries, at least 1 for `δ > 0` and a
+/// non-empty token set.
+///
+/// An *empty* query token set is a corner case (returns 0): `J(∅, ∅) = 1`,
+/// so records with empty token sets still match any `δ <= 1`, yet there are
+/// no query tokens to probe the inverted index with — the plan must fall
+/// back to a scan, exactly like the edit-distance `T <= 0` corner case.
 pub fn jaccard_t_bound(num_tokens: usize, delta: f64) -> i64 {
-    if delta <= 0.0 {
+    if delta <= 0.0 || num_tokens == 0 {
         return 0;
     }
     ((delta * num_tokens as f64 - 1e-9).ceil() as i64).max(1)
@@ -46,7 +54,7 @@ pub fn jaccard_t_bound(num_tokens: usize, delta: f64) -> i64 {
 /// the paper's index plans sort primary keys before the primary-index
 /// search (§4.1.1). Use [`t_occurrence_heap`] when sorted output is
 /// needed directly.
-pub fn t_occurrence_scan_count<I: Eq + Hash + Clone + Ord>(lists: &[&[I]], t: usize) -> Vec<I> {
+pub fn t_occurrence_scan_count<I: Eq + Hash + Clone>(lists: &[&[I]], t: usize) -> Vec<I> {
     assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
     let mut counts: HashMap<&I, usize> = HashMap::new();
     let mut order: Vec<&I> = Vec::new();
@@ -109,34 +117,102 @@ fn advance<'a, I: Ord>(
     }
 }
 
+/// Work counters reported by [`t_occurrence_divide_skip_with_stats`]:
+/// how many lists were set aside as "long" and how many binary-search
+/// probes into them the merge performed. The probe count is the metric the
+/// DivideSkip heuristic minimises on skewed data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DivideSkipStats {
+    /// Number of long lists set aside (the heuristic's `L`).
+    pub long_lists: usize,
+    /// Total binary-search probes issued against long lists.
+    pub long_list_probes: u64,
+    /// Total elements read from the short lists during the count pass.
+    pub short_list_elements: u64,
+}
+
+/// The [20] heuristic's μ: the cost ratio between one binary-search probe
+/// and reading one short-list element. Li, Lu & Lu treat μ as a
+/// machine-dependent constant tuned per engine; this value keeps the
+/// reduced threshold `t - L` comfortably above 1 on skewed lists, which is
+/// where the probe savings come from.
+const DIVIDE_SKIP_MU: f64 = 0.05;
+
+/// Lists whose longest member is below this length gain nothing from
+/// skipping, so the simple `L = t - 1` rule is used instead of the [20]
+/// formula (which degenerates towards `L ≈ t` for small `ln M`).
+const DIVIDE_SKIP_TINY_M: usize = 64;
+
+/// Choose how many long lists DivideSkip sets aside: the paper's [20]
+/// heuristic `L = T / (μ·ln(M) + 1)` where `M` is the longest list length,
+/// falling back to the simple `L = t - 1` rule for tiny inputs. `L` is
+/// always capped at `t - 1` (so the reduced threshold stays >= 1) and at
+/// `lists - 1` (at least one short list must remain).
+fn divide_skip_choose_l(t: usize, num_lists: usize, max_len: usize) -> usize {
+    let cap = (t - 1).min(num_lists.saturating_sub(1));
+    if max_len < DIVIDE_SKIP_TINY_M {
+        return cap;
+    }
+    let l = (t as f64 / (DIVIDE_SKIP_MU * (max_len as f64).ln() + 1.0)) as usize;
+    l.min(cap)
+}
+
 /// DivideSkip (Li, Lu, Lu — "Efficient Merging and Filtering Algorithms
 /// for Approximate String Searches", the paper's [20]): split the inverted
-/// lists into the `L` longest lists and the rest; heap-merge only the
-/// short lists with a reduced threshold `t - L`, then verify each
+/// lists into the `L` longest lists and the rest; count-merge only the
+/// short lists with the reduced threshold `t - L`, then verify each
 /// survivor against the long lists with binary searches. Skipping the
 /// long, frequent-token lists is what makes merges on skewed (Zipfian)
 /// data fast.
 ///
+/// `L` is chosen by the [20] heuristic `L = T / (μ·ln(M) + 1)` (`M` = the
+/// longest list length, `μ` = [`DIVIDE_SKIP_MU`]); for tiny inputs
+/// (`M <` [`DIVIDE_SKIP_TINY_M`]) the simple `L = t - 1` rule is used.
+/// A smaller `L` keeps the reduced threshold `t - L` high, so far fewer
+/// short-list survivors reach the binary-probe phase.
+///
 /// Requires sorted lists. `t >= 1`.
 pub fn t_occurrence_divide_skip<I: Ord + Clone + Hash>(lists: &[&[I]], t: usize) -> Vec<I> {
+    t_occurrence_divide_skip_with_stats(lists, t).0
+}
+
+/// [`t_occurrence_divide_skip`] plus [`DivideSkipStats`] work counters,
+/// used by the probe-count regression tests and the query profile.
+pub fn t_occurrence_divide_skip_with_stats<I: Ord + Clone + Hash>(
+    lists: &[&[I]],
+    t: usize,
+) -> (Vec<I>, DivideSkipStats) {
     assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
     if lists.is_empty() {
-        return Vec::new();
+        return (Vec::new(), DivideSkipStats::default());
     }
-    // Choose how many long lists to set aside: the classic heuristic is
-    // L = t / (μ·log(max_len) + 1); a simple, robust variant is
-    // L = t - 1 capped by the list count (any id must appear on at least
-    // one short list when t - L >= 1).
+    let max_len = lists.iter().map(|l| l.len()).max().unwrap_or(0);
+    let l = divide_skip_choose_l(t, lists.len(), max_len);
+    divide_skip_with_l(lists, t, l)
+}
+
+/// DivideSkip with an explicit number of long lists `l` — the engine the
+/// public entry points share; also exercised directly by the regression
+/// test comparing the [20] heuristic against the old `L = t - 1` rule.
+fn divide_skip_with_l<I: Ord + Clone + Hash>(
+    lists: &[&[I]],
+    t: usize,
+    l: usize,
+) -> (Vec<I>, DivideSkipStats) {
     let mut order: Vec<usize> = (0..lists.len()).collect();
     order.sort_by_key(|i| std::cmp::Reverse(lists[*i].len()));
-    let l = (t - 1).min(lists.len().saturating_sub(1));
     let (long_idx, short_idx) = order.split_at(l);
     let short: Vec<&[I]> = short_idx.iter().map(|i| lists[*i]).collect();
     let reduced_t = t - l;
+    let mut stats = DivideSkipStats {
+        long_lists: l,
+        ..DivideSkipStats::default()
+    };
     // Merge the short lists with the reduced threshold, keeping counts.
     let mut counts: HashMap<&I, usize> = HashMap::new();
     let mut encounter: Vec<&I> = Vec::new();
     for list in &short {
+        stats.short_list_elements += list.len() as u64;
         for id in *list {
             let c = counts.entry(id).or_insert(0);
             if *c == 0 {
@@ -151,8 +227,13 @@ pub fn t_occurrence_divide_skip<I: Ord + Clone + Hash>(lists: &[&[I]], t: usize)
         if c < reduced_t {
             continue;
         }
-        // Probe the long lists by binary search.
-        for li in long_idx {
+        // Probe the long lists by binary search; stop as soon as even
+        // matching every remaining long list cannot reach t.
+        for (probed, li) in long_idx.iter().enumerate() {
+            if c + (long_idx.len() - probed) < t {
+                break;
+            }
+            stats.long_list_probes += 1;
             if lists[*li].binary_search(id).is_ok() {
                 c += 1;
             }
@@ -161,7 +242,7 @@ pub fn t_occurrence_divide_skip<I: Ord + Clone + Hash>(lists: &[&[I]], t: usize)
             out.push(id.clone());
         }
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -196,6 +277,10 @@ mod tests {
         assert_eq!(jaccard_t_bound(10, 0.2), 2);
         assert_eq!(jaccard_t_bound(1, 0.1), 1); // at least one shared token
         assert_eq!(jaccard_t_bound(5, 0.0), 0);
+        // Empty token set: J(∅, ∅) = 1 means empty-token records still
+        // match, but there is nothing to probe — corner case, scan plan.
+        assert_eq!(jaccard_t_bound(0, 0.5), 0);
+        assert_eq!(jaccard_t_bound(0, 1.0), 0);
     }
 
     #[test]
@@ -247,6 +332,70 @@ mod tests {
         let mut a = t_occurrence_divide_skip(&lists, 3);
         a.sort();
         assert_eq!(a, vec![5, 9_999]);
+    }
+
+    #[test]
+    fn choose_l_caps_and_fallback() {
+        // Tiny inputs: simple rule L = t - 1 (capped by list count).
+        assert_eq!(divide_skip_choose_l(3, 5, 10), 2);
+        assert_eq!(divide_skip_choose_l(5, 3, 10), 2);
+        assert_eq!(divide_skip_choose_l(1, 4, 10), 0);
+        // Large M: the [20] formula picks L < t - 1.
+        let l = divide_skip_choose_l(8, 12, 50_000);
+        assert!(l < 7, "heuristic should set aside fewer long lists, got {l}");
+        assert!(l >= 1);
+        // Never exceeds the caps regardless of M.
+        for t in 1..20 {
+            for n in 1..20 {
+                let l = divide_skip_choose_l(t, n, 1_000_000);
+                assert!(l < t && l < n || l == 0);
+            }
+        }
+    }
+
+    /// The regression test for the `L = t - 1` bug: on Zipfian lists the
+    /// old rule reduces the short-list threshold to 1, so nearly every id
+    /// on any short list is binary-probed against many long lists. The
+    /// [20] heuristic `L = T / (μ·ln(M) + 1)` keeps the reduced threshold
+    /// high and must issue strictly fewer long-list probes while returning
+    /// the same answer.
+    #[test]
+    fn divide_skip_heuristic_fewer_probes_on_zipfian() {
+        // Zipf-shaped inverted lists: list i holds the multiples of i, so
+        // list lengths fall off as N/i (a frequent token's list is long).
+        const N: i64 = 50_000;
+        let lists_owned: Vec<Vec<i64>> =
+            (1..=12i64).map(|i| (0..N).step_by(i as usize).collect()).collect();
+        let lists: Vec<&[i64]> = lists_owned.iter().map(|v| v.as_slice()).collect();
+        let t = 8;
+
+        let (heur_out, heur_stats) = t_occurrence_divide_skip_with_stats(&lists, t);
+        let old_l = (t - 1).min(lists.len() - 1);
+        let (old_out, old_stats) = divide_skip_with_l(&lists, t, old_l);
+
+        // Same answer as the reference heap merge.
+        let expected = t_occurrence_heap(&lists, t);
+        let mut h = heur_out;
+        h.sort();
+        let mut o = old_out;
+        o.sort();
+        assert_eq!(h, expected);
+        assert_eq!(o, expected);
+        assert!(!expected.is_empty(), "test needs a non-trivial answer");
+
+        // The heuristic sets aside fewer long lists and probes them less.
+        assert!(
+            heur_stats.long_lists < old_stats.long_lists,
+            "heuristic L {} should be below the old rule's {}",
+            heur_stats.long_lists,
+            old_stats.long_lists
+        );
+        assert!(
+            heur_stats.long_list_probes * 2 < old_stats.long_list_probes,
+            "expected at least 2x fewer probes: heuristic {} vs old {}",
+            heur_stats.long_list_probes,
+            old_stats.long_list_probes
+        );
     }
 
     proptest! {

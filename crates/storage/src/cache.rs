@@ -17,6 +17,8 @@ use std::sync::Arc;
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Pages removed under capacity pressure (byte and decoded maps).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -96,6 +98,7 @@ impl BufferCache {
                 // Count as a byte-cache hit too: the bytes are resident by
                 // construction and the paper's metric is page-cache hits.
                 self.inner.lock().stats.hits += 1;
+                crate::profile::add(|q| &q.cache_hits, 1);
                 return Ok(Some(page.clone()));
             }
         }
@@ -116,6 +119,8 @@ impl BufferCache {
                 .map(|(k, _)| *k)
             {
                 d.map.remove(&victim);
+                self.inner.lock().stats.evictions += 1;
+                crate::profile::add(|q| &q.cache_evictions, 1);
             }
         }
         d.map.insert((file, page_no), (decoded.clone(), clock));
@@ -142,9 +147,11 @@ impl BufferCache {
             };
             if let Some(bytes) = hit {
                 inner.stats.hits += 1;
+                crate::profile::add(|q| &q.cache_hits, 1);
                 return Ok(Some(bytes));
             }
             inner.stats.misses += 1;
+            crate::profile::add(|q| &q.cache_misses, 1);
         }
         // Miss path: read outside the lock, then insert.
         let Some(bytes) = self.disk.read(file, page_no)? else {
@@ -161,6 +168,8 @@ impl BufferCache {
                 .map(|(k, _)| *k)
             {
                 inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+                crate::profile::add(|q| &q.cache_evictions, 1);
             }
         }
         inner.map.insert((file, page_no), (bytes.clone(), clock));
@@ -262,5 +271,22 @@ mod tests {
     fn missing_page_is_none() {
         let (_d, cache, f) = setup(4);
         assert!(cache.get(f, 99).unwrap().is_none());
+    }
+
+    #[test]
+    fn evictions_are_counted_globally_and_per_query() {
+        let (_d, cache, f) = setup(2);
+        let q = crate::profile::QueryCounters::handle();
+        let _scope = q.enter();
+        cache.get(f, 0).unwrap();
+        cache.get(f, 1).unwrap();
+        cache.get(f, 2).unwrap(); // evicts one page
+        cache.get(f, 3).unwrap(); // evicts another
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        let p = q.snapshot();
+        assert_eq!(p.cache_misses, 4);
+        assert_eq!(p.cache_hits, 0);
+        assert_eq!(p.cache_evictions, 2);
     }
 }

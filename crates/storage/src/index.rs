@@ -48,6 +48,7 @@ impl PrimaryIndex {
 
     /// Point lookup, decoding the record.
     pub fn get(&self, pk: &Value) -> Result<Option<Value>, IoError> {
+        crate::profile::add(|q| &q.primary_lookups, 1);
         Ok(self
             .tree
             .get(pk)?
@@ -91,6 +92,11 @@ impl PrimaryIndex {
                 .into_iter()
                 .map(|(pk, rec)| (pk, binary::to_bytes(&rec))),
         )
+    }
+
+    /// Lifetime (flushes, merges) of the underlying LSM tree.
+    pub fn lsm_counters(&self) -> (u64, u64) {
+        (self.tree.num_flushes(), self.tree.num_merges())
     }
 }
 
@@ -160,6 +166,11 @@ impl SecondaryBTreeIndex {
 
     pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
+    }
+
+    /// Lifetime (flushes, merges) of the underlying LSM tree.
+    pub fn lsm_counters(&self) -> (u64, u64) {
+        (self.tree.num_flushes(), self.tree.num_merges())
     }
 }
 
@@ -243,6 +254,7 @@ impl InvertedIndex {
                 _ => break,
             }
         }
+        crate::profile::add(|q| &q.inverted_elements_read, out.len() as u64);
         Ok(out)
     }
 
@@ -255,7 +267,9 @@ impl InvertedIndex {
             .map(|tok| self.postings(tok))
             .collect::<Result<_, _>>()?;
         let refs: Vec<&[Value]> = lists.iter().map(|l| l.as_slice()).collect();
-        Ok(asterix_simfn::t_occurrence_scan_count(&refs, t))
+        let candidates = asterix_simfn::t_occurrence_scan_count(&refs, t);
+        crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
+        Ok(candidates)
     }
 
     pub fn size_bytes(&self) -> u64 {
@@ -268,6 +282,11 @@ impl InvertedIndex {
 
     pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
+    }
+
+    /// Lifetime (flushes, merges) of the underlying LSM tree.
+    pub fn lsm_counters(&self) -> (u64, u64) {
+        (self.tree.num_flushes(), self.tree.num_merges())
     }
 }
 

@@ -32,6 +32,7 @@ pub mod fault;
 pub mod index;
 pub mod lsm;
 pub mod partition;
+pub mod profile;
 
 pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
@@ -40,6 +41,7 @@ pub use fault::{FaultInjector, FaultRule, IoError, IoOp};
 pub use index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
 pub use lsm::LsmTree;
 pub use partition::PartitionStore;
+pub use profile::{CounterScope, QueryCounters, StorageProfile};
 
 /// Any error a [`PartitionStore`] operation can produce: a logical ADM
 /// error (bad key, unknown index, …) or a device-level I/O fault.

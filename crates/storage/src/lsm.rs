@@ -74,6 +74,7 @@ impl LsmTree {
             return Ok(e.bytes().cloned());
         }
         for comp in &self.disk_components {
+            crate::profile::add(|q| &q.lsm_components_searched, 1);
             if let Some(e) = comp.get(key, &self.cache)? {
                 return Ok(e.bytes().cloned());
             }

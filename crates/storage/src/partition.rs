@@ -60,6 +60,14 @@ impl SecondaryIndex {
             _ => None,
         }
     }
+
+    /// Lifetime (flushes, merges) of the underlying LSM tree.
+    pub fn lsm_counters(&self) -> (u64, u64) {
+        match self {
+            SecondaryIndex::BTree(i) => i.lsm_counters(),
+            SecondaryIndex::Inverted(i) => i.lsm_counters(),
+        }
+    }
 }
 
 /// One partition of one dataset: primary index + local secondary indexes.
@@ -222,6 +230,18 @@ impl PartitionStore {
             idx.flush()?;
         }
         Ok(())
+    }
+
+    /// Total (flushes, merges) across the primary and every secondary
+    /// index of this partition — instance-lifetime LSM activity.
+    pub fn lsm_counters(&self) -> (u64, u64) {
+        let (mut flushes, mut merges) = self.primary.lsm_counters();
+        for idx in self.secondaries.values() {
+            let (f, m) = idx.lsm_counters();
+            flushes += f;
+            merges += m;
+        }
+        (flushes, merges)
     }
 
     /// (index name, size in bytes) for every index including the primary.

@@ -30,6 +30,7 @@ fn scan_only(timeout: Option<Duration>) -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout,
+        profile: false,
     }
 }
 

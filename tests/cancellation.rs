@@ -46,6 +46,7 @@ fn scan_only(timeout: Option<Duration>) -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout,
+        profile: false,
     }
 }
 

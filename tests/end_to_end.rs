@@ -27,6 +27,7 @@ fn no_index() -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout: None,
+        profile: false,
     }
 }
 

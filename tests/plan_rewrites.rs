@@ -91,6 +91,7 @@ fn fig15_operator_counts_nested_loop_vs_three_stage() {
                     ..OptimizerConfig::default()
                 }),
                 timeout: None,
+                profile: false,
             },
         )
         .unwrap();
@@ -125,6 +126,7 @@ fn fig19_surrogate_plan_keeps_top_level_hash_join() {
                     ..OptimizerConfig::default()
                 }),
                 timeout: None,
+                profile: false,
             },
         )
         .unwrap();

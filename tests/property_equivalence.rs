@@ -17,23 +17,28 @@ fn no_index() -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout: None,
+        profile: false,
     }
 }
 
 /// A tiny text corpus with heavy token overlap so similarity results are
-/// non-trivial.
+/// non-trivial. Zero-word summaries are generated on purpose: an
+/// empty-token record is invisible to the inverted index yet
+/// J(∅, ∅) = 1, the degenerate-key corner of §5.1.1.
 fn summary_strategy() -> impl Strategy<Value = String> {
     prop::collection::vec(
         prop::sample::select(vec![
             "great", "product", "value", "gift", "nice", "works", "fine", "bad",
         ]),
-        1..6,
+        0..6,
     )
     .prop_map(|words| words.join(" "))
 }
 
+/// Names include the empty string and strings shorter than the gram
+/// length (2), which tokenize to nothing / a single truncated gram.
 fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-d]{3,7}".prop_map(|s| s)
+    "[a-d]{0,7}".prop_map(|s| s)
 }
 
 fn build_db(rows: &[(String, String)], partitions: usize) -> Instance {
@@ -61,7 +66,7 @@ proptest! {
     fn jaccard_selection_equivalence(
         rows in prop::collection::vec((name_strategy(), summary_strategy()), 3..25),
         probe in summary_strategy(),
-        delta in prop::sample::select(vec![0.2f64, 0.5, 0.8, 1.0]),
+        delta in prop::sample::select(vec![0.0f64, 0.2, 0.5, 0.8, 1.0]),
     ) {
         let db = build_db(&rows, 2);
         let q = format!(
@@ -113,7 +118,7 @@ proptest! {
     #[test]
     fn join_strategy_equivalence(
         rows in prop::collection::vec((name_strategy(), summary_strategy()), 4..18),
-        delta in prop::sample::select(vec![0.5f64, 0.8]),
+        delta in prop::sample::select(vec![0.5f64, 0.8, 1.0]),
     ) {
         let db = build_db(&rows, 2);
         let q = format!(
@@ -143,6 +148,7 @@ proptest! {
                         ..OptimizerConfig::default()
                     }),
                     timeout: None,
+                    profile: false,
                 },
             )
             .unwrap();
@@ -156,6 +162,7 @@ proptest! {
                         ..OptimizerConfig::default()
                     }),
                     timeout: None,
+                    profile: false,
                 },
             )
             .unwrap();
@@ -167,7 +174,7 @@ proptest! {
     #[test]
     fn contains_selection_equivalence(
         rows in prop::collection::vec((name_strategy(), summary_strategy()), 3..20),
-        pattern in "[a-d]{1,4}",
+        pattern in "[a-d]{0,4}",
     ) {
         let db = build_db(&rows, 2);
         let q = format!(
@@ -183,5 +190,143 @@ proptest! {
             .map(|(i, _)| i as i64)
             .collect();
         prop_assert_eq!(with.ids(), expected);
+    }
+}
+
+/// Deterministic pins for the degenerate-key boundaries: empty strings,
+/// strings shorter than the gram length, δ ∈ {0, 1}, and k = 0. Each
+/// scenario compares the default (index-eligible) plan against the
+/// forced scan plan, and against a model computed with the similarity
+/// library — the cases where the inverted index alone would silently
+/// drop rows.
+mod degenerate_keys {
+    use super::*;
+
+    /// id 0: fully empty row; id 1: name shorter than the gram length,
+    /// empty summary; ids 2/3: ordinary rows with identical summaries.
+    fn db() -> Instance {
+        build_db(
+            &[
+                (String::new(), String::new()),
+                ("a".into(), String::new()),
+                ("abc".into(), "great product".into()),
+                ("abd".into(), "great product".into()),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn empty_probe_jaccard_selection() {
+        let db = db();
+        // J(∅, ∅) = 1: the empty-token rows 0 and 1 must match, and only
+        // they — the index cannot surface them, so the optimizer must
+        // keep the scan.
+        let q = "for $t in dataset D \
+                 where similarity-jaccard(word-tokens($t.summary), word-tokens('')) >= 0.5 \
+                 return $t.id";
+        let with = db.query(q).unwrap();
+        let without = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(with.ids(), vec![0, 1]);
+        assert_eq!(with.ids(), without.ids());
+    }
+
+    #[test]
+    fn delta_zero_jaccard_matches_everything() {
+        let db = db();
+        let q = "for $t in dataset D \
+                 where similarity-jaccard(word-tokens($t.summary), word-tokens('great')) >= 0.0 \
+                 return $t.id";
+        let with = db.query(q).unwrap();
+        let without = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(with.ids(), vec![0, 1, 2, 3]);
+        assert_eq!(with.ids(), without.ids());
+    }
+
+    #[test]
+    fn delta_one_jaccard_exact_token_set() {
+        let db = db();
+        let q = "for $t in dataset D \
+                 where similarity-jaccard(word-tokens($t.summary), word-tokens('product great')) >= 1.0 \
+                 return $t.id";
+        let with = db.query(q).unwrap();
+        let without = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(with.ids(), vec![2, 3]);
+        assert_eq!(with.ids(), without.ids());
+    }
+
+    #[test]
+    fn empty_probe_edit_distance_selection() {
+        let db = db();
+        // edit-distance(name, "") = len(name): k = 1 matches rows 0, 1.
+        let q = "for $t in dataset D where edit-distance($t.name, '') <= 1 return $t.id";
+        let with = db.query(q).unwrap();
+        let without = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(with.ids(), vec![0, 1]);
+        assert_eq!(with.ids(), without.ids());
+    }
+
+    #[test]
+    fn k_zero_edit_distance_is_exact_match() {
+        let db = db();
+        let q = "for $t in dataset D where edit-distance($t.name, 'abc') <= 0 return $t.id";
+        let with = db.query(q).unwrap();
+        let without = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(with.ids(), vec![2]);
+        assert_eq!(with.ids(), without.ids());
+    }
+
+    #[test]
+    fn short_and_empty_contains_patterns() {
+        let db = db();
+        for (pattern, expected) in [("", vec![0i64, 1, 2, 3]), ("a", vec![1, 2, 3])] {
+            let q =
+                format!("for $t in dataset D where contains($t.name, '{pattern}') return $t.id");
+            let with = db.query(&q).unwrap();
+            let without = db.query_with(&q, &no_index()).unwrap();
+            assert_eq!(with.ids(), expected, "pattern {pattern:?}");
+            assert_eq!(with.ids(), without.ids(), "pattern {pattern:?}");
+        }
+    }
+
+    /// Empty-token rows must survive every join strategy: the indexed
+    /// plan's corner union, the three-stage plan's corner branch, and
+    /// the plain nested-loop join all have to emit the (0, 1) pair that
+    /// only exists because J(∅, ∅) = 1.
+    #[test]
+    fn empty_token_rows_survive_all_join_strategies() {
+        let db = db();
+        let q = "for $a in dataset D for $b in dataset D \
+                 where similarity-jaccard(word-tokens($a.summary), word-tokens($b.summary)) >= 0.8 \
+                 and $a.id < $b.id return [ $a.id, $b.id ]";
+        let pairs = |r: &asterix_core::QueryResult| {
+            let mut v: Vec<(i64, i64)> = r
+                .rows
+                .iter()
+                .map(|x| {
+                    let l = x.as_list().unwrap();
+                    (l[0].as_i64().unwrap(), l[1].as_i64().unwrap())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let indexed = db.query(q).unwrap();
+        let three_stage = db
+            .query_with(
+                q,
+                &QueryOptions {
+                    optimizer: Some(OptimizerConfig {
+                        enable_index_join: false,
+                        ..OptimizerConfig::default()
+                    }),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+        let nl = db.query_with(q, &no_index()).unwrap();
+        assert_eq!(pairs(&nl), vec![(0, 1), (2, 3)]);
+        assert_eq!(pairs(&indexed), pairs(&nl));
+        assert_eq!(pairs(&three_stage), pairs(&nl));
     }
 }
