@@ -273,10 +273,15 @@ impl Gen {
                 index,
                 key_var,
                 measure,
+                pre_tokens,
                 ..
             } => {
                 let child = self.gen(&node.inputs[0])?;
                 let key_col = Self::positions(&[*key_var], in_schema(0))?[0];
+                // pre_tokens is deliberately excluded from the dedup
+                // fingerprint: identical (dataset, index, key column,
+                // measure) over identical inputs implies an identical
+                // constant, hence identical pre-computed tokens.
                 Ok(self.emit(
                     format!("ixsearch:{dataset}:{index}:{key_col}:{measure:?}"),
                     PhysicalOp::SecondaryIndexSearch {
@@ -284,6 +289,7 @@ impl Gen {
                         index: index.clone(),
                         key_col,
                         measure: measure.clone(),
+                        pre_tokens: pre_tokens.clone(),
                     },
                     // The probe stream is broadcast to every partition's
                     // local index (Figs 6 and 9).

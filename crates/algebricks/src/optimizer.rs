@@ -35,6 +35,10 @@ pub struct OptimizerConfig {
     pub enable_subplan_reuse: bool,
     /// Sort primary keys before primary-index lookups (§4.1.1).
     pub sort_pks: bool,
+    /// Tokenize constant search keys once at optimize time, so every
+    /// partition's index-search operator reuses the same token list
+    /// instead of re-tokenizing per probe.
+    pub pre_tokenize: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -47,6 +51,7 @@ impl Default for OptimizerConfig {
             enable_surrogate: false,
             enable_subplan_reuse: true,
             sort_pks: true,
+            pre_tokenize: true,
         }
     }
 }

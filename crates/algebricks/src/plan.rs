@@ -8,7 +8,7 @@
 //! meaning *variable* `i` — the job generator remaps variables to physical
 //! column positions at the end.
 
-use asterix_hyracks::{AggSpec, Expr, SearchMeasure, SortKey};
+use asterix_hyracks::{AggSpec, Expr, PreTokenized, SearchMeasure, SortKey};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -143,6 +143,10 @@ pub enum LogicalOp {
         key_var: VarId,
         measure: SearchMeasure,
         pk_var: VarId,
+        /// Tokens of the search key computed once at optimize time, when
+        /// the key is a query constant (selection plans). `None` for
+        /// runtime-varying keys (index-nested-loop join probes).
+        pre_tokens: Option<PreTokenized>,
     },
     /// Primary-index lookup of `pk_var`: appends the record as `rec_var`.
     PrimaryLookup {
@@ -317,8 +321,9 @@ pub fn explain(root: &PlanRef) -> String {
             LogicalOp::StreamPos { var } => format!("stream-pos ${var}"),
             LogicalOp::Limit { n } => format!("limit {n}"),
             LogicalOp::UnionAll { .. } => "union-all".into(),
-            LogicalOp::IndexSearch { dataset, index, key_var, measure, pk_var } => format!(
-                "index-search {dataset}.{index} key ${key_var} [{measure:?}] -> ${pk_var}"
+            LogicalOp::IndexSearch { dataset, index, key_var, measure, pk_var, pre_tokens } => format!(
+                "index-search {dataset}.{index} key ${key_var} [{measure:?}]{} -> ${pk_var}",
+                if pre_tokens.is_some() { " (pre-tokenized)" } else { "" }
             ),
             LogicalOp::PrimaryLookup { dataset, pk_var, rec_var } => {
                 format!("primary-lookup {dataset} pk ${pk_var} -> ${rec_var}")

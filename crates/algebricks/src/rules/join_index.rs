@@ -136,6 +136,9 @@ fn index_path(
             key_var,
             measure: m.measure.clone(),
             pk_var: m.inner_pk,
+            // Join probes vary per outer tuple; tokenization is memoized
+            // at runtime instead (the operator's probe-token LRU).
+            pre_tokens: None,
         },
         vec![keyed],
     );

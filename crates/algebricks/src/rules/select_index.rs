@@ -28,7 +28,7 @@ use crate::catalog::find_applicable_index;
 use crate::plan::{build, LogicalNode, LogicalOp, PlanRef};
 use crate::rules::{OptContext, RewriteRule};
 use asterix_adm::{IndexKind, Value};
-use asterix_hyracks::{CmpOp, Expr, SearchMeasure};
+use asterix_hyracks::{CmpOp, Expr, PreTokenized, SearchMeasure};
 
 pub struct IndexSelectionRule;
 
@@ -117,6 +117,17 @@ impl RewriteRule for IndexSelectionRule {
                     return None;
                 }
             }
+            // The probe is a query constant: tokenize it once here so the
+            // runtime never re-tokenizes it (every partition's search
+            // operator shares the same token list).
+            let pre_tokens = if ctx.config.pre_tokenize {
+                Some(PreTokenized {
+                    key: probe.clone(),
+                    tokens: asterix_storage::index_tokens(index.kind, &probe).into(),
+                })
+            } else {
+                None
+            };
             // Build the index plan.
             let ets = LogicalNode::new(LogicalOp::EmptyTupleSource, vec![]);
             let (keyed, key_var) = build::assign1(ets, ctx.vargen, Expr::Const(probe));
@@ -127,6 +138,7 @@ impl RewriteRule for IndexSelectionRule {
                     key_var,
                     measure,
                     pk_var: *pk_var,
+                    pre_tokens,
                 },
                 vec![keyed],
             );

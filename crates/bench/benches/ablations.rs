@@ -18,6 +18,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
         optimizer: Some(cfg),
         timeout: None,
         profile: false,
+        disable_hotpath: false,
     }
 }
 

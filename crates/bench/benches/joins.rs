@@ -13,6 +13,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
         optimizer: Some(cfg),
         timeout: None,
         profile: false,
+        disable_hotpath: false,
     }
 }
 

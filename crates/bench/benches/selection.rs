@@ -27,6 +27,7 @@ fn no_index() -> QueryOptions {
         }),
         timeout: None,
         profile: false,
+        disable_hotpath: false,
     }
 }
 

@@ -291,6 +291,7 @@ impl PreparedQuery {
         let job_options = JobOptions {
             timeout: options.timeout,
             counters: counters.clone(),
+            disable_hotpath: options.disable_hotpath,
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;

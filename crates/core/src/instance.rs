@@ -432,6 +432,7 @@ impl Instance {
         let job_options = JobOptions {
             timeout: options.timeout,
             counters: counters.clone(),
+            disable_hotpath: options.disable_hotpath,
         };
         let (tuples, stats) =
             run_job_with(&job, &self.ctx, &job_options).map_err(CoreError::from)?;
@@ -888,6 +889,7 @@ mod tests {
                     }),
                     timeout: None,
                     profile: false,
+                    disable_hotpath: false,
                 },
             )
             .unwrap();

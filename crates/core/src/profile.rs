@@ -77,8 +77,15 @@ impl CacheProfile {
 /// lookups → verified survivors (§4.1.1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IndexSearchProfile {
-    /// Elements read from inverted lists.
+    /// Elements read from inverted lists. Postings served from the
+    /// postings cache are *not* re-counted: this measures actual LSM
+    /// range-scan work.
     pub inverted_elements_read: u64,
+    /// Postings-list probes answered from the per-index postings cache.
+    pub postings_cache_hits: u64,
+    /// Postings-list probes that had to scan the LSM tree (and then
+    /// populated the cache).
+    pub postings_cache_misses: u64,
     /// Candidates emitted by T-occurrence searches (Table 6's column C).
     pub toccurrence_candidates: u64,
     /// Primary-index point lookups issued.
@@ -174,6 +181,8 @@ impl QueryProfile {
             },
             index_search: IndexSearchProfile {
                 inverted_elements_read: storage.inverted_elements_read,
+                postings_cache_hits: storage.postings_cache_hits,
+                postings_cache_misses: storage.postings_cache_misses,
                 toccurrence_candidates: storage.toccurrence_candidates,
                 primary_lookups: storage.primary_lookups,
                 post_verification_survivors: survivors,
@@ -248,6 +257,14 @@ impl QueryProfile {
                     (
                         "inverted_elements_read".into(),
                         Value::Int64(self.index_search.inverted_elements_read as i64),
+                    ),
+                    (
+                        "postings_cache_hits".into(),
+                        Value::Int64(self.index_search.postings_cache_hits as i64),
+                    ),
+                    (
+                        "postings_cache_misses".into(),
+                        Value::Int64(self.index_search.postings_cache_misses as i64),
                     ),
                     (
                         "toccurrence_candidates".into(),
@@ -342,6 +359,10 @@ impl QueryProfile {
             self.index_search.toccurrence_candidates,
             self.index_search.primary_lookups,
             self.index_search.post_verification_survivors,
+        ));
+        out.push_str(&format!(
+            "postings cache: {} hits, {} misses\n",
+            self.index_search.postings_cache_hits, self.index_search.postings_cache_misses,
         ));
         out.push_str(&format!(
             "lsm: {} components searched ({} flushes, {} merges lifetime)\n",

@@ -18,6 +18,11 @@ pub struct QueryOptions {
     /// runtime stats plus storage counters (cache, index search, LSM)
     /// attributed to this query alone, even under concurrency.
     pub profile: bool,
+    /// Run the executor with its hot-path optimizations (batched
+    /// primary-index lookups, probe-token memoization) disabled. Results
+    /// are identical either way; benchmarks flip this to measure the
+    /// optimizations against a true baseline.
+    pub disable_hotpath: bool,
 }
 
 /// Compile-time information about the chosen plan.

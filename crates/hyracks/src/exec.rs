@@ -37,6 +37,11 @@ pub struct JobOptions {
     /// (cache hits/misses, index probes, …) are attributed to this job
     /// even while other jobs run concurrently.
     pub counters: Option<Arc<QueryCounters>>,
+    /// Disable the batched primary-index lookup and probe-token
+    /// memoization hot paths, falling back to the per-tuple
+    /// implementations. Results are identical either way; this exists so
+    /// benchmarks can measure the optimizations against a true baseline.
+    pub disable_hotpath: bool,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
@@ -220,6 +225,7 @@ pub fn run_job_with(
                 let cancel = &cancel;
                 let op_id = *op_id;
                 let counters = options.counters.clone();
+                let disable_hotpath = options.disable_hotpath;
                 scope.spawn(move || {
                     // Attribute every storage event on this thread to the
                     // owning query (concurrent jobs each scope their own
@@ -235,6 +241,7 @@ pub fn run_job_with(
                             ctx,
                             cancel,
                             sink_tuples,
+                            disable_hotpath,
                         )
                     }));
                     let elapsed = t0.elapsed();
@@ -495,6 +502,7 @@ mod tests {
             index: "smix".into(),
             key_col: 0,
             measure: SearchMeasure::Jaccard { delta: 0.5 },
+            pre_tokens: None,
         });
         let sort = job.add(PhysicalOp::Sort { keys: vec![SortKey::asc(1)] });
         let lookup = job.add(PhysicalOp::PrimaryIndexLookup {
@@ -538,6 +546,7 @@ mod tests {
             index: "nix".into(),
             key_col: 0,
             measure: SearchMeasure::EditDistance { k: 1 },
+            pre_tokens: None,
         });
         let lookup = job.add(PhysicalOp::PrimaryIndexLookup {
             dataset: "ARevs".into(),

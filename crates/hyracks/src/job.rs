@@ -6,6 +6,7 @@ use crate::tuple::SortKey;
 use asterix_adm::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Operator identifier within a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,6 +69,19 @@ pub enum SearchMeasure {
     Contains,
 }
 
+/// A search key tokenized once at job-build time (§3.3's tokenizers run at
+/// compile time for query *constants*): when a probe tuple's key equals
+/// `key`, the search uses `tokens` instead of re-tokenizing per partition
+/// per tuple. Tokens are produced by `asterix_storage::index_tokens`, the
+/// same function the runtime fallback uses, so the two can never disagree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreTokenized {
+    /// The constant search key the tokens were derived from.
+    pub key: Value,
+    /// Its index tokens, shared without copying across partitions.
+    pub tokens: Arc<[Value]>,
+}
+
 /// How a [`PhysicalOp::FaultInject`] operator fails (test support for the
 /// fault-tolerance matrix: both paths must surface as typed errors).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -121,6 +135,9 @@ pub enum PhysicalOp {
         index: String,
         key_col: usize,
         measure: SearchMeasure,
+        /// Compile-time tokenization of a constant search key, when the
+        /// optimizer could prove the key constant (selection plans).
+        pre_tokens: Option<PreTokenized>,
     },
     /// Look up `pk_col` in the dataset's primary index; emits input ++
     /// [record] for found keys.

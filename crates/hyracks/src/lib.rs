@@ -40,5 +40,5 @@ pub use error::{CancelToken, ExecError};
 pub use exec::{run_job, run_job_with, JobOptions, JobStats, OpStats};
 pub use ops::OutCounts;
 pub use expr::{CmpOp, Expr};
-pub use job::{AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, SearchMeasure};
+pub use job::{AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, PreTokenized, SearchMeasure};
 pub use tuple::{SortKey, Tuple};

@@ -9,16 +9,23 @@
 use crate::context::ClusterContext;
 use crate::error::{CancelToken, ExecError, OpError};
 use crate::expr::sql_compare;
-use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, SearchMeasure};
+use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, PreTokenized, SearchMeasure};
 use crate::tuple::{compare_tuples, Frame, Tuple, FRAME_CAPACITY};
 use asterix_adm::{stable_hash_many, IndexKind, Value};
-use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound, tokenize};
+use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound};
 use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Distinct probe keys whose token lists one `SecondaryIndexSearch`
+/// instance memoizes. Index-nested-loop joins broadcast every outer tuple
+/// to every partition, so a modest working set of repeated keys covers
+/// most probes; the memo is per operator instance (per thread), so no
+/// locking is involved.
+const TOKEN_MEMO_CAPACITY: usize = 256;
 
 /// How long a blocked send/receive waits before re-checking the cancel
 /// token. Bounds how stale a cancellation can go unnoticed.
@@ -297,6 +304,10 @@ impl AggState {
 }
 
 /// Run one operator instance. Returns (input tuples, output counts).
+/// `disable_hotpath` switches the index-search/primary-lookup operators
+/// back to their per-tuple implementations (the bench harness's
+/// before/after toggle); results are identical either way.
+#[allow(clippy::too_many_arguments)]
 pub fn run_operator(
     op: &PhysicalOp,
     partition: usize,
@@ -305,6 +316,7 @@ pub fn run_operator(
     ctx: &ClusterContext,
     cancel: &CancelToken,
     sink: &Mutex<Vec<Tuple>>,
+    disable_hotpath: bool,
 ) -> Result<(u64, OutCounts), OpError> {
     let reg = &ctx.registry;
     let mut consumed: u64 = 0;
@@ -461,17 +473,22 @@ pub fn run_operator(
             index,
             key_col,
             measure,
+            pre_tokens,
         } => {
             let mut out = out;
             let set = ctx.partitions[partition].read();
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
+            let mut memo = TokenMemo::new(
+                pre_tokens.as_ref(),
+                if disable_hotpath { 0 } else { TOKEN_MEMO_CAPACITY },
+            );
             for t in recv_tuples(&inputs[0], cancel) {
                 let t = t?;
                 consumed += 1;
                 let key = &t[*key_col];
-                let candidates = index_candidates(store, index, key, measure)?;
+                let candidates = index_candidates(store, index, key, measure, &mut memo)?;
                 for pk in candidates {
                     let mut row = t.clone();
                     row.push(pk);
@@ -486,13 +503,52 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            for t in recv_tuples(&inputs[0], cancel) {
-                let t = t?;
-                consumed += 1;
-                if let Some(rec) = store.primary().get(&t[*pk_col])? {
-                    let mut row = t;
-                    row.push(rec);
-                    out.push(row)?;
+            if disable_hotpath {
+                // Per-tuple point lookups (the pre-batching behavior).
+                for t in recv_tuples(&inputs[0], cancel) {
+                    let t = t?;
+                    consumed += 1;
+                    if let Some(rec) = store.primary().get(&t[*pk_col])? {
+                        let mut row = t;
+                        row.push(rec);
+                        out.push(row)?;
+                    }
+                }
+                return Ok((consumed, out.finish()?));
+            }
+            // Drain a frame's worth of candidates, resolve their pks as
+            // one sorted deduped batch (one merged pass per LSM component,
+            // §4.1.1), then re-emit in input order.
+            let mut stream = recv_tuples(&inputs[0], cancel);
+            let mut batch: Vec<Tuple> = Vec::with_capacity(FRAME_CAPACITY);
+            loop {
+                let mut ended = true;
+                for t in stream.by_ref() {
+                    batch.push(t?);
+                    consumed += 1;
+                    if batch.len() >= FRAME_CAPACITY {
+                        ended = false;
+                        break;
+                    }
+                }
+                if !batch.is_empty() {
+                    let mut pks: Vec<Value> =
+                        batch.iter().map(|t| t[*pk_col].clone()).collect();
+                    pks.sort();
+                    pks.dedup();
+                    let records = store.primary().get_many_sorted(&pks)?;
+                    for mut t in batch.drain(..) {
+                        let i = pks
+                            .binary_search(&t[*pk_col])
+                            .expect("pk was collected from this batch");
+                        if let Some(rec) = &records[i] {
+                            t.push(rec.clone());
+                            out.push(t)?;
+                        }
+                    }
+                }
+                if ended {
+                    break;
                 }
             }
             Ok((consumed, out.finish()?))
@@ -676,12 +732,67 @@ fn run_hash_join(
     Ok((*consumed, out.finish()?))
 }
 
+/// Per-operator-instance token memoization: compile-time tokens for the
+/// constant key (selection plans), plus an LRU of runtime-tokenized probe
+/// keys (index-nested-loop joins re-probe the same outer keys on every
+/// partition). All paths produce tokens via
+/// [`asterix_storage::index_tokens`], so memoized and fresh tokenization
+/// can never disagree.
+struct TokenMemo<'a> {
+    pre: Option<&'a PreTokenized>,
+    lru: HashMap<Value, (Arc<[Value]>, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<'a> TokenMemo<'a> {
+    fn new(pre: Option<&'a PreTokenized>, capacity: usize) -> Self {
+        TokenMemo {
+            pre,
+            lru: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    fn tokens(&mut self, kind: IndexKind, key: &Value) -> Arc<[Value]> {
+        if let Some(pre) = self.pre {
+            if pre.key == *key {
+                return pre.tokens.clone();
+            }
+        }
+        if self.capacity == 0 {
+            return asterix_storage::index_tokens(kind, key).into();
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(slot) = self.lru.get_mut(key) {
+            slot.1 = stamp;
+            return slot.0.clone();
+        }
+        let tokens: Arc<[Value]> = asterix_storage::index_tokens(kind, key).into();
+        if self.lru.len() >= self.capacity {
+            if let Some(victim) = self
+                .lru
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.lru.remove(&victim);
+            }
+        }
+        self.lru.insert(key.clone(), (tokens.clone(), stamp));
+        tokens
+    }
+}
+
 /// Candidate primary keys from a secondary index for one search key.
 fn index_candidates(
     store: &asterix_storage::PartitionStore,
     index: &str,
     key: &Value,
     measure: &SearchMeasure,
+    memo: &mut TokenMemo<'_>,
 ) -> Result<Vec<Value>, asterix_storage::StorageError> {
     match measure {
         SearchMeasure::Exact => store.btree_lookup(index, key),
@@ -692,7 +803,7 @@ fn index_candidates(
                 .ok_or_else(|| {
                     asterix_adm::AdmError::Schema(format!("no inverted index '{index}'"))
                 })?;
-            let tokens = idx.tokens_of(key);
+            let tokens = memo.tokens(idx.kind, key);
             let t = jaccard_t_bound(tokens.len(), *delta);
             if t <= 0 || tokens.is_empty() {
                 return Ok(Vec::new());
@@ -720,13 +831,10 @@ fn index_candidates(
                 Some(s) => s,
                 None => return Ok(Vec::new()),
             };
-            let tokens: Vec<Value> = tokenize::gram_tokens_distinct(s, n)
-                .into_iter()
-                .map(Value::String)
-                .collect();
             // Patterns shorter than n produce a truncated gram that full
             // strings do not index: the plan must not reach here for
             // them (compile-time corner case).
+            let tokens = memo.tokens(idx.kind, key);
             if s.chars().count() < n || tokens.is_empty() {
                 return Ok(Vec::new());
             }
@@ -750,16 +858,12 @@ fn index_candidates(
                     .into())
                 }
             };
-            let s = match key.as_str() {
-                Some(s) => s,
-                None => return Ok(Vec::new()),
-            };
-            let tokens: Vec<Value> = tokenize::gram_tokens_distinct(s, n)
-                .into_iter()
-                .map(Value::String)
-                .collect();
+            if key.as_str().is_none() {
+                return Ok(Vec::new());
+            }
             // T over *distinct* grams: each edit operation can remove at
             // most n distinct grams from the intersection.
+            let tokens = memo.tokens(idx.kind, key);
             let t = edit_distance_t_bound(tokens.len(), *k, n);
             if t <= 0 {
                 // Corner case: the plan must route these keys to a scan

@@ -232,6 +232,42 @@ impl RunComponent {
             .map(|i| entries[i].1.clone()))
     }
 
+    /// Batched point lookup over a *sorted* key slice: one merged pass.
+    /// Keys map to non-decreasing page numbers, so each page is fetched
+    /// and decoded at most once per batch, however many keys land on it —
+    /// this is where sorting candidate PKs (§4.1.1) pays off.
+    pub fn get_many_sorted(
+        &self,
+        keys: &[&Value],
+        cache: &BufferCache,
+    ) -> Result<Vec<Option<Entry>>, IoError> {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        let mut out = Vec::with_capacity(keys.len());
+        let mut current: Option<(u32, crate::cache::DecodedPage)> = None;
+        for key in keys {
+            let Some(page_no) = self.page_for(key) else {
+                out.push(None);
+                continue;
+            };
+            if !matches!(&current, Some((no, _)) if *no == page_no) {
+                match self.fetch_decoded(page_no, cache)? {
+                    Some(decoded) => current = Some((page_no, decoded)),
+                    None => {
+                        out.push(None);
+                        continue;
+                    }
+                }
+            }
+            let (_, page) = current.as_ref().expect("page just fetched");
+            out.push(
+                page.binary_search_by(|(k, _)| k.cmp(key))
+                    .ok()
+                    .map(|i| page[i].1.clone()),
+            );
+        }
+        Ok(out)
+    }
+
     /// Decoded page through the shared cache.
     fn fetch_decoded(
         &self,

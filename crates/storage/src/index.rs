@@ -23,7 +23,15 @@ use crate::StorageConfig;
 use asterix_adm::{binary, IndexKind, Value};
 use asterix_simfn::tokenize;
 use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Posting lists at or above this length switch [`InvertedIndex::t_occurrence`]
+/// from ScanCount to DivideSkip (mirrors the tiny-M guard inside the
+/// DivideSkip L-heuristic: below this the skip machinery costs more than
+/// it saves).
+const ADAPTIVE_DIVIDE_SKIP_MIN_LEN: usize = 64;
 
 /// Primary index: pk → record bytes.
 #[derive(Debug)]
@@ -53,6 +61,20 @@ impl PrimaryIndex {
             .tree
             .get(pk)?
             .and_then(|b| binary::from_bytes(&b).ok()))
+    }
+
+    /// Batched lookup over a *sorted* (ascending, ideally deduped) pk
+    /// slice: one merged descent per LSM component instead of N point
+    /// descents, so pks that share a page decode it once (§4.1.1's
+    /// sort-the-pks locality). `out[i]` is the record for `pks[i]`.
+    pub fn get_many_sorted(&self, pks: &[Value]) -> Result<Vec<Option<Value>>, IoError> {
+        crate::profile::add(|q| &q.primary_lookups, pks.len() as u64);
+        Ok(self
+            .tree
+            .get_many_sorted(pks)?
+            .into_iter()
+            .map(|b| b.and_then(|b| binary::from_bytes(&b).ok()))
+            .collect())
     }
 
     /// Full scan in pk order.
@@ -148,8 +170,14 @@ impl SecondaryBTreeIndex {
         let mut out = Vec::new();
         for item in self.tree.scan_from(Some(&range_start(key.clone()))) {
             let (k, _) = item?;
+            // A key that is not a well-formed `[field, pk]` composite can
+            // only be past the range (or corrupt): treat it as end-of-range
+            // rather than indexing into it and panicking.
             match k.as_list() {
-                Some(items) if &items[0] == key => out.push(items[1].clone()),
+                Some(items) if items.first() == Some(key) => match items.get(1) {
+                    Some(pk) => out.push(pk.clone()),
+                    None => break,
+                },
                 _ => break,
             }
         }
@@ -174,6 +202,64 @@ impl SecondaryBTreeIndex {
     }
 }
 
+/// The secondary keys (tokens) an inverted index of `kind` extracts from a
+/// field value:
+///
+/// * `keyword`: distinct word tokens of a string, or the elements of a
+///   list field (the index "uses the elements of a given unordered
+///   list", §3.3),
+/// * `ngram(n)`: distinct n-grams of the string.
+///
+/// This is a free function (not a method) so the optimizer can tokenize
+/// query *constants* once at compile time with exactly the function the
+/// runtime search uses — the two can never disagree.
+pub fn index_tokens(kind: IndexKind, field_value: &Value) -> Vec<Value> {
+    match (kind, field_value) {
+        (IndexKind::Keyword, Value::String(s)) => tokenize::word_tokens_distinct(s)
+            .into_iter()
+            .map(Value::String)
+            .collect(),
+        (IndexKind::Keyword, Value::OrderedList(items))
+        | (IndexKind::Keyword, Value::UnorderedList(items)) => {
+            let mut out = items.clone();
+            out.sort();
+            out.dedup();
+            out
+        }
+        (IndexKind::NGram(n), Value::String(s)) => tokenize::gram_tokens_distinct(s, n)
+            .into_iter()
+            .map(Value::String)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Token → shared posting list, valid for one LSM generation.
+///
+/// Keyed probes during a query hit the same few tokens over and over
+/// (broadcast probes in index-nested-loop joins most of all); re-scanning
+/// the composite-key range and re-allocating a fresh `Vec<Value>` per
+/// probe dominated the hot path. The cache hands out `Arc<[Value]>`
+/// clones instead, and a single generation comparison against the backing
+/// tree invalidates *everything* on any mutation — no per-token tracking,
+/// no stale reads.
+#[derive(Debug, Default)]
+struct PostingsCacheInner {
+    /// token → (shared list, last-touch stamp for LRU eviction).
+    map: HashMap<Value, (Arc<[Value]>, u64)>,
+    /// Generation of the backing tree these entries were read at.
+    generation: u64,
+    /// Monotonic touch clock.
+    clock: u64,
+}
+
+#[derive(Debug, Default)]
+struct PostingsCache {
+    inner: Mutex<PostingsCacheInner>,
+    /// Maximum distinct tokens held; 0 disables the cache.
+    capacity: usize,
+}
+
 /// LSM inverted index: `keyword` or `ngram(n)`, per Fig 13's compatibility
 /// table.
 #[derive(Debug)]
@@ -181,6 +267,7 @@ pub struct InvertedIndex {
     tree: LsmTree,
     pub field: String,
     pub kind: IndexKind,
+    postings_cache: PostingsCache,
 }
 
 impl InvertedIndex {
@@ -194,63 +281,55 @@ impl InvertedIndex {
             matches!(kind, IndexKind::Keyword | IndexKind::NGram(_)),
             "inverted index kind must be keyword or ngram"
         );
+        let capacity = config.postings_cache_entries;
         InvertedIndex {
             tree: LsmTree::new(cache, config),
             field: field.into(),
             kind,
+            postings_cache: PostingsCache {
+                inner: Mutex::new(PostingsCacheInner::default()),
+                capacity,
+            },
         }
     }
 
-    /// The secondary keys (tokens) this index extracts from a field value.
-    ///
-    /// * `keyword`: distinct word tokens of a string, or the elements of a
-    ///   list field (the index "uses the elements of a given unordered
-    ///   list", §3.3),
-    /// * `ngram(n)`: distinct n-grams of the string.
+    /// The secondary keys (tokens) this index extracts from a field value
+    /// (see [`index_tokens`]).
     pub fn tokens_of(&self, field_value: &Value) -> Vec<Value> {
-        match (&self.kind, field_value) {
-            (IndexKind::Keyword, Value::String(s)) => tokenize::word_tokens_distinct(s)
-                .into_iter()
-                .map(Value::String)
-                .collect(),
-            (IndexKind::Keyword, Value::OrderedList(items))
-            | (IndexKind::Keyword, Value::UnorderedList(items)) => {
-                let mut out = items.clone();
-                out.sort();
-                out.dedup();
-                out
-            }
-            (IndexKind::NGram(n), Value::String(s)) => tokenize::gram_tokens_distinct(s, *n)
-                .into_iter()
-                .map(Value::String)
-                .collect(),
-            _ => Vec::new(),
-        }
+        index_tokens(self.kind, field_value)
     }
 
     pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
-        let field_value = record.field_path(&self.field).clone();
-        for token in self.tokens_of(&field_value) {
+        let field_value = record.field_path(&self.field);
+        for token in index_tokens(self.kind, field_value) {
             self.tree.put(composite(token, pk.clone()), Bytes::new())?;
         }
         Ok(())
     }
 
     pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
-        let field_value = record.field_path(&self.field).clone();
-        for token in self.tokens_of(&field_value) {
+        let field_value = record.field_path(&self.field);
+        for token in index_tokens(self.kind, field_value) {
             self.tree.delete(composite(token, pk.clone()))?;
         }
         Ok(())
     }
 
-    /// The inverted list of one token: sorted primary keys.
-    pub fn postings(&self, token: &Value) -> Result<Vec<Value>, IoError> {
+    /// Scan one token's posting range out of the LSM tree. This is the
+    /// only place inverted-list elements are actually read, so it is the
+    /// only place that counts `inverted_elements_read` — cache hits
+    /// deliberately do not re-count elements they did not re-read.
+    fn read_postings(&self, token: &Value) -> Result<Vec<Value>, IoError> {
         let mut out = Vec::new();
         for item in self.tree.scan_from(Some(&range_start(token.clone()))) {
             let (k, _) = item?;
+            // A malformed composite key (not a list, or arity < 2) can
+            // only be past the range or corrupt: end-of-range, not panic.
             match k.as_list() {
-                Some(items) if &items[0] == token => out.push(items[1].clone()),
+                Some(items) if items.first() == Some(token) => match items.get(1) {
+                    Some(pk) => out.push(pk.clone()),
+                    None => break,
+                },
                 _ => break,
             }
         }
@@ -258,16 +337,84 @@ impl InvertedIndex {
         Ok(out)
     }
 
+    /// The inverted list of one token as a shared slice, served from the
+    /// postings cache when the backing tree's generation still matches.
+    pub fn postings_shared(&self, token: &Value) -> Result<Arc<[Value]>, IoError> {
+        if self.postings_cache.capacity == 0 {
+            return Ok(self.read_postings(token)?.into());
+        }
+        let generation = self.tree.generation();
+        {
+            let mut inner = self.postings_cache.inner.lock();
+            if inner.generation != generation {
+                // Any mutation since the entries were read: drop them all.
+                inner.map.clear();
+                inner.generation = generation;
+            } else {
+                inner.clock += 1;
+                let stamp = inner.clock;
+                if let Some(slot) = inner.map.get_mut(token) {
+                    slot.1 = stamp;
+                    let list = slot.0.clone();
+                    drop(inner);
+                    crate::profile::add(|q| &q.postings_cache_hits, 1);
+                    return Ok(list);
+                }
+            }
+        }
+        // Miss: read outside the lock (scans can be long), then install.
+        crate::profile::add(|q| &q.postings_cache_misses, 1);
+        let list: Arc<[Value]> = self.read_postings(token)?.into();
+        let mut inner = self.postings_cache.inner.lock();
+        // Install only if no mutation raced the read.
+        if inner.generation == generation {
+            if inner.map.len() >= self.postings_cache.capacity
+                && !inner.map.contains_key(token)
+            {
+                // Evict the least-recently-touched token.
+                if let Some(victim) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.map.remove(&victim);
+                }
+            }
+            inner.clock += 1;
+            let stamp = inner.clock;
+            inner.map.insert(token.clone(), (list.clone(), stamp));
+        }
+        Ok(list)
+    }
+
+    /// The inverted list of one token: sorted primary keys (owned copy;
+    /// hot paths should prefer [`InvertedIndex::postings_shared`]).
+    pub fn postings(&self, token: &Value) -> Result<Vec<Value>, IoError> {
+        Ok(self.postings_shared(token)?.to_vec())
+    }
+
     /// Solve the T-occurrence problem for a set of query tokens: primary
     /// keys appearing on at least `t` of the tokens' inverted lists
     /// (candidates, possibly with false positives — §2.2). `t >= 1`.
+    ///
+    /// Operates on shared cached slices (no per-probe list copies) and
+    /// picks the algorithm adaptively: DivideSkip wins once some list is
+    /// long enough for its skip machinery to pay for itself and `t > 1`
+    /// makes skipping possible; otherwise ScanCount's single pass is
+    /// cheaper.
     pub fn t_occurrence(&self, tokens: &[Value], t: usize) -> Result<Vec<Value>, IoError> {
-        let lists: Vec<Vec<Value>> = tokens
+        let lists: Vec<Arc<[Value]>> = tokens
             .iter()
-            .map(|tok| self.postings(tok))
+            .map(|tok| self.postings_shared(tok))
             .collect::<Result<_, _>>()?;
-        let refs: Vec<&[Value]> = lists.iter().map(|l| l.as_slice()).collect();
-        let candidates = asterix_simfn::t_occurrence_scan_count(&refs, t);
+        let refs: Vec<&[Value]> = lists.iter().map(|l| &**l).collect();
+        let max_len = refs.iter().map(|l| l.len()).max().unwrap_or(0);
+        let candidates = if t > 1 && refs.len() > 1 && max_len >= ADAPTIVE_DIVIDE_SKIP_MIN_LEN {
+            asterix_simfn::t_occurrence_divide_skip(&refs, t)
+        } else {
+            asterix_simfn::t_occurrence_scan_count(&refs, t)
+        };
         crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
         Ok(candidates)
     }
@@ -493,5 +640,148 @@ mod tests {
     #[should_panic]
     fn inverted_rejects_btree_kind() {
         InvertedIndex::new(cache(), StorageConfig::tiny(), "f", IndexKind::BTree);
+    }
+
+    fn keyword_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new(
+            cache(),
+            StorageConfig::tiny(),
+            "summary",
+            IndexKind::Keyword,
+        );
+        for (id, text) in [
+            (1i64, "great product value"),
+            (2, "great gift"),
+            (3, "awful product"),
+        ] {
+            idx.insert(&record! {"id" => id, "summary" => text}, &Value::Int64(id))
+                .unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn postings_cache_hit_returns_same_list() {
+        let idx = keyword_index();
+        let counters = crate::QueryCounters::handle();
+        let _scope = counters.enter();
+        let first = idx.postings_shared(&Value::from("great")).unwrap();
+        let second = idx.postings_shared(&Value::from("great")).unwrap();
+        assert_eq!(first, second);
+        // The second probe is a hit on the very Arc installed by the first.
+        assert!(Arc::ptr_eq(&first, &second));
+        let p = counters.snapshot();
+        assert_eq!(p.postings_cache_misses, 1);
+        assert_eq!(p.postings_cache_hits, 1);
+        // Elements are counted once: the hit re-read nothing.
+        assert_eq!(p.inverted_elements_read, 2);
+    }
+
+    #[test]
+    fn postings_cache_invalidated_by_insert() {
+        let mut idx = keyword_index();
+        assert_eq!(
+            idx.postings(&Value::from("great")).unwrap(),
+            vec![Value::Int64(1), Value::Int64(2)]
+        );
+        idx.insert(
+            &record! {"id" => 4i64, "summary" => "great stuff"},
+            &Value::Int64(4),
+        )
+        .unwrap();
+        assert_eq!(
+            idx.postings(&Value::from("great")).unwrap(),
+            vec![Value::Int64(1), Value::Int64(2), Value::Int64(4)]
+        );
+    }
+
+    #[test]
+    fn postings_cache_invalidated_by_delete() {
+        let mut idx = keyword_index();
+        assert_eq!(
+            idx.postings(&Value::from("product")).unwrap(),
+            vec![Value::Int64(1), Value::Int64(3)]
+        );
+        idx.delete(
+            &record! {"id" => 1i64, "summary" => "great product value"},
+            &Value::Int64(1),
+        )
+        .unwrap();
+        assert_eq!(
+            idx.postings(&Value::from("product")).unwrap(),
+            vec![Value::Int64(3)]
+        );
+    }
+
+    #[test]
+    fn postings_cache_invalidated_by_flush_and_merge() {
+        let mut idx = keyword_index();
+        // Warm the cache, then flush: generation changes, entries drop.
+        assert_eq!(idx.postings(&Value::from("gift")).unwrap(), vec![Value::Int64(2)]);
+        idx.flush().unwrap();
+        assert_eq!(idx.postings(&Value::from("gift")).unwrap(), vec![Value::Int64(2)]);
+        // Delete + flush + merge: the tombstone disappears and the cached
+        // list must still be correct afterwards.
+        idx.delete(&record! {"id" => 2i64, "summary" => "great gift"}, &Value::Int64(2))
+            .unwrap();
+        idx.flush().unwrap();
+        idx.tree.merge_all().unwrap();
+        assert_eq!(
+            idx.postings(&Value::from("gift")).unwrap(),
+            Vec::<Value>::new()
+        );
+        assert_eq!(
+            idx.postings(&Value::from("great")).unwrap(),
+            vec![Value::Int64(1)]
+        );
+    }
+
+    #[test]
+    fn postings_cache_eviction_keeps_answers_correct() {
+        let mut config = StorageConfig::tiny();
+        config.postings_cache_entries = 2;
+        let mut idx = InvertedIndex::new(cache(), config, "summary", IndexKind::Keyword);
+        for id in 0..8i64 {
+            idx.insert(
+                &record! {"id" => id, "summary" => format!("tok{id} shared")},
+                &Value::Int64(id),
+            )
+            .unwrap();
+        }
+        // Probe more distinct tokens than the capacity, twice over.
+        for _ in 0..2 {
+            for id in 0..8i64 {
+                assert_eq!(
+                    idx.postings(&Value::from(format!("tok{id}"))).unwrap(),
+                    vec![Value::Int64(id)]
+                );
+            }
+        }
+        assert_eq!(idx.postings(&Value::from("shared")).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn postings_cache_disabled_at_zero_capacity() {
+        let mut config = StorageConfig::tiny();
+        config.postings_cache_entries = 0;
+        let mut idx = InvertedIndex::new(cache(), config, "summary", IndexKind::Keyword);
+        idx.insert(
+            &record! {"id" => 1i64, "summary" => "hello world"},
+            &Value::Int64(1),
+        )
+        .unwrap();
+        let counters = crate::QueryCounters::handle();
+        let _scope = counters.enter();
+        for _ in 0..3 {
+            assert_eq!(
+                idx.postings(&Value::from("hello")).unwrap(),
+                vec![Value::Int64(1)]
+            );
+        }
+        let p = counters.snapshot();
+        assert_eq!(p.postings_cache_hits, 0);
+        assert_eq!(p.postings_cache_misses, 0);
+        // Every probe re-reads the single-element list.
+        assert_eq!(p.inverted_elements_read, 3);
     }
 }

@@ -38,7 +38,7 @@ pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
 pub use disk::{Disk, FileId};
 pub use fault::{FaultInjector, FaultRule, IoError, IoOp};
-pub use index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
+pub use index::{index_tokens, InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
 pub use lsm::LsmTree;
 pub use partition::PartitionStore;
 pub use profile::{CounterScope, QueryCounters, StorageProfile};
@@ -94,6 +94,10 @@ pub struct StorageConfig {
     pub mem_component_budget: usize,
     /// Merge all disk components once their count exceeds this.
     pub max_components: usize,
+    /// Capacity (distinct tokens) of each inverted index's postings cache.
+    /// `0` disables the cache entirely; postings are then re-read from the
+    /// LSM tree on every probe.
+    pub postings_cache_entries: usize,
 }
 
 impl Default for StorageConfig {
@@ -103,6 +107,7 @@ impl Default for StorageConfig {
             buffer_cache_pages: 256,
             mem_component_budget: 8 * 1024 * 1024,
             max_components: 8,
+            postings_cache_entries: 4096,
         }
     }
 }
@@ -116,6 +121,7 @@ impl StorageConfig {
             buffer_cache_pages: 8,
             mem_component_budget: 4 * 1024,
             max_components: 3,
+            postings_cache_entries: 16,
         }
     }
 }

@@ -16,7 +16,8 @@
 //! * [`crate::cache::BufferCache::get`] / `get_decoded` — hits, misses,
 //!   evictions,
 //! * [`crate::index::InvertedIndex::postings`] — inverted-list elements
-//!   read (Fig 14's list-scan volume),
+//!   read (Fig 14's list-scan volume; *cache hits do not re-count* — only
+//!   actual LSM scans add here) plus postings-cache hits/misses,
 //! * [`crate::index::InvertedIndex::t_occurrence`] — candidates emitted
 //!   by the T-occurrence filter (Table 6's column C),
 //! * [`crate::index::PrimaryIndex::get`] — primary-index lookups (§4.1.1),
@@ -39,6 +40,8 @@ pub struct QueryCounters {
     pub toccurrence_candidates: AtomicU64,
     pub primary_lookups: AtomicU64,
     pub lsm_components_searched: AtomicU64,
+    pub postings_cache_hits: AtomicU64,
+    pub postings_cache_misses: AtomicU64,
 }
 
 /// Immutable snapshot of a query's storage counters.
@@ -58,6 +61,12 @@ pub struct StorageProfile {
     pub primary_lookups: u64,
     /// LSM disk components consulted across all point lookups.
     pub lsm_components_searched: u64,
+    /// Posting lists served from the per-index postings cache (no LSM
+    /// scan, no fresh allocation — a shared `Arc<[Value]>` is handed out).
+    pub postings_cache_hits: u64,
+    /// Posting lists that had to be read out of the LSM tree and were then
+    /// installed into the postings cache.
+    pub postings_cache_misses: u64,
 }
 
 impl StorageProfile {
@@ -94,6 +103,8 @@ impl QueryCounters {
             toccurrence_candidates: self.toccurrence_candidates.load(Ordering::Relaxed),
             primary_lookups: self.primary_lookups.load(Ordering::Relaxed),
             lsm_components_searched: self.lsm_components_searched.load(Ordering::Relaxed),
+            postings_cache_hits: self.postings_cache_hits.load(Ordering::Relaxed),
+            postings_cache_misses: self.postings_cache_misses.load(Ordering::Relaxed),
         }
     }
 }

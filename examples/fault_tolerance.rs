@@ -31,6 +31,7 @@ fn scan_only(timeout: Option<Duration>) -> QueryOptions {
         }),
         timeout,
         profile: false,
+        disable_hotpath: false,
     }
 }
 

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let profiled = QueryOptions {
         profile: true,
+        disable_hotpath: false,
         ..QueryOptions::default()
     };
 

@@ -28,6 +28,7 @@ fn no_index() -> QueryOptions {
         }),
         timeout: None,
         profile: false,
+        disable_hotpath: false,
     }
 }
 

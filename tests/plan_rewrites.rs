@@ -92,6 +92,7 @@ fn fig15_operator_counts_nested_loop_vs_three_stage() {
                 }),
                 timeout: None,
                 profile: false,
+                disable_hotpath: false,
             },
         )
         .unwrap();
@@ -127,6 +128,7 @@ fn fig19_surrogate_plan_keeps_top_level_hash_join() {
                 }),
                 timeout: None,
                 profile: false,
+                disable_hotpath: false,
             },
         )
         .unwrap();

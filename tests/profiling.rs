@@ -11,6 +11,7 @@ use asterix_datagen::amazon_reviews;
 fn profiled() -> QueryOptions {
     QueryOptions {
         profile: true,
+        disable_hotpath: false,
         ..QueryOptions::default()
     }
 }

@@ -18,6 +18,7 @@ fn no_index() -> QueryOptions {
         }),
         timeout: None,
         profile: false,
+        disable_hotpath: false,
     }
 }
 
@@ -149,6 +150,7 @@ proptest! {
                     }),
                     timeout: None,
                     profile: false,
+                    disable_hotpath: false,
                 },
             )
             .unwrap();
@@ -163,6 +165,7 @@ proptest! {
                     }),
                     timeout: None,
                     profile: false,
+                    disable_hotpath: false,
                 },
             )
             .unwrap();
