@@ -25,9 +25,7 @@ fn no_index() -> QueryOptions {
             enable_index_join: false,
             ..OptimizerConfig::default()
         }),
-        timeout: None,
-        profile: false,
-        disable_hotpath: false,
+        ..QueryOptions::default()
     }
 }
 

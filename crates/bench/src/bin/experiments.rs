@@ -6,7 +6,7 @@
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
 //! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
-//! hotpath, all} (default: all). Scale via env `ASTERIX_SCALE` (default
+//! hotpath, monitor, all} (default: all). Scale via env `ASTERIX_SCALE` (default
 //! 1.0 ≈ 20k Amazon records) and `ASTERIX_PARTITIONS` (default 4).
 //!
 //! `profile` runs representative queries with per-query profiling and
@@ -16,6 +16,12 @@
 //! cache, batched sorted primary lookups, token memoization) against a
 //! baseline with all of them disabled, pins result equality, and writes
 //! `BENCH_hotpath.json`. `--quick` shrinks it for CI.
+//!
+//! `monitor` runs the mixed workload (scans, index selections, index
+//! joins) on worker threads racing a DML + flush thread while sampling
+//! `Instance::metrics_snapshot()`, forces one slow-query capture, then
+//! measures telemetry-enabled vs telemetry-disabled overhead on the same
+//! workload. Writes `BENCH_telemetry.json` with per-class p50/p95/p99.
 //!
 //! Absolute times are not comparable with the paper's 8-node cluster; the
 //! *shapes* (who wins, how ratios move with thresholds and sizes) are the
@@ -33,9 +39,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
     f(&mut cfg);
     QueryOptions {
         optimizer: Some(cfg),
-        timeout: None,
-        profile: false,
-        disable_hotpath: false,
+        ..QueryOptions::default()
     }
 }
 
@@ -123,6 +127,9 @@ fn main() {
     }
     if run("hotpath") {
         hotpath_report(&cfg, quick);
+    }
+    if run("monitor") {
+        monitor_report(&cfg, quick);
     }
 }
 
@@ -471,6 +478,241 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
         &table,
     );
     println!("wrote BENCH_hotpath.json ({} bytes)", json.len());
+}
+
+/// The telemetry monitor (`monitor`): a mixed workload — scans, index
+/// selections, and index joins on worker threads racing a DML + flush
+/// thread — sampled live through `Instance::metrics_snapshot()`, with one
+/// forced slow-query capture, followed by an enabled-vs-disabled overhead
+/// measurement on the same workload. Writes `BENCH_telemetry.json`.
+fn monitor_report(cfg: &WorkloadConfig, quick: bool) {
+    use asterix_adm::Value;
+    use asterix_core::{QueryClass, TelemetryConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    let records = if quick {
+        cfg.amazon_records.min(1_500)
+    } else {
+        cfg.amazon_records
+    };
+    let rounds = if quick { 5 } else { 15 };
+    const WORKERS: usize = 3;
+
+    // Seed 42: the generator's Zipfian vocabulary includes the probe
+    // terms below ("caho", "gubimo").
+    let build = |telemetry_on: bool| -> Instance {
+        let mut ic = InstanceConfig::with_partitions(cfg.partitions);
+        if !telemetry_on {
+            ic.telemetry = TelemetryConfig::off();
+        }
+        let db = Instance::new(ic);
+        db.create_dataset("AmazonReview", "id").unwrap();
+        db.load("AmazonReview", amazon_reviews(records, 42)).unwrap();
+        db.create_index("AmazonReview", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.create_index("AmazonReview", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        db.flush("AmazonReview").unwrap();
+        db
+    };
+
+    let scan_q = "for $t in dataset AmazonReview where $t.id < 200 return $t.id";
+    let sel_q = "for $t in dataset AmazonReview \
+         where similarity-jaccard(word-tokens($t.summary), word-tokens('caho gonaha')) >= 0.4 \
+         return $t.id";
+    let join_q = "for $o in dataset AmazonReview \
+         for $i in dataset AmazonReview \
+         where $o.id < 40 \
+           and similarity-jaccard(word-tokens($o.summary), word-tokens($i.summary)) >= 0.8 \
+           and $o.id < $i.id \
+         return {\"o\": $o.id, \"i\": $i.id}";
+
+    // ---- Phase 1: the monitored mixed workload. ----
+    let db = build(true);
+    let done = AtomicBool::new(false);
+    let samples: Mutex<Vec<Value>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        // Live sampler: a monitoring agent polling the snapshot while the
+        // workload runs (bounded; keeps the JSON small).
+        s.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                let m = db.metrics();
+                let mut guard = samples.lock().unwrap();
+                if guard.len() < 32 {
+                    guard.push(Value::record(vec![
+                        ("uptime_us".to_string(), Value::Int64(m.uptime_us as i64)),
+                        (
+                            "queries_completed".to_string(),
+                            Value::Int64(m.classes.iter().map(|c| c.completed).sum::<u64>() as i64),
+                        ),
+                        (
+                            "events_recorded".to_string(),
+                            Value::Int64(m.events_recorded as i64),
+                        ),
+                    ]));
+                }
+                drop(guard);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        std::thread::scope(|inner| {
+            for _ in 0..WORKERS {
+                inner.spawn(|| {
+                    for _ in 0..rounds {
+                        db.query(scan_q).unwrap();
+                        db.query(sel_q).unwrap();
+                        db.query(join_q).unwrap();
+                    }
+                });
+            }
+            // DML churn: inserts + flushes emit lifecycle events into the
+            // ring while the queries run.
+            inner.spawn(|| {
+                for i in 0..rounds {
+                    db.insert(
+                        "AmazonReview",
+                        asterix_adm::record! {"id" => 5_000_000 + i as i64,
+                            "summary" => "monitor churn row",
+                            "reviewerName" => "monitor"},
+                    )
+                    .unwrap();
+                    db.flush("AmazonReview").unwrap();
+                }
+            });
+        });
+        done.store(true, Ordering::Relaxed);
+    });
+    // One forced slow-query capture (threshold zero), as an operator
+    // would see for any query over `slow_query_threshold`.
+    db.query_with(
+        sel_q,
+        &QueryOptions {
+            slow_query_threshold: Some(Duration::ZERO),
+            ..QueryOptions::default()
+        },
+    )
+    .unwrap();
+
+    let metrics = db.metrics();
+    let expected = (WORKERS * rounds) as u64;
+    let mut class_rows = Vec::new();
+    let mut per_class = Vec::new();
+    for c in &metrics.classes {
+        let want = expected + u64::from(c.class == QueryClass::IndexSelect);
+        assert_eq!(
+            c.completed, want,
+            "{} class must account for every issued query",
+            c.class.name()
+        );
+        assert_eq!(c.latency.count, c.completed);
+        let (p50, p95, p99) = (
+            c.latency.percentile_us(0.50),
+            c.latency.percentile_us(0.95),
+            c.latency.percentile_us(0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        class_rows.push(vec![
+            c.class.name().to_string(),
+            c.completed.to_string(),
+            fmt_duration(Duration::from_micros(p50)),
+            fmt_duration(Duration::from_micros(p95)),
+            fmt_duration(Duration::from_micros(p99)),
+            fmt_duration(Duration::from_micros(c.latency.mean_us() as u64)),
+        ]);
+        per_class.push((
+            c.class.name().to_string(),
+            Value::record(vec![
+                ("completed".to_string(), Value::Int64(c.completed as i64)),
+                ("p50_us".to_string(), Value::Int64(p50 as i64)),
+                ("p95_us".to_string(), Value::Int64(p95 as i64)),
+                ("p99_us".to_string(), Value::Int64(p99 as i64)),
+                ("mean_us".to_string(), Value::double(c.latency.mean_us())),
+            ]),
+        ));
+    }
+    let slow = db.telemetry().expect("telemetry on").slow_queries();
+    assert!(
+        !slow.is_empty() && !slow[0].plan.is_empty() && !slow[0].profile.operators.is_empty(),
+        "the forced slow query must be captured with plan + profile"
+    );
+    assert!(metrics.events_recorded > 0, "flush churn must emit events");
+
+    // ---- Phase 2: telemetry overhead, enabled vs disabled. ----
+    // Fresh identically-loaded instances; best-of-3 timed loops over the
+    // same mixed workload (warmed caches) to suppress scheduler noise.
+    let iters = if quick { 10 } else { 40 };
+    let measure = |db: &Instance| -> u64 {
+        for _ in 0..3 {
+            db.query(sel_q).unwrap();
+            db.query(join_q).unwrap();
+        }
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    db.query(scan_q).unwrap();
+                    db.query(sel_q).unwrap();
+                    db.query(join_q).unwrap();
+                }
+                t0.elapsed().as_micros() as u64
+            })
+            .min()
+            .expect("three timed repetitions")
+    };
+    let off_db = build(false);
+    let on_db = build(true);
+    let disabled_us = measure(&off_db);
+    let enabled_us = measure(&on_db);
+    let overhead_pct = (enabled_us as f64 - disabled_us as f64) / disabled_us as f64 * 100.0;
+    println!(
+        "telemetry overhead: enabled {} vs disabled {} over {iters}x3 mixed queries -> {overhead_pct:+.2}%",
+        fmt_duration(Duration::from_micros(enabled_us)),
+        fmt_duration(Duration::from_micros(disabled_us)),
+    );
+    if !quick {
+        assert!(
+            overhead_pct < 5.0,
+            "telemetry must stay under the 5% overhead budget, measured {overhead_pct:.2}%"
+        );
+    }
+
+    let doc = Value::record(vec![
+        ("partitions".to_string(), Value::Int64(cfg.partitions as i64)),
+        ("amazon_records".to_string(), Value::Int64(records as i64)),
+        ("workers".to_string(), Value::Int64(WORKERS as i64)),
+        ("rounds".to_string(), Value::Int64(rounds as i64)),
+        ("quick".to_string(), Value::Boolean(quick)),
+        ("per_class".to_string(), Value::record(per_class)),
+        (
+            "slow_queries_captured".to_string(),
+            Value::Int64(slow.len() as i64),
+        ),
+        (
+            "samples".to_string(),
+            Value::OrderedList(samples.into_inner().unwrap()),
+        ),
+        (
+            "overhead".to_string(),
+            Value::record(vec![
+                ("iterations".to_string(), Value::Int64((iters * 3) as i64)),
+                ("enabled_us".to_string(), Value::Int64(enabled_us as i64)),
+                ("disabled_us".to_string(), Value::Int64(disabled_us as i64)),
+                ("overhead_pct".to_string(), Value::double(overhead_pct)),
+                ("budget_pct".to_string(), Value::double(5.0)),
+            ]),
+        ),
+        ("final_snapshot".to_string(), metrics.to_json()),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_telemetry.json", &json).unwrap();
+    print_table(
+        "Telemetry monitor: per-class latency percentiles",
+        &["Class", "Completed", "p50", "p95", "p99", "Mean"],
+        &class_rows,
+    );
+    println!("wrote BENCH_telemetry.json ({} bytes)", json.len());
 }
 
 /// Table 2: configuration parameters.

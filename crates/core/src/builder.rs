@@ -292,6 +292,7 @@ impl PreparedQuery {
             timeout: options.timeout,
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
+            trace: None,
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;

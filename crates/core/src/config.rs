@@ -2,6 +2,48 @@
 
 use asterix_algebricks::OptimizerConfig;
 use asterix_storage::StorageConfig;
+use std::time::Duration;
+
+/// Telemetry knobs. Telemetry is **on by default** — the registry is a
+/// handful of atomics per query, the event ring is bounded, and the
+/// hotpath bench asserts the end-to-end overhead stays under 5% — but
+/// [`TelemetryConfig::off`] turns every collection point into a no-op for
+/// instances that want the absolute minimum per-query cost.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Master switch: `false` ⇒ no registry, no spans, no event log, no
+    /// slow-query capture; `Instance::metrics_snapshot` reports disabled.
+    pub enabled: bool,
+    /// Queries whose execution time meets or exceeds this are captured
+    /// (full plan + profile + spans) into the slow-query log.
+    /// Overridable per query via `QueryOptions::slow_query_threshold`.
+    pub slow_query_threshold: Duration,
+    /// Capacity of the LSM lifecycle event ring buffer.
+    pub event_log_capacity: usize,
+    /// How many slow-query captures are retained (newest win).
+    pub slow_query_log_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            slow_query_threshold: Duration::from_millis(250),
+            event_log_capacity: 1024,
+            slow_query_log_capacity: 16,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully disabled.
+    pub fn off() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
 
 /// Configuration of a simulated cluster instance.
 ///
@@ -15,6 +57,7 @@ pub struct InstanceConfig {
     pub num_partitions: usize,
     pub storage: StorageConfig,
     pub optimizer: OptimizerConfig,
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for InstanceConfig {
@@ -23,6 +66,7 @@ impl Default for InstanceConfig {
             num_partitions: 4,
             storage: StorageConfig::default(),
             optimizer: OptimizerConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -41,6 +85,7 @@ impl InstanceConfig {
             num_partitions: n,
             storage: StorageConfig::tiny(),
             optimizer: OptimizerConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 

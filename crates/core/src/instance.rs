@@ -3,13 +3,18 @@
 use crate::config::InstanceConfig;
 use crate::error::CoreError;
 use crate::result::{PlanInfo, QueryOptions, QueryResult};
+use crate::telemetry::{
+    DatasetGauges, IndexGauge, InstanceGauges, MetricsSnapshot, QueryClass, QueryOutcome, Telemetry,
+};
 use asterix_adm::{DatasetDef, IndexDef, IndexKind, Value};
 use asterix_algebricks::plan::{explain as explain_plan, operator_counts};
 use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen};
 use asterix_aql::{parse_query, translate, Bindings};
-use asterix_hyracks::{run_job_with, ClusterContext, JobOptions};
+use asterix_hyracks::{run_job_with, ClusterContext, JobOptions, JobSpec};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
-use asterix_storage::{BufferCache, CacheStats, Disk, PartitionStore, QueryCounters};
+use asterix_storage::{
+    BufferCache, CacheStats, Disk, LsmEventKind, PartitionStore, QueryCounters, Trace,
+};
 use parking_lot::RwLock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,10 +36,23 @@ pub struct Instance {
     /// storage, §2.3).
     caches: Vec<Arc<BufferCache>>,
     config: InstanceConfig,
+    /// The metrics registry + event log + slow-query log; `None` when
+    /// `TelemetryConfig::enabled` is false.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Instance {
-    pub fn new(config: InstanceConfig) -> Self {
+    pub fn new(mut config: InstanceConfig) -> Self {
+        let telemetry = config
+            .telemetry
+            .enabled
+            .then(|| Arc::new(Telemetry::new(&config.telemetry, config.num_partitions)));
+        // Install the lifecycle event sink before the storage config is
+        // cloned into any partition store, so every LSM tree reports into
+        // the shared ring.
+        if let Some(t) = &telemetry {
+            config.storage.events = Some(t.event_log().clone());
+        }
         let caches: Vec<Arc<BufferCache>> = (0..config.num_partitions)
             .map(|_| {
                 Arc::new(BufferCache::new(
@@ -48,6 +66,7 @@ impl Instance {
             catalog: RwLock::new(SimpleCatalog::new()),
             caches,
             config,
+            telemetry,
         }
     }
 
@@ -277,7 +296,7 @@ impl Instance {
     /// survive every attempt — surface as [`CoreError::Io`].
     pub fn flush(&self, dataset: &str) -> Result<(), CoreError> {
         const MAX_ATTEMPTS: u32 = 4;
-        for pset in &self.ctx.partitions {
+        for (pidx, pset) in self.ctx.partitions.iter().enumerate() {
             let mut set = pset.write();
             if let Some(store) = set.store_mut(dataset) {
                 let mut attempt = 0u32;
@@ -286,6 +305,18 @@ impl Instance {
                         Ok(()) => break,
                         Err(e) if e.transient && attempt + 1 < MAX_ATTEMPTS => {
                             attempt += 1;
+                            if let Some(log) = &self.config.storage.events {
+                                let tag: Arc<str> =
+                                    Arc::from(format!("{dataset}/p{pidx}/*").as_str());
+                                log.record(
+                                    &tag,
+                                    LsmEventKind::FaultRetry,
+                                    0,
+                                    0,
+                                    0,
+                                    Some(format!("flush attempt {attempt}: {e}")),
+                                );
+                            }
                             std::thread::sleep(Duration::from_millis(1u64 << attempt));
                         }
                         Err(e) => return Err(e.into()),
@@ -385,17 +416,97 @@ impl Instance {
         }
     }
 
+    /// The metrics registry, when telemetry is enabled. Gives access to
+    /// the slow-query log and the LSM lifecycle event ring.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// A typed snapshot of every instance-wide metric: per-class query
+    /// histograms, per-operator execution times, partition busy time,
+    /// cache ratios, LSM gauges, the event ring, and the slow-query log.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.telemetry {
+            Some(t) => t.snapshot(self.instance_gauges()),
+            None => MetricsSnapshot::disabled(),
+        }
+    }
+
+    /// [`Instance::metrics`] rendered as an ADM/JSON record.
+    pub fn metrics_snapshot(&self) -> Value {
+        self.metrics().to_json()
+    }
+
+    /// [`Instance::metrics`] rendered as Prometheus text exposition.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// Sample the live gauges (buffer cache, per-index LSM component
+    /// counts and sizes aggregated over partitions).
+    fn instance_gauges(&self) -> InstanceGauges {
+        let (lsm_flushes, lsm_merges) = self.lsm_totals();
+        let mut datasets: Vec<DatasetGauges> = Vec::new();
+        for pset in &self.ctx.partitions {
+            let set = pset.read();
+            for store in set.stores() {
+                let name = store.dataset.name.clone();
+                let entry = match datasets.iter_mut().find(|d| d.dataset == name) {
+                    Some(d) => d,
+                    None => {
+                        datasets.push(DatasetGauges {
+                            dataset: name,
+                            indexes: Vec::new(),
+                        });
+                        datasets.last_mut().expect("just pushed")
+                    }
+                };
+                for (index, components, size_bytes) in store.index_components() {
+                    match entry.indexes.iter_mut().find(|i| i.name == index) {
+                        Some(i) => {
+                            i.components += components as u64;
+                            i.size_bytes += size_bytes;
+                        }
+                        None => entry.indexes.push(IndexGauge {
+                            name: index,
+                            components: components as u64,
+                            size_bytes,
+                        }),
+                    }
+                }
+            }
+        }
+        datasets.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        InstanceGauges {
+            buffer_cache: self.cache_stats(),
+            lsm_flushes,
+            lsm_merges,
+            datasets,
+        }
+    }
+
     /// Run an AQL query with the instance's optimizer settings.
     pub fn query(&self, aql: &str) -> Result<QueryResult, CoreError> {
         self.query_with(aql, &QueryOptions::default())
     }
 
-    /// Run an AQL query with per-query optimizer overrides.
-    pub fn query_with(&self, aql: &str, options: &QueryOptions) -> Result<QueryResult, CoreError> {
-        let compile_started = Instant::now();
-        let query = parse_query(aql)?;
+    /// Compile one query, recording a tracing span per pipeline stage
+    /// when a trace is active.
+    fn compile(
+        &self,
+        aql: &str,
+        options: &QueryOptions,
+        trace: Option<&Arc<Trace>>,
+    ) -> Result<(JobSpec, PlanInfo), CoreError> {
+        let query = {
+            let _s = trace.map(|t| t.span("parse"));
+            parse_query(aql)?
+        };
         let vargen = VarGen::new();
-        let translation = translate(&query, &vargen, &Bindings::default())?;
+        let translation = {
+            let _s = trace.map(|t| t.span("translate"));
+            translate(&query, &vargen, &Bindings::default())?
+        };
 
         // `set simfunction` / `set simthreshold` override the default ~=
         // measure (§3.2).
@@ -409,15 +520,21 @@ impl Instance {
         }
 
         let catalog = self.catalog.read().clone();
-        let (optimized, rewrites) = optimize(
-            &translation.plan,
-            &catalog,
-            &self.ctx.registry,
-            &opt_config,
-            &vargen,
-        );
-        let job = generate_job(&optimized, opt_config.enable_subplan_reuse)
-            .map_err(CoreError::Translate)?;
+        let (optimized, rewrites) = {
+            let _s = trace.map(|t| t.span("optimize"));
+            optimize(
+                &translation.plan,
+                &catalog,
+                &self.ctx.registry,
+                &opt_config,
+                &vargen,
+            )
+        };
+        let job = {
+            let _s = trace.map(|t| t.span("jobgen"));
+            generate_job(&optimized, opt_config.enable_subplan_reuse)
+                .map_err(CoreError::Translate)?
+        };
         let plan = PlanInfo {
             logical_ops_before: operator_counts(&translation.plan),
             logical_ops_after: operator_counts(&optimized),
@@ -425,23 +542,68 @@ impl Instance {
             explain: explain_plan(&optimized),
             physical_ops: job.operator_counts(),
         };
+        Ok((job, plan))
+    }
+
+    /// Run an AQL query with per-query optimizer overrides.
+    pub fn query_with(&self, aql: &str, options: &QueryOptions) -> Result<QueryResult, CoreError> {
+        // One trace per query when telemetry is on; the "query" root span
+        // covers compile + execute, with per-stage children and (via
+        // `JobOptions::trace`) per-operator-partition children under
+        // "execute".
+        let trace = self.telemetry.as_ref().map(|_| Trace::new());
+        let query_span = trace.as_ref().map(|t| t.span("query"));
+
+        let compile_started = Instant::now();
+        let (job, plan) = match self.compile(aql, options, trace.as_ref()) {
+            Ok(compiled) => compiled,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.record_compile_error();
+                }
+                return Err(e);
+            }
+        };
         let compile_time = compile_started.elapsed();
+        let class = QueryClass::classify(&plan);
 
         let exec_started = Instant::now();
-        let counters = options.profile.then(QueryCounters::handle);
+        // Telemetry needs the per-query storage counters even when the
+        // caller didn't ask for a profile (cache hit ratios, index funnel).
+        let counters = (options.profile || self.telemetry.is_some()).then(QueryCounters::handle);
+        let exec_span = trace.as_ref().map(|t| t.span("execute"));
         let job_options = JobOptions {
             timeout: options.timeout,
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
+            trace: trace
+                .clone()
+                .zip(exec_span.as_ref().map(|s| s.id())),
         };
-        let (tuples, stats) =
-            run_job_with(&job, &self.ctx, &job_options).map_err(CoreError::from)?;
+        let run = run_job_with(&job, &self.ctx, &job_options);
+        drop(exec_span);
         let execution_time = exec_started.elapsed();
-        let profile = counters.map(|c| {
+        let (tuples, stats) = match run {
+            Ok(out) => out,
+            Err(e) => {
+                let err = CoreError::from(e);
+                if let Some(t) = &self.telemetry {
+                    let outcome = if matches!(err, CoreError::Timeout(_)) {
+                        QueryOutcome::Timeout
+                    } else {
+                        QueryOutcome::Failed
+                    };
+                    t.record_query(class, outcome, compile_time, execution_time, 0);
+                }
+                return Err(err);
+            }
+        };
+        let storage_snapshot = counters.map(|c| c.snapshot());
+        let profile = storage_snapshot.as_ref().map(|s| {
             crate::QueryProfile::build(
                 &job,
                 &stats,
-                c.snapshot(),
+                *s,
                 self.lsm_totals(),
                 plan.rewrites.clone(),
                 compile_time,
@@ -457,13 +619,48 @@ impl Instance {
                 t.pop().unwrap_or(Value::Missing)
             })
             .collect();
+        // Close the root span before a possible slow-query capture so the
+        // captured span set includes the full tree.
+        drop(query_span);
+        if let Some(t) = &self.telemetry {
+            t.record_query(
+                class,
+                QueryOutcome::Completed,
+                compile_time,
+                execution_time,
+                rows.len() as u64,
+            );
+            t.record_job(&stats);
+            if let Some(s) = &storage_snapshot {
+                t.record_storage(s);
+            }
+            let threshold = options
+                .slow_query_threshold
+                .unwrap_or_else(|| t.slow_query_threshold());
+            if execution_time >= threshold {
+                if let (Some(p), Some(tr)) = (&profile, &trace) {
+                    t.record_slow(
+                        aql,
+                        class,
+                        compile_time,
+                        execution_time,
+                        rows.len() as u64,
+                        plan.explain.clone(),
+                        p.clone(),
+                        tr.spans(),
+                    );
+                }
+            }
+        }
         Ok(QueryResult {
             rows,
             stats,
             plan,
             compile_time,
             execution_time,
-            profile,
+            // Preserve the documented contract: a profile is returned only
+            // when asked for, even though telemetry collects one anyway.
+            profile: if options.profile { profile } else { None },
         })
     }
 
@@ -887,9 +1084,7 @@ mod tests {
                         enable_index_select: false,
                         ..Default::default()
                     }),
-                    timeout: None,
-                    profile: false,
-                    disable_hotpath: false,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -32,10 +32,15 @@ pub mod error;
 pub mod instance;
 pub mod profile;
 pub mod result;
+pub mod telemetry;
 
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
-pub use config::InstanceConfig;
+pub use config::{InstanceConfig, TelemetryConfig};
 pub use error::CoreError;
 pub use instance::{IndexBuildStats, Instance};
 pub use profile::{CacheProfile, IndexSearchProfile, LsmProfile, OpProfile, QueryProfile};
 pub use result::{PlanInfo, QueryOptions, QueryResult};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, InstanceGauges, MetricsSnapshot, QueryClass, QueryOutcome,
+    SlowQuery, Telemetry,
+};

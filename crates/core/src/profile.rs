@@ -401,3 +401,50 @@ impl QueryProfile {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the JSON serialization contract: every key is emitted even
+    /// when its value is zero/empty. Downstream consumers (snapshot
+    /// differs, the CI validators) index these keys unconditionally, so a
+    /// "skip zeros" optimization here would be a silent breaking change.
+    #[test]
+    fn to_json_emits_every_key_even_when_zero() {
+        let zero = QueryProfile {
+            operators: Vec::new(),
+            cache: CacheProfile::default(),
+            index_search: IndexSearchProfile::default(),
+            lsm: LsmProfile::default(),
+            rule_trace: Vec::new(),
+            compile_time: Duration::ZERO,
+            execution_time: Duration::ZERO,
+        };
+        let json = zero.to_json_string();
+        for key in [
+            "\"operators\"",
+            "\"cache\"",
+            "\"hits\"",
+            "\"misses\"",
+            "\"evictions\"",
+            "\"hit_ratio\"",
+            "\"index_search\"",
+            "\"inverted_elements_read\"",
+            "\"postings_cache_hits\"",
+            "\"postings_cache_misses\"",
+            "\"toccurrence_candidates\"",
+            "\"primary_lookups\"",
+            "\"post_verification_survivors\"",
+            "\"lsm\"",
+            "\"components_searched\"",
+            "\"total_flushes\"",
+            "\"total_merges\"",
+            "\"rule_trace\"",
+            "\"compile_time_us\"",
+            "\"execution_time_us\"",
+        ] {
+            assert!(json.contains(key), "zero-valued profile JSON dropped {key}: {json}");
+        }
+    }
+}

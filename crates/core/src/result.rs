@@ -23,6 +23,11 @@ pub struct QueryOptions {
     /// are identical either way; benchmarks flip this to measure the
     /// optimizations against a true baseline.
     pub disable_hotpath: bool,
+    /// Override the instance's slow-query threshold for this query: if
+    /// its execution time meets or exceeds this, the telemetry layer
+    /// captures the full plan + profile + spans into the slow-query log.
+    /// `None` uses `TelemetryConfig::slow_query_threshold`.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 /// Compile-time information about the chosen plan.

@@ -42,6 +42,10 @@ pub struct JobOptions {
     /// implementations. Results are identical either way; this exists so
     /// benchmarks can measure the optimizations against a true baseline.
     pub disable_hotpath: bool,
+    /// Per-query trace plus the span id to parent operator spans under
+    /// (the caller's `execute` span). When set, every operator partition
+    /// records one span with its wall time.
+    pub trace: Option<(Arc<asterix_storage::Trace>, u64)>,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
@@ -225,12 +229,19 @@ pub fn run_job_with(
                 let cancel = &cancel;
                 let op_id = *op_id;
                 let counters = options.counters.clone();
+                let trace = options.trace.clone();
                 let disable_hotpath = options.disable_hotpath;
                 scope.spawn(move || {
                     // Attribute every storage event on this thread to the
                     // owning query (concurrent jobs each scope their own
                     // handle, so their stats stay independent).
                     let _counter_scope = counters.as_ref().map(|c| c.enter());
+                    // One span per operator partition, parented under the
+                    // caller's `execute` span (explicit id — the parent
+                    // lives on another thread's stack).
+                    let _span = trace
+                        .as_ref()
+                        .map(|(t, parent)| t.span_with(op.name(), Some(*parent), Some(partition)));
                     let t0 = Instant::now();
                     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_operator(

@@ -120,6 +120,16 @@ impl PrimaryIndex {
     pub fn lsm_counters(&self) -> (u64, u64) {
         (self.tree.num_flushes(), self.tree.num_merges())
     }
+
+    /// Disk components currently backing this index.
+    pub fn num_disk_components(&self) -> usize {
+        self.tree.num_disk_components()
+    }
+
+    /// Name the underlying LSM tree in lifecycle events.
+    pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
+        self.tree.set_tag(tag);
+    }
 }
 
 /// Composite-key helper: `[component, pk]`.
@@ -199,6 +209,16 @@ impl SecondaryBTreeIndex {
     /// Lifetime (flushes, merges) of the underlying LSM tree.
     pub fn lsm_counters(&self) -> (u64, u64) {
         (self.tree.num_flushes(), self.tree.num_merges())
+    }
+
+    /// Disk components currently backing this index.
+    pub fn num_disk_components(&self) -> usize {
+        self.tree.num_disk_components()
+    }
+
+    /// Name the underlying LSM tree in lifecycle events.
+    pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
+        self.tree.set_tag(tag);
     }
 }
 
@@ -434,6 +454,16 @@ impl InvertedIndex {
     /// Lifetime (flushes, merges) of the underlying LSM tree.
     pub fn lsm_counters(&self) -> (u64, u64) {
         (self.tree.num_flushes(), self.tree.num_merges())
+    }
+
+    /// Disk components currently backing this index.
+    pub fn num_disk_components(&self) -> usize {
+        self.tree.num_disk_components()
+    }
+
+    /// Name the underlying LSM tree in lifecycle events.
+    pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
+        self.tree.set_tag(tag);
     }
 }
 

@@ -28,20 +28,24 @@
 pub mod cache;
 pub mod component;
 pub mod disk;
+pub mod events;
 pub mod fault;
 pub mod index;
 pub mod lsm;
 pub mod partition;
 pub mod profile;
+pub mod trace;
 
 pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
 pub use disk::{Disk, FileId};
+pub use events::{LsmEvent, LsmEventKind, LsmEventLog};
 pub use fault::{FaultInjector, FaultRule, IoError, IoOp};
 pub use index::{index_tokens, InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
 pub use lsm::LsmTree;
 pub use partition::PartitionStore;
 pub use profile::{CounterScope, QueryCounters, StorageProfile};
+pub use trace::{SpanGuard, SpanRecord, Trace};
 
 /// Any error a [`PartitionStore`] operation can produce: a logical ADM
 /// error (bad key, unknown index, …) or a device-level I/O fault.
@@ -98,6 +102,11 @@ pub struct StorageConfig {
     /// `0` disables the cache entirely; postings are then re-read from the
     /// LSM tree on every probe.
     pub postings_cache_entries: usize,
+    /// Shared sink for LSM lifecycle events (flush/merge/bulk-load
+    /// start/end, fault retries). `None` (the default) disables event
+    /// recording; an instance with telemetry enabled installs one
+    /// [`LsmEventLog`] here so every tree it creates reports into it.
+    pub events: Option<std::sync::Arc<LsmEventLog>>,
 }
 
 impl Default for StorageConfig {
@@ -108,6 +117,7 @@ impl Default for StorageConfig {
             mem_component_budget: 8 * 1024 * 1024,
             max_components: 8,
             postings_cache_entries: 4096,
+            events: None,
         }
     }
 }
@@ -122,6 +132,7 @@ impl StorageConfig {
             mem_component_budget: 4 * 1024,
             max_components: 3,
             postings_cache_entries: 16,
+            events: None,
         }
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::cache::BufferCache;
 use crate::component::{Entry, RunComponent};
+use crate::events::LsmEventKind;
 use crate::fault::{IoError, IoOp};
 use crate::StorageConfig;
 use asterix_adm::Value;
@@ -42,6 +43,9 @@ pub struct LsmTree {
     /// derived caches — e.g. the inverted index's postings cache — can
     /// detect staleness with one integer comparison.
     generation: u64,
+    /// Identity stamped onto lifecycle events (`dataset/p0/<primary>`);
+    /// empty until [`LsmTree::set_tag`] is called.
+    tag: Arc<str>,
 }
 
 impl LsmTree {
@@ -55,6 +59,27 @@ impl LsmTree {
             flushes: 0,
             merges: 0,
             generation: 0,
+            tag: Arc::from(""),
+        }
+    }
+
+    /// Name this tree in lifecycle events (see
+    /// [`crate::events::LsmEventLog`]). Conventionally
+    /// `dataset/p<partition>/<index>`.
+    pub fn set_tag(&mut self, tag: impl Into<Arc<str>>) {
+        self.tag = tag.into();
+    }
+
+    fn emit(&self, kind: LsmEventKind, bytes: u64) {
+        if let Some(log) = &self.config.events {
+            log.record(
+                &self.tag,
+                kind,
+                bytes,
+                self.disk_components.len() as u64,
+                self.generation,
+                None,
+            );
         }
     }
 
@@ -165,17 +190,20 @@ impl LsmTree {
         if self.mem.is_empty() {
             return Ok(());
         }
+        self.emit(LsmEventKind::FlushStart, self.mem_bytes as u64);
         self.cache.disk().fault_check(IoOp::Flush, None)?;
         let comp = RunComponent::build(
             self.cache.disk(),
             self.config.page_size,
             self.mem.iter().map(|(k, e)| (k.clone(), e.clone())),
         )?;
+        let flushed_bytes = comp.byte_size();
         self.mem.clear();
         self.mem_bytes = 0;
         self.disk_components.insert(0, comp);
         self.flushes += 1;
         self.generation += 1;
+        self.emit(LsmEventKind::FlushEnd, flushed_bytes);
         self.maybe_merge()
     }
 
@@ -202,6 +230,13 @@ impl LsmTree {
         if self.disk_components.len() <= 1 {
             return Ok(());
         }
+        self.emit(
+            LsmEventKind::MergeStart,
+            self.disk_components
+                .iter()
+                .map(RunComponent::byte_size)
+                .sum(),
+        );
         let mut merged: Vec<(Value, Entry)> = Vec::new();
         {
             let sources: Vec<EntryStream<'_>> = self
@@ -225,6 +260,13 @@ impl LsmTree {
         }
         self.merges += 1;
         self.generation += 1;
+        self.emit(
+            LsmEventKind::MergeEnd,
+            self.disk_components
+                .iter()
+                .map(RunComponent::byte_size)
+                .sum(),
+        );
         Ok(())
     }
 
@@ -239,13 +281,16 @@ impl LsmTree {
             self.mem.is_empty() && self.disk_components.is_empty(),
             "bulk_load requires an empty tree"
         );
+        self.emit(LsmEventKind::BulkLoadStart, 0);
         let comp = RunComponent::build(
             self.cache.disk(),
             self.config.page_size,
             sorted.into_iter().map(|(k, v)| (k, Entry::Put(v))),
         )?;
+        let loaded_bytes = comp.byte_size();
         self.disk_components.push(comp);
         self.generation += 1;
+        self.emit(LsmEventKind::BulkLoadEnd, loaded_bytes);
         Ok(())
     }
 
@@ -710,6 +755,68 @@ mod tests {
             t.get_many_sorted(&keys).unwrap(),
             vec![None, Some(b("two-v2")), None, Some(b("five"))]
         );
+    }
+
+    #[test]
+    fn lifecycle_events_bracket_flush_merge_and_bulk_load() {
+        use crate::events::{LsmEventKind, LsmEventLog};
+        let log = Arc::new(LsmEventLog::new(64));
+        let mut config = StorageConfig::tiny();
+        config.events = Some(log.clone());
+        let disk = Arc::new(Disk::new());
+        let cache = Arc::new(BufferCache::new(disk, 64));
+        let mut t = LsmTree::new(cache.clone(), config.clone());
+        t.set_tag("ds/p0/<primary>");
+        for round in 0..2 {
+            for i in 0..10 {
+                t.put(Value::Int64(i + round * 10), b("payload")).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        t.merge_all().unwrap();
+        let mut loaded = LsmTree::new(cache, config);
+        loaded.set_tag("ds/p0/kw");
+        loaded
+            .bulk_load((0..5).map(|i| (Value::Int64(i), b("x"))))
+            .unwrap();
+
+        let events = log.snapshot();
+        let count = |k: LsmEventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(LsmEventKind::FlushStart), 2);
+        assert_eq!(count(LsmEventKind::FlushEnd), 2);
+        assert_eq!(count(LsmEventKind::MergeStart), 1);
+        assert_eq!(count(LsmEventKind::MergeEnd), 1);
+        assert_eq!(count(LsmEventKind::BulkLoadEnd), 1);
+        let merge_end = events
+            .iter()
+            .find(|e| e.kind == LsmEventKind::MergeEnd)
+            .unwrap();
+        assert_eq!(&*merge_end.tree, "ds/p0/<primary>");
+        assert_eq!(merge_end.components, 1);
+        assert!(merge_end.bytes > 0);
+        let bulk = events
+            .iter()
+            .find(|e| e.kind == LsmEventKind::BulkLoadEnd)
+            .unwrap();
+        assert_eq!(&*bulk.tree, "ds/p0/kw");
+        // A failed flush leaves a FlushStart without a FlushEnd.
+        let disk2 = Arc::new(Disk::new());
+        disk2.set_fault_injector(Arc::new(FaultInjector::new(5).with_rule(FaultRule {
+            op: IoOp::Flush,
+            file: None,
+            nth: 1,
+            transient: true,
+        })));
+        let mut cfg2 = StorageConfig::tiny();
+        cfg2.events = Some(log.clone());
+        let mut t2 = LsmTree::new(Arc::new(BufferCache::new(disk2, 8)), cfg2);
+        t2.set_tag("ds/p1/<primary>");
+        t2.mem.insert(Value::Int64(1), Entry::Put(b("v")));
+        assert!(t2.flush().is_err());
+        let events = log.snapshot();
+        let p1: Vec<_> = events.iter().filter(|e| &*e.tree == "ds/p1/<primary>").collect();
+        assert_eq!(p1.len(), 1);
+        assert_eq!(p1[0].kind, LsmEventKind::FlushStart);
     }
 
     #[test]

@@ -68,6 +68,22 @@ impl SecondaryIndex {
             SecondaryIndex::Inverted(i) => i.lsm_counters(),
         }
     }
+
+    /// Disk components currently backing this index.
+    pub fn num_disk_components(&self) -> usize {
+        match self {
+            SecondaryIndex::BTree(i) => i.num_disk_components(),
+            SecondaryIndex::Inverted(i) => i.num_disk_components(),
+        }
+    }
+
+    /// Name the underlying LSM tree in lifecycle events.
+    pub fn set_tag(&mut self, tag: impl Into<Arc<str>>) {
+        match self {
+            SecondaryIndex::BTree(i) => i.set_tag(tag),
+            SecondaryIndex::Inverted(i) => i.set_tag(tag),
+        }
+    }
 }
 
 /// One partition of one dataset: primary index + local secondary indexes.
@@ -88,10 +104,12 @@ impl PartitionStore {
         cache: Arc<BufferCache>,
         config: StorageConfig,
     ) -> Self {
+        let mut primary = PrimaryIndex::new(cache.clone(), config.clone());
+        primary.set_tag(format!("{}/p{}/<primary>", dataset.name, partition));
         PartitionStore {
             dataset,
             partition,
-            primary: PrimaryIndex::new(cache.clone(), config.clone()),
+            primary,
             secondaries: HashMap::new(),
             cache,
             config,
@@ -149,6 +167,10 @@ impl PartitionStore {
                 ))
             }
         };
+        index.set_tag(format!(
+            "{}/p{}/{}",
+            self.dataset.name, self.partition, def.name
+        ));
         let mut count = 0u64;
         let rows: Vec<(Value, Value)> = self
             .primary
@@ -251,6 +273,24 @@ impl PartitionStore {
         names.sort();
         for name in names {
             out.push((name.clone(), self.secondaries[name].size_bytes()));
+        }
+        out
+    }
+
+    /// (index name, disk components, size in bytes) for every index
+    /// including the primary — the telemetry gauge view of this
+    /// partition's LSM state.
+    pub fn index_components(&self) -> Vec<(String, usize, u64)> {
+        let mut out = vec![(
+            "<primary>".to_string(),
+            self.primary.num_disk_components(),
+            self.primary.size_bytes(),
+        )];
+        let mut names: Vec<&String> = self.secondaries.keys().collect();
+        names.sort();
+        for name in names {
+            let idx = &self.secondaries[name];
+            out.push((name.clone(), idx.num_disk_components(), idx.size_bytes()));
         }
         out
     }

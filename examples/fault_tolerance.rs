@@ -30,8 +30,7 @@ fn scan_only(timeout: Option<Duration>) -> QueryOptions {
             ..OptimizerConfig::default()
         }),
         timeout,
-        profile: false,
-        disable_hotpath: false,
+        ..QueryOptions::default()
     }
 }
 

@@ -27,9 +27,7 @@ fn options(f: impl FnOnce(&mut OptimizerConfig)) -> QueryOptions {
     f(&mut cfg);
     QueryOptions {
         optimizer: Some(cfg),
-        timeout: None,
-        profile: false,
-        disable_hotpath: false,
+        ..QueryOptions::default()
     }
 }
 

@@ -90,9 +90,7 @@ fn fig15_operator_counts_nested_loop_vs_three_stage() {
                     enable_index_join: false,
                     ..OptimizerConfig::default()
                 }),
-                timeout: None,
-                profile: false,
-                disable_hotpath: false,
+                ..QueryOptions::default()
             },
         )
         .unwrap();
@@ -126,9 +124,7 @@ fn fig19_surrogate_plan_keeps_top_level_hash_join() {
                     enable_surrogate: true,
                     ..OptimizerConfig::default()
                 }),
-                timeout: None,
-                profile: false,
-                disable_hotpath: false,
+                ..QueryOptions::default()
             },
         )
         .unwrap();

@@ -16,9 +16,7 @@ fn no_index() -> QueryOptions {
             enable_index_join: false,
             ..OptimizerConfig::default()
         }),
-        timeout: None,
-        profile: false,
-        disable_hotpath: false,
+        ..QueryOptions::default()
     }
 }
 
@@ -148,9 +146,7 @@ proptest! {
                         enable_index_join: false,
                         ..OptimizerConfig::default()
                     }),
-                    timeout: None,
-                    profile: false,
-                    disable_hotpath: false,
+                    ..QueryOptions::default()
                 },
             )
             .unwrap();
@@ -163,9 +159,7 @@ proptest! {
                         enable_three_stage: false,
                         ..OptimizerConfig::default()
                     }),
-                    timeout: None,
-                    profile: false,
-                    disable_hotpath: false,
+                    ..QueryOptions::default()
                 },
             )
             .unwrap();
