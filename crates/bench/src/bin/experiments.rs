@@ -6,8 +6,9 @@
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
 //! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
-//! hotpath, monitor, all} (default: all). Scale via env `ASTERIX_SCALE` (default
-//! 1.0 ≈ 20k Amazon records) and `ASTERIX_PARTITIONS` (default 4).
+//! hotpath, monitor, concurrency, all} (default: all). Scale via env
+//! `ASTERIX_SCALE` (default 1.0 ≈ 20k Amazon records) and
+//! `ASTERIX_PARTITIONS` (default 4).
 //!
 //! `profile` runs representative queries with per-query profiling and
 //! writes the full `QueryProfile` of each to `BENCH_profile.json`.
@@ -22,6 +23,14 @@
 //! `Instance::metrics_snapshot()`, forces one slow-query capture, then
 //! measures telemetry-enabled vs telemetry-disabled overhead on the same
 //! workload. Writes `BENCH_telemetry.json` with per-class p50/p95/p99.
+//!
+//! `concurrency` drives N ∈ {1, 8, 32, 128} concurrent clients of the
+//! mixed workload against (a) the pooled executor with admission control
+//! (the default scheduler) and (b) the unbounded seed executor
+//! (`SchedulerConfig::disabled()`), sampling the process's peak thread
+//! count and the client-observed latency distribution at every level.
+//! Writes `BENCH_concurrency.json`. `--quick` shrinks to N ∈ {1, 8, 16}
+//! for CI.
 //!
 //! Absolute times are not comparable with the paper's 8-node cluster; the
 //! *shapes* (who wins, how ratios move with thresholds and sizes) are the
@@ -130,6 +139,9 @@ fn main() {
     }
     if run("monitor") {
         monitor_report(&cfg, quick);
+    }
+    if run("concurrency") {
+        concurrency_report(&cfg, quick);
     }
 }
 
@@ -713,6 +725,333 @@ fn monitor_report(cfg: &WorkloadConfig, quick: bool) {
         &class_rows,
     );
     println!("wrote BENCH_telemetry.json ({} bytes)", json.len());
+}
+
+/// Current OS thread count of this process (`/proc/self/status`,
+/// linux-only; 0 elsewhere).
+fn current_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The `q`-quantile of a latency sample (µs), by sorted rank.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// The scheduler bench (`concurrency`): N concurrent clients of the
+/// mixed workload against the pooled executor with admission control vs
+/// the unbounded seed executor, recording client-observed latency
+/// percentiles and the process's peak thread count at every level.
+/// Writes `BENCH_concurrency.json`.
+fn concurrency_report(cfg: &WorkloadConfig, quick: bool) {
+    use asterix_adm::Value;
+    use asterix_core::SchedulerConfig;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    let records = if quick {
+        cfg.amazon_records.min(1_500)
+    } else {
+        cfg.amazon_records
+    };
+    let levels: &[usize] = if quick { &[1, 8, 16] } else { &[1, 8, 32, 128] };
+    let rounds = if quick { 2 } else { 3 };
+    // Deep enough that the largest level queues rather than rejects; the
+    // rejection paths have their own tests in tests/scheduler.rs.
+    let scheduler_cfg = SchedulerConfig {
+        queue_depth: levels.iter().max().unwrap() * 2,
+        ..SchedulerConfig::default()
+    };
+
+    let build = |sched: SchedulerConfig| -> Instance {
+        let mut ic = InstanceConfig::with_partitions(cfg.partitions);
+        ic.scheduler = sched;
+        let db = Instance::new(ic);
+        db.create_dataset("AmazonReview", "id").unwrap();
+        db.load("AmazonReview", amazon_reviews(records, 42)).unwrap();
+        db.create_index("AmazonReview", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.create_index("AmazonReview", "nix", "reviewerName", IndexKind::NGram(2))
+            .unwrap();
+        db.flush("AmazonReview").unwrap();
+        db
+    };
+
+    let scan_q = "for $t in dataset AmazonReview where $t.id < 200 return $t.id";
+    let sel_q = "for $t in dataset AmazonReview \
+         where similarity-jaccard(word-tokens($t.summary), word-tokens('caho gonaha')) >= 0.4 \
+         return $t.id";
+    let join_q = "for $o in dataset AmazonReview \
+         for $i in dataset AmazonReview \
+         where $o.id < 40 \
+           and similarity-jaccard(word-tokens($o.summary), word-tokens($i.summary)) >= 0.8 \
+           and $o.id < $i.id \
+         return {\"o\": $o.id, \"i\": $i.id}";
+    let queries = [scan_q, sel_q, join_q];
+
+    /// One saturation level against one executor: client-observed
+    /// latencies, wall time, and thread-count extremes.
+    struct LevelRun {
+        latencies_us: Vec<u64>,
+        wall_us: u64,
+        base_threads: u64,
+        peak_threads: u64,
+    }
+
+    let run_level = |db: &Instance, clients: usize| -> LevelRun {
+        // Warm caches so the first client doesn't pay cold-read costs.
+        for q in queries {
+            db.query(q).unwrap();
+        }
+        let base_threads = current_threads();
+        let done = AtomicBool::new(false);
+        let peak = AtomicU64::new(base_threads);
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !done.load(Ordering::Relaxed) {
+                    peak.fetch_max(current_threads(), Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            std::thread::scope(|inner| {
+                for _ in 0..clients {
+                    inner.spawn(|| {
+                        let mut mine = Vec::with_capacity(rounds * queries.len());
+                        for _ in 0..rounds {
+                            for q in queries {
+                                let t0 = Instant::now();
+                                db.query(q).unwrap();
+                                mine.push(t0.elapsed().as_micros() as u64);
+                            }
+                        }
+                        latencies.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            done.store(true, Ordering::Relaxed);
+        });
+        let wall_us = started.elapsed().as_micros() as u64;
+        let mut latencies_us = latencies.into_inner().unwrap();
+        latencies_us.sort_unstable();
+        LevelRun {
+            latencies_us,
+            wall_us,
+            base_threads,
+            peak_threads: peak.load(Ordering::Relaxed),
+        }
+    };
+
+    let level_json = |r: &LevelRun| -> Value {
+        Value::record(vec![
+            ("queries".to_string(), Value::Int64(r.latencies_us.len() as i64)),
+            ("wall_us".to_string(), Value::Int64(r.wall_us as i64)),
+            (
+                "p50_us".to_string(),
+                Value::Int64(percentile(&r.latencies_us, 0.50) as i64),
+            ),
+            (
+                "p95_us".to_string(),
+                Value::Int64(percentile(&r.latencies_us, 0.95) as i64),
+            ),
+            (
+                "p99_us".to_string(),
+                Value::Int64(percentile(&r.latencies_us, 0.99) as i64),
+            ),
+            (
+                "max_us".to_string(),
+                Value::Int64(r.latencies_us.last().copied().unwrap_or(0) as i64),
+            ),
+            (
+                "base_threads".to_string(),
+                Value::Int64(r.base_threads as i64),
+            ),
+            (
+                "peak_threads".to_string(),
+                Value::Int64(r.peak_threads as i64),
+            ),
+        ])
+    };
+
+    // The two executors run in the same process, one phase at a time, so
+    // each phase's thread sampling only sees its own instance.
+    let mut rows = Vec::new();
+    let mut level_docs = Vec::new();
+    let mut p95_ratio_at_max = 0.0f64;
+    let mut pooled_bounded = true;
+
+    let pooled_db = build(scheduler_cfg.clone());
+    let workers = scheduler_cfg.workers as u64;
+    let mut pooled_runs = Vec::new();
+    for &clients in levels {
+        pooled_runs.push(run_level(&pooled_db, clients));
+    }
+    let sched_snap = pooled_db.metrics().gauges.scheduler.clone();
+    assert!(sched_snap.enabled, "pooled instance must report a scheduler");
+    assert_eq!(
+        sched_snap.rejected_queue_full + sched_snap.rejected_timeout,
+        0,
+        "the bench queue depth must be deep enough to avoid rejections"
+    );
+    assert!(
+        sched_snap.admitted >= levels.iter().map(|&n| (n * rounds * 3) as u64).sum::<u64>(),
+        "every bench query must pass admission"
+    );
+    drop(pooled_db);
+
+    let unbounded_db = build(SchedulerConfig::disabled());
+    let mut unbounded_runs = Vec::new();
+    for &clients in levels {
+        unbounded_runs.push(run_level(&unbounded_db, clients));
+    }
+    drop(unbounded_db);
+
+    for ((&clients, pooled), unbounded) in
+        levels.iter().zip(&pooled_runs).zip(&unbounded_runs)
+    {
+        let (pp95, up95) = (
+            percentile(&pooled.latencies_us, 0.95),
+            percentile(&unbounded.latencies_us, 0.95),
+        );
+        // Executor threads beyond the clients themselves (each client is
+        // one thread; +2 for the main + sampler threads).
+        let pooled_extra = pooled
+            .peak_threads
+            .saturating_sub(clients as u64 + pooled.base_threads);
+        if current_threads() > 0 && pooled_extra > workers + 4 {
+            pooled_bounded = false;
+        }
+        if clients == *levels.last().unwrap() && up95 > 0 {
+            p95_ratio_at_max = pp95 as f64 / up95 as f64;
+        }
+        rows.push(vec![
+            clients.to_string(),
+            fmt_duration(Duration::from_micros(pp95)),
+            fmt_duration(Duration::from_micros(up95)),
+            pooled.peak_threads.to_string(),
+            unbounded.peak_threads.to_string(),
+            fmt_duration(Duration::from_micros(pooled.wall_us)),
+            fmt_duration(Duration::from_micros(unbounded.wall_us)),
+        ]);
+        level_docs.push(Value::record(vec![
+            ("clients".to_string(), Value::Int64(clients as i64)),
+            ("pooled".to_string(), level_json(pooled)),
+            ("unbounded".to_string(), level_json(unbounded)),
+        ]));
+    }
+
+    // Shape pins (all modes): the pool must keep executor threads bounded
+    // by workers + a small constant, independent of the client count.
+    if current_threads() > 0 {
+        assert!(
+            pooled_bounded,
+            "pooled executor spawned more than workers + constant extra threads"
+        );
+    }
+    // Perf pin (full scale only, with slack): p95 under peak saturation
+    // must not regress vs the unbounded baseline.
+    if !quick && p95_ratio_at_max > 0.0 {
+        assert!(
+            p95_ratio_at_max < 1.25,
+            "pooled p95 at max concurrency is {p95_ratio_at_max:.2}x the unbounded baseline"
+        );
+    }
+
+    let doc = Value::record(vec![
+        ("partitions".to_string(), Value::Int64(cfg.partitions as i64)),
+        ("amazon_records".to_string(), Value::Int64(records as i64)),
+        ("quick".to_string(), Value::Boolean(quick)),
+        (
+            "rounds_per_client".to_string(),
+            Value::Int64(rounds as i64),
+        ),
+        (
+            "queries_per_round".to_string(),
+            Value::Int64(queries.len() as i64),
+        ),
+        (
+            "scheduler".to_string(),
+            Value::record(vec![
+                ("workers".to_string(), Value::Int64(scheduler_cfg.workers as i64)),
+                (
+                    "max_concurrent_queries".to_string(),
+                    Value::Int64(scheduler_cfg.max_concurrent_queries as i64),
+                ),
+                (
+                    "queue_depth".to_string(),
+                    Value::Int64(scheduler_cfg.queue_depth as i64),
+                ),
+                (
+                    "memory_budget_bytes".to_string(),
+                    Value::Int64(scheduler_cfg.memory_budget_bytes as i64),
+                ),
+            ]),
+        ),
+        (
+            "admission".to_string(),
+            Value::record(vec![
+                ("admitted".to_string(), Value::Int64(sched_snap.admitted as i64)),
+                (
+                    "queued_total".to_string(),
+                    Value::Int64(sched_snap.queued_total as i64),
+                ),
+                (
+                    "rejected_queue_full".to_string(),
+                    Value::Int64(sched_snap.rejected_queue_full as i64),
+                ),
+                (
+                    "rejected_timeout".to_string(),
+                    Value::Int64(sched_snap.rejected_timeout as i64),
+                ),
+                (
+                    "queue_wait_p95_us".to_string(),
+                    Value::Int64(sched_snap.queue_wait.percentile_us(0.95) as i64),
+                ),
+                (
+                    "queue_wait_count".to_string(),
+                    Value::Int64(sched_snap.queue_wait.count as i64),
+                ),
+            ]),
+        ),
+        ("levels".to_string(), Value::OrderedList(level_docs)),
+        (
+            "p95_ratio_at_max".to_string(),
+            Value::double(p95_ratio_at_max),
+        ),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_concurrency.json", &json).unwrap();
+    print_table(
+        "Concurrency: pooled + admission vs unbounded seed executor",
+        &[
+            "Clients",
+            "p95 pooled",
+            "p95 unbounded",
+            "Peak thr pooled",
+            "Peak thr unbounded",
+            "Wall pooled",
+            "Wall unbounded",
+        ],
+        &rows,
+    );
+    println!(
+        "p95 ratio at max concurrency (pooled/unbounded): {p95_ratio_at_max:.2}"
+    );
+    println!("wrote BENCH_concurrency.json ({} bytes)", json.len());
 }
 
 /// Table 2: configuration parameters.

@@ -62,10 +62,12 @@ impl RowRef {
 pub struct ExprBuilder(pub Expr);
 
 impl ExprBuilder {
+    /// `word-tokens(self)`.
     pub fn word_tokens(self) -> ExprBuilder {
         ExprBuilder(Expr::call("word-tokens", vec![self.0]))
     }
 
+    /// `gram-tokens(self, n)`.
     pub fn gram_tokens(self, n: usize) -> ExprBuilder {
         ExprBuilder(Expr::call(
             "gram-tokens",
@@ -73,18 +75,22 @@ impl ExprBuilder {
         ))
     }
 
+    /// `self = other`.
     pub fn eq(self, other: ExprBuilder) -> ExprBuilder {
         ExprBuilder(Expr::eq(self.0, other.0))
     }
 
+    /// `self < other`.
     pub fn lt(self, other: ExprBuilder) -> ExprBuilder {
         ExprBuilder(Expr::cmp(CmpOp::Lt, self.0, other.0))
     }
 
+    /// `self and other`.
     pub fn and(self, other: ExprBuilder) -> ExprBuilder {
         ExprBuilder(Expr::And(vec![self.0, other.0]))
     }
 
+    /// A literal value expression.
     pub fn lit(v: impl Into<Value>) -> ExprBuilder {
         ExprBuilder(Expr::Const(v.into()))
     }
@@ -121,11 +127,13 @@ impl QueryBuilder {
         self
     }
 
+    /// Sort rows by the given key expression.
     pub fn order_by(mut self, f: impl Fn(RowRef) -> ExprBuilder + 'static, desc: bool) -> Self {
         self.steps.push(Step::OrderBy(Box::new(f), desc));
         self
     }
 
+    /// Keep only the first `n` rows (after any ordering).
     pub fn limit(mut self, n: usize) -> Self {
         self.steps.push(Step::Limit(n));
         self
@@ -250,10 +258,15 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
+    /// Run against `db` with default [`QueryOptions`].
     pub fn run(&self, db: &Instance) -> Result<QueryResult, CoreError> {
         self.run_with(db, &QueryOptions::default())
     }
 
+    /// Run against `db`. Builder queries skip AQL parsing *and* admission
+    /// control (they are the low-level bench/test API) but still execute
+    /// on the shared worker pool under a per-query memory budget when the
+    /// instance has a scheduler.
     pub fn run_with(
         &self,
         db: &Instance,
@@ -288,11 +301,17 @@ impl PreparedQuery {
         let counters = options
             .profile
             .then(asterix_storage::QueryCounters::handle);
+        // Builder queries bypass AQL compilation *and* admission control
+        // (this is the low-level bench/test API), but still run on the
+        // shared pool under a memory budget when the scheduler is on.
         let job_options = JobOptions {
             timeout: options.timeout,
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
             trace: None,
+            pool: db.scheduler().map(|s| s.pool().clone()),
+            cancel: None,
+            memory_budget: db.scheduler().map(|s| s.memory_budget()),
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;

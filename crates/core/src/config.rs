@@ -1,6 +1,7 @@
 //! Instance configuration — the reproduction of Table 2.
 
 use asterix_algebricks::OptimizerConfig;
+use asterix_hyracks::SchedulerConfig;
 use asterix_storage::StorageConfig;
 use std::time::Duration;
 
@@ -55,9 +56,17 @@ impl TelemetryConfig {
 pub struct InstanceConfig {
     /// Number of data + execution partitions (the paper's 16).
     pub num_partitions: usize,
+    /// Storage-layer knobs (page size, caches, LSM budgets).
     pub storage: StorageConfig,
+    /// Default optimizer settings (overridable per query).
     pub optimizer: OptimizerConfig,
+    /// Telemetry knobs (on by default).
     pub telemetry: TelemetryConfig,
+    /// Query-scheduler knobs: shared worker pool, admission control, and
+    /// the per-query memory budget. On by default; set
+    /// [`SchedulerConfig::disabled`] for the seed per-query-thread
+    /// executor with no admission control.
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for InstanceConfig {
@@ -67,11 +76,13 @@ impl Default for InstanceConfig {
             storage: StorageConfig::default(),
             optimizer: OptimizerConfig::default(),
             telemetry: TelemetryConfig::default(),
+            scheduler: SchedulerConfig::default(),
         }
     }
 }
 
 impl InstanceConfig {
+    /// Default configuration with `n` partitions.
     pub fn with_partitions(n: usize) -> Self {
         InstanceConfig {
             num_partitions: n,
@@ -84,8 +95,7 @@ impl InstanceConfig {
         InstanceConfig {
             num_partitions: n,
             storage: StorageConfig::tiny(),
-            optimizer: OptimizerConfig::default(),
-            telemetry: TelemetryConfig::default(),
+            ..Self::default()
         }
     }
 

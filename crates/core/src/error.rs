@@ -7,8 +7,11 @@ use std::time::Duration;
 /// Anything that can go wrong across the query lifecycle.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
+    /// The AQL text failed to parse.
     Parse(String),
+    /// The parsed AQL could not be translated to a logical plan.
     Translate(String),
+    /// DDL or catalog violation (unknown dataset, duplicate index, ...).
     Schema(String),
     /// A runtime failure inside the executor (operator error or panic).
     Execution(ExecError),

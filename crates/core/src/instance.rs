@@ -3,6 +3,7 @@
 use crate::config::InstanceConfig;
 use crate::error::CoreError;
 use crate::result::{PlanInfo, QueryOptions, QueryResult};
+use crate::scheduler::{QueryScheduler, SchedulerSnapshot};
 use crate::telemetry::{
     DatasetGauges, IndexGauge, InstanceGauges, MetricsSnapshot, QueryClass, QueryOutcome, Telemetry,
 };
@@ -10,7 +11,7 @@ use asterix_adm::{DatasetDef, IndexDef, IndexKind, Value};
 use asterix_algebricks::plan::{explain as explain_plan, operator_counts};
 use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen};
 use asterix_aql::{parse_query, translate, Bindings};
-use asterix_hyracks::{run_job_with, ClusterContext, JobOptions, JobSpec};
+use asterix_hyracks::{run_job_with, CancelToken, ClusterContext, ExecError, JobOptions, JobSpec};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
 use asterix_storage::{
     BufferCache, CacheStats, Disk, LsmEventKind, PartitionStore, QueryCounters, Trace,
@@ -22,9 +23,13 @@ use std::time::{Duration, Instant};
 /// Statistics from building one secondary index (Table 5).
 #[derive(Clone, Debug)]
 pub struct IndexBuildStats {
+    /// Name of the index that was built.
     pub index: String,
+    /// Records indexed across all partitions.
     pub records_indexed: u64,
+    /// Wall-clock build time (parallel across partitions).
     pub build_time: Duration,
+    /// On-disk size of the finished index, summed over partitions.
     pub size_bytes: u64,
 }
 
@@ -39,9 +44,15 @@ pub struct Instance {
     /// The metrics registry + event log + slow-query log; `None` when
     /// `TelemetryConfig::enabled` is false.
     telemetry: Option<Arc<Telemetry>>,
+    /// Shared worker pool + admission controller; `None` when
+    /// `SchedulerConfig::workers == 0` (seed behaviour: per-query
+    /// threads, no admission control, no memory budget).
+    scheduler: Option<QueryScheduler>,
 }
 
 impl Instance {
+    /// Build an instance from `config`, spawning the shared worker pool
+    /// when the scheduler is enabled.
     pub fn new(mut config: InstanceConfig) -> Self {
         let telemetry = config
             .telemetry
@@ -61,19 +72,23 @@ impl Instance {
                 ))
             })
             .collect();
+        let scheduler = QueryScheduler::new(&config.scheduler);
         Instance {
             ctx: ClusterContext::new(config.num_partitions, FunctionRegistry::with_builtins()),
             catalog: RwLock::new(SimpleCatalog::new()),
             caches,
             config,
             telemetry,
+            scheduler,
         }
     }
 
+    /// The configuration this instance was built with.
     pub fn config(&self) -> &InstanceConfig {
         &self.config
     }
 
+    /// Number of data partitions in the simulated cluster.
     pub fn num_partitions(&self) -> usize {
         self.config.num_partitions
     }
@@ -297,30 +312,35 @@ impl Instance {
     pub fn flush(&self, dataset: &str) -> Result<(), CoreError> {
         const MAX_ATTEMPTS: u32 = 4;
         for (pidx, pset) in self.ctx.partitions.iter().enumerate() {
-            let mut set = pset.write();
-            if let Some(store) = set.store_mut(dataset) {
-                let mut attempt = 0u32;
-                loop {
-                    match store.flush_all() {
-                        Ok(()) => break,
-                        Err(e) if e.transient && attempt + 1 < MAX_ATTEMPTS => {
-                            attempt += 1;
-                            if let Some(log) = &self.config.storage.events {
-                                let tag: Arc<str> =
-                                    Arc::from(format!("{dataset}/p{pidx}/*").as_str());
-                                log.record(
-                                    &tag,
-                                    LsmEventKind::FaultRetry,
-                                    0,
-                                    0,
-                                    0,
-                                    Some(format!("flush attempt {attempt}: {e}")),
-                                );
-                            }
-                            std::thread::sleep(Duration::from_millis(1u64 << attempt));
+            let mut attempt = 0u32;
+            loop {
+                // Take the partition's write lock per attempt and release
+                // it before the backoff sleep — holding it across the
+                // sleep would stall every query (and concurrent flush)
+                // touching this partition for the whole retry window.
+                let result = {
+                    let mut set = pset.write();
+                    set.store_mut(dataset).map(|store| store.flush_all())
+                };
+                match result {
+                    None | Some(Ok(())) => break,
+                    Some(Err(e)) if e.transient && attempt + 1 < MAX_ATTEMPTS => {
+                        attempt += 1;
+                        if let Some(log) = &self.config.storage.events {
+                            let tag: Arc<str> =
+                                Arc::from(format!("{dataset}/p{pidx}/*").as_str());
+                            log.record(
+                                &tag,
+                                LsmEventKind::FaultRetry,
+                                0,
+                                0,
+                                0,
+                                Some(format!("flush attempt {attempt}: {e}")),
+                            );
                         }
-                        Err(e) => return Err(e.into()),
+                        std::thread::sleep(Duration::from_millis(1u64 << attempt));
                     }
+                    Some(Err(e)) => return Err(e.into()),
                 }
             }
         }
@@ -410,6 +430,7 @@ impl Instance {
         &self.caches[partition]
     }
 
+    /// Zero every partition's buffer-cache counters (bench support).
     pub fn reset_cache_stats(&self) {
         for c in &self.caches {
             c.reset_stats();
@@ -482,7 +503,17 @@ impl Instance {
             lsm_flushes,
             lsm_merges,
             datasets,
+            scheduler: match &self.scheduler {
+                Some(s) => s.snapshot(),
+                None => SchedulerSnapshot::default(),
+            },
         }
+    }
+
+    /// The query scheduler (worker pool + admission controller), when
+    /// enabled. Tests and the bench harness inspect its gauges here.
+    pub fn scheduler(&self) -> Option<&QueryScheduler> {
+        self.scheduler.as_ref()
     }
 
     /// Run an AQL query with the instance's optimizer settings.
@@ -567,6 +598,43 @@ impl Instance {
         let compile_time = compile_started.elapsed();
         let class = QueryClass::classify(&plan);
 
+        // The cancel token is created (and installed as the context's
+        // active target) *before* admission, so its deadline spans queue
+        // wait + execution and `ClusterContext::cancel_active` can stop
+        // a query that is still waiting in the admission queue.
+        let cancel = Arc::new(match options.timeout {
+            Some(budget) => CancelToken::with_timeout(budget),
+            None => CancelToken::new(),
+        });
+        self.ctx.install_cancel(cancel.clone());
+
+        // Admission sits between compile and execute: queue wait is
+        // recorded in the scheduler's own histogram and deliberately
+        // excluded from the per-class execution-time histogram.
+        let permit = match &self.scheduler {
+            Some(s) => {
+                let admit_span = trace.as_ref().map(|t| t.span("admission"));
+                let admitted = s.admit(class, &cancel);
+                drop(admit_span);
+                match admitted {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        self.ctx.clear_cancel_if(&cancel);
+                        if let Some(t) = &self.telemetry {
+                            let outcome = match &e {
+                                ExecError::AdmissionTimeout(_) => QueryOutcome::Timeout,
+                                ExecError::Cancelled => QueryOutcome::Cancelled,
+                                _ => QueryOutcome::Failed,
+                            };
+                            t.record_query(class, outcome, compile_time, Duration::ZERO, 0);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => None,
+        };
+
         let exec_started = Instant::now();
         // Telemetry needs the per-query storage counters even when the
         // caller didn't ask for a profile (cache hit ratios, index funnel).
@@ -579,19 +647,25 @@ impl Instance {
             trace: trace
                 .clone()
                 .zip(exec_span.as_ref().map(|s| s.id())),
+            pool: self.scheduler.as_ref().map(|s| s.pool().clone()),
+            cancel: Some(cancel),
+            memory_budget: self.scheduler.as_ref().map(|s| s.memory_budget()),
         };
         let run = run_job_with(&job, &self.ctx, &job_options);
         drop(exec_span);
+        // Release the concurrency slot as soon as execution ends so the
+        // next queued query starts while we post-process this one.
+        drop(permit);
         let execution_time = exec_started.elapsed();
         let (tuples, stats) = match run {
             Ok(out) => out,
             Err(e) => {
                 let err = CoreError::from(e);
                 if let Some(t) = &self.telemetry {
-                    let outcome = if matches!(err, CoreError::Timeout(_)) {
-                        QueryOutcome::Timeout
-                    } else {
-                        QueryOutcome::Failed
+                    let outcome = match &err {
+                        CoreError::Timeout(_) => QueryOutcome::Timeout,
+                        CoreError::Cancelled => QueryOutcome::Cancelled,
+                        _ => QueryOutcome::Failed,
                     };
                     t.record_query(class, outcome, compile_time, execution_time, 0);
                 }
@@ -711,6 +785,7 @@ impl Instance {
         &self.ctx
     }
 
+    /// A snapshot of the catalog (datasets and their indexes).
     pub fn catalog(&self) -> SimpleCatalog {
         self.catalog.read().clone()
     }

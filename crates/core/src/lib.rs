@@ -26,12 +26,15 @@
 //! assert_eq!(result.rows.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod config;
 pub mod error;
 pub mod instance;
 pub mod profile;
 pub mod result;
+pub mod scheduler;
 pub mod telemetry;
 
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
@@ -40,7 +43,10 @@ pub use error::CoreError;
 pub use instance::{IndexBuildStats, Instance};
 pub use profile::{CacheProfile, IndexSearchProfile, LsmProfile, OpProfile, QueryProfile};
 pub use result::{PlanInfo, QueryOptions, QueryResult};
+pub use scheduler::{AdmissionPermit, QueryScheduler, SchedulerSnapshot};
 pub use telemetry::{
     Histogram, HistogramSnapshot, InstanceGauges, MetricsSnapshot, QueryClass, QueryOutcome,
     SlowQuery, Telemetry,
 };
+
+pub use asterix_hyracks::SchedulerConfig;

@@ -28,9 +28,13 @@ use std::time::Duration;
 /// Runtime profile of one physical operator, aggregated over partitions.
 #[derive(Clone, Debug)]
 pub struct OpProfile {
+    /// Operator id in the job spec.
     pub id: OpId,
+    /// Operator name (e.g. `"secondary-index-search"`).
     pub name: &'static str,
+    /// Total tuples consumed across partitions.
     pub input_tuples: u64,
+    /// Total tuples produced across partitions.
     pub output_tuples: u64,
     /// Frames this operator sent downstream (channel sends of up to
     /// `FRAME_CAPACITY` tuples).
@@ -57,12 +61,16 @@ impl OpProfile {
 /// Buffer-cache activity attributed to one query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheProfile {
+    /// Page reads served from the buffer cache.
     pub hits: u64,
+    /// Page reads that went to simulated disk.
     pub misses: u64,
+    /// Pages evicted to make room while this query ran.
     pub evictions: u64,
 }
 
 impl CacheProfile {
+    /// hits / (hits + misses), or 0 when no reads happened.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -113,12 +121,17 @@ pub struct LsmProfile {
 pub struct QueryProfile {
     /// Per-operator stats in job-spec order.
     pub operators: Vec<OpProfile>,
+    /// Buffer-cache activity attributed to this query.
     pub cache: CacheProfile,
+    /// Index-search funnel counters attributed to this query.
     pub index_search: IndexSearchProfile,
+    /// LSM probes plus instance-lifetime flush/merge context.
     pub lsm: LsmProfile,
     /// Optimizer rule firings, in application order, with counts.
     pub rule_trace: Vec<(&'static str, usize)>,
+    /// Parse + translate + optimize + job generation time.
     pub compile_time: Duration,
+    /// Parallel execution wall time.
     pub execution_time: Duration,
 }
 
@@ -198,6 +211,7 @@ impl QueryProfile {
         }
     }
 
+    /// The first operator profile with the given name.
     pub fn operator(&self, name: &str) -> Option<&OpProfile> {
         self.operators.iter().find(|o| o.name == name)
     }

@@ -47,10 +47,12 @@ pub struct PlanInfo {
 }
 
 impl PlanInfo {
+    /// Total operator count of the optimized logical plan.
     pub fn total_logical_ops_after(&self) -> usize {
         self.logical_ops_after.iter().map(|(_, n)| n).sum()
     }
 
+    /// Whether the named rewrite rule fired at least once.
     pub fn used_rule(&self, name: &str) -> bool {
         self.rewrites.iter().any(|(r, _)| *r == name)
     }
@@ -61,7 +63,9 @@ impl PlanInfo {
 pub struct QueryResult {
     /// Result values (one per row — the `return` expression's value).
     pub rows: Vec<Value>,
+    /// Per-operator runtime statistics from the executor.
     pub stats: JobStats,
+    /// Compile-time information about the chosen plan.
     pub plan: PlanInfo,
     /// Parse + translate + optimize + job generation time.
     pub compile_time: Duration,

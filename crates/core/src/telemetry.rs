@@ -52,15 +52,20 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 /// non-index three-stage joins' fallback and pure aggregations) is `Scan`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryClass {
+    /// Full scans, aggregations, and non-index fallback plans.
     Scan,
+    /// Secondary-index-accelerated selection.
     IndexSelect,
+    /// Index-nested-loop or three-stage similarity join.
     IndexJoin,
 }
 
 impl QueryClass {
+    /// Every class, in slot order.
     pub const ALL: [QueryClass; 3] =
         [QueryClass::Scan, QueryClass::IndexSelect, QueryClass::IndexJoin];
 
+    /// Stable lowercase name used in metrics keys and labels.
     pub fn name(&self) -> &'static str {
         match self {
             QueryClass::Scan => "scan",
@@ -69,7 +74,7 @@ impl QueryClass {
         }
     }
 
-    fn slot(&self) -> usize {
+    pub(crate) fn slot(&self) -> usize {
         match self {
             QueryClass::Scan => 0,
             QueryClass::IndexSelect => 1,
@@ -92,9 +97,16 @@ impl QueryClass {
 /// How a recorded query ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryOutcome {
+    /// Ran to completion and returned rows.
     Completed,
+    /// Stopped with an error (operator failure, rejection, panic, ...).
     Failed,
+    /// Stopped because its deadline expired — while executing
+    /// (`ExecError::Timeout`) or still queued (`AdmissionTimeout`).
     Timeout,
+    /// Cancelled from outside before completing — including while still
+    /// waiting in the admission queue.
+    Cancelled,
 }
 
 /// Lock-free fixed-bucket log-scale histogram of microsecond durations.
@@ -126,6 +138,7 @@ fn bucket_index(us: u64) -> usize {
 }
 
 impl Histogram {
+    /// Record one sample, in microseconds.
     pub fn record_us(&self, us: u64) {
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -133,10 +146,12 @@ impl Histogram {
         self.max.fetch_max(us, Ordering::Relaxed);
     }
 
+    /// Record one duration sample.
     pub fn record(&self, d: Duration) {
         self.record_us(d.as_micros() as u64);
     }
 
+    /// An immutable copy of the current counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
@@ -150,9 +165,13 @@ impl Histogram {
 /// Immutable view of one histogram.
 #[derive(Clone, Debug, Default)]
 pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `b` covers `[2^(b-1), 2^b)` µs).
     pub buckets: Vec<u64>,
+    /// Total samples recorded.
     pub count: u64,
+    /// Sum of all samples, in microseconds.
     pub sum: u64,
+    /// Largest sample observed, in microseconds.
     pub max: u64,
 }
 
@@ -182,6 +201,7 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Mean sample value in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -213,6 +233,7 @@ struct ClassMetrics {
     completed: AtomicU64,
     failed: AtomicU64,
     timeouts: AtomicU64,
+    cancelled: AtomicU64,
     rows_returned: AtomicU64,
     latency: Histogram,
     compile: Histogram,
@@ -274,14 +295,21 @@ impl StorageTotals {
 pub struct SlowQuery {
     /// Monotone capture sequence number (never reset).
     pub seq: u64,
+    /// The AQL text (or a builder-query placeholder).
     pub query: String,
+    /// Workload class the query was recorded under.
     pub class: QueryClass,
+    /// Parse + translate + optimize + job generation time.
     pub compile_time: Duration,
+    /// Parallel execution wall time.
     pub execution_time: Duration,
+    /// Result rows returned.
     pub rows: u64,
     /// Pretty-printed optimized logical plan.
     pub plan: String,
+    /// Full per-operator + storage profile captured for this query.
     pub profile: QueryProfile,
+    /// Phase spans (admission, execute, ...) captured for this query.
     pub spans: Vec<SpanRecord>,
 }
 
@@ -312,6 +340,7 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
+    /// A fresh registry for an instance with `partitions` partitions.
     pub fn new(cfg: &TelemetryConfig, partitions: usize) -> Telemetry {
         Telemetry {
             started: Instant::now(),
@@ -334,6 +363,7 @@ impl Telemetry {
         &self.events
     }
 
+    /// The instance-wide slow-query capture threshold.
     pub fn slow_query_threshold(&self) -> Duration {
         self.slow_query_threshold
     }
@@ -354,6 +384,7 @@ impl Telemetry {
             QueryOutcome::Completed => m.completed.fetch_add(1, Ordering::Relaxed),
             QueryOutcome::Failed => m.failed.fetch_add(1, Ordering::Relaxed),
             QueryOutcome::Timeout => m.timeouts.fetch_add(1, Ordering::Relaxed),
+            QueryOutcome::Cancelled => m.cancelled.fetch_add(1, Ordering::Relaxed),
         };
         m.rows_returned.fetch_add(rows, Ordering::Relaxed);
         m.latency.record(execution_time);
@@ -446,6 +477,7 @@ impl Telemetry {
                     completed: m.completed.load(Ordering::Relaxed),
                     failed: m.failed.load(Ordering::Relaxed),
                     timeouts: m.timeouts.load(Ordering::Relaxed),
+                    cancelled: m.cancelled.load(Ordering::Relaxed),
                     rows_returned: m.rows_returned.load(Ordering::Relaxed),
                     latency: m.latency.snapshot(),
                     compile: m.compile.snapshot(),
@@ -499,12 +531,19 @@ pub struct InstanceGauges {
     pub lsm_flushes: u64,
     /// Instance-lifetime merges across every LSM tree.
     pub lsm_merges: u64,
+    /// Per-dataset LSM component/size gauges.
     pub datasets: Vec<DatasetGauges>,
+    /// Scheduler + admission-controller state; all-zero with
+    /// `enabled == false` on instances running without a scheduler.
+    pub scheduler: crate::scheduler::SchedulerSnapshot,
 }
 
+/// LSM gauges of one dataset's indexes.
 #[derive(Clone, Debug)]
 pub struct DatasetGauges {
+    /// Dataset name.
     pub dataset: String,
+    /// One gauge per index (primary first).
     pub indexes: Vec<IndexGauge>,
 }
 
@@ -512,32 +551,49 @@ pub struct DatasetGauges {
 /// partitions.
 #[derive(Clone, Debug)]
 pub struct IndexGauge {
+    /// Index name (`"primary"` for the primary index).
     pub name: String,
+    /// Disk components across all partitions.
     pub components: u64,
+    /// Total byte size across all partitions.
     pub size_bytes: u64,
 }
 
 /// Per-class counters + histograms at snapshot time.
 #[derive(Clone, Debug)]
 pub struct ClassSnapshot {
+    /// The workload class these counters describe.
     pub class: QueryClass,
+    /// Queries of this class that completed successfully.
     pub completed: u64,
+    /// Queries of this class that stopped with an error.
     pub failed: u64,
+    /// Queries of this class whose deadline expired (executing or queued).
     pub timeouts: u64,
+    /// Queries of this class cancelled from outside.
+    pub cancelled: u64,
+    /// Rows returned by completed queries of this class.
     pub rows_returned: u64,
+    /// End-to-end execution-time distribution (every outcome).
     pub latency: HistogramSnapshot,
+    /// Compile-time distribution.
     pub compile: HistogramSnapshot,
 }
 
 impl ClassSnapshot {
+    /// All queries of this class regardless of outcome. Always equals
+    /// `latency.count`.
     pub fn total(&self) -> u64 {
-        self.completed + self.failed + self.timeouts
+        self.completed + self.failed + self.timeouts + self.cancelled
     }
 }
 
+/// Work done by one partition across the instance lifetime.
 #[derive(Clone, Debug)]
 pub struct PartitionSnapshot {
+    /// Operator instances executed on this partition.
     pub op_runs: u64,
+    /// Total busy time of those instances, in microseconds.
     pub busy_us: u64,
 }
 
@@ -545,21 +601,35 @@ pub struct PartitionSnapshot {
 /// the JSON and Prometheus renderings can never disagree about content.
 #[derive(Clone, Debug)]
 pub struct MetricsSnapshot {
+    /// False on instances created with telemetry disabled (all zeros).
     pub enabled: bool,
+    /// Microseconds since the instance started.
     pub uptime_us: u64,
+    /// Per-class counters and latency/compile histograms.
     pub classes: Vec<ClassSnapshot>,
+    /// Queries rejected before execution (parse/translate/schema errors).
     pub compile_errors: u64,
+    /// Execution-time histogram per physical operator name.
     pub operators: Vec<(String, HistogramSnapshot)>,
+    /// Per-partition lifetime work gauges.
     pub partitions: Vec<PartitionSnapshot>,
     /// Accumulated query-attributed storage counters.
     pub storage: StorageProfile,
+    /// Live instance gauges sampled at snapshot time.
     pub gauges: InstanceGauges,
+    /// LSM event ring capacity.
     pub events_capacity: u64,
+    /// LSM events recorded since startup (including dropped ones).
     pub events_recorded: u64,
+    /// LSM events dropped because the ring was full.
     pub events_dropped: u64,
+    /// The retained tail of the LSM event ring.
     pub events: Vec<LsmEvent>,
+    /// The slow-query capture threshold, in microseconds.
     pub slow_query_threshold_us: u64,
+    /// Slow queries captured since startup (including evicted ones).
     pub slow_captured: u64,
+    /// The retained slow-query log, oldest first.
     pub slow_queries: Vec<SlowQuery>,
 }
 
@@ -645,6 +715,7 @@ impl MetricsSnapshot {
                             ("completed".into(), Value::Int64(c.completed as i64)),
                             ("failed".into(), Value::Int64(c.failed as i64)),
                             ("timeouts".into(), Value::Int64(c.timeouts as i64)),
+                            ("cancelled".into(), Value::Int64(c.cancelled as i64)),
                             ("rows_returned".into(), Value::Int64(c.rows_returned as i64)),
                             ("latency_us".into(), c.latency.to_json()),
                             ("compile_us".into(), c.compile.to_json()),
@@ -831,6 +902,49 @@ impl MetricsSnapshot {
                 ),
             ),
         ]);
+        let sched = &self.gauges.scheduler;
+        let scheduler = Value::record(vec![
+            ("enabled".into(), Value::Boolean(sched.enabled)),
+            ("workers".into(), Value::Int64(sched.workers as i64)),
+            (
+                "busy_workers".into(),
+                Value::Int64(sched.busy_workers as i64),
+            ),
+            (
+                "pool_queued_tasks".into(),
+                Value::Int64(sched.pool_queued_tasks as i64),
+            ),
+            ("utilization".into(), Value::double(sched.utilization())),
+            (
+                "max_concurrent_queries".into(),
+                Value::Int64(sched.max_concurrent_queries as i64),
+            ),
+            ("queue_depth".into(), Value::Int64(sched.queue_depth as i64)),
+            (
+                "memory_budget_bytes".into(),
+                Value::Int64(sched.memory_budget_bytes as i64),
+            ),
+            ("inflight".into(), Value::Int64(sched.inflight as i64)),
+            ("queued".into(), Value::Int64(sched.queued as i64)),
+            ("admitted".into(), Value::Int64(sched.admitted as i64)),
+            (
+                "queued_total".into(),
+                Value::Int64(sched.queued_total as i64),
+            ),
+            (
+                "rejected_queue_full".into(),
+                Value::Int64(sched.rejected_queue_full as i64),
+            ),
+            (
+                "rejected_timeout".into(),
+                Value::Int64(sched.rejected_timeout as i64),
+            ),
+            (
+                "cancelled_while_queued".into(),
+                Value::Int64(sched.cancelled_while_queued as i64),
+            ),
+            ("queue_wait_us".into(), sched.queue_wait.to_json()),
+        ]);
         Value::record(vec![
             ("telemetry_enabled".into(), Value::Boolean(true)),
             ("uptime_us".into(), Value::Int64(self.uptime_us as i64)),
@@ -841,6 +955,7 @@ impl MetricsSnapshot {
             ),
             ("operators".into(), operators),
             ("partitions".into(), partitions),
+            ("scheduler".into(), scheduler),
             ("storage".into(), storage),
             ("lsm".into(), lsm),
             ("slow_queries".into(), slow),
@@ -881,6 +996,10 @@ impl MetricsSnapshot {
             line(format!(
                 "asterix_queries_total{{class=\"{name}\",outcome=\"timeout\"}} {}",
                 c.timeouts
+            ));
+            line(format!(
+                "asterix_queries_total{{class=\"{name}\",outcome=\"cancelled\"}} {}",
+                c.cancelled
             ));
         }
         line(format!(
@@ -981,6 +1100,67 @@ impl MetricsSnapshot {
             "# TYPE asterix_slow_queries_total counter\nasterix_slow_queries_total {}",
             self.slow_captured
         ));
+        let sched = &self.gauges.scheduler;
+        line(format!(
+            "# TYPE asterix_scheduler_enabled gauge\nasterix_scheduler_enabled {}",
+            if sched.enabled { 1 } else { 0 }
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_workers gauge\nasterix_scheduler_workers {}",
+            sched.workers
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_busy_workers gauge\nasterix_scheduler_busy_workers {}",
+            sched.busy_workers
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_utilization gauge\nasterix_scheduler_utilization {}",
+            sched.utilization()
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_inflight_queries gauge\nasterix_scheduler_inflight_queries {}",
+            sched.inflight
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_queued_queries gauge\nasterix_scheduler_queued_queries {}",
+            sched.queued
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_admitted_total counter\nasterix_scheduler_admitted_total {}",
+            sched.admitted
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_queued_total counter\nasterix_scheduler_queued_total {}",
+            sched.queued_total
+        ));
+        line("# TYPE asterix_scheduler_rejected_total counter".to_string());
+        line(format!(
+            "asterix_scheduler_rejected_total{{reason=\"queue-full\"}} {}",
+            sched.rejected_queue_full
+        ));
+        line(format!(
+            "asterix_scheduler_rejected_total{{reason=\"timeout\"}} {}",
+            sched.rejected_timeout
+        ));
+        line(format!(
+            "# TYPE asterix_scheduler_cancelled_while_queued_total counter\nasterix_scheduler_cancelled_while_queued_total {}",
+            sched.cancelled_while_queued
+        ));
+        line("# TYPE asterix_scheduler_queue_wait_us summary".to_string());
+        for q in [0.5, 0.95, 0.99] {
+            line(format!(
+                "asterix_scheduler_queue_wait_us{{quantile=\"{q}\"}} {}",
+                sched.queue_wait.percentile_us(q)
+            ));
+        }
+        line(format!(
+            "asterix_scheduler_queue_wait_us_sum {}",
+            sched.queue_wait.sum
+        ));
+        line(format!(
+            "asterix_scheduler_queue_wait_us_count {}",
+            sched.queue_wait.count
+        ));
         out
     }
 }
@@ -1061,6 +1241,7 @@ mod tests {
             "completed",
             "failed",
             "timeouts",
+            "cancelled",
             "latency_us",
             "compile_us",
             "\"p50\"",
@@ -1070,6 +1251,20 @@ mod tests {
             "compile_errors",
             "operators",
             "partitions",
+            "scheduler",
+            "workers",
+            "busy_workers",
+            "utilization",
+            "max_concurrent_queries",
+            "queue_depth",
+            "memory_budget_bytes",
+            "inflight",
+            "admitted",
+            "queued_total",
+            "rejected_queue_full",
+            "rejected_timeout",
+            "cancelled_while_queued",
+            "queue_wait_us",
             "buffer_cache",
             "postings_cache",
             "hit_ratio",

@@ -20,26 +20,32 @@ pub struct PartitionSet {
 }
 
 impl PartitionSet {
+    /// An empty partition with no dataset stores yet.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Add (or replace) this partition's store for `store.dataset`.
     pub fn insert_store(&mut self, store: PartitionStore) {
         self.stores.insert(store.dataset.name.clone(), store);
     }
 
+    /// This partition's store for `dataset`, if the dataset exists.
     pub fn store(&self, dataset: &str) -> Option<&PartitionStore> {
         self.stores.get(dataset)
     }
 
+    /// Mutable access to this partition's store for `dataset`.
     pub fn store_mut(&mut self, dataset: &str) -> Option<&mut PartitionStore> {
         self.stores.get_mut(dataset)
     }
 
+    /// Names of every dataset with a store on this partition.
     pub fn dataset_names(&self) -> impl Iterator<Item = &str> {
         self.stores.keys().map(|s| s.as_str())
     }
 
+    /// Every dataset store on this partition.
     pub fn stores(&self) -> impl Iterator<Item = &PartitionStore> {
         self.stores.values()
     }
@@ -50,6 +56,7 @@ pub struct ClusterContext {
     /// One entry per partition; `RwLock` because loads mutate and queries
     /// read concurrently across operator threads.
     pub partitions: Vec<RwLock<PartitionSet>>,
+    /// Similarity functions and UDFs callable from scalar expressions.
     pub registry: FunctionRegistry,
     /// Cancel token of the job currently running on this context, if any;
     /// installed by the executor for the duration of a run so that
@@ -60,6 +67,7 @@ pub struct ClusterContext {
 }
 
 impl ClusterContext {
+    /// A cluster of `num_partitions` empty partitions sharing `registry`.
     pub fn new(num_partitions: usize, registry: FunctionRegistry) -> Self {
         assert!(num_partitions > 0);
         ClusterContext {
@@ -71,16 +79,28 @@ impl ClusterContext {
         }
     }
 
+    /// Number of partitions in the simulated cluster.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
 
-    pub(crate) fn install_cancel(&self, token: Arc<CancelToken>) {
+    /// Install `token` as the context's active cancel target. The executor
+    /// does this for every run; callers that create the token themselves
+    /// (e.g. to allow cancelling a query that is still waiting for
+    /// admission) may install it earlier — installing the same `Arc` twice
+    /// is harmless.
+    pub fn install_cancel(&self, token: Arc<CancelToken>) {
         *self.active_cancel.lock() = Some(token);
     }
 
-    pub(crate) fn clear_cancel(&self) {
-        *self.active_cancel.lock() = None;
+    /// Clear the active cancel slot, but only if it still holds `token`.
+    /// An unconditional clear would clobber the token of a job that
+    /// started concurrently and installed itself after us.
+    pub fn clear_cancel_if(&self, token: &Arc<CancelToken>) {
+        let mut slot = self.active_cancel.lock();
+        if slot.as_ref().is_some_and(|t| Arc::ptr_eq(t, token)) {
+            *slot = None;
+        }
     }
 
     /// Request cooperative cancellation of the job currently running on

@@ -26,14 +26,20 @@ pub enum ExecError {
     /// An operator instance returned an error (expression evaluation,
     /// unknown dataset, index failure, injected fault, ...).
     Operator {
+        /// Name of the failing operator.
         op: String,
+        /// Partition index the failing instance ran on.
         partition: usize,
+        /// The operator's own error message.
         message: String,
     },
     /// An operator instance panicked; the panic was caught and converted.
     Panic {
+        /// Name of the panicking operator.
         op: String,
+        /// Partition index the panicking instance ran on.
         partition: usize,
+        /// The panic payload, stringified.
         message: String,
     },
     /// The job exceeded its deadline ([`crate::exec::JobOptions::timeout`]).
@@ -43,6 +49,26 @@ pub enum ExecError {
     Cancelled,
     /// A storage-level I/O failure surfaced through an operator.
     Io(String),
+    /// The query waited in the admission queue longer than its deadline
+    /// and was never started.
+    AdmissionTimeout(Duration),
+    /// The admission queue was already at `queue_depth` when the query
+    /// arrived; it was rejected immediately rather than queued.
+    QueueFull {
+        /// Queries waiting in the admission queue at arrival time.
+        queued: usize,
+        /// The configured queue capacity that was exhausted.
+        queue_depth: usize,
+    },
+    /// The query's cumulative frame/cache allocations exceeded its
+    /// per-query memory budget; it was stopped instead of growing
+    /// without bound.
+    MemoryBudgetExceeded {
+        /// Bytes charged when the budget tripped.
+        used: u64,
+        /// The configured per-query ceiling in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -64,6 +90,19 @@ impl fmt::Display for ExecError {
             }
             ExecError::Cancelled => f.write_str("query cancelled"),
             ExecError::Io(m) => write!(f, "i/o error: {m}"),
+            ExecError::AdmissionTimeout(waited) => write!(
+                f,
+                "query rejected: waited {} ms in the admission queue without being started",
+                waited.as_millis()
+            ),
+            ExecError::QueueFull { queued, queue_depth } => write!(
+                f,
+                "query rejected: admission queue full ({queued} queued, capacity {queue_depth})"
+            ),
+            ExecError::MemoryBudgetExceeded { used, limit } => write!(
+                f,
+                "query stopped: memory budget exceeded ({used} bytes charged, limit {limit})"
+            ),
         }
     }
 }

@@ -5,18 +5,38 @@
 //! `catch_unwind`, the first failure (error, panic, or deadline) trips the
 //! job's shared [`CancelToken`], and all other partitions observe it at
 //! their next cooperative check instead of running — or blocking — to
-//! completion. Edge channels are bounded, so a fast producer feeding a slow
-//! consumer exerts backpressure rather than buffering without limit.
+//! completion.
+//!
+//! Two execution modes share that supervision contract:
+//!
+//! * **Pipelined** (the default, [`JobOptions::pool`] = `None`): every
+//!   operator partition gets its own scoped OS thread and all operators
+//!   run concurrently. Edge channels are bounded, so a fast producer
+//!   feeding a slow consumer exerts backpressure rather than buffering
+//!   without limit.
+//! * **Pooled** ([`JobOptions::pool`] set): tasks run on a shared,
+//!   instance-lifetime [`WorkerPool`] instead of fresh threads. A fixed
+//!   pool would deadlock if a running task could block on a task still
+//!   queued behind it, so this mode executes *stage-at-a-time* (like real
+//!   Hyracks activity clusters): an operator's tasks are only submitted
+//!   once every upstream operator has completed, its inputs are then fully
+//!   buffered and closed, and edge channels are unbounded so sends never
+//!   block either. Any pool size ≥ 1 therefore makes progress, and results
+//!   are identical to the pipelined mode (operators are deterministic per
+//!   partition and routing does not depend on interleaving). The
+//!   backpressure lost to unbounded buffering is re-bounded by the
+//!   per-query [`JobOptions::memory_budget`].
 
 use crate::context::ClusterContext;
 use crate::error::{panic_message, CancelToken, ExecError, OpError};
-use crate::job::{JobSpec, OpId};
+use crate::job::{JobSpec, OpId, PhysicalOp};
 use crate::ops::{run_operator, Out, Router};
+use crate::pool::{PoolScope, WorkerPool};
 use crate::tuple::{Frame, Tuple};
-use asterix_storage::QueryCounters;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use asterix_storage::{MemoryBudget, QueryCounters};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,11 +66,26 @@ pub struct JobOptions {
     /// (the caller's `execute` span). When set, every operator partition
     /// records one span with its wall time.
     pub trace: Option<(Arc<asterix_storage::Trace>, u64)>,
+    /// Run the job's tasks on this shared worker pool (stage-at-a-time)
+    /// instead of spawning one thread per operator-partition. `None` =
+    /// the pipelined per-query `thread::scope` executor.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Use this caller-created cancel token instead of making a fresh one.
+    /// Lets the caller install the token *before* the job starts (e.g.
+    /// while the query waits for admission) so external cancellation works
+    /// over the query's whole lifetime. When set, [`JobOptions::timeout`]
+    /// is ignored here — encode the deadline in the token itself.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Per-query memory budget charged by connector frame sends (and,
+    /// softly, postings-cache installs). Exceeding it stops the job with
+    /// [`ExecError::MemoryBudgetExceeded`].
+    pub memory_budget: Option<Arc<MemoryBudget>>,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
 #[derive(Clone, Debug, Default)]
 pub struct OpStats {
+    /// Operator name (e.g. `"dataset-scan"`, `"similarity-join"`).
     pub name: &'static str,
     /// Total tuples consumed across partitions.
     pub input_tuples: u64,
@@ -75,7 +110,9 @@ pub struct OpStats {
 /// Statistics for a whole job run.
 #[derive(Clone, Debug, Default)]
 pub struct JobStats {
+    /// Aggregated runtime statistics per operator.
     pub per_op: HashMap<OpId, OpStats>,
+    /// Wall time of the whole job (admission excluded).
     pub elapsed: Duration,
 }
 
@@ -127,14 +164,118 @@ pub fn run_job_with(
     options: &JobOptions,
 ) -> Result<(Vec<Tuple>, JobStats), ExecError> {
     job.validate().map_err(ExecError::InvalidJob)?;
-    let p = ctx.num_partitions();
     let started = Instant::now();
 
-    let cancel = Arc::new(match options.timeout {
-        Some(budget) => CancelToken::with_timeout(budget),
-        None => CancelToken::new(),
-    });
+    let cancel = match &options.cancel {
+        Some(token) => token.clone(),
+        None => Arc::new(match options.timeout {
+            Some(budget) => CancelToken::with_timeout(budget),
+            None => CancelToken::new(),
+        }),
+    };
     ctx.install_cancel(cancel.clone());
+    let result = match &options.pool {
+        Some(pool) => run_pooled(job, ctx, options, pool, &cancel, started),
+        None => run_pipelined(job, ctx, options, &cancel, started),
+    };
+    // Clear only our own token: an unconditional clear would clobber the
+    // token of a job that started concurrently after us.
+    ctx.clear_cancel_if(&cancel);
+    result
+}
+
+/// Borrowed environment shared by every operator task of one run.
+struct TaskShared<'a> {
+    ctx: &'a ClusterContext,
+    cancel: &'a Arc<CancelToken>,
+    options: &'a JobOptions,
+    sink_tuples: &'a Mutex<Vec<Tuple>>,
+    stats: &'a Mutex<HashMap<OpId, OpStats>>,
+}
+
+/// Run one operator partition: scope per-query attribution onto the
+/// current thread, supervise the operator body with `catch_unwind`, and
+/// either accumulate its stats or report its (typed) failure. Identical
+/// for both execution modes — only who provides the thread differs.
+fn run_task(
+    shared: &TaskShared<'_>,
+    op: &PhysicalOp,
+    op_id: OpId,
+    partition: usize,
+    inputs: Vec<Receiver<Frame>>,
+    routers: Vec<Router>,
+    report: &(dyn Fn(ExecError) + Sync),
+) {
+    // Attribute every storage event on this thread to the owning query
+    // (concurrent jobs each scope their own handle, so their stats stay
+    // independent). Same pattern for the memory budget.
+    let _counter_scope = shared.options.counters.as_ref().map(|c| c.enter());
+    let _budget_scope = shared.options.memory_budget.as_ref().map(|b| b.enter());
+    // One span per operator partition, parented under the caller's
+    // `execute` span (explicit id — the parent lives on another thread's
+    // stack).
+    let _span = shared
+        .options
+        .trace
+        .as_ref()
+        .map(|(t, parent)| t.span_with(op.name(), Some(*parent), Some(partition)));
+    let t0 = Instant::now();
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_operator(
+            op,
+            partition,
+            inputs,
+            Out::new(routers),
+            shared.ctx,
+            shared.cancel,
+            shared.sink_tuples,
+            shared.options.disable_hotpath,
+        )
+    }));
+    let elapsed = t0.elapsed();
+    let outcome = match caught {
+        Ok(Ok(io)) => Ok(io),
+        Ok(Err(OpError::Exec(e))) => Err(e),
+        Ok(Err(OpError::Failed(message))) => Err(ExecError::Operator {
+            op: format!("{op_id} ({})", op.name()),
+            partition,
+            message,
+        }),
+        Err(payload) => Err(ExecError::Panic {
+            op: format!("{op_id} ({})", op.name()),
+            partition,
+            message: panic_message(payload.as_ref()),
+        }),
+    };
+    match outcome {
+        Ok((input_tuples, out_counts)) => {
+            let mut st = shared.stats.lock();
+            let entry = st.entry(op_id).or_insert_with(|| OpStats {
+                name: op.name(),
+                ..OpStats::default()
+            });
+            entry.input_tuples += input_tuples;
+            entry.output_tuples += out_counts.tuples;
+            entry.frames_emitted += out_counts.frames;
+            entry.bytes_emitted += out_counts.bytes;
+            entry.max_partition_time = entry.max_partition_time.max(elapsed);
+            entry.max_partition_input = entry.max_partition_input.max(input_tuples);
+            entry.partition_times.push((partition, elapsed));
+        }
+        Err(e) => report(e),
+    }
+}
+
+/// The pipelined executor: one scoped OS thread per operator partition,
+/// all operators running concurrently, bounded edges for backpressure.
+fn run_pipelined(
+    job: &JobSpec,
+    ctx: &ClusterContext,
+    options: &JobOptions,
+    cancel: &Arc<CancelToken>,
+    started: Instant,
+) -> Result<(Vec<Tuple>, JobStats), ExecError> {
+    let p = ctx.num_partitions();
 
     // Channels: one bounded (sender, receiver) pair per (edge, consumer
     // partition). Producers of an edge share clones of all its senders.
@@ -166,6 +307,13 @@ pub fn run_job_with(
             *slot = Some(e);
         }
         cancel.cancel();
+    };
+    let shared = TaskShared {
+        ctx,
+        cancel,
+        options,
+        sink_tuples: &sink_tuples,
+        stats: &stats,
     };
 
     std::thread::scope(|scope| {
@@ -223,71 +371,11 @@ pub fn run_job_with(
                         )
                     })
                     .collect();
-                let stats = &stats;
                 let report = &report;
-                let sink_tuples = &sink_tuples;
-                let cancel = &cancel;
+                let shared = &shared;
                 let op_id = *op_id;
-                let counters = options.counters.clone();
-                let trace = options.trace.clone();
-                let disable_hotpath = options.disable_hotpath;
                 scope.spawn(move || {
-                    // Attribute every storage event on this thread to the
-                    // owning query (concurrent jobs each scope their own
-                    // handle, so their stats stay independent).
-                    let _counter_scope = counters.as_ref().map(|c| c.enter());
-                    // One span per operator partition, parented under the
-                    // caller's `execute` span (explicit id — the parent
-                    // lives on another thread's stack).
-                    let _span = trace
-                        .as_ref()
-                        .map(|(t, parent)| t.span_with(op.name(), Some(*parent), Some(partition)));
-                    let t0 = Instant::now();
-                    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        run_operator(
-                            op,
-                            partition,
-                            inputs,
-                            Out::new(routers),
-                            ctx,
-                            cancel,
-                            sink_tuples,
-                            disable_hotpath,
-                        )
-                    }));
-                    let elapsed = t0.elapsed();
-                    let outcome = match caught {
-                        Ok(Ok(io)) => Ok(io),
-                        Ok(Err(OpError::Exec(e))) => Err(e),
-                        Ok(Err(OpError::Failed(message))) => Err(ExecError::Operator {
-                            op: format!("{op_id} ({})", op.name()),
-                            partition,
-                            message,
-                        }),
-                        Err(payload) => Err(ExecError::Panic {
-                            op: format!("{op_id} ({})", op.name()),
-                            partition,
-                            message: panic_message(payload.as_ref()),
-                        }),
-                    };
-                    match outcome {
-                        Ok((input_tuples, out_counts)) => {
-                            let mut st = stats.lock();
-                            let entry = st.entry(op_id).or_insert_with(|| OpStats {
-                                name: op.name(),
-                                ..OpStats::default()
-                            });
-                            entry.input_tuples += input_tuples;
-                            entry.output_tuples += out_counts.tuples;
-                            entry.frames_emitted += out_counts.frames;
-                            entry.bytes_emitted += out_counts.bytes;
-                            entry.max_partition_time = entry.max_partition_time.max(elapsed);
-                            entry.max_partition_input =
-                                entry.max_partition_input.max(input_tuples);
-                            entry.partition_times.push((partition, elapsed));
-                        }
-                        Err(e) => report(e),
-                    }
+                    run_task(shared, op, op_id, partition, inputs, routers, report);
                 });
             }
         }
@@ -298,7 +386,6 @@ pub fn run_job_with(
         }
     });
 
-    ctx.clear_cancel();
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
@@ -308,6 +395,262 @@ pub fn run_job_with(
         sink_tuples.into_inner(),
         JobStats {
             per_op,
+            elapsed: started.elapsed(),
+        },
+    ))
+}
+
+/// Completion notice: sent (via `Drop`, so panics still notify) when one
+/// operator-partition task of the pooled executor finishes.
+struct DoneNotice {
+    tx: Sender<usize>,
+    op_index: usize,
+}
+
+impl Drop for DoneNotice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(self.op_index);
+    }
+}
+
+/// Submit all `p` partition tasks of one operator to the pool. Called only
+/// once every upstream operator has completed, so the tasks' inputs are
+/// fully buffered and closed and the tasks never block on each other.
+/// Returns the number of tasks submitted.
+#[allow(clippy::too_many_arguments)]
+fn submit_op<'env>(
+    scope: &PoolScope<'env, '_>,
+    job: &'env JobSpec,
+    op_index: usize,
+    p: usize,
+    edge_receivers: &mut [Vec<Option<Receiver<Frame>>>],
+    edge_senders: &[Vec<Sender<Frame>>],
+    input_edges: &[Vec<usize>],
+    output_edges: &[Vec<usize>],
+    shared: &'env TaskShared<'env>,
+    report: &'env (dyn Fn(ExecError) + Sync),
+    done_tx: &Sender<usize>,
+) -> usize {
+    let (op_id, op) = (&job.ops[op_index].0, &job.ops[op_index].1);
+    let mut submitted = 0;
+    // `partition` indexes the inner dimension of several parallel edge
+    // vectors; an enumerate over any single one of them would misread.
+    #[allow(clippy::needless_range_loop)]
+    for partition in 0..p {
+        let mut inputs: Vec<Receiver<Frame>> = Vec::with_capacity(input_edges[op_index].len());
+        let mut wiring_error = None;
+        for ei in &input_edges[op_index] {
+            match edge_receivers[*ei][partition].take() {
+                Some(rx) => inputs.push(rx),
+                None => {
+                    wiring_error = Some(ExecError::InvalidJob(format!(
+                        "{op_id} ({}) partition {partition}: input edge already consumed",
+                        op.name()
+                    )));
+                    break;
+                }
+            }
+        }
+        if let Some(e) = wiring_error {
+            report(e);
+            continue;
+        }
+        let routers: Vec<Router> = output_edges[op_index]
+            .iter()
+            .map(|ei| {
+                Router::new(
+                    job.edges[*ei].connector.clone(),
+                    edge_senders[*ei].clone(),
+                    partition,
+                    shared.cancel.clone(),
+                )
+            })
+            .collect();
+        let op_id = *op_id;
+        let notice = DoneNotice {
+            tx: done_tx.clone(),
+            op_index,
+        };
+        scope.submit(move || {
+            let _notice = notice;
+            run_task(shared, op, op_id, partition, inputs, routers, report);
+        });
+        submitted += 1;
+    }
+    submitted
+}
+
+/// The pooled executor: stage-at-a-time execution on a shared
+/// [`WorkerPool`]. The calling thread acts as the job driver — it submits
+/// operators whose upstreams have all completed, collects per-task
+/// completion notices, and closes each completed operator's output edges
+/// so downstream tasks observe end-of-stream after draining the buffer.
+fn run_pooled(
+    job: &JobSpec,
+    ctx: &ClusterContext,
+    options: &JobOptions,
+    pool: &WorkerPool,
+    cancel: &Arc<CancelToken>,
+    started: Instant,
+) -> Result<(Vec<Tuple>, JobStats), ExecError> {
+    let p = ctx.num_partitions();
+    let num_ops = job.ops.len();
+
+    // Unbounded channels: a bounded send could block a pooled task on a
+    // consumer task that is not scheduled yet (deadlock on a full pool).
+    // The per-query memory budget re-bounds what backpressure no longer
+    // does.
+    let mut edge_senders: Vec<Vec<Sender<Frame>>> = Vec::with_capacity(job.edges.len());
+    let mut edge_receivers: Vec<Vec<Option<Receiver<Frame>>>> =
+        Vec::with_capacity(job.edges.len());
+    for _ in &job.edges {
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        edge_senders.push(senders);
+        edge_receivers.push(receivers);
+    }
+
+    // Edge indices by role, per operator (ops are indexed by OpId.0).
+    let mut input_edges: Vec<Vec<usize>> = vec![Vec::new(); num_ops];
+    let mut output_edges: Vec<Vec<usize>> = vec![Vec::new(); num_ops];
+    for (i, e) in job.edges.iter().enumerate() {
+        output_edges[e.from.0].push(i);
+    }
+    for (op_index, slots) in input_edges.iter_mut().enumerate() {
+        let mut v: Vec<(usize, usize)> = job
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to.0 == op_index)
+            .map(|(i, e)| (e.input, i))
+            .collect();
+        v.sort();
+        *slots = v.into_iter().map(|(_, i)| i).collect();
+    }
+    // Distinct upstream producers per operator drive stage eligibility.
+    let mut remaining_upstream = vec![0usize; num_ops];
+    let mut downstream: Vec<Vec<usize>> = vec![Vec::new(); num_ops];
+    for op_index in 0..num_ops {
+        let ups: HashSet<usize> = input_edges[op_index]
+            .iter()
+            .map(|ei| job.edges[*ei].from.0)
+            .collect();
+        remaining_upstream[op_index] = ups.len();
+        for u in ups {
+            downstream[u].push(op_index);
+        }
+    }
+
+    let sink_tuples: Mutex<Vec<Tuple>> = Mutex::new(Vec::new());
+    let stats: Mutex<HashMap<OpId, OpStats>> = Mutex::new(HashMap::new());
+    let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let report = |e: ExecError| {
+        let mut slot = first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        cancel.cancel();
+    };
+    let shared = TaskShared {
+        ctx,
+        cancel,
+        options,
+        sink_tuples: &sink_tuples,
+        stats: &stats,
+    };
+    let (done_tx, done_rx) = unbounded::<usize>();
+
+    pool.scope(|scope| {
+        let report: &(dyn Fn(ExecError) + Sync) = &report;
+        let shared = &shared;
+        let mut partitions_done = vec![0usize; num_ops];
+        let mut completed_ops = 0usize;
+        let mut inflight_tasks = 0usize;
+
+        // Source operators (no upstream) start immediately, in id order.
+        for op_index in (0..num_ops).filter(|&i| remaining_upstream[i] == 0) {
+            inflight_tasks += submit_op(
+                scope,
+                job,
+                op_index,
+                p,
+                &mut edge_receivers,
+                &edge_senders,
+                &input_edges,
+                &output_edges,
+                shared,
+                report,
+                &done_tx,
+            );
+        }
+
+        while completed_ops < num_ops {
+            // Stop driving new stages once anything failed; in-flight
+            // tasks unwind cooperatively and the scope joins them.
+            if first_error.lock().is_some() {
+                break;
+            }
+            match done_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(op_index) => {
+                    inflight_tasks -= 1;
+                    partitions_done[op_index] += 1;
+                    if partitions_done[op_index] < p {
+                        continue;
+                    }
+                    completed_ops += 1;
+                    // The operator is done everywhere: drop its edges'
+                    // master senders (its tasks' Router clones are already
+                    // gone) so consumers see end-of-stream after draining.
+                    for ei in &output_edges[op_index] {
+                        edge_senders[*ei].clear();
+                    }
+                    for &d in &downstream[op_index] {
+                        remaining_upstream[d] -= 1;
+                        if remaining_upstream[d] == 0 {
+                            inflight_tasks += submit_op(
+                                scope,
+                                job,
+                                d,
+                                p,
+                                &mut edge_receivers,
+                                &edge_senders,
+                                &input_edges,
+                                &output_edges,
+                                shared,
+                                report,
+                                &done_tx,
+                            );
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Unreachable for a validated (acyclic) DAG: some task
+                    // is always in flight until every op completes. Guard
+                    // against an internal scheduling bug anyway.
+                    if inflight_tasks == 0 {
+                        report(ExecError::InvalidJob(
+                            "pooled execution stalled with no tasks in flight".into(),
+                        ));
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok((
+        sink_tuples.into_inner(),
+        JobStats {
+            per_op: stats.into_inner(),
             elapsed: started.elapsed(),
         },
     ))
@@ -963,5 +1306,198 @@ mod tests {
         let cp = stats.critical_path_tuples();
         // The sink consumes all 6 rows on one partition.
         assert!(cp >= 6, "critical path {cp}");
+    }
+
+    fn pooled(pool: &Arc<crate::pool::WorkerPool>) -> JobOptions {
+        JobOptions {
+            pool: Some(pool.clone()),
+            ..JobOptions::default()
+        }
+    }
+
+    #[test]
+    fn pooled_scan_matches_pipelined() {
+        let ctx = cluster(4, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sort = job.add(PhysicalOp::Sort {
+            keys: vec![SortKey::asc(0)],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sort, 0, ConnectorKind::ToOne);
+        job.pipe(sort, sink);
+        let (seed_rows, _) = run_job(&job, &ctx).unwrap();
+        // A 1-worker pool must still complete any DAG (stage-at-a-time
+        // tasks never wait on each other).
+        let pool = crate::pool::WorkerPool::new(1);
+        let (pooled_rows, stats) = run_job_with(&job, &ctx, &pooled(&pool)).unwrap();
+        assert_eq!(seed_rows, pooled_rows);
+        assert_eq!(stats.total_output_of("dataset-scan"), 6);
+    }
+
+    #[test]
+    fn pooled_multi_input_join_matches_pipelined() {
+        let ctx = cluster(3, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan_l = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let scan_r = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let join = job.add(PhysicalOp::HashJoin {
+            left_keys: vec![0],
+            right_keys: vec![0],
+        });
+        let sort = job.add(PhysicalOp::Sort {
+            keys: vec![SortKey::asc(0)],
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan_l, join, 0, ConnectorKind::Hash(vec![0]));
+        job.connect(scan_r, join, 1, ConnectorKind::Hash(vec![0]));
+        job.connect(join, sort, 0, ConnectorKind::ToOne);
+        job.pipe(sort, sink);
+        let (seed_rows, _) = run_job(&job, &ctx).unwrap();
+        let pool = crate::pool::WorkerPool::new(2);
+        let (pooled_rows, _) = run_job_with(&job, &ctx, &pooled(&pool)).unwrap();
+        assert_eq!(seed_rows, pooled_rows);
+    }
+
+    #[test]
+    fn pooled_runs_reuse_one_pool_across_jobs() {
+        let ctx = cluster(2, &sample_rows());
+        let pool = crate::pool::WorkerPool::new(2);
+        for _ in 0..5 {
+            let mut job = JobSpec::new();
+            let scan = job.add(PhysicalOp::DatasetScan {
+                dataset: "ARevs".into(),
+            });
+            let sink = job.add(PhysicalOp::ResultSink);
+            job.connect(scan, sink, 0, ConnectorKind::ToOne);
+            let (rows, _) = run_job_with(&job, &ctx, &pooled(&pool)).unwrap();
+            assert_eq!(rows.len(), 6);
+        }
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn pooled_error_and_panic_stay_typed() {
+        for mode in [FaultMode::Error, FaultMode::Panic] {
+            let (ctx, job) = faulty_job(mode);
+            let pool = crate::pool::WorkerPool::new(2);
+            let err = run_job_with(&job, &ctx, &pooled(&pool)).unwrap_err();
+            match (mode, &err) {
+                (FaultMode::Error, ExecError::Operator { .. })
+                | (FaultMode::Panic, ExecError::Panic { .. })
+                | (_, ExecError::Cancelled) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+            // The pool survives a failed job and can run another.
+            let ctx2 = cluster(2, &sample_rows());
+            let mut ok_job = JobSpec::new();
+            let scan = ok_job.add(PhysicalOp::DatasetScan {
+                dataset: "ARevs".into(),
+            });
+            let sink = ok_job.add(PhysicalOp::ResultSink);
+            ok_job.connect(scan, sink, 0, ConnectorKind::ToOne);
+            let (rows, _) = run_job_with(&ok_job, &ctx2, &pooled(&pool)).unwrap();
+            assert_eq!(rows.len(), 6);
+        }
+    }
+
+    #[test]
+    fn pooled_deadline_produces_timeout_error() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let slow = job.add(PhysicalOp::Throttle {
+            micros_per_tuple: 100_000,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, slow);
+        job.connect(slow, sink, 0, ConnectorKind::ToOne);
+        let pool = crate::pool::WorkerPool::new(2);
+        let started = Instant::now();
+        let err = run_job_with(
+            &job,
+            &ctx,
+            &JobOptions {
+                timeout: Some(Duration::from_millis(40)),
+                pool: Some(pool),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Timeout(_)),
+            "expected timeout, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "timeout took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn memory_budget_exceeded_is_typed() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.connect(scan, sink, 0, ConnectorKind::ToOne);
+        let pool = crate::pool::WorkerPool::new(2);
+        // A 1-byte budget cannot absorb the scan's record frames.
+        let err = run_job_with(
+            &job,
+            &ctx,
+            &JobOptions {
+                pool: Some(pool),
+                memory_budget: Some(asterix_storage::MemoryBudget::new(1)),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::MemoryBudgetExceeded { limit: 1, .. } | ExecError::Cancelled
+            ),
+            "expected memory-budget error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn caller_provided_cancel_token_governs_the_job() {
+        let ctx = cluster(2, &sample_rows());
+        let mut job = JobSpec::new();
+        let scan = job.add(PhysicalOp::DatasetScan {
+            dataset: "ARevs".into(),
+        });
+        let slow = job.add(PhysicalOp::Throttle {
+            micros_per_tuple: 100_000,
+        });
+        let sink = job.add(PhysicalOp::ResultSink);
+        job.pipe(scan, slow);
+        job.connect(slow, sink, 0, ConnectorKind::ToOne);
+        let token = Arc::new(CancelToken::new());
+        token.cancel(); // cancelled before the job even starts
+        let err = run_job_with(
+            &job,
+            &ctx,
+            &JobOptions {
+                cancel: Some(token),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Cancelled), "got {err:?}");
     }
 }

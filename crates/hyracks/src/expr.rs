@@ -13,11 +13,17 @@ use std::fmt;
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `!=`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -53,14 +59,19 @@ impl fmt::Display for CmpOp {
 pub enum Expr {
     /// Positional column reference.
     Column(usize),
+    /// Literal value.
     Const(Value),
     /// Field access on a record-valued expression (dotted paths allowed).
     Field(Box<Expr>, String),
     /// Function call resolved through the registry.
     Call(String, Vec<Expr>),
+    /// Comparison of two sub-expressions.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction (empty = `true`).
     And(Vec<Expr>),
+    /// Logical disjunction (empty = `false`).
     Or(Vec<Expr>),
+    /// Logical negation.
     Not(Box<Expr>),
     /// `{ 'k': e, ... }`
     RecordCtor(Vec<(String, Expr)>),
@@ -69,26 +80,32 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// Shorthand for [`Expr::Column`].
     pub fn col(i: usize) -> Expr {
         Expr::Column(i)
     }
 
+    /// Shorthand for [`Expr::Const`].
     pub fn lit(v: impl Into<Value>) -> Expr {
         Expr::Const(v.into())
     }
 
+    /// Shorthand for [`Expr::Field`] on `self`.
     pub fn field(self, name: impl Into<String>) -> Expr {
         Expr::Field(Box::new(self), name.into())
     }
 
+    /// Shorthand for [`Expr::Call`].
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
         Expr::Call(name.into(), args)
     }
 
+    /// Shorthand for [`Expr::Cmp`].
     pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
         Expr::Cmp(op, Box::new(a), Box::new(b))
     }
 
+    /// Shorthand for an equality comparison.
     pub fn eq(a: Expr, b: Expr) -> Expr {
         Expr::cmp(CmpOp::Eq, a, b)
     }

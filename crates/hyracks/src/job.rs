@@ -40,7 +40,9 @@ pub enum AggSpec {
     Count,
     /// SUM of an integer/double column.
     Sum(usize),
+    /// Minimum of a column.
     Min(usize),
+    /// Maximum of a column.
     Max(usize),
     /// First value seen (used to pick a representative, e.g. `$sim[0]` in
     /// Fig 11 line 49).
@@ -55,11 +57,17 @@ pub enum AggSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub enum SearchMeasure {
     /// Jaccard with threshold δ: tokenize the key, T = ceil(δ·|tokens|).
-    Jaccard { delta: f64 },
+    Jaccard {
+        /// Similarity threshold δ ∈ (0, 1].
+        delta: f64,
+    },
     /// Edit distance with threshold k on an `ngram(n)` index:
     /// T = |grams| − k·n. Corner-case keys (T ≤ 0) emit nothing here —
     /// plans route them to a scan path (Fig 14).
-    EditDistance { k: u32 },
+    EditDistance {
+        /// Maximum edit distance.
+        k: u32,
+    },
     /// Exact lookup against a secondary B+-tree (the baseline).
     Exact,
     /// Substring containment on an `ngram(n)` index: a string containing
@@ -100,63 +108,111 @@ pub enum PhysicalOp {
     /// starts selection plans).
     EmptySource,
     /// Scan the local partition of a dataset → `[pk, record]`.
-    DatasetScan { dataset: String },
+    DatasetScan {
+        /// Dataset to scan.
+        dataset: String,
+    },
     /// Keep tuples whose predicate is true.
-    Select { predicate: Expr },
+    Select {
+        /// Filter predicate over the input tuple.
+        predicate: Expr,
+    },
     /// Append one computed column per expression.
-    Assign { exprs: Vec<Expr> },
+    Assign {
+        /// One appended column per expression, in order.
+        exprs: Vec<Expr>,
+    },
     /// Keep only the given columns, in order.
-    Project { cols: Vec<usize> },
+    Project {
+        /// Input column indices to keep.
+        cols: Vec<usize>,
+    },
     /// Partition-local sort.
-    Sort { keys: Vec<SortKey> },
+    Sort {
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+    },
     /// Hash join: input 0 is built, input 1 probes. Output = left ++ right
     /// (left = input 0).
     HashJoin {
+        /// Join-key columns of the build (left) input.
         left_keys: Vec<usize>,
+        /// Join-key columns of the probe (right) input.
         right_keys: Vec<usize>,
     },
     /// Nested-loop join: input 0 is materialized, input 1 streams; the
     /// predicate sees left ++ right.
-    NestedLoopJoin { predicate: Expr },
+    NestedLoopJoin {
+        /// Join predicate over the concatenated tuple.
+        predicate: Expr,
+    },
     /// Hash group-by: output = group columns ++ aggregate columns.
-    HashGroupBy { keys: Vec<usize>, aggs: Vec<AggSpec> },
+    HashGroupBy {
+        /// Grouping columns.
+        keys: Vec<usize>,
+        /// Aggregates computed per group.
+        aggs: Vec<AggSpec>,
+    },
     /// For each input tuple, evaluate `expr` to a list and emit one output
-    /// tuple per element: input ++ [element] (++ [position] if requested —
+    /// tuple per element: input ++ `[element]` (++ `[position]` if requested —
     /// AQL's `at $i`, 0-based).
-    Unnest { expr: Expr, with_pos: bool },
+    Unnest {
+        /// List-valued expression to flatten.
+        expr: Expr,
+        /// Also append the element's 0-based position.
+        with_pos: bool,
+    },
     /// Append a running 0-based position per partition (meaningful after a
     /// `ToOne` gather: a global rank).
     StreamPos,
     /// Search a secondary index of `dataset` with the key taken from
-    /// `key_col` of each input tuple; emits input ++ [candidate pk] per
+    /// `key_col` of each input tuple; emits input ++ `[candidate pk]` per
     /// candidate.
     SecondaryIndexSearch {
+        /// Dataset that owns the index.
         dataset: String,
+        /// Name of the secondary index to search.
         index: String,
+        /// Input column holding the search key.
         key_col: usize,
+        /// What the index search verifies before emitting candidates.
         measure: SearchMeasure,
         /// Compile-time tokenization of a constant search key, when the
         /// optimizer could prove the key constant (selection plans).
         pre_tokens: Option<PreTokenized>,
     },
     /// Look up `pk_col` in the dataset's primary index; emits input ++
-    /// [record] for found keys.
-    PrimaryIndexLookup { dataset: String, pk_col: usize },
+    /// `[record]` for found keys.
+    PrimaryIndexLookup {
+        /// Dataset whose primary index is probed.
+        dataset: String,
+        /// Input column holding the primary key.
+        pk_col: usize,
+    },
     /// Concatenate all input streams (same arity).
     Union,
     /// Buffer the whole input, then emit (used to materialize shared
     /// subplans, §5.4.2).
     Materialize,
     /// Keep the first `n` tuples per partition.
-    Limit { n: usize },
+    Limit {
+        /// Per-partition tuple cap.
+        n: usize,
+    },
     /// Test support: forward tuples, sleeping `micros_per_tuple` per tuple
     /// (a deterministic slow operator for deadline/cancellation tests).
-    Throttle { micros_per_tuple: u64 },
+    Throttle {
+        /// Sleep per forwarded tuple, in microseconds.
+        micros_per_tuple: u64,
+    },
     /// Test support: forward tuples, except on `partition`, which fails
     /// (per `mode`) after forwarding at most `after_tuples` tuples.
     FaultInject {
+        /// Partition index that fails.
         partition: usize,
+        /// Tuples forwarded before the failure triggers.
         after_tuples: u64,
+        /// Whether the failure is a panic or a typed error.
         mode: FaultMode,
     },
     /// Collect tuples at the coordinator; a job has exactly one sink.
@@ -203,21 +259,27 @@ impl PhysicalOp {
 /// An edge: producer → consumer through a connector.
 #[derive(Clone, Debug)]
 pub struct Edge {
+    /// Producer operator.
     pub from: OpId,
+    /// Consumer operator.
     pub to: OpId,
     /// Input slot on the consumer (0 = left/build, 1 = right/probe).
     pub input: usize,
+    /// How tuples are routed between partitions along this edge.
     pub connector: ConnectorKind,
 }
 
 /// A complete job DAG.
 #[derive(Clone, Debug, Default)]
 pub struct JobSpec {
+    /// Operators in insertion order, keyed by id.
     pub ops: Vec<(OpId, PhysicalOp)>,
+    /// Edges connecting producers to consumer input slots.
     pub edges: Vec<Edge>,
 }
 
 impl JobSpec {
+    /// An empty job DAG.
     pub fn new() -> Self {
         Self::default()
     }
@@ -244,16 +306,19 @@ impl JobSpec {
         self.connect(from, to, 0, ConnectorKind::OneToOne);
     }
 
+    /// The operator with id `id`.
     pub fn op(&self, id: OpId) -> &PhysicalOp {
         &self.ops[id.0].1
     }
 
+    /// Incoming edges of `id`, sorted by input slot.
     pub fn inputs_of(&self, id: OpId) -> Vec<&Edge> {
         let mut edges: Vec<&Edge> = self.edges.iter().filter(|e| e.to == id).collect();
         edges.sort_by_key(|e| e.input);
         edges
     }
 
+    /// Outgoing edges of `id`.
     pub fn outputs_of(&self, id: OpId) -> Vec<&Edge> {
         self.edges.iter().filter(|e| e.from == id).collect()
     }

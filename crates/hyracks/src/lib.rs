@@ -26,6 +26,13 @@
 //! stream-position (global rank), union, limit, materialize, and a result
 //! sink. Per-operator runtime statistics (input/output tuple counts,
 //! wall time) feed the paper's candidate-set measurements (Table 6).
+//!
+//! Jobs run either *pipelined* (one scoped thread per operator-partition,
+//! the default) or *pooled* on a shared instance-lifetime [`WorkerPool`]
+//! with stage-at-a-time scheduling — see [`exec::run_job_with`] and
+//! [`pool`].
+
+#![warn(missing_docs)]
 
 pub mod context;
 pub mod error;
@@ -33,12 +40,16 @@ pub mod exec;
 pub mod expr;
 pub mod job;
 pub mod ops;
+pub mod pool;
 pub mod tuple;
 
 pub use context::{ClusterContext, PartitionSet};
 pub use error::{CancelToken, ExecError};
 pub use exec::{run_job, run_job_with, JobOptions, JobStats, OpStats};
-pub use ops::OutCounts;
 pub use expr::{CmpOp, Expr};
-pub use job::{AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, PreTokenized, SearchMeasure};
+pub use job::{
+    AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, PreTokenized, SearchMeasure,
+};
+pub use ops::OutCounts;
+pub use pool::{PoolScope, SchedulerConfig, WorkerPool};
 pub use tuple::{SortKey, Tuple};

@@ -63,6 +63,7 @@ pub struct Router {
 }
 
 impl Router {
+    /// A router shipping frames to `senders` according to `kind`.
     pub fn new(
         kind: ConnectorKind,
         senders: Vec<Sender<Frame>>,
@@ -112,10 +113,20 @@ impl Router {
     fn send_buffered(&mut self, partition: usize) -> Result<(), ExecError> {
         let frame = std::mem::take(&mut self.buffers[partition]);
         self.frames_sent += 1;
-        self.bytes_sent += frame
+        let frame_bytes = frame
             .iter()
             .map(|t| t.iter().map(|v| v.heap_size() as u64).sum::<u64>())
             .sum::<u64>();
+        self.bytes_sent += frame_bytes;
+        // Charge the frame against the query's memory budget (scoped onto
+        // this thread by the executor). Exceeding it is a typed, per-query
+        // failure: the error trips the cancel token via the supervisor, so
+        // the job unwinds instead of buffering towards OOM.
+        if let asterix_storage::budget::ChargeResult::Exceeded { used, limit } =
+            asterix_storage::budget::charge_current(frame_bytes)
+        {
+            return Err(ExecError::MemoryBudgetExceeded { used, limit });
+        }
         send_frame(&self.senders[partition], frame, &self.cancel)
     }
 
@@ -133,18 +144,23 @@ impl Router {
 /// sends of up to [`FRAME_CAPACITY`] tuples), and their heap bytes.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OutCounts {
+    /// Tuples pushed downstream.
     pub tuples: u64,
+    /// Frames (channel sends) shipped.
     pub frames: u64,
+    /// Heap bytes of the shipped tuples.
     pub bytes: u64,
 }
 
 /// All outgoing edges of one operator instance.
 pub struct Out {
     routers: Vec<Router>,
+    /// Tuples pushed so far.
     pub produced: u64,
 }
 
 impl Out {
+    /// Wrap this instance's outgoing routers (one per edge).
     pub fn new(routers: Vec<Router>) -> Self {
         Out {
             routers,
@@ -152,6 +168,7 @@ impl Out {
         }
     }
 
+    /// Push one tuple down every outgoing edge.
     pub fn push(&mut self, tuple: Tuple) -> Result<(), ExecError> {
         self.produced += 1;
         for r in &mut self.routers {
@@ -160,6 +177,7 @@ impl Out {
         Ok(())
     }
 
+    /// Flush remaining buffers and close the streams, returning counts.
     pub fn finish(mut self) -> Result<OutCounts, ExecError> {
         for r in &mut self.routers {
             r.flush()?;

@@ -16,15 +16,19 @@ pub const FRAME_CAPACITY: usize = 256;
 /// One sort key: a column index and a direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SortKey {
+    /// Column index to compare.
     pub col: usize,
+    /// Descending order when true.
     pub desc: bool,
 }
 
 impl SortKey {
+    /// Ascending key on `col`.
     pub fn asc(col: usize) -> Self {
         SortKey { col, desc: false }
     }
 
+    /// Descending key on `col`.
     pub fn desc(col: usize) -> Self {
         SortKey { col, desc: true }
     }

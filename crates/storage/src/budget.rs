@@ -1,0 +1,223 @@
+//! Per-query memory budgets (the scheduler's memory ceiling).
+//!
+//! A shared worker pool removes the natural backpressure that bounded
+//! per-query channels used to provide: with stage-at-a-time execution an
+//! operator's whole output is buffered before its consumer starts, so a
+//! runaway query could balloon until the process OOMs. The budget turns
+//! that failure mode into a *typed, per-query* error: the executor creates
+//! one [`MemoryBudget`] per admitted query, scopes it onto every worker
+//! thread that runs the query's tasks ([`MemoryBudget::enter`], the same
+//! thread-local pattern as [`crate::profile::QueryCounters`]), and every
+//! allocation site that buffers query data charges it.
+//!
+//! Charge sites:
+//!
+//! * connector frame sends (`asterix-hyracks`'s `Router`) — **hard**
+//!   charges via [`charge_current`]; exceeding the budget stops the query
+//!   with a memory-budget error instead of growing without bound,
+//! * postings-cache installs ([`crate::index::InvertedIndex`]) — **soft**
+//!   charges via [`try_charge_current`]; exceeding the budget merely skips
+//!   caching the list (the query proceeds, just without that shortcut).
+//!
+//! The accounting is cumulative over the life of one query (a high-water
+//! data-volume meter, not an instantaneous residency tracker): under
+//! stage-at-a-time execution nearly everything a query produces is
+//! buffered at some point, so cumulative bytes are a tight upper bound on
+//! peak residency and far cheaper to maintain.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative memory-charge meter for one query, shared by every thread
+/// that executes the query's tasks.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    used: AtomicU64,
+    limit: u64,
+}
+
+impl MemoryBudget {
+    /// A budget allowing `limit` bytes of charges. `limit == 0` means
+    /// *unlimited* (charges are still counted, never rejected).
+    pub fn new(limit: u64) -> Arc<MemoryBudget> {
+        Arc::new(MemoryBudget {
+            used: AtomicU64::new(0),
+            limit,
+        })
+    }
+
+    /// Bytes charged so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured ceiling in bytes (`0` = unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Charge `bytes` against the budget. Returns `false` when the charge
+    /// pushed cumulative usage over the limit (the bytes stay counted so
+    /// diagnostics show how far over the query went).
+    pub fn charge(&self, bytes: u64) -> bool {
+        let after = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.limit == 0 || after <= self.limit
+    }
+
+    /// Give back `bytes` previously charged (used when a speculative
+    /// charge — e.g. a postings-cache install — is abandoned).
+    pub fn release(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Install this budget as the current thread's charge target until the
+    /// returned guard drops. Scopes nest; the previous target is restored.
+    pub fn enter(self: &Arc<Self>) -> BudgetScope {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        BudgetScope { prev }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<MemoryBudget>>> = const { RefCell::new(None) };
+}
+
+/// Guard returned by [`MemoryBudget::enter`]; restores the previous
+/// thread-local budget on drop.
+pub struct BudgetScope {
+    prev: Option<Arc<MemoryBudget>>,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Outcome of a hard charge against the current thread's budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChargeResult {
+    /// No budget installed, or the charge fit (or the budget is unlimited).
+    Ok,
+    /// The charge pushed the budget over its limit; `used` includes the
+    /// rejected bytes.
+    Exceeded {
+        /// Cumulative bytes charged, including this charge.
+        used: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+}
+
+/// Hard-charge `bytes` against the current thread's query budget, if any.
+/// Callers that receive [`ChargeResult::Exceeded`] must stop the query.
+pub fn charge_current(bytes: u64) -> ChargeResult {
+    if bytes == 0 {
+        return ChargeResult::Ok;
+    }
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some(b) if !b.charge(bytes) => ChargeResult::Exceeded {
+            used: b.used(),
+            limit: b.limit(),
+        },
+        _ => ChargeResult::Ok,
+    })
+}
+
+/// Soft-charge `bytes` against the current thread's query budget. Returns
+/// `false` (and un-counts the bytes) when the charge does not fit — the
+/// caller should skip the optional allocation rather than fail the query.
+pub fn try_charge_current(bytes: u64) -> bool {
+    if bytes == 0 {
+        return true;
+    }
+    CURRENT.with(|c| match c.borrow().as_ref() {
+        Some(b) => {
+            if b.charge(bytes) {
+                true
+            } else {
+                b.release(bytes);
+                false
+            }
+        }
+        None => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscoped_charges_always_fit() {
+        assert_eq!(charge_current(u64::MAX / 2), ChargeResult::Ok);
+        assert!(try_charge_current(u64::MAX / 2));
+    }
+
+    #[test]
+    fn zero_limit_counts_but_never_rejects() {
+        let b = MemoryBudget::new(0);
+        let _g = b.enter();
+        assert_eq!(charge_current(1 << 40), ChargeResult::Ok);
+        assert_eq!(b.used(), 1 << 40);
+    }
+
+    #[test]
+    fn hard_charge_trips_over_limit() {
+        let b = MemoryBudget::new(100);
+        let _g = b.enter();
+        assert_eq!(charge_current(60), ChargeResult::Ok);
+        match charge_current(60) {
+            ChargeResult::Exceeded { used, limit } => {
+                assert_eq!(used, 120);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("expected Exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soft_charge_rolls_back_on_overflow() {
+        let b = MemoryBudget::new(100);
+        let _g = b.enter();
+        assert!(try_charge_current(80));
+        assert!(!try_charge_current(80));
+        assert_eq!(b.used(), 80);
+        assert!(try_charge_current(20));
+        assert_eq!(b.used(), 100);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = MemoryBudget::new(0);
+        let inner = MemoryBudget::new(0);
+        let _o = outer.enter();
+        assert_eq!(charge_current(5), ChargeResult::Ok);
+        {
+            let _i = inner.enter();
+            assert_eq!(charge_current(7), ChargeResult::Ok);
+        }
+        assert_eq!(charge_current(5), ChargeResult::Ok);
+        assert_eq!(outer.used(), 10);
+        assert_eq!(inner.used(), 7);
+    }
+
+    #[test]
+    fn threads_charge_their_own_budget() {
+        let a = MemoryBudget::new(0);
+        let b = MemoryBudget::new(0);
+        std::thread::scope(|s| {
+            for (budget, n) in [(&a, 5u64), (&b, 7u64)] {
+                s.spawn(move || {
+                    let _g = budget.enter();
+                    for _ in 0..n {
+                        charge_current(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.used(), 5);
+        assert_eq!(b.used(), 7);
+    }
+}

@@ -385,6 +385,12 @@ impl InvertedIndex {
         // Miss: read outside the lock (scans can be long), then install.
         crate::profile::add(|q| &q.postings_cache_misses, 1);
         let list: Arc<[Value]> = self.read_postings(token)?.into();
+        // Caching is optional: if the querying thread's memory budget
+        // cannot absorb the list, serve it uncached instead of failing.
+        let list_bytes: u64 = list.iter().map(|v| v.heap_size() as u64).sum();
+        if !crate::budget::try_charge_current(list_bytes) {
+            return Ok(list);
+        }
         let mut inner = self.postings_cache.inner.lock();
         // Install only if no mutation raced the read.
         if inner.generation == generation {

@@ -25,6 +25,7 @@
 //! * [`partition::PartitionStore`] — all indexes of one dataset partition,
 //!   with the T-occurrence candidate search used by index plans.
 
+pub mod budget;
 pub mod cache;
 pub mod component;
 pub mod disk;
@@ -36,6 +37,7 @@ pub mod partition;
 pub mod profile;
 pub mod trace;
 
+pub use budget::{BudgetScope, ChargeResult, MemoryBudget};
 pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
 pub use disk::{Disk, FileId};
