@@ -6,7 +6,8 @@
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
 //! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
-//! hotpath, monitor, concurrency, all} (default: all). Scale via env
+//! hotpath, monitor, concurrency, durability, all} (default: all). Scale
+//! via env
 //! `ASTERIX_SCALE` (default 1.0 ≈ 20k Amazon records) and
 //! `ASTERIX_PARTITIONS` (default 4).
 //!
@@ -31,6 +32,16 @@
 //! count and the client-observed latency distribution at every level.
 //! Writes `BENCH_concurrency.json`. `--quick` shrinks to N ∈ {1, 8, 16}
 //! for CI.
+//!
+//! `durability` is the kill -9 torture harness: it spawns child writer
+//! processes against a durable data directory and kills them for real —
+//! via armed crash points (`ASTERIX_CRASH_POINT` ∈ {flush.mid,
+//! merge.mid, manifest.rename}, each an `abort()` indistinguishable from
+//! SIGKILL) and via plain `SIGKILL` at random moments mid-stream. After
+//! every crash the parent reopens the directory in-process and asserts
+//! zero acknowledged-write loss and scan ≡ index. Also measures startup
+//! recovery time and WAL group-commit throughput. Writes
+//! `BENCH_durability.json`. `--quick` shrinks the round counts for CI.
 //!
 //! Absolute times are not comparable with the paper's 8-node cluster; the
 //! *shapes* (who wins, how ratios move with thresholds and sizes) are the
@@ -61,6 +72,12 @@ fn no_index() -> QueryOptions {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden mode: the durability torture harness re-execs this binary as
+    // a child writer that gets crashed (crash points / SIGKILL).
+    if args.first().map(String::as_str) == Some("durability-child") {
+        durability_child(&args[1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     let which: Vec<&str> = if args.is_empty() {
@@ -142,6 +159,9 @@ fn main() {
     }
     if run("concurrency") {
         concurrency_report(&cfg, quick);
+    }
+    if run("durability") {
+        durability_report(&cfg, quick);
     }
 }
 
@@ -1769,4 +1789,491 @@ fn ablation_token_order(cfg: &WorkloadConfig) {
             ],
         ],
     );
+}
+
+// ---------------------------------------------------------------------------
+// durability: kill -9 torture harness + WAL group-commit throughput
+// ---------------------------------------------------------------------------
+
+/// Partitions for the torture rounds. Kept small so per-partition WALs
+/// and manifests all see traffic even in `--quick` runs.
+const TORTURE_PARTITIONS: usize = 2;
+/// The child issues an explicit `flush()` this often, so flush / merge /
+/// manifest-commit crash points are reached within a few dozen inserts.
+const TORTURE_FLUSH_EVERY: i64 = 25;
+
+/// A scratch directory under the system tempdir, removed on drop. The
+/// torture rounds each get a fresh one so crashes cannot contaminate
+/// each other.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "asterix-bench-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The durable configuration shared by the torture child and the
+/// parent's recovery verification — both sides must agree on page size
+/// and partition count for the on-disk files to be readable.
+fn torture_config(dir: &std::path::Path) -> InstanceConfig {
+    use asterix_core::DurabilityConfig;
+    let mut ic = InstanceConfig::tiny(TORTURE_PARTITIONS);
+    ic.durability = DurabilityConfig::at(dir);
+    // Short group-commit window: the torture child fsyncs on every
+    // insert anyway, and the rounds should finish quickly.
+    ic.durability.wal_commit_interval = std::time::Duration::from_micros(200);
+    ic
+}
+
+/// Deterministic record for id `id` whose summary is drawn from a small
+/// vocabulary, so the similarity query below always has matches.
+fn torture_record(id: i64) -> asterix_adm::Value {
+    const WORDS: [&str; 8] = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ];
+    let summary = format!(
+        "{} {}",
+        WORDS[(id.rem_euclid(8)) as usize],
+        WORDS[((id / 8).rem_euclid(8)) as usize]
+    );
+    asterix_adm::record! {"id" => id, "summary" => summary.as_str()}
+}
+
+/// A similarity selection that the keyword index can answer; used for
+/// the scan ≡ index consistency check after every crash.
+const TORTURE_SIM_Q: &str = "for $t in dataset ARevs \
+     where similarity-jaccard(word-tokens($t.summary), word-tokens('alpha beta')) >= 0.3 \
+     return $t.id";
+
+/// Hidden child mode: open the durable instance at `args[0]`, create the
+/// dataset + keyword index if this is a fresh directory, then insert
+/// records from `args[1]` onward, printing `ACK <id>` after each insert
+/// returns `Ok` (i.e. after the WAL group commit made it durable) and
+/// flushing every `args[3]` inserts. The parent crashes this process via
+/// `ASTERIX_CRASH_POINT` aborts or a raw SIGKILL; every id this process
+/// ACKed must survive recovery.
+fn durability_child(args: &[String]) {
+    use std::io::Write;
+    let dir = std::path::PathBuf::from(args.first().expect("durability-child: data dir"));
+    let start_id: i64 = args[1].parse().expect("durability-child: start id");
+    let count: i64 = args[2].parse().expect("durability-child: count");
+    let flush_every: i64 = args[3].parse().expect("durability-child: flush interval");
+
+    let db = Instance::open(torture_config(&dir)).expect("durability-child: open");
+    if db.count_records("ARevs").is_err() {
+        db.create_dataset("ARevs", "id").expect("durability-child: create dataset");
+        db.create_index("ARevs", "sum_kw", "summary", IndexKind::Keyword)
+            .expect("durability-child: create index");
+    }
+    let mut out = std::io::stdout().lock();
+    for i in 0..count {
+        let id = start_id + i;
+        db.insert("ARevs", torture_record(id)).expect("durability-child: insert");
+        // The ACK line *is* the acknowledgment the harness checks for —
+        // only printed after insert() returned, i.e. after the WAL fsync.
+        writeln!(out, "ACK {id}").expect("durability-child: ack");
+        out.flush().expect("durability-child: ack flush");
+        if flush_every > 0 && (i + 1) % flush_every == 0 {
+            db.flush("ARevs").expect("durability-child: flush");
+        }
+    }
+}
+
+/// Spawn the torture child against `dir` and return `(acked ids,
+/// crashed)`. With `crash_point` set the child aborts at that point; with
+/// `kill_after` the parent SIGKILLs it once that many ACKs arrived. ACKs
+/// already in the pipe when the child dies still count — the child only
+/// writes them after the insert was acknowledged durable.
+fn spawn_torture_child(
+    dir: &std::path::Path,
+    start_id: i64,
+    count: i64,
+    crash_point: Option<&str>,
+    kill_after: Option<usize>,
+) -> (Vec<i64>, bool) {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("durability-child")
+        .arg(dir)
+        .arg(start_id.to_string())
+        .arg(count.to_string())
+        .arg(TORTURE_FLUSH_EVERY.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .env_remove("ASTERIX_CRASH_POINT");
+    if let Some(point) = crash_point {
+        cmd.env("ASTERIX_CRASH_POINT", point);
+    }
+    let mut child = cmd.spawn().expect("spawn durability child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut acked = Vec::new();
+    let mut killed = false;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let Ok(line) = line else { break };
+        if let Some(id) = line.strip_prefix("ACK ").and_then(|s| s.trim().parse::<i64>().ok()) {
+            acked.push(id);
+            if !killed && kill_after.is_some_and(|k| acked.len() >= k) {
+                let _ = child.kill();
+                killed = true;
+                // Keep reading: ACKs the child wrote before dying are
+                // real acknowledgments and must survive recovery.
+            }
+        }
+    }
+    let status = child.wait().expect("wait for durability child");
+    (acked, !status.success())
+}
+
+/// Reopen `dir` in-process and check the recovery invariants: every
+/// acked id is present and the similarity query answers identically with
+/// and without the index. Returns the per-round measurements.
+struct TortureVerify {
+    recovered: u64,
+    missing: usize,
+    scan_eq_index: bool,
+    replayed: u64,
+    wal_truncated: u64,
+    orphans_removed: u64,
+    recovery_us: u64,
+}
+
+fn verify_torture_round(dir: &std::path::Path, acked: &[i64]) -> TortureVerify {
+    use asterix_adm::Value;
+    let db = Instance::open(torture_config(dir)).expect("reopen after crash");
+    let stats = db.recovery_stats().expect("durable instance reports recovery stats");
+    let (replayed, wal_truncated, orphans_removed, recovery_us) = (
+        stats.wal_records_replayed,
+        stats.wal_bytes_truncated,
+        stats.orphan_files_removed,
+        stats.recovery_time.as_micros() as u64,
+    );
+    let ids: std::collections::HashSet<i64> = db
+        .query("for $t in dataset ARevs return $t.id")
+        .expect("id scan after recovery")
+        .rows
+        .into_iter()
+        .filter_map(|v| match v {
+            Value::Int64(i) => Some(i),
+            _ => None,
+        })
+        .collect();
+    let missing = acked.iter().filter(|id| !ids.contains(id)).count();
+    let collect = |r: Result<asterix_core::QueryResult, asterix_core::CoreError>| {
+        let mut ids: Vec<i64> = r
+            .expect("similarity query after recovery")
+            .rows
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Int64(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    let with_index = collect(db.query(TORTURE_SIM_Q));
+    let without_index = collect(db.query_with(TORTURE_SIM_Q, &no_index()));
+    // The recovered instance must also accept new writes.
+    db.insert("ARevs", torture_record(9_999_999)).expect("post-recovery insert");
+    db.flush("ARevs").expect("post-recovery flush");
+    TortureVerify {
+        recovered: ids.len() as u64,
+        missing,
+        scan_eq_index: with_index == without_index && !with_index.is_empty(),
+        replayed,
+        wal_truncated,
+        orphans_removed,
+        recovery_us,
+    }
+}
+
+fn durability_report(cfg: &WorkloadConfig, quick: bool) {
+    use asterix_adm::Value;
+    use std::time::Duration;
+
+    println!("\nDurability: kill -9 torture + crash points + WAL group commit");
+    let crash_rounds = if quick { 1 } else { 3 };
+    let kill_rounds = if quick { 2 } else { 5 };
+    let seed_records: i64 = if quick { 120 } else { 400 };
+    let child_records: i64 = if quick { 400 } else { 1_200 };
+
+    // --- torture rounds -------------------------------------------------
+    let mut scenarios: Vec<(String, Option<&'static str>, Option<usize>)> = Vec::new();
+    for _ in 0..crash_rounds {
+        for point in ["flush.mid", "merge.mid", "manifest.rename"] {
+            scenarios.push((format!("crash:{point}"), Some(point), None));
+        }
+    }
+    for round in 0..kill_rounds {
+        scenarios.push(("sigkill".to_string(), None, Some(40 + round * 61)));
+    }
+
+    let mut rows = Vec::new();
+    let mut round_docs = Vec::new();
+    for (mode, crash_point, kill_after) in &scenarios {
+        let scratch = ScratchDir::new("durability");
+        // Seed in-process so the dataset + index exist and sealed
+        // components are on disk before the crash round begins.
+        let mut acked: Vec<i64> = {
+            let db = Instance::open(torture_config(scratch.path())).expect("seed open");
+            db.create_dataset("ARevs", "id").expect("seed dataset");
+            db.create_index("ARevs", "sum_kw", "summary", IndexKind::Keyword)
+                .expect("seed index");
+            let loaded = db
+                .load("ARevs", (0..seed_records).map(torture_record))
+                .expect("seed load");
+            assert_eq!(loaded, seed_records as u64);
+            db.flush("ARevs").expect("seed flush");
+            (0..seed_records).collect()
+        };
+
+        let (child_acked, crashed) = spawn_torture_child(
+            scratch.path(),
+            seed_records,
+            child_records,
+            *crash_point,
+            *kill_after,
+        );
+        assert!(
+            crashed,
+            "{mode}: the torture child must die mid-stream, not exit cleanly \
+             (it acked {} of {child_records})",
+            child_acked.len()
+        );
+        acked.extend(&child_acked);
+
+        let v = verify_torture_round(scratch.path(), &acked);
+        assert_eq!(
+            v.missing, 0,
+            "{mode}: {} acknowledged writes lost after recovery",
+            v.missing
+        );
+        assert!(
+            v.scan_eq_index,
+            "{mode}: scan and index disagree after recovery"
+        );
+        println!(
+            "  {mode}: acked={} recovered={} replayed={} wal_truncated={}B \
+             orphans={} recovery={}",
+            acked.len(),
+            v.recovered,
+            v.replayed,
+            v.wal_truncated,
+            v.orphans_removed,
+            fmt_duration(Duration::from_micros(v.recovery_us)),
+        );
+        rows.push(vec![
+            mode.clone(),
+            acked.len().to_string(),
+            v.recovered.to_string(),
+            "0".to_string(),
+            v.replayed.to_string(),
+            v.wal_truncated.to_string(),
+            v.orphans_removed.to_string(),
+            fmt_duration(Duration::from_micros(v.recovery_us)),
+        ]);
+        round_docs.push(Value::record(vec![
+            ("mode".to_string(), Value::String(mode.clone())),
+            ("acked".to_string(), Value::Int64(acked.len() as i64)),
+            ("recovered".to_string(), Value::Int64(v.recovered as i64)),
+            ("lost".to_string(), Value::Int64(v.missing as i64)),
+            (
+                "scan_eq_index".to_string(),
+                Value::Boolean(v.scan_eq_index),
+            ),
+            ("replayed_records".to_string(), Value::Int64(v.replayed as i64)),
+            (
+                "wal_bytes_truncated".to_string(),
+                Value::Int64(v.wal_truncated as i64),
+            ),
+            (
+                "orphan_files_removed".to_string(),
+                Value::Int64(v.orphans_removed as i64),
+            ),
+            ("recovery_us".to_string(), Value::Int64(v.recovery_us as i64)),
+        ]));
+    }
+    print_table(
+        "Durability torture: zero acked-write loss across crashes",
+        &[
+            "crash", "acked", "recovered", "lost", "replayed", "wal trunc B", "orphans",
+            "recovery",
+        ],
+        &rows,
+    );
+
+    // --- WAL group-commit throughput ------------------------------------
+    // Concurrent writers against one durable instance: each insert blocks
+    // until its WAL record is fsynced, so throughput beyond
+    // 1/commit_interval per partition is group commit at work. The
+    // batching factor is appends per fsync batch.
+    let per_writer: i64 = if quick { 150 } else { 600 };
+    let writer_levels: &[usize] = &[1, 8];
+    let mut gc_rows = Vec::new();
+    let mut gc_docs = Vec::new();
+    let mut replay_doc = Value::record(vec![]);
+    for (li, &writers) in writer_levels.iter().enumerate() {
+        let scratch = ScratchDir::new("groupcommit");
+        let mut ic = InstanceConfig::with_partitions(cfg.partitions);
+        ic.durability = asterix_core::DurabilityConfig::at(scratch.path());
+        ic.durability.wal_commit_interval = Duration::from_micros(500);
+        let db = Instance::open(ic.clone()).expect("group-commit open");
+        db.create_dataset("ARevs", "id").expect("group-commit dataset");
+        let before = db.metrics().gauges.durability.clone();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let db = &db;
+                s.spawn(move || {
+                    let base = (w as i64 + 1) * 1_000_000;
+                    for i in 0..per_writer {
+                        db.insert("ARevs", torture_record(base + i))
+                            .expect("group-commit insert");
+                    }
+                });
+            }
+        });
+        let wall_us = started.elapsed().as_micros().max(1) as u64;
+        let after = db.metrics().gauges.durability.clone();
+        let total = (writers as i64 * per_writer) as u64;
+        let per_sec = total as f64 * 1e6 / wall_us as f64;
+        let appends = after.wal_appends - before.wal_appends;
+        let commits = (after.wal_group_commits - before.wal_group_commits).max(1);
+        let batching = appends as f64 / commits as f64;
+        println!(
+            "  group commit: writers={writers} inserts={total} wall={} \
+             rate={per_sec:.0}/s appends={appends} fsync_batches={commits} \
+             batching={batching:.2}x",
+            fmt_duration(Duration::from_micros(wall_us)),
+        );
+        gc_rows.push(vec![
+            writers.to_string(),
+            total.to_string(),
+            fmt_duration(Duration::from_micros(wall_us)),
+            format!("{per_sec:.0}"),
+            format!("{batching:.2}"),
+        ]);
+        gc_docs.push(Value::record(vec![
+            ("writers".to_string(), Value::Int64(writers as i64)),
+            ("inserts".to_string(), Value::Int64(total as i64)),
+            ("wall_us".to_string(), Value::Int64(wall_us as i64)),
+            ("inserts_per_sec".to_string(), Value::from(per_sec)),
+            ("wal_appends".to_string(), Value::Int64(appends as i64)),
+            ("wal_group_commits".to_string(), Value::Int64(commits as i64)),
+            (
+                "wal_fsyncs".to_string(),
+                Value::Int64((after.wal_fsyncs - before.wal_fsyncs) as i64),
+            ),
+            ("batching_factor".to_string(), Value::from(batching)),
+        ]));
+
+        // After the widest level, measure cold-start recovery of the
+        // whole unflushed WAL — drop, reopen, time the replay.
+        if li == writer_levels.len() - 1 {
+            drop(db);
+            let t0 = Instant::now();
+            let db = Instance::open(ic).expect("replay reopen");
+            let open_us = t0.elapsed().as_micros().max(1) as u64;
+            let stats = db.recovery_stats().expect("replay stats");
+            let replayed = stats.wal_records_replayed;
+            let recovery_us = stats.recovery_time.as_micros() as u64;
+            assert_eq!(
+                db.count_records("ARevs").expect("replay count"),
+                total,
+                "WAL replay must restore every unflushed insert"
+            );
+            let rate = replayed as f64 * 1e6 / recovery_us.max(1) as f64;
+            println!(
+                "  recovery: replayed={replayed} records in {} ({rate:.0}/s, open {} total)",
+                fmt_duration(Duration::from_micros(recovery_us)),
+                fmt_duration(Duration::from_micros(open_us)),
+            );
+            replay_doc = Value::record(vec![
+                ("records_replayed".to_string(), Value::Int64(replayed as i64)),
+                ("recovery_us".to_string(), Value::Int64(recovery_us as i64)),
+                ("open_us".to_string(), Value::Int64(open_us as i64)),
+                ("replay_per_sec".to_string(), Value::from(rate)),
+            ]);
+        }
+    }
+    print_table(
+        "WAL group commit: concurrent writers, fsync batching",
+        &["writers", "inserts", "wall", "inserts/s", "batching"],
+        &gc_rows,
+    );
+
+    // --- bulk load: one group commit per WAL batch ----------------------
+    let bulk_records: i64 = if quick { 2_000 } else { 10_000 };
+    let bulk_doc = {
+        let scratch = ScratchDir::new("bulkload");
+        let mut ic = InstanceConfig::with_partitions(cfg.partitions);
+        ic.durability = asterix_core::DurabilityConfig::at(scratch.path());
+        let db = Instance::open(ic).expect("bulk open");
+        db.create_dataset("ARevs", "id").expect("bulk dataset");
+        let started = Instant::now();
+        let loaded = db
+            .load("ARevs", (0..bulk_records).map(torture_record))
+            .expect("bulk load");
+        let wall_us = started.elapsed().as_micros().max(1) as u64;
+        assert_eq!(loaded, bulk_records as u64);
+        let g = db.metrics().gauges.durability.clone();
+        let per_sec = bulk_records as f64 * 1e6 / wall_us as f64;
+        println!(
+            "  bulk load: {bulk_records} records in {} ({per_sec:.0}/s, \
+             {} WAL group commits)",
+            fmt_duration(Duration::from_micros(wall_us)),
+            g.wal_group_commits,
+        );
+        Value::record(vec![
+            ("records".to_string(), Value::Int64(bulk_records)),
+            ("wall_us".to_string(), Value::Int64(wall_us as i64)),
+            ("records_per_sec".to_string(), Value::from(per_sec)),
+            ("wal_appends".to_string(), Value::Int64(g.wal_appends as i64)),
+            (
+                "wal_group_commits".to_string(),
+                Value::Int64(g.wal_group_commits as i64),
+            ),
+        ])
+    };
+
+    let doc = Value::record(vec![
+        ("quick".to_string(), Value::Boolean(quick)),
+        (
+            "torture_partitions".to_string(),
+            Value::Int64(TORTURE_PARTITIONS as i64),
+        ),
+        (
+            "group_commit_partitions".to_string(),
+            Value::Int64(cfg.partitions as i64),
+        ),
+        ("seed_records".to_string(), Value::Int64(seed_records)),
+        ("child_records".to_string(), Value::Int64(child_records)),
+        ("torture".to_string(), Value::OrderedList(round_docs)),
+        ("group_commit".to_string(), Value::OrderedList(gc_docs)),
+        ("wal_replay".to_string(), replay_doc),
+        ("bulk_load".to_string(), bulk_doc),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("wrote BENCH_durability.json");
 }

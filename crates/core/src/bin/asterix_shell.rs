@@ -41,10 +41,45 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
-    let db = Instance::new(InstanceConfig::with_partitions(partitions));
-    println!(
-        "asterix-shell — simulated {partitions}-partition cluster. :help for commands."
-    );
+    // `--data-dir <dir>` opens a durable instance: file-backed components,
+    // write-ahead log, and crash recovery of whatever the directory holds.
+    let mut args = std::env::args().skip(1);
+    let data_dir = match args.next().as_deref() {
+        Some("--data-dir") => match args.next() {
+            Some(dir) => Some(dir),
+            None => {
+                eprintln!("usage: asterix_shell [--data-dir <dir>]");
+                std::process::exit(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown argument '{other}'; usage: asterix_shell [--data-dir <dir>]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let mut config = InstanceConfig::with_partitions(partitions);
+    if let Some(dir) = &data_dir {
+        config.durability = asterix_core::DurabilityConfig::at(dir);
+    }
+    let db = match Instance::open(config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: failed to open instance: {e}");
+            std::process::exit(1);
+        }
+    };
+    match (&data_dir, db.recovery_stats()) {
+        (Some(dir), Some(stats)) => println!(
+            "asterix-shell — durable {partitions}-partition cluster at {dir} \
+             (recovered {} components, replayed {} WAL records in {:?}). \
+             :help for commands.",
+            stats.components_opened, stats.wal_records_replayed, stats.recovery_time
+        ),
+        _ => println!(
+            "asterix-shell — simulated {partitions}-partition cluster. :help for commands."
+        ),
+    }
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();

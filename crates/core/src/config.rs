@@ -3,6 +3,7 @@
 use asterix_algebricks::OptimizerConfig;
 use asterix_hyracks::SchedulerConfig;
 use asterix_storage::StorageConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Telemetry knobs. Telemetry is **on by default** — the registry is a
@@ -46,6 +47,51 @@ impl TelemetryConfig {
     }
 }
 
+/// Durable-storage knobs: where the data lives and how the write-ahead
+/// log batches its group commits.
+///
+/// With `data_dir == None` (the default) the instance is purely
+/// in-memory — the seed behaviour, and what every benchmark that measures
+/// query latency wants. Setting a data directory turns on the full
+/// durability stack: file-backed component pages with CRC32 checksums,
+/// a per-partition WAL with group commit, manifests committed by atomic
+/// rename, and crash recovery in [`crate::Instance::open`].
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory for all persistent state (one `p<i>/` subdirectory
+    /// per partition, each holding component files, a `wal/` directory,
+    /// and a `MANIFEST`). `None` ⇒ in-memory, nothing touches disk.
+    pub data_dir: Option<PathBuf>,
+    /// How long the WAL group-commit flusher waits to batch appenders
+    /// before forcing an fsync (latency bound of an acknowledged write).
+    pub wal_commit_interval: Duration,
+    /// Flush a WAL batch early once this many bytes are pending.
+    pub wal_batch_bytes: usize,
+    /// Roll the active WAL segment file once it exceeds this size.
+    pub wal_segment_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            data_dir: None,
+            wal_commit_interval: Duration::from_millis(2),
+            wal_batch_bytes: 256 * 1024,
+            wal_segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability on, rooted at `dir`, with default WAL batching.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+}
+
 /// Configuration of a simulated cluster instance.
 ///
 /// The paper's cluster (Table 2): 8 nodes × 2 partitions = 16 partitions,
@@ -67,6 +113,9 @@ pub struct InstanceConfig {
     /// [`SchedulerConfig::disabled`] for the seed per-query-thread
     /// executor with no admission control.
     pub scheduler: SchedulerConfig,
+    /// Durable-storage knobs (off by default: in-memory page store, no
+    /// WAL, no recovery).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for InstanceConfig {
@@ -77,6 +126,7 @@ impl Default for InstanceConfig {
             optimizer: OptimizerConfig::default(),
             telemetry: TelemetryConfig::default(),
             scheduler: SchedulerConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }

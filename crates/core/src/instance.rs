@@ -1,6 +1,7 @@
 //! The cluster instance: DDL, loading, and the query lifecycle.
 
 use crate::config::InstanceConfig;
+use crate::durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};
 use crate::error::CoreError;
 use crate::result::{PlanInfo, QueryOptions, QueryResult};
 use crate::scheduler::{QueryScheduler, SchedulerSnapshot};
@@ -14,7 +15,8 @@ use asterix_aql::{parse_query, translate, Bindings};
 use asterix_hyracks::{run_job_with, CancelToken, ClusterContext, ExecError, JobOptions, JobSpec};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
 use asterix_storage::{
-    BufferCache, CacheStats, Disk, LsmEventKind, PartitionStore, QueryCounters, Trace,
+    BufferCache, CacheStats, Disk, LsmEventKind, Manifest, PartitionStore, QueryCounters, Trace,
+    WalConfig,
 };
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -33,12 +35,18 @@ pub struct IndexBuildStats {
     pub size_bytes: u64,
 }
 
+/// Per-partition durability handles plus the stats of the startup
+/// recovery pass that produced this instance.
+struct DurabilityState {
+    partitions: Vec<PartitionDurability>,
+    recovery: RecoveryStats,
+}
+
 /// A simulated AsterixDB cluster instance.
 pub struct Instance {
     ctx: ClusterContext,
     catalog: RwLock<SimpleCatalog>,
-    /// One simulated disk + buffer cache per partition (node-local
-    /// storage, §2.3).
+    /// One disk + buffer cache per partition (node-local storage, §2.3).
     caches: Vec<Arc<BufferCache>>,
     config: InstanceConfig,
     /// The metrics registry + event log + slow-query log; `None` when
@@ -48,12 +56,30 @@ pub struct Instance {
     /// `SchedulerConfig::workers == 0` (seed behaviour: per-query
     /// threads, no admission control, no memory budget).
     scheduler: Option<QueryScheduler>,
+    /// WAL + manifest per partition; `None` on in-memory instances
+    /// (`DurabilityConfig::data_dir == None`).
+    durability: Option<DurabilityState>,
 }
 
 impl Instance {
-    /// Build an instance from `config`, spawning the shared worker pool
-    /// when the scheduler is enabled.
-    pub fn new(mut config: InstanceConfig) -> Self {
+    /// Build an in-memory instance from `config`, spawning the shared
+    /// worker pool when the scheduler is enabled.
+    ///
+    /// Equivalent to [`Instance::open`] but infallible: an in-memory
+    /// instance cannot fail to start, and a durable configuration that
+    /// fails recovery panics. Use `open` when you need the error.
+    pub fn new(config: InstanceConfig) -> Self {
+        Self::open(config).expect("instance open failed")
+    }
+
+    /// Open an instance. For a durable configuration (a
+    /// [`crate::config::DurabilityConfig`] with a data directory) this
+    /// runs the full startup recovery protocol: re-link every
+    /// manifest-referenced LSM component, sweep orphan component files
+    /// left by crashed flushes/merges, truncate torn WAL tails, and
+    /// replay surviving WAL records into the memory components. An
+    /// acknowledged write from the previous incarnation is never lost.
+    pub fn open(mut config: InstanceConfig) -> Result<Self, CoreError> {
         let telemetry = config
             .telemetry
             .enabled
@@ -64,23 +90,264 @@ impl Instance {
         if let Some(t) = &telemetry {
             config.storage.events = Some(t.event_log().clone());
         }
-        let caches: Vec<Arc<BufferCache>> = (0..config.num_partitions)
-            .map(|_| {
-                Arc::new(BufferCache::new(
-                    Arc::new(Disk::new()),
-                    config.storage.buffer_cache_pages,
-                ))
-            })
+        let data_dir = config.durability.data_dir.clone();
+        if data_dir.is_some() {
+            // Obsolete component files must survive until the manifest
+            // that stops referencing them is committed.
+            config.storage.defer_reclaim = true;
+        }
+        let mut disks: Vec<Arc<Disk>> = Vec::with_capacity(config.num_partitions);
+        for p in 0..config.num_partitions {
+            let disk = match &data_dir {
+                Some(root) => {
+                    let dir = root.join(format!("p{p}"));
+                    std::fs::create_dir_all(&dir)
+                        .map_err(|e| CoreError::Io(format!("create {}: {e}", dir.display())))?;
+                    Arc::new(Disk::file_backed(&dir)?)
+                }
+                None => Arc::new(Disk::new()),
+            };
+            disks.push(disk);
+        }
+        let caches: Vec<Arc<BufferCache>> = disks
+            .iter()
+            .map(|disk| BufferCache::shared(disk.clone(), config.storage.buffer_cache_pages))
             .collect();
         let scheduler = QueryScheduler::new(&config.scheduler);
-        Instance {
+        let mut instance = Instance {
             ctx: ClusterContext::new(config.num_partitions, FunctionRegistry::with_builtins()),
             catalog: RwLock::new(SimpleCatalog::new()),
             caches,
             config,
             telemetry,
             scheduler,
+            durability: None,
+        };
+        if let Some(root) = data_dir {
+            instance.recover(&root, &disks)?;
         }
+        Ok(instance)
+    }
+
+    /// Startup recovery: load each partition's manifest + WAL, rebuild
+    /// every partition store, sweep orphans, and replay the WAL.
+    fn recover(&mut self, root: &std::path::Path, disks: &[Arc<Disk>]) -> Result<(), CoreError> {
+        let started = Instant::now();
+        let wal_config = WalConfig {
+            commit_interval: self.config.durability.wal_commit_interval,
+            batch_bytes: self.config.durability.wal_batch_bytes,
+            segment_bytes: self.config.durability.wal_segment_bytes,
+        };
+        let mut stats = RecoveryStats::default();
+        let mut partitions = Vec::with_capacity(self.config.num_partitions);
+        let mut manifests = Vec::with_capacity(self.config.num_partitions);
+        let mut wal_records = Vec::with_capacity(self.config.num_partitions);
+        for (p, disk) in disks.iter().enumerate() {
+            let dir = root.join(format!("p{p}"));
+            let (pd, manifest, records) =
+                PartitionDurability::open(&dir, wal_config.clone(), disk.clone())?;
+            let rec = pd.wal().recovery();
+            stats.wal_bytes_truncated += rec.bytes_truncated;
+            stats.wal_segments_dropped += rec.segments_dropped;
+            if manifest.is_some() {
+                stats.partitions_recovered += 1;
+            }
+            if let Some(log) = &self.config.storage.events {
+                let tag: Arc<str> = Arc::from(format!("recovery/p{p}").as_str());
+                log.record(
+                    &tag,
+                    LsmEventKind::RecoveryStart,
+                    pd.wal().segment_bytes(),
+                    0,
+                    0,
+                    None,
+                );
+            }
+            partitions.push(pd);
+            manifests.push(manifest);
+            wal_records.push(records);
+        }
+
+        // The catalog is the union of every partition's manifest (a crash
+        // between per-partition manifest commits of a DDL statement can
+        // leave some partitions ahead of others; no DML for the affected
+        // dataset can have been acknowledged in the meantime).
+        let mut defs: Vec<DatasetDef> = Vec::new();
+        for manifest in manifests.iter().flatten() {
+            for ds in &manifest.datasets {
+                if defs.iter().any(|d| d.name == ds.name) {
+                    continue;
+                }
+                let mut def = DatasetDef::new(&ds.name, &ds.primary_key);
+                for mi in &ds.indexes {
+                    def.add_index(mi.def.clone())?;
+                }
+                defs.push(def);
+            }
+        }
+
+        // Rebuild the stores: every dataset gets a store in every
+        // partition; partitions whose manifest lists it restore its disk
+        // components (verifying page counts), others start empty.
+        for (p, pset) in self.ctx.partitions.iter().enumerate() {
+            let mut set = pset.write();
+            for def in &defs {
+                let mut store = PartitionStore::new(
+                    def.clone(),
+                    p,
+                    self.caches[p].clone(),
+                    self.config.storage.clone(),
+                );
+                if let Some(ds) = manifests[p]
+                    .as_ref()
+                    .and_then(|m| m.datasets.iter().find(|d| d.name == def.name))
+                {
+                    store.restore_from_manifest(ds)?;
+                    stats.components_opened += ds.primary.len() as u64
+                        + ds.indexes.iter().map(|i| i.components.len() as u64).sum::<u64>();
+                }
+                set.insert_store(store);
+            }
+        }
+
+        // Orphan sweep — before replay, so components flushed *by* replay
+        // are never mistaken for orphans. Files on disk that no manifest
+        // references were written by flushes/merges that crashed before
+        // their manifest commit; the WAL still holds their operations.
+        for (p, disk) in disks.iter().enumerate() {
+            let referenced: std::collections::HashSet<_> = manifests[p]
+                .as_ref()
+                .map(|m| m.referenced_files().into_iter().collect())
+                .unwrap_or_default();
+            for file in disk.list_files() {
+                if !referenced.contains(&file) {
+                    disk.delete(file);
+                    stats.orphan_files_removed += 1;
+                }
+            }
+        }
+
+        // Replay surviving WAL records above each partition's flushed
+        // LSN, in LSN order. Replay is idempotent: inserts overwrite,
+        // deletes of absent keys are no-ops.
+        for (p, records) in wal_records.iter().enumerate() {
+            let flushed = partitions[p].flushed_lsn();
+            let mut set = self.ctx.partitions[p].write();
+            for record in records {
+                if record.lsn <= flushed {
+                    continue;
+                }
+                let op = WalOp::decode(&record.payload)?;
+                match op {
+                    WalOp::Insert { dataset, record } => {
+                        let store = set.store_mut(&dataset).ok_or_else(|| {
+                            CoreError::Io(format!(
+                                "wal replay: dataset '{dataset}' not in any manifest"
+                            ))
+                        })?;
+                        store.insert(record)?;
+                    }
+                    WalOp::Delete { dataset, pk } => {
+                        let store = set.store_mut(&dataset).ok_or_else(|| {
+                            CoreError::Io(format!(
+                                "wal replay: dataset '{dataset}' not in any manifest"
+                            ))
+                        })?;
+                        store.delete(&pk)?;
+                    }
+                }
+                stats.wal_records_replayed += 1;
+            }
+        }
+        for (p, pd) in partitions.iter().enumerate() {
+            if let Some(log) = &self.config.storage.events {
+                let tag: Arc<str> = Arc::from(format!("recovery/p{p}").as_str());
+                let replayed = wal_records[p]
+                    .iter()
+                    .filter(|r| r.lsn > pd.flushed_lsn())
+                    .count() as u64;
+                log.record(&tag, LsmEventKind::RecoveryEnd, replayed, 0, 0, None);
+            }
+        }
+
+        {
+            let mut catalog = self.catalog.write();
+            for def in defs {
+                catalog.add(def);
+            }
+        }
+        stats.recovery_time = started.elapsed();
+        self.durability = Some(DurabilityState {
+            partitions,
+            recovery: stats,
+        });
+        Ok(())
+    }
+
+    /// Stats of the startup recovery pass, for durable instances.
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.durability.as_ref().map(|d| &d.recovery)
+    }
+
+    /// True when this instance persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Snapshot every partition's current LSM state into its manifest,
+    /// advance the flushed LSN when all memory components are empty (the
+    /// condition under which covered WAL segments can be reclaimed), and
+    /// delete component files whose last manifest reference just
+    /// disappeared. No-op on in-memory instances.
+    fn commit_partition_manifest(&self, pidx: usize) -> Result<(), CoreError> {
+        let Some(dur) = &self.durability else {
+            return Ok(());
+        };
+        let pd = &dur.partitions[pidx];
+        // Everything sampled under the partition write lock: WAL appends
+        // also happen under it, so `durable_lsn` cannot move past an
+        // operation that is only in a memory component we just saw empty.
+        let (datasets, flushed_lsn, obsolete) = {
+            let mut set = self.ctx.partitions[pidx].write();
+            let mut datasets: Vec<_> = set.stores().map(|s| s.manifest_dataset()).collect();
+            datasets.sort_by(|a, b| a.name.cmp(&b.name));
+            let all_empty = set.stores().all(|s| s.all_mem_empty());
+            let flushed_lsn = if all_empty {
+                pd.wal().durable_lsn()
+            } else {
+                pd.flushed_lsn()
+            };
+            let obsolete: Vec<_> = set.stores_mut().flat_map(|s| s.take_obsolete()).collect();
+            (datasets, flushed_lsn, obsolete)
+        };
+        let manifest = Manifest {
+            flushed_lsn,
+            datasets,
+        };
+        // If this commit fails, the drained obsolete files leak until the
+        // next startup's orphan sweep — never the reverse (a referenced
+        // file is only deleted after the commit that drops it succeeds).
+        let reclaimed = pd.commit_manifest(&manifest)?;
+        if reclaimed > 0 {
+            if let Some(log) = &self.config.storage.events {
+                let tag: Arc<str> = Arc::from(format!("wal/p{pidx}").as_str());
+                log.record(&tag, LsmEventKind::WalTruncate, reclaimed, 0, 0, None);
+            }
+        }
+        for file in obsolete {
+            pd.disk().delete(file);
+        }
+        Ok(())
+    }
+
+    /// Commit every partition's manifest (DDL durability point).
+    fn commit_all_manifests(&self) -> Result<(), CoreError> {
+        if self.durability.is_some() {
+            for p in 0..self.config.num_partitions {
+                self.commit_partition_manifest(p)?;
+            }
+        }
+        Ok(())
     }
 
     /// The configuration this instance was built with.
@@ -117,7 +384,11 @@ impl Instance {
             ));
         }
         catalog.add(def);
-        Ok(())
+        drop(catalog);
+        // DDL is durable immediately (per-partition manifest commit), so
+        // the WAL only ever carries DML and replay never meets an unknown
+        // dataset.
+        self.commit_all_manifests()
     }
 
     /// `create index <index> on <dataset>(<field>) type <kind>` — builds
@@ -170,6 +441,7 @@ impl Instance {
         for c in counts {
             records += c.map_err(CoreError::Schema)?;
         }
+        self.commit_all_manifests()?;
         Ok(IndexBuildStats {
             index: index.to_string(),
             records_indexed: records,
@@ -199,7 +471,10 @@ impl Instance {
                 store.drop_index(index);
             }
         }
-        Ok(())
+        // Commit the index removal; the dropped component files (queued by
+        // `drop_index` under `defer_reclaim`) are deleted only after the
+        // manifest stops referencing them.
+        self.commit_all_manifests()
     }
 
     /// Insert one record, hash-routed to its partition by primary key.
@@ -218,7 +493,25 @@ impl Instance {
         let store = set
             .store_mut(dataset)
             .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
+        // WAL first: LSN assignment and the memory-component apply happen
+        // atomically under the partition lock, but the fsync wait happens
+        // *after* the lock is released so concurrent writers share one
+        // group commit. `Ok` still means the write survives any crash; an
+        // `Err` from the wait means it was not persisted (it may remain
+        // visible until the next restart discards it with the WAL batch).
+        let lsn = match &self.durability {
+            Some(dur) => Some(dur.partitions[partition].submit(&WalOp::Insert {
+                dataset: dataset.to_string(),
+                record: record.clone(),
+            })?),
+            None => None,
+        };
         store.insert(record)?;
+        drop(set);
+        if let Some(lsn) = lsn {
+            self.durability.as_ref().expect("checked above").partitions[partition]
+                .wait_durable(lsn)?;
+        }
         Ok(())
     }
 
@@ -236,7 +529,21 @@ impl Instance {
         let store = set
             .store_mut(dataset)
             .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
+        // Same protocol as insert: submit + apply under the lock, wait
+        // for the group commit after releasing it.
+        let lsn = match &self.durability {
+            Some(dur) => Some(dur.partitions[partition].submit(&WalOp::Delete {
+                dataset: dataset.to_string(),
+                pk: pk.clone(),
+            })?),
+            None => None,
+        };
         store.delete(pk)?;
+        drop(set);
+        if let Some(lsn) = lsn {
+            self.durability.as_ref().expect("checked above").partitions[partition]
+                .wait_durable(lsn)?;
+        }
         Ok(())
     }
 
@@ -268,12 +575,26 @@ impl Instance {
             let handles: Vec<_> = buckets
                 .into_iter()
                 .zip(&self.ctx.partitions)
-                .map(|(bucket, pset)| {
+                .enumerate()
+                .map(|(pidx, (bucket, pset))| {
+                    let dur = self.durability.as_ref().map(|d| &d.partitions[pidx]);
                     scope.spawn(move || -> Result<(), String> {
                         let mut set = pset.write();
                         let store = set
                             .store_mut(dataset)
                             .ok_or_else(|| format!("dataset '{dataset}' missing"))?;
+                        // One group commit for the whole bucket, before
+                        // any record is applied.
+                        if let Some(pd) = dur {
+                            let ops: Vec<WalOp> = bucket
+                                .iter()
+                                .map(|rec| WalOp::Insert {
+                                    dataset: dataset.to_string(),
+                                    record: rec.clone(),
+                                })
+                                .collect();
+                            pd.log_many(&ops).map_err(|e| e.to_string())?;
+                        }
                         for rec in bucket {
                             store.insert(rec).map_err(|e| e.to_string())?;
                         }
@@ -344,7 +665,11 @@ impl Instance {
                 }
             }
         }
-        Ok(())
+        // Durable instances: snapshot the new component lists into each
+        // partition's manifest. When the flush emptied every memory
+        // component of a partition, this also advances `flushed_lsn` and
+        // reclaims the WAL segments it covers.
+        self.commit_all_manifests()
     }
 
     /// Total size of one index (or `<primary>`) across partitions.
@@ -498,6 +823,26 @@ impl Instance {
             }
         }
         datasets.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        let durability = match &self.durability {
+            Some(d) => {
+                let mut g = DurabilityGauges {
+                    enabled: true,
+                    replayed_records: d.recovery.wal_records_replayed,
+                    recovery_us: d.recovery.recovery_time.as_micros() as u64,
+                    ..DurabilityGauges::default()
+                };
+                for pd in &d.partitions {
+                    g.disk_fsyncs += pd.disk().fsyncs();
+                    g.wal_appends += pd.wal().appends();
+                    g.wal_bytes += pd.wal().bytes_appended();
+                    g.wal_group_commits += pd.wal().group_commits();
+                    g.wal_fsyncs += pd.wal().fsyncs();
+                    g.wal_live_bytes += pd.wal().segment_bytes();
+                }
+                g
+            }
+            None => DurabilityGauges::default(),
+        };
         InstanceGauges {
             buffer_cache: self.cache_stats(),
             lsm_flushes,
@@ -507,6 +852,7 @@ impl Instance {
                 Some(s) => s.snapshot(),
                 None => SchedulerSnapshot::default(),
             },
+            durability,
         }
     }
 

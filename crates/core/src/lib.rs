@@ -30,6 +30,7 @@
 
 pub mod builder;
 pub mod config;
+pub mod durability;
 pub mod error;
 pub mod instance;
 pub mod profile;
@@ -38,7 +39,8 @@ pub mod scheduler;
 pub mod telemetry;
 
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
-pub use config::{InstanceConfig, TelemetryConfig};
+pub use config::{DurabilityConfig, InstanceConfig, TelemetryConfig};
+pub use durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};
 pub use error::CoreError;
 pub use instance::{IndexBuildStats, Instance};
 pub use profile::{CacheProfile, IndexSearchProfile, LsmProfile, OpProfile, QueryProfile};

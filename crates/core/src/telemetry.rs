@@ -536,6 +536,9 @@ pub struct InstanceGauges {
     /// Scheduler + admission-controller state; all-zero with
     /// `enabled == false` on instances running without a scheduler.
     pub scheduler: crate::scheduler::SchedulerSnapshot,
+    /// WAL/fsync/recovery counters; all-zero with `enabled == false` on
+    /// in-memory instances.
+    pub durability: crate::durability::DurabilityGauges,
 }
 
 /// LSM gauges of one dataset's indexes.
@@ -945,6 +948,30 @@ impl MetricsSnapshot {
             ),
             ("queue_wait_us".into(), sched.queue_wait.to_json()),
         ]);
+        let dur = &self.gauges.durability;
+        let durability = Value::record(vec![
+            ("enabled".into(), Value::Boolean(dur.enabled)),
+            (
+                "disk_fsyncs".into(),
+                Value::Int64(dur.disk_fsyncs as i64),
+            ),
+            ("wal_appends".into(), Value::Int64(dur.wal_appends as i64)),
+            ("wal_bytes".into(), Value::Int64(dur.wal_bytes as i64)),
+            (
+                "wal_group_commits".into(),
+                Value::Int64(dur.wal_group_commits as i64),
+            ),
+            ("wal_fsyncs".into(), Value::Int64(dur.wal_fsyncs as i64)),
+            (
+                "wal_live_bytes".into(),
+                Value::Int64(dur.wal_live_bytes as i64),
+            ),
+            (
+                "replayed_records".into(),
+                Value::Int64(dur.replayed_records as i64),
+            ),
+            ("recovery_us".into(), Value::Int64(dur.recovery_us as i64)),
+        ]);
         Value::record(vec![
             ("telemetry_enabled".into(), Value::Boolean(true)),
             ("uptime_us".into(), Value::Int64(self.uptime_us as i64)),
@@ -958,6 +985,7 @@ impl MetricsSnapshot {
             ("scheduler".into(), scheduler),
             ("storage".into(), storage),
             ("lsm".into(), lsm),
+            ("durability".into(), durability),
             ("slow_queries".into(), slow),
         ])
     }
@@ -1099,6 +1127,43 @@ impl MetricsSnapshot {
         line(format!(
             "# TYPE asterix_slow_queries_total counter\nasterix_slow_queries_total {}",
             self.slow_captured
+        ));
+        let dur = &self.gauges.durability;
+        line(format!(
+            "# TYPE asterix_durability_enabled gauge\nasterix_durability_enabled {}",
+            if dur.enabled { 1 } else { 0 }
+        ));
+        line(format!(
+            "# TYPE asterix_disk_fsyncs_total counter\nasterix_disk_fsyncs_total {}",
+            dur.disk_fsyncs
+        ));
+        line(format!(
+            "# TYPE asterix_wal_appends_total counter\nasterix_wal_appends_total {}",
+            dur.wal_appends
+        ));
+        line(format!(
+            "# TYPE asterix_wal_bytes_total counter\nasterix_wal_bytes_total {}",
+            dur.wal_bytes
+        ));
+        line(format!(
+            "# TYPE asterix_wal_group_commits_total counter\nasterix_wal_group_commits_total {}",
+            dur.wal_group_commits
+        ));
+        line(format!(
+            "# TYPE asterix_wal_fsyncs_total counter\nasterix_wal_fsyncs_total {}",
+            dur.wal_fsyncs
+        ));
+        line(format!(
+            "# TYPE asterix_wal_live_bytes gauge\nasterix_wal_live_bytes {}",
+            dur.wal_live_bytes
+        ));
+        line(format!(
+            "# TYPE asterix_recovery_replayed_records gauge\nasterix_recovery_replayed_records {}",
+            dur.replayed_records
+        ));
+        line(format!(
+            "# TYPE asterix_recovery_us gauge\nasterix_recovery_us {}",
+            dur.recovery_us
         ));
         let sched = &self.gauges.scheduler;
         line(format!(
@@ -1272,6 +1337,13 @@ mod tests {
             "inverted_elements_read",
             "events_recorded",
             "event_ring",
+            "durability",
+            "disk_fsyncs",
+            "wal_appends",
+            "wal_group_commits",
+            "wal_live_bytes",
+            "replayed_records",
+            "recovery_us",
             "slow_queries",
             "threshold_us",
         ] {

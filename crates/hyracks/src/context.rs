@@ -49,6 +49,12 @@ impl PartitionSet {
     pub fn stores(&self) -> impl Iterator<Item = &PartitionStore> {
         self.stores.values()
     }
+
+    /// Mutable access to every dataset store on this partition (used by
+    /// durable instances to drain files awaiting deferred reclamation).
+    pub fn stores_mut(&mut self) -> impl Iterator<Item = &mut PartitionStore> {
+        self.stores.values_mut()
+    }
 }
 
 /// The whole simulated cluster, shared read-only during query execution.

@@ -1,4 +1,4 @@
-//! LRU buffer cache over the simulated disk.
+//! LRU buffer cache over the disk (in-memory or file-backed).
 //!
 //! §4.1.1: "The primary keys are sorted prior to this search to increase
 //! the chance of page cache hits in the buffer." The cache's hit/miss
@@ -15,13 +15,16 @@ use std::sync::Arc;
 /// Cache statistics snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Requests served from resident pages.
     pub hits: u64,
+    /// Requests that had to reach the disk.
     pub misses: u64,
     /// Pages removed under capacity pressure (byte and decoded maps).
     pub evictions: u64,
 }
 
 impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no requests were made.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -63,6 +66,9 @@ pub struct BufferCache {
 }
 
 impl BufferCache {
+    /// A cache that is *not* registered with the disk for
+    /// delete-invalidation (the caller may register it later via
+    /// [`Disk::register_cache`]). Prefer [`BufferCache::shared`].
     pub fn new(disk: Arc<Disk>, capacity_pages: usize) -> Self {
         BufferCache {
             disk,
@@ -74,6 +80,14 @@ impl BufferCache {
             }),
             decoded: Mutex::new(DecodedInner::default()),
         }
+    }
+
+    /// A shared cache, registered with the disk so [`Disk::delete`]
+    /// invalidates its pages for the deleted file immediately.
+    pub fn shared(disk: Arc<Disk>, capacity_pages: usize) -> Arc<Self> {
+        let cache = Arc::new(Self::new(disk, capacity_pages));
+        cache.disk.register_cache(&cache);
+        cache
     }
 
     /// Fetch the decoded form of a page, parsing (through the byte-level
@@ -127,6 +141,7 @@ impl BufferCache {
         Ok(Some(decoded))
     }
 
+    /// The underlying disk (for fault injection and I/O counters).
     pub fn disk(&self) -> &Arc<Disk> {
         &self.disk
     }
@@ -185,14 +200,17 @@ impl BufferCache {
         d.map.retain(|(f, _), _| *f != file);
     }
 
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().stats
     }
 
+    /// Zero the hit/miss/eviction counters.
     pub fn reset_stats(&self) {
         self.inner.lock().stats = CacheStats::default();
     }
 
+    /// Number of byte-level pages currently resident.
     pub fn resident_pages(&self) -> usize {
         self.inner.lock().map.len()
     }
@@ -204,7 +222,7 @@ mod tests {
 
     fn setup(capacity: usize) -> (Arc<Disk>, BufferCache, FileId) {
         let disk = Arc::new(Disk::new());
-        let file = disk.create();
+        let file = disk.create().unwrap();
         for i in 0u8..10 {
             disk.append(file, Bytes::from(vec![i; 4])).unwrap();
         }

@@ -20,11 +20,14 @@ use std::sync::Arc;
 /// A stored entry: a value or a tombstone (delete marker).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Entry {
+    /// A live value.
     Put(Bytes),
+    /// A deletion marker shadowing older values for the key.
     Tombstone,
 }
 
 impl Entry {
+    /// The payload of a [`Entry::Put`], `None` for tombstones.
     pub fn bytes(&self) -> Option<&Bytes> {
         match self {
             Entry::Put(b) => Some(b),
@@ -54,7 +57,7 @@ impl RunComponent {
     where
         I: IntoIterator<Item = (Value, Entry)>,
     {
-        let file = disk.create();
+        let file = disk.create()?;
         match Self::build_inner(disk, file, page_size, entries) {
             Ok(comp) => Ok(comp),
             Err(e) => {
@@ -62,6 +65,49 @@ impl RunComponent {
                 Err(e)
             }
         }
+    }
+
+    /// Re-open a sealed component from its pages (startup recovery). The
+    /// sparse index, entry count and byte size live only in memory, so a
+    /// reopened instance rebuilds them by scanning every page of the
+    /// file once. A page that fails its checksum or does not decode
+    /// surfaces as a typed error — a manifest-referenced component is
+    /// sealed and fsynced, so damage here is real corruption, not a torn
+    /// write.
+    pub fn open(disk: &Disk, file: FileId) -> Result<RunComponent, IoError> {
+        let num_pages = disk.file_pages(file);
+        let mut sparse_index = Vec::with_capacity(num_pages as usize);
+        let mut entry_count = 0u64;
+        let mut byte_size = 0u64;
+        for page_no in 0..num_pages {
+            let bytes = disk.read(file, page_no)?.ok_or_else(|| {
+                IoError::corruption(format!(
+                    "component file {} lost page {page_no} of {num_pages}",
+                    file.0
+                ))
+            })?;
+            let entries = Self::decode_page(&bytes).map_err(|e| {
+                IoError::corruption(format!(
+                    "component file {} page {page_no} undecodable: {e}",
+                    file.0
+                ))
+            })?;
+            let Some((first_key, _)) = entries.first() else {
+                return Err(IoError::corruption(format!(
+                    "component file {} page {page_no} is empty",
+                    file.0
+                )));
+            };
+            sparse_index.push(first_key.clone());
+            entry_count += entries.len() as u64;
+            byte_size += bytes.len() as u64;
+        }
+        Ok(RunComponent {
+            file,
+            sparse_index,
+            entry_count,
+            byte_size,
+        })
     }
 
     fn build_inner<I>(
@@ -145,6 +191,10 @@ impl RunComponent {
             &mut byte_size,
         )?;
 
+        // Fsync-on-seal: a component's pages are durable before any
+        // manifest may reference it. (No-op on the in-memory backend.)
+        disk.sync(file)?;
+
         Ok(RunComponent {
             file,
             sparse_index,
@@ -153,22 +203,27 @@ impl RunComponent {
         })
     }
 
+    /// The disk file this component is serialized to.
     pub fn file(&self) -> FileId {
         self.file
     }
 
+    /// Number of entries (including tombstones) in the component.
     pub fn entry_count(&self) -> u64 {
         self.entry_count
     }
 
+    /// Serialized size in bytes across all pages.
     pub fn byte_size(&self) -> u64 {
         self.byte_size
     }
 
+    /// Number of pages the component occupies.
     pub fn num_pages(&self) -> u32 {
         self.sparse_index.len() as u32
     }
 
+    /// True when the component holds no entries.
     pub fn is_empty(&self) -> bool {
         self.sparse_index.is_empty()
     }

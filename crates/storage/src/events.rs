@@ -26,16 +26,32 @@ use parking_lot::Mutex;
 /// flush fault) — the retry then appears as [`LsmEventKind::FaultRetry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LsmEventKind {
+    /// A memory-component flush began.
     FlushStart,
+    /// A flush completed and its run component is linked.
     FlushEnd,
+    /// A full merge of the disk components began.
     MergeStart,
+    /// A merge completed; superseded components are unlinked.
     MergeEnd,
+    /// A sorted bulk load began.
     BulkLoadStart,
+    /// A bulk load completed.
     BulkLoadEnd,
+    /// A transient injected I/O fault was retried.
     FaultRetry,
+    /// Startup recovery began for one partition (`bytes` = WAL bytes on
+    /// disk before replay).
+    RecoveryStart,
+    /// Startup recovery finished (`bytes` = WAL records replayed).
+    RecoveryEnd,
+    /// WAL segments discarded after a manifest commit (`bytes` = WAL
+    /// bytes reclaimed).
+    WalTruncate,
 }
 
 impl LsmEventKind {
+    /// Stable snake_case name used in telemetry JSON.
     pub fn name(&self) -> &'static str {
         match self {
             LsmEventKind::FlushStart => "flush_start",
@@ -45,6 +61,9 @@ impl LsmEventKind {
             LsmEventKind::BulkLoadStart => "bulk_load_start",
             LsmEventKind::BulkLoadEnd => "bulk_load_end",
             LsmEventKind::FaultRetry => "fault_retry",
+            LsmEventKind::RecoveryStart => "recovery_start",
+            LsmEventKind::RecoveryEnd => "recovery_end",
+            LsmEventKind::WalTruncate => "wal_truncate",
         }
     }
 }
@@ -54,11 +73,13 @@ impl LsmEventKind {
 /// the ring), so consumers can detect gaps after sampling.
 #[derive(Clone, Debug)]
 pub struct LsmEvent {
+    /// Global sequence number (monotone across evictions).
     pub seq: u64,
     /// Microseconds since the event log was created.
     pub at_us: u64,
     /// Which tree: `dataset/p<partition>/<index>`.
     pub tree: Arc<str>,
+    /// What happened.
     pub kind: LsmEventKind,
     /// Bytes involved: memory-component size for `FlushStart`, resulting
     /// component size for `FlushEnd`/`MergeEnd`, total input bytes for
@@ -92,6 +113,7 @@ pub struct LsmEventLog {
 }
 
 impl LsmEventLog {
+    /// Create a ring retaining the newest `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         LsmEventLog {
             t0: Instant::now(),
@@ -100,6 +122,7 @@ impl LsmEventLog {
         }
     }
 
+    /// The retention capacity this ring was created with.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -151,10 +174,12 @@ impl LsmEventLog {
         self.inner.lock().dropped
     }
 
+    /// Events currently retained in the ring.
     pub fn len(&self) -> usize {
         self.inner.lock().buf.len()
     }
 
+    /// True when no events are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -21,34 +21,80 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// What class of failure an [`IoError`] reports. Most errors are plain
+/// device faults; `Corruption` is reserved for integrity violations — a
+/// page or WAL record whose stored CRC32 does not match its payload, or a
+/// manifest that no longer parses. Corruption is never transient: retrying
+/// the read returns the same bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoErrorKind {
+    /// A device-level failure (injected or real OS error).
+    #[default]
+    Device,
+    /// A checksum/format mismatch: the bytes read are not the bytes
+    /// written.
+    Corruption,
+}
+
 /// A storage I/O failure. `transient` faults are expected to succeed if
 /// the operation is retried (the core layer retries flushes with bounded
-/// backoff); `permanent` faults fail every retry.
+/// backoff); `permanent` faults fail every retry. `kind` separates device
+/// faults from [`IoErrorKind::Corruption`] (checksum mismatches), which
+/// the recovery path treats differently: a corrupt WAL tail is truncated,
+/// a corrupt sealed component fails recovery loudly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IoError {
+    /// Human-readable description of the failure.
     pub message: String,
+    /// `true` when a retry of the same operation may succeed.
     pub transient: bool,
+    /// Device fault vs. data corruption.
+    pub kind: IoErrorKind,
 }
 
 impl IoError {
+    /// A permanent device fault: every retry fails.
     pub fn permanent(message: impl Into<String>) -> Self {
         IoError {
             message: message.into(),
             transient: false,
+            kind: IoErrorKind::Device,
         }
     }
 
+    /// A transient device fault: a retry is expected to succeed.
     pub fn transient(message: impl Into<String>) -> Self {
         IoError {
             message: message.into(),
             transient: true,
+            kind: IoErrorKind::Device,
         }
+    }
+
+    /// A typed corruption error (CRC mismatch, undecodable page, torn
+    /// manifest). Never transient.
+    pub fn corruption(message: impl Into<String>) -> Self {
+        IoError {
+            message: message.into(),
+            transient: false,
+            kind: IoErrorKind::Corruption,
+        }
+    }
+
+    /// True when this error reports data corruption rather than a device
+    /// fault.
+    pub fn is_corruption(&self) -> bool {
+        self.kind == IoErrorKind::Corruption
     }
 }
 
 impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.transient { "transient" } else { "permanent" };
+        let kind = match (self.kind, self.transient) {
+            (IoErrorKind::Corruption, _) => "corruption",
+            (IoErrorKind::Device, true) => "transient",
+            (IoErrorKind::Device, false) => "permanent",
+        };
         write!(f, "{} i/o error: {}", kind, self.message)
     }
 }
@@ -65,6 +111,17 @@ pub enum IoOp {
     /// An LSM flush (checked once per [`crate::lsm::LsmTree::flush`],
     /// before any page is written).
     Flush,
+    /// One record append to the write-ahead log (an `Append`-class
+    /// failure, checked synchronously in [`crate::wal::Wal::append`]
+    /// before the record is queued).
+    WalAppend,
+    /// One WAL group-commit flush (a `Flush`-class failure, checked by
+    /// the group-commit thread before the batch is written + fsynced;
+    /// every writer waiting on that batch sees the error).
+    WalFlush,
+    /// One manifest commit (a `Flush`-class failure, checked before the
+    /// atomic rename that publishes the new manifest).
+    ManifestCommit,
 }
 
 impl fmt::Display for IoOp {
@@ -73,6 +130,30 @@ impl fmt::Display for IoOp {
             IoOp::Read => write!(f, "read"),
             IoOp::Append => write!(f, "append"),
             IoOp::Flush => write!(f, "flush"),
+            IoOp::WalAppend => write!(f, "wal-append"),
+            IoOp::WalFlush => write!(f, "wal-flush"),
+            IoOp::ManifestCommit => write!(f, "manifest-commit"),
+        }
+    }
+}
+
+/// Abort the process if the `ASTERIX_CRASH_POINT` environment variable
+/// names this point. The kill -9 torture harness (`experiments
+/// durability`) runs a child writer with a crash point armed —
+/// mid-flush, mid-merge, mid-WAL-commit, mid-manifest-rename — and then
+/// verifies that a reopened instance lost no acknowledged write. An
+/// abort is indistinguishable from `kill -9` for durability purposes:
+/// no destructor runs, no buffer is flushed.
+///
+/// The environment variable is read once per process; when unset (every
+/// normal run) the cost is one atomic load and a pointer compare.
+pub fn crash_point(name: &str) {
+    static POINT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    let armed = POINT.get_or_init(|| std::env::var("ASTERIX_CRASH_POINT").ok());
+    if let Some(p) = armed {
+        if p == name {
+            eprintln!("crash point '{name}' armed: aborting");
+            std::process::abort();
         }
     }
 }
@@ -81,12 +162,14 @@ impl fmt::Display for IoOp {
 /// exactly once; a permanent rule fails the nth and every later match.
 #[derive(Clone, Debug)]
 pub struct FaultRule {
+    /// Which operation class the rule applies to.
     pub op: IoOp,
     /// Restrict to one file; `None` matches any file (and flushes, which
     /// have no file yet).
     pub file: Option<FileId>,
     /// 1-based index of the first matching operation to fail.
     pub nth: u64,
+    /// Whether the injected error is retryable.
     pub transient: bool,
 }
 
@@ -154,6 +237,7 @@ impl FaultInjector {
         self
     }
 
+    /// Install an additional rule on a live injector.
     pub fn add_rule(&self, rule: FaultRule) {
         assert!(rule.nth >= 1, "fault rule nth is 1-based");
         self.rules.lock().push(RuleState {
@@ -199,6 +283,7 @@ impl FaultInjector {
                 return Err(IoError {
                     message: format!("injected fault on {op} #{} ({scope})", state.seen),
                     transient: state.rule.transient,
+                    kind: IoErrorKind::Device,
                 });
             }
         }

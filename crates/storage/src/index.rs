@@ -40,16 +40,19 @@ pub struct PrimaryIndex {
 }
 
 impl PrimaryIndex {
+    /// Create an empty primary index over `cache`.
     pub fn new(cache: Arc<BufferCache>, config: StorageConfig) -> Self {
         PrimaryIndex {
             tree: LsmTree::new(cache, config),
         }
     }
 
+    /// Insert or overwrite the record stored under `pk`.
     pub fn insert(&mut self, pk: Value, record: &Value) -> Result<(), IoError> {
         self.tree.put(pk, binary::to_bytes(record))
     }
 
+    /// Delete the record stored under `pk` (idempotent).
     pub fn delete(&mut self, pk: Value) -> Result<(), IoError> {
         self.tree.delete(pk)
     }
@@ -85,10 +88,12 @@ impl PrimaryIndex {
         })
     }
 
+    /// Number of live records (scans all components).
     pub fn len(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
 
+    /// True when no live records exist.
     pub fn is_empty(&self) -> Result<bool, IoError> {
         match self.tree.scan().next() {
             None => Ok(true),
@@ -97,14 +102,17 @@ impl PrimaryIndex {
         }
     }
 
+    /// Approximate on-disk plus in-memory size in bytes.
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
+    /// Flush the memory component to a disk component.
     pub fn flush(&mut self) -> Result<(), IoError> {
         self.tree.flush()
     }
 
+    /// Bulk-load pre-sorted `(pk, record)` pairs as one component.
     pub fn bulk_load(
         &mut self,
         sorted: impl IntoIterator<Item = (Value, Value)>,
@@ -130,6 +138,30 @@ impl PrimaryIndex {
     pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
         self.tree.set_tag(tag);
     }
+
+    /// Live disk components as `(file, pages)`, newest first (see
+    /// [`LsmTree::component_files`]).
+    pub fn component_files(&self) -> Vec<(crate::disk::FileId, u32)> {
+        self.tree.component_files()
+    }
+
+    /// Restore recovered disk components (see
+    /// [`LsmTree::restore_components`]).
+    pub fn restore_components(&mut self, components: Vec<crate::component::RunComponent>) {
+        self.tree.restore_components(components);
+    }
+
+    /// Drain merge-superseded files awaiting reclamation (see
+    /// [`LsmTree::take_obsolete`]).
+    pub fn take_obsolete(&mut self) -> Vec<crate::disk::FileId> {
+        self.tree.take_obsolete()
+    }
+
+    /// True when the memory component is empty (see
+    /// [`LsmTree::mem_is_empty`]).
+    pub fn mem_is_empty(&self) -> bool {
+        self.tree.mem_is_empty()
+    }
 }
 
 /// Composite-key helper: `[component, pk]`.
@@ -147,10 +179,12 @@ fn range_start(a: Value) -> Value {
 #[derive(Debug)]
 pub struct SecondaryBTreeIndex {
     tree: LsmTree,
+    /// The record field this index is built over.
     pub field: String,
 }
 
 impl SecondaryBTreeIndex {
+    /// Create an empty secondary B+-tree index over `field`.
     pub fn new(cache: Arc<BufferCache>, config: StorageConfig, field: impl Into<String>) -> Self {
         SecondaryBTreeIndex {
             tree: LsmTree::new(cache, config),
@@ -158,6 +192,7 @@ impl SecondaryBTreeIndex {
         }
     }
 
+    /// Index `record`'s field value under its primary key.
     pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let key = record.field_path(&self.field);
         if key.is_unknown() {
@@ -167,6 +202,7 @@ impl SecondaryBTreeIndex {
             .put(composite(key.clone(), pk.clone()), Bytes::new())
     }
 
+    /// Remove `record`'s field value entry for `pk`.
     pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let key = record.field_path(&self.field);
         if key.is_unknown() {
@@ -194,14 +230,17 @@ impl SecondaryBTreeIndex {
         Ok(out)
     }
 
+    /// Approximate on-disk plus in-memory size in bytes.
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
+    /// Flush the memory component to a disk component.
     pub fn flush(&mut self) -> Result<(), IoError> {
         self.tree.flush()
     }
 
+    /// Number of `[key, pk]` entries across all components.
     pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
@@ -219,6 +258,26 @@ impl SecondaryBTreeIndex {
     /// Name the underlying LSM tree in lifecycle events.
     pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
         self.tree.set_tag(tag);
+    }
+
+    /// Live disk components as `(file, pages)`, newest first.
+    pub fn component_files(&self) -> Vec<(crate::disk::FileId, u32)> {
+        self.tree.component_files()
+    }
+
+    /// Restore recovered disk components.
+    pub fn restore_components(&mut self, components: Vec<crate::component::RunComponent>) {
+        self.tree.restore_components(components);
+    }
+
+    /// Drain merge-superseded files awaiting reclamation.
+    pub fn take_obsolete(&mut self) -> Vec<crate::disk::FileId> {
+        self.tree.take_obsolete()
+    }
+
+    /// True when the memory component is empty.
+    pub fn mem_is_empty(&self) -> bool {
+        self.tree.mem_is_empty()
     }
 }
 
@@ -285,12 +344,15 @@ struct PostingsCache {
 #[derive(Debug)]
 pub struct InvertedIndex {
     tree: LsmTree,
+    /// The record field this index tokenizes.
     pub field: String,
+    /// Tokenization: `Keyword` or `NGram(n)`.
     pub kind: IndexKind,
     postings_cache: PostingsCache,
 }
 
 impl InvertedIndex {
+    /// Create an empty inverted index over `field` with tokenizer `kind`.
     pub fn new(
         cache: Arc<BufferCache>,
         config: StorageConfig,
@@ -319,6 +381,7 @@ impl InvertedIndex {
         index_tokens(self.kind, field_value)
     }
 
+    /// Add postings for every token of `record`'s field.
     pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let field_value = record.field_path(&self.field);
         for token in index_tokens(self.kind, field_value) {
@@ -327,6 +390,7 @@ impl InvertedIndex {
         Ok(())
     }
 
+    /// Remove postings for every token of `record`'s field.
     pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         let field_value = record.field_path(&self.field);
         for token in index_tokens(self.kind, field_value) {
@@ -445,14 +509,17 @@ impl InvertedIndex {
         Ok(candidates)
     }
 
+    /// Approximate on-disk plus in-memory size in bytes.
     pub fn size_bytes(&self) -> u64 {
         self.tree.size_bytes()
     }
 
+    /// Flush the memory component to a disk component.
     pub fn flush(&mut self) -> Result<(), IoError> {
         self.tree.flush()
     }
 
+    /// Number of `[token, pk]` postings across all components.
     pub fn entry_count(&self) -> Result<u64, IoError> {
         self.tree.live_entries()
     }
@@ -470,6 +537,27 @@ impl InvertedIndex {
     /// Name the underlying LSM tree in lifecycle events.
     pub fn set_tag(&mut self, tag: impl Into<std::sync::Arc<str>>) {
         self.tree.set_tag(tag);
+    }
+
+    /// Live disk components as `(file, pages)`, newest first.
+    pub fn component_files(&self) -> Vec<(crate::disk::FileId, u32)> {
+        self.tree.component_files()
+    }
+
+    /// Restore recovered disk components (bumps the generation, so the
+    /// postings cache self-invalidates).
+    pub fn restore_components(&mut self, components: Vec<crate::component::RunComponent>) {
+        self.tree.restore_components(components);
+    }
+
+    /// Drain merge-superseded files awaiting reclamation.
+    pub fn take_obsolete(&mut self) -> Vec<crate::disk::FileId> {
+        self.tree.take_obsolete()
+    }
+
+    /// True when the memory component is empty.
+    pub fn mem_is_empty(&self) -> bool {
+        self.tree.mem_is_empty()
     }
 }
 

@@ -25,6 +25,8 @@
 //! * [`partition::PartitionStore`] — all indexes of one dataset partition,
 //!   with the T-occurrence candidate search used by index plans.
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod cache;
 pub mod component;
@@ -33,27 +35,33 @@ pub mod events;
 pub mod fault;
 pub mod index;
 pub mod lsm;
+pub mod manifest;
 pub mod partition;
 pub mod profile;
 pub mod trace;
+pub mod wal;
 
 pub use budget::{BudgetScope, ChargeResult, MemoryBudget};
 pub use cache::{BufferCache, CacheStats};
 pub use component::{Entry, RunComponent};
-pub use disk::{Disk, FileId};
+pub use disk::{crc32, Disk, FileId};
 pub use events::{LsmEvent, LsmEventKind, LsmEventLog};
-pub use fault::{FaultInjector, FaultRule, IoError, IoOp};
+pub use fault::{crash_point, FaultInjector, FaultRule, IoError, IoErrorKind, IoOp};
 pub use index::{index_tokens, InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
 pub use lsm::LsmTree;
+pub use manifest::{Manifest, ManifestComponent, ManifestDataset, ManifestIndex};
 pub use partition::PartitionStore;
 pub use profile::{CounterScope, QueryCounters, StorageProfile};
 pub use trace::{SpanGuard, SpanRecord, Trace};
+pub use wal::{Wal, WalConfig, WalRecord, WalRecovery};
 
 /// Any error a [`PartitionStore`] operation can produce: a logical ADM
 /// error (bad key, unknown index, …) or a device-level I/O fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StorageError {
+    /// A logical ADM error (bad key, unknown index, schema mismatch).
     Adm(asterix_adm::AdmError),
+    /// A device-level I/O fault or detected corruption.
     Io(IoError),
 }
 
@@ -109,6 +117,13 @@ pub struct StorageConfig {
     /// recording; an instance with telemetry enabled installs one
     /// [`LsmEventLog`] here so every tree it creates reports into it.
     pub events: Option<std::sync::Arc<LsmEventLog>>,
+    /// When set, a merge queues its superseded component files into
+    /// [`LsmTree::take_obsolete`] instead of deleting them immediately.
+    /// Durable instances set this so obsolete files are reclaimed only
+    /// *after* the manifest that stops referencing them is committed —
+    /// a crash in between must still find every manifest-referenced
+    /// file on disk.
+    pub defer_reclaim: bool,
 }
 
 impl Default for StorageConfig {
@@ -120,6 +135,7 @@ impl Default for StorageConfig {
             max_components: 8,
             postings_cache_entries: 4096,
             events: None,
+            defer_reclaim: false,
         }
     }
 }
@@ -135,6 +151,7 @@ impl StorageConfig {
             max_components: 3,
             postings_cache_entries: 16,
             events: None,
+            defer_reclaim: false,
         }
     }
 }

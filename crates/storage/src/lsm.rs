@@ -2,7 +2,7 @@
 //! disk components, with flush, merge, bulk load, point lookup, and merged
 //! scans.
 //!
-//! This mirrors AsterixDB's storage described in §2.3 and [2]: writes go to
+//! This mirrors AsterixDB's storage described in §2.3 and reference \[2\]: writes go to
 //! the memory component; when it exceeds its budget it is flushed to a new
 //! disk component; lookups consult components newest-first; scans merge all
 //! components with newest-wins semantics; a simple merge policy compacts
@@ -46,9 +46,15 @@ pub struct LsmTree {
     /// Identity stamped onto lifecycle events (`dataset/p0/<primary>`);
     /// empty until [`LsmTree::set_tag`] is called.
     tag: Arc<str>,
+    /// Files superseded by a merge but not yet reclaimed, populated only
+    /// when [`StorageConfig::defer_reclaim`] is set: a durable instance
+    /// may delete them only *after* the manifest that stops referencing
+    /// them has been committed.
+    obsolete: Vec<crate::disk::FileId>,
 }
 
 impl LsmTree {
+    /// Create an empty tree over `cache` with `config`.
     pub fn new(cache: Arc<BufferCache>, config: StorageConfig) -> Self {
         LsmTree {
             mem: BTreeMap::new(),
@@ -60,6 +66,7 @@ impl LsmTree {
             merges: 0,
             generation: 0,
             tag: Arc::from(""),
+            obsolete: Vec::new(),
         }
     }
 
@@ -197,6 +204,9 @@ impl LsmTree {
             self.config.page_size,
             self.mem.iter().map(|(k, e)| (k.clone(), e.clone())),
         )?;
+        // Torture hook: die after the component is sealed but before it
+        // is linked in — recovery must treat it as an orphan.
+        crate::fault::crash_point("flush.mid");
         let flushed_bytes = comp.byte_size();
         self.mem.clear();
         self.mem_bytes = 0;
@@ -253,10 +263,21 @@ impl LsmTree {
         }
         let new_comp =
             RunComponent::build(self.cache.disk(), self.config.page_size, merged)?;
+        // Torture hook: die with both the merged output and its inputs
+        // on disk, before the swap — recovery must keep the inputs (the
+        // manifest still references them) and orphan-sweep the output.
+        crate::fault::crash_point("merge.mid");
         let old = std::mem::replace(&mut self.disk_components, vec![new_comp]);
         for comp in old {
+            // Stale pages are impossible either way (FileIds are never
+            // reused), so the cache can always be scrubbed immediately;
+            // what must wait for the manifest is the file deletion.
             self.cache.invalidate_file(comp.file());
-            self.cache.disk().delete(comp.file());
+            if self.config.defer_reclaim {
+                self.obsolete.push(comp.file());
+            } else {
+                self.cache.disk().delete(comp.file());
+            }
         }
         self.merges += 1;
         self.generation += 1;
@@ -303,14 +324,17 @@ impl LsmTree {
             + self.mem_bytes as u64
     }
 
+    /// Number of immutable disk components.
     pub fn num_disk_components(&self) -> usize {
         self.disk_components.len()
     }
 
+    /// Lifetime flush count.
     pub fn num_flushes(&self) -> u64 {
         self.flushes
     }
 
+    /// Lifetime merge count.
     pub fn num_merges(&self) -> u64 {
         self.merges
     }
@@ -325,8 +349,41 @@ impl LsmTree {
         Ok(n)
     }
 
+    /// The buffer cache (and through it the disk) this tree uses.
     pub fn cache(&self) -> &Arc<BufferCache> {
         &self.cache
+    }
+
+    /// True when the memory component holds no entries (not even
+    /// tombstones) — the condition under which a manifest commit may
+    /// advance the partition's `flushed_lsn` past this tree's writes.
+    pub fn mem_is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// The live disk components as `(file, pages)`, newest first — what
+    /// a manifest records for this tree.
+    pub fn component_files(&self) -> Vec<(crate::disk::FileId, u32)> {
+        self.disk_components
+            .iter()
+            .map(|c| (c.file(), c.num_pages()))
+            .collect()
+    }
+
+    /// Replace the component stack with recovered components (newest
+    /// first), used by startup recovery after re-opening the files the
+    /// manifest references. The memory component must be empty.
+    pub fn restore_components(&mut self, components: Vec<RunComponent>) {
+        debug_assert!(self.mem.is_empty(), "restore into a dirty tree");
+        self.disk_components = components;
+        self.generation += 1;
+    }
+
+    /// Drain the files superseded since the last call (non-empty only
+    /// when [`StorageConfig::defer_reclaim`] is set). The caller deletes
+    /// them once no manifest references them.
+    pub fn take_obsolete(&mut self) -> Vec<crate::disk::FileId> {
+        std::mem::take(&mut self.obsolete)
     }
 }
 

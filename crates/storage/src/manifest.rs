@@ -1,0 +1,474 @@
+//! The per-partition manifest: the single source of truth for which
+//! sealed component files are live after a restart.
+//!
+//! One `MANIFEST` file lives at the root of each partition's data
+//! directory. It records, per dataset, the primary-key field, every
+//! secondary-index definition, and — per index — the ordered list of
+//! component files (newest first) with their expected page counts, plus
+//! the partition's `flushed_lsn` (the WAL position already captured by
+//! the listed components).
+//!
+//! ## Commit protocol
+//!
+//! A manifest commit is a whole-file rewrite with an atomic rename:
+//!
+//! 1. serialize to `MANIFEST.tmp` (checksummed header + ADM JSON body),
+//! 2. fsync `MANIFEST.tmp`,
+//! 3. `rename(MANIFEST.tmp, MANIFEST)` — atomic on POSIX,
+//! 4. fsync the directory so the rename itself is durable.
+//!
+//! A crash before step 3 leaves the previous manifest intact; a crash
+//! after it leaves the new one. There is no in-between, which is what
+//! makes flush/merge commits and component reclamation safe: obsolete
+//! files are deleted only *after* the manifest that stops referencing
+//! them has been renamed into place.
+//!
+//! ## Format
+//!
+//! ```text
+//! ASTERIX-MANIFEST v1 crc=<hex8> len=<bytes>\n
+//! { ...ADM JSON... }
+//! ```
+//!
+//! The header's CRC32 covers the JSON body. Human-readable on purpose —
+//! `cat MANIFEST` is a debugging tool.
+
+use crate::disk::{crc32, Disk, FileId};
+use crate::fault::{IoError, IoOp};
+use asterix_adm::{json, IndexDef, IndexKind, Value};
+use std::path::Path;
+
+/// Manifest file name within a partition's data directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const HEADER_MAGIC: &str = "ASTERIX-MANIFEST v1";
+
+/// One sealed component file referenced by the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManifestComponent {
+    /// The component's page file.
+    pub file: FileId,
+    /// Expected page count — recovery rejects a file that lost pages
+    /// (e.g. to torn-tail truncation of an unsealed copy).
+    pub pages: u32,
+}
+
+/// One secondary index: its definition plus live components.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestIndex {
+    /// The index definition (name, field path, kind).
+    pub def: IndexDef,
+    /// Live components, newest first (LSM search order).
+    pub components: Vec<ManifestComponent>,
+}
+
+/// One dataset within a partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Primary-key field name.
+    pub primary_key: String,
+    /// Primary-index components, newest first.
+    pub primary: Vec<ManifestComponent>,
+    /// Secondary indexes (definition + components).
+    pub indexes: Vec<ManifestIndex>,
+}
+
+/// The durable state of one partition: datasets, indexes, components,
+/// and the WAL position they capture.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Highest WAL LSN whose effects are fully contained in the listed
+    /// components — recovery replays only records past this.
+    pub flushed_lsn: u64,
+    /// Every dataset stored in this partition.
+    pub datasets: Vec<ManifestDataset>,
+}
+
+fn kind_to_str(kind: IndexKind) -> String {
+    kind.name()
+}
+
+fn kind_from_str(s: &str) -> Result<IndexKind, IoError> {
+    if s == "btree" {
+        return Ok(IndexKind::BTree);
+    }
+    if s == "keyword" {
+        return Ok(IndexKind::Keyword);
+    }
+    if let Some(n) = s.strip_prefix("ngram(").and_then(|r| r.strip_suffix(')')) {
+        if let Ok(n) = n.parse::<usize>() {
+            return Ok(IndexKind::NGram(n));
+        }
+    }
+    Err(IoError::corruption(format!("manifest: unknown index kind '{s}'")))
+}
+
+fn components_to_value(comps: &[ManifestComponent]) -> Value {
+    Value::OrderedList(
+        comps
+            .iter()
+            .map(|c| {
+                Value::record(vec![
+                    ("file".into(), Value::Int64(c.file.0 as i64)),
+                    ("pages".into(), Value::Int64(c.pages as i64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn components_from_value(v: &Value) -> Result<Vec<ManifestComponent>, IoError> {
+    let list = v
+        .as_list()
+        .ok_or_else(|| IoError::corruption("manifest: components is not a list"))?;
+    list.iter()
+        .map(|c| {
+            let file = c
+                .field("file")
+                .as_i64()
+                .ok_or_else(|| IoError::corruption("manifest: component lacks file id"))?;
+            let pages = c
+                .field("pages")
+                .as_i64()
+                .ok_or_else(|| IoError::corruption("manifest: component lacks page count"))?;
+            Ok(ManifestComponent {
+                file: FileId(file as u64),
+                pages: pages as u32,
+            })
+        })
+        .collect()
+}
+
+fn req_str(v: &Value, field: &str) -> Result<String, IoError> {
+    v.field(field)
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| IoError::corruption(format!("manifest: missing string field '{field}'")))
+}
+
+impl Manifest {
+    fn to_value(&self) -> Value {
+        Value::record(vec![
+            ("flushed_lsn".into(), Value::Int64(self.flushed_lsn as i64)),
+            (
+                "datasets".into(),
+                Value::OrderedList(
+                    self.datasets
+                        .iter()
+                        .map(|ds| {
+                            Value::record(vec![
+                                ("name".into(), Value::from(ds.name.as_str())),
+                                (
+                                    "primary_key".into(),
+                                    Value::from(ds.primary_key.as_str()),
+                                ),
+                                ("primary".into(), components_to_value(&ds.primary)),
+                                (
+                                    "indexes".into(),
+                                    Value::OrderedList(
+                                        ds.indexes
+                                            .iter()
+                                            .map(|ix| {
+                                                Value::record(vec![
+                                                    (
+                                                        "name".into(),
+                                                        Value::from(ix.def.name.as_str()),
+                                                    ),
+                                                    (
+                                                        "field".into(),
+                                                        Value::from(ix.def.field.as_str()),
+                                                    ),
+                                                    (
+                                                        "kind".into(),
+                                                        Value::from(
+                                                            kind_to_str(ix.def.kind).as_str(),
+                                                        ),
+                                                    ),
+                                                    (
+                                                        "components".into(),
+                                                        components_to_value(&ix.components),
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Manifest, IoError> {
+        let flushed_lsn = v
+            .field("flushed_lsn")
+            .as_i64()
+            .ok_or_else(|| IoError::corruption("manifest: missing flushed_lsn"))?
+            as u64;
+        let datasets = v
+            .field("datasets")
+            .as_list()
+            .ok_or_else(|| IoError::corruption("manifest: missing datasets"))?
+            .iter()
+            .map(|ds| {
+                let indexes = ds
+                    .field("indexes")
+                    .as_list()
+                    .ok_or_else(|| IoError::corruption("manifest: missing indexes"))?
+                    .iter()
+                    .map(|ix| {
+                        Ok(ManifestIndex {
+                            def: IndexDef {
+                                name: req_str(ix, "name")?,
+                                field: req_str(ix, "field")?,
+                                kind: kind_from_str(&req_str(ix, "kind")?)?,
+                            },
+                            components: components_from_value(ix.field("components"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, IoError>>()?;
+                Ok(ManifestDataset {
+                    name: req_str(ds, "name")?,
+                    primary_key: req_str(ds, "primary_key")?,
+                    primary: components_from_value(ds.field("primary"))?,
+                    indexes,
+                })
+            })
+            .collect::<Result<Vec<_>, IoError>>()?;
+        Ok(Manifest {
+            flushed_lsn,
+            datasets,
+        })
+    }
+
+    /// Every component file the manifest references, across all datasets
+    /// and indexes (recovery's orphan sweep deletes what is on disk but
+    /// not in this set).
+    pub fn referenced_files(&self) -> Vec<FileId> {
+        let mut out = Vec::new();
+        for ds in &self.datasets {
+            out.extend(ds.primary.iter().map(|c| c.file));
+            for ix in &ds.indexes {
+                out.extend(ix.components.iter().map(|c| c.file));
+            }
+        }
+        out
+    }
+
+    /// Atomically replace the partition's manifest (write tmp, fsync,
+    /// rename, fsync dir). `disk` is consulted for
+    /// [`IoOp::ManifestCommit`] fault injection before any byte is
+    /// written.
+    pub fn commit(&self, dir: &Path, disk: &Disk) -> Result<(), IoError> {
+        disk.fault_check(IoOp::ManifestCommit, None)?;
+        let body = json::to_string(&self.to_value());
+        let header = format!(
+            "{HEADER_MAGIC} crc={:08x} len={}\n",
+            crc32(body.as_bytes()),
+            body.len()
+        );
+        let tmp = dir.join(MANIFEST_TMP);
+        let mut contents = header.into_bytes();
+        contents.extend_from_slice(body.as_bytes());
+        std::fs::write(&tmp, &contents)
+            .map_err(|e| IoError::permanent(format!("write manifest tmp: {e}")))?;
+        let f = std::fs::File::open(&tmp)
+            .map_err(|e| IoError::permanent(format!("open manifest tmp: {e}")))?;
+        f.sync_all()
+            .map_err(|e| IoError::permanent(format!("fsync manifest tmp: {e}")))?;
+        crate::fault::crash_point("manifest.rename");
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))
+            .map_err(|e| IoError::permanent(format!("rename manifest: {e}")))?;
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all(); // best-effort directory fsync
+        }
+        Ok(())
+    }
+
+    /// Load the partition's manifest. `Ok(None)` when none exists (fresh
+    /// directory); a typed corruption error when the file is damaged —
+    /// the commit protocol never leaves a torn manifest, so damage means
+    /// real corruption, not a crash artifact. A leftover `MANIFEST.tmp`
+    /// (crash between steps 2 and 3) is removed.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, IoError> {
+        let _ = std::fs::remove_file(dir.join(MANIFEST_TMP));
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(IoError::permanent(format!("read manifest: {e}"))),
+        };
+        let raw = String::from_utf8(bytes)
+            .map_err(|_| IoError::corruption("manifest: not valid UTF-8"))?;
+        let Some((header, body)) = raw.split_once('\n') else {
+            return Err(IoError::corruption("manifest: missing header line"));
+        };
+        let rest = header
+            .strip_prefix(HEADER_MAGIC)
+            .ok_or_else(|| IoError::corruption("manifest: bad magic"))?;
+        let mut crc = None;
+        let mut len = None;
+        for tok in rest.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("crc=") {
+                crc = u32::from_str_radix(v, 16).ok();
+            } else if let Some(v) = tok.strip_prefix("len=") {
+                len = v.parse::<usize>().ok();
+            }
+        }
+        let (Some(crc), Some(len)) = (crc, len) else {
+            return Err(IoError::corruption("manifest: malformed header"));
+        };
+        if body.len() != len {
+            return Err(IoError::corruption(format!(
+                "manifest: body length {} != declared {len}",
+                body.len()
+            )));
+        }
+        if crc32(body.as_bytes()) != crc {
+            return Err(IoError::corruption("manifest: body checksum mismatch"));
+        }
+        let value = json::parse(body)
+            .map_err(|e| IoError::corruption(format!("manifest: unparseable body: {e}")))?;
+        Ok(Some(Self::from_value(&value)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "asterix_manifest_test_{}_{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            flushed_lsn: 42,
+            datasets: vec![ManifestDataset {
+                name: "ARevs".into(),
+                primary_key: "id".into(),
+                primary: vec![
+                    ManifestComponent {
+                        file: FileId(7),
+                        pages: 3,
+                    },
+                    ManifestComponent {
+                        file: FileId(2),
+                        pages: 9,
+                    },
+                ],
+                indexes: vec![ManifestIndex {
+                    def: IndexDef {
+                        name: "smix".into(),
+                        field: "summary".into(),
+                        kind: IndexKind::NGram(3),
+                    },
+                    components: vec![ManifestComponent {
+                        file: FileId(11),
+                        pages: 1,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn commit_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let disk = Disk::new();
+        let m = sample();
+        m.commit(&dir, &disk).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, m);
+        assert_eq!(
+            loaded.referenced_files(),
+            vec![FileId(7), FileId(2), FileId(11)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let dir = tmpdir("missing");
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recommit_replaces_atomically() {
+        let dir = tmpdir("recommit");
+        let disk = Disk::new();
+        sample().commit(&dir, &disk).unwrap();
+        let mut m2 = sample();
+        m2.flushed_lsn = 99;
+        m2.datasets[0].primary.truncate(1);
+        m2.commit(&dir, &disk).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.flushed_lsn, 99);
+        assert_eq!(loaded.datasets[0].primary.len(), 1);
+        assert!(!dir.join(MANIFEST_TMP).exists(), "tmp must be renamed away");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_body_is_typed_corruption() {
+        let dir = tmpdir("corrupt");
+        let disk = Disk::new();
+        sample().commit(&dir, &disk).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 3] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        let err = Manifest::load(&dir).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_is_cleaned_and_ignored() {
+        let dir = tmpdir("tmpclean");
+        let disk = Disk::new();
+        sample().commit(&dir, &disk).unwrap();
+        std::fs::write(dir.join(MANIFEST_TMP), b"torn garbage").unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, sample());
+        assert!(!dir.join(MANIFEST_TMP).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_commit_fault_leaves_old_manifest() {
+        use crate::fault::{FaultInjector, FaultRule};
+        use std::sync::Arc;
+        let dir = tmpdir("fault");
+        let disk = Disk::new();
+        sample().commit(&dir, &disk).unwrap();
+        disk.set_fault_injector(Arc::new(FaultInjector::new(1).with_rule(FaultRule {
+            op: IoOp::ManifestCommit,
+            file: None,
+            nth: 1,
+            transient: false,
+        })));
+        let mut m2 = sample();
+        m2.flushed_lsn = 1000;
+        let err = m2.commit(&dir, &disk).unwrap_err();
+        assert!(!err.transient);
+        // The old manifest is untouched.
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.flushed_lsn, 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -4,8 +4,11 @@
 //! the root cause of the broadcast in index-nested-loop joins, §4.2.1).
 
 use crate::cache::BufferCache;
+use crate::component::RunComponent;
+use crate::disk::FileId;
 use crate::fault::IoError;
 use crate::index::{InvertedIndex, PrimaryIndex, SecondaryBTreeIndex};
+use crate::manifest::{ManifestComponent, ManifestDataset, ManifestIndex};
 use crate::{StorageConfig, StorageError};
 use asterix_adm::{AdmError, DatasetDef, IndexDef, IndexKind, Value};
 use std::collections::HashMap;
@@ -14,11 +17,14 @@ use std::sync::Arc;
 /// One secondary index instance.
 #[derive(Debug)]
 pub enum SecondaryIndex {
+    /// A plain B+-tree on one field (exact-match lookups).
     BTree(SecondaryBTreeIndex),
+    /// A keyword or n-gram inverted index (similarity candidates).
     Inverted(InvertedIndex),
 }
 
 impl SecondaryIndex {
+    /// Approximate on-disk plus in-memory size in bytes.
     pub fn size_bytes(&self) -> u64 {
         match self {
             SecondaryIndex::BTree(i) => i.size_bytes(),
@@ -26,6 +32,7 @@ impl SecondaryIndex {
         }
     }
 
+    /// Index `record` under its primary key.
     pub fn insert(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.insert(record, pk),
@@ -33,6 +40,7 @@ impl SecondaryIndex {
         }
     }
 
+    /// Remove `record`'s entries for `pk`.
     pub fn delete(&mut self, record: &Value, pk: &Value) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.delete(record, pk),
@@ -40,6 +48,7 @@ impl SecondaryIndex {
         }
     }
 
+    /// Flush the memory component to a disk component.
     pub fn flush(&mut self) -> Result<(), IoError> {
         match self {
             SecondaryIndex::BTree(i) => i.flush(),
@@ -47,6 +56,7 @@ impl SecondaryIndex {
         }
     }
 
+    /// Downcast to the inverted variant.
     pub fn as_inverted(&self) -> Option<&InvertedIndex> {
         match self {
             SecondaryIndex::Inverted(i) => Some(i),
@@ -54,6 +64,7 @@ impl SecondaryIndex {
         }
     }
 
+    /// Downcast to the B+-tree variant.
     pub fn as_btree(&self) -> Option<&SecondaryBTreeIndex> {
         match self {
             SecondaryIndex::BTree(i) => Some(i),
@@ -84,20 +95,58 @@ impl SecondaryIndex {
             SecondaryIndex::Inverted(i) => i.set_tag(tag),
         }
     }
+
+    /// Live disk components as `(file, pages)`, newest first.
+    pub fn component_files(&self) -> Vec<(crate::disk::FileId, u32)> {
+        match self {
+            SecondaryIndex::BTree(i) => i.component_files(),
+            SecondaryIndex::Inverted(i) => i.component_files(),
+        }
+    }
+
+    /// Restore recovered disk components.
+    pub fn restore_components(&mut self, components: Vec<crate::component::RunComponent>) {
+        match self {
+            SecondaryIndex::BTree(i) => i.restore_components(components),
+            SecondaryIndex::Inverted(i) => i.restore_components(components),
+        }
+    }
+
+    /// Drain merge-superseded files awaiting reclamation.
+    pub fn take_obsolete(&mut self) -> Vec<crate::disk::FileId> {
+        match self {
+            SecondaryIndex::BTree(i) => i.take_obsolete(),
+            SecondaryIndex::Inverted(i) => i.take_obsolete(),
+        }
+    }
+
+    /// True when the memory component is empty.
+    pub fn mem_is_empty(&self) -> bool {
+        match self {
+            SecondaryIndex::BTree(i) => i.mem_is_empty(),
+            SecondaryIndex::Inverted(i) => i.mem_is_empty(),
+        }
+    }
 }
 
 /// One partition of one dataset: primary index + local secondary indexes.
 #[derive(Debug)]
 pub struct PartitionStore {
+    /// The dataset this partition belongs to.
     pub dataset: DatasetDef,
+    /// This partition's number within the dataset.
     pub partition: usize,
     primary: PrimaryIndex,
     secondaries: HashMap<String, SecondaryIndex>,
     cache: Arc<BufferCache>,
     config: StorageConfig,
+    /// Files of dropped indexes awaiting deferred reclamation (see
+    /// [`StorageConfig::defer_reclaim`]).
+    dropped_files: Vec<FileId>,
 }
 
 impl PartitionStore {
+    /// Create an empty partition store for `dataset`/`partition`.
     pub fn new(
         dataset: DatasetDef,
         partition: usize,
@@ -113,6 +162,7 @@ impl PartitionStore {
             secondaries: HashMap::new(),
             cache,
             config,
+            dropped_files: Vec::new(),
         }
     }
 
@@ -133,6 +183,7 @@ impl PartitionStore {
         Ok(())
     }
 
+    /// Delete by primary key, cleaning secondary entries first.
     pub fn delete(&mut self, pk: &Value) -> Result<(), StorageError> {
         if let Some(old) = self.primary.get(pk)? {
             for idx in self.secondaries.values_mut() {
@@ -152,6 +203,53 @@ impl PartitionStore {
                 def.name, self.partition
             ))));
         }
+        let mut index = self.index_shell(def);
+        let mut count = 0u64;
+        let rows: Vec<(Value, Value)> = self
+            .primary
+            .scan()
+            .collect::<Result<_, IoError>>()?;
+        for (pk, record) in rows {
+            index.insert(&record, &pk)?;
+            count += 1;
+        }
+        index.flush()?;
+        self.secondaries.insert(def.name.clone(), index);
+        self.record_index_def(def);
+        Ok(count)
+    }
+
+    /// Keep the partition-local [`DatasetDef`] in sync with the live
+    /// secondary indexes so [`PartitionStore::manifest_dataset`] always
+    /// has a definition for every index it lists.
+    fn record_index_def(&mut self, def: &IndexDef) {
+        if !self.dataset.indexes.iter().any(|d| d.name == def.name) {
+            self.dataset.indexes.push(def.clone());
+        }
+    }
+
+    /// Drop a secondary index, reclaiming its component files: immediately
+    /// when [`StorageConfig::defer_reclaim`] is off, otherwise queued into
+    /// [`PartitionStore::take_obsolete`] so the caller can delete them only
+    /// after the manifest that stops referencing them is durable.
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        let Some(idx) = self.secondaries.remove(name) else {
+            return false;
+        };
+        self.dataset.indexes.retain(|d| d.name != name);
+        let files: Vec<FileId> = idx.component_files().into_iter().map(|(f, _)| f).collect();
+        if self.config.defer_reclaim {
+            self.dropped_files.extend(files);
+        } else {
+            for file in files {
+                self.cache.disk().delete(file);
+            }
+        }
+        true
+    }
+
+    /// Build an empty, tagged secondary index for `def` without backfill.
+    fn index_shell(&self, def: &IndexDef) -> SecondaryIndex {
         let mut index = match def.kind {
             IndexKind::BTree => SecondaryIndex::BTree(SecondaryBTreeIndex::new(
                 self.cache.clone(),
@@ -171,40 +269,128 @@ impl PartitionStore {
             "{}/p{}/{}",
             self.dataset.name, self.partition, def.name
         ));
-        let mut count = 0u64;
-        let rows: Vec<(Value, Value)> = self
-            .primary
-            .scan()
-            .collect::<Result<_, IoError>>()?;
-        for (pk, record) in rows {
-            index.insert(&record, &pk)?;
-            count += 1;
+        index
+    }
+
+    /// Re-create a secondary index *without* backfilling it from the
+    /// primary index — startup recovery attaches manifest-listed indexes
+    /// this way and then restores their disk components directly.
+    pub fn attach_index(&mut self, def: &IndexDef) -> Result<(), StorageError> {
+        if self.secondaries.contains_key(&def.name) {
+            return Err(StorageError::Adm(AdmError::Schema(format!(
+                "index '{}' already exists in partition {}",
+                def.name, self.partition
+            ))));
         }
-        index.flush()?;
+        let index = self.index_shell(def);
         self.secondaries.insert(def.name.clone(), index);
-        Ok(count)
+        self.record_index_def(def);
+        Ok(())
     }
 
-    pub fn drop_index(&mut self, name: &str) -> bool {
-        self.secondaries.remove(name).is_some()
+    /// The durable description of this partition: every index with its
+    /// live disk components, newest first — exactly what a manifest commit
+    /// records and what [`PartitionStore::restore_from_manifest`] consumes.
+    pub fn manifest_dataset(&self) -> ManifestDataset {
+        let comps = |files: Vec<(FileId, u32)>| -> Vec<ManifestComponent> {
+            files
+                .into_iter()
+                .map(|(file, pages)| ManifestComponent { file, pages })
+                .collect()
+        };
+        let mut indexes = Vec::new();
+        for def in &self.dataset.indexes {
+            if let Some(idx) = self.secondaries.get(&def.name) {
+                indexes.push(ManifestIndex {
+                    def: def.clone(),
+                    components: comps(idx.component_files()),
+                });
+            }
+        }
+        ManifestDataset {
+            name: self.dataset.name.clone(),
+            primary_key: self.dataset.primary_key.clone(),
+            primary: comps(self.primary.component_files()),
+            indexes,
+        }
     }
 
+    /// Rebuild this partition's LSM state from a manifest snapshot: open
+    /// every referenced component file (verifying its page count survived),
+    /// attach the listed secondary indexes, and install the components
+    /// newest-first. The partition must be freshly created and empty.
+    pub fn restore_from_manifest(&mut self, ds: &ManifestDataset) -> Result<(), StorageError> {
+        let disk = self.cache.disk().clone();
+        let open_all =
+            |comps: &[ManifestComponent]| -> Result<Vec<RunComponent>, IoError> {
+                comps
+                    .iter()
+                    .map(|c| {
+                        let rc = RunComponent::open(&disk, c.file)?;
+                        if rc.num_pages() != c.pages {
+                            return Err(IoError::corruption(format!(
+                                "component file f{}.cmp has {} pages, manifest expects {}",
+                                c.file.0,
+                                rc.num_pages(),
+                                c.pages
+                            )));
+                        }
+                        Ok(rc)
+                    })
+                    .collect()
+            };
+        self.primary.restore_components(open_all(&ds.primary)?);
+        for mi in &ds.indexes {
+            self.attach_index(&mi.def)?;
+            let comps = open_all(&mi.components)?;
+            self.secondaries
+                .get_mut(&mi.def.name)
+                .expect("index attached above")
+                .restore_components(comps);
+        }
+        Ok(())
+    }
+
+    /// Drain every file awaiting deferred reclamation: merge-superseded
+    /// components of the primary and all secondaries, plus files of
+    /// dropped indexes. Callers delete these only after a manifest commit.
+    pub fn take_obsolete(&mut self) -> Vec<FileId> {
+        let mut files = std::mem::take(&mut self.dropped_files);
+        files.extend(self.primary.take_obsolete());
+        for idx in self.secondaries.values_mut() {
+            files.extend(idx.take_obsolete());
+        }
+        files
+    }
+
+    /// True when every memory component (primary and secondaries) is
+    /// empty — the condition under which a manifest commit may advance
+    /// the flushed LSN past all replayed WAL records.
+    pub fn all_mem_empty(&self) -> bool {
+        self.primary.mem_is_empty() && self.secondaries.values().all(|i| i.mem_is_empty())
+    }
+
+    /// The primary index.
     pub fn primary(&self) -> &PrimaryIndex {
         &self.primary
     }
 
+    /// Mutable access to the primary index.
     pub fn primary_mut(&mut self) -> &mut PrimaryIndex {
         &mut self.primary
     }
 
+    /// Look up a secondary index by name.
     pub fn secondary(&self, name: &str) -> Option<&SecondaryIndex> {
         self.secondaries.get(name)
     }
 
+    /// Names of all secondary indexes (unordered).
     pub fn secondary_names(&self) -> impl Iterator<Item = &str> {
         self.secondaries.keys().map(|s| s.as_str())
     }
 
+    /// The buffer cache shared by every index of this partition.
     pub fn cache(&self) -> &Arc<BufferCache> {
         &self.cache
     }
@@ -490,6 +676,92 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, StorageError::Io(_)));
         assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn manifest_roundtrip_restores_partition() {
+        let dir = std::env::temp_dir().join(format!("asterix-pstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = Arc::new(Disk::file_backed(&dir).unwrap());
+        let cache = Arc::new(BufferCache::new(disk.clone(), 64));
+        let mut cfg = StorageConfig::tiny();
+        cfg.defer_reclaim = true;
+        let mut s = PartitionStore::new(DatasetDef::new("ARevs", "id"), 0, cache, cfg.clone());
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        for i in 0..40 {
+            s.insert(review(i, "name", "shared words here")).unwrap();
+        }
+        s.flush_all().unwrap();
+        assert!(s.all_mem_empty());
+        let ds = s.manifest_dataset();
+        assert_eq!(ds.indexes.len(), 1);
+        assert!(!ds.primary.is_empty());
+
+        // A fresh store over the same disk, restored from the manifest
+        // snapshot, answers queries identically.
+        let cache2 = Arc::new(BufferCache::new(disk.clone(), 64));
+        let mut s2 = PartitionStore::new(DatasetDef::new("ARevs", "id"), 0, cache2, cfg);
+        s2.restore_from_manifest(&ds).unwrap();
+        assert_eq!(s2.primary().len().unwrap(), 40);
+        assert_eq!(
+            s2.inverted_candidates("smix", &[Value::from("shared")], 1).unwrap().len(),
+            40
+        );
+        drop(s);
+        drop(s2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_index_reclaims_files_deferred_and_immediate() {
+        // Immediate: files vanish from the disk as soon as the index drops.
+        let mut s = store();
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        for i in 0..40 {
+            s.insert(review(i, "name", "words to index")).unwrap();
+        }
+        s.flush_all().unwrap();
+        let disk = s.cache().disk().clone();
+        let before = disk.list_files().len();
+        assert!(s.drop_index("smix"));
+        assert!(disk.list_files().len() < before);
+        assert!(s.take_obsolete().is_empty());
+
+        // Deferred: files survive the drop and surface via take_obsolete.
+        let cache = Arc::new(BufferCache::new(Arc::new(Disk::new()), 64));
+        let mut cfg = StorageConfig::tiny();
+        cfg.defer_reclaim = true;
+        let mut s = PartitionStore::new(DatasetDef::new("ARevs", "id"), 0, cache, cfg);
+        s.create_index(&IndexDef {
+            name: "smix".into(),
+            field: "summary".into(),
+            kind: IndexKind::Keyword,
+        })
+        .unwrap();
+        for i in 0..40 {
+            s.insert(review(i, "name", "words to index")).unwrap();
+        }
+        s.flush_all().unwrap();
+        let disk = s.cache().disk().clone();
+        let before = disk.list_files().len();
+        assert!(s.drop_index("smix"));
+        assert_eq!(disk.list_files().len(), before);
+        let obsolete = s.take_obsolete();
+        assert!(!obsolete.is_empty());
+        for f in obsolete {
+            disk.delete(f);
+        }
+        assert!(disk.list_files().len() < before);
     }
 
     #[test]

@@ -33,14 +33,23 @@ use std::sync::Arc;
 /// [`QueryCounters::snapshot`].
 #[derive(Debug, Default)]
 pub struct QueryCounters {
+    /// Buffer-cache page hits.
     pub cache_hits: AtomicU64,
+    /// Buffer-cache page misses (disk reads).
     pub cache_misses: AtomicU64,
+    /// Pages evicted from the buffer cache.
     pub cache_evictions: AtomicU64,
+    /// Inverted-index postings elements scanned.
     pub inverted_elements_read: AtomicU64,
+    /// Candidates produced by T-occurrence merging.
     pub toccurrence_candidates: AtomicU64,
+    /// Primary-index point lookups performed.
     pub primary_lookups: AtomicU64,
+    /// LSM components consulted across all searches.
     pub lsm_components_searched: AtomicU64,
+    /// Postings served from the token postings cache.
     pub postings_cache_hits: AtomicU64,
+    /// Postings recomputed on a postings-cache miss.
     pub postings_cache_misses: AtomicU64,
 }
 
@@ -70,6 +79,7 @@ pub struct StorageProfile {
 }
 
 impl StorageProfile {
+    /// Hits / (hits + misses), 0.0 when no accesses occurred.
     pub fn cache_hit_ratio(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
@@ -94,6 +104,7 @@ impl QueryCounters {
         CounterScope { prev }
     }
 
+    /// Copy the live counters into an owned snapshot.
     pub fn snapshot(&self) -> StorageProfile {
         StorageProfile {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),

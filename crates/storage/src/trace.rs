@@ -27,12 +27,17 @@ use parking_lot::Mutex;
 /// nests inside the parent's interval.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
+    /// Span id, unique within the trace.
     pub id: u64,
+    /// Parent span id, `None` for roots.
     pub parent: Option<u64>,
+    /// Static span name (e.g. `select.scan`).
     pub name: &'static str,
     /// Executor partition for operator spans; `None` for pipeline stages.
     pub partition: Option<usize>,
+    /// Start offset in microseconds since the trace began.
     pub start_us: u64,
+    /// Wall-clock duration in microseconds.
     pub duration_us: u64,
 }
 
@@ -52,6 +57,7 @@ thread_local! {
 }
 
 impl Trace {
+    /// Create an empty trace.
     pub fn new() -> Arc<Trace> {
         Arc::new(Trace {
             t0: Instant::now(),

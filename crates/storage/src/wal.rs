@@ -1,0 +1,913 @@
+//! Per-partition write-ahead log with group commit.
+//!
+//! Every acknowledged upsert/delete is appended here *before* it is
+//! applied to the memtable, so a crash can lose at most unacknowledged
+//! writes. Records are framed
+//!
+//! ```text
+//! u64 lsn ‖ u32 payload_len ‖ u32 crc32(lsn ‖ payload) ‖ payload
+//! ```
+//!
+//! (little-endian) inside append-only segment files `wal-<seq>.log`
+//! under `<partition dir>/wal/`. LSNs are assigned sequentially and are
+//! strictly increasing across segments.
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] does not fsync per record. Appenders encode their
+//! record into a shared pending buffer, wake the background flusher, and
+//! block until their LSN is durable. The flusher batches everything that
+//! arrived within one *commit window* — it flushes as soon as
+//! `batch_bytes` of records are pending, or when `commit_interval` has
+//! elapsed since it woke, whichever comes first — then writes the batch
+//! with a single `write` + `fdatasync` and wakes all waiting appenders.
+//! Concurrent writers therefore share fsyncs (the classic group-commit
+//! throughput/latency trade: a larger window batches more records per
+//! fsync at the cost of per-write latency).
+//!
+//! ## Recovery
+//!
+//! [`Wal::open`] scans the segments in order, verifying each record's
+//! checksum and LSN monotonicity. The first invalid record — torn tail,
+//! bad checksum, short header, stale bytes — ends the log: the file is
+//! truncated at that point and any later segments are deleted, because a
+//! record is only acknowledged once fsynced, so everything at or past
+//! the first tear is unacknowledged by construction. Surviving records
+//! are returned for replay. [`Wal::truncate_upto`] discards segments
+//! once the manifest records their contents as flushed.
+//!
+//! Fault injection: appends check [`IoOp::WalAppend`] on the partition's
+//! [`Disk`] and the flusher checks [`IoOp::WalFlush`] per batch, so the
+//! existing per-partition injectors cover WAL I/O with their own
+//! deterministic counters (separate from component `Append`/`Flush`).
+
+use crate::disk::{crc32, Disk};
+use crate::fault::{IoError, IoOp};
+use bytes::Bytes;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+// The vendored parking_lot has no Condvar, so the group-commit
+// rendezvous uses the std primitives (lock poisoning cannot happen:
+// no code path panics while holding the state lock).
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Byte length of a WAL record header: `u64 lsn ‖ u32 len ‖ u32 crc`.
+const RECORD_HEADER: usize = 16;
+
+/// Tuning knobs for the write-ahead log (the `wal_*` rows of the
+/// instance durability config).
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Group-commit window: how long the flusher waits for more records
+    /// to batch before fsyncing. Zero flushes every record immediately
+    /// (lowest latency, one fsync per write).
+    pub commit_interval: Duration,
+    /// Flush as soon as this many pending bytes accumulate, even inside
+    /// the commit window.
+    pub batch_bytes: usize,
+    /// Start a new segment file once the active one exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            commit_interval: Duration::from_millis(2),
+            batch_bytes: 256 * 1024,
+            segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One recovered WAL record: the LSN it was acknowledged under and the
+/// caller's opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (strictly increasing, never reused).
+    pub lsn: u64,
+    /// The payload exactly as appended.
+    pub payload: Bytes,
+}
+
+/// What [`Wal::open`] found on disk: replayable records plus tear/
+/// truncation statistics for telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecovery {
+    /// Valid records recovered (callers replay the ones past the
+    /// manifest's `flushed_lsn`).
+    pub records_recovered: u64,
+    /// Bytes discarded at the first invalid record (torn tail, bad
+    /// checksum, stale bytes), across all segments.
+    pub bytes_truncated: u64,
+    /// Whole segments deleted because they followed a torn one.
+    pub segments_dropped: u64,
+}
+
+#[derive(Debug)]
+struct Segment {
+    seq: u64,
+    path: PathBuf,
+    /// Highest LSN written to this segment (`None` while empty).
+    last_lsn: Option<u64>,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct SegmentState {
+    dir: PathBuf,
+    /// Sealed segments plus the active one (always last, always open).
+    segments: Vec<Segment>,
+    active: File,
+}
+
+impl SegmentState {
+    fn seg_path(dir: &Path, seq: u64) -> PathBuf {
+        dir.join(format!("wal-{seq:06}.log"))
+    }
+
+    fn open_segment(dir: &Path, seq: u64) -> Result<File, IoError> {
+        OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(Self::seg_path(dir, seq))
+            .map_err(|e| IoError::permanent(format!("open wal segment: {e}")))
+    }
+
+    /// Append `buf` to the active segment and fsync it; rotate afterwards
+    /// if the segment is full.
+    fn write_batch(&mut self, buf: &[u8], max_lsn: u64, segment_bytes: u64) -> Result<(), IoError> {
+        self.active
+            .seek(std::io::SeekFrom::End(0))
+            .and_then(|_| self.active.write_all(buf))
+            .map_err(|e| IoError::permanent(format!("wal write: {e}")))?;
+        self.active
+            .sync_data()
+            .map_err(|e| IoError::permanent(format!("wal fsync: {e}")))?;
+        let seg = self.segments.last_mut().expect("active segment");
+        seg.bytes += buf.len() as u64;
+        seg.last_lsn = Some(max_lsn);
+        if seg.bytes >= segment_bytes {
+            let next_seq = seg.seq + 1;
+            self.active = Self::open_segment(&self.dir, next_seq)?;
+            self.segments.push(Segment {
+                seq: next_seq,
+                path: Self::seg_path(&self.dir, next_seq),
+                last_lsn: None,
+                bytes: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct WalState {
+    /// Encoded records waiting for the flusher.
+    pending: Vec<u8>,
+    pending_max_lsn: u64,
+    next_lsn: u64,
+    durable_lsn: u64,
+    /// `(lo, hi]` LSN ranges whose batch flush failed: waiters inside a
+    /// range receive the error (the write was never made durable and
+    /// must not be acknowledged), even after *later* batches commit and
+    /// advance `durable_lsn` past the hole.
+    failed: Vec<(u64, u64, IoError)>,
+    shutdown: bool,
+}
+
+/// A per-partition write-ahead log. See the module docs for the record
+/// format, group-commit protocol, and recovery contract.
+#[derive(Debug)]
+pub struct Wal {
+    config: WalConfig,
+    disk: Arc<Disk>,
+    state: Arc<Mutex<WalState>>,
+    work: Arc<Condvar>,
+    done: Arc<Condvar>,
+    segments: Arc<Mutex<SegmentState>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    appends: AtomicU64,
+    bytes_appended: AtomicU64,
+    fsyncs: Arc<AtomicU64>,
+    group_commits: Arc<AtomicU64>,
+    recovery: WalRecovery,
+}
+
+fn encode_record(lsn: u64, payload: &[u8], out: &mut Vec<u8>) {
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&lsn.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Scan one segment's raw bytes. Returns the valid records, the offset
+/// of the first invalid byte (== `raw.len()` when the whole segment is
+/// valid), and the last valid LSN seen.
+fn scan_segment(raw: &[u8], mut prev_lsn: u64, out: &mut Vec<WalRecord>) -> (u64, u64) {
+    let mut off = 0usize;
+    loop {
+        let rest = &raw[off..];
+        if rest.len() < RECORD_HEADER {
+            return (off as u64, prev_lsn); // clean end or torn header
+        }
+        let lsn = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(rest[12..16].try_into().expect("4 bytes"));
+        if rest.len() < RECORD_HEADER + len {
+            return (off as u64, prev_lsn); // torn payload
+        }
+        let payload = &rest[RECORD_HEADER..RECORD_HEADER + len];
+        let mut crc_input = Vec::with_capacity(8 + len);
+        crc_input.extend_from_slice(&lsn.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != stored_crc {
+            return (off as u64, prev_lsn); // bad checksum (incl. zero tail)
+        }
+        if lsn <= prev_lsn && prev_lsn != 0 {
+            return (off as u64, prev_lsn); // stale bytes: LSNs must increase
+        }
+        out.push(WalRecord {
+            lsn,
+            payload: Bytes::copy_from_slice(payload),
+        });
+        prev_lsn = lsn;
+        off += RECORD_HEADER + len;
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log under `dir`, recovering every record
+    /// acknowledged before the last shutdown/crash. Torn tails are
+    /// truncated in place; the returned [`WalRecovery`] reports what was
+    /// discarded. `disk` is only consulted for fault injection and is
+    /// the partition's disk, so existing test injectors cover the WAL.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: WalConfig,
+        disk: Arc<Disk>,
+    ) -> Result<(Wal, Vec<WalRecord>), IoError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| IoError::permanent(format!("create wal dir: {e}")))?;
+        let mut seqs: Vec<u64> = std::fs::read_dir(&dir)
+            .map_err(|e| IoError::permanent(format!("read wal dir: {e}")))?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("wal-"))
+                    .and_then(|n| n.strip_suffix(".log"))
+                    .and_then(|n| n.parse::<u64>().ok())
+            })
+            .collect();
+        seqs.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut recovery = WalRecovery::default();
+        let mut segments = Vec::new();
+        let mut prev_lsn = 0u64;
+        let mut torn_at: Option<usize> = None;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = SegmentState::seg_path(&dir, seq);
+            if torn_at.is_some() {
+                // Everything after a tear is unacknowledged: drop it.
+                let _ = std::fs::remove_file(&path);
+                recovery.segments_dropped += 1;
+                continue;
+            }
+            let mut raw = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut raw))
+                .map_err(|e| IoError::permanent(format!("read wal segment: {e}")))?;
+            let before = records.len();
+            let (valid_end, last) = scan_segment(&raw, prev_lsn, &mut records);
+            prev_lsn = last;
+            if (valid_end as usize) < raw.len() {
+                recovery.bytes_truncated += raw.len() as u64 - valid_end;
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| IoError::permanent(format!("open wal segment: {e}")))?;
+                f.set_len(valid_end)
+                    .map_err(|e| IoError::permanent(format!("truncate wal tail: {e}")))?;
+                torn_at = Some(i);
+            }
+            segments.push(Segment {
+                seq,
+                path,
+                last_lsn: if records.len() > before {
+                    Some(prev_lsn)
+                } else {
+                    None
+                },
+                bytes: valid_end,
+            });
+        }
+        recovery.records_recovered = records.len() as u64;
+
+        if segments.is_empty() {
+            segments.push(Segment {
+                seq: 0,
+                path: SegmentState::seg_path(&dir, 0),
+                last_lsn: None,
+                bytes: 0,
+            });
+        }
+        let active_seq = segments.last().expect("segment").seq;
+        let active = SegmentState::open_segment(&dir, active_seq)?;
+
+        let state = Arc::new(Mutex::new(WalState {
+            pending: Vec::new(),
+            pending_max_lsn: 0,
+            next_lsn: prev_lsn + 1,
+            durable_lsn: prev_lsn,
+            failed: Vec::new(),
+            shutdown: false,
+        }));
+        let work = Arc::new(Condvar::new());
+        let done = Arc::new(Condvar::new());
+        let segment_state = Arc::new(Mutex::new(SegmentState {
+            dir,
+            segments,
+            active,
+        }));
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        let group_commits = Arc::new(AtomicU64::new(0));
+
+        let flusher = {
+            let state = state.clone();
+            let work = work.clone();
+            let done = done.clone();
+            let segments = segment_state.clone();
+            let disk = disk.clone();
+            let fsyncs = fsyncs.clone();
+            let group_commits = group_commits.clone();
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name("wal-flusher".into())
+                .spawn(move || {
+                    flusher_loop(&state, &work, &done, &segments, &disk, &fsyncs, &group_commits, &cfg)
+                })
+                .map_err(|e| IoError::permanent(format!("spawn wal flusher: {e}")))?
+        };
+
+        Ok((
+            Wal {
+                config,
+                disk,
+                state,
+                work,
+                done,
+                segments: segment_state,
+                flusher: Some(flusher),
+                appends: AtomicU64::new(0),
+                bytes_appended: AtomicU64::new(0),
+                fsyncs,
+                group_commits,
+                recovery,
+            },
+            records,
+        ))
+    }
+
+    /// Append one record and block until it is durable (group-committed).
+    /// Returns the record's LSN. An error means the write was *not* made
+    /// durable and must not be acknowledged to the client.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, IoError> {
+        let lsn = self.submit(payload)?;
+        self.wait_durable(lsn)
+    }
+
+    /// Enqueue one record for the next group commit and return its LSN
+    /// *without* waiting for the fsync. The caller must follow up with
+    /// [`Wal::wait_durable`] before acknowledging the write.
+    ///
+    /// This split exists so callers holding a coarse lock (the partition
+    /// write lock) can assign the LSN and apply the operation atomically,
+    /// then release the lock *before* blocking on durability — which is
+    /// what lets concurrent writers to the same partition share one
+    /// group commit instead of serializing on fsyncs.
+    pub fn submit(&self, payload: &[u8]) -> Result<u64, IoError> {
+        self.submit_many(std::iter::once(payload))
+    }
+
+    /// Append a batch of records and block until the *last* is durable
+    /// (one group commit covers all of them). Returns the last LSN.
+    /// Panics if the iterator is empty.
+    pub fn append_many<'a, I>(&self, payloads: I) -> Result<u64, IoError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let lsn = self.submit_many(payloads)?;
+        self.wait_durable(lsn)
+    }
+
+    /// Enqueue a batch of records and return the last LSN without
+    /// waiting for durability; see [`Wal::submit`]. Panics if the
+    /// iterator is empty.
+    pub fn submit_many<'a, I>(&self, payloads: I) -> Result<u64, IoError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        self.disk.fault_check(IoOp::WalAppend, None)?;
+        let mut state = self.state.lock().expect("wal state lock");
+        let mut my_lsn = None;
+        let mut bytes = 0u64;
+        let mut count = 0u64;
+        for payload in payloads {
+            let lsn = state.next_lsn;
+            state.next_lsn += 1;
+            encode_record(lsn, payload, &mut state.pending);
+            state.pending_max_lsn = lsn;
+            bytes += (RECORD_HEADER + payload.len()) as u64;
+            count += 1;
+            my_lsn = Some(lsn);
+        }
+        let my_lsn = my_lsn.expect("submit_many requires at least one payload");
+        self.appends.fetch_add(count, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+        self.work.notify_one();
+        Ok(my_lsn)
+    }
+
+    /// Block until `lsn` is durable (its group commit fsynced). An error
+    /// means the record was *not* made durable and must not be
+    /// acknowledged to the client.
+    pub fn wait_durable(&self, lsn: u64) -> Result<u64, IoError> {
+        let mut state = self.state.lock().expect("wal state lock");
+        loop {
+            // A failed range wins over `durable_lsn`: later batches
+            // advance it past the hole the failed batch left behind.
+            if let Some((_, _, e)) = state
+                .failed
+                .iter()
+                .find(|(lo, hi, _)| *lo < lsn && lsn <= *hi)
+            {
+                return Err(e.clone());
+            }
+            if state.durable_lsn >= lsn {
+                return Ok(lsn);
+            }
+            if state.shutdown {
+                return Err(IoError::permanent("wal shut down before commit"));
+            }
+            state = self.done.wait(state).expect("wal state lock");
+        }
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().expect("wal state lock").durable_lsn
+    }
+
+    /// Raise the LSN counters so the next append is numbered above
+    /// `lsn`. [`Wal::open`] resumes numbering from the records still in
+    /// the segments, but segments fully covered by a manifest commit are
+    /// deleted — after a restart the survivors may start *below* the
+    /// manifest's `flushed_lsn`, and fresh appends would be numbered in
+    /// the already-flushed range and silently skipped by the next
+    /// recovery. The opener calls this with the manifest's `flushed_lsn`
+    /// to keep LSNs monotonic across restarts.
+    pub fn reserve_lsn_floor(&self, lsn: u64) {
+        let mut state = self.state.lock().expect("wal state lock");
+        if state.next_lsn <= lsn {
+            debug_assert!(
+                state.pending.is_empty(),
+                "LSN floor must be reserved before the first append"
+            );
+            state.next_lsn = lsn + 1;
+        }
+        if state.durable_lsn < lsn {
+            state.durable_lsn = lsn;
+        }
+    }
+
+    /// Discard WAL data made redundant by a manifest commit: delete
+    /// sealed segments whose records are all `<= lsn`, and reset the
+    /// active segment when everything in it is covered and nothing is in
+    /// flight.
+    pub fn truncate_upto(&self, lsn: u64) -> Result<(), IoError> {
+        let state = self.state.lock().expect("wal state lock");
+        let quiescent = state.pending.is_empty() && state.durable_lsn <= lsn;
+        drop(state);
+        let mut segs = self.segments.lock().expect("wal segment lock");
+        let old: Vec<Segment> = std::mem::take(&mut segs.segments);
+        let n = old.len();
+        let mut kept = Vec::with_capacity(n);
+        for (i, seg) in old.into_iter().enumerate() {
+            let covered = seg.last_lsn.is_none_or(|l| l <= lsn);
+            let is_active = i == n - 1;
+            if is_active {
+                if covered && quiescent && seg.bytes > 0 {
+                    segs.active
+                        .set_len(0)
+                        .map_err(|e| IoError::permanent(format!("truncate wal segment: {e}")))?;
+                    kept.push(Segment {
+                        bytes: 0,
+                        last_lsn: None,
+                        ..seg
+                    });
+                } else {
+                    kept.push(seg);
+                }
+            } else if covered {
+                let _ = std::fs::remove_file(&seg.path);
+            } else {
+                kept.push(seg);
+            }
+        }
+        segs.segments = kept;
+        Ok(())
+    }
+
+    /// Total bytes currently held across all WAL segments.
+    pub fn segment_bytes(&self) -> u64 {
+        let segs = self.segments.lock().expect("wal segment lock");
+        segs.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Records appended since open.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Record bytes (headers included) appended since open.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs issued by the group-commit flusher since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Group commits (batches) flushed since open. `appends / commits`
+    /// is the achieved batching factor.
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits.load(Ordering::Relaxed)
+    }
+
+    /// What recovery found when this log was opened.
+    pub fn recovery(&self) -> &WalRecovery {
+        &self.recovery
+    }
+
+    /// The tuning knobs this log was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flusher_loop(
+    state: &Mutex<WalState>,
+    work: &Condvar,
+    done: &Condvar,
+    segments: &Mutex<SegmentState>,
+    disk: &Disk,
+    fsyncs: &AtomicU64,
+    group_commits: &AtomicU64,
+    cfg: &WalConfig,
+) {
+    loop {
+        let (buf, max_lsn) = {
+            let mut st = state.lock().expect("wal state lock");
+            while st.pending.is_empty() && !st.shutdown {
+                st = work.wait(st).expect("wal state lock");
+            }
+            if st.pending.is_empty() && st.shutdown {
+                return;
+            }
+            // Group-commit window: batch more arrivals until the window
+            // closes or enough bytes are pending.
+            if !cfg.commit_interval.is_zero() {
+                let deadline = Instant::now() + cfg.commit_interval;
+                while !st.shutdown && st.pending.len() < cfg.batch_bytes {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, timeout) =
+                        work.wait_timeout(st, remaining).expect("wal state lock");
+                    st = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            (std::mem::take(&mut st.pending), st.pending_max_lsn)
+        };
+        let result = disk.fault_check(IoOp::WalFlush, None).and_then(|()| {
+            let mut segs = segments.lock().expect("wal segment lock");
+            segs.write_batch(&buf, max_lsn, cfg.segment_bytes)
+        });
+        let mut st = state.lock().expect("wal state lock");
+        match result {
+            Ok(()) => {
+                st.durable_lsn = max_lsn;
+                fsyncs.fetch_add(1, Ordering::Relaxed);
+                group_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // The whole batch failed: nothing in it may be
+                // acknowledged. The batch held exactly the LSNs above the
+                // last durable point (holes below it already have their
+                // own failed ranges), so waiters in `(durable, max]` see
+                // the error forever — even once later batches advance
+                // `durable_lsn` past this hole.
+                let lo = st.durable_lsn;
+                st.failed.push((lo, max_lsn, e));
+            }
+        }
+        done.notify_all();
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        {
+            let mut st = self.state.lock().expect("wal state lock");
+            st.shutdown = true;
+        }
+        self.work.notify_all();
+        self.done.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultInjector, FaultRule};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "asterix_wal_test_{}_{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cfg() -> WalConfig {
+        WalConfig {
+            commit_interval: Duration::ZERO,
+            batch_bytes: 64 * 1024,
+            segment_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let disk = Arc::new(Disk::new());
+        {
+            let (wal, recovered) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+            assert!(recovered.is_empty());
+            for i in 0..50u32 {
+                let lsn = wal.append(&i.to_le_bytes()).unwrap();
+                assert_eq!(lsn, (i + 1) as u64);
+            }
+            assert_eq!(wal.durable_lsn(), 50);
+            assert!(wal.fsyncs() > 0);
+        }
+        let (wal2, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        assert_eq!(recovered.len(), 50);
+        assert_eq!(recovered[0].lsn, 1);
+        assert_eq!(recovered[49].lsn, 50);
+        assert_eq!(recovered[7].payload.as_ref(), &7u32.to_le_bytes());
+        // Segment rotation happened (segment_bytes = 1 KiB, 50 records).
+        assert!(wal2.segment_bytes() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmpdir("torn");
+        let disk = Arc::new(Disk::new());
+        {
+            let cfg = WalConfig {
+                segment_bytes: u64::MAX,
+                ..quick_cfg()
+            };
+            let (wal, _) = Wal::open(&dir, cfg, disk.clone()).unwrap();
+            for i in 0..10u32 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+        }
+        // Tear the last record mid-payload.
+        let path = dir.join("wal-000000.log");
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 2]).unwrap();
+        let (wal, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        assert_eq!(recovered.len(), 9, "torn final record must be dropped");
+        assert_eq!(wal.recovery().bytes_truncated, 18); // 16B header + 2 payload bytes left
+        assert_eq!(wal.recovery().records_recovered, 9);
+        // The next append continues the LSN sequence after the tear.
+        let lsn = wal.append(b"next").unwrap();
+        assert_eq!(lsn, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_checksum_ends_the_log() {
+        let dir = tmpdir("badcrc");
+        let disk = Arc::new(Disk::new());
+        {
+            let cfg = WalConfig {
+                segment_bytes: u64::MAX,
+                ..quick_cfg()
+            };
+            let (wal, _) = Wal::open(&dir, cfg, disk.clone()).unwrap();
+            for i in 0..5u32 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+        }
+        // Corrupt record 3's payload (each record is 16 + 4 = 20 bytes).
+        let path = dir.join("wal-000000.log");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[2 * 20 + 17] ^= 0xff;
+        std::fs::write(&path, &raw).unwrap();
+        let (_wal, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        // Records 1 and 2 survive; 3 fails its checksum and ends the log
+        // (4 and 5 were acknowledged but follow the tear — the *caller*
+        // decides whether that is data loss; group commit means it cannot
+        // happen from a real torn write, only from corruption).
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 40);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_filled_tail_is_truncated() {
+        let dir = tmpdir("zerotail");
+        let disk = Arc::new(Disk::new());
+        {
+            let cfg = WalConfig {
+                segment_bytes: u64::MAX,
+                ..quick_cfg()
+            };
+            let (wal, _) = Wal::open(&dir, cfg, disk.clone()).unwrap();
+            wal.append(b"only").unwrap();
+        }
+        let path = dir.join("wal-000000.log");
+        let mut raw = std::fs::read(&path).unwrap();
+        let old_len = raw.len();
+        raw.extend_from_slice(&[0u8; 64]); // preallocated-zeros tail
+        std::fs::write(&path, &raw).unwrap();
+        let (_wal, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), old_len as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_upto_discards_flushed_segments() {
+        let dir = tmpdir("truncate");
+        let disk = Arc::new(Disk::new());
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        for i in 0..200u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        assert!(wal.segment_bytes() > 0);
+        wal.truncate_upto(wal.durable_lsn()).unwrap();
+        assert_eq!(
+            wal.segment_bytes(),
+            0,
+            "everything flushed: all wal data must be reclaimed"
+        );
+        // LSNs keep increasing after truncation.
+        let lsn = wal.append(b"after").unwrap();
+        assert_eq!(lsn, 201);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_wal_append_fault_is_typed() {
+        let dir = tmpdir("fault_append");
+        let disk = Arc::new(Disk::new());
+        disk.set_fault_injector(Arc::new(FaultInjector::new(3).with_rule(FaultRule {
+            op: IoOp::WalAppend,
+            file: None,
+            nth: 1,
+            transient: true,
+        })));
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+        let err = wal.append(b"doomed").unwrap_err();
+        assert!(err.transient);
+        // The fault was pre-commit: nothing reached the log, and the next
+        // append succeeds.
+        assert_eq!(wal.append(b"fine").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_wal_flush_fault_fails_the_batch() {
+        let dir = tmpdir("fault_flush");
+        let disk = Arc::new(Disk::new());
+        disk.set_fault_injector(Arc::new(FaultInjector::new(3).with_rule(FaultRule {
+            op: IoOp::WalFlush,
+            file: None,
+            nth: 1,
+            transient: false,
+        })));
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+        let err = wal.append(b"doomed").unwrap_err();
+        assert!(!err.transient);
+        assert_eq!(wal.durable_lsn(), 0, "failed batch must not advance durability");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A later successful batch advances `durable_lsn` past the hole a
+    /// failed batch left behind; waiters inside the hole must still get
+    /// the error, not a spurious `Ok` from the durable-LSN comparison.
+    #[test]
+    fn failed_lsn_stays_failed_after_later_commits() {
+        let dir = tmpdir("failed_range");
+        let disk = Arc::new(Disk::new());
+        disk.set_fault_injector(Arc::new(FaultInjector::new(3).with_rule(FaultRule {
+            op: IoOp::WalFlush,
+            file: None,
+            nth: 1,
+            transient: false,
+        })));
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+        let lsn1 = wal.submit(b"doomed").unwrap();
+        assert!(wal.wait_durable(lsn1).is_err());
+        disk.clear_fault_injector();
+        let lsn2 = wal.append(b"fine").unwrap();
+        assert_eq!(lsn2, 2);
+        assert_eq!(wal.durable_lsn(), 2, "the later batch commits past the hole");
+        assert!(
+            wal.wait_durable(lsn1).is_err(),
+            "lsn {lsn1} was never persisted; durable_lsn passing it must not ack it"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appenders_group_commit() {
+        let dir = tmpdir("group");
+        let disk = Arc::new(Disk::new());
+        let cfg = WalConfig {
+            commit_interval: Duration::from_millis(1),
+            batch_bytes: 1024 * 1024,
+            segment_bytes: u64::MAX,
+        };
+        let (wal, _) = Wal::open(&dir, cfg, disk.clone()).unwrap();
+        let wal = Arc::new(wal);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        wal.append(format!("t{t}-{i}").as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wal.appends(), 400);
+        assert_eq!(wal.durable_lsn(), 400);
+        assert!(
+            wal.group_commits() < 400,
+            "concurrent appends must share commits: {} commits for 400 appends",
+            wal.group_commits()
+        );
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        assert_eq!(recovered.len(), 400);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_many_commits_once() {
+        let dir = tmpdir("many");
+        let disk = Arc::new(Disk::new());
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let last = wal
+            .append_many(payloads.iter().map(|p| p.as_slice()))
+            .unwrap();
+        assert_eq!(last, 100);
+        assert_eq!(wal.appends(), 100);
+        assert!(wal.group_commits() <= 2, "one batch should need one commit");
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, quick_cfg(), disk).unwrap();
+        assert_eq!(recovered.len(), 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -82,10 +82,22 @@ fn pooled_results_match_unbounded_for_query_class_matrix() {
     let seed = instance_with(SchedulerConfig::disabled());
     assert!(pooled.scheduler().is_some());
     assert!(seed.scheduler().is_none());
+    // Neither query carries an order-by, so row order is not part of the
+    // contract — the pooled executor may interleave partition outputs
+    // differently run to run. Compare as multisets.
+    let sorted = |rows: &[asterix_adm::Value]| {
+        let mut keyed: Vec<String> = rows.iter().map(asterix_adm::json::to_string).collect();
+        keyed.sort();
+        keyed
+    };
     for (name, q) in matrix() {
         let a = pooled.query(&q).unwrap_or_else(|e| panic!("{name} pooled: {e}"));
         let b = seed.query(&q).unwrap_or_else(|e| panic!("{name} seed: {e}"));
-        assert_eq!(a.rows, b.rows, "{name}: pooled and seed rows must agree");
+        assert_eq!(
+            sorted(&a.rows),
+            sorted(&b.rows),
+            "{name}: pooled and seed rows must agree"
+        );
         assert_eq!(
             a.plan.rewrites, b.plan.rewrites,
             "{name}: both executors must run the same plan"
