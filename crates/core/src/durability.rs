@@ -19,6 +19,30 @@
 //!   replays surviving WAL records above `flushed_lsn` in LSN order.
 //!   Replay is idempotent: inserts overwrite, deletes of absent keys are
 //!   no-ops.
+//! * Manifest commits are serialized per partition
+//!   ([`PartitionDurability::commit_lock`], held from the LSM state
+//!   sample through the rename and WAL truncation), and a committed
+//!   `flushed_lsn` never regresses — both are required so a staler
+//!   manifest can never overwrite a newer one after the newer one's
+//!   WAL segments were reclaimed.
+//!
+//! ## Failure anomaly: at-least-once
+//!
+//! The guarantee is one-directional. `Ok` means the operation survives
+//! any crash; `Err` means it is *not guaranteed durable* — it does
+//! **not** mean guaranteed absent. Two windows make a failed mutation
+//! resurrectable or transiently visible:
+//!
+//! * If the memory-component apply fails *after* the WAL submit (the
+//!   record's group commit may still fsync), the record is durable in
+//!   the WAL and the next restart replays it, even though the client
+//!   saw an error.
+//! * If the group-commit wait fails *after* the apply, the record stays
+//!   visible in memory until a restart discards it with its WAL batch —
+//!   unless a flush persists it into a component first.
+//!
+//! Callers that need exactly-once semantics must retry idempotently
+//! (replay itself is idempotent: inserts overwrite by primary key).
 
 use asterix_adm::{binary, Value};
 use asterix_storage::{Disk, IoError, Manifest, Wal, WalConfig, WalRecord};
@@ -124,6 +148,15 @@ pub struct PartitionDurability {
     wal: Wal,
     /// The `flushed_lsn` of the last committed manifest.
     flushed_lsn: Mutex<u64>,
+    /// Serializes whole manifest commits — from the LSM state sample
+    /// through the atomic rename and the WAL truncation. Without it,
+    /// two concurrent committers (a flush racing a DDL statement) could
+    /// publish their manifests out of sample order: the newer one
+    /// advances `flushed_lsn` and reclaims the WAL segments it covers,
+    /// then the staler one overwrites the manifest with an older
+    /// component list and a lower `flushed_lsn` — after a crash, the
+    /// operations in between are in neither the manifest nor the WAL.
+    commit_lock: Mutex<()>,
 }
 
 impl PartitionDurability {
@@ -148,6 +181,7 @@ impl PartitionDurability {
                 disk,
                 wal,
                 flushed_lsn: Mutex::new(flushed_lsn),
+                commit_lock: Mutex::new(()),
             },
             manifest,
             records,
@@ -204,10 +238,38 @@ impl PartitionDurability {
         self.wal.append_many(encoded.iter().map(|b| b.as_slice()))
     }
 
+    /// Acquire the partition's commit lock. Callers must hold the
+    /// returned guard from the moment they sample the LSM state that
+    /// will become a manifest until [`Self::commit_manifest`] returns,
+    /// so concurrent committers can never publish manifests out of
+    /// sample order.
+    pub fn commit_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.commit_lock.lock()
+    }
+
     /// Commit `manifest` (atomic rename) and, when its `flushed_lsn`
     /// advanced, truncate the WAL segments it makes obsolete. Returns the
     /// WAL bytes reclaimed by truncation.
+    ///
+    /// Callers serialize the sample-to-commit window via
+    /// [`Self::commit_lock`]. As defense in depth, a manifest whose
+    /// `flushed_lsn` is behind the last committed one is clamped before
+    /// it is written: a published `flushed_lsn` must never regress,
+    /// because the WAL segments below the previous value may already be
+    /// reclaimed — recovery would find the regressed range in neither
+    /// the manifest's components nor the WAL.
     pub fn commit_manifest(&self, manifest: &Manifest) -> Result<u64, IoError> {
+        let current = self.flushed_lsn();
+        let clamped;
+        let manifest = if manifest.flushed_lsn < current {
+            clamped = Manifest {
+                flushed_lsn: current,
+                datasets: manifest.datasets.clone(),
+            };
+            &clamped
+        } else {
+            manifest
+        };
         manifest.commit(&self.dir, &self.disk)?;
         let mut flushed = self.flushed_lsn.lock();
         let advanced = manifest.flushed_lsn > *flushed;
@@ -269,6 +331,39 @@ mod tests {
             let bytes = op.encode();
             assert_eq!(WalOp::decode(&bytes).unwrap(), op);
         }
+    }
+
+    /// A committed `flushed_lsn` must never regress: a staler manifest
+    /// (sampled before a concurrent committer advanced it) is clamped
+    /// to the current value before it is published, because the WAL
+    /// segments below the newer value may already be reclaimed.
+    #[test]
+    fn commit_manifest_never_regresses_flushed_lsn() {
+        let dir = std::env::temp_dir().join(format!(
+            "asterix_durability_test_{}_noregress",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let disk = Arc::new(Disk::new());
+        let (pd, _, _) =
+            PartitionDurability::open(&dir, WalConfig::default(), disk).unwrap();
+        pd.commit_manifest(&Manifest {
+            flushed_lsn: 100,
+            datasets: Vec::new(),
+        })
+        .unwrap();
+        assert_eq!(pd.flushed_lsn(), 100);
+        // A staler sample must not drag durability backwards.
+        pd.commit_manifest(&Manifest {
+            flushed_lsn: 40,
+            datasets: Vec::new(),
+        })
+        .unwrap();
+        assert_eq!(pd.flushed_lsn(), 100);
+        let on_disk = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(on_disk.flushed_lsn, 100);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -304,6 +304,13 @@ impl Instance {
             return Ok(());
         };
         let pd = &dur.partitions[pidx];
+        // The commit lock is held from the state sample through the
+        // manifest rename and WAL truncation: concurrent committers
+        // (flush racing DDL) must publish in sample order, or a staler
+        // manifest could overwrite a newer one whose advanced
+        // `flushed_lsn` already reclaimed WAL segments — losing the
+        // acknowledged operations in between on the next recovery.
+        let _commit = pd.commit_lock();
         // Everything sampled under the partition write lock: WAL appends
         // also happen under it, so `durable_lsn` cannot move past an
         // operation that is only in a memory component we just saw empty.
@@ -496,9 +503,11 @@ impl Instance {
         // WAL first: LSN assignment and the memory-component apply happen
         // atomically under the partition lock, but the fsync wait happens
         // *after* the lock is released so concurrent writers share one
-        // group commit. `Ok` still means the write survives any crash; an
-        // `Err` from the wait means it was not persisted (it may remain
-        // visible until the next restart discards it with the WAL batch).
+        // group commit. `Ok` still means the write survives any crash.
+        // `Err` is at-least-once territory (see the `durability` module
+        // docs): a failed apply after the submit leaves a WAL record the
+        // next restart replays, and a failed wait leaves the record
+        // visible in memory until a restart discards it with its batch.
         let lsn = match &self.durability {
             Some(dur) => Some(dur.partitions[partition].submit(&WalOp::Insert {
                 dataset: dataset.to_string(),
@@ -530,7 +539,8 @@ impl Instance {
             .store_mut(dataset)
             .ok_or_else(|| CoreError::Schema(format!("dataset '{dataset}' missing")))?;
         // Same protocol as insert: submit + apply under the lock, wait
-        // for the group commit after releasing it.
+        // for the group commit after releasing it — including the same
+        // at-least-once anomaly on failure (`durability` module docs).
         let lsn = match &self.durability {
             Some(dur) => Some(dur.partitions[partition].submit(&WalOp::Delete {
                 dataset: dataset.to_string(),

@@ -1379,6 +1379,13 @@ mod tests {
             let (rows, _) = run_job_with(&job, &ctx, &pooled(&pool)).unwrap();
             assert_eq!(rows.len(), 6);
         }
+        // A worker decrements `busy` just *after* its task signals scope
+        // completion, so the gauge can trail `run_job_with` returning by
+        // an instant — poll briefly instead of sampling once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.busy() > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
         assert_eq!(pool.busy(), 0);
         assert_eq!(pool.queued_tasks(), 0);
     }

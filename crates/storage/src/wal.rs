@@ -25,6 +25,16 @@
 //! throughput/latency trade: a larger window batches more records per
 //! fsync at the cost of per-write latency).
 //!
+//! A failed batch write is rolled back (`set_len` to the last durable
+//! offset) before any later batch is accepted, so partial bytes of a
+//! failed batch can never precede an acknowledged one — recovery
+//! truncates at the first invalid record, which would otherwise discard
+//! the acknowledged batch behind the garbage. When the rollback fails,
+//! or the fsync itself fails (the kernel may drop the dirty pages, so a
+//! later successful fsync proves nothing about this range), the log is
+//! *poisoned*: every later submit and every not-yet-durable wait
+//! returns the error, permanently.
+//!
 //! ## Recovery
 //!
 //! [`Wal::open`] scans the segments in order, verifying each record's
@@ -123,6 +133,23 @@ struct SegmentState {
     active: File,
 }
 
+/// A failed batch write, plus whether the failure left the log in a
+/// state where no later append may be acknowledged (see
+/// [`SegmentState::write_batch`]).
+#[derive(Debug)]
+struct BatchError {
+    error: IoError,
+    poison: bool,
+}
+
+/// Fsync a directory so freshly created entries in it are durable —
+/// the same discipline `Manifest::commit` applies after its rename.
+fn sync_dir(dir: &Path) -> Result<(), IoError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| IoError::permanent(format!("fsync wal dir: {e}")))
+}
+
 impl SegmentState {
     fn seg_path(dir: &Path, seq: u64) -> PathBuf {
         dir.join(format!("wal-{seq:06}.log"))
@@ -138,28 +165,61 @@ impl SegmentState {
             .map_err(|e| IoError::permanent(format!("open wal segment: {e}")))
     }
 
-    /// Append `buf` to the active segment and fsync it; rotate afterwards
-    /// if the segment is full.
-    fn write_batch(&mut self, buf: &[u8], max_lsn: u64, segment_bytes: u64) -> Result<(), IoError> {
-        self.active
-            .seek(std::io::SeekFrom::End(0))
-            .and_then(|_| self.active.write_all(buf))
-            .map_err(|e| IoError::permanent(format!("wal write: {e}")))?;
-        self.active
-            .sync_data()
-            .map_err(|e| IoError::permanent(format!("wal fsync: {e}")))?;
+    /// Append `buf` at the known-good end of the active segment and
+    /// fsync it; rotate afterwards if the segment is full.
+    ///
+    /// A failed write trims the segment back to the known-good end
+    /// (`set_len`) before returning, so partial bytes of the failed
+    /// batch can never sit *before* a later acknowledged batch — at
+    /// recovery the scan truncates at the first invalid record, which
+    /// would silently discard the acknowledged batch behind the
+    /// garbage. When the trim itself fails, and on any fsync failure
+    /// (the kernel may have dropped the dirty pages, so even a later
+    /// successful fsync cannot be trusted to cover this range), the
+    /// error poisons the log: no subsequent append is acknowledged.
+    fn write_batch(&mut self, buf: &[u8], max_lsn: u64, segment_bytes: u64) -> Result<(), BatchError> {
         let seg = self.segments.last_mut().expect("active segment");
+        let good_end = seg.bytes;
+        if let Err(e) = self
+            .active
+            .seek(std::io::SeekFrom::Start(good_end))
+            .and_then(|_| self.active.write_all(buf))
+        {
+            let poison = self.active.set_len(good_end).is_err();
+            return Err(BatchError {
+                error: IoError::permanent(format!("wal write: {e}")),
+                poison,
+            });
+        }
+        if let Err(e) = self.active.sync_data() {
+            let _ = self.active.set_len(good_end);
+            return Err(BatchError {
+                error: IoError::permanent(format!("wal fsync: {e}")),
+                poison: true,
+            });
+        }
         seg.bytes += buf.len() as u64;
         seg.last_lsn = Some(max_lsn);
-        if seg.bytes >= segment_bytes {
-            let next_seq = seg.seq + 1;
-            self.active = Self::open_segment(&self.dir, next_seq)?;
-            self.segments.push(Segment {
-                seq: next_seq,
-                path: Self::seg_path(&self.dir, next_seq),
-                last_lsn: None,
-                bytes: 0,
-            });
+        let full = seg.bytes >= segment_bytes;
+        let next_seq = seg.seq + 1;
+        if full {
+            // The new segment's directory entry must be durable before
+            // any record lands in it — otherwise a power failure could
+            // drop the whole segment (and every acknowledged record in
+            // it) even though the records were fsynced. If creation or
+            // the directory fsync fails, keep appending to the current
+            // (oversized) segment; rotation retries on the next batch.
+            if let Ok(f) = Self::open_segment(&self.dir, next_seq) {
+                if sync_dir(&self.dir).is_ok() {
+                    self.active = f;
+                    self.segments.push(Segment {
+                        seq: next_seq,
+                        path: Self::seg_path(&self.dir, next_seq),
+                        last_lsn: None,
+                        bytes: 0,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -175,8 +235,17 @@ struct WalState {
     /// `(lo, hi]` LSN ranges whose batch flush failed: waiters inside a
     /// range receive the error (the write was never made durable and
     /// must not be acknowledged), even after *later* batches commit and
-    /// advance `durable_lsn` past the hole.
+    /// advance `durable_lsn` past the hole. Ranges below a manifest's
+    /// `flushed_lsn` are pruned by [`Wal::truncate_upto`].
     failed: Vec<(u64, u64, IoError)>,
+    /// Set when a batch failure left the active segment untrustworthy
+    /// (partial bytes that could not be trimmed, or a failed fsync whose
+    /// dirty pages the kernel may have dropped). Once set, every
+    /// subsequent submit and every not-yet-durable wait fails with this
+    /// error — nothing appended after the poisoning is ever
+    /// acknowledged, so recovery's truncate-at-first-tear can never
+    /// discard an acknowledged record.
+    poisoned: Option<IoError>,
     shutdown: bool,
 }
 
@@ -323,6 +392,10 @@ impl Wal {
         }
         let active_seq = segments.last().expect("segment").seq;
         let active = SegmentState::open_segment(&dir, active_seq)?;
+        // A freshly created segment (first open, or re-created after the
+        // previous incarnation reclaimed everything) is only durable
+        // once its directory entry is.
+        sync_dir(&dir)?;
 
         let state = Arc::new(Mutex::new(WalState {
             pending: Vec::new(),
@@ -330,6 +403,7 @@ impl Wal {
             next_lsn: prev_lsn + 1,
             durable_lsn: prev_lsn,
             failed: Vec::new(),
+            poisoned: None,
             shutdown: false,
         }));
         let work = Arc::new(Condvar::new());
@@ -419,6 +493,9 @@ impl Wal {
     {
         self.disk.fault_check(IoOp::WalAppend, None)?;
         let mut state = self.state.lock().expect("wal state lock");
+        if let Some(e) = &state.poisoned {
+            return Err(e.clone());
+        }
         let mut my_lsn = None;
         let mut bytes = 0u64;
         let mut count = 0u64;
@@ -455,6 +532,11 @@ impl Wal {
             }
             if state.durable_lsn >= lsn {
                 return Ok(lsn);
+            }
+            // Not yet durable and the log is poisoned: the flusher will
+            // never successfully commit this record.
+            if let Some(e) = &state.poisoned {
+                return Err(e.clone());
             }
             if state.shutdown {
                 return Err(IoError::permanent("wal shut down before commit"));
@@ -495,8 +577,15 @@ impl Wal {
     /// active segment when everything in it is covered and nothing is in
     /// flight.
     pub fn truncate_upto(&self, lsn: u64) -> Result<(), IoError> {
-        let state = self.state.lock().expect("wal state lock");
+        let mut state = self.state.lock().expect("wal state lock");
         let quiescent = state.pending.is_empty() && state.durable_lsn <= lsn;
+        // A manifest whose `flushed_lsn` reached `lsn` has captured every
+        // operation applied at or below it, so failed ranges entirely
+        // below the truncation point can no longer have waiters that
+        // must see the error — prune them so a disk that fails
+        // repeatedly cannot grow this Vec (and the linear scan in
+        // `wait_durable`) without bound.
+        state.failed.retain(|(_, hi, _)| *hi > lsn);
         drop(state);
         let mut segs = self.segments.lock().expect("wal segment lock");
         let old: Vec<Segment> = std::mem::take(&mut segs.segments);
@@ -560,6 +649,13 @@ impl Wal {
         &self.recovery
     }
 
+    /// Failed `(lo, hi]` LSN ranges currently retained (test support
+    /// for the pruning done by [`Wal::truncate_upto`]).
+    #[cfg(test)]
+    fn failed_ranges(&self) -> usize {
+        self.state.lock().expect("wal state lock").failed.len()
+    }
+
     /// The tuning knobs this log was opened with.
     pub fn config(&self) -> &WalConfig {
         &self.config
@@ -578,7 +674,7 @@ fn flusher_loop(
     cfg: &WalConfig,
 ) {
     loop {
-        let (buf, max_lsn) = {
+        let (buf, max_lsn, poisoned) = {
             let mut st = state.lock().expect("wal state lock");
             while st.pending.is_empty() && !st.shutdown {
                 st = work.wait(st).expect("wal state lock");
@@ -603,12 +699,31 @@ fn flusher_loop(
                     }
                 }
             }
-            (std::mem::take(&mut st.pending), st.pending_max_lsn)
+            (
+                std::mem::take(&mut st.pending),
+                st.pending_max_lsn,
+                st.poisoned.clone(),
+            )
         };
-        let result = disk.fault_check(IoOp::WalFlush, None).and_then(|()| {
-            let mut segs = segments.lock().expect("wal segment lock");
-            segs.write_batch(&buf, max_lsn, cfg.segment_bytes)
-        });
+        let result = match poisoned {
+            // A poisoned log fails the batch without touching the file:
+            // the segment tail is untrustworthy and nothing appended
+            // after the poisoning may be acknowledged.
+            Some(error) => Err(BatchError {
+                error,
+                poison: false,
+            }),
+            None => disk
+                .fault_check(IoOp::WalFlush, None)
+                .map_err(|error| BatchError {
+                    error,
+                    poison: false,
+                })
+                .and_then(|()| {
+                    let mut segs = segments.lock().expect("wal segment lock");
+                    segs.write_batch(&buf, max_lsn, cfg.segment_bytes)
+                }),
+        };
         let mut st = state.lock().expect("wal state lock");
         match result {
             Ok(()) => {
@@ -616,7 +731,7 @@ fn flusher_loop(
                 fsyncs.fetch_add(1, Ordering::Relaxed);
                 group_commits.fetch_add(1, Ordering::Relaxed);
             }
-            Err(e) => {
+            Err(be) => {
                 // The whole batch failed: nothing in it may be
                 // acknowledged. The batch held exactly the LSNs above the
                 // last durable point (holes below it already have their
@@ -624,7 +739,10 @@ fn flusher_loop(
                 // the error forever — even once later batches advance
                 // `durable_lsn` past this hole.
                 let lo = st.durable_lsn;
-                st.failed.push((lo, max_lsn, e));
+                st.failed.push((lo, max_lsn, be.error.clone()));
+                if be.poison && st.poisoned.is_none() {
+                    st.poisoned = Some(be.error);
+                }
             }
         }
         done.notify_all();
@@ -853,6 +971,32 @@ mod tests {
             wal.wait_durable(lsn1).is_err(),
             "lsn {lsn1} was never persisted; durable_lsn passing it must not ack it"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `truncate_upto` prunes failed ranges below the truncation LSN: a
+    /// manifest that advanced `flushed_lsn` there has captured every
+    /// applied operation, so no waiter can still need the error — and a
+    /// repeatedly failing disk must not grow the range list (scanned on
+    /// every `wait_durable`) without bound.
+    #[test]
+    fn truncate_prunes_failed_ranges() {
+        let dir = tmpdir("prune_failed");
+        let disk = Arc::new(Disk::new());
+        disk.set_fault_injector(Arc::new(FaultInjector::new(3).with_rule(FaultRule {
+            op: IoOp::WalFlush,
+            file: None,
+            nth: 1,
+            transient: false,
+        })));
+        let (wal, _) = Wal::open(&dir, quick_cfg(), disk.clone()).unwrap();
+        let lsn1 = wal.submit(b"doomed").unwrap();
+        assert!(wal.wait_durable(lsn1).is_err());
+        assert_eq!(wal.failed_ranges(), 1);
+        disk.clear_fault_injector();
+        let lsn2 = wal.append(b"fine").unwrap();
+        wal.truncate_upto(lsn2).unwrap();
+        assert_eq!(wal.failed_ranges(), 0, "covered failed ranges must be pruned");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
