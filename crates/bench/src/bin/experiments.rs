@@ -263,6 +263,7 @@ struct HotpathVariant {
     primary_lookups: u64,
     toccurrence_candidates: u64,
     lsm_components_searched: u64,
+    batch_frames: u64,
 }
 
 impl HotpathVariant {
@@ -307,15 +308,18 @@ impl HotpathVariant {
                 "lsm_components_searched".into(),
                 int(self.lsm_components_searched),
             ),
+            ("batch_frames".into(), int(self.batch_frames)),
         ])
     }
 }
 
-/// The hot-path before/after benchmark (`hotpath`): every optimization of
-/// this PR (postings cache, batched sorted primary lookups, token
-/// memoization, compile-time pre-tokenization) against a baseline with
-/// all of them off, on the same data. Results are pinned identical; the
-/// numbers go to `BENCH_hotpath.json`.
+/// The hot-path before/after benchmark (`hotpath`): every executor
+/// optimization (postings cache, batched sorted primary lookups, token
+/// memoization, compile-time pre-tokenization, batch-at-a-time execution
+/// with vectorized verify kernels) against a baseline with all of them
+/// off, on the same data, plus a "row" middle variant (hot path on,
+/// batching off) that isolates the batching win. Results are pinned
+/// identical across all three; the numbers go to `BENCH_hotpath.json`.
 fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     use asterix_adm::Value;
     use asterix_bench::workloads::DatasetInfo;
@@ -363,8 +367,16 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     let mut base_opts = options(|c| c.pre_tokenize = false);
     base_opts.profile = true;
     base_opts.disable_hotpath = true;
+    base_opts.disable_batching = true;
     let opt_opts = QueryOptions {
         profile: true,
+        ..QueryOptions::default()
+    };
+    // Row variant: every hot-path optimization on, but operators exchange
+    // row frames and verify per tuple — isolates the batching win.
+    let row_opts = QueryOptions {
+        profile: true,
+        disable_batching: true,
         ..QueryOptions::default()
     };
 
@@ -441,6 +453,7 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
                 primary_lookups: p.index_search.primary_lookups,
                 toccurrence_candidates: p.index_search.toccurrence_candidates,
                 lsm_components_searched: p.lsm.components_searched,
+                batch_frames: p.operators.iter().map(|o| o.batch_frames_emitted).sum(),
             },
         )
     };
@@ -449,13 +462,20 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     let mut table = Vec::new();
     for (name, q) in &specs {
         let (base_rows, base) = measure(&base_w, &base_opts, q);
+        let (row_rows, row) = measure(&opt_w, &row_opts, q);
         let (opt_rows, opt) = measure(&opt_w, &opt_opts, q);
-        // Property pin: the hot path must not change any result row.
+        // Property pin: neither the hot path nor batching may change any
+        // result row.
         assert_eq!(
             base_rows, opt_rows,
             "hot path changed the results of {name}"
         );
+        assert_eq!(row_rows, opt_rows, "batching changed the results of {name}");
         let speedup = base.index_ops_time_us as f64 / opt.index_ops_time_us.max(1) as f64;
+        let total_speedup =
+            base.execution_time_us as f64 / opt.execution_time_us.max(1) as f64;
+        let batch_speedup =
+            row.execution_time_us as f64 / opt.execution_time_us.max(1) as f64;
         table.push(vec![
             name.to_string(),
             base_rows.len().to_string(),
@@ -465,6 +485,8 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
                 fmt_duration(std::time::Duration::from_micros(opt.index_ops_time_us)),
             ),
             format!("{speedup:.2}x"),
+            format!("{total_speedup:.2}x"),
+            format!("{batch_speedup:.2}x"),
             format!(
                 "{} -> {}",
                 base.inverted_elements_read, opt.inverted_elements_read
@@ -484,8 +506,11 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
             ),
             ("results_identical".to_string(), Value::Boolean(true)),
             ("baseline".to_string(), base.to_json()),
+            ("row".to_string(), row.to_json()),
             ("optimized".to_string(), opt.to_json()),
             ("index_ops_speedup".to_string(), Value::double(speedup)),
+            ("total_speedup".to_string(), Value::double(total_speedup)),
+            ("batch_speedup".to_string(), Value::double(batch_speedup)),
         ]));
     }
     let doc = Value::record(vec![
@@ -504,6 +529,8 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
             "Rows",
             "Index-ops time",
             "Speedup",
+            "Total",
+            "Batch",
             "Elements read",
             "Postings hit ratio",
         ],

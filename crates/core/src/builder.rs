@@ -308,6 +308,7 @@ impl PreparedQuery {
             timeout: options.timeout,
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
+            disable_batching: options.disable_batching,
             trace: None,
             pool: db.scheduler().map(|s| s.pool().clone()),
             cancel: None,

@@ -1000,6 +1000,7 @@ impl Instance {
             timeout: options.timeout,
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
+            disable_batching: options.disable_batching,
             trace: trace
                 .clone()
                 .zip(exec_span.as_ref().map(|s| s.id())),

@@ -23,6 +23,12 @@ pub struct QueryOptions {
     /// are identical either way; benchmarks flip this to measure the
     /// optimizations against a true baseline.
     pub disable_hotpath: bool,
+    /// Run the executor row-at-a-time: operators exchange `Frame::Rows`
+    /// only and the vectorized verify kernels are never compiled, exactly
+    /// reproducing the pre-batching execution path. Results are identical
+    /// either way; benchmarks flip this to measure batch execution
+    /// against the row baseline.
+    pub disable_batching: bool,
     /// Override the instance's slow-query threshold for this query: if
     /// its execution time meets or exceeds this, the telemetry layer
     /// captures the full plan + profile + spans into the slow-query log.

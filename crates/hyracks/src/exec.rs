@@ -62,6 +62,11 @@ pub struct JobOptions {
     /// implementations. Results are identical either way; this exists so
     /// benchmarks can measure the optimizations against a true baseline.
     pub disable_hotpath: bool,
+    /// Disable batch-at-a-time execution (batch frames, vectorized verify
+    /// kernels, rank-array T-occurrence merging), reverting to the seed
+    /// row-at-a-time path. Results are identical either way; this exists
+    /// so benchmarks can measure vectorization against a true baseline.
+    pub disable_batching: bool,
     /// Per-query trace plus the span id to parent operator spans under
     /// (the caller's `execute` span). When set, every operator partition
     /// records one span with its wall time.
@@ -101,6 +106,9 @@ pub struct OpStats {
     /// Frames sent downstream across all partitions (a frame is one
     /// channel send of up to `FRAME_CAPACITY` tuples).
     pub frames_emitted: u64,
+    /// Of those, frames that carried a shared batch slice (zero-copy
+    /// batch-at-a-time sends).
+    pub batch_frames_emitted: u64,
     /// Heap bytes of the values sent downstream across all partitions.
     pub bytes_emitted: u64,
     /// Wall time of every partition instance, as (partition, time).
@@ -229,7 +237,10 @@ fn run_task(
             shared.ctx,
             shared.cancel,
             shared.sink_tuples,
-            shared.options.disable_hotpath,
+            crate::ops::OpFlags {
+                disable_hotpath: shared.options.disable_hotpath,
+                disable_batching: shared.options.disable_batching,
+            },
         )
     }));
     let elapsed = t0.elapsed();
@@ -257,6 +268,7 @@ fn run_task(
             entry.input_tuples += input_tuples;
             entry.output_tuples += out_counts.tuples;
             entry.frames_emitted += out_counts.frames;
+            entry.batch_frames_emitted += out_counts.batch_frames;
             entry.bytes_emitted += out_counts.bytes;
             entry.max_partition_time = entry.max_partition_time.max(elapsed);
             entry.max_partition_input = entry.max_partition_input.max(input_tuples);

@@ -28,7 +28,8 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn test(self, ord: Ordering) -> bool {
+    /// Does an [`Ordering`] satisfy this comparison?
+    pub(crate) fn test(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,

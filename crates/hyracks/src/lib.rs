@@ -42,6 +42,7 @@ pub mod job;
 pub mod ops;
 pub mod pool;
 pub mod tuple;
+pub mod vectorized;
 
 pub use context::{ClusterContext, PartitionSet};
 pub use error::{CancelToken, ExecError};
@@ -50,6 +51,7 @@ pub use expr::{CmpOp, Expr};
 pub use job::{
     AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, PreTokenized, SearchMeasure,
 };
-pub use ops::OutCounts;
+pub use ops::{OpFlags, OutCounts};
 pub use pool::{PoolScope, SchedulerConfig, WorkerPool};
-pub use tuple::{SortKey, Tuple};
+pub use tuple::{Batch, BatchSlice, Column, Frame, FrameRows, SortKey, Tuple, FRAME_CAPACITY};
+pub use vectorized::VerifyKernel;

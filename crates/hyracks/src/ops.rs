@@ -10,7 +10,8 @@ use crate::context::ClusterContext;
 use crate::error::{CancelToken, ExecError, OpError};
 use crate::expr::sql_compare;
 use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, PreTokenized, SearchMeasure};
-use crate::tuple::{compare_tuples, Frame, Tuple, FRAME_CAPACITY};
+use crate::tuple::{compare_tuples, BatchSlice, Frame, FrameRows, Tuple, FRAME_CAPACITY};
+use crate::vectorized::VerifyKernel;
 use asterix_adm::{stable_hash_many, IndexKind, Value};
 use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound};
 use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError};
@@ -55,10 +56,11 @@ pub struct Router {
     kind: ConnectorKind,
     /// One sender per consumer partition.
     senders: Vec<Sender<Frame>>,
-    buffers: Vec<Frame>,
+    buffers: Vec<Vec<Tuple>>,
     producer_partition: usize,
     cancel: Arc<CancelToken>,
     frames_sent: u64,
+    batch_frames_sent: u64,
     bytes_sent: u64,
 }
 
@@ -74,11 +76,20 @@ impl Router {
         Router {
             kind,
             senders,
-            buffers: (0..n).map(|_| Frame::new()).collect(),
+            buffers: (0..n).map(|_| Vec::new()).collect(),
             producer_partition,
             cancel,
             frames_sent: 0,
+            batch_frames_sent: 0,
             bytes_sent: 0,
+        }
+    }
+
+    fn hash_col_error(&self, cols: &[usize], width: usize) -> ExecError {
+        ExecError::Operator {
+            op: "hash-connector".into(),
+            partition: self.producer_partition,
+            message: format!("hash column out of bounds: columns {cols:?}, tuple width {width}"),
         }
     }
 
@@ -93,9 +104,66 @@ impl Router {
                 Ok(())
             }
             ConnectorKind::Hash(cols) => {
-                let keys: Vec<&Value> = cols.iter().map(|c| &tuple[*c]).collect();
+                let mut keys: Vec<&Value> = Vec::with_capacity(cols.len());
+                for c in cols {
+                    match tuple.get(*c) {
+                        Some(v) => keys.push(v),
+                        None => return Err(self.hash_col_error(cols, tuple.len())),
+                    }
+                }
                 let p = (stable_hash_many(&keys) % self.senders.len() as u64) as usize;
                 self.buffer(p, tuple.clone())
+            }
+        }
+    }
+
+    /// Route a whole batch slice. Non-hash kinds forward the slice
+    /// zero-copy (one `Arc` clone per consumer); hash routing builds one
+    /// selection vector per consumer partition over the shared batch.
+    /// Buffered row sends to an affected partition are flushed first so
+    /// per-consumer ordering is preserved.
+    fn push_slice(&mut self, slice: &BatchSlice) -> Result<(), ExecError> {
+        match &self.kind {
+            ConnectorKind::OneToOne => {
+                let p = self.producer_partition;
+                self.flush_partition(p)?;
+                self.send_counted(p, Frame::Batch(slice.clone()))
+            }
+            ConnectorKind::ToOne => {
+                self.flush_partition(0)?;
+                self.send_counted(0, Frame::Batch(slice.clone()))
+            }
+            ConnectorKind::Broadcast => {
+                for p in 0..self.senders.len() {
+                    self.flush_partition(p)?;
+                    self.send_counted(p, Frame::Batch(slice.clone()))?;
+                }
+                Ok(())
+            }
+            ConnectorKind::Hash(cols) => {
+                let cols = cols.clone();
+                let mut parts: Vec<Vec<u32>> = vec![Vec::new(); self.senders.len()];
+                for pos in 0..slice.len() {
+                    let row = slice.row_index(pos);
+                    let h = slice
+                        .batch
+                        .hash_row(row, &cols)
+                        .ok_or_else(|| self.hash_col_error(&cols, slice.batch.width()))?;
+                    parts[(h % self.senders.len() as u64) as usize].push(pos as u32);
+                }
+                for (p, keep) in parts.into_iter().enumerate() {
+                    if keep.is_empty() {
+                        continue;
+                    }
+                    self.flush_partition(p)?;
+                    let sub = if keep.len() == slice.len() {
+                        slice.clone()
+                    } else {
+                        slice.narrow(keep)
+                    };
+                    self.send_counted(p, Frame::Batch(sub))?;
+                }
+                Ok(())
             }
         }
     }
@@ -109,14 +177,26 @@ impl Router {
         Ok(())
     }
 
-    /// Ship the buffered frame of one consumer partition, counting it.
+    fn flush_partition(&mut self, partition: usize) -> Result<(), ExecError> {
+        if !self.buffers[partition].is_empty() {
+            self.send_buffered(partition)?;
+        }
+        Ok(())
+    }
+
+    /// Ship the buffered row frame of one consumer partition.
     fn send_buffered(&mut self, partition: usize) -> Result<(), ExecError> {
-        let frame = std::mem::take(&mut self.buffers[partition]);
+        let rows = std::mem::take(&mut self.buffers[partition]);
+        self.send_counted(partition, Frame::Rows(rows))
+    }
+
+    /// Count and ship one frame, charging the memory budget.
+    fn send_counted(&mut self, partition: usize, frame: Frame) -> Result<(), ExecError> {
         self.frames_sent += 1;
-        let frame_bytes = frame
-            .iter()
-            .map(|t| t.iter().map(|v| v.heap_size() as u64).sum::<u64>())
-            .sum::<u64>();
+        if matches!(frame, Frame::Batch(_)) {
+            self.batch_frames_sent += 1;
+        }
+        let frame_bytes = frame.heap_bytes();
         self.bytes_sent += frame_bytes;
         // Charge the frame against the query's memory budget (scoped onto
         // this thread by the executor). Exceeding it is a typed, per-query
@@ -132,9 +212,7 @@ impl Router {
 
     fn flush(&mut self) -> Result<(), ExecError> {
         for p in 0..self.senders.len() {
-            if !self.buffers[p].is_empty() {
-                self.send_buffered(p)?;
-            }
+            self.flush_partition(p)?;
         }
         Ok(())
     }
@@ -148,6 +226,8 @@ pub struct OutCounts {
     pub tuples: u64,
     /// Frames (channel sends) shipped.
     pub frames: u64,
+    /// Of those, frames carrying a shared batch slice (zero-copy sends).
+    pub batch_frames: u64,
     /// Heap bytes of the shipped tuples.
     pub bytes: u64,
 }
@@ -177,6 +257,16 @@ impl Out {
         Ok(())
     }
 
+    /// Push a whole batch slice down every outgoing edge (zero-copy for
+    /// non-hash connectors).
+    pub fn push_slice(&mut self, slice: &BatchSlice) -> Result<(), ExecError> {
+        self.produced += slice.len() as u64;
+        for r in &mut self.routers {
+            r.push_slice(slice)?;
+        }
+        Ok(())
+    }
+
     /// Flush remaining buffers and close the streams, returning counts.
     pub fn finish(mut self) -> Result<OutCounts, ExecError> {
         for r in &mut self.routers {
@@ -185,29 +275,26 @@ impl Out {
         Ok(OutCounts {
             tuples: self.produced,
             frames: self.routers.iter().map(|r| r.frames_sent).sum(),
+            batch_frames: self.routers.iter().map(|r| r.batch_frames_sent).sum(),
             bytes: self.routers.iter().map(|r| r.bytes_sent).sum(),
         })
         // Senders drop here, signalling end-of-stream downstream.
     }
 }
 
-/// Cancel-aware tuple stream over one input edge. Yields `Err` once the
+/// Cancel-aware frame stream over one input edge. Yields `Err` once the
 /// job's cancel token trips; ends cleanly on upstream disconnect.
-struct TupleStream<'a> {
+struct FrameStream<'a> {
     rx: &'a Receiver<Frame>,
     cancel: &'a CancelToken,
-    frame: std::vec::IntoIter<Tuple>,
     done: bool,
 }
 
-impl Iterator for TupleStream<'_> {
-    type Item = Result<Tuple, ExecError>;
+impl Iterator for FrameStream<'_> {
+    type Item = Result<Frame, ExecError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if let Some(t) = self.frame.next() {
-                return Some(Ok(t));
-            }
             if self.done {
                 return None;
             }
@@ -216,7 +303,7 @@ impl Iterator for TupleStream<'_> {
                 return Some(Err(e));
             }
             match self.rx.recv_timeout(POLL_INTERVAL) {
-                Ok(frame) => self.frame = frame.into_iter(),
+                Ok(frame) => return Some(Ok(frame)),
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => {
                     self.done = true;
@@ -227,12 +314,41 @@ impl Iterator for TupleStream<'_> {
     }
 }
 
-fn recv_tuples<'a>(rx: &'a Receiver<Frame>, cancel: &'a CancelToken) -> TupleStream<'a> {
-    TupleStream {
+fn recv_frames<'a>(rx: &'a Receiver<Frame>, cancel: &'a CancelToken) -> FrameStream<'a> {
+    FrameStream {
         rx,
         cancel,
-        frame: Vec::new().into_iter(),
         done: false,
+    }
+}
+
+/// Cancel-aware tuple stream over one input edge: frames of either
+/// variant, materialized row by row.
+struct TupleStream<'a> {
+    frames: FrameStream<'a>,
+    frame: FrameRows,
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(t) = self.frame.next() {
+                return Some(Ok(t));
+            }
+            match self.frames.next()? {
+                Ok(frame) => self.frame = frame.into_rows(),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+fn recv_tuples<'a>(rx: &'a Receiver<Frame>, cancel: &'a CancelToken) -> TupleStream<'a> {
+    TupleStream {
+        frames: recv_frames(rx, cancel),
+        frame: FrameRows::empty(),
     }
 }
 
@@ -321,10 +437,69 @@ impl AggState {
     }
 }
 
+/// Per-operator feature toggles, threaded from
+/// [`crate::exec::JobOptions`]. Both default to off (all optimizations
+/// on); the bench harness flips them to measure against true baselines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpFlags {
+    /// Switch the index-search/primary-lookup operators back to their
+    /// per-tuple implementations (no batched lookups, no probe-token
+    /// memoization). Results are identical either way.
+    pub disable_hotpath: bool,
+    /// Revert to the seed row-at-a-time execution: no batch frames, no
+    /// vectorized verify kernels, no rank-array T-occurrence. Results are
+    /// identical either way.
+    pub disable_batching: bool,
+}
+
+/// Emit accumulated rows as one batch frame; ragged rows (never produced
+/// by well-formed operators) degrade to a plain row frame.
+fn push_rows_batched(out: &mut Out, rows: &mut Vec<Tuple>) -> Result<(), ExecError> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    match Frame::batch_from_rows(std::mem::take(rows)) {
+        Frame::Batch(slice) => out.push_slice(&slice),
+        Frame::Rows(rows) => {
+            for t in rows {
+                out.push(t)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Typed column access for operators (replaces panicking `t[c]`).
+fn col_ref<'t>(t: &'t Tuple, c: usize, op: &str) -> Result<&'t Value, OpError> {
+    t.get(c).ok_or_else(|| {
+        OpError::Failed(format!(
+            "{op}: column {c} out of bounds for tuple of width {}",
+            t.len()
+        ))
+    })
+}
+
+/// Forward one frame unchanged (batch slices stay zero-copy).
+fn forward_frame(out: &mut Out, frame: Frame, consumed: &mut u64) -> Result<(), ExecError> {
+    match frame {
+        Frame::Batch(slice) => {
+            *consumed += slice.len() as u64;
+            out.push_slice(&slice)
+        }
+        Frame::Rows(rows) => {
+            for t in rows {
+                *consumed += 1;
+                out.push(t)?;
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Run one operator instance. Returns (input tuples, output counts).
-/// `disable_hotpath` switches the index-search/primary-lookup operators
-/// back to their per-tuple implementations (the bench harness's
-/// before/after toggle); results are identical either way.
+/// [`OpFlags`] switches the hot paths and batch execution back to the
+/// seed per-tuple implementations (the bench harness's before/after
+/// toggles); results are identical either way.
 #[allow(clippy::too_many_arguments)]
 pub fn run_operator(
     op: &PhysicalOp,
@@ -334,7 +509,7 @@ pub fn run_operator(
     ctx: &ClusterContext,
     cancel: &CancelToken,
     sink: &Mutex<Vec<Tuple>>,
-    disable_hotpath: bool,
+    flags: OpFlags,
 ) -> Result<(u64, OutCounts), OpError> {
     let reg = &ctx.registry;
     let mut consumed: u64 = 0;
@@ -352,19 +527,64 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            for item in store.primary().scan() {
-                let (pk, rec) = item?;
-                out.push(vec![pk, rec])?;
+            if flags.disable_batching {
+                for item in store.primary().scan() {
+                    let (pk, rec) = item?;
+                    out.push(vec![pk, rec])?;
+                }
+            } else {
+                let mut pending: Vec<Tuple> = Vec::with_capacity(FRAME_CAPACITY);
+                for item in store.primary().scan() {
+                    let (pk, rec) = item?;
+                    pending.push(vec![pk, rec]);
+                    if pending.len() >= FRAME_CAPACITY {
+                        push_rows_batched(&mut out, &mut pending)?;
+                    }
+                }
+                push_rows_batched(&mut out, &mut pending)?;
             }
             Ok((0, out.finish()?))
         }
         PhysicalOp::Select { predicate } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0], cancel) {
-                let t = t?;
-                consumed += 1;
-                if predicate.eval(&t, reg)?.is_true() {
-                    out.push(t)?;
+            let mut kernel = if flags.disable_batching {
+                None
+            } else {
+                VerifyKernel::compile(predicate)
+            };
+            for frame in recv_frames(&inputs[0], cancel) {
+                match frame? {
+                    Frame::Rows(rows) => {
+                        for t in rows {
+                            consumed += 1;
+                            if predicate.eval(&t, reg)?.is_true() {
+                                out.push(t)?;
+                            }
+                        }
+                    }
+                    Frame::Batch(slice) => {
+                        consumed += slice.len() as u64;
+                        let keep = match kernel.as_mut() {
+                            Some(k) => k.eval_slice(&slice, reg)?,
+                            None => {
+                                let mut keep = Vec::new();
+                                for pos in 0..slice.len() {
+                                    if predicate.eval(&slice.row(pos), reg)?.is_true() {
+                                        keep.push(pos as u32);
+                                    }
+                                }
+                                keep
+                            }
+                        };
+                        if !keep.is_empty() {
+                            let sub = if keep.len() == slice.len() {
+                                slice
+                            } else {
+                                slice.narrow(keep)
+                            };
+                            out.push_slice(&sub)?;
+                        }
+                    }
                 }
             }
             Ok((consumed, out.finish()?))
@@ -387,7 +607,11 @@ pub fn run_operator(
             for t in recv_tuples(&inputs[0], cancel) {
                 let t = t?;
                 consumed += 1;
-                out.push(cols.iter().map(|c| t[*c].clone()).collect())?;
+                let mut row = Vec::with_capacity(cols.len());
+                for c in cols {
+                    row.push(col_ref(&t, *c, "project")?.clone());
+                }
+                out.push(row)?;
             }
             Ok((consumed, out.finish()?))
         }
@@ -395,6 +619,19 @@ pub fn run_operator(
             let mut out = out;
             let mut all = drain_all(&inputs[0], cancel)?;
             consumed = all.len() as u64;
+            // Validate key columns up front: `compare_tuples` indexes
+            // directly, so a malformed plan must fail typed, not panic.
+            let min_width = all.iter().map(Vec::len).min().unwrap_or(0);
+            if !all.is_empty() {
+                for k in keys {
+                    if k.col >= min_width {
+                        return Err(OpError::Failed(format!(
+                            "sort: key column {} out of bounds (narrowest tuple width {min_width})",
+                            k.col
+                        )));
+                    }
+                }
+            }
             all.sort_by(|a, b| compare_tuples(a, b, keys));
             for t in all {
                 out.push(t)?;
@@ -428,19 +665,21 @@ pub fn run_operator(
             for t in recv_tuples(&inputs[0], cancel) {
                 let t = t?;
                 consumed += 1;
-                let key: Tuple = keys.iter().map(|c| t[*c].clone()).collect();
+                let mut key: Tuple = Vec::with_capacity(keys.len());
+                for c in keys {
+                    key.push(col_ref(&t, *c, "hash-group-by")?.clone());
+                }
                 let refs: Vec<&Value> = key.iter().collect();
                 let h = stable_hash_many(&refs);
                 let bucket = groups.entry(h).or_default();
-                let entry = bucket.iter_mut().find(|(k, _)| k == &key);
-                let states = match entry {
-                    Some((_, s)) => s,
+                let idx = match bucket.iter().position(|(k, _)| k == &key) {
+                    Some(i) => i,
                     None => {
                         bucket.push((key, aggs.iter().map(AggState::new).collect()));
-                        &mut bucket.last_mut().unwrap().1
+                        bucket.len() - 1
                     }
                 };
-                for (state, spec) in states.iter_mut().zip(aggs) {
+                for (state, spec) in bucket[idx].1.iter_mut().zip(aggs) {
                     state.update(spec, &t);
                 }
             }
@@ -500,19 +739,36 @@ pub fn run_operator(
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
             let mut memo = TokenMemo::new(
                 pre_tokens.as_ref(),
-                if disable_hotpath { 0 } else { TOKEN_MEMO_CAPACITY },
+                if flags.disable_hotpath {
+                    0
+                } else {
+                    TOKEN_MEMO_CAPACITY
+                },
             );
+            // The ranked candidate path delivers postings as interned
+            // `u32` rank arrays merged by the vectorized T-occurrence
+            // kernels; candidates (and their order) are identical.
+            let ranked = !flags.disable_batching;
+            let mut pending: Vec<Tuple> = Vec::new();
             for t in recv_tuples(&inputs[0], cancel) {
                 let t = t?;
                 consumed += 1;
-                let key = &t[*key_col];
-                let candidates = index_candidates(store, index, key, measure, &mut memo)?;
+                let key = col_ref(&t, *key_col, "secondary-index-search")?;
+                let candidates = index_candidates(store, index, key, measure, &mut memo, ranked)?;
                 for pk in candidates {
                     let mut row = t.clone();
                     row.push(pk);
-                    out.push(row)?;
+                    if flags.disable_batching {
+                        out.push(row)?;
+                    } else {
+                        pending.push(row);
+                        if pending.len() >= FRAME_CAPACITY {
+                            push_rows_batched(&mut out, &mut pending)?;
+                        }
+                    }
                 }
             }
+            push_rows_batched(&mut out, &mut pending)?;
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::PrimaryIndexLookup { dataset, pk_col } => {
@@ -521,12 +777,12 @@ pub fn run_operator(
             let store = set
                 .store(dataset)
                 .ok_or_else(|| format!("unknown dataset '{dataset}'"))?;
-            if disable_hotpath {
+            if flags.disable_hotpath {
                 // Per-tuple point lookups (the pre-batching behavior).
                 for t in recv_tuples(&inputs[0], cancel) {
                     let t = t?;
                     consumed += 1;
-                    if let Some(rec) = store.primary().get(&t[*pk_col])? {
+                    if let Some(rec) = store.primary().get(col_ref(&t, *pk_col, "primary-index-lookup")?)? {
                         let mut row = t;
                         row.push(rec);
                         out.push(row)?;
@@ -539,6 +795,7 @@ pub fn run_operator(
             // §4.1.1), then re-emit in input order.
             let mut stream = recv_tuples(&inputs[0], cancel);
             let mut batch: Vec<Tuple> = Vec::with_capacity(FRAME_CAPACITY);
+            let mut pending: Vec<Tuple> = Vec::new();
             loop {
                 let mut ended = true;
                 for t in stream.by_ref() {
@@ -550,18 +807,33 @@ pub fn run_operator(
                     }
                 }
                 if !batch.is_empty() {
-                    let mut pks: Vec<Value> =
-                        batch.iter().map(|t| t[*pk_col].clone()).collect();
+                    let mut pks: Vec<Value> = Vec::with_capacity(batch.len());
+                    for t in &batch {
+                        pks.push(col_ref(t, *pk_col, "primary-index-lookup")?.clone());
+                    }
                     pks.sort();
                     pks.dedup();
                     let records = store.primary().get_many_sorted(&pks)?;
                     for mut t in batch.drain(..) {
-                        let i = pks
-                            .binary_search(&t[*pk_col])
-                            .expect("pk was collected from this batch");
+                        let i = match pks.binary_search(&t[*pk_col]) {
+                            Ok(i) => i,
+                            Err(_) => {
+                                return Err(OpError::Failed(
+                                    "primary-index-lookup: key vanished from its own batch"
+                                        .to_string(),
+                                ))
+                            }
+                        };
                         if let Some(rec) = &records[i] {
                             t.push(rec.clone());
-                            out.push(t)?;
+                            if flags.disable_batching {
+                                out.push(t)?;
+                            } else {
+                                pending.push(t);
+                                if pending.len() >= FRAME_CAPACITY {
+                                    push_rows_batched(&mut out, &mut pending)?;
+                                }
+                            }
                         }
                     }
                 }
@@ -569,6 +841,7 @@ pub fn run_operator(
                     break;
                 }
             }
+            push_rows_batched(&mut out, &mut pending)?;
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::Union => {
@@ -587,10 +860,7 @@ pub fn run_operator(
                     match rx.try_recv() {
                         Ok(frame) => {
                             received = true;
-                            for t in frame {
-                                consumed += 1;
-                                out.push(t)?;
-                            }
+                            forward_frame(&mut out, frame, &mut consumed)?;
                         }
                         Err(TryRecvError::Empty) => {}
                         Err(TryRecvError::Disconnected) => {
@@ -605,10 +875,7 @@ pub fn run_operator(
                     if let Some(rx) = open.iter().flatten().next() {
                         match rx.recv_timeout(POLL_INTERVAL) {
                             Ok(frame) => {
-                                for t in frame {
-                                    consumed += 1;
-                                    out.push(t)?;
-                                }
+                                forward_frame(&mut out, frame, &mut consumed)?;
                             }
                             Err(RecvTimeoutError::Timeout)
                             | Err(RecvTimeoutError::Disconnected) => {}
@@ -696,6 +963,7 @@ pub fn run_operator(
                 OutCounts {
                     tuples: consumed,
                     frames: 0,
+                    batch_frames: 0,
                     bytes: 0,
                 },
             ))
@@ -725,15 +993,26 @@ fn run_hash_join(
     for t in recv_tuples(&inputs[0], cancel) {
         let t = t?;
         *consumed += 1;
-        let refs: Vec<&Value> = left_keys.iter().map(|c| &t[*c]).collect();
-        table.entry(stable_hash_many(&refs)).or_default().push(t);
+        let h = {
+            let mut refs: Vec<&Value> = Vec::with_capacity(left_keys.len());
+            for c in left_keys {
+                refs.push(col_ref(&t, *c, "hash-join")?);
+            }
+            stable_hash_many(&refs)
+        };
+        table.entry(h).or_default().push(t);
     }
     // Probe with input 1.
     for rt in recv_tuples(&inputs[1], cancel) {
         let rt = rt?;
         *consumed += 1;
-        let refs: Vec<&Value> = right_keys.iter().map(|c| &rt[*c]).collect();
-        let h = stable_hash_many(&refs);
+        let h = {
+            let mut refs: Vec<&Value> = Vec::with_capacity(right_keys.len());
+            for c in right_keys {
+                refs.push(col_ref(&rt, *c, "hash-join")?);
+            }
+            stable_hash_many(&refs)
+        };
         if let Some(bucket) = table.get(&h) {
             for lt in bucket {
                 let equal = left_keys.iter().zip(right_keys).all(|(lc, rc)| {
@@ -805,13 +1084,24 @@ impl<'a> TokenMemo<'a> {
 }
 
 /// Candidate primary keys from a secondary index for one search key.
+/// With `ranked`, T-occurrence merging runs on interned `u32` rank arrays
+/// (the vectorized kernels); candidates and their order are identical to
+/// the scalar merge.
 fn index_candidates(
     store: &asterix_storage::PartitionStore,
     index: &str,
     key: &Value,
     measure: &SearchMeasure,
     memo: &mut TokenMemo<'_>,
+    ranked: bool,
 ) -> Result<Vec<Value>, asterix_storage::StorageError> {
+    let merge = |tokens: &[Value], t: usize| {
+        if ranked {
+            store.inverted_candidates_ranked(index, tokens, t)
+        } else {
+            store.inverted_candidates(index, tokens, t)
+        }
+    };
     match measure {
         SearchMeasure::Exact => store.btree_lookup(index, key),
         SearchMeasure::Jaccard { delta } => {
@@ -826,7 +1116,7 @@ fn index_candidates(
             if t <= 0 || tokens.is_empty() {
                 return Ok(Vec::new());
             }
-            store.inverted_candidates(index, &tokens, t as usize)
+            merge(&tokens, t as usize)
         }
         SearchMeasure::Contains => {
             let idx = store
@@ -857,7 +1147,7 @@ fn index_candidates(
                 return Ok(Vec::new());
             }
             let t = tokens.len();
-            store.inverted_candidates(index, &tokens, t)
+            merge(&tokens, t)
         }
         SearchMeasure::EditDistance { k } => {
             let idx = store
@@ -889,7 +1179,7 @@ fn index_candidates(
                 // candidates from the index.
                 return Ok(Vec::new());
             }
-            store.inverted_candidates(index, &tokens, t as usize)
+            merge(&tokens, t as usize)
         }
     }
 }

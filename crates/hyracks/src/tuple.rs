@@ -1,17 +1,394 @@
-//! Tuples, frames, and sort-key comparison.
+//! Tuples, frames, batches, and sort-key comparison.
+//!
+//! The seed runtime moved `Vec<Tuple>` frames tuple-at-a-time. This module
+//! adds the batch-at-a-time representation behind the same [`Frame`]
+//! channel payload:
+//!
+//! * [`Batch`] — a rectangular, immutable chunk of rows stored as column
+//!   vectors. Fixed-width `Int64` columns and string columns (one shared
+//!   arena plus `(start, end)` spans) are stored natively; anything else
+//!   falls back to a plain [`Value`] vector per column.
+//! * [`BatchSlice`] — an `Arc<Batch>` plus an optional selection vector.
+//!   Operators that filter or route rows build a new selection over the
+//!   *same* shared batch, so connectors move batches downstream without
+//!   copying tuple data.
+//! * [`Frame`] — the unit moved over a connector in one send: either a
+//!   plain row vector (the seed representation, still used by sorting and
+//!   aggregation boundaries) or a batch slice.
+//!
+//! Row-at-a-time consumers iterate any frame via [`Frame::into_rows`], so
+//! operators that were not vectorized keep working unchanged.
 
-use asterix_adm::Value;
+use asterix_adm::{stable_hash_many, Value};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A tuple is a row of positional columns.
 pub type Tuple = Vec<Value>;
 
-/// A frame is a batch of tuples moved over a connector in one send.
-pub type Frame = Vec<Tuple>;
-
 /// Tuples per frame. Small enough to keep pipelines responsive, large
 /// enough to amortize channel overhead.
 pub const FRAME_CAPACITY: usize = 256;
+
+/// One column of a [`Batch`].
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Every value in the column is `Value::Int64`.
+    Int64(Vec<i64>),
+    /// Every value in the column is `Value::String`; the bytes live in one
+    /// shared arena and each row is a `(start, end)` byte span into it.
+    Str {
+        /// Concatenated UTF-8 bytes of all rows.
+        arena: String,
+        /// Per-row `(start, end)` byte offsets into `arena`.
+        spans: Vec<(u32, u32)>,
+    },
+    /// Mixed or non-scalar column; rows are stored as plain values.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Str { spans, .. } => spans.len(),
+            Column::Values(v) => v.len(),
+        }
+    }
+
+    /// Materialize one cell as an owned [`Value`].
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v) => Value::Int64(v[row]),
+            Column::Str { arena, spans } => {
+                let (a, b) = spans[row];
+                Value::String(arena[a as usize..b as usize].to_string())
+            }
+            Column::Values(v) => v[row].clone(),
+        }
+    }
+
+    /// Borrow one cell as `&str` (only for string-typed columns).
+    pub fn get_str(&self, row: usize) -> Option<&str> {
+        match self {
+            Column::Str { arena, spans } => {
+                let (a, b) = *spans.get(row)?;
+                Some(&arena[a as usize..b as usize])
+            }
+            Column::Values(v) => v.get(row)?.as_str(),
+            Column::Int64(_) => None,
+        }
+    }
+
+    /// Borrow one cell as `&Value` (only for [`Column::Values`] columns).
+    pub fn get_value(&self, row: usize) -> Option<&Value> {
+        match self {
+            Column::Values(v) => v.get(row),
+            _ => None,
+        }
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            Column::Int64(v) => 9 * v.len() as u64,
+            Column::Str { arena, spans } => arena.len() as u64 + 8 * spans.len() as u64,
+            Column::Values(v) => v.iter().map(|x| x.heap_size() as u64).sum(),
+        }
+    }
+
+    /// Pick the storage for one column of moved values.
+    fn from_values(vals: Vec<Value>) -> Column {
+        if vals.iter().all(|v| matches!(v, Value::Int64(_))) {
+            return Column::Int64(
+                vals.iter()
+                    .map(|v| match v {
+                        Value::Int64(i) => *i,
+                        _ => 0,
+                    })
+                    .collect(),
+            );
+        }
+        if vals.iter().all(|v| matches!(v, Value::String(_))) {
+            let total: usize = vals.iter().map(|v| v.as_str().map_or(0, str::len)).sum();
+            if total <= u32::MAX as usize {
+                let mut arena = String::with_capacity(total);
+                let mut spans = Vec::with_capacity(vals.len());
+                for v in &vals {
+                    let s = v.as_str().unwrap_or("");
+                    let start = arena.len() as u32;
+                    arena.push_str(s);
+                    spans.push((start, arena.len() as u32));
+                }
+                return Column::Str { arena, spans };
+            }
+        }
+        Column::Values(vals)
+    }
+}
+
+/// A rectangular, immutable chunk of rows stored column-wise.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    len: usize,
+    cols: Vec<Column>,
+    heap_bytes: u64,
+}
+
+/// A borrowed-or-owned cell used when hashing batch rows without deep
+/// cloning [`Column::Values`] cells.
+enum Slot<'a> {
+    Ref(&'a Value),
+    Owned(Value),
+}
+
+impl Batch {
+    /// Build a batch from rectangular rows, detecting per-column storage.
+    /// Values are moved, not cloned, so batching a freshly scanned frame
+    /// costs no record copies.
+    ///
+    /// Returns the rows back unchanged when they are not rectangular (or
+    /// empty); the caller ships those as a plain row frame instead.
+    pub fn from_rows(rows: Vec<Tuple>) -> Result<Batch, Vec<Tuple>> {
+        let Some(width) = rows.first().map(Vec::len) else {
+            return Err(rows);
+        };
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(rows);
+        }
+        let n = rows.len();
+        // Transpose: move every value into its column vector.
+        let mut colvecs: Vec<Vec<Value>> = (0..width).map(|_| Vec::with_capacity(n)).collect();
+        for row in rows {
+            for (c, v) in row.into_iter().enumerate() {
+                colvecs[c].push(v);
+            }
+        }
+        let cols: Vec<Column> = colvecs.into_iter().map(Column::from_values).collect();
+        let heap_bytes = cols.iter().map(Column::heap_bytes).sum();
+        Ok(Batch {
+            len: n,
+            cols,
+            heap_bytes,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Approximate heap bytes of the stored values (same accounting as
+    /// `Value::heap_size` for value columns; arena bytes for strings).
+    pub fn heap_bytes(&self) -> u64 {
+        self.heap_bytes
+    }
+
+    /// Borrow a column.
+    pub fn col(&self, c: usize) -> Option<&Column> {
+        self.cols.get(c)
+    }
+
+    /// Materialize one row as an owned tuple.
+    pub fn row(&self, i: usize) -> Tuple {
+        self.cols.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Hash the given columns of one row exactly as the row path hashes
+    /// `stable_hash_many(&[&tuple[c], ...])`. Returns `None` when a column
+    /// index is out of bounds (the caller reports a typed error).
+    pub fn hash_row(&self, row: usize, hash_cols: &[usize]) -> Option<u64> {
+        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(hash_cols.len());
+        for &c in hash_cols {
+            let col = self.cols.get(c)?;
+            if col.len() <= row {
+                return None;
+            }
+            slots.push(match col {
+                Column::Values(vs) => Slot::Ref(&vs[row]),
+                other => Slot::Owned(other.value(row)),
+            });
+        }
+        let refs: Vec<&Value> = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Ref(v) => *v,
+                Slot::Owned(v) => v,
+            })
+            .collect();
+        Some(stable_hash_many(&refs))
+    }
+}
+
+/// A shared batch plus an optional selection vector: the zero-copy unit
+/// that filters and connectors pass downstream.
+#[derive(Clone, Debug)]
+pub struct BatchSlice {
+    /// The shared column store.
+    pub batch: Arc<Batch>,
+    /// Positions of the visible rows, in order; `None` means all rows.
+    pub sel: Option<Arc<[u32]>>,
+}
+
+impl BatchSlice {
+    /// A slice exposing every row of `batch`.
+    pub fn full(batch: Arc<Batch>) -> Self {
+        BatchSlice { batch, sel: None }
+    }
+
+    /// Number of visible rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.batch.len(),
+        }
+    }
+
+    /// True when no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a slice position to a row index in the underlying batch.
+    pub fn row_index(&self, pos: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[pos] as usize,
+            None => pos,
+        }
+    }
+
+    /// Materialize the row at slice position `pos` as an owned tuple.
+    pub fn row(&self, pos: usize) -> Tuple {
+        self.batch.row(self.row_index(pos))
+    }
+
+    /// Restrict the slice to the given positions (indices into *this*
+    /// slice, in order), composing with any existing selection.
+    pub fn narrow(&self, keep: Vec<u32>) -> BatchSlice {
+        let sel: Arc<[u32]> = match &self.sel {
+            Some(s) => keep.into_iter().map(|p| s[p as usize]).collect(),
+            None => keep.into(),
+        };
+        BatchSlice {
+            batch: Arc::clone(&self.batch),
+            sel: Some(sel),
+        }
+    }
+
+    /// Approximate heap bytes attributable to the visible rows
+    /// (proportional share of the shared batch plus the selection vector).
+    pub fn heap_bytes(&self) -> u64 {
+        let visible = self.len() as u64;
+        let base = if self.batch.is_empty() {
+            0
+        } else {
+            self.batch.heap_bytes() * visible / self.batch.len() as u64
+        };
+        base + self.sel.as_ref().map_or(0, |s| 4 * s.len() as u64)
+    }
+}
+
+/// A frame is the unit moved over a connector in one send: either a plain
+/// row vector (the seed representation) or a zero-copy batch slice.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Row-at-a-time payload.
+    Rows(Vec<Tuple>),
+    /// Batch-at-a-time payload.
+    Batch(BatchSlice),
+}
+
+impl Frame {
+    /// Wrap rows into a batch frame when they are rectangular, otherwise
+    /// ship them as a plain row frame.
+    pub fn batch_from_rows(rows: Vec<Tuple>) -> Frame {
+        match Batch::from_rows(rows) {
+            Ok(b) => Frame::Batch(BatchSlice::full(Arc::new(b))),
+            Err(rows) => Frame::Rows(rows),
+        }
+    }
+
+    /// Number of visible rows in the frame.
+    pub fn len(&self) -> usize {
+        match self {
+            Frame::Rows(r) => r.len(),
+            Frame::Batch(s) => s.len(),
+        }
+    }
+
+    /// True when the frame carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes shipped with this frame (exact for rows, proportional
+    /// for batch slices).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Frame::Rows(rows) => rows
+                .iter()
+                .map(|t| t.iter().map(|v| v.heap_size() as u64).sum::<u64>())
+                .sum(),
+            Frame::Batch(s) => s.heap_bytes(),
+        }
+    }
+
+    /// Consume the frame as an iterator of owned rows (batch rows are
+    /// materialized by cloning).
+    pub fn into_rows(self) -> FrameRows {
+        match self {
+            Frame::Rows(r) => FrameRows::Rows(r.into_iter()),
+            Frame::Batch(s) => FrameRows::Batch { slice: s, pos: 0 },
+        }
+    }
+}
+
+/// Owned-row iterator over either [`Frame`] variant.
+pub enum FrameRows {
+    /// Draining a row frame.
+    Rows(std::vec::IntoIter<Tuple>),
+    /// Materializing a batch slice row by row.
+    Batch {
+        /// The slice being drained.
+        slice: BatchSlice,
+        /// Next slice position to materialize.
+        pos: usize,
+    },
+}
+
+impl FrameRows {
+    /// An exhausted iterator (initial state for streaming consumers).
+    pub fn empty() -> FrameRows {
+        FrameRows::Rows(Vec::new().into_iter())
+    }
+}
+
+impl Iterator for FrameRows {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match self {
+            FrameRows::Rows(it) => it.next(),
+            FrameRows::Batch { slice, pos } => {
+                if *pos >= slice.len() {
+                    return None;
+                }
+                let t = slice.row(*pos);
+                *pos += 1;
+                Some(t)
+            }
+        }
+    }
+}
 
 /// One sort key: a column index and a direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +426,7 @@ pub fn compare_tuples(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asterix_adm::record;
 
     #[test]
     fn sort_key_compare() {
@@ -63,5 +441,95 @@ mod tests {
             compare_tuples(&a, &b, &[SortKey::asc(0), SortKey::desc(1)]),
             Ordering::Less
         );
+    }
+
+    fn sample_rows() -> Vec<Tuple> {
+        vec![
+            vec![
+                Value::Int64(1),
+                Value::from("ada"),
+                record! {"name" => "ada"},
+            ],
+            vec![
+                Value::Int64(2),
+                Value::from("bob"),
+                record! {"name" => "bob"},
+            ],
+            vec![Value::Int64(3), Value::from(""), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn from_rows_detects_column_types() {
+        let rows = sample_rows();
+        let b = Batch::from_rows(rows.clone()).expect("rectangular");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.width(), 3);
+        assert!(matches!(b.col(0), Some(Column::Int64(_))));
+        assert!(matches!(b.col(1), Some(Column::Str { .. })));
+        assert!(matches!(b.col(2), Some(Column::Values(_))));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&b.row(i), row);
+        }
+        assert_eq!(b.col(1).unwrap().get_str(1), Some("bob"));
+        assert_eq!(b.col(1).unwrap().get_str(2), Some(""));
+    }
+
+    #[test]
+    fn ragged_rows_fall_back_to_row_frame() {
+        let rows = vec![vec![Value::Int64(1)], vec![Value::Int64(2), Value::Null]];
+        assert!(Batch::from_rows(rows.clone()).is_err());
+        assert!(matches!(Frame::batch_from_rows(rows), Frame::Rows(_)));
+        assert!(Batch::from_rows(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn slice_narrow_composes_selections() {
+        let b = Arc::new(Batch::from_rows(sample_rows()).unwrap());
+        let all = BatchSlice::full(Arc::clone(&b));
+        assert_eq!(all.len(), 3);
+        let odd = all.narrow(vec![0, 2]);
+        assert_eq!(odd.len(), 2);
+        assert_eq!(odd.row(1)[0], Value::Int64(3));
+        let last = odd.narrow(vec![1]);
+        assert_eq!(last.len(), 1);
+        assert_eq!(last.row_index(0), 2);
+        assert_eq!(last.row(0), sample_rows()[2]);
+    }
+
+    #[test]
+    fn hash_row_matches_row_path() {
+        let rows = sample_rows();
+        let b = Batch::from_rows(rows.clone()).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            for cols in [vec![0usize], vec![1], vec![2], vec![0, 1, 2]] {
+                let refs: Vec<&Value> = cols.iter().map(|c| &row[*c]).collect();
+                assert_eq!(b.hash_row(i, &cols), Some(stable_hash_many(&refs)));
+            }
+        }
+        assert_eq!(b.hash_row(0, &[7]), None);
+    }
+
+    #[test]
+    fn frame_rows_iterates_both_variants() {
+        let rows = sample_rows();
+        let row_frame = Frame::Rows(rows.clone());
+        assert_eq!(row_frame.into_rows().collect::<Vec<_>>(), rows);
+        let batch_frame = Frame::batch_from_rows(rows.clone());
+        assert!(matches!(batch_frame, Frame::Batch(_)));
+        assert_eq!(batch_frame.len(), 3);
+        assert_eq!(batch_frame.into_rows().collect::<Vec<_>>(), rows);
+    }
+
+    #[test]
+    fn frame_heap_bytes_proportional_for_slices() {
+        let rows = sample_rows();
+        let full = Frame::batch_from_rows(rows.clone());
+        let full_bytes = full.heap_bytes();
+        assert!(full_bytes > 0);
+        if let Frame::Batch(slice) = full {
+            let half = slice.narrow(vec![0]);
+            assert!(half.heap_bytes() < full_bytes);
+        }
     }
 }

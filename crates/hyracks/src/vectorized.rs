@@ -1,0 +1,1026 @@
+//! Vectorized verification kernels for the batch-at-a-time SELECT path.
+//!
+//! The verify step of an index-accelerated similarity query evaluates the
+//! *same* predicate over every candidate row: `similarity-jaccard(
+//! word-tokens(a), word-tokens(b)) >= δ` or `edit-distance(a, b) <= k`.
+//! The row path re-tokenizes, re-sorts and re-compares [`Value`] trees per
+//! candidate. This module compiles those predicate shapes once per
+//! operator instance into a [`VerifyKernel`] that:
+//!
+//! * interns word tokens into dense `u32` ids and caches the token *set*
+//!   per distinct input string, so a probe string that fans out to many
+//!   candidates is tokenized once,
+//! * counts set intersections with a cached [`TokenBitset`] for the
+//!   repeating (probe) side and galloping merge otherwise,
+//! * runs the banded edit-distance check over cached pre-decoded char
+//!   buffers with one reusable [`EdScratch`] per instance.
+//!
+//! Conjunctions compile too: `And(sim >= δ, residual…)` vectorizes the
+//! similarity conjunct and evaluates the residual conjuncts with a
+//! column-aware mirror of [`Expr::eval`] (`eval_batch_expr`) that reads
+//! cells in place instead of materializing (deep-cloning) each row — the
+//! shape index-nested-loop join verifies take after predicate pushdown.
+//!
+//! Every row whose argument types fall outside the vectorized fast path
+//! (lists, mixed types, out-of-bounds columns) is re-evaluated through the
+//! interpreted expression path, so acceptance, `NULL` semantics and
+//! *errors* are bit-identical to the scalar implementation. A kernel only
+//! compiles for the recognized shapes; anything else stays on the row
+//! path entirely.
+
+use crate::error::OpError;
+use crate::expr::{sql_compare, CmpOp, Expr};
+use crate::tuple::{Batch, BatchSlice, Column};
+use asterix_adm::Value;
+use asterix_simfn::{
+    edit_distance_check_chars, intersection_size_u32, jaccard_from_counts, word_tokens, EdScratch,
+    FunctionRegistry, TokenBitset,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Distinct input strings whose token sets / char buffers one kernel
+/// instance caches (LRU).
+const KERNEL_CACHE_CAPACITY: usize = 4096;
+
+/// A verify-predicate argument: a column, a field path rooted at a
+/// column, or a literal.
+enum ArgExpr {
+    Col(usize),
+    Path(usize, Vec<String>),
+    Lit(Value),
+}
+
+/// One evaluated argument cell, borrowed from the batch when possible.
+enum Cell<'a> {
+    Str(&'a str),
+    Val(&'a Value),
+    Owned(Value),
+    /// Column index beyond the batch width: the row path reports a typed
+    /// error for this, so the kernel must fall back.
+    OutOfBounds,
+}
+
+impl ArgExpr {
+    fn compile(e: &Expr) -> Option<ArgExpr> {
+        match e {
+            Expr::Column(i) => Some(ArgExpr::Col(*i)),
+            Expr::Const(v) => Some(ArgExpr::Lit(v.clone())),
+            Expr::Field(inner, name) => {
+                let mut path = vec![name.clone()];
+                let mut cur = inner.as_ref();
+                loop {
+                    match cur {
+                        Expr::Field(e2, n2) => {
+                            path.push(n2.clone());
+                            cur = e2.as_ref();
+                        }
+                        Expr::Column(i) => {
+                            path.reverse();
+                            return Some(ArgExpr::Path(*i, path));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn cell<'a>(&'a self, batch: &'a Batch, row: usize) -> Cell<'a> {
+        match self {
+            ArgExpr::Col(i) => match batch.col(*i) {
+                None => Cell::OutOfBounds,
+                Some(col @ Column::Str { .. }) => match col.get_str(row) {
+                    Some(s) => Cell::Str(s),
+                    None => Cell::OutOfBounds,
+                },
+                Some(col @ Column::Int64(_)) => Cell::Owned(col.value(row)),
+                Some(Column::Values(vs)) => match vs.get(row) {
+                    Some(v) => Cell::Val(v),
+                    None => Cell::OutOfBounds,
+                },
+            },
+            ArgExpr::Path(i, path) => match batch.col(*i) {
+                None => Cell::OutOfBounds,
+                Some(Column::Values(vs)) => {
+                    let Some(mut cur) = vs.get(row) else {
+                        return Cell::OutOfBounds;
+                    };
+                    for p in path {
+                        cur = cur.field_path(p);
+                    }
+                    Cell::Val(cur)
+                }
+                Some(other) => {
+                    // Field access on a scalar base yields Missing, exactly
+                    // as the row path's open-record semantics do.
+                    let mut cur = other.value(row);
+                    for p in path {
+                        cur = cur.field_path(p).clone();
+                    }
+                    Cell::Owned(cur)
+                }
+            },
+            ArgExpr::Lit(v) => Cell::Val(v),
+        }
+    }
+}
+
+/// The compiled shape of a recognized verify predicate.
+enum VerifyPlan {
+    /// `similarity-jaccard(word-tokens(a), word-tokens(b)) >=|> δ`
+    Jaccard {
+        a: ArgExpr,
+        b: ArgExpr,
+        op: CmpOp,
+        delta: f64,
+    },
+    /// `edit-distance(a, b) <=|< k`
+    EditDistance {
+        a: ArgExpr,
+        b: ArgExpr,
+        op: CmpOp,
+        k: i64,
+    },
+    /// `edit-distance-check(a, b, k)` used directly as the predicate.
+    EdCheck { a: ArgExpr, b: ArgExpr, k: u32 },
+}
+
+/// Word-token sets interned to dense `u32` ids, cached per input string.
+#[derive(Default)]
+struct TokenInterner {
+    ids: HashMap<String, u32>,
+    sets: HashMap<String, (Arc<[u32]>, u64)>,
+    clock: u64,
+}
+
+impl TokenInterner {
+    /// The distinct, sorted token-id set of `s` (cached).
+    fn token_set(&mut self, s: &str) -> Arc<[u32]> {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(slot) = self.sets.get_mut(s) {
+            slot.1 = stamp;
+            return slot.0.clone();
+        }
+        let mut ids: Vec<u32> = Vec::new();
+        for tok in word_tokens(s) {
+            let next = self.ids.len() as u32;
+            ids.push(*self.ids.entry(tok).or_insert(next));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let set: Arc<[u32]> = ids.into();
+        if self.sets.len() >= KERNEL_CACHE_CAPACITY {
+            evict_lru(&mut self.sets);
+        }
+        self.sets.insert(s.to_string(), (set.clone(), stamp));
+        set
+    }
+
+    /// Current id universe (bitsets built now cover every interned id).
+    fn universe(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Evict the least-recently-stamped entry of an LRU map.
+fn evict_lru<V>(map: &mut HashMap<String, (V, u64)>) {
+    if let Some(victim) = map
+        .iter()
+        .min_by_key(|(_, (_, stamp))| *stamp)
+        .map(|(k, _)| k.clone())
+    {
+        map.remove(&victim);
+    }
+}
+
+/// Three-valued result of one conjunct, mirroring what [`Expr::eval`]
+/// would have produced (`Boolean(true)` / `Boolean(false)` / unknown).
+#[derive(Clone, Copy, PartialEq)]
+enum Tri {
+    True,
+    False,
+    Null,
+}
+
+fn tri_of(v: &Value) -> Tri {
+    match v {
+        Value::Boolean(true) => Tri::True,
+        Value::Boolean(false) => Tri::False,
+        _ => Tri::Null,
+    }
+}
+
+/// One conjunct of the compiled predicate: vectorized when its shape is
+/// recognized (keeping the original expression for per-row fallback),
+/// interpreted in place otherwise.
+enum Conjunct {
+    Fast { plan: VerifyPlan, expr: Expr },
+    Slow(Expr),
+}
+
+/// A compiled verify predicate plus its per-instance caches. Conjuncts
+/// and caches are separate fields so evaluating a plan that borrows its
+/// literal arguments can still update the caches.
+pub struct VerifyKernel {
+    conjuncts: Vec<Conjunct>,
+    state: KernelState,
+}
+
+/// The mutable caches of one kernel instance.
+#[derive(Default)]
+struct KernelState {
+    interner: TokenInterner,
+    /// Bitset of the last probe-side token set, reused while consecutive
+    /// rows share the same (Arc-identical) probe set.
+    probe: Option<(Arc<[u32]>, TokenBitset)>,
+    /// Previous row's token sets, used to detect which side repeats (the
+    /// probe constant in selections, the outer key in joins).
+    prev_a: Option<Arc<[u32]>>,
+    prev_b: Option<Arc<[u32]>>,
+    /// Decoded char buffers per distinct input string (LRU).
+    chars: HashMap<String, (Arc<[char]>, u64)>,
+    chars_clock: u64,
+    scratch: EdScratch,
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// `word-tokens(inner)` → compiled `inner`.
+fn tokens_arg(e: &Expr) -> Option<ArgExpr> {
+    match e {
+        Expr::Call(name, args) if name == "word-tokens" && args.len() == 1 => {
+            ArgExpr::compile(&args[0])
+        }
+        _ => None,
+    }
+}
+
+fn compile_cmp(op: CmpOp, call: &Expr, konst: &Expr) -> Option<VerifyPlan> {
+    let Expr::Const(cv) = konst else { return None };
+    let Expr::Call(name, args) = call else {
+        return None;
+    };
+    match name.as_str() {
+        "similarity-jaccard" if args.len() == 2 && matches!(op, CmpOp::Ge | CmpOp::Gt) => {
+            Some(VerifyPlan::Jaccard {
+                a: tokens_arg(&args[0])?,
+                b: tokens_arg(&args[1])?,
+                op,
+                delta: cv.as_f64()?,
+            })
+        }
+        "edit-distance" if args.len() == 2 && matches!(op, CmpOp::Le | CmpOp::Lt) => {
+            let Value::Int64(k) = cv else { return None };
+            Some(VerifyPlan::EditDistance {
+                a: ArgExpr::compile(&args[0])?,
+                b: ArgExpr::compile(&args[1])?,
+                op,
+                k: *k,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Compile one expression into a vectorized plan when it matches a
+/// recognized bare verify shape.
+fn compile_plan(pred: &Expr) -> Option<VerifyPlan> {
+    match pred {
+        Expr::Cmp(op, l, r) => {
+            compile_cmp(*op, l, r).or_else(|| compile_cmp(flip(*op), r, l))
+        }
+        Expr::Call(name, args) if name == "edit-distance-check" && args.len() == 3 => {
+            let Expr::Const(Value::Int64(k)) = &args[2] else {
+                return None;
+            };
+            if *k < 0 || *k > u32::MAX as i64 {
+                return None;
+            }
+            Some(VerifyPlan::EdCheck {
+                a: ArgExpr::compile(&args[0])?,
+                b: ArgExpr::compile(&args[1])?,
+                k: *k as u32,
+            })
+        }
+        _ => None,
+    }
+}
+
+impl VerifyKernel {
+    /// Compile `pred` when it is a recognized verify shape, or a
+    /// conjunction containing at least one.
+    pub fn compile(pred: &Expr) -> Option<VerifyKernel> {
+        let conjuncts = match pred {
+            Expr::And(parts) => {
+                let cs: Vec<Conjunct> = parts
+                    .iter()
+                    .map(|p| match compile_plan(p) {
+                        Some(plan) => Conjunct::Fast {
+                            plan,
+                            expr: p.clone(),
+                        },
+                        None => Conjunct::Slow(p.clone()),
+                    })
+                    .collect();
+                if !cs.iter().any(|c| matches!(c, Conjunct::Fast { .. })) {
+                    return None;
+                }
+                cs
+            }
+            _ => vec![Conjunct::Fast {
+                plan: compile_plan(pred)?,
+                expr: pred.clone(),
+            }],
+        };
+        Some(VerifyKernel {
+            conjuncts,
+            state: KernelState::default(),
+        })
+    }
+
+    /// Evaluate the predicate over every visible row of `slice`, returning
+    /// the accepted positions (indices into the slice) in order.
+    pub fn eval_slice(
+        &mut self,
+        slice: &BatchSlice,
+        reg: &FunctionRegistry,
+    ) -> Result<Vec<u32>, OpError> {
+        let batch = slice.batch.as_ref();
+        let mut keep = Vec::new();
+        for pos in 0..slice.len() {
+            let row = slice.row_index(pos);
+            // Mirror `Expr::eval`'s And loop exactly: evaluate conjuncts
+            // left to right, short-circuit on the first false, track
+            // unknowns, and propagate the first error eagerly.
+            let mut accept = true;
+            for c in &self.conjuncts {
+                let tri = match c {
+                    Conjunct::Fast { plan, expr } => {
+                        match self.state.eval_plan(plan, batch, row) {
+                            Some(t) => t,
+                            // Outside the vectorized domain: the
+                            // interpreted path decides (and reports
+                            // errors) exactly as the scalar operator
+                            // would.
+                            None => tri_of(eval_batch_expr(expr, batch, row, reg)?.as_value()),
+                        }
+                    }
+                    Conjunct::Slow(e) => tri_of(eval_batch_expr(e, batch, row, reg)?.as_value()),
+                };
+                match tri {
+                    Tri::True => {}
+                    Tri::False => {
+                        accept = false;
+                        break;
+                    }
+                    Tri::Null => accept = false,
+                }
+            }
+            if accept {
+                keep.push(pos as u32);
+            }
+        }
+        Ok(keep)
+    }
+}
+
+impl KernelState {
+    /// Vectorized per-row decision; `None` means "fall back to the
+    /// interpreted path". The returned [`Tri`] matches the three-valued
+    /// result the interpreter would compute for the same conjunct.
+    fn eval_plan(&mut self, plan: &VerifyPlan, batch: &Batch, row: usize) -> Option<Tri> {
+        match plan {
+            VerifyPlan::Jaccard { a, b, op, delta } => {
+                let (op, delta) = (*op, *delta);
+                let sa = side_str(a.cell(batch, row))?;
+                let sb = side_str(b.cell(batch, row))?;
+                let set_a = match sa {
+                    Some(s) => self.interner.token_set(s),
+                    None => Arc::from(Vec::new()),
+                };
+                let set_b = match sb {
+                    Some(s) => self.interner.token_set(s),
+                    None => Arc::from(Vec::new()),
+                };
+                let inter = self.intersection(&set_a, &set_b);
+                let sim = jaccard_from_counts(set_a.len(), set_b.len(), inter);
+                // `sql_compare` on two doubles is `partial_cmp`; None
+                // (NaN) makes the comparison unknown.
+                Some(match sim.partial_cmp(&delta) {
+                    Some(ord) if op.test(ord) => Tri::True,
+                    Some(_) => Tri::False,
+                    None => Tri::Null,
+                })
+            }
+            VerifyPlan::EditDistance { a, b, op, k } => {
+                // `< k` means `<= k - 1`; saturate so `< i64::MIN` simply
+                // stays an always-false threshold instead of overflowing.
+                let threshold = if *op == CmpOp::Lt {
+                    k.saturating_sub(1)
+                } else {
+                    *k
+                };
+                let sa = side_str(a.cell(batch, row))?;
+                let sb = side_str(b.cell(batch, row))?;
+                let (Some(sa), Some(sb)) = (sa, sb) else {
+                    // edit-distance(unknown, _) is NULL; NULL <= k is
+                    // unknown.
+                    return Some(Tri::Null);
+                };
+                if threshold < 0 {
+                    return Some(Tri::False);
+                }
+                let ca = self.cached_chars(sa);
+                let cb = self.cached_chars(sb);
+                // Any actual edit distance fits u32 (it is bounded by the
+                // char lengths), so clamping an enormous threshold keeps
+                // the check's outcome unchanged.
+                let t = threshold.min(u32::MAX as i64) as u32;
+                let within = edit_distance_check_chars(&ca, &cb, t, &mut self.scratch).is_some();
+                Some(if within { Tri::True } else { Tri::False })
+            }
+            VerifyPlan::EdCheck { a, b, k } => {
+                let k = *k;
+                let sa = side_str(a.cell(batch, row))?;
+                let sb = side_str(b.cell(batch, row))?;
+                let (Some(sa), Some(sb)) = (sa, sb) else {
+                    // edit-distance-check(unknown, _, k) is false.
+                    return Some(Tri::False);
+                };
+                let ca = self.cached_chars(sa);
+                let cb = self.cached_chars(sb);
+                let within = edit_distance_check_chars(&ca, &cb, k, &mut self.scratch).is_some();
+                Some(if within { Tri::True } else { Tri::False })
+            }
+        }
+    }
+
+    /// Distinct-token intersection size. The side that repeated from the
+    /// previous row (the probe constant in selections, the outer key in
+    /// joins) gets a cached bitset; without a repeating side, a galloping
+    /// merge answers directly.
+    fn intersection(&mut self, a: &Arc<[u32]>, b: &Arc<[u32]>) -> usize {
+        let a_repeats = self.prev_a.as_ref().is_some_and(|p| Arc::ptr_eq(p, a));
+        let b_repeats = self.prev_b.as_ref().is_some_and(|p| Arc::ptr_eq(p, b));
+        self.prev_a = Some(Arc::clone(a));
+        self.prev_b = Some(Arc::clone(b));
+        let (probe, scan) = if a_repeats {
+            (a, b)
+        } else if b_repeats {
+            (b, a)
+        } else {
+            return intersection_size_u32(a, b);
+        };
+        let cached = matches!(&self.probe, Some((p, _)) if Arc::ptr_eq(p, probe));
+        if !cached {
+            // Ids past the build-time universe cannot be members of the
+            // probe set, so a bitset built against today's universe stays
+            // correct as the interner grows: `contains` is simply false.
+            let bits = TokenBitset::build(probe, self.interner.universe().max(1));
+            self.probe = Some((Arc::clone(probe), bits));
+        }
+        match &self.probe {
+            Some((_, bits)) => scan.iter().filter(|&&id| bits.contains(id)).count(),
+            None => 0,
+        }
+    }
+
+    /// Decoded chars of `s`, cached per distinct string (LRU).
+    fn cached_chars(&mut self, s: &str) -> Arc<[char]> {
+        self.chars_clock += 1;
+        let stamp = self.chars_clock;
+        if let Some(slot) = self.chars.get_mut(s) {
+            slot.1 = stamp;
+            return slot.0.clone();
+        }
+        let decoded: Arc<[char]> = s.chars().collect();
+        if self.chars.len() >= KERNEL_CACHE_CAPACITY {
+            evict_lru(&mut self.chars);
+        }
+        self.chars.insert(s.to_string(), (decoded.clone(), stamp));
+        decoded
+    }
+}
+
+/// Result of [`eval_batch_expr`]: borrowed straight from the batch (or
+/// the expression's constants) when possible, owned otherwise.
+enum EvalOut<'a> {
+    Ref(&'a Value),
+    Owned(Value),
+}
+
+impl EvalOut<'_> {
+    fn as_value(&self) -> &Value {
+        match self {
+            EvalOut::Ref(v) => v,
+            EvalOut::Owned(v) => v,
+        }
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            EvalOut::Ref(v) => v.clone(),
+            EvalOut::Owned(v) => v,
+        }
+    }
+}
+
+/// Column-aware mirror of [`Expr::eval`]: evaluates `e` against one row
+/// of a [`Batch`] without materializing the row as a tuple, borrowing
+/// record cells in place so field access never deep-clones the record.
+/// Results and errors are identical to `e.eval(&batch.row(row), reg)`
+/// for every expression shape (pinned by the parity tests below).
+fn eval_batch_expr<'a>(
+    e: &'a Expr,
+    batch: &'a Batch,
+    row: usize,
+    reg: &FunctionRegistry,
+) -> Result<EvalOut<'a>, String> {
+    Ok(match e {
+        Expr::Column(i) => match batch.col(*i) {
+            None => {
+                return Err(format!(
+                    "column {i} out of range (width {})",
+                    batch.width()
+                ))
+            }
+            Some(Column::Values(vs)) => EvalOut::Ref(&vs[row]),
+            Some(col) => EvalOut::Owned(col.value(row)),
+        },
+        Expr::Const(v) => EvalOut::Ref(v),
+        Expr::Field(inner, name) => match eval_batch_expr(inner, batch, row, reg)? {
+            EvalOut::Ref(v) => EvalOut::Ref(v.field_path(name)),
+            EvalOut::Owned(v) => EvalOut::Owned(v.field_path(name).clone()),
+        },
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_batch_expr(a, batch, row, reg)?.into_value());
+            }
+            EvalOut::Owned(reg.call(name, &vals)?)
+        }
+        Expr::Cmp(op, a, b) => {
+            let va = eval_batch_expr(a, batch, row, reg)?;
+            let vb = eval_batch_expr(b, batch, row, reg)?;
+            EvalOut::Owned(match sql_compare(va.as_value(), vb.as_value()) {
+                Some(ord) => Value::Boolean(op.test(ord)),
+                None => Value::Null,
+            })
+        }
+        Expr::And(parts) => {
+            let mut saw_null = false;
+            for p in parts {
+                match eval_batch_expr(p, batch, row, reg)?.as_value() {
+                    Value::Boolean(false) => return Ok(EvalOut::Owned(Value::Boolean(false))),
+                    Value::Boolean(true) => {}
+                    _ => saw_null = true,
+                }
+            }
+            EvalOut::Owned(if saw_null {
+                Value::Null
+            } else {
+                Value::Boolean(true)
+            })
+        }
+        Expr::Or(parts) => {
+            let mut saw_null = false;
+            for p in parts {
+                match eval_batch_expr(p, batch, row, reg)?.as_value() {
+                    Value::Boolean(true) => return Ok(EvalOut::Owned(Value::Boolean(true))),
+                    Value::Boolean(false) => {}
+                    _ => saw_null = true,
+                }
+            }
+            EvalOut::Owned(if saw_null {
+                Value::Null
+            } else {
+                Value::Boolean(false)
+            })
+        }
+        Expr::Not(inner) => EvalOut::Owned(
+            match eval_batch_expr(inner, batch, row, reg)?.as_value() {
+                Value::Boolean(b) => Value::Boolean(!b),
+                _ => Value::Null,
+            },
+        ),
+        Expr::RecordCtor(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (k, fe) in fields {
+                out.push((k.clone(), eval_batch_expr(fe, batch, row, reg)?.into_value()));
+            }
+            EvalOut::Owned(Value::record(out))
+        }
+        Expr::ListCtor(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(eval_batch_expr(item, batch, row, reg)?.into_value());
+            }
+            EvalOut::Owned(Value::OrderedList(out))
+        }
+    })
+}
+
+/// Classify one side for the string kernels: `Some(Some(s))` = a string,
+/// `Some(None)` = null/missing (handled in-kernel), `None` = fall back.
+fn side_str(cell: Cell<'_>) -> Option<Option<&str>> {
+    match cell {
+        Cell::Str(s) => Some(Some(s)),
+        Cell::Val(Value::String(s)) => Some(Some(s)),
+        Cell::Val(v) if v.is_unknown() => Some(None),
+        Cell::Owned(v) if v.is_unknown() => Some(None),
+        // Owned strings would dangle a borrow; they only arise from field
+        // paths over scalar columns, which produce Missing anyway. Any
+        // other type (lists, records, ints) goes through the row path.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use asterix_adm::record;
+    use std::sync::Arc;
+
+    fn reg() -> FunctionRegistry {
+        FunctionRegistry::with_builtins()
+    }
+
+    fn jaccard_pred(op: CmpOp, delta: f64) -> Expr {
+        Expr::cmp(
+            op,
+            Expr::call(
+                "similarity-jaccard",
+                vec![
+                    Expr::call("word-tokens", vec![Expr::col(0).field("summary")]),
+                    Expr::call("word-tokens", vec![Expr::lit("great product value")]),
+                ],
+            ),
+            Expr::lit(delta),
+        )
+    }
+
+    fn ed_pred(op: CmpOp, k: i64) -> Expr {
+        Expr::cmp(
+            op,
+            Expr::call("edit-distance", vec![Expr::col(1), Expr::lit("marla")]),
+            Expr::lit(k),
+        )
+    }
+
+    fn sample_slice() -> BatchSlice {
+        let rows: Vec<Tuple> = vec![
+            vec![record! {"summary" => "great product"}, Value::from("maria")],
+            vec![record! {"summary" => "bad value"}, Value::from("carla")],
+            vec![record! {"summary" => "great product value"}, Value::from("x")],
+            vec![Value::Null, Value::Null],
+            vec![record! {"other" => 1i64}, Value::from("marla")],
+        ];
+        match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            crate::tuple::Frame::Rows(_) => panic!("expected batch"),
+        }
+    }
+
+    fn row_path(pred: &Expr, slice: &BatchSlice) -> Vec<u32> {
+        let reg = reg();
+        (0..slice.len())
+            .filter(|&p| pred.eval(&slice.row(p), &reg).unwrap().is_true())
+            .map(|p| p as u32)
+            .collect()
+    }
+
+    #[test]
+    fn jaccard_kernel_matches_row_path() {
+        let slice = sample_slice();
+        for (op, delta) in [
+            (CmpOp::Ge, 0.5),
+            (CmpOp::Ge, 0.0),
+            (CmpOp::Gt, 0.0),
+            (CmpOp::Ge, 1.0),
+        ] {
+            let pred = jaccard_pred(op, delta);
+            let mut k = VerifyKernel::compile(&pred).expect("compiles");
+            let got = k.eval_slice(&slice, &reg()).unwrap();
+            assert_eq!(got, row_path(&pred, &slice), "op {op:?} delta {delta}");
+        }
+    }
+
+    #[test]
+    fn edit_distance_kernel_matches_row_path() {
+        let slice = sample_slice();
+        for (op, k) in [
+            (CmpOp::Le, 2),
+            (CmpOp::Le, 0),
+            (CmpOp::Lt, 3),
+            (CmpOp::Lt, 0),
+            (CmpOp::Le, -1),
+        ] {
+            let pred = ed_pred(op, k);
+            let mut kern = VerifyKernel::compile(&pred).expect("compiles");
+            let got = kern.eval_slice(&slice, &reg()).unwrap();
+            assert_eq!(got, row_path(&pred, &slice), "op {op:?} k {k}");
+        }
+    }
+
+    #[test]
+    fn mirrored_constant_on_left_compiles_and_matches() {
+        // `0.5 <= similarity-jaccard(...)` is the same predicate mirrored.
+        let slice = sample_slice();
+        let pred = Expr::cmp(
+            CmpOp::Le,
+            Expr::lit(0.5),
+            Expr::call(
+                "similarity-jaccard",
+                vec![
+                    Expr::call("word-tokens", vec![Expr::col(0).field("summary")]),
+                    Expr::call("word-tokens", vec![Expr::lit("great product value")]),
+                ],
+            ),
+        );
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&pred, &slice));
+    }
+
+    #[test]
+    fn edit_distance_check_call_matches_row_path() {
+        let slice = sample_slice();
+        let pred = Expr::call(
+            "edit-distance-check",
+            vec![Expr::col(1), Expr::lit("marla"), Expr::lit(1i64)],
+        );
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&pred, &slice));
+        // Negative k must NOT compile: the row path reports a typed error.
+        let bad = Expr::call(
+            "edit-distance-check",
+            vec![Expr::col(1), Expr::lit("marla"), Expr::lit(-1i64)],
+        );
+        assert!(VerifyKernel::compile(&bad).is_none());
+    }
+
+    #[test]
+    fn conjunction_with_residual_matches_row_path() {
+        // The index-NL join verify shape after pushdown: And(sim >= δ,
+        // residual cmp). The sim conjunct vectorizes, the residual is
+        // interpreted per row over the batch.
+        let slice = sample_slice();
+        for residual in [
+            Expr::cmp(CmpOp::Ne, Expr::col(1), Expr::lit("maria")),
+            Expr::cmp(CmpOp::Lt, Expr::col(0).field("nosuch"), Expr::lit(1i64)), // NULL cmp
+            Expr::lit(true),
+            Expr::lit(false),
+        ] {
+            let pred = Expr::And(vec![jaccard_pred(CmpOp::Ge, 0.3), residual.clone()]);
+            let mut k = VerifyKernel::compile(&pred).expect("conjunction compiles");
+            let got = k.eval_slice(&slice, &reg()).unwrap();
+            assert_eq!(got, row_path(&pred, &slice), "residual {residual:?}");
+            // Mirror order: residual first, kernel conjunct second.
+            let pred = Expr::And(vec![residual.clone(), jaccard_pred(CmpOp::Ge, 0.3)]);
+            let mut k = VerifyKernel::compile(&pred).expect("conjunction compiles");
+            let got = k.eval_slice(&slice, &reg()).unwrap();
+            assert_eq!(got, row_path(&pred, &slice), "residual-first {residual:?}");
+        }
+    }
+
+    #[test]
+    fn conjunction_short_circuits_errors_like_interpreter() {
+        // Row 0 fails the sim conjunct; the erroring residual after it
+        // must NOT run for that row (And short-circuits on false), but
+        // must error on rows that pass the sim conjunct — exactly the
+        // interpreter's behaviour.
+        let rows: Vec<Tuple> = vec![
+            vec![record! {"summary" => "zzz"}, Value::from("x")],
+            vec![record! {"summary" => "great product value"}, Value::from("y")],
+        ];
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let erroring = Expr::call("edit-distance", vec![Expr::col(1), Expr::col(99)]);
+        let pred = Expr::And(vec![jaccard_pred(CmpOp::Ge, 0.9), erroring]);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let kernel_result = k.eval_slice(&slice, &reg());
+        let mut interp_result = Ok(Vec::new());
+        for p in 0..slice.len() {
+            match pred.eval(&slice.row(p), &reg()) {
+                Ok(v) => {
+                    if v.is_true() {
+                        interp_result.as_mut().unwrap().push(p as u32);
+                    }
+                }
+                Err(e) => {
+                    interp_result = Err(e);
+                    break;
+                }
+            }
+        }
+        match (kernel_result, interp_result) {
+            (Err(_), Err(_)) => {}
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (a, b) => panic!("kernel {a:?} vs interpreter {b:?}"),
+        }
+        // Only the narrowed first row: the false sim conjunct short
+        // circuits, so no error at all.
+        let only_first = sample_slice(); // fresh kernel state per slice
+        let _ = only_first;
+        let rows: Vec<Tuple> = vec![vec![record! {"summary" => "zzz"}, Value::from("x")]];
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let erroring = Expr::call("edit-distance", vec![Expr::col(1), Expr::col(99)]);
+        let pred = Expr::And(vec![jaccard_pred(CmpOp::Ge, 0.9), erroring]);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        assert_eq!(k.eval_slice(&slice, &reg()).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_slow_conjunctions_do_not_compile() {
+        let pred = Expr::And(vec![
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(5i64)),
+            Expr::lit(true),
+        ]);
+        assert!(VerifyKernel::compile(&pred).is_none());
+    }
+
+    #[test]
+    fn eval_batch_expr_mirrors_interpreter() {
+        // Every Expr variant over every row: the column-aware evaluator
+        // must agree with Expr::eval on the materialized tuple, errors
+        // included.
+        let slice = sample_slice();
+        let registry = reg();
+        let exprs = vec![
+            Expr::col(0),
+            Expr::col(1),
+            Expr::col(7), // out of range → error
+            Expr::lit("const"),
+            Expr::col(0).field("summary"),
+            Expr::col(0).field("summary").field("deeper"), // field of scalar → Missing
+            Expr::col(1).field("nosuch"),
+            Expr::call("word-tokens", vec![Expr::col(0).field("summary")]),
+            Expr::call("edit-distance", vec![Expr::col(1), Expr::lit("maria")]),
+            Expr::call("no-such-fn", vec![]), // unknown function → error
+            Expr::cmp(CmpOp::Le, Expr::col(1), Expr::lit("m")),
+            Expr::cmp(CmpOp::Eq, Expr::col(0).field("nosuch"), Expr::lit(1i64)),
+            Expr::And(vec![
+                Expr::cmp(CmpOp::Ne, Expr::col(1), Expr::lit("x")),
+                Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::lit("a")),
+            ]),
+            Expr::Or(vec![
+                Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit("maria")),
+                Expr::cmp(CmpOp::Eq, Expr::col(0).field("nosuch"), Expr::lit(1i64)),
+            ]),
+            Expr::Not(Box::new(Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::lit("x")))),
+            Expr::RecordCtor(vec![
+                ("a".into(), Expr::col(1)),
+                ("b".into(), Expr::col(0).field("summary")),
+            ]),
+            Expr::ListCtor(vec![Expr::col(1), Expr::lit(1i64)]),
+        ];
+        for e in &exprs {
+            for pos in 0..slice.len() {
+                let row = slice.row_index(pos);
+                let batch_result =
+                    eval_batch_expr(e, slice.batch.as_ref(), row, &registry).map(|o| o.into_value());
+                let interp_result = e.eval(&slice.row(pos), &registry);
+                assert_eq!(
+                    batch_result, interp_result,
+                    "divergence for {e:?} at row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrecognized_predicates_do_not_compile() {
+        assert!(VerifyKernel::compile(&Expr::lit(true)).is_none());
+        assert!(VerifyKernel::compile(&Expr::cmp(
+            CmpOp::Eq,
+            Expr::col(0),
+            Expr::lit(1i64)
+        ))
+        .is_none());
+        // Jaccard needs word-tokens() wrapping on both sides.
+        assert!(VerifyKernel::compile(&Expr::cmp(
+            CmpOp::Ge,
+            Expr::call("similarity-jaccard", vec![Expr::col(0), Expr::col(1)]),
+            Expr::lit(0.5)
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn mixed_type_rows_fall_back_to_row_errors() {
+        // An int where a string is expected: the row path errors; the
+        // kernel must surface the same error, not silently reject.
+        let rows: Vec<Tuple> = vec![vec![Value::Null, Value::Int64(7)]];
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let pred = ed_pred(CmpOp::Le, 1);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        assert!(k.eval_slice(&slice, &reg()).is_err());
+    }
+
+    #[test]
+    fn probe_bitset_reuse_across_rows() {
+        // Many rows sharing the probe constant: one tokenization, one
+        // bitset, identical acceptance.
+        let rows: Vec<Tuple> = (0..200)
+            .map(|i| {
+                vec![
+                    record! {"summary" => format!("great product number {i}")},
+                    Value::from("x"),
+                ]
+            })
+            .collect();
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let pred = jaccard_pred(CmpOp::Ge, 0.5);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&pred, &slice));
+    }
+
+    #[test]
+    fn narrowed_slice_positions_are_slice_relative() {
+        let slice = sample_slice().narrow(vec![2, 4]);
+        let pred = jaccard_pred(CmpOp::Ge, 0.5);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&pred, &slice));
+        assert_eq!(got, vec![0]); // row 2 accepted, now at position 0
+    }
+
+    #[test]
+    fn arc_from_empty_set_is_safe() {
+        // Null summary → empty token set on one side; jaccard(∅, S) = 0,
+        // jaccard(∅, ∅) = 1 — same as the interpreted path (word-tokens of
+        // null/missing is the empty list).
+        let rows: Vec<Tuple> = vec![vec![Value::Null, Value::from("x")]];
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let both_null = Expr::cmp(
+            CmpOp::Ge,
+            Expr::call(
+                "similarity-jaccard",
+                vec![
+                    Expr::call("word-tokens", vec![Expr::col(0)]),
+                    Expr::call("word-tokens", vec![Expr::Const(Value::Missing)]),
+                ],
+            ),
+            Expr::lit(0.5),
+        );
+        let mut k = VerifyKernel::compile(&both_null).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&both_null, &slice));
+    }
+
+    #[test]
+    fn interner_universe_growth_keeps_probe_bitset_correct() {
+        // First rows establish a small universe; later rows introduce new
+        // tokens (larger ids) while the probe bitset was built small. The
+        // stale bitset must still answer correctly (out-of-universe ids
+        // are simply absent).
+        let mut rows: Vec<Tuple> = vec![vec![
+            record! {"summary" => "great product"},
+            Value::from("x"),
+        ]];
+        rows.extend((0..50).map(|i| {
+            vec![
+                record! {"summary" => format!("novel token{i} stream")},
+                Value::from("x"),
+            ]
+        }));
+        let slice = match crate::tuple::Frame::batch_from_rows(rows) {
+            crate::tuple::Frame::Batch(s) => s,
+            _ => panic!(),
+        };
+        let pred = jaccard_pred(CmpOp::Ge, 0.1);
+        let mut k = VerifyKernel::compile(&pred).expect("compiles");
+        let got = k.eval_slice(&slice, &reg()).unwrap();
+        assert_eq!(got, row_path(&pred, &slice));
+        let _ = Arc::strong_count(&slice.batch);
+    }
+}

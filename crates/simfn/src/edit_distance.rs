@@ -8,6 +8,12 @@
 //! index post-verification and by selection/join predicates with a
 //! threshold: it runs banded dynamic programming in `O((2k+1)·n)` and bails
 //! out as soon as the band's minimum exceeds the threshold.
+//!
+//! For hot verify loops the slice entry points
+//! ([`edit_distance_check_chars`], [`edit_distance_check_slices`]) accept
+//! pre-decoded inputs and a caller-owned [`EdScratch`], so the probe side of
+//! an index search is decoded once per query (not once per candidate) and
+//! the DP buffers are allocated once per batch (not once per call).
 
 /// Exact edit distance between two strings (by Unicode scalar values).
 ///
@@ -42,6 +48,142 @@ pub fn list_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Optio
     generic_edit_distance_check(a, b, k)
 }
 
+/// Threshold-checked edit distance over pre-decoded char buffers with
+/// caller-owned scratch — the vectorized-verify entry point. Decode each
+/// side with `s.chars().collect()` once, then reuse both the buffers and
+/// the scratch across an entire batch of candidates.
+pub fn edit_distance_check_chars(a: &[char], b: &[char], k: u32, scratch: &mut EdScratch) -> Option<u32> {
+    banded_check(a, b, k, scratch)
+}
+
+/// Generic slice form of [`edit_distance_check_chars`]: threshold-checked
+/// edit distance on ordered lists with caller-owned scratch.
+pub fn edit_distance_check_slices<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    k: u32,
+    scratch: &mut EdScratch,
+) -> Option<u32> {
+    banded_check(a, b, k, scratch)
+}
+
+/// Reusable scratch for the banded DP: two rows sized to the band width
+/// `min(2k+1, n+1)` — **not** the full `n+1` — plus an instrumentation
+/// counter of DP cells touched (cumulative across calls) that the
+/// regression tests pin to stay band-proportional.
+#[derive(Debug, Default, Clone)]
+pub struct EdScratch {
+    prev: Vec<u32>,
+    cur: Vec<u32>,
+    cells: u64,
+}
+
+impl EdScratch {
+    /// Empty scratch; buffers grow to the band width on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total DP cells computed through this scratch (cumulative). A banded
+    /// check over `m x n` with threshold `k` touches at most
+    /// `(2k+1) * (min(m,n)+1)` cells.
+    pub fn cells_touched(&self) -> u64 {
+        self.cells
+    }
+
+    /// Current row-buffer length — bounded by the largest band width seen,
+    /// never by the full sequence length.
+    pub fn band_capacity(&self) -> usize {
+        self.prev.len().max(self.cur.len())
+    }
+
+    fn ensure(&mut self, width: usize) {
+        if self.prev.len() < width {
+            self.prev.resize(width, 0);
+        }
+        if self.cur.len() < width {
+            self.cur.resize(width, 0);
+        }
+    }
+}
+
+/// Banded DP bounded by threshold `k`: only cells with `|i - j| <= k` can be
+/// on an optimal path of cost `<= k`. Terminates early when an entire band
+/// row exceeds `k`.
+fn generic_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Option<u32> {
+    let mut scratch = EdScratch::new();
+    banded_check(a, b, k, &mut scratch)
+}
+
+/// The banded DP itself. Rows are stored in band coordinates (cell
+/// `D[i][j]` lives at `row[j - lo_i]`), so both the work and the scratch
+/// are `O(band)` per row: no full-row reset, no `O(n)` buffers. Every band
+/// cell is written before any same-row read, so the buffers need no
+/// clearing between rows or between calls.
+fn banded_check<T: PartialEq>(a: &[T], b: &[T], k: u32, s: &mut EdScratch) -> Option<u32> {
+    // Keep the longer sequence as the rows; `m >= n` below.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let (m, n) = (a.len(), b.len());
+    // Length filter: |m - n| is a lower bound on the distance.
+    if (m - n) as u64 > k as u64 {
+        return None;
+    }
+    // The distance never exceeds max(m, n) = m, so a huge threshold only
+    // needs a band that covers the whole table.
+    let k = (k as usize).min(m);
+    if n == 0 {
+        return Some(m as u32); // m <= k by the length filter
+    }
+    // Any cell with |i - j| > k has D[i][j] >= |i - j| > k, so the band
+    // outside is safely represented by `inf` = k + 1.
+    let inf = (k + 1) as u32;
+    s.ensure((2 * k + 1).min(n + 1));
+    // Row 0: D[0][j] = j for j in the band [0, min(k, n)].
+    let (mut plo, mut phi) = (0usize, k.min(n));
+    for (j, cell) in s.prev.iter_mut().enumerate().take(phi + 1) {
+        *cell = j as u32;
+    }
+    s.cells += (phi + 1) as u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(n);
+        let mut row_min = inf;
+        for j in lo..=hi {
+            let v = if j == 0 {
+                i as u32 // boundary column; i <= k whenever 0 is in band
+            } else {
+                let up = if (plo..=phi).contains(&j) { s.prev[j - plo] } else { inf };
+                let diag = if (plo..=phi).contains(&(j - 1)) {
+                    s.prev[j - 1 - plo]
+                } else {
+                    inf
+                };
+                let left = if j > lo { s.cur[j - 1 - lo] } else { inf };
+                let cost = u32::from(a[i - 1] != b[j - 1]);
+                up.saturating_add(1)
+                    .min(left.saturating_add(1))
+                    .min(diag.saturating_add(cost))
+                    .min(inf)
+            };
+            s.cur[j - lo] = v;
+            row_min = row_min.min(v);
+        }
+        s.cells += (hi - lo + 1) as u64;
+        if row_min >= inf {
+            return None; // early termination: the whole band exceeded k
+        }
+        std::mem::swap(&mut s.prev, &mut s.cur);
+        (plo, phi) = (lo, hi);
+    }
+    // n is inside row m's band because |m - n| <= k.
+    let d = s.prev[n - plo];
+    if d <= k as u32 {
+        Some(d)
+    } else {
+        None
+    }
+}
+
 /// Two-row dynamic program, O(m·n) time, O(min(m,n)) space.
 fn generic_edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> u32 {
     // Keep the shorter sequence as the row to minimize memory.
@@ -61,58 +203,6 @@ fn generic_edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> u32 {
         std::mem::swap(&mut prev, &mut cur);
     }
     prev[n]
-}
-
-/// Banded DP bounded by threshold `k`: only cells with `|i - j| <= k` can be
-/// on an optimal path of cost `<= k`. Terminates early when an entire band
-/// row exceeds `k`.
-fn generic_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Option<u32> {
-    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
-    let (m, n) = (a.len(), b.len());
-    // Length filter: |m - n| is a lower bound on the distance.
-    if (m - n) as u32 > k {
-        return None;
-    }
-    if n == 0 {
-        return if m as u32 <= k { Some(m as u32) } else { None };
-    }
-    let k = k as usize;
-    // Any cell with |i - j| > k has D[i][j] >= |i - j| > k, so the band
-    // outside is safely represented by `inf` = k + 1.
-    let inf = (k + 1) as u32;
-    // prev[j] = D[i-1][j] (inf outside the band).
-    let mut prev: Vec<u32> = (0..=n)
-        .map(|j| if j <= k { j as u32 } else { inf })
-        .collect();
-    let mut cur = vec![inf; n + 1];
-    for i in 1..=m {
-        let lo = i.saturating_sub(k).max(1);
-        let hi = (i + k).min(n);
-        cur[0] = if i <= k { i as u32 } else { inf };
-        let mut row_min = cur[0];
-        for j in lo..=hi {
-            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
-            let del = prev[j].saturating_add(1);
-            let ins = cur[j - 1].saturating_add(1);
-            let sub = prev[j - 1].saturating_add(cost);
-            let v = del.min(ins).min(sub).min(inf);
-            cur[j] = v;
-            row_min = row_min.min(v);
-        }
-        if row_min >= inf {
-            return None; // early termination: the whole band exceeded k
-        }
-        std::mem::swap(&mut prev, &mut cur);
-        for x in cur.iter_mut() {
-            *x = inf;
-        }
-    }
-    let d = prev[n];
-    if d <= k as u32 {
-        Some(d)
-    } else {
-        None
-    }
 }
 
 #[cfg(test)]
@@ -176,11 +266,64 @@ mod tests {
     }
 
     #[test]
+    fn check_huge_threshold() {
+        // k larger than both lengths (and near u32::MAX) must not overflow
+        // and must return the exact distance.
+        assert_eq!(edit_distance_check("kitten", "sitting", u32::MAX), Some(3));
+        assert_eq!(edit_distance_check("", "ab", u32::MAX), Some(2));
+    }
+
+    #[test]
     fn list_check() {
         let a = [1, 2, 3, 4];
         let b = [1, 3, 4];
         assert_eq!(list_edit_distance_check(&a, &b, 1), Some(1));
         assert_eq!(list_edit_distance_check(&a, &b, 0), None);
+    }
+
+    #[test]
+    fn slice_entry_points_reuse_scratch() {
+        let probe: Vec<char> = "jamesworthington".chars().collect();
+        let mut scratch = EdScratch::new();
+        let cands = ["jamesworthingten", "jameswrthington", "completely-different"];
+        let expect = [Some(1), Some(1), None];
+        for (cand, want) in cands.iter().zip(expect) {
+            let cv: Vec<char> = cand.chars().collect();
+            assert_eq!(edit_distance_check_chars(&probe, &cv, 2, &mut scratch), want);
+        }
+        // Buffers were allocated once and stayed band-sized.
+        assert!(scratch.band_capacity() <= 5, "capacity {}", scratch.band_capacity());
+    }
+
+    /// Regression pin for the banded DP: with threshold `k` the work and
+    /// the scratch must be proportional to the band `2k+1`, not to the
+    /// sequence length `n`. The pre-fix implementation reset the full
+    /// `0..=n` row every iteration (Θ(m·n) work) and allocated `n+1`-sized
+    /// buffers per call; both would blow the bounds below by ~400×.
+    #[test]
+    fn banded_check_work_is_band_proportional() {
+        let a: String = "ab".repeat(1000);
+        let b: String = format!("x{}", &a[..a.len() - 1]); // distance 2 (sub + sub)
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let k = 2u32;
+        let mut scratch = EdScratch::new();
+        let d = edit_distance_check_slices(&av, &bv, k, &mut scratch);
+        assert_eq!(d, Some(edit_distance(&a, &b)));
+        let band = (2 * k + 1) as u64;
+        let rows = (av.len().min(bv.len()) as u64) + 1;
+        assert!(
+            scratch.cells_touched() <= band * rows,
+            "touched {} cells, band bound is {}",
+            scratch.cells_touched(),
+            band * rows
+        );
+        assert!(
+            scratch.band_capacity() <= band as usize,
+            "scratch holds {} cells, band is {}",
+            scratch.band_capacity(),
+            band
+        );
     }
 
     proptest! {
@@ -210,6 +353,24 @@ mod tests {
                 prop_assert_eq!(checked, Some(exact));
             } else {
                 prop_assert_eq!(checked, None);
+            }
+        }
+
+        /// Vectorized ≡ scalar: the scratch-reusing slice kernel agrees with
+        /// the per-call API for every input and threshold, including when a
+        /// single scratch is reused across differently-shaped calls.
+        #[test]
+        fn prop_slices_match_check(
+            pairs in proptest::collection::vec(("[a-c]{0,12}", "[a-c]{0,12}", 0u32..8), 1..6)
+        ) {
+            let mut scratch = EdScratch::new();
+            for (a, b, k) in &pairs {
+                let av: Vec<char> = a.chars().collect();
+                let bv: Vec<char> = b.chars().collect();
+                prop_assert_eq!(
+                    edit_distance_check_chars(&av, &bv, *k, &mut scratch),
+                    edit_distance_check(a, b, *k)
+                );
             }
         }
 

@@ -83,6 +83,118 @@ pub fn cosine<T: Ord + Clone>(r: &[T], s: &[T]) -> f64 {
     inter as f64 / ((r.len() as f64) * (s.len() as f64)).sqrt()
 }
 
+/// Intersection size of two sorted, deduplicated `u32` id slices — the
+/// vectorized-verify form, used once token strings have been interned to
+/// dense ids. Falls back to a linear merge when the lengths are comparable
+/// and switches to galloping (exponential probes into the longer side) when
+/// they are skewed, so a short probe set against a long candidate set costs
+/// `O(|short| · log |long|)`.
+pub fn intersection_size_u32(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() < 8 {
+        // Comparable sizes: a plain merge has better constants.
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        return n;
+    }
+    let (mut n, mut base) = (0usize, 0usize);
+    for &x in small {
+        base += gallop_lower_bound(&large[base..], x);
+        if base < large.len() && large[base] == x {
+            n += 1;
+            base += 1;
+        }
+        if base >= large.len() {
+            break;
+        }
+    }
+    n
+}
+
+/// First index in sorted `s` whose value is `>= x` (exponential search then
+/// binary search — cheap when the answer is near the front, as it is when
+/// galloping through an intersection).
+fn gallop_lower_bound(s: &[u32], x: u32) -> usize {
+    if s.is_empty() || s[0] >= x {
+        return 0;
+    }
+    let mut hi = 1;
+    while hi < s.len() && s[hi] < x {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(s.len());
+    lo + s[lo..hi].partition_point(|&v| v < x)
+}
+
+/// A `u64`-bitset membership view of one sorted, deduplicated id set, for
+/// verifying many candidates against a single probe side: build once per
+/// probe (`O(universe/64 + |ids|)`), then each candidate costs one bit test
+/// per element instead of a merge.
+#[derive(Debug, Clone)]
+pub struct TokenBitset {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl TokenBitset {
+    /// Build from sorted distinct ids drawn from `0..universe`.
+    pub fn build(ids: &[u32], universe: usize) -> Self {
+        let mut bits = vec![0u64; universe.div_ceil(64)];
+        for &id in ids {
+            bits[id as usize / 64] |= 1u64 << (id % 64);
+        }
+        TokenBitset { bits, len: ids.len() }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test for a single id.
+    pub fn contains(&self, id: u32) -> bool {
+        self.bits
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// `|self ∩ other|` for a deduplicated id slice `other`.
+    pub fn intersection_size(&self, other: &[u32]) -> usize {
+        other.iter().filter(|&&id| self.contains(id)).count()
+    }
+}
+
+/// Jaccard similarity from set cardinalities and an intersection count,
+/// with exactly the arithmetic of [`jaccard`] (`1.0` for two empty sets,
+/// else `inter / (la + lb - inter)` in `f64`) — so the interned-id kernel
+/// is bit-identical to the scalar path.
+pub fn jaccard_from_counts(la: usize, lb: usize, inter: usize) -> f64 {
+    if la == 0 && lb == 0 {
+        1.0
+    } else {
+        inter as f64 / (la + lb - inter) as f64
+    }
+}
+
 /// Early-terminating Jaccard threshold check: returns `Some(sim)` iff
 /// `jaccard(r, s) >= delta`.
 ///
@@ -208,7 +320,70 @@ mod tests {
         assert!((0.0..=1.0).contains(&c));
     }
 
+    #[test]
+    fn gallop_finds_lower_bounds() {
+        let s = [2u32, 4, 4, 8, 16, 32];
+        assert_eq!(gallop_lower_bound(&s, 0), 0);
+        assert_eq!(gallop_lower_bound(&s, 5), 3);
+        assert_eq!(gallop_lower_bound(&s, 32), 5);
+        assert_eq!(gallop_lower_bound(&s, 33), 6);
+        assert_eq!(gallop_lower_bound(&[], 7), 0);
+    }
+
+    #[test]
+    fn u32_intersection_skewed_uses_galloping_path() {
+        let small: Vec<u32> = vec![3, 500, 999];
+        let large: Vec<u32> = (0..1000).collect();
+        assert_eq!(intersection_size_u32(&small, &large), 3);
+        assert_eq!(intersection_size_u32(&large, &small), 3);
+        assert_eq!(intersection_size_u32(&[], &large), 0);
+    }
+
+    #[test]
+    fn bitset_membership_and_counts() {
+        let ids = [1u32, 63, 64, 130];
+        let bs = TokenBitset::build(&ids, 131);
+        assert_eq!(bs.len(), 4);
+        assert!(!bs.is_empty());
+        for &id in &ids {
+            assert!(bs.contains(id));
+        }
+        assert!(!bs.contains(2));
+        assert!(!bs.contains(1000)); // out of universe: false, no panic
+        assert_eq!(bs.intersection_size(&[0, 1, 64, 999]), 2);
+        assert!(TokenBitset::build(&[], 0).is_empty());
+    }
+
     proptest! {
+        /// Vectorized ≡ scalar: galloping/merge u32 intersection and the
+        /// bitset probe both agree with the generic sorted merge.
+        #[test]
+        fn prop_u32_kernels_match_scalar_intersection(
+            r in prop::collection::btree_set(0u32..300, 0..40),
+            s in prop::collection::btree_set(0u32..300, 0..40),
+        ) {
+            let r: Vec<u32> = r.into_iter().collect();
+            let s: Vec<u32> = s.into_iter().collect();
+            let expect = intersection_size(&r, &s);
+            prop_assert_eq!(intersection_size_u32(&r, &s), expect);
+            let bs = TokenBitset::build(&r, 300);
+            prop_assert_eq!(bs.intersection_size(&s), expect);
+        }
+
+        /// Vectorized ≡ scalar: Jaccard from interned-id counts is
+        /// bit-identical to the string/value Jaccard.
+        #[test]
+        fn prop_jaccard_from_counts_matches_jaccard(
+            r in prop::collection::vec(0u8..20, 0..16),
+            s in prop::collection::vec(0u8..20, 0..16),
+        ) {
+            let rc = canonical(&r);
+            let sc = canonical(&s);
+            let inter = intersection_size(&rc, &sc);
+            let fast = jaccard_from_counts(rc.len(), sc.len(), inter);
+            prop_assert_eq!(fast, jaccard(&r, &s));
+        }
+
         #[test]
         fn prop_jaccard_symmetric(r in prop::collection::vec(0u8..20, 0..16),
                                   s in prop::collection::vec(0u8..20, 0..16)) {

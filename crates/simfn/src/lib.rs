@@ -28,14 +28,19 @@ pub mod string_extra;
 pub mod toccurrence;
 pub mod tokenize;
 
-pub use edit_distance::{edit_distance, edit_distance_check, list_edit_distance};
-pub use jaccard::{cosine, dice, jaccard, jaccard_check};
+pub use edit_distance::{
+    edit_distance, edit_distance_check, edit_distance_check_chars, edit_distance_check_slices,
+    list_edit_distance, EdScratch,
+};
+pub use jaccard::{
+    cosine, dice, intersection_size_u32, jaccard, jaccard_check, jaccard_from_counts, TokenBitset,
+};
 pub use prefix::{prefix_len_jaccard, subset_collection};
 pub use registry::{FunctionRegistry, SimilarityMeasure};
 pub use string_extra::{hamming_distance, jaro, jaro_winkler, overlap_coefficient};
 pub use toccurrence::{
-    edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip,
-    t_occurrence_divide_skip_with_stats, t_occurrence_heap, t_occurrence_scan_count,
-    DivideSkipStats,
+    divide_skip_choose_l, edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip,
+    t_occurrence_divide_skip_ranks, t_occurrence_divide_skip_with_stats, t_occurrence_heap,
+    t_occurrence_ranks, t_occurrence_scan_count, DivideSkipStats, RankCountScratch,
 };
 pub use tokenize::{gram_tokens, word_tokens};

@@ -101,7 +101,7 @@ impl FunctionRegistry {
         });
         r.register("edit-distance-check", |args| {
             expect_arity(args, 3, "edit-distance-check")?;
-            let k = int_arg(&args[2], "edit-distance-check")? as u32;
+            let k = u32_arg(&args[2], "edit-distance-check")?;
             let ok = match (&args[0], &args[1]) {
                 (Value::String(a), Value::String(b)) => edit_distance_check(a, b, k).is_some(),
                 (Value::OrderedList(a), Value::OrderedList(b)) => {
@@ -158,7 +158,7 @@ impl FunctionRegistry {
         });
         r.register("gram-tokens", |args| {
             expect_arity(args, 2, "gram-tokens")?;
-            let n = int_arg(&args[1], "gram-tokens")? as usize;
+            let n = usize_arg(&args[1], "gram-tokens")?;
             match &args[0] {
                 Value::String(s) => Ok(Value::OrderedList(
                     gram_tokens(s, n.max(1)).into_iter().map(Value::String).collect(),
@@ -169,7 +169,7 @@ impl FunctionRegistry {
         });
         r.register("prefix-len-jaccard", |args| {
             expect_arity(args, 2, "prefix-len-jaccard")?;
-            let len = int_arg(&args[0], "prefix-len-jaccard")? as usize;
+            let len = usize_arg(&args[0], "prefix-len-jaccard")?;
             let delta = float_arg(&args[1], "prefix-len-jaccard")?;
             Ok(Value::Int64(prefix_len_jaccard(len, delta) as i64))
         });
@@ -328,6 +328,21 @@ fn int_arg(v: &Value, name: &str) -> Result<i64, String> {
         .ok_or_else(|| format!("{name}: expected integer, got {}", v.kind().name()))
 }
 
+/// Checked `u32` coercion: rejects negative and oversized thresholds
+/// instead of silently wrapping (`-1 as u32` used to become 4294967295,
+/// turning `edit-distance-check(a, b, -1)` into "accept everything").
+fn u32_arg(v: &Value, name: &str) -> Result<u32, String> {
+    let i = int_arg(v, name)?;
+    u32::try_from(i).map_err(|_| format!("{name}: integer out of range: {i}"))
+}
+
+/// Checked non-negative coercion for lengths/counts; negative inputs are a
+/// type error, not a wrap to a huge `usize`.
+fn usize_arg(v: &Value, name: &str) -> Result<usize, String> {
+    let i = int_arg(v, name)?;
+    usize::try_from(i).map_err(|_| format!("{name}: expected non-negative integer, got {i}"))
+}
+
 fn float_arg(v: &Value, name: &str) -> Result<f64, String> {
     v.as_f64()
         .ok_or_else(|| format!("{name}: expected number, got {}", v.kind().name()))
@@ -465,6 +480,43 @@ mod tests {
             .call("similarity-jaro-winkler", &[Value::from("martha"), Value::from("marhta")])
             .unwrap();
         assert!(jw.as_f64().unwrap() > 0.9);
+    }
+
+    /// Malformed-value corpus: every argument-coercion path must return a
+    /// typed error (or a defined unknown-propagation result), never wrap,
+    /// truncate, or panic.
+    #[test]
+    fn malformed_arguments_yield_typed_errors_not_panics() {
+        let r = FunctionRegistry::with_builtins();
+        let s = Value::from("abc");
+        // Negative thresholds used to wrap (`-1 as u32` = u32::MAX), making
+        // the check accept everything; now a typed error.
+        assert!(r
+            .call("edit-distance-check", &[s.clone(), s.clone(), Value::Int64(-1)])
+            .is_err());
+        // Negative gram length used to wrap to a huge usize.
+        assert!(r.call("gram-tokens", &[s.clone(), Value::Int64(-3)]).is_err());
+        assert!(r
+            .call("prefix-len-jaccard", &[Value::Int64(-4), Value::double(0.5)])
+            .is_err());
+        // Out-of-range (but positive) thresholds are also rejected.
+        assert!(r
+            .call("edit-distance-check", &[s.clone(), s.clone(), Value::Int64(1 << 40)])
+            .is_err());
+        // Non-numeric where a number is required.
+        assert!(r
+            .call("edit-distance-check", &[s.clone(), s.clone(), Value::from("two")])
+            .is_err());
+        // Type mismatches stay typed errors.
+        assert!(r.call("edit-distance", &[Value::Int64(1), s.clone()]).is_err());
+        assert!(r
+            .call("similarity-jaccard", &[Value::Int64(1), Value::Int64(2)])
+            .is_err());
+        // In-range values still work after the hardening.
+        assert_eq!(
+            r.call("edit-distance-check", &[s.clone(), Value::from("abd"), Value::Int64(1)]),
+            Ok(Value::Boolean(true))
+        );
     }
 
     #[test]

@@ -74,6 +74,57 @@ pub fn t_occurrence_scan_count<I: Eq + Hash + Clone>(lists: &[&[I]], t: usize) -
         .collect()
 }
 
+/// Reusable count table for [`t_occurrence_ranks`]: one dense `u32` slot
+/// per rank, grown to the universe size on first use and reset by walking
+/// only the touched slots, so steady-state probes allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct RankCountScratch {
+    counts: Vec<u32>,
+}
+
+impl RankCountScratch {
+    /// Empty scratch; the count table grows to the universe on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// ScanCount over dense-rank postings — the vectorized form of
+/// [`t_occurrence_scan_count`] used once record ids have been interned to
+/// ranks `0..universe`: counting is a dense-array increment instead of a
+/// hash-map probe, and candidates come back in the same first-encounter
+/// order as the scalar kernel. Every rank in `lists` must be `< universe`.
+pub fn t_occurrence_ranks(
+    lists: &[&[u32]],
+    t: usize,
+    universe: usize,
+    scratch: &mut RankCountScratch,
+) -> Vec<u32> {
+    assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
+    if scratch.counts.len() < universe {
+        scratch.counts.resize(universe, 0);
+    }
+    let counts = &mut scratch.counts;
+    let mut order: Vec<u32> = Vec::new();
+    for list in lists {
+        for &r in *list {
+            let c = &mut counts[r as usize];
+            if *c == 0 {
+                order.push(r);
+            }
+            *c += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for &r in &order {
+        if counts[r as usize] as usize >= t {
+            out.push(r);
+        }
+        counts[r as usize] = 0; // reset only the touched slots
+    }
+    out
+}
+
 /// Heap-based merge for *sorted* inverted lists: pops equal ids together and
 /// emits those reaching `t`. `O(total · log(#lists))`, no count table.
 pub fn t_occurrence_heap<I: Ord + Clone>(lists: &[&[I]], t: usize) -> Vec<I> {
@@ -148,7 +199,10 @@ const DIVIDE_SKIP_TINY_M: usize = 64;
 /// falling back to the simple `L = t - 1` rule for tiny inputs. `L` is
 /// always capped at `t - 1` (so the reduced threshold stays >= 1) and at
 /// `lists - 1` (at least one short list must remain).
-fn divide_skip_choose_l(t: usize, num_lists: usize, max_len: usize) -> usize {
+///
+/// Public so the rank-array path ([`t_occurrence_divide_skip_ranks`]) can
+/// reproduce exactly the split the scalar path would make.
+pub fn divide_skip_choose_l(t: usize, num_lists: usize, max_len: usize) -> usize {
     let cap = (t - 1).min(num_lists.saturating_sub(1));
     if max_len < DIVIDE_SKIP_TINY_M {
         return cap;
@@ -243,6 +297,62 @@ fn divide_skip_with_l<I: Ord + Clone + Hash>(
         }
     }
     (out, stats)
+}
+
+/// DivideSkip over dense-rank postings — the vectorized form of
+/// [`t_occurrence_divide_skip`]: the caller has already split the lists
+/// into `short` rank arrays and `long` lists represented as
+/// [`TokenBitset`]s (ordered longest-first, as the scalar split produces).
+/// Shorts are count-merged through the dense scratch with the reduced
+/// threshold `t - |long|`; survivors are verified by O(1) bitset membership
+/// instead of binary searches. With the same split, the candidate set and
+/// the first-encounter output order match the scalar algorithm exactly
+/// (inclusion is order-independent: the early probe cutoff only fires when
+/// even matching every remaining long list cannot reach `t`).
+pub fn t_occurrence_divide_skip_ranks(
+    short: &[&[u32]],
+    long: &[&crate::jaccard::TokenBitset],
+    t: usize,
+    universe: usize,
+    scratch: &mut RankCountScratch,
+) -> Vec<u32> {
+    assert!(t >= 1, "corner case (T <= 0) must be handled by a scan plan");
+    let l = long.len();
+    let reduced_t = t.saturating_sub(l).max(1);
+    if scratch.counts.len() < universe {
+        scratch.counts.resize(universe, 0);
+    }
+    let counts = &mut scratch.counts;
+    let mut order: Vec<u32> = Vec::new();
+    for list in short {
+        for &r in *list {
+            let c = &mut counts[r as usize];
+            if *c == 0 {
+                order.push(r);
+            }
+            *c += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for &r in &order {
+        let mut c = counts[r as usize] as usize;
+        counts[r as usize] = 0; // reset only the touched slots
+        if c < reduced_t {
+            continue;
+        }
+        for (probed, bs) in long.iter().enumerate() {
+            if c + (l - probed) < t {
+                break;
+            }
+            if bs.contains(r) {
+                c += 1;
+            }
+        }
+        if c >= t {
+            out.push(r);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -398,7 +508,65 @@ mod tests {
         );
     }
 
+    #[test]
+    fn ranks_kernel_first_encounter_order_and_reuse() {
+        let l1 = [4u32, 0, 2];
+        let l2 = [2u32, 4];
+        let lists: Vec<&[u32]> = vec![&l1, &l2];
+        let mut scratch = RankCountScratch::new();
+        assert_eq!(t_occurrence_ranks(&lists, 2, 5, &mut scratch), vec![4, 2]);
+        // Scratch resets between probes: a second, different probe through
+        // the same scratch is unaffected by the first.
+        let l3 = [0u32, 1];
+        let lists2: Vec<&[u32]> = vec![&l3, &l1];
+        assert_eq!(t_occurrence_ranks(&lists2, 2, 5, &mut scratch), vec![0]);
+    }
+
     proptest! {
+        /// Vectorized ≡ scalar: the dense-rank kernel returns exactly the
+        /// scalar ScanCount result, including first-encounter order.
+        #[test]
+        fn prop_ranks_equals_scan_count(
+            lists in prop::collection::vec(prop::collection::vec(0u32..40, 0..25), 0..6),
+            t in 1usize..4,
+        ) {
+            let refs: Vec<&[u32]> = lists.iter().map(|v| v.as_slice()).collect();
+            let mut scratch = RankCountScratch::new();
+            let fast = t_occurrence_ranks(&refs, t, 40, &mut scratch);
+            let slow = t_occurrence_scan_count(&refs, t);
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// Vectorized ≡ scalar: with the same long/short split as the
+        /// scalar heuristic, the rank-array DivideSkip returns exactly the
+        /// scalar result, including first-encounter output order.
+        #[test]
+        fn prop_divide_skip_ranks_equals_scalar(
+            lists in prop::collection::vec(prop::collection::btree_set(0u32..80, 0..30), 1..7),
+            t in 1usize..6,
+        ) {
+            let sorted: Vec<Vec<u32>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+            let refs: Vec<&[u32]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let expected = t_occurrence_divide_skip(&refs, t);
+
+            // Reproduce the scalar split: stable sort by descending length,
+            // first L lists are long.
+            let max_len = refs.iter().map(|l| l.len()).max().unwrap_or(0);
+            let l = divide_skip_choose_l(t, refs.len(), max_len);
+            let mut order: Vec<usize> = (0..refs.len()).collect();
+            order.sort_by_key(|i| std::cmp::Reverse(refs[*i].len()));
+            let (long_idx, short_idx) = order.split_at(l);
+            let shorts: Vec<&[u32]> = short_idx.iter().map(|i| refs[*i]).collect();
+            let bitsets: Vec<crate::jaccard::TokenBitset> = long_idx
+                .iter()
+                .map(|i| crate::jaccard::TokenBitset::build(refs[*i], 80))
+                .collect();
+            let bs_refs: Vec<&crate::jaccard::TokenBitset> = bitsets.iter().collect();
+            let mut scratch = RankCountScratch::new();
+            let fast = t_occurrence_divide_skip_ranks(&shorts, &bs_refs, t, 80, &mut scratch);
+            prop_assert_eq!(fast, expected);
+        }
+
         #[test]
         fn prop_divide_skip_equals_heap(
             lists in prop::collection::vec(prop::collection::btree_set(0u16..60, 0..25), 1..7),

@@ -22,6 +22,7 @@ use crate::lsm::LsmTree;
 use crate::StorageConfig;
 use asterix_adm::{binary, IndexKind, Value};
 use asterix_simfn::tokenize;
+use asterix_simfn::{RankCountScratch, TokenBitset};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -326,10 +327,73 @@ pub fn index_tokens(kind: IndexKind, field_value: &Value) -> Vec<Value> {
 struct PostingsCacheInner {
     /// token → (shared list, last-touch stamp for LRU eviction).
     map: HashMap<Value, (Arc<[Value]>, u64)>,
+    /// token → (dense-rank form of the posting list, touch stamp). Ranks
+    /// index [`PostingsCacheInner::pk_by_rank`]; the vectorized
+    /// T-occurrence path counts these with a dense array instead of
+    /// hashing `Value` primary keys per element.
+    ranks: HashMap<Value, (Arc<[u32]>, u64)>,
+    /// token → (bitset membership view of the posting list, touch stamp),
+    /// built lazily for the long lists DivideSkip probes: O(1) membership
+    /// per candidate instead of a binary search over `Value`s.
+    bitsets: HashMap<Value, (Arc<TokenBitset>, u64)>,
+    /// First-encounter primary-key interning for this generation:
+    /// rank → pk, and its inverse. Cleared with everything else whenever
+    /// the backing tree's generation moves.
+    pk_by_rank: Vec<Value>,
+    rank_of: HashMap<Value, u32>,
     /// Generation of the backing tree these entries were read at.
     generation: u64,
     /// Monotonic touch clock.
     clock: u64,
+}
+
+impl PostingsCacheInner {
+    /// Drop every generation-scoped structure (entries and rank dictionary).
+    fn clear_all(&mut self, generation: u64) {
+        self.map.clear();
+        self.ranks.clear();
+        self.bitsets.clear();
+        self.pk_by_rank.clear();
+        self.rank_of.clear();
+        self.generation = generation;
+    }
+
+    /// Intern one posting list to its dense-rank form, extending the pk
+    /// dictionary with first-encounter ranks.
+    fn rank_list(&mut self, list: &[Value]) -> Arc<[u32]> {
+        list.iter()
+            .map(|pk| match self.rank_of.get(pk) {
+                Some(r) => *r,
+                None => {
+                    let r = self.pk_by_rank.len() as u32;
+                    self.rank_of.insert(pk.clone(), r);
+                    self.pk_by_rank.push(pk.clone());
+                    r
+                }
+            })
+            .collect()
+    }
+
+    /// LRU-evict from a token-keyed map that reached `capacity`.
+    fn evict_lru<V>(map: &mut HashMap<Value, (V, u64)>, capacity: usize) {
+        if map.len() >= capacity {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-worker dense count table for the rank-array T-occurrence
+    /// kernels: grown once to the partition's pk universe, reset by
+    /// touched-slot walking, so steady-state probes allocate nothing.
+    static RANK_SCRATCH: std::cell::RefCell<RankCountScratch> =
+        std::cell::RefCell::new(RankCountScratch::new());
 }
 
 #[derive(Debug, Default)]
@@ -432,8 +496,7 @@ impl InvertedIndex {
             let mut inner = self.postings_cache.inner.lock();
             if inner.generation != generation {
                 // Any mutation since the entries were read: drop them all.
-                inner.map.clear();
-                inner.generation = generation;
+                inner.clear_all(generation);
             } else {
                 inner.clock += 1;
                 let stamp = inner.clock;
@@ -504,6 +567,141 @@ impl InvertedIndex {
             asterix_simfn::t_occurrence_divide_skip(&refs, t)
         } else {
             asterix_simfn::t_occurrence_scan_count(&refs, t)
+        };
+        crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
+        Ok(candidates)
+    }
+
+    /// Vectorized T-occurrence: posting lists are delivered as
+    /// `Arc<[u32]>` dense-rank arrays (interned per LSM generation inside
+    /// the postings cache) and counted with the rank kernels of
+    /// `asterix-simfn` — a dense count array for ScanCount, bitset
+    /// membership for DivideSkip's long-list probes — instead of hashing
+    /// or binary-searching `Value` primary keys per element. Picks the
+    /// same algorithm the scalar [`InvertedIndex::t_occurrence`] would and
+    /// returns the identical candidate list (same order); falls back to
+    /// the scalar path whenever the postings cache is disabled, the memory
+    /// budget refuses the rank arrays, or a concurrent mutation races the
+    /// probe.
+    pub fn t_occurrence_ranked(&self, tokens: &[Value], t: usize) -> Result<Vec<Value>, IoError> {
+        if self.postings_cache.capacity == 0 {
+            return self.t_occurrence(tokens, t);
+        }
+        // Shared Value lists first: this is where cache traffic and
+        // inverted_elements_read are counted, identically to the scalar path.
+        let lists: Vec<Arc<[Value]>> = tokens
+            .iter()
+            .map(|tok| self.postings_shared(tok))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&[Value]> = lists.iter().map(|l| &**l).collect();
+        let max_len = refs.iter().map(|l| l.len()).max().unwrap_or(0);
+        let use_divide_skip = t > 1 && refs.len() > 1 && max_len >= ADAPTIVE_DIVIDE_SKIP_MIN_LEN;
+
+        let generation = self.tree.generation();
+        let capacity = self.postings_cache.capacity;
+        // Intern posting lists to rank arrays under the cache lock.
+        let mut inner = self.postings_cache.inner.lock();
+        if inner.generation != generation {
+            inner.clear_all(generation);
+        }
+        let mut rank_lists: Vec<Arc<[u32]>> = Vec::with_capacity(lists.len());
+        for (tok, list) in tokens.iter().zip(&lists) {
+            inner.clock += 1;
+            let stamp = inner.clock;
+            if let Some(slot) = inner.ranks.get_mut(tok) {
+                slot.1 = stamp;
+                rank_lists.push(slot.0.clone());
+                continue;
+            }
+            let ranked = inner.rank_list(list.as_ref());
+            // Rank arrays cost 4 bytes/element; if the query's budget
+            // cannot absorb them, serve this probe through the scalar path.
+            if !crate::budget::try_charge_current(4 * ranked.len() as u64) {
+                drop(inner);
+                return self.t_occurrence_scalar_on(&refs, t, use_divide_skip);
+            }
+            if !inner.ranks.contains_key(tok) {
+                PostingsCacheInner::evict_lru(&mut inner.ranks, capacity);
+            }
+            inner.ranks.insert(tok.clone(), (ranked.clone(), stamp));
+            rank_lists.push(ranked);
+        }
+        let universe = inner.pk_by_rank.len();
+
+        let candidate_ranks = if use_divide_skip {
+            // Same split as the scalar heuristic: stable sort by
+            // descending length, first L lists are long.
+            let l = asterix_simfn::divide_skip_choose_l(t, rank_lists.len(), max_len);
+            let mut order: Vec<usize> = (0..rank_lists.len()).collect();
+            order.sort_by_key(|i| std::cmp::Reverse(rank_lists[*i].len()));
+            let (long_idx, short_idx) = order.split_at(l);
+            let mut long_sets: Vec<Arc<TokenBitset>> = Vec::with_capacity(long_idx.len());
+            for &li in long_idx {
+                inner.clock += 1;
+                let stamp = inner.clock;
+                let tok = &tokens[li];
+                if let Some(slot) = inner.bitsets.get_mut(tok) {
+                    slot.1 = stamp;
+                    long_sets.push(slot.0.clone());
+                    continue;
+                }
+                let bs = Arc::new(TokenBitset::build(&rank_lists[li], universe));
+                if !inner.bitsets.contains_key(tok) {
+                    PostingsCacheInner::evict_lru(&mut inner.bitsets, capacity);
+                }
+                inner.bitsets.insert(tok.clone(), (bs.clone(), stamp));
+                long_sets.push(bs);
+            }
+            drop(inner);
+            let shorts: Vec<&[u32]> = short_idx.iter().map(|i| &*rank_lists[*i]).collect();
+            let bs_refs: Vec<&TokenBitset> = long_sets.iter().map(|b| &**b).collect();
+            RANK_SCRATCH.with(|s| {
+                asterix_simfn::t_occurrence_divide_skip_ranks(
+                    &shorts,
+                    &bs_refs,
+                    t,
+                    universe,
+                    &mut s.borrow_mut(),
+                )
+            })
+        } else {
+            drop(inner);
+            let rank_refs: Vec<&[u32]> = rank_lists.iter().map(|l| &**l).collect();
+            RANK_SCRATCH.with(|s| {
+                asterix_simfn::t_occurrence_ranks(&rank_refs, t, universe, &mut s.borrow_mut())
+            })
+        };
+
+        // Map candidate ranks back to primary keys. If a mutation cleared
+        // the dictionary while the kernel ran, the ranks no longer resolve:
+        // redo this probe through the scalar path (the Arc'd lists are
+        // still a consistent snapshot).
+        let inner = self.postings_cache.inner.lock();
+        if inner.generation != generation {
+            drop(inner);
+            return self.t_occurrence_scalar_on(&refs, t, use_divide_skip);
+        }
+        let candidates: Vec<Value> = candidate_ranks
+            .iter()
+            .map(|&r| inner.pk_by_rank[r as usize].clone())
+            .collect();
+        drop(inner);
+        crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
+        Ok(candidates)
+    }
+
+    /// The scalar merge over already-fetched lists, with the adaptive
+    /// choice precomputed — the fallback target of the ranked path.
+    fn t_occurrence_scalar_on(
+        &self,
+        refs: &[&[Value]],
+        t: usize,
+        use_divide_skip: bool,
+    ) -> Result<Vec<Value>, IoError> {
+        let candidates = if use_divide_skip {
+            asterix_simfn::t_occurrence_divide_skip(refs, t)
+        } else {
+            asterix_simfn::t_occurrence_scan_count(refs, t)
         };
         crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
         Ok(candidates)
@@ -716,6 +914,86 @@ mod tests {
         assert_eq!(
             candidates,
             vec![Value::Int64(2), Value::Int64(3), Value::Int64(5)]
+        );
+    }
+
+    /// The rank-array path must return exactly the scalar candidates (same
+    /// order), across mutations (generation invalidation of the rank
+    /// dictionary) and on both adaptive branches.
+    #[test]
+    fn t_occurrence_ranked_equals_scalar() {
+        let mut idx = InvertedIndex::new(
+            cache(),
+            StorageConfig::tiny(),
+            "username",
+            IndexKind::NGram(2),
+        );
+        for (id, name) in [
+            (1i64, "james"),
+            (2, "mary"),
+            (3, "mario"),
+            (4, "jamie"),
+            (5, "maria"),
+        ] {
+            idx.insert(&record! {"id" => id, "username" => name}, &Value::Int64(id))
+                .unwrap();
+        }
+        let query_tokens: Vec<Value> = asterix_simfn::tokenize::gram_tokens_distinct("marla", 2)
+            .into_iter()
+            .map(Value::String)
+            .collect();
+        for t in 1..=3usize {
+            assert_eq!(
+                idx.t_occurrence_ranked(&query_tokens, t).unwrap(),
+                idx.t_occurrence(&query_tokens, t).unwrap(),
+                "t={t}"
+            );
+        }
+        // Mutate: the rank dictionary must invalidate with the generation.
+        idx.insert(
+            &record! {"id" => 9i64, "username" => "marla"},
+            &Value::Int64(9),
+        )
+        .unwrap();
+        assert_eq!(
+            idx.t_occurrence_ranked(&query_tokens, 2).unwrap(),
+            idx.t_occurrence(&query_tokens, 2).unwrap()
+        );
+        let ranked = idx.t_occurrence_ranked(&query_tokens, 2).unwrap();
+        assert!(ranked.contains(&Value::Int64(9)));
+    }
+
+    /// Skewed lists trigger the DivideSkip branch (some list >= 64 long);
+    /// the bitset-probed rank merge must match the scalar DivideSkip,
+    /// including candidate order.
+    #[test]
+    fn t_occurrence_ranked_divide_skip_branch_equals_scalar() {
+        let mut idx =
+            InvertedIndex::new(cache(), StorageConfig::tiny(), "summary", IndexKind::Keyword);
+        for id in 0..100i64 {
+            // "common" appears everywhere (list length 100 >= 64); rarer
+            // tokens on a few records each.
+            let text = format!("common rare{} rare{}", id % 7, id % 3);
+            idx.insert(&record! {"id" => id, "summary" => text.as_str()}, &Value::Int64(id))
+                .unwrap();
+        }
+        let tokens = [
+            Value::from("common"),
+            Value::from("rare2"),
+            Value::from("rare1"),
+        ];
+        for t in 2..=3usize {
+            assert_eq!(
+                idx.t_occurrence_ranked(&tokens, t).unwrap(),
+                idx.t_occurrence(&tokens, t).unwrap(),
+                "t={t}"
+            );
+        }
+        // Repeat probes are served from the cached rank arrays/bitsets and
+        // still agree.
+        assert_eq!(
+            idx.t_occurrence_ranked(&tokens, 2).unwrap(),
+            idx.t_occurrence(&tokens, 2).unwrap()
         );
     }
 

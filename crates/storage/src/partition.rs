@@ -20,7 +20,9 @@ pub enum SecondaryIndex {
     /// A plain B+-tree on one field (exact-match lookups).
     BTree(SecondaryBTreeIndex),
     /// A keyword or n-gram inverted index (similarity candidates).
-    Inverted(InvertedIndex),
+    /// Boxed: the inverted index (LSM tree + postings cache) dwarfs the
+    /// B+-tree variant, and partitions hold these in a map by name.
+    Inverted(Box<InvertedIndex>),
 }
 
 impl SecondaryIndex {
@@ -59,7 +61,7 @@ impl SecondaryIndex {
     /// Downcast to the inverted variant.
     pub fn as_inverted(&self) -> Option<&InvertedIndex> {
         match self {
-            SecondaryIndex::Inverted(i) => Some(i),
+            SecondaryIndex::Inverted(i) => Some(i.as_ref()),
             _ => None,
         }
     }
@@ -257,12 +259,12 @@ impl PartitionStore {
                 def.field.clone(),
             )),
             IndexKind::Keyword | IndexKind::NGram(_) => {
-                SecondaryIndex::Inverted(InvertedIndex::new(
+                SecondaryIndex::Inverted(Box::new(InvertedIndex::new(
                     self.cache.clone(),
                     self.config.clone(),
                     def.field.clone(),
                     def.kind,
-                ))
+                )))
             }
         };
         index.set_tag(format!(
@@ -413,6 +415,29 @@ impl PartitionStore {
                 )))
             })?;
         Ok(idx.t_occurrence(tokens, t)?)
+    }
+
+    /// [`PartitionStore::inverted_candidates`] through the vectorized
+    /// rank-array path: postings are interned to `Arc<[u32]>` dense-rank
+    /// arrays and counted with the rank kernels (same candidates, same
+    /// order; falls back to the scalar merge when the postings cache is
+    /// disabled or a mutation races the probe).
+    pub fn inverted_candidates_ranked(
+        &self,
+        index_name: &str,
+        tokens: &[Value],
+        t: usize,
+    ) -> Result<Vec<Value>, StorageError> {
+        let idx = self
+            .secondaries
+            .get(index_name)
+            .and_then(SecondaryIndex::as_inverted)
+            .ok_or_else(|| {
+                StorageError::Adm(AdmError::Schema(format!(
+                    "no inverted index named '{index_name}'"
+                )))
+            })?;
+        Ok(idx.t_occurrence_ranked(tokens, t)?)
     }
 
     /// Exact-match candidate lookup against a named B+-tree index.
