@@ -1,0 +1,41 @@
+//! Scratch profiler for the hotpath jac-join query (not part of the
+//! benchmark suite): prints the per-operator breakdown of the fully
+//! optimized variant so kernel work can be targeted.
+
+use asterix_core::{Instance, InstanceConfig, QueryOptions};
+use asterix_datagen::amazon_reviews;
+
+fn main() {
+    let records = 20_000;
+    let outer = 200;
+    let db = Instance::new(InstanceConfig::with_partitions(4));
+    db.create_dataset("AmazonReview", "id").unwrap();
+    db.load("AmazonReview", amazon_reviews(records, 42)).unwrap();
+    db.create_index(
+        "AmazonReview",
+        "summary_kw",
+        "summary",
+        asterix_adm::IndexKind::Keyword,
+    )
+    .unwrap();
+    db.flush("AmazonReview").unwrap();
+
+    let q = format!(
+        r#"for $o in dataset AmazonReview
+           for $i in dataset AmazonReview
+           where $o.id < {outer}
+             and similarity-jaccard(word-tokens($o.summary),
+                                    word-tokens($i.summary)) >= 0.8
+             and $o.id < $i.id
+           return {{"oid": $o.id, "iid": $i.id}}"#
+    );
+    let opts = QueryOptions {
+        profile: true,
+        ..QueryOptions::default()
+    };
+    db.query_with(&q, &opts).unwrap(); // warm
+    let r = db.query_with(&q, &opts).unwrap();
+    let p = r.profile.unwrap();
+    println!("execution: {:?}", r.execution_time);
+    println!("{}", p.render_text());
+}

@@ -264,6 +264,9 @@ struct HotpathVariant {
     toccurrence_candidates: u64,
     lsm_components_searched: u64,
     batch_frames: u64,
+    bitparallel_ed_calls: u64,
+    gallop_probes: u64,
+    scancount_fallbacks: u64,
 }
 
 impl HotpathVariant {
@@ -309,17 +312,27 @@ impl HotpathVariant {
                 int(self.lsm_components_searched),
             ),
             ("batch_frames".into(), int(self.batch_frames)),
+            (
+                "bitparallel_ed_calls".into(),
+                int(self.bitparallel_ed_calls),
+            ),
+            ("gallop_probes".into(), int(self.gallop_probes)),
+            (
+                "scancount_fallbacks".into(),
+                int(self.scancount_fallbacks),
+            ),
         ])
     }
 }
 
 /// The hot-path before/after benchmark (`hotpath`): every executor
 /// optimization (postings cache, batched sorted primary lookups, token
-/// memoization, compile-time pre-tokenization, batch-at-a-time execution
-/// with vectorized verify kernels) against a baseline with all of them
-/// off, on the same data, plus a "row" middle variant (hot path on,
-/// batching off) that isolates the batching win. Results are pinned
-/// identical across all three; the numbers go to `BENCH_hotpath.json`.
+/// memoization, compile-time pre-tokenization, batch-at-a-time execution,
+/// bit-parallel/galloping similarity kernels) against a baseline with all
+/// of them off, on the same data, plus two middle variants — "row" (hot
+/// path on, batching + kernels off) isolating the batching win, and
+/// "batched" (kernels off) isolating the kernel win. Results are pinned
+/// identical across all four; the numbers go to `BENCH_hotpath.json`.
 fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     use asterix_adm::Value;
     use asterix_bench::workloads::DatasetInfo;
@@ -329,7 +342,7 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     } else {
         cfg.amazon_records
     };
-    let iters: u64 = if quick { 2 } else { 3 };
+    let iters: u64 = if quick { 2 } else { 5 };
     let outer = if quick { 50 } else { 200 };
 
     // Two identically-loaded instances: the baseline one has the postings
@@ -362,21 +375,33 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     let base_w = build(Some(0));
     let opt_w = build(None);
 
-    // Baseline: per-tuple operators, no compile-time tokenization (plus
-    // the disabled postings cache above).
+    // Baseline: per-tuple operators, no compile-time tokenization, scalar
+    // kernels (plus the disabled postings cache above).
     let mut base_opts = options(|c| c.pre_tokenize = false);
     base_opts.profile = true;
     base_opts.disable_hotpath = true;
     base_opts.disable_batching = true;
-    let opt_opts = QueryOptions {
-        profile: true,
-        ..QueryOptions::default()
-    };
-    // Row variant: every hot-path optimization on, but operators exchange
-    // row frames and verify per tuple — isolates the batching win.
+    base_opts.disable_kernels = true;
+    // Row variant: hot-path optimizations on, but operators exchange row
+    // frames, verify per tuple, and use the scalar kernels — isolates the
+    // batching win against the next variant.
     let row_opts = QueryOptions {
         profile: true,
         disable_batching: true,
+        disable_kernels: true,
+        ..QueryOptions::default()
+    };
+    // Batched variant: batch-at-a-time execution with the scalar kernels
+    // pinned — isolates the kernel win against the full variant.
+    let batched_opts = QueryOptions {
+        profile: true,
+        disable_kernels: true,
+        ..QueryOptions::default()
+    };
+    // Kernels variant: everything on (bit-parallel edit distance,
+    // galloping T-occurrence intersection).
+    let opt_opts = QueryOptions {
+        profile: true,
         ..QueryOptions::default()
     };
 
@@ -422,20 +447,23 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
         ),
     ];
 
-    // One measurement: a warm-up run, then `iters` averaged runs. The
-    // warm-up populates the buffer and postings caches, so the measured
-    // runs are steady state for both variants.
+    // One measurement: a warm-up run, then the best (minimum) of `iters`
+    // timed runs. The warm-up populates the buffer and postings caches,
+    // so the measured runs are steady state for both variants; taking the
+    // minimum rather than the mean makes the report robust against
+    // scheduling noise from the host (one descheduled worker thread can
+    // double a single run's wall time).
     let measure = |w: &Workloads, opts: &QueryOptions, q: &str| -> (Vec<Value>, HotpathVariant) {
         let warm = w.db.query_with(q, opts).unwrap();
         let mut rows = warm.rows;
         rows.sort();
-        let mut exec_us = 0u64;
-        let mut ops_us = 0u64;
+        let mut exec_us = u64::MAX;
+        let mut ops_us = u64::MAX;
         let mut last = None;
         for _ in 0..iters {
             let r = w.db.query_with(q, opts).unwrap();
-            exec_us += r.execution_time.as_micros() as u64;
-            ops_us += index_ops_us(r.profile.as_ref().expect("profile requested"));
+            exec_us = exec_us.min(r.execution_time.as_micros() as u64);
+            ops_us = ops_us.min(index_ops_us(r.profile.as_ref().expect("profile requested")));
             last = Some(r);
         }
         let last = last.expect("at least one iteration");
@@ -443,8 +471,8 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
         (
             rows,
             HotpathVariant {
-                execution_time_us: exec_us / iters,
-                index_ops_time_us: ops_us / iters,
+                execution_time_us: exec_us,
+                index_ops_time_us: ops_us,
                 inverted_elements_read: p.index_search.inverted_elements_read,
                 postings_cache_hits: p.index_search.postings_cache_hits,
                 postings_cache_misses: p.index_search.postings_cache_misses,
@@ -454,6 +482,9 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
                 toccurrence_candidates: p.index_search.toccurrence_candidates,
                 lsm_components_searched: p.lsm.components_searched,
                 batch_frames: p.operators.iter().map(|o| o.batch_frames_emitted).sum(),
+                bitparallel_ed_calls: p.kernels.bitparallel_ed_calls,
+                gallop_probes: p.kernels.gallop_probes,
+                scancount_fallbacks: p.kernels.scancount_fallbacks,
             },
         )
     };
@@ -463,19 +494,26 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     for (name, q) in &specs {
         let (base_rows, base) = measure(&base_w, &base_opts, q);
         let (row_rows, row) = measure(&opt_w, &row_opts, q);
+        let (batched_rows, batched) = measure(&opt_w, &batched_opts, q);
         let (opt_rows, opt) = measure(&opt_w, &opt_opts, q);
-        // Property pin: neither the hot path nor batching may change any
-        // result row.
+        // Property pin: neither the hot path, batching, nor the kernels
+        // may change any result row.
         assert_eq!(
             base_rows, opt_rows,
             "hot path changed the results of {name}"
         );
         assert_eq!(row_rows, opt_rows, "batching changed the results of {name}");
+        assert_eq!(
+            batched_rows, opt_rows,
+            "kernels changed the results of {name}"
+        );
         let speedup = base.index_ops_time_us as f64 / opt.index_ops_time_us.max(1) as f64;
         let total_speedup =
             base.execution_time_us as f64 / opt.execution_time_us.max(1) as f64;
         let batch_speedup =
-            row.execution_time_us as f64 / opt.execution_time_us.max(1) as f64;
+            row.execution_time_us as f64 / batched.execution_time_us.max(1) as f64;
+        let kernel_speedup =
+            batched.execution_time_us as f64 / opt.execution_time_us.max(1) as f64;
         table.push(vec![
             name.to_string(),
             base_rows.len().to_string(),
@@ -487,6 +525,7 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
             format!("{speedup:.2}x"),
             format!("{total_speedup:.2}x"),
             format!("{batch_speedup:.2}x"),
+            format!("{kernel_speedup:.2}x"),
             format!(
                 "{} -> {}",
                 base.inverted_elements_read, opt.inverted_elements_read
@@ -507,10 +546,12 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
             ("results_identical".to_string(), Value::Boolean(true)),
             ("baseline".to_string(), base.to_json()),
             ("row".to_string(), row.to_json()),
-            ("optimized".to_string(), opt.to_json()),
+            ("batched".to_string(), batched.to_json()),
+            ("kernels".to_string(), opt.to_json()),
             ("index_ops_speedup".to_string(), Value::double(speedup)),
             ("total_speedup".to_string(), Value::double(total_speedup)),
             ("batch_speedup".to_string(), Value::double(batch_speedup)),
+            ("kernel_speedup".to_string(), Value::double(kernel_speedup)),
         ]));
     }
     let doc = Value::record(vec![
@@ -523,7 +564,7 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
     let json = asterix_adm::json::to_string(&doc);
     std::fs::write("BENCH_hotpath.json", &json).unwrap();
     print_table(
-        "Hot path: baseline (no cache, per-tuple ops) vs optimized",
+        "Hot path: baseline (no cache, per-tuple ops, scalar kernels) vs optimized",
         &[
             "Query",
             "Rows",
@@ -531,6 +572,7 @@ fn hotpath_report(cfg: &WorkloadConfig, quick: bool) {
             "Speedup",
             "Total",
             "Batch",
+            "Kernel",
             "Elements read",
             "Postings hit ratio",
         ],

@@ -309,6 +309,7 @@ impl PreparedQuery {
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
             disable_batching: options.disable_batching,
+            disable_kernels: options.disable_kernels,
             trace: None,
             pool: db.scheduler().map(|s| s.pool().clone()),
             cancel: None,

@@ -18,7 +18,9 @@ use asterix_storage::{
     BufferCache, CacheStats, Disk, LsmEventKind, Manifest, PartitionStore, QueryCounters, Trace,
     WalConfig,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +44,111 @@ struct DurabilityState {
     recovery: RecoveryStats,
 }
 
+/// A compiled plan plus LRU bookkeeping: `stamp` is the clock value of
+/// the most recent hit, used for least-recently-used eviction.
+struct CachedPlan {
+    job: Arc<JobSpec>,
+    plan: PlanInfo,
+    stamp: u64,
+}
+
+struct PlanCacheInner {
+    map: HashMap<String, CachedPlan>,
+    /// Monotonic access clock for LRU stamps.
+    clock: u64,
+    /// Bumped on every DDL; a compile that started under an older
+    /// generation is never installed (it may reference dropped indexes).
+    generation: u64,
+}
+
+/// Memoizes parse → optimize → jobgen keyed on (optimizer fingerprint,
+/// query text). `set simfunction` / `set simthreshold` live inside the
+/// query text, so they need no extra key component. Invalidated
+/// wholesale on any DDL or UDF registration.
+struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Plans are small (operator trees, not data); 128 entries comfortably
+/// covers a benchmark's worth of distinct query texts.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                map: HashMap::new(),
+                clock: 0,
+                generation: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current DDL generation; pass it back to [`PlanCache::install`].
+    fn generation(&self) -> u64 {
+        self.inner.lock().generation
+    }
+
+    /// Look up a compiled plan, refreshing its LRU stamp on a hit.
+    fn get(&self, key: &str) -> Option<(Arc<JobSpec>, PlanInfo)> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.job.clone(), entry.plan.clone()))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Install a freshly compiled plan, unless a DDL ran since the
+    /// compile started (the plan may bake in a stale catalog).
+    fn install(&self, key: String, job: Arc<JobSpec>, plan: PlanInfo, generation: u64) {
+        let mut inner = self.inner.lock();
+        if inner.generation != generation {
+            return;
+        }
+        if inner.map.len() >= PLAN_CACHE_CAPACITY && !inner.map.contains_key(&key) {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(key, CachedPlan { job, plan, stamp });
+    }
+
+    /// Drop every cached plan and bump the generation (DDL barrier).
+    fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.generation += 1;
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// A simulated AsterixDB cluster instance.
 pub struct Instance {
     ctx: ClusterContext,
@@ -59,6 +166,9 @@ pub struct Instance {
     /// WAL + manifest per partition; `None` on in-memory instances
     /// (`DurabilityConfig::data_dir == None`).
     durability: Option<DurabilityState>,
+    /// Compiled-plan cache (parse → optimize → jobgen memoized per query
+    /// text + optimizer fingerprint), invalidated on DDL.
+    plan_cache: PlanCache,
 }
 
 impl Instance {
@@ -122,6 +232,7 @@ impl Instance {
             telemetry,
             scheduler,
             durability: None,
+            plan_cache: PlanCache::new(),
         };
         if let Some(root) = data_dir {
             instance.recover(&root, &disks)?;
@@ -373,6 +484,8 @@ impl Instance {
         F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
     {
         self.ctx.registry.register(name, f);
+        // Cached plans may have resolved (or failed to resolve) this name.
+        self.plan_cache.invalidate();
     }
 
     /// `create dataset <name> primary key <pk>`.
@@ -392,6 +505,7 @@ impl Instance {
         }
         catalog.add(def);
         drop(catalog);
+        self.plan_cache.invalidate();
         // DDL is durable immediately (per-partition manifest commit), so
         // the WAL only ever carries DML and replay never meets an unknown
         // dataset.
@@ -420,6 +534,7 @@ impl Instance {
                 .ok_or_else(|| CoreError::Schema(format!("unknown dataset '{dataset}'")))?;
             ds.add_index(def.clone())?;
         }
+        self.plan_cache.invalidate();
         let started = Instant::now();
         let mut records = 0u64;
         // Parallel backfill: one thread per partition, as a bulk-load job
@@ -472,6 +587,7 @@ impl Instance {
                 )));
             }
         }
+        self.plan_cache.invalidate();
         for pset in &self.ctx.partitions {
             let mut set = pset.write();
             if let Some(store) = set.store_mut(dataset) {
@@ -863,6 +979,8 @@ impl Instance {
                 None => SchedulerSnapshot::default(),
             },
             durability,
+            plan_cache_hits: self.plan_cache.hits(),
+            plan_cache_misses: self.plan_cache.misses(),
         }
     }
 
@@ -932,6 +1050,38 @@ impl Instance {
         Ok((job, plan))
     }
 
+    /// [`Instance::compile`] behind the plan cache: a hit skips parse,
+    /// optimize, and job generation entirely. The cache key covers the
+    /// query text plus the per-query optimizer override (the `set
+    /// simfunction`/`set simthreshold` pragmas are part of the text).
+    fn compile_cached(
+        &self,
+        aql: &str,
+        options: &QueryOptions,
+        trace: Option<&Arc<Trace>>,
+    ) -> Result<(Arc<JobSpec>, PlanInfo), CoreError> {
+        if options.disable_plan_cache {
+            let (job, plan) = self.compile(aql, options, trace)?;
+            return Ok((Arc::new(job), plan));
+        }
+        let key = format!("{:?}\u{0}{aql}", options.optimizer);
+        if let Some(hit) = self.plan_cache.get(&key) {
+            // Mark the hit in the trace: the compile-stage spans (parse,
+            // translate, optimize, jobgen) are intentionally absent.
+            let _s = trace.map(|t| t.span("plan-cache"));
+            return Ok(hit);
+        }
+        // Snapshot the DDL generation *before* reading the catalog, so a
+        // plan compiled against a catalog that changed mid-compile is
+        // never installed.
+        let generation = self.plan_cache.generation();
+        let (job, plan) = self.compile(aql, options, trace)?;
+        let job = Arc::new(job);
+        self.plan_cache
+            .install(key, job.clone(), plan.clone(), generation);
+        Ok((job, plan))
+    }
+
     /// Run an AQL query with per-query optimizer overrides.
     pub fn query_with(&self, aql: &str, options: &QueryOptions) -> Result<QueryResult, CoreError> {
         // One trace per query when telemetry is on; the "query" root span
@@ -942,7 +1092,7 @@ impl Instance {
         let query_span = trace.as_ref().map(|t| t.span("query"));
 
         let compile_started = Instant::now();
-        let (job, plan) = match self.compile(aql, options, trace.as_ref()) {
+        let (job, plan) = match self.compile_cached(aql, options, trace.as_ref()) {
             Ok(compiled) => compiled,
             Err(e) => {
                 if let Some(t) = &self.telemetry {
@@ -1001,6 +1151,7 @@ impl Instance {
             counters: counters.clone(),
             disable_hotpath: options.disable_hotpath,
             disable_batching: options.disable_batching,
+            disable_kernels: options.disable_kernels,
             trace: trace
                 .clone()
                 .zip(exec_span.as_ref().map(|s| s.id())),

@@ -43,7 +43,9 @@ pub use config::{DurabilityConfig, InstanceConfig, TelemetryConfig};
 pub use durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};
 pub use error::CoreError;
 pub use instance::{IndexBuildStats, Instance};
-pub use profile::{CacheProfile, IndexSearchProfile, LsmProfile, OpProfile, QueryProfile};
+pub use profile::{
+    CacheProfile, IndexSearchProfile, KernelProfile, LsmProfile, OpProfile, QueryProfile,
+};
 pub use result::{PlanInfo, QueryOptions, QueryResult};
 pub use scheduler::{AdmissionPermit, QueryScheduler, SchedulerSnapshot};
 pub use telemetry::{

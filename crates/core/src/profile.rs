@@ -107,6 +107,22 @@ pub struct IndexSearchProfile {
     pub post_verification_survivors: u64,
 }
 
+/// Similarity-kernel activity of one query: how much of the verify and
+/// candidate-generation work ran through the optimized kernels versus
+/// the scalar fallbacks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Edit-distance verifications answered by the Myers bit-parallel
+    /// kernel (the remainder used the banded scalar DP).
+    pub bitparallel_ed_calls: u64,
+    /// Galloping (exponential-probe) binary searches performed by the
+    /// full-intersection T-occurrence path.
+    pub gallop_probes: u64,
+    /// T-occurrence searches that fell back to the ScanCount kernel
+    /// (threshold below list count, or kernels disabled).
+    pub scancount_fallbacks: u64,
+}
+
 /// LSM activity: per-query component probes plus instance-lifetime
 /// flush/merge totals (queries never flush; the totals give context on
 /// how fragmented the trees were when the query ran).
@@ -129,6 +145,8 @@ pub struct QueryProfile {
     pub cache: CacheProfile,
     /// Index-search funnel counters attributed to this query.
     pub index_search: IndexSearchProfile,
+    /// Similarity-kernel counters attributed to this query.
+    pub kernels: KernelProfile,
     /// LSM probes plus instance-lifetime flush/merge context.
     pub lsm: LsmProfile,
     /// Optimizer rule firings, in application order, with counts.
@@ -204,6 +222,11 @@ impl QueryProfile {
                 toccurrence_candidates: storage.toccurrence_candidates,
                 primary_lookups: storage.primary_lookups,
                 post_verification_survivors: survivors,
+            },
+            kernels: KernelProfile {
+                bitparallel_ed_calls: storage.bitparallel_ed_calls,
+                gallop_probes: storage.gallop_probes,
+                scancount_fallbacks: storage.scancount_fallbacks,
             },
             lsm: LsmProfile {
                 components_searched: storage.lsm_components_searched,
@@ -304,6 +327,23 @@ impl QueryProfile {
                 ]),
             ),
             (
+                "kernels".into(),
+                Value::record(vec![
+                    (
+                        "bitparallel_ed_calls".into(),
+                        Value::Int64(self.kernels.bitparallel_ed_calls as i64),
+                    ),
+                    (
+                        "gallop_probes".into(),
+                        Value::Int64(self.kernels.gallop_probes as i64),
+                    ),
+                    (
+                        "scancount_fallbacks".into(),
+                        Value::Int64(self.kernels.scancount_fallbacks as i64),
+                    ),
+                ]),
+            ),
+            (
                 "lsm".into(),
                 Value::record(vec![
                     (
@@ -388,6 +428,12 @@ impl QueryProfile {
             self.index_search.postings_cache_hits, self.index_search.postings_cache_misses,
         ));
         out.push_str(&format!(
+            "kernels: {} bit-parallel ed calls, {} gallop probes, {} scancount fallbacks\n",
+            self.kernels.bitparallel_ed_calls,
+            self.kernels.gallop_probes,
+            self.kernels.scancount_fallbacks,
+        ));
+        out.push_str(&format!(
             "lsm: {} components searched ({} flushes, {} merges lifetime)\n",
             self.lsm.components_searched, self.lsm.total_flushes, self.lsm.total_merges,
         ));
@@ -440,6 +486,7 @@ mod tests {
             operators: Vec::new(),
             cache: CacheProfile::default(),
             index_search: IndexSearchProfile::default(),
+            kernels: KernelProfile::default(),
             lsm: LsmProfile::default(),
             rule_trace: Vec::new(),
             compile_time: Duration::ZERO,
@@ -460,6 +507,10 @@ mod tests {
             "\"toccurrence_candidates\"",
             "\"primary_lookups\"",
             "\"post_verification_survivors\"",
+            "\"kernels\"",
+            "\"bitparallel_ed_calls\"",
+            "\"gallop_probes\"",
+            "\"scancount_fallbacks\"",
             "\"lsm\"",
             "\"components_searched\"",
             "\"total_flushes\"",

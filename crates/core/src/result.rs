@@ -29,6 +29,16 @@ pub struct QueryOptions {
     /// either way; benchmarks flip this to measure batch execution
     /// against the row baseline.
     pub disable_batching: bool,
+    /// Keep batch execution but pin the scalar similarity kernels: banded
+    /// DP instead of Myers bit-parallel edit distance, rank/count
+    /// T-occurrence merging instead of the full-intersection gallop.
+    /// Results are identical either way; benchmarks flip this to measure
+    /// the kernels against the batched-but-scalar baseline.
+    pub disable_kernels: bool,
+    /// Skip the instance's compiled-plan cache for this query: always
+    /// parse → optimize → generate the job afresh, and do not install the
+    /// result. Results are identical either way.
+    pub disable_plan_cache: bool,
     /// Override the instance's slow-query threshold for this query: if
     /// its execution time meets or exceeds this, the telemetry layer
     /// captures the full plan + profile + spans into the slow-query log.

@@ -253,6 +253,9 @@ struct StorageTotals {
     lsm_components_searched: AtomicU64,
     postings_cache_hits: AtomicU64,
     postings_cache_misses: AtomicU64,
+    bitparallel_ed_calls: AtomicU64,
+    gallop_probes: AtomicU64,
+    scancount_fallbacks: AtomicU64,
 }
 
 impl StorageTotals {
@@ -271,6 +274,11 @@ impl StorageTotals {
             .fetch_add(p.postings_cache_hits, Ordering::Relaxed);
         self.postings_cache_misses
             .fetch_add(p.postings_cache_misses, Ordering::Relaxed);
+        self.bitparallel_ed_calls
+            .fetch_add(p.bitparallel_ed_calls, Ordering::Relaxed);
+        self.gallop_probes.fetch_add(p.gallop_probes, Ordering::Relaxed);
+        self.scancount_fallbacks
+            .fetch_add(p.scancount_fallbacks, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> StorageProfile {
@@ -284,6 +292,9 @@ impl StorageTotals {
             lsm_components_searched: self.lsm_components_searched.load(Ordering::Relaxed),
             postings_cache_hits: self.postings_cache_hits.load(Ordering::Relaxed),
             postings_cache_misses: self.postings_cache_misses.load(Ordering::Relaxed),
+            bitparallel_ed_calls: self.bitparallel_ed_calls.load(Ordering::Relaxed),
+            gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
+            scancount_fallbacks: self.scancount_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -539,6 +550,10 @@ pub struct InstanceGauges {
     /// WAL/fsync/recovery counters; all-zero with `enabled == false` on
     /// in-memory instances.
     pub durability: crate::durability::DurabilityGauges,
+    /// Compiled-plan cache hits since instance start.
+    pub plan_cache_hits: u64,
+    /// Compiled-plan cache misses since instance start.
+    pub plan_cache_misses: u64,
 }
 
 /// LSM gauges of one dataset's indexes.
@@ -814,6 +829,40 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "kernels".into(),
+                Value::record(vec![
+                    (
+                        "bitparallel_ed_calls".into(),
+                        Value::Int64(self.storage.bitparallel_ed_calls as i64),
+                    ),
+                    (
+                        "gallop_probes".into(),
+                        Value::Int64(self.storage.gallop_probes as i64),
+                    ),
+                    (
+                        "scancount_fallbacks".into(),
+                        Value::Int64(self.storage.scancount_fallbacks as i64),
+                    ),
+                ]),
+            ),
+        ]);
+        let plan_cache = Value::record(vec![
+            (
+                "hits".into(),
+                Value::Int64(self.gauges.plan_cache_hits as i64),
+            ),
+            (
+                "misses".into(),
+                Value::Int64(self.gauges.plan_cache_misses as i64),
+            ),
+            (
+                "hit_ratio".into(),
+                Value::double(ratio(
+                    self.gauges.plan_cache_hits,
+                    self.gauges.plan_cache_misses,
+                )),
+            ),
         ]);
         let datasets = Value::OrderedList(
             self.gauges
@@ -984,6 +1033,7 @@ impl MetricsSnapshot {
             ("partitions".into(), partitions),
             ("scheduler".into(), scheduler),
             ("storage".into(), storage),
+            ("plan_cache".into(), plan_cache),
             ("lsm".into(), lsm),
             ("durability".into(), durability),
             ("slow_queries".into(), slow),
@@ -1097,6 +1147,26 @@ impl MetricsSnapshot {
         line(format!(
             "# TYPE asterix_postings_cache_misses_total counter\nasterix_postings_cache_misses_total {}",
             self.storage.postings_cache_misses
+        ));
+        line(format!(
+            "# TYPE asterix_bitparallel_ed_calls_total counter\nasterix_bitparallel_ed_calls_total {}",
+            self.storage.bitparallel_ed_calls
+        ));
+        line(format!(
+            "# TYPE asterix_gallop_probes_total counter\nasterix_gallop_probes_total {}",
+            self.storage.gallop_probes
+        ));
+        line(format!(
+            "# TYPE asterix_scancount_fallbacks_total counter\nasterix_scancount_fallbacks_total {}",
+            self.storage.scancount_fallbacks
+        ));
+        line(format!(
+            "# TYPE asterix_plan_cache_hits_total counter\nasterix_plan_cache_hits_total {}",
+            self.gauges.plan_cache_hits
+        ));
+        line(format!(
+            "# TYPE asterix_plan_cache_misses_total counter\nasterix_plan_cache_misses_total {}",
+            self.gauges.plan_cache_misses
         ));
         line(format!(
             "# TYPE asterix_lsm_flushes_total counter\nasterix_lsm_flushes_total {}",
@@ -1335,6 +1405,11 @@ mod tests {
             "hit_ratio",
             "index_funnel",
             "inverted_elements_read",
+            "kernels",
+            "bitparallel_ed_calls",
+            "gallop_probes",
+            "scancount_fallbacks",
+            "plan_cache",
             "events_recorded",
             "event_ring",
             "durability",
@@ -1382,6 +1457,7 @@ mod tests {
             operators: Vec::new(),
             cache: Default::default(),
             index_search: Default::default(),
+            kernels: Default::default(),
             lsm: Default::default(),
             rule_trace: Vec::new(),
             compile_time: Duration::ZERO,

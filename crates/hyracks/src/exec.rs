@@ -67,6 +67,13 @@ pub struct JobOptions {
     /// row-at-a-time path. Results are identical either way; this exists
     /// so benchmarks can measure vectorization against a true baseline.
     pub disable_batching: bool,
+    /// Disable the bit-parallel / galloping similarity kernels (Myers
+    /// edit distance in the verify kernels, full-intersection gallop in
+    /// the T-occurrence merge), pinning the scalar banded-DP and
+    /// rank/count merges the batched path used before. Results are
+    /// identical either way; this exists so benchmarks can measure the
+    /// kernels against the batched-but-scalar baseline.
+    pub disable_kernels: bool,
     /// Per-query trace plus the span id to parent operator spans under
     /// (the caller's `execute` span). When set, every operator partition
     /// records one span with its wall time.
@@ -240,6 +247,7 @@ fn run_task(
             crate::ops::OpFlags {
                 disable_hotpath: shared.options.disable_hotpath,
                 disable_batching: shared.options.disable_batching,
+                disable_kernels: shared.options.disable_kernels,
             },
         )
     }));

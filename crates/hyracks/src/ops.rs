@@ -10,7 +10,9 @@ use crate::context::ClusterContext;
 use crate::error::{CancelToken, ExecError, OpError};
 use crate::expr::sql_compare;
 use crate::job::{AggSpec, ConnectorKind, FaultMode, PhysicalOp, PreTokenized, SearchMeasure};
-use crate::tuple::{compare_tuples, BatchSlice, Frame, FrameRows, Tuple, FRAME_CAPACITY};
+use crate::tuple::{
+    compare_tuples, Batch, BatchSlice, Column, Frame, FrameRows, SortKey, Tuple, FRAME_CAPACITY,
+};
 use crate::vectorized::VerifyKernel;
 use asterix_adm::{stable_hash_many, IndexKind, Value};
 use asterix_simfn::{edit_distance_t_bound, jaccard_t_bound};
@@ -450,6 +452,11 @@ pub struct OpFlags {
     /// vectorized verify kernels, no rank-array T-occurrence. Results are
     /// identical either way.
     pub disable_batching: bool,
+    /// Keep batch execution but pin the scalar similarity kernels: banded
+    /// DP instead of Myers bit-parallel edit distance, rank/count
+    /// T-occurrence merging instead of the full-intersection gallop.
+    /// Results are identical either way.
+    pub disable_kernels: bool,
 }
 
 /// Emit accumulated rows as one batch frame; ragged rows (never produced
@@ -550,7 +557,7 @@ pub fn run_operator(
             let mut kernel = if flags.disable_batching {
                 None
             } else {
-                VerifyKernel::compile(predicate)
+                VerifyKernel::compile_with(predicate, !flags.disable_kernels)
             };
             for frame in recv_frames(&inputs[0], cancel) {
                 match frame? {
@@ -591,52 +598,137 @@ pub fn run_operator(
         }
         PhysicalOp::Assign { exprs } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0], cancel) {
-                let mut t = t?;
-                consumed += 1;
-                let base = t.clone();
-                for e in exprs {
-                    t.push(e.eval(&base, reg)?);
+            if flags.disable_batching {
+                for t in recv_tuples(&inputs[0], cancel) {
+                    let mut t = t?;
+                    consumed += 1;
+                    let vals: Vec<Value> = exprs
+                        .iter()
+                        .map(|e| e.eval(&t, reg))
+                        .collect::<Result<_, _>>()?;
+                    t.extend(vals);
+                    out.push(t)?;
                 }
-                out.push(t)?;
+                return Ok((consumed, out.finish()?));
+            }
+            for frame in recv_frames(&inputs[0], cancel) {
+                match frame? {
+                    Frame::Batch(slice) => {
+                        consumed += slice.len() as u64;
+                        if slice.is_empty() {
+                            continue;
+                        }
+                        // Keep the input columns shared (record cells stay
+                        // behind their `Arc`s) and append one value column
+                        // per expression, evaluated straight against the
+                        // batch so field access never deep-clones a record.
+                        let src = slice.batch.as_ref();
+                        let all: Vec<usize> = (0..src.width()).collect();
+                        let picks: Vec<(u32, u32)> = (0..slice.len())
+                            .map(|pos| (0, slice.row_index(pos) as u32))
+                            .collect();
+                        let mut b = Batch::gather(&[src], &picks, &all)
+                            .map_err(|e| OpError::Failed(format!("assign: {e}")))?;
+                        for e in exprs {
+                            let mut vals = Vec::with_capacity(slice.len());
+                            for pos in 0..slice.len() {
+                                vals.push(crate::vectorized::eval_expr_on_batch(
+                                    e,
+                                    src,
+                                    slice.row_index(pos),
+                                    reg,
+                                )?);
+                            }
+                            b.push_col(Column::from_values(vals))
+                                .map_err(|e| OpError::Failed(format!("assign: {e}")))?;
+                        }
+                        out.push_slice(&BatchSlice::full(Arc::new(b)))?;
+                    }
+                    Frame::Rows(rows) => {
+                        for mut t in rows {
+                            consumed += 1;
+                            let vals: Vec<Value> = exprs
+                                .iter()
+                                .map(|e| e.eval(&t, reg))
+                                .collect::<Result<_, _>>()?;
+                            t.extend(vals);
+                            out.push(t)?;
+                        }
+                    }
+                }
             }
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::Project { cols } => {
             let mut out = out;
-            for t in recv_tuples(&inputs[0], cancel) {
-                let t = t?;
-                consumed += 1;
-                let mut row = Vec::with_capacity(cols.len());
-                for c in cols {
-                    row.push(col_ref(&t, *c, "project")?.clone());
+            if flags.disable_batching {
+                for t in recv_tuples(&inputs[0], cancel) {
+                    let t = t?;
+                    consumed += 1;
+                    let mut row = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        row.push(col_ref(&t, *c, "project")?.clone());
+                    }
+                    out.push(row)?;
                 }
-                out.push(row)?;
+                return Ok((consumed, out.finish()?));
+            }
+            // Batch path: gather only the projected columns — dropped
+            // columns (most importantly the full record after the verify)
+            // are never materialized row-wise at all.
+            for frame in recv_frames(&inputs[0], cancel) {
+                match frame? {
+                    Frame::Batch(slice) => {
+                        consumed += slice.len() as u64;
+                        if slice.is_empty() {
+                            continue;
+                        }
+                        let picks: Vec<(u32, u32)> = (0..slice.len())
+                            .map(|pos| (0, slice.row_index(pos) as u32))
+                            .collect();
+                        let b = Batch::gather(&[slice.batch.as_ref()], &picks, cols)
+                            .map_err(|e| OpError::Failed(format!("project: {e}")))?;
+                        out.push_slice(&BatchSlice::full(Arc::new(b)))?;
+                    }
+                    Frame::Rows(rows) => {
+                        for t in rows {
+                            consumed += 1;
+                            let mut row = Vec::with_capacity(cols.len());
+                            for c in cols {
+                                row.push(col_ref(&t, *c, "project")?.clone());
+                            }
+                            out.push(row)?;
+                        }
+                    }
+                }
             }
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::Sort { keys } => {
             let mut out = out;
-            let mut all = drain_all(&inputs[0], cancel)?;
-            consumed = all.len() as u64;
-            // Validate key columns up front: `compare_tuples` indexes
-            // directly, so a malformed plan must fail typed, not panic.
-            let min_width = all.iter().map(Vec::len).min().unwrap_or(0);
-            if !all.is_empty() {
-                for k in keys {
-                    if k.col >= min_width {
-                        return Err(OpError::Failed(format!(
-                            "sort: key column {} out of bounds (narrowest tuple width {min_width})",
-                            k.col
-                        )));
+            if flags.disable_batching {
+                let mut all = drain_all(&inputs[0], cancel)?;
+                consumed = all.len() as u64;
+                // Validate key columns up front: `compare_tuples` indexes
+                // directly, so a malformed plan must fail typed, not panic.
+                let min_width = all.iter().map(Vec::len).min().unwrap_or(0);
+                if !all.is_empty() {
+                    for k in keys {
+                        if k.col >= min_width {
+                            return Err(OpError::Failed(format!(
+                                "sort: key column {} out of bounds (narrowest tuple width {min_width})",
+                                k.col
+                            )));
+                        }
                     }
                 }
+                all.sort_by(|a, b| compare_tuples(a, b, keys));
+                for t in all {
+                    out.push(t)?;
+                }
+                return Ok((consumed, out.finish()?));
             }
-            all.sort_by(|a, b| compare_tuples(a, b, keys));
-            for t in all {
-                out.push(t)?;
-            }
-            Ok((consumed, out.finish()?))
+            run_batch_sort(keys, &inputs[0], out, cancel, &mut consumed)
         }
         PhysicalOp::HashJoin {
             left_keys,
@@ -749,26 +841,58 @@ pub fn run_operator(
             // `u32` rank arrays merged by the vectorized T-occurrence
             // kernels; candidates (and their order) are identical.
             let ranked = !flags.disable_batching;
-            let mut pending: Vec<Tuple> = Vec::new();
+            // Candidate rows repeat the probe tuple once per candidate:
+            // build them column-wise, so each repeat costs arena/vector
+            // appends instead of a cloned tuple plus a transpose.
+            let mut builder: Option<crate::tuple::BatchBuilder> = None;
             for t in recv_tuples(&inputs[0], cancel) {
                 let t = t?;
                 consumed += 1;
                 let key = col_ref(&t, *key_col, "secondary-index-search")?;
-                let candidates = index_candidates(store, index, key, measure, &mut memo, ranked)?;
-                for pk in candidates {
-                    let mut row = t.clone();
-                    row.push(pk);
-                    if flags.disable_batching {
+                let candidates = index_candidates(
+                    store,
+                    index,
+                    key,
+                    measure,
+                    &mut memo,
+                    ranked,
+                    !flags.disable_kernels,
+                )?;
+                if flags.disable_batching {
+                    for pk in candidates {
+                        let mut row = t.clone();
+                        row.push(pk);
                         out.push(row)?;
-                    } else {
-                        pending.push(row);
-                        if pending.len() >= FRAME_CAPACITY {
-                            push_rows_batched(&mut out, &mut pending)?;
+                    }
+                    continue;
+                }
+                // A probe width change (ragged upstream) flushes the
+                // accumulated batch and restarts at the new width.
+                if let Some(prev) = builder
+                    .as_mut()
+                    .filter(|b| b.width() != t.len() + 1)
+                    .and_then(|b| b.take_batch())
+                {
+                    out.push_slice(&BatchSlice::full(Arc::new(prev)))?;
+                }
+                if builder.as_ref().is_some_and(|b| b.width() != t.len() + 1) {
+                    builder = None;
+                }
+                let b = builder
+                    .get_or_insert_with(|| crate::tuple::BatchBuilder::new(t.len() + 1));
+                for pk in candidates {
+                    b.push_row(t.iter().chain(std::iter::once(&pk)))
+                        .map_err(OpError::Failed)?;
+                    if b.len() >= FRAME_CAPACITY {
+                        if let Some(batch) = b.take_batch() {
+                            out.push_slice(&BatchSlice::full(Arc::new(batch)))?;
                         }
                     }
                 }
             }
-            push_rows_batched(&mut out, &mut pending)?;
+            if let Some(batch) = builder.as_mut().and_then(|b| b.take_batch()) {
+                out.push_slice(&BatchSlice::full(Arc::new(batch)))?;
+            }
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::PrimaryIndexLookup { dataset, pk_col } => {
@@ -790,45 +914,131 @@ pub fn run_operator(
                 }
                 return Ok((consumed, out.finish()?));
             }
-            // Drain a frame's worth of candidates, resolve their pks as
-            // one sorted deduped batch (one merged pass per LSM component,
-            // §4.1.1), then re-emit in input order.
-            let mut stream = recv_tuples(&inputs[0], cancel);
-            let mut batch: Vec<Tuple> = Vec::with_capacity(FRAME_CAPACITY);
-            let mut pending: Vec<Tuple> = Vec::new();
-            loop {
-                let mut ended = true;
-                for t in stream.by_ref() {
-                    batch.push(t?);
-                    consumed += 1;
-                    if batch.len() >= FRAME_CAPACITY {
-                        ended = false;
+            if flags.disable_batching {
+                // Drain a frame's worth of candidates, resolve their pks
+                // as one sorted deduped batch (one merged pass per LSM
+                // component, §4.1.1), then re-emit in input order.
+                let mut stream = recv_tuples(&inputs[0], cancel);
+                let mut batch: Vec<Tuple> = Vec::with_capacity(FRAME_CAPACITY);
+                // Operator-lifetime sort scratch: `batch` drains in place
+                // and `pks` clears, so steady-state batches reuse both
+                // allocations instead of growing fresh buffers per batch.
+                let mut pks: Vec<Value> = Vec::with_capacity(FRAME_CAPACITY);
+                loop {
+                    let mut ended = true;
+                    for t in stream.by_ref() {
+                        batch.push(t?);
+                        consumed += 1;
+                        if batch.len() >= FRAME_CAPACITY {
+                            ended = false;
+                            break;
+                        }
+                    }
+                    if !batch.is_empty() {
+                        pks.clear();
+                        for t in &batch {
+                            pks.push(col_ref(t, *pk_col, "primary-index-lookup")?.clone());
+                        }
+                        pks.sort();
+                        pks.dedup();
+                        let records = store.primary().get_many_sorted(&pks)?;
+                        for mut t in batch.drain(..) {
+                            let i = match pks.binary_search(&t[*pk_col]) {
+                                Ok(i) => i,
+                                Err(_) => {
+                                    return Err(OpError::Failed(
+                                        "primary-index-lookup: key vanished from its own batch"
+                                            .to_string(),
+                                    ))
+                                }
+                            };
+                            if let Some(rec) = &records[i] {
+                                t.push(rec.clone());
+                                out.push(t)?;
+                            }
+                        }
+                    }
+                    if ended {
                         break;
                     }
                 }
-                if !batch.is_empty() {
-                    let mut pks: Vec<Value> = Vec::with_capacity(batch.len());
-                    for t in &batch {
-                        pks.push(col_ref(t, *pk_col, "primary-index-lookup")?.clone());
-                    }
-                    pks.sort();
-                    pks.dedup();
-                    let records = store.primary().get_many_sorted(&pks)?;
-                    for mut t in batch.drain(..) {
-                        let i = match pks.binary_search(&t[*pk_col]) {
-                            Ok(i) => i,
-                            Err(_) => {
-                                return Err(OpError::Failed(
+                return Ok((consumed, out.finish()?));
+            }
+            // Batch path: each incoming slice is one sorted, deduped
+            // multi-get (same merged pass per LSM component, §4.1.1); the
+            // fetched records ride along as a *shared* column, so a record
+            // referenced by many candidate rows is deep-copied zero times
+            // — every row holds an `Arc` to the single fetched value.
+            let mut pks: Vec<Value> = Vec::with_capacity(FRAME_CAPACITY);
+            let mut sorted: Vec<Value> = Vec::with_capacity(FRAME_CAPACITY);
+            let mut pending: Vec<Tuple> = Vec::new();
+            for frame in recv_frames(&inputs[0], cancel) {
+                match frame? {
+                    Frame::Batch(slice) => {
+                        consumed += slice.len() as u64;
+                        if slice.is_empty() {
+                            continue;
+                        }
+                        let col = slice.batch.col(*pk_col).ok_or_else(|| {
+                            OpError::Failed(format!(
+                                "primary-index-lookup: column {pk_col} out of bounds for batch of width {}",
+                                slice.batch.width()
+                            ))
+                        })?;
+                        pks.clear();
+                        for pos in 0..slice.len() {
+                            pks.push(col.value(slice.row_index(pos)));
+                        }
+                        sorted.clear();
+                        sorted.extend(pks.iter().cloned());
+                        sorted.sort();
+                        sorted.dedup();
+                        let records = store.primary().get_many_sorted(&sorted)?;
+                        let shared: Vec<Option<Arc<Value>>> =
+                            records.into_iter().map(|o| o.map(Arc::new)).collect();
+                        let mut keep: Vec<(u32, u32)> = Vec::with_capacity(pks.len());
+                        let mut recs: Vec<Arc<Value>> = Vec::with_capacity(pks.len());
+                        for (pos, pk) in pks.iter().enumerate() {
+                            let i = sorted.binary_search(pk).map_err(|_| {
+                                OpError::Failed(
                                     "primary-index-lookup: key vanished from its own batch"
                                         .to_string(),
-                                ))
+                                )
+                            })?;
+                            if let Some(rec) = &shared[i] {
+                                keep.push((0, slice.row_index(pos) as u32));
+                                recs.push(Arc::clone(rec));
                             }
-                        };
-                        if let Some(rec) = &records[i] {
-                            t.push(rec.clone());
-                            if flags.disable_batching {
-                                out.push(t)?;
-                            } else {
+                        }
+                        if keep.is_empty() {
+                            continue;
+                        }
+                        let all_cols: Vec<usize> = (0..slice.batch.width()).collect();
+                        let mut b = Batch::gather(&[slice.batch.as_ref()], &keep, &all_cols)
+                            .map_err(OpError::Failed)?;
+                        b.push_col(Column::Shared(recs)).map_err(OpError::Failed)?;
+                        out.push_slice(&BatchSlice::full(Arc::new(b)))?;
+                    }
+                    Frame::Rows(rows) => {
+                        // Row frames (non-rectangular upstreams) still get
+                        // the one-multi-get-per-frame treatment.
+                        consumed += rows.len() as u64;
+                        sorted.clear();
+                        for t in &rows {
+                            sorted.push(col_ref(t, *pk_col, "primary-index-lookup")?.clone());
+                        }
+                        sorted.sort();
+                        sorted.dedup();
+                        let records = store.primary().get_many_sorted(&sorted)?;
+                        for mut t in rows {
+                            let i = sorted.binary_search(&t[*pk_col]).map_err(|_| {
+                                OpError::Failed(
+                                    "primary-index-lookup: key vanished from its own batch"
+                                        .to_string(),
+                                )
+                            })?;
+                            if let Some(rec) = &records[i] {
+                                t.push(rec.clone());
                                 pending.push(t);
                                 if pending.len() >= FRAME_CAPACITY {
                                     push_rows_batched(&mut out, &mut pending)?;
@@ -836,9 +1046,6 @@ pub fn run_operator(
                             }
                         }
                     }
-                }
-                if ended {
-                    break;
                 }
             }
             push_rows_batched(&mut out, &mut pending)?;
@@ -980,6 +1187,174 @@ fn inject_fault(mode: &FaultMode, partition: usize) -> Result<(), OpError> {
     }
 }
 
+/// Batch-aware sort: instead of materializing every batch row as an owned
+/// tuple, keep the received batches shared, extract only the key columns,
+/// sort a row permutation, and gather the output column-wise into fresh
+/// batch frames. Output rows and their order are identical to the row
+/// path: both sort stably by the same key columns, so ties keep arrival
+/// order.
+///
+/// Row frames (and ragged ones) degrade gracefully: rectangular row
+/// frames are re-batched in place, anything else falls back to the fully
+/// materialized row sort.
+fn run_batch_sort(
+    keys: &[SortKey],
+    input: &Receiver<Frame>,
+    mut out: Out,
+    cancel: &CancelToken,
+    consumed: &mut u64,
+) -> Result<(u64, OutCounts), OpError> {
+    let mut sources: Vec<Arc<Batch>> = Vec::new();
+    let mut picks: Vec<(u32, u32)> = Vec::new();
+    // Engaged on the first ragged row frame: everything seen so far is
+    // materialized and the operator continues row-at-a-time.
+    let mut fallback: Option<Vec<Tuple>> = None;
+    for frame in recv_frames(input, cancel) {
+        let frame = frame?;
+        *consumed += frame.len() as u64;
+        if let Some(rows) = fallback.as_mut() {
+            rows.extend(frame.into_rows());
+            continue;
+        }
+        let slice = match frame {
+            Frame::Batch(slice) => slice,
+            Frame::Rows(rows) => match Batch::from_rows(rows) {
+                Ok(b) => BatchSlice::full(Arc::new(b)),
+                Err(rows) => {
+                    let mut all: Vec<Tuple> = picks
+                        .iter()
+                        .map(|&(s, r)| sources[s as usize].row(r as usize))
+                        .collect();
+                    all.extend(rows);
+                    fallback = Some(all);
+                    continue;
+                }
+            },
+        };
+        if sources
+            .first()
+            .is_some_and(|b| b.width() != slice.batch.width())
+        {
+            // Mixed widths across frames: the row sort handles these (it
+            // only indexes the key columns), so degrade to it.
+            let mut all: Vec<Tuple> = picks
+                .iter()
+                .map(|&(s, r)| sources[s as usize].row(r as usize))
+                .collect();
+            all.extend((0..slice.len()).map(|pos| slice.row(pos)));
+            fallback = Some(all);
+            continue;
+        }
+        let src = sources.len() as u32;
+        for pos in 0..slice.len() {
+            picks.push((src, slice.row_index(pos) as u32));
+        }
+        sources.push(Arc::clone(&slice.batch));
+    }
+    if let Some(mut all) = fallback {
+        let min_width = all.iter().map(Vec::len).min().unwrap_or(0);
+        if !all.is_empty() {
+            for k in keys {
+                if k.col >= min_width {
+                    return Err(OpError::Failed(format!(
+                        "sort: key column {} out of bounds (narrowest tuple width {min_width})",
+                        k.col
+                    )));
+                }
+            }
+        }
+        all.sort_by(|a, b| compare_tuples(a, b, keys));
+        for t in all {
+            out.push(t)?;
+        }
+        return Ok((*consumed, out.finish()?));
+    }
+    // Validate key columns once per source batch, mirroring the row
+    // path's typed error for malformed plans.
+    if !picks.is_empty() {
+        let min_width = sources.iter().map(|b| b.width()).min().unwrap_or(0);
+        for k in keys {
+            if k.col >= min_width {
+                return Err(OpError::Failed(format!(
+                    "sort: key column {} out of bounds (narrowest tuple width {min_width})",
+                    k.col
+                )));
+            }
+        }
+    }
+    // Extract the key columns once (flattened, `stride` values per row);
+    // fixed-width keys cost no allocation per row. When every key column
+    // is a native `Int64` column (the candidate-pk sort of the hot join
+    // path), the permutation sorts raw `i64`s — no `Value` enum dispatch
+    // per comparison. Ties break on the original position either way, so
+    // both orders equal the row path's stable sort.
+    let stride = keys.len();
+    let mut order: Vec<u32> = (0..picks.len() as u32).collect();
+    let all_int = keys.iter().all(|k| {
+        sources
+            .iter()
+            .all(|b| matches!(b.col(k.col), Some(Column::Int64(_))))
+    });
+    if all_int {
+        let mut keyints: Vec<i64> = Vec::with_capacity(picks.len() * stride);
+        for &(s, r) in &picks {
+            let b = &sources[s as usize];
+            for k in keys {
+                if let Some(Column::Int64(xs)) = b.col(k.col) {
+                    keyints.push(xs[r as usize]);
+                }
+            }
+        }
+        order.sort_unstable_by(|&i, &j| {
+            let a = &keyints[i as usize * stride..i as usize * stride + stride];
+            let b = &keyints[j as usize * stride..j as usize * stride + stride];
+            for (slot, k) in keys.iter().enumerate() {
+                let ord = a[slot].cmp(&b[slot]);
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            i.cmp(&j)
+        });
+    } else {
+        let mut keyvals: Vec<Value> = Vec::with_capacity(picks.len() * stride);
+        for &(s, r) in &picks {
+            let b = &sources[s as usize];
+            for k in keys {
+                keyvals.push(
+                    b.col(k.col)
+                        .expect("key column validated above")
+                        .value(r as usize),
+                );
+            }
+        }
+        order.sort_unstable_by(|&i, &j| {
+            let a = &keyvals[i as usize * stride..i as usize * stride + stride];
+            let b = &keyvals[j as usize * stride..j as usize * stride + stride];
+            for (slot, k) in keys.iter().enumerate() {
+                let ord = a[slot].cmp(&b[slot]);
+                let ord = if k.desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            i.cmp(&j)
+        });
+    }
+    let srcs: Vec<&Batch> = sources.iter().map(Arc::as_ref).collect();
+    let width = srcs.first().map_or(0, |b| b.width());
+    let all_cols: Vec<usize> = (0..width).collect();
+    let mut chunk: Vec<(u32, u32)> = Vec::with_capacity(FRAME_CAPACITY);
+    for part in order.chunks(FRAME_CAPACITY) {
+        chunk.clear();
+        chunk.extend(part.iter().map(|&i| picks[i as usize]));
+        let b = Batch::gather(&srcs, &chunk, &all_cols).map_err(OpError::Failed)?;
+        out.push_slice(&BatchSlice::full(Arc::new(b)))?;
+    }
+    Ok((*consumed, out.finish()?))
+}
+
 fn run_hash_join(
     left_keys: &[usize],
     right_keys: &[usize],
@@ -1085,8 +1460,9 @@ impl<'a> TokenMemo<'a> {
 
 /// Candidate primary keys from a secondary index for one search key.
 /// With `ranked`, T-occurrence merging runs on interned `u32` rank arrays
-/// (the vectorized kernels); candidates and their order are identical to
-/// the scalar merge.
+/// (the vectorized kernels); `use_kernels` additionally enables the
+/// full-intersection gallop fast path. Candidates and their order are
+/// identical to the scalar merge in every combination.
 fn index_candidates(
     store: &asterix_storage::PartitionStore,
     index: &str,
@@ -1094,10 +1470,11 @@ fn index_candidates(
     measure: &SearchMeasure,
     memo: &mut TokenMemo<'_>,
     ranked: bool,
+    use_kernels: bool,
 ) -> Result<Vec<Value>, asterix_storage::StorageError> {
     let merge = |tokens: &[Value], t: usize| {
         if ranked {
-            store.inverted_candidates_ranked(index, tokens, t)
+            store.inverted_candidates_ranked_opts(index, tokens, t, use_kernels)
         } else {
             store.inverted_candidates(index, tokens, t)
         }

@@ -45,6 +45,12 @@ pub enum Column {
     },
     /// Mixed or non-scalar column; rows are stored as plain values.
     Values(Vec<Value>),
+    /// Rows share ownership of their values. Built by operators that fan
+    /// one resolved value out to many rows (the primary-index lookup
+    /// attaches each fetched record to every candidate row that asked for
+    /// its key): rows cost one `Arc` clone instead of a deep record copy,
+    /// and downstream batch consumers borrow the cell in place.
+    Shared(Vec<Arc<Value>>),
 }
 
 impl Column {
@@ -53,6 +59,7 @@ impl Column {
             Column::Int64(v) => v.len(),
             Column::Str { spans, .. } => spans.len(),
             Column::Values(v) => v.len(),
+            Column::Shared(v) => v.len(),
         }
     }
 
@@ -65,6 +72,7 @@ impl Column {
                 Value::String(arena[a as usize..b as usize].to_string())
             }
             Column::Values(v) => v[row].clone(),
+            Column::Shared(v) => (*v[row]).clone(),
         }
     }
 
@@ -76,14 +84,17 @@ impl Column {
                 Some(&arena[a as usize..b as usize])
             }
             Column::Values(v) => v.get(row)?.as_str(),
+            Column::Shared(v) => v.get(row)?.as_str(),
             Column::Int64(_) => None,
         }
     }
 
-    /// Borrow one cell as `&Value` (only for [`Column::Values`] columns).
+    /// Borrow one cell as `&Value` (for [`Column::Values`] and
+    /// [`Column::Shared`] columns).
     pub fn get_value(&self, row: usize) -> Option<&Value> {
         match self {
             Column::Values(v) => v.get(row),
+            Column::Shared(v) => v.get(row).map(Arc::as_ref),
             _ => None,
         }
     }
@@ -93,11 +104,76 @@ impl Column {
             Column::Int64(v) => 9 * v.len() as u64,
             Column::Str { arena, spans } => arena.len() as u64 + 8 * spans.len() as u64,
             Column::Values(v) => v.iter().map(|x| x.heap_size() as u64).sum(),
+            // Conservative: charge every row its full value size, as if the
+            // rows were deep copies — sharing is a memory win the budget
+            // does not rely on.
+            Column::Shared(v) => v.iter().map(|x| x.heap_size() as u64).sum(),
         }
     }
 
+    /// Gather picked rows of aligned source columns (one per source
+    /// batch) into one compact column. `picks` entries are pre-validated
+    /// `(source, row)` pairs. Column storage is preserved when every
+    /// source stores this column the same way; otherwise the gather
+    /// degrades to a plain value column.
+    fn gather(sources: &[&Column], picks: &[(u32, u32)]) -> Column {
+        if sources.iter().all(|c| matches!(c, Column::Int64(_))) {
+            let mut out = Vec::with_capacity(picks.len());
+            for &(s, r) in picks {
+                if let Column::Int64(xs) = sources[s as usize] {
+                    out.push(xs[r as usize]);
+                }
+            }
+            return Column::Int64(out);
+        }
+        if sources.iter().all(|c| matches!(c, Column::Str { .. })) {
+            let total: usize = picks
+                .iter()
+                .map(|&(s, r)| match sources[s as usize] {
+                    Column::Str { spans, .. } => {
+                        let (a, b) = spans[r as usize];
+                        (b - a) as usize
+                    }
+                    _ => 0,
+                })
+                .sum();
+            if total <= u32::MAX as usize {
+                let mut arena = String::with_capacity(total);
+                let mut spans = Vec::with_capacity(picks.len());
+                for &(s, r) in picks {
+                    if let Column::Str {
+                        arena: src,
+                        spans: sp,
+                    } = sources[s as usize]
+                    {
+                        let (a, b) = sp[r as usize];
+                        let start = arena.len() as u32;
+                        arena.push_str(&src[a as usize..b as usize]);
+                        spans.push((start, arena.len() as u32));
+                    }
+                }
+                return Column::Str { arena, spans };
+            }
+        }
+        if sources.iter().all(|c| matches!(c, Column::Shared(_))) {
+            let mut out = Vec::with_capacity(picks.len());
+            for &(s, r) in picks {
+                if let Column::Shared(xs) = sources[s as usize] {
+                    out.push(Arc::clone(&xs[r as usize]));
+                }
+            }
+            return Column::Shared(out);
+        }
+        Column::Values(
+            picks
+                .iter()
+                .map(|&(s, r)| sources[s as usize].value(r as usize))
+                .collect(),
+        )
+    }
+
     /// Pick the storage for one column of moved values.
-    fn from_values(vals: Vec<Value>) -> Column {
+    pub(crate) fn from_values(vals: Vec<Value>) -> Column {
         if vals.iter().all(|v| matches!(v, Value::Int64(_))) {
             return Column::Int64(
                 vals.iter()
@@ -121,6 +197,11 @@ impl Column {
                 }
                 return Column::Str { arena, spans };
             }
+        }
+        // All-record columns go behind `Arc` so downstream gathers (sort,
+        // lookup, project, assign) clone a pointer, not the record.
+        if vals.iter().all(|v| matches!(v, Value::Record(_))) {
+            return Column::Shared(vals.into_iter().map(Arc::new).collect());
         }
         Column::Values(vals)
     }
@@ -215,6 +296,7 @@ impl Batch {
             }
             slots.push(match col {
                 Column::Values(vs) => Slot::Ref(&vs[row]),
+                Column::Shared(vs) => Slot::Ref(&vs[row]),
                 other => Slot::Owned(other.value(row)),
             });
         }
@@ -226,6 +308,232 @@ impl Batch {
             })
             .collect();
         Some(stable_hash_many(&refs))
+    }
+
+    /// Gather the given columns of picked rows from aligned source batches
+    /// into one new compact batch. `picks` are `(source index, row index)`
+    /// pairs in output order; duplicates are allowed (the same source row
+    /// may be emitted many times). Column storage is preserved per column
+    /// when the sources agree on it — string cells are copied arena-to-
+    /// arena with no per-row allocation, shared cells stay shared.
+    ///
+    /// Returns `Err` (for the caller's typed operator error) when a pick
+    /// or column index is out of bounds or `sources` is empty while
+    /// `picks` is not.
+    pub fn gather(
+        sources: &[&Batch],
+        picks: &[(u32, u32)],
+        cols: &[usize],
+    ) -> Result<Batch, String> {
+        for &(s, r) in picks {
+            let Some(src) = sources.get(s as usize) else {
+                return Err(format!("gather: source {s} out of bounds"));
+            };
+            if r as usize >= src.len() {
+                return Err(format!(
+                    "gather: row {r} out of bounds for source of {} rows",
+                    src.len()
+                ));
+            }
+        }
+        for &c in cols {
+            if let Some(narrow) = sources.iter().find(|b| c >= b.width()) {
+                return Err(format!(
+                    "gather: column {c} out of bounds (source width {})",
+                    narrow.width()
+                ));
+            }
+        }
+        let out: Vec<Column> = cols
+            .iter()
+            .map(|&c| {
+                let srcs: Vec<&Column> = sources.iter().map(|b| &b.cols[c]).collect();
+                Column::gather(&srcs, picks)
+            })
+            .collect();
+        let heap_bytes = out.iter().map(Column::heap_bytes).sum();
+        Ok(Batch {
+            len: picks.len(),
+            cols: out,
+            heap_bytes,
+        })
+    }
+
+    /// Append one column to the batch (its length must match the row
+    /// count). Used by operators that emit the input rows plus a computed
+    /// column without re-materializing every row.
+    pub fn push_col(&mut self, col: Column) -> Result<(), String> {
+        if col.len() != self.len {
+            return Err(format!(
+                "push_col: column of {} rows appended to batch of {} rows",
+                col.len(),
+                self.len
+            ));
+        }
+        self.heap_bytes += col.heap_bytes();
+        self.cols.push(col);
+        Ok(())
+    }
+}
+
+/// Incremental column-wise [`Batch`] builder for operators that fan a few
+/// source values out to many rows (the secondary-index search repeats one
+/// outer row per candidate). Appending writes each cell straight into
+/// column storage — integer cells into an `i64` vector, string cells into
+/// the shared arena — so no per-row tuple is ever allocated and no
+/// transpose pass is needed. Column storage is decided by the first
+/// appended row and degrades per column to plain values on a type
+/// mismatch, exactly matching what [`Batch::from_rows`] would have
+/// detected for the same rows.
+pub struct BatchBuilder {
+    cols: Vec<ColBuilder>,
+    len: usize,
+}
+
+enum ColBuilder {
+    /// No rows appended yet; the first cell picks the storage.
+    Empty,
+    Int64(Vec<i64>),
+    Str { arena: String, spans: Vec<(u32, u32)> },
+    /// All-record column: one clone into an `Arc` here, pointer clones
+    /// at every downstream gather.
+    Shared(Vec<Arc<Value>>),
+    Values(Vec<Value>),
+}
+
+impl ColBuilder {
+    fn push(&mut self, v: &Value) {
+        match (&mut *self, v) {
+            (ColBuilder::Empty, Value::Int64(i)) => *self = ColBuilder::Int64(vec![*i]),
+            (ColBuilder::Empty, Value::String(s)) if s.len() <= u32::MAX as usize => {
+                *self = ColBuilder::Str {
+                    arena: s.clone(),
+                    spans: vec![(0, s.len() as u32)],
+                }
+            }
+            (ColBuilder::Empty, v @ Value::Record(_)) => {
+                *self = ColBuilder::Shared(vec![Arc::new(v.clone())])
+            }
+            (ColBuilder::Empty, v) => *self = ColBuilder::Values(vec![v.clone()]),
+            (ColBuilder::Int64(xs), Value::Int64(i)) => xs.push(*i),
+            (ColBuilder::Str { arena, spans }, Value::String(s))
+                if arena.len() + s.len() <= u32::MAX as usize =>
+            {
+                let start = arena.len() as u32;
+                arena.push_str(s);
+                spans.push((start, arena.len() as u32));
+            }
+            (ColBuilder::Shared(xs), v @ Value::Record(_)) => xs.push(Arc::new(v.clone())),
+            (ColBuilder::Values(vs), v) => vs.push(v.clone()),
+            (_, v) => {
+                self.degrade();
+                if let ColBuilder::Values(vs) = self {
+                    vs.push(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Convert the accumulated cells to plain-value storage (type
+    /// mismatch or arena overflow).
+    fn degrade(&mut self) {
+        let vals: Vec<Value> = match std::mem::replace(self, ColBuilder::Empty) {
+            ColBuilder::Empty => Vec::new(),
+            ColBuilder::Int64(xs) => xs.into_iter().map(Value::Int64).collect(),
+            ColBuilder::Str { arena, spans } => spans
+                .iter()
+                .map(|&(a, b)| Value::String(arena[a as usize..b as usize].to_string()))
+                .collect(),
+            ColBuilder::Shared(xs) => xs
+                .into_iter()
+                .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+                .collect(),
+            ColBuilder::Values(vs) => vs,
+        };
+        *self = ColBuilder::Values(vals);
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColBuilder::Empty => Column::Values(Vec::new()),
+            ColBuilder::Int64(xs) => Column::Int64(xs),
+            ColBuilder::Str { arena, spans } => Column::Str { arena, spans },
+            ColBuilder::Shared(xs) => Column::Shared(xs),
+            ColBuilder::Values(vs) => Column::Values(vs),
+        }
+    }
+}
+
+impl BatchBuilder {
+    /// An empty builder for rows of `width` columns.
+    pub fn new(width: usize) -> Self {
+        BatchBuilder {
+            cols: (0..width).map(|_| ColBuilder::Empty).collect(),
+            len: 0,
+        }
+    }
+
+    /// Rows accumulated since the last [`BatchBuilder::take_batch`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of columns each appended row must have.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no rows are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one row given as borrowed cells (in column order). Errors
+    /// when the cell count differs from the builder's width.
+    pub fn push_row<'a>(
+        &mut self,
+        cells: impl IntoIterator<Item = &'a Value>,
+    ) -> Result<(), String> {
+        let mut n = 0usize;
+        for v in cells {
+            let Some(col) = self.cols.get_mut(n) else {
+                return Err(format!(
+                    "batch builder: row wider than {} columns",
+                    self.cols.len()
+                ));
+            };
+            col.push(v);
+            n += 1;
+        }
+        if n != self.cols.len() {
+            return Err(format!(
+                "batch builder: row of {n} cells appended to width {}",
+                self.cols.len()
+            ));
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Drain the accumulated rows as one batch (`None` when empty); the
+    /// builder resets and can keep accumulating.
+    pub fn take_batch(&mut self) -> Option<Batch> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = self.cols.len();
+        let built = std::mem::replace(
+            &mut self.cols,
+            (0..width).map(|_| ColBuilder::Empty).collect(),
+        );
+        let cols: Vec<Column> = built.into_iter().map(ColBuilder::finish).collect();
+        let heap_bytes = cols.iter().map(Column::heap_bytes).sum();
+        let len = std::mem::take(&mut self.len);
+        Some(Batch {
+            len,
+            cols,
+            heap_bytes,
+        })
     }
 }
 
@@ -473,6 +781,40 @@ mod tests {
         }
         assert_eq!(b.col(1).unwrap().get_str(1), Some("bob"));
         assert_eq!(b.col(1).unwrap().get_str(2), Some(""));
+        // A column that is records in every row goes behind `Arc`s.
+        let recs = vec![
+            vec![record! {"name" => "ada"}],
+            vec![record! {"name" => "bob"}],
+        ];
+        let shared = Batch::from_rows(recs.clone()).expect("rectangular");
+        assert!(matches!(shared.col(0), Some(Column::Shared(_))));
+        for (i, row) in recs.iter().enumerate() {
+            assert_eq!(&shared.row(i), row);
+        }
+    }
+
+    #[test]
+    fn batch_builder_matches_from_rows_storage() {
+        let rows = sample_rows();
+        let mut bb = BatchBuilder::new(3);
+        for r in &rows {
+            bb.push_row(r.iter()).unwrap();
+        }
+        let b = bb.take_batch().unwrap();
+        assert!(matches!(b.col(0), Some(Column::Int64(_))));
+        assert!(matches!(b.col(1), Some(Column::Str { .. })));
+        assert!(matches!(b.col(2), Some(Column::Values(_))));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&b.row(i), row);
+        }
+        let (r1, r2) = (record! {"name" => "ada"}, record! {"name" => "bob"});
+        let mut bb = BatchBuilder::new(1);
+        bb.push_row([&r1]).unwrap();
+        bb.push_row([&r2]).unwrap();
+        let b = bb.take_batch().unwrap();
+        assert!(matches!(b.col(0), Some(Column::Shared(_))));
+        assert_eq!(b.row(0), vec![r1]);
+        assert_eq!(b.row(1), vec![r2]);
     }
 
     #[test]

@@ -33,10 +33,9 @@ use crate::expr::{sql_compare, CmpOp, Expr};
 use crate::tuple::{Batch, BatchSlice, Column};
 use asterix_adm::Value;
 use asterix_simfn::{
-    edit_distance_check_chars, intersection_size_u32, jaccard_from_counts, word_tokens, EdScratch,
-    FunctionRegistry, TokenBitset,
+    edit_distance_check_chars, edit_distance_check_chars_scalar, intersection_size_u32,
+    jaccard_from_counts, word_tokens, EdScratch, FunctionRegistry, FxHashMap, TokenBitset,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Distinct input strings whose token sets / char buffers one kernel
@@ -96,15 +95,15 @@ impl ArgExpr {
                     None => Cell::OutOfBounds,
                 },
                 Some(col @ Column::Int64(_)) => Cell::Owned(col.value(row)),
-                Some(Column::Values(vs)) => match vs.get(row) {
+                Some(col @ (Column::Values(_) | Column::Shared(_))) => match col.get_value(row) {
                     Some(v) => Cell::Val(v),
                     None => Cell::OutOfBounds,
                 },
             },
             ArgExpr::Path(i, path) => match batch.col(*i) {
                 None => Cell::OutOfBounds,
-                Some(Column::Values(vs)) => {
-                    let Some(mut cur) = vs.get(row) else {
+                Some(col @ (Column::Values(_) | Column::Shared(_))) => {
+                    let Some(mut cur) = col.get_value(row) else {
                         return Cell::OutOfBounds;
                     };
                     for p in path {
@@ -150,8 +149,8 @@ enum VerifyPlan {
 /// Word-token sets interned to dense `u32` ids, cached per input string.
 #[derive(Default)]
 struct TokenInterner {
-    ids: HashMap<String, u32>,
-    sets: HashMap<String, (Arc<[u32]>, u64)>,
+    ids: FxHashMap<String, u32>,
+    sets: FxHashMap<String, (Arc<[u32]>, u64)>,
     clock: u64,
 }
 
@@ -186,7 +185,7 @@ impl TokenInterner {
 }
 
 /// Evict the least-recently-stamped entry of an LRU map.
-fn evict_lru<V>(map: &mut HashMap<String, (V, u64)>) {
+fn evict_lru<V>(map: &mut FxHashMap<String, (V, u64)>) {
     if let Some(victim) = map
         .iter()
         .min_by_key(|(_, (_, stamp))| *stamp)
@@ -241,9 +240,12 @@ struct KernelState {
     prev_a: Option<Arc<[u32]>>,
     prev_b: Option<Arc<[u32]>>,
     /// Decoded char buffers per distinct input string (LRU).
-    chars: HashMap<String, (Arc<[char]>, u64)>,
+    chars: FxHashMap<String, (Arc<[char]>, u64)>,
     chars_clock: u64,
     scratch: EdScratch,
+    /// Allow the Myers bit-parallel edit-distance dispatch; `false` pins
+    /// the scalar banded DP (the `disable_kernels` switch).
+    use_bitparallel: bool,
 }
 
 fn flip(op: CmpOp) -> CmpOp {
@@ -320,8 +322,18 @@ fn compile_plan(pred: &Expr) -> Option<VerifyPlan> {
 
 impl VerifyKernel {
     /// Compile `pred` when it is a recognized verify shape, or a
-    /// conjunction containing at least one.
+    /// conjunction containing at least one. Bit-parallel edit-distance
+    /// dispatch is enabled; use [`VerifyKernel::compile_with`] to pin the
+    /// scalar kernels.
     pub fn compile(pred: &Expr) -> Option<VerifyKernel> {
+        Self::compile_with(pred, true)
+    }
+
+    /// [`VerifyKernel::compile`] with the Myers bit-parallel edit-distance
+    /// dispatch switchable: `use_bitparallel = false` pins the scalar
+    /// banded DP (the `disable_kernels` benchmark baseline). Acceptance is
+    /// identical either way.
+    pub fn compile_with(pred: &Expr, use_bitparallel: bool) -> Option<VerifyKernel> {
         let conjuncts = match pred {
             Expr::And(parts) => {
                 let cs: Vec<Conjunct> = parts
@@ -346,7 +358,10 @@ impl VerifyKernel {
         };
         Some(VerifyKernel {
             conjuncts,
-            state: KernelState::default(),
+            state: KernelState {
+                use_bitparallel,
+                ..KernelState::default()
+            },
         })
     }
 
@@ -358,6 +373,7 @@ impl VerifyKernel {
         reg: &FunctionRegistry,
     ) -> Result<Vec<u32>, OpError> {
         let batch = slice.batch.as_ref();
+        let bp_before = self.state.scratch.bitparallel_calls();
         let mut keep = Vec::new();
         for pos in 0..slice.len() {
             let row = slice.row_index(pos);
@@ -392,6 +408,9 @@ impl VerifyKernel {
                 keep.push(pos as u32);
             }
         }
+        asterix_storage::profile::record_bitparallel_ed_calls(
+            self.state.scratch.bitparallel_calls() - bp_before,
+        );
         Ok(keep)
     }
 }
@@ -448,7 +467,7 @@ impl KernelState {
                 // char lengths), so clamping an enormous threshold keeps
                 // the check's outcome unchanged.
                 let t = threshold.min(u32::MAX as i64) as u32;
-                let within = edit_distance_check_chars(&ca, &cb, t, &mut self.scratch).is_some();
+                let within = self.ed_check(&ca, &cb, t).is_some();
                 Some(if within { Tri::True } else { Tri::False })
             }
             VerifyPlan::EdCheck { a, b, k } => {
@@ -461,9 +480,19 @@ impl KernelState {
                 };
                 let ca = self.cached_chars(sa);
                 let cb = self.cached_chars(sb);
-                let within = edit_distance_check_chars(&ca, &cb, k, &mut self.scratch).is_some();
+                let within = self.ed_check(&ca, &cb, k).is_some();
                 Some(if within { Tri::True } else { Tri::False })
             }
+        }
+    }
+
+    /// Threshold-checked edit distance through the instance scratch,
+    /// honouring the bit-parallel switch.
+    fn ed_check(&mut self, a: &[char], b: &[char], k: u32) -> Option<u32> {
+        if self.use_bitparallel {
+            edit_distance_check_chars(a, b, k, &mut self.scratch)
+        } else {
+            edit_distance_check_chars_scalar(a, b, k, &mut self.scratch)
         }
     }
 
@@ -537,6 +566,18 @@ impl EvalOut<'_> {
     }
 }
 
+/// Evaluate one expression against one row of a [`Batch`], returning an
+/// owned value. Thin wrapper over [`eval_batch_expr`] for operators
+/// (assign) that need the result as a cell rather than a predicate.
+pub(crate) fn eval_expr_on_batch(
+    e: &Expr,
+    batch: &Batch,
+    row: usize,
+    reg: &FunctionRegistry,
+) -> Result<Value, String> {
+    Ok(eval_batch_expr(e, batch, row, reg)?.into_value())
+}
+
 /// Column-aware mirror of [`Expr::eval`]: evaluates `e` against one row
 /// of a [`Batch`] without materializing the row as a tuple, borrowing
 /// record cells in place so field access never deep-clones the record.
@@ -557,6 +598,7 @@ fn eval_batch_expr<'a>(
                 ))
             }
             Some(Column::Values(vs)) => EvalOut::Ref(&vs[row]),
+            Some(Column::Shared(vs)) => EvalOut::Ref(&vs[row]),
             Some(col) => EvalOut::Owned(col.value(row)),
         },
         Expr::Const(v) => EvalOut::Ref(v),

@@ -52,7 +52,34 @@ pub fn list_edit_distance_check<T: PartialEq>(a: &[T], b: &[T], k: u32) -> Optio
 /// caller-owned scratch — the vectorized-verify entry point. Decode each
 /// side with `s.chars().collect()` once, then reuse both the buffers and
 /// the scratch across an entire batch of candidates.
+///
+/// Dispatches adaptively between the Myers bit-parallel kernel
+/// ([`EdScratch::bitparallel_calls`] counts how often) and the scalar
+/// banded DP: bit-parallel wins when the band `2k+1` is at least as wide
+/// as one column's worth of `u64` blocks (`k >= ceil(m/64)` for the
+/// shorter side of length `m`), which covers every practical
+/// `edit-distance-check` shape (`k` in 1..=4, short strings); a tiny
+/// threshold on a long string keeps the `O((2k+1)·n)` banded DP, which
+/// touches fewer cells than the `O(ceil(m/64)·n)` word grid.
 pub fn edit_distance_check_chars(a: &[char], b: &[char], k: u32, scratch: &mut EdScratch) -> Option<u32> {
+    let (pat, txt) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let blocks = pat.len().div_ceil(64);
+    if !pat.is_empty() && k as usize >= blocks {
+        myers_check(pat, txt, k, scratch)
+    } else {
+        banded_check(a, b, k, scratch)
+    }
+}
+
+/// [`edit_distance_check_chars`] pinned to the scalar banded DP — the
+/// pre-bit-parallel behaviour. The `disable_kernels` switch routes verify
+/// loops here, and the equivalence proptests compare the two entry points.
+pub fn edit_distance_check_chars_scalar(
+    a: &[char],
+    b: &[char],
+    k: u32,
+    scratch: &mut EdScratch,
+) -> Option<u32> {
     banded_check(a, b, k, scratch)
 }
 
@@ -67,15 +94,31 @@ pub fn edit_distance_check_slices<T: PartialEq>(
     banded_check(a, b, k, scratch)
 }
 
-/// Reusable scratch for the banded DP: two rows sized to the band width
-/// `min(2k+1, n+1)` — **not** the full `n+1` — plus an instrumentation
-/// counter of DP cells touched (cumulative across calls) that the
-/// regression tests pin to stay band-proportional.
+/// Reusable scratch for the threshold-checked kernels: two banded-DP rows
+/// sized to the band width `min(2k+1, n+1)` — **not** the full `n+1` —
+/// plus the bit-parallel state (pattern bitmask cache and `Pv`/`Mv`
+/// vertical-delta words) and instrumentation counters. The DP-cell counter
+/// is cumulative across calls and the regression tests pin it to stay
+/// band-proportional; [`Self::bitparallel_calls`] counts how many checks
+/// took the Myers path.
 #[derive(Debug, Default, Clone)]
 pub struct EdScratch {
     prev: Vec<u32>,
     cur: Vec<u32>,
     cells: u64,
+    bp_calls: u64,
+    /// Pattern whose `Peq` masks are currently cached, so consecutive
+    /// checks against the same probe (the common verify-loop shape) skip
+    /// the preprocessing pass entirely.
+    bp_pat: Vec<char>,
+    bp_blocks: usize,
+    /// `Peq` for ASCII pattern characters, laid out `[char][block]` in one
+    /// flat allocation (`128 * blocks` words).
+    peq_ascii: Vec<u64>,
+    /// `Peq` overflow for non-ASCII pattern characters.
+    peq_other: std::collections::HashMap<char, Box<[u64]>>,
+    pv: Vec<u64>,
+    mv: Vec<u64>,
 }
 
 impl EdScratch {
@@ -89,6 +132,12 @@ impl EdScratch {
     /// `(2k+1) * (min(m,n)+1)` cells.
     pub fn cells_touched(&self) -> u64 {
         self.cells
+    }
+
+    /// Checks routed to the Myers bit-parallel kernel (cumulative) — the
+    /// source of the `bitparallel_ed_calls` profile counter.
+    pub fn bitparallel_calls(&self) -> u64 {
+        self.bp_calls
     }
 
     /// Current row-buffer length — bounded by the largest band width seen,
@@ -105,6 +154,150 @@ impl EdScratch {
             self.cur.resize(width, 0);
         }
     }
+
+    /// (Re)build the `Peq` masks unless `pat` is the pattern already cached.
+    fn prepare_peq(&mut self, pat: &[char], blocks: usize) {
+        if self.bp_blocks == blocks && self.bp_pat.as_slice() == pat {
+            return;
+        }
+        self.bp_pat.clear();
+        self.bp_pat.extend_from_slice(pat);
+        self.bp_blocks = blocks;
+        self.peq_ascii.clear();
+        self.peq_ascii.resize(128 * blocks, 0);
+        self.peq_other.clear();
+        for (i, &c) in pat.iter().enumerate() {
+            let (block, bit) = (i / 64, i % 64);
+            let mask = 1u64 << bit;
+            if (c as u32) < 128 {
+                self.peq_ascii[(c as usize) * blocks + block] |= mask;
+            } else {
+                self.peq_other.entry(c).or_insert_with(|| vec![0u64; blocks].into_boxed_slice())
+                    [block] |= mask;
+            }
+        }
+    }
+
+    #[inline]
+    fn peq(&self, c: char, block: usize) -> u64 {
+        if (c as u32) < 128 {
+            self.peq_ascii[(c as usize) * self.bp_blocks + block]
+        } else {
+            self.peq_other.get(&c).map_or(0, |m| m[block])
+        }
+    }
+}
+
+/// Myers bit-parallel threshold check: the DP column for the (shorter)
+/// pattern is encoded as vertical-delta bit vectors `Pv`/`Mv` packed into
+/// `ceil(m/64)` u64 SWAR blocks, and each text character advances the whole
+/// column in O(blocks) word operations instead of O(m) cell operations.
+/// Tracks `score = D[m][j]` via the horizontal delta at the pattern's last
+/// bit and bails out as soon as even one match per remaining column could
+/// not bring the score back under `k`.
+fn myers_check(pat: &[char], txt: &[char], k: u32, s: &mut EdScratch) -> Option<u32> {
+    debug_assert!(pat.len() <= txt.len() && !pat.is_empty());
+    // Length filter: |n - m| is a lower bound on the distance.
+    if (txt.len() - pat.len()) as u64 > k as u64 {
+        return None;
+    }
+    s.bp_calls += 1;
+    let blocks = pat.len().div_ceil(64);
+    s.prepare_peq(pat, blocks);
+    if blocks == 1 {
+        myers_check_1block(pat.len(), txt, k, s)
+    } else {
+        myers_check_blocks(pat.len(), blocks, txt, k, s)
+    }
+}
+
+/// Single-block (`m <= 64`) Myers loop — the overwhelmingly common verify
+/// shape, kept register-resident with no per-block bookkeeping.
+fn myers_check_1block(m: usize, txt: &[char], k: u32, s: &mut EdScratch) -> Option<u32> {
+    let last_bit = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m as i64;
+    for (j, &c) in txt.iter().enumerate() {
+        let eq = s.peq(c, 0);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & last_bit != 0 {
+            score += 1;
+        } else if mh & last_bit != 0 {
+            score -= 1;
+        }
+        // Row 0 is D[0][j] = j: the horizontal delta into the top of the
+        // column is always +1, hence the shifted-in Ph bit.
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+        // Even a match on every remaining column only subtracts one each.
+        if score > k as i64 + (txt.len() - j - 1) as i64 {
+            return None;
+        }
+    }
+    (score <= k as i64).then_some(score as u32)
+}
+
+/// Multi-block Myers loop for patterns longer than 64 chars: blocks are
+/// advanced bottom-up per text character, chaining each block's horizontal
+/// delta out of bit 63 into the next block's boundary bit.
+fn myers_check_blocks(m: usize, blocks: usize, txt: &[char], k: u32, s: &mut EdScratch) -> Option<u32> {
+    let last_bit = 1u64 << ((m - 1) % 64);
+    s.pv.clear();
+    s.pv.resize(blocks, !0u64);
+    s.mv.clear();
+    s.mv.resize(blocks, 0u64);
+    let mut score = m as i64;
+    for (j, &c) in txt.iter().enumerate() {
+        // Horizontal delta entering the block's top row; +1 for block 0
+        // (row 0 is D[0][j] = j), then whatever the block below emitted.
+        let mut hin: i64 = 1;
+        for b in 0..blocks {
+            let mut eq = s.peq(c, b);
+            let pv = s.pv[b];
+            let mv = s.mv[b];
+            let xv = eq | mv;
+            if hin < 0 {
+                eq |= 1; // a -1 carried in acts like a match on the boundary
+            }
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let mut ph = mv | !(xh | pv);
+            let mut mh = pv & xh;
+            if b == blocks - 1 {
+                if ph & last_bit != 0 {
+                    score += 1;
+                } else if mh & last_bit != 0 {
+                    score -= 1;
+                }
+            }
+            let hout = if ph >> 63 != 0 {
+                1
+            } else if mh >> 63 != 0 {
+                -1
+            } else {
+                0
+            };
+            ph <<= 1;
+            mh <<= 1;
+            if hin > 0 {
+                ph |= 1;
+            } else if hin < 0 {
+                mh |= 1;
+            }
+            s.pv[b] = mh | !(xv | ph);
+            s.mv[b] = ph & xv;
+            hin = hout;
+        }
+        if score > k as i64 + (txt.len() - j - 1) as i64 {
+            return None;
+        }
+    }
+    (score <= k as i64).then_some(score as u32)
 }
 
 /// Banded DP bounded by threshold `k`: only cells with `|i - j| <= k` can be
@@ -326,7 +519,98 @@ mod tests {
         );
     }
 
+    #[test]
+    fn myers_dispatch_counts_calls() {
+        let mut s = EdScratch::new();
+        let a: Vec<char> = "kitten".chars().collect();
+        let b: Vec<char> = "sitting".chars().collect();
+        // k=3 >= 1 block → Myers.
+        assert_eq!(edit_distance_check_chars(&a, &b, 3, &mut s), Some(3));
+        assert_eq!(s.bitparallel_calls(), 1);
+        // k=0 → banded, no new bit-parallel call.
+        assert_eq!(edit_distance_check_chars(&a, &a, 0, &mut s), Some(0));
+        assert_eq!(s.bitparallel_calls(), 1);
+        // Scalar-pinned entry never takes the Myers path.
+        assert_eq!(edit_distance_check_chars_scalar(&a, &b, 3, &mut s), Some(3));
+        assert_eq!(s.bitparallel_calls(), 1);
+    }
+
+    #[test]
+    fn myers_multiblock_unicode() {
+        // >64 chars with non-ASCII so the pattern spans multiple u64 blocks
+        // and exercises the Peq hash-map overflow.
+        let a: String = "日本語データベース類似検索".chars().cycle().take(150).collect();
+        let mut b: Vec<char> = a.chars().collect();
+        b[3] = 'x';
+        b.insert(77, 'y');
+        b.remove(140);
+        let av: Vec<char> = a.chars().collect();
+        let mut s = EdScratch::new();
+        let exact = edit_distance(&a, &b.iter().collect::<String>());
+        for k in 0..8u32 {
+            let want = if exact <= k { Some(exact) } else { None };
+            assert_eq!(edit_distance_check_chars(&av, &b, k, &mut s), want, "k={k}");
+        }
+        assert!(s.bitparallel_calls() > 0);
+    }
+
+    #[test]
+    fn myers_peq_cache_reused_across_candidates() {
+        let probe: Vec<char> = "a".repeat(70).chars().collect();
+        let mut s = EdScratch::new();
+        for cand in ["a", "b"] {
+            let cv: Vec<char> = cand.repeat(70).chars().collect();
+            let want = if cand == "a" { Some(0) } else { None };
+            assert_eq!(edit_distance_check_chars(&probe, &cv, 3, &mut s), want);
+        }
+        // Same pattern twice → masks built once; both calls bit-parallel.
+        assert_eq!(s.bitparallel_calls(), 2);
+    }
+
+    #[test]
+    fn myers_exact_block_boundaries() {
+        // Pattern lengths straddling the 64-bit block edge.
+        for m in [63usize, 64, 65, 127, 128, 129] {
+            let a: String = "ab".chars().cycle().take(m).collect();
+            let mut b = a.clone();
+            b.push('z');
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let mut s = EdScratch::new();
+            assert_eq!(edit_distance_check_chars(&av, &bv, 2, &mut s), Some(1), "m={m}");
+            assert_eq!(edit_distance_check_chars(&av, &av, 2, &mut s), Some(0), "m={m}");
+        }
+    }
+
     proptest! {
+        /// Bit-parallel ≡ scalar DP, forced onto the Myers path (`k >=
+        /// blocks` always holds for these shapes) and compared against the
+        /// scalar-pinned entry on the same scratch.
+        #[test]
+        fn prop_myers_matches_scalar(a in "[a-c]{1,20}", b in "[a-c]{0,20}", k in 1u32..8) {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let mut s = EdScratch::new();
+            let fast = edit_distance_check_chars(&av, &bv, k, &mut s);
+            let slow = edit_distance_check_chars_scalar(&av, &bv, k, &mut s);
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// Multi-block parity over Unicode strings longer than one u64 block.
+        #[test]
+        fn prop_myers_multiblock_matches_scalar(
+            a in "[aé日]{60,100}",
+            b in "[aé日]{60,100}",
+            k in 2u32..10,
+        ) {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let mut s = EdScratch::new();
+            let fast = edit_distance_check_chars(&av, &bv, k, &mut s);
+            let slow = edit_distance_check_chars_scalar(&av, &bv, k, &mut s);
+            prop_assert_eq!(fast, slow);
+        }
+
         #[test]
         fn prop_symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
             prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));

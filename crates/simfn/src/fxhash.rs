@@ -1,0 +1,131 @@
+//! A fast, non-cryptographic hasher for the hot kernel caches.
+//!
+//! The vectorized verify kernels and the postings cache key their memo
+//! tables by token/probe strings that are re-hashed once or twice per
+//! candidate row. The standard-library default (SipHash 1-3) is keyed and
+//! DoS-resistant but costs ~1 ns/byte, which is measurable at millions of
+//! 40–80 byte probes per query. This module provides the classic
+//! Fx multiply-rotate hash (as used by rustc) for those *bounded,
+//! process-internal* caches: entries are capped by an LRU clock, so
+//! adversarial collision growth is not a concern there.
+//!
+//! Do **not** use this hasher for maps keyed by unbounded user data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc Fx hash (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hashing state: one `u64` folded with multiply-rotate per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" (as a 3-byte write)
+            // cannot collide trivially.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (bytes.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The raw Fx state concentrates entropy in the high bits (each
+        // fold ends in a multiply); hash tables index buckets with the
+        // *low* bits. One more multiply plus an xor-fold of the high half
+        // spreads the state across all 64 bits.
+        let h = self.hash.wrapping_mul(SEED);
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructible).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; drop-in for bounded internal caches.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&"good product"), hash_of(&"good product"));
+        assert_ne!(hash_of(&"good product"), hash_of(&"good process"));
+        assert_ne!(hash_of(&""), hash_of(&"a"));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&12345u64), hash_of(&12346u64));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("token-{i}"), i);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&format!("token-{i}")), Some(&i));
+        }
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("a");
+        assert!(s.contains("a") && !s.contains("b"));
+    }
+
+    #[test]
+    fn spread_is_reasonable_on_short_strings() {
+        // 4096 distinct short tokens should not collapse into a handful of
+        // buckets under the low 12 bits (what a 4096-slot table uses).
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..4096 {
+            buckets.insert(hash_of(&format!("w{i}")) & 0xfff);
+        }
+        assert!(buckets.len() > 2500, "low-bit spread {}", buckets.len());
+    }
+}

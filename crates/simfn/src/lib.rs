@@ -18,9 +18,12 @@
 //! * [`toccurrence`] — the *T-occurrence problem* (§2.2): lower bounds and
 //!   inverted-list merge algorithms (ScanCount, heap merge),
 //! * [`registry`] — the similarity-function registry, including user-defined
-//!   functions (§3.1's UDF support).
+//!   functions (§3.1's UDF support),
+//! * [`fxhash`] — the fast multiply-rotate hasher used by the bounded
+//!   kernel-side memo caches.
 
 pub mod edit_distance;
+pub mod fxhash;
 pub mod jaccard;
 pub mod prefix;
 pub mod registry;
@@ -28,9 +31,11 @@ pub mod string_extra;
 pub mod toccurrence;
 pub mod tokenize;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+
 pub use edit_distance::{
-    edit_distance, edit_distance_check, edit_distance_check_chars, edit_distance_check_slices,
-    list_edit_distance, EdScratch,
+    edit_distance, edit_distance_check, edit_distance_check_chars,
+    edit_distance_check_chars_scalar, edit_distance_check_slices, list_edit_distance, EdScratch,
 };
 pub use jaccard::{
     cosine, dice, intersection_size_u32, jaccard, jaccard_check, jaccard_from_counts, TokenBitset,
@@ -41,6 +46,7 @@ pub use string_extra::{hamming_distance, jaro, jaro_winkler, overlap_coefficient
 pub use toccurrence::{
     divide_skip_choose_l, edit_distance_t_bound, jaccard_t_bound, t_occurrence_divide_skip,
     t_occurrence_divide_skip_ranks, t_occurrence_divide_skip_with_stats, t_occurrence_heap,
-    t_occurrence_ranks, t_occurrence_scan_count, DivideSkipStats, RankCountScratch,
+    t_occurrence_intersect, t_occurrence_ranks, t_occurrence_scan_count, DivideSkipStats,
+    IntersectScratch, RankCountScratch, GALLOP_SKEW_RATIO,
 };
 pub use tokenize::{gram_tokens, word_tokens};

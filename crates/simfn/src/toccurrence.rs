@@ -299,6 +299,153 @@ fn divide_skip_with_l<I: Ord + Clone + Hash>(
     (out, stats)
 }
 
+/// Pairwise length ratio above which [`t_occurrence_intersect`] switches
+/// from a linear merge to galloping (exponential + binary) probes into the
+/// longer list. Matches the skew cutoff used by the Jaccard verify kernel:
+/// below it the merge's branch-predictable linear scan wins; above it the
+/// `O(small · log(large/small))` gallop does.
+pub const GALLOP_SKEW_RATIO: usize = 8;
+
+/// Reusable scratch arena for [`t_occurrence_intersect`]: two ping-pong
+/// buffers for intermediate intersections (only touched with 3+ lists) and
+/// a cumulative counter of galloping probes issued, which feeds the
+/// `gallop_probes` query-profile counter. One instance per operator open;
+/// steady-state probes allocate nothing beyond the final result.
+#[derive(Debug, Clone)]
+pub struct IntersectScratch<T> {
+    ping: Vec<T>,
+    pong: Vec<T>,
+    gallop_probes: u64,
+}
+
+impl<T> Default for IntersectScratch<T> {
+    fn default() -> Self {
+        Self { ping: Vec::new(), pong: Vec::new(), gallop_probes: 0 }
+    }
+}
+
+impl<T> IntersectScratch<T> {
+    /// Empty scratch; buffers grow to the smallest-list size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total galloping searches issued through this scratch (cumulative).
+    pub fn gallop_probes(&self) -> u64 {
+        self.gallop_probes
+    }
+}
+
+/// Index of the first element in sorted `s` that is `>= x` — galloping
+/// (doubling) search: `O(log d)` where `d` is the distance to the answer,
+/// so walking two lists in lockstep costs `O(small · log(large/small))`.
+fn gallop_lower_bound_by<T: Ord>(s: &[T], x: &T) -> usize {
+    let mut hi = 1usize;
+    while hi < s.len() && s[hi - 1] < *x {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(s.len());
+    lo + s[lo..hi].partition_point(|v| v < x)
+}
+
+/// Intersect sorted `a` (the smaller side) with sorted `b` into `out`,
+/// picking linear merge or gallop by the length ratio.
+fn intersect_pair_into<T: Ord + Clone>(a: &[T], b: &[T], out: &mut Vec<T>, probes: &mut u64) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    debug_assert!(a.len() <= b.len());
+    if b.len() / a.len() >= GALLOP_SKEW_RATIO {
+        // Skewed: gallop into the long list, resuming where the previous
+        // probe left off (both lists are sorted, so probes only move right).
+        let mut base = 0usize;
+        for x in a {
+            base += gallop_lower_bound_by(&b[base..], x);
+            *probes += 1;
+            if base >= b.len() {
+                break;
+            }
+            if b[base] == *x {
+                out.push(x.clone());
+                base += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// T-occurrence in the full-intersection regime: when `T` equals the number
+/// of lists, a candidate must appear on *every* list, so the count-merge
+/// collapses to a plain set intersection over the sorted inverted lists.
+/// This is the common shape for high Jaccard thresholds — `ceil(δ·|q|) ==
+/// |q|` whenever `|q| <= 1/(1-δ)` (e.g. every probe with at most 4 tokens
+/// at δ = 0.8) — and it needs no count table, no interning, and no pass
+/// over any list but the smallest.
+///
+/// Lists must be sorted and duplicate-free. The intersection proceeds from
+/// the smallest list outward (each intermediate result only shrinks) with
+/// an adaptive pairwise kernel: linear merge for comparable lengths,
+/// galloping probes (counted in the scratch) when the ratio reaches
+/// [`GALLOP_SKEW_RATIO`], and an immediate empty return the moment an
+/// intermediate intersection drains. Output is ascending — identical to
+/// ScanCount's first-encounter order in this regime, because every
+/// survivor appears on the first (sorted) list.
+pub fn t_occurrence_intersect<T: Ord + Clone>(
+    lists: &[&[T]],
+    scratch: &mut IntersectScratch<T>,
+) -> Vec<T> {
+    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])));
+    match lists.len() {
+        0 => return Vec::new(),
+        1 => return lists[0].to_vec(),
+        _ => {}
+    }
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|i| lists[*i].len());
+    if lists[order[0]].is_empty() {
+        return Vec::new();
+    }
+    let last = *order.last().expect("len >= 2");
+    let IntersectScratch { ping, pong, gallop_probes } = scratch;
+    if lists.len() == 2 {
+        // Two lists — the common probe shape — never touch the scratch
+        // buffers: intersect straight into the result.
+        let mut out = Vec::with_capacity(lists[order[0]].len());
+        intersect_pair_into(lists[order[0]], lists[last], &mut out, gallop_probes);
+        return out;
+    }
+    // Intermediates ping-pong through the scratch; the final pair writes
+    // straight into the result.
+    intersect_pair_into(lists[order[0]], lists[order[1]], ping, gallop_probes);
+    for &li in &order[2..order.len() - 1] {
+        if ping.is_empty() {
+            return Vec::new();
+        }
+        intersect_pair_into(ping, lists[li], pong, gallop_probes);
+        std::mem::swap(ping, pong);
+    }
+    if ping.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(ping.len());
+    intersect_pair_into(ping, lists[last], &mut out, gallop_probes);
+    out
+}
+
 /// DivideSkip over dense-rank postings — the vectorized form of
 /// [`t_occurrence_divide_skip`]: the caller has already split the lists
 /// into `short` rank arrays and `long` lists represented as
@@ -509,6 +656,57 @@ mod tests {
     }
 
     #[test]
+    fn intersect_edge_cases() {
+        let mut s = IntersectScratch::new();
+        // No lists / one list / an empty list anywhere.
+        assert_eq!(t_occurrence_intersect::<i32>(&[], &mut s), Vec::<i32>::new());
+        assert_eq!(t_occurrence_intersect(&[&[1, 2][..]], &mut s), vec![1, 2]);
+        assert_eq!(t_occurrence_intersect(&[&[1, 2][..], &[][..]], &mut s), Vec::<i32>::new());
+        assert_eq!(t_occurrence_intersect(&[&[][..], &[][..], &[][..]], &mut s), Vec::<i32>::new());
+        // Single-token lists.
+        assert_eq!(t_occurrence_intersect(&[&[7][..], &[7][..], &[7][..]], &mut s), vec![7]);
+        assert_eq!(t_occurrence_intersect(&[&[7][..], &[8][..]], &mut s), Vec::<i32>::new());
+    }
+
+    /// 1:10⁴ length skew must take the galloping path, agree with ScanCount,
+    /// and issue probes proportional to the short list — not the long one.
+    #[test]
+    fn intersect_extreme_skew_gallops() {
+        let long: Vec<i64> = (0..10_000).collect();
+        let short = [0i64, 4_321, 9_999];
+        let lists: Vec<&[i64]> = vec![&long, &short];
+        let mut s = IntersectScratch::new();
+        let got = t_occurrence_intersect(&lists, &mut s);
+        assert_eq!(got, vec![0, 4_321, 9_999]);
+        assert_eq!(got, t_occurrence_scan_count(&lists, 2));
+        assert!(s.gallop_probes() >= 1, "skewed pair must gallop");
+        assert!(
+            s.gallop_probes() <= short.len() as u64,
+            "probes {} should be bounded by the short list, not the long one",
+            s.gallop_probes()
+        );
+        // Single-element probe against the same long list: one gallop.
+        let one = [10_000i64]; // beyond the long list's end
+        let before = s.gallop_probes();
+        assert_eq!(t_occurrence_intersect(&[&long, &one], &mut s), Vec::<i64>::new());
+        assert_eq!(s.gallop_probes(), before + 1);
+    }
+
+    #[test]
+    fn intersect_three_way_uses_scratch_and_matches_scan_count() {
+        let a: Vec<u32> = (0..1000).filter(|x| x % 2 == 0).collect();
+        let b: Vec<u32> = (0..1000).filter(|x| x % 3 == 0).collect();
+        let c = [0u32, 6, 12, 600, 601];
+        let lists: Vec<&[u32]> = vec![&a, &b, &c];
+        let mut s = IntersectScratch::new();
+        let got = t_occurrence_intersect(&lists, &mut s);
+        assert_eq!(got, vec![0, 6, 12, 600]);
+        let mut sc = t_occurrence_scan_count(&lists, 3);
+        sc.sort();
+        assert_eq!(got, sc);
+    }
+
+    #[test]
     fn ranks_kernel_first_encounter_order_and_reuse() {
         let l1 = [4u32, 0, 2];
         let l2 = [2u32, 4];
@@ -565,6 +763,23 @@ mod tests {
             let mut scratch = RankCountScratch::new();
             let fast = t_occurrence_divide_skip_ranks(&shorts, &bs_refs, t, 80, &mut scratch);
             prop_assert_eq!(fast, expected);
+        }
+
+        /// Gallop/merge intersection ≡ the count-based merge at `t = #lists`,
+        /// including output order (ascending == first-encounter here), over
+        /// list counts 1..6 and adversarial length skews (the `0..600` value
+        /// domain with sizes 0..300 yields ratios from 1:1 to 1:300 and
+        /// frequent empty/singleton lists).
+        #[test]
+        fn prop_intersect_equals_scan_count(
+            lists in prop::collection::vec(prop::collection::btree_set(0u32..600, 0..300), 1..6),
+        ) {
+            let sorted: Vec<Vec<u32>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+            let refs: Vec<&[u32]> = sorted.iter().map(|v| v.as_slice()).collect();
+            let mut scratch = IntersectScratch::new();
+            let fast = t_occurrence_intersect(&refs, &mut scratch);
+            let slow = t_occurrence_scan_count(&refs, refs.len());
+            prop_assert_eq!(fast, slow);
         }
 
         #[test]

@@ -22,7 +22,7 @@ use crate::lsm::LsmTree;
 use crate::StorageConfig;
 use asterix_adm::{binary, IndexKind, Value};
 use asterix_simfn::tokenize;
-use asterix_simfn::{RankCountScratch, TokenBitset};
+use asterix_simfn::{IntersectScratch, RankCountScratch, TokenBitset};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -394,6 +394,12 @@ thread_local! {
     /// touched-slot walking, so steady-state probes allocate nothing.
     static RANK_SCRATCH: std::cell::RefCell<RankCountScratch> =
         std::cell::RefCell::new(RankCountScratch::new());
+
+    /// Per-worker ping-pong arena for the full-intersection T-occurrence
+    /// fast path: intermediate intersections reuse these buffers across
+    /// probes, and the embedded probe counter feeds `gallop_probes`.
+    static INTERSECT_SCRATCH: std::cell::RefCell<IntersectScratch<Value>> =
+        std::cell::RefCell::new(IntersectScratch::new());
 }
 
 #[derive(Debug, Default)]
@@ -566,6 +572,7 @@ impl InvertedIndex {
         let candidates = if t > 1 && refs.len() > 1 && max_len >= ADAPTIVE_DIVIDE_SKIP_MIN_LEN {
             asterix_simfn::t_occurrence_divide_skip(&refs, t)
         } else {
+            crate::profile::record_scancount_fallbacks(1);
             asterix_simfn::t_occurrence_scan_count(&refs, t)
         };
         crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
@@ -584,6 +591,29 @@ impl InvertedIndex {
     /// budget refuses the rank arrays, or a concurrent mutation races the
     /// probe.
     pub fn t_occurrence_ranked(&self, tokens: &[Value], t: usize) -> Result<Vec<Value>, IoError> {
+        self.t_occurrence_ranked_opts(tokens, t, true)
+    }
+
+    /// [`InvertedIndex::t_occurrence_ranked`] with the full-intersection
+    /// fast path switchable (`use_intersect = false` reproduces the
+    /// pre-kernel behaviour; the executor wires `disable_kernels` here).
+    ///
+    /// When `T` equals the number of query tokens — the usual shape for
+    /// high Jaccard thresholds, where `ceil(δ·|q|) == |q|` for short
+    /// probes — a candidate must appear on *every* list, so the count
+    /// kernels are bypassed entirely: the sorted, deduplicated
+    /// `Arc<[Value]>` postings slices are intersected directly with the
+    /// adaptive gallop/merge kernel, skipping rank interning, the cache
+    /// lock re-acquisition, and the rank→pk mapping pass. The candidate
+    /// set and order are unchanged: in this regime every survivor appears
+    /// on the first (sorted) list, so ScanCount's first-encounter order is
+    /// already ascending-pk order.
+    pub fn t_occurrence_ranked_opts(
+        &self,
+        tokens: &[Value],
+        t: usize,
+        use_intersect: bool,
+    ) -> Result<Vec<Value>, IoError> {
         if self.postings_cache.capacity == 0 {
             return self.t_occurrence(tokens, t);
         }
@@ -594,6 +624,17 @@ impl InvertedIndex {
             .map(|tok| self.postings_shared(tok))
             .collect::<Result<_, _>>()?;
         let refs: Vec<&[Value]> = lists.iter().map(|l| &**l).collect();
+        if use_intersect && t > 1 && t == refs.len() {
+            let candidates = INTERSECT_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                let before = scratch.gallop_probes();
+                let out = asterix_simfn::t_occurrence_intersect(&refs, &mut scratch);
+                crate::profile::record_gallop_probes(scratch.gallop_probes() - before);
+                out
+            });
+            crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);
+            return Ok(candidates);
+        }
         let max_len = refs.iter().map(|l| l.len()).max().unwrap_or(0);
         let use_divide_skip = t > 1 && refs.len() > 1 && max_len >= ADAPTIVE_DIVIDE_SKIP_MIN_LEN;
 
@@ -666,6 +707,7 @@ impl InvertedIndex {
             })
         } else {
             drop(inner);
+            crate::profile::record_scancount_fallbacks(1);
             let rank_refs: Vec<&[u32]> = rank_lists.iter().map(|l| &**l).collect();
             RANK_SCRATCH.with(|s| {
                 asterix_simfn::t_occurrence_ranks(&rank_refs, t, universe, &mut s.borrow_mut())
@@ -701,6 +743,7 @@ impl InvertedIndex {
         let candidates = if use_divide_skip {
             asterix_simfn::t_occurrence_divide_skip(refs, t)
         } else {
+            crate::profile::record_scancount_fallbacks(1);
             asterix_simfn::t_occurrence_scan_count(refs, t)
         };
         crate::profile::add(|q| &q.toccurrence_candidates, candidates.len() as u64);

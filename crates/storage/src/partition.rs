@@ -428,6 +428,20 @@ impl PartitionStore {
         tokens: &[Value],
         t: usize,
     ) -> Result<Vec<Value>, StorageError> {
+        self.inverted_candidates_ranked_opts(index_name, tokens, t, true)
+    }
+
+    /// [`PartitionStore::inverted_candidates_ranked`] with the
+    /// full-intersection gallop fast path switchable — `use_kernels =
+    /// false` pins the pre-kernel rank/count merge (the executor's
+    /// `disable_kernels` flag lands here).
+    pub fn inverted_candidates_ranked_opts(
+        &self,
+        index_name: &str,
+        tokens: &[Value],
+        t: usize,
+        use_kernels: bool,
+    ) -> Result<Vec<Value>, StorageError> {
         let idx = self
             .secondaries
             .get(index_name)
@@ -437,7 +451,7 @@ impl PartitionStore {
                     "no inverted index named '{index_name}'"
                 )))
             })?;
-        Ok(idx.t_occurrence_ranked(tokens, t)?)
+        Ok(idx.t_occurrence_ranked_opts(tokens, t, use_kernels)?)
     }
 
     /// Exact-match candidate lookup against a named B+-tree index.

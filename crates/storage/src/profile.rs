@@ -51,6 +51,13 @@ pub struct QueryCounters {
     pub postings_cache_hits: AtomicU64,
     /// Postings recomputed on a postings-cache miss.
     pub postings_cache_misses: AtomicU64,
+    /// Edit-distance checks answered by the Myers bit-parallel kernel.
+    pub bitparallel_ed_calls: AtomicU64,
+    /// Galloping searches issued by the T-occurrence set intersection.
+    pub gallop_probes: AtomicU64,
+    /// T-occurrence merges that fell back to the count-based ScanCount
+    /// kernel (no full-intersection or skip-based shortcut applied).
+    pub scancount_fallbacks: AtomicU64,
 }
 
 /// Immutable snapshot of a query's storage counters.
@@ -76,6 +83,15 @@ pub struct StorageProfile {
     /// Posting lists that had to be read out of the LSM tree and were then
     /// installed into the postings cache.
     pub postings_cache_misses: u64,
+    /// Edit-distance checks answered by the Myers bit-parallel kernel
+    /// instead of the scalar banded DP.
+    pub bitparallel_ed_calls: u64,
+    /// Galloping (exponential + binary) searches issued by the adaptive
+    /// T-occurrence set intersection.
+    pub gallop_probes: u64,
+    /// T-occurrence merges that fell back to the count-based ScanCount
+    /// kernel.
+    pub scancount_fallbacks: u64,
 }
 
 impl StorageProfile {
@@ -116,6 +132,9 @@ impl QueryCounters {
             lsm_components_searched: self.lsm_components_searched.load(Ordering::Relaxed),
             postings_cache_hits: self.postings_cache_hits.load(Ordering::Relaxed),
             postings_cache_misses: self.postings_cache_misses.load(Ordering::Relaxed),
+            bitparallel_ed_calls: self.bitparallel_ed_calls.load(Ordering::Relaxed),
+            gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
+            scancount_fallbacks: self.scancount_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +172,23 @@ pub(crate) fn add(field: fn(&QueryCounters) -> &AtomicU64, n: u64) {
     record(|q| {
         field(q).fetch_add(n, Ordering::Relaxed);
     });
+}
+
+/// Attribute `n` bit-parallel edit-distance checks to the current query.
+/// Public because the verify kernels live in the execution crate, outside
+/// the storage layer's `pub(crate)` recording surface.
+pub fn record_bitparallel_ed_calls(n: u64) {
+    add(|q| &q.bitparallel_ed_calls, n);
+}
+
+/// Attribute `n` galloping intersection probes to the current query.
+pub fn record_gallop_probes(n: u64) {
+    add(|q| &q.gallop_probes, n);
+}
+
+/// Attribute `n` ScanCount fallbacks to the current query.
+pub fn record_scancount_fallbacks(n: u64) {
+    add(|q| &q.scancount_fallbacks, n);
 }
 
 #[cfg(test)]

@@ -194,8 +194,15 @@ fn assert_well_nested(spans: &[SpanRecord]) {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), spans.len(), "span ids must be unique");
-    // The compile + execute stages hang off the root.
-    for stage in ["parse", "translate", "optimize", "jobgen", "execute"] {
+    // The compile + execute stages hang off the root. A plan-cache hit
+    // replaces the four compile-stage spans with one "plan-cache" span.
+    let cache_hit = spans.iter().any(|s| s.name == "plan-cache");
+    let stages: &[&str] = if cache_hit {
+        &["plan-cache", "execute"]
+    } else {
+        &["parse", "translate", "optimize", "jobgen", "execute"]
+    };
+    for &stage in stages {
         let s = spans
             .iter()
             .find(|s| s.name == stage)
@@ -399,4 +406,81 @@ fn snapshot_gauges_reflect_workload() {
     let prom = db.metrics_prometheus();
     assert!(prom.contains("asterix_queries_total{class=\"index-select\",outcome=\"completed\"} 2"));
     assert!(prom.contains("asterix_lsm_components{dataset=\"ARevs\",index=\"smix\"}"));
+}
+
+/// The compiled-plan cache: a repeated query text is a hit with identical
+/// results, the counters surface in the metrics snapshot and Prometheus
+/// export, `disable_plan_cache` bypasses the cache entirely, and DDL
+/// invalidates so a new index is picked up by the next compile.
+#[test]
+fn plan_cache_hits_misses_and_ddl_invalidation() {
+    let db = reviews_instance(150);
+    let first = db.query(SELECT_Q).unwrap();
+    let m = db.metrics();
+    assert_eq!(m.gauges.plan_cache_hits, 0);
+    assert!(m.gauges.plan_cache_misses >= 1);
+    let misses_after_first = m.gauges.plan_cache_misses;
+
+    let second = db.query(SELECT_Q).unwrap();
+    assert_eq!(first.ids(), second.ids(), "cache hit must not change results");
+    assert!(second.plan.used_rule("introduce-index-for-selection"));
+    let m = db.metrics();
+    assert_eq!(m.gauges.plan_cache_hits, 1);
+    assert_eq!(m.gauges.plan_cache_misses, misses_after_first);
+
+    // The bypass switch: no hit, no miss, identical results.
+    let opts = QueryOptions {
+        disable_plan_cache: true,
+        ..QueryOptions::default()
+    };
+    let third = db.query_with(SELECT_Q, &opts).unwrap();
+    assert_eq!(first.ids(), third.ids());
+    let m = db.metrics();
+    assert_eq!(m.gauges.plan_cache_hits, 1);
+    assert_eq!(m.gauges.plan_cache_misses, misses_after_first);
+
+    // DDL invalidation: dropping the keyword index must evict the cached
+    // plan; the recompiled plan falls back to a scan and still agrees.
+    db.drop_index("ARevs", "smix").unwrap();
+    let fourth = db.query(SELECT_Q).unwrap();
+    assert_eq!(first.ids(), fourth.ids());
+    assert!(
+        !fourth.plan.used_rule("introduce-index-for-selection"),
+        "stale cached plan survived DDL"
+    );
+    let m = db.metrics();
+    assert_eq!(m.gauges.plan_cache_misses, misses_after_first + 1);
+
+    let prom = db.metrics_prometheus();
+    assert!(prom.contains("asterix_plan_cache_hits_total 1"));
+    let json = asterix_adm::json::to_string(&db.metrics_snapshot());
+    assert!(json.contains("\"plan_cache\""));
+}
+
+/// The similarity-kernel counters flow through the per-query profile,
+/// the instance-lifetime metrics snapshot, and the Prometheus export.
+#[test]
+fn kernel_counters_in_profile_and_metrics() {
+    let db = reviews_instance(150);
+    let opts = QueryOptions {
+        profile: true,
+        ..QueryOptions::default()
+    };
+    let r = db.query_with(SELECT_Q, &opts).unwrap();
+    let profile = r.profile.expect("profile requested");
+    let json = profile.to_json_string();
+    for key in ["\"kernels\"", "\"bitparallel_ed_calls\"", "\"gallop_probes\"", "\"scancount_fallbacks\""] {
+        assert!(json.contains(key), "profile JSON missing {key}");
+    }
+    let m = db.metrics();
+    // δ=0.4 keeps T below the list count, so the ScanCount kernel runs.
+    assert!(m.storage.scancount_fallbacks > 0, "scan-count fallback counted");
+    let prom = db.metrics_prometheus();
+    for metric in [
+        "asterix_bitparallel_ed_calls_total",
+        "asterix_gallop_probes_total",
+        "asterix_scancount_fallbacks_total",
+    ] {
+        assert!(prom.contains(metric), "prometheus missing {metric}");
+    }
 }
