@@ -6,8 +6,8 @@
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
 //! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
-//! hotpath, monitor, concurrency, durability, all} (default: all). Scale
-//! via env
+//! hotpath, monitor, observe, concurrency, durability, all} (default:
+//! all). Scale via env
 //! `ASTERIX_SCALE` (default 1.0 ≈ 20k Amazon records) and
 //! `ASTERIX_PARTITIONS` (default 4).
 //!
@@ -24,6 +24,16 @@
 //! `Instance::metrics_snapshot()`, forces one slow-query capture, then
 //! measures telemetry-enabled vs telemetry-disabled overhead on the same
 //! workload. Writes `BENCH_telemetry.json` with per-class p50/p95/p99.
+//!
+//! `observe` starts the admin HTTP endpoint against a loaded instance
+//! and exercises live introspection over real TCP: scrapes `/queries`,
+//! `/health`, `/metrics`, `/lsm`, and `/slow` while the mixed workload
+//! runs, asserts every scraped running-query entry is well-formed and
+//! internally consistent (and that the registry drains to empty),
+//! watches one long-running query appear with non-zero live operator
+//! progress and cancels it via `POST /queries/<id>/cancel`, then
+//! measures continuous-polling overhead against an unpolled baseline.
+//! Writes `BENCH_observe.json`. `--quick` shrinks it for CI.
 //!
 //! `concurrency` drives N ∈ {1, 8, 32, 128} concurrent clients of the
 //! mixed workload against (a) the pooled executor with admission control
@@ -156,6 +166,9 @@ fn main() {
     }
     if run("monitor") {
         monitor_report(&cfg, quick);
+    }
+    if run("observe") {
+        observe_report(&cfg, quick);
     }
     if run("concurrency") {
         concurrency_report(&cfg, quick);
@@ -814,6 +827,357 @@ fn monitor_report(cfg: &WorkloadConfig, quick: bool) {
         &class_rows,
     );
     println!("wrote BENCH_telemetry.json ({} bytes)", json.len());
+}
+
+/// The live-introspection harness (`observe`): see the module docs.
+/// Everything goes over real TCP against the admin endpoint — no
+/// in-process shortcuts — so the numbers include HTTP parse/serialize
+/// cost exactly as an operator's scraper would pay it.
+fn observe_report(cfg: &WorkloadConfig, quick: bool) {
+    use asterix_adm::Value;
+    use asterix_core::{AdminServer, CoreError};
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    /// Minimal HTTP/1.1 client for the admin endpoint.
+    fn http(addr: SocketAddr, method: &str, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect admin endpoint");
+        let req = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("admin response status line");
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    /// Assert one scraped `/queries` body is well-formed and internally
+    /// consistent; returns the number of in-flight entries.
+    fn check_queries_body(body: &str) -> usize {
+        let v = asterix_adm::json::parse(body).expect("/queries must be valid JSON");
+        let queries = v.field("queries").as_list().expect("queries list");
+        assert_eq!(
+            v.field("count").as_i64(),
+            Some(queries.len() as i64),
+            "count must match the entry list"
+        );
+        let mut last_id = 0i64;
+        for q in queries {
+            let id = q.field("query_id").as_i64().expect("query_id");
+            assert!(id >= 1, "query ids start at 1");
+            assert!(id > last_id, "snapshot must be sorted by query_id");
+            last_id = id;
+            let state = q.field("state").as_str().expect("state");
+            assert!(
+                ["queued", "running", "cancelling"].contains(&state),
+                "unexpected state {state}"
+            );
+            assert!(q.field("class").as_str().is_some());
+            assert!(q.field("elapsed_us").as_i64().unwrap_or(-1) >= 0);
+            let ops = q.field("operators").as_list().expect("operators");
+            let op_total: i64 = ops
+                .iter()
+                .map(|o| {
+                    let started = o.field("partitions_started").as_i64().unwrap();
+                    let finished = o.field("partitions_finished").as_i64().unwrap();
+                    assert!(finished <= started, "finished tasks cannot exceed started");
+                    o.field("tuples_out").as_i64().unwrap()
+                })
+                .sum();
+            assert_eq!(
+                q.field("tuples_out").as_i64(),
+                Some(op_total),
+                "per-query total must equal the sum over operators"
+            );
+        }
+        queries.len()
+    }
+
+    let records = if quick {
+        cfg.amazon_records.min(1_500)
+    } else {
+        cfg.amazon_records
+    };
+    let rounds = if quick { 5 } else { 15 };
+    const WORKERS: usize = 3;
+
+    // Seed 42: the generator's Zipfian vocabulary includes the probe
+    // terms below.
+    let build = || -> Instance {
+        let db = Instance::new(InstanceConfig::with_partitions(cfg.partitions));
+        db.create_dataset("AmazonReview", "id").unwrap();
+        db.load("AmazonReview", amazon_reviews(records, 42)).unwrap();
+        db.create_index("AmazonReview", "smix", "summary", IndexKind::Keyword)
+            .unwrap();
+        db.flush("AmazonReview").unwrap();
+        db
+    };
+    let scan_q = "for $t in dataset AmazonReview where $t.id < 200 return $t.id";
+    let sel_q = "for $t in dataset AmazonReview \
+         where similarity-jaccard(word-tokens($t.summary), word-tokens('caho gonaha')) >= 0.4 \
+         return $t.id";
+    let join_q = "for $o in dataset AmazonReview \
+         for $i in dataset AmazonReview \
+         where $o.id < 40 \
+           and similarity-jaccard(word-tokens($o.summary), word-tokens($i.summary)) >= 0.8 \
+           and $o.id < $i.id \
+         return {\"o\": $o.id, \"i\": $i.id}";
+
+    // ---- Phase 1: scrape the registry while the workload runs. ----
+    let db = Arc::new(build());
+    let admin = AdminServer::start(Arc::clone(&db), "127.0.0.1:0").expect("bind admin endpoint");
+    let addr = admin.local_addr();
+    println!("observe: admin endpoint on {}", admin.url());
+
+    let done = AtomicBool::new(false);
+    let scrape = Mutex::new((0u64, 0u64, 0usize)); // polls, entries_seen, max_concurrent
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                let (status, body) = http(addr, "GET", "/queries");
+                assert_eq!(status, 200);
+                let inflight = check_queries_body(&body);
+                let mut g = scrape.lock().unwrap();
+                g.0 += 1;
+                g.1 += inflight as u64;
+                g.2 = g.2.max(inflight);
+                drop(g);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        std::thread::scope(|inner| {
+            for _ in 0..WORKERS {
+                inner.spawn(|| {
+                    for _ in 0..rounds {
+                        db.query(scan_q).unwrap();
+                        db.query(sel_q).unwrap();
+                        db.query(join_q).unwrap();
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Relaxed);
+    });
+    let (polls, entries_seen, max_concurrent) = *scrape.lock().unwrap();
+    assert!(polls > 0, "the scraper must have run");
+    // The registry drains once the workload stops.
+    let (status, body) = http(addr, "GET", "/queries");
+    assert_eq!(status, 200);
+    assert_eq!(
+        check_queries_body(&body),
+        0,
+        "registry must be empty after the workload"
+    );
+    println!(
+        "observe: {polls} scrapes saw {entries_seen} in-flight entries (max {max_concurrent} concurrent)"
+    );
+
+    // ---- Phase 2: watch one long query live, then cancel it over HTTP. ----
+    let runner = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            // Forced nested-loop self-join: long enough to observe at any
+            // scale; cancelled as soon as progress is visible.
+            db.query_with(
+                "for $a in dataset AmazonReview \
+                 for $b in dataset AmazonReview \
+                 where similarity-jaccard(word-tokens($a.summary), word-tokens($b.summary)) >= 0.95 \
+                 return $a.id",
+                &no_index(),
+            )
+        })
+    };
+    let mut observed = None;
+    let mut polls_until_visible = 0u64;
+    for _ in 0..10_000 {
+        polls_until_visible += 1;
+        let (status, body) = http(addr, "GET", "/queries");
+        assert_eq!(status, 200);
+        let v = asterix_adm::json::parse(&body).unwrap();
+        let queries = v.field("queries").as_list().unwrap();
+        if let Some(q) = queries
+            .iter()
+            .find(|q| q.field("state").as_str() == Some("running"))
+        {
+            let tuples = q.field("tuples_out").as_i64().unwrap_or(0);
+            if tuples > 0 {
+                observed = Some((q.field("query_id").as_i64().unwrap(), tuples));
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (observed_id, observed_tuples) =
+        observed.expect("the long query must appear in /queries with live progress");
+    let t0 = Instant::now();
+    let (status, body) = http(addr, "POST", &format!("/queries/{observed_id}/cancel"));
+    let cancel_roundtrip_us = t0.elapsed().as_micros() as u64;
+    assert_eq!(status, 200);
+    let v = asterix_adm::json::parse(&body).unwrap();
+    assert_eq!(v.field("cancelled").as_bool(), Some(true));
+    match runner.join().expect("runner thread") {
+        Err(CoreError::Cancelled) => {}
+        other => panic!("expected cancelled outcome, got {other:?}"),
+    }
+    println!(
+        "observe: query {observed_id} showed {observed_tuples} live tuples after {polls_until_visible} polls; cancel round-trip {cancel_roundtrip_us} us"
+    );
+
+    // ---- Phase 3: the other endpoints answer and agree. ----
+    let (status, body) = http(addr, "GET", "/health");
+    assert_eq!(status, 200);
+    let health = asterix_adm::json::parse(&body).unwrap();
+    assert_eq!(health.field("status").as_str(), Some("ok"));
+    let (status, prom) = http(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    let metric_families = prom.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert!(metric_families > 10, "prometheus exposition looks empty");
+    let (status, body) = http(addr, "GET", "/lsm");
+    assert_eq!(status, 200);
+    let lsm = asterix_adm::json::parse(&body).unwrap();
+    let lsm_datasets = lsm.field("datasets").as_list().unwrap().len();
+    assert_eq!(lsm_datasets, 1);
+    let (status, body) = http(addr, "GET", "/slow");
+    assert_eq!(status, 200);
+    let slow = asterix_adm::json::parse(&body).unwrap();
+    let slow_entries = slow.field("entries").as_list().unwrap().len();
+    drop(admin);
+
+    // ---- Phase 4: polling overhead vs an unpolled baseline. ----
+    // Identical instances and workload; the measured side is scraped
+    // continuously (/queries every 2 ms, /metrics every 20 ms) while the
+    // timed loop runs. Best-of-3 to suppress scheduler noise.
+    let iters = if quick { 10 } else { 40 };
+    let measure = |db: &Instance| -> u64 {
+        for _ in 0..3 {
+            db.query(sel_q).unwrap();
+            db.query(join_q).unwrap();
+        }
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    db.query(scan_q).unwrap();
+                    db.query(sel_q).unwrap();
+                    db.query(join_q).unwrap();
+                }
+                t0.elapsed().as_micros() as u64
+            })
+            .min()
+            .expect("three timed repetitions")
+    };
+    let baseline_db = build();
+    let baseline_us = measure(&baseline_db);
+    drop(baseline_db);
+
+    let polled_db = Arc::new(build());
+    let polled_admin =
+        AdminServer::start(Arc::clone(&polled_db), "127.0.0.1:0").expect("bind admin endpoint");
+    let polled_addr = polled_admin.local_addr();
+    let stop = AtomicBool::new(false);
+    let polled_us = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let path = if i.is_multiple_of(10) { "/metrics" } else { "/queries" };
+                let (status, _) = http(polled_addr, "GET", path);
+                assert_eq!(status, 200);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let us = measure(&polled_db);
+        stop.store(true, Ordering::Relaxed);
+        us
+    });
+    drop(polled_admin);
+    let overhead_pct = (polled_us as f64 - baseline_us as f64) / baseline_us as f64 * 100.0;
+    println!(
+        "observe: polled {} vs baseline {} over {iters}x3 mixed queries -> {overhead_pct:+.2}% overhead",
+        fmt_duration(Duration::from_micros(polled_us)),
+        fmt_duration(Duration::from_micros(baseline_us)),
+    );
+    if !quick {
+        assert!(
+            overhead_pct < 5.0,
+            "live introspection must stay under the 5% overhead budget, measured {overhead_pct:.2}%"
+        );
+    }
+
+    let doc = Value::record(vec![
+        ("partitions".to_string(), Value::Int64(cfg.partitions as i64)),
+        ("amazon_records".to_string(), Value::Int64(records as i64)),
+        ("workers".to_string(), Value::Int64(WORKERS as i64)),
+        ("rounds".to_string(), Value::Int64(rounds as i64)),
+        ("quick".to_string(), Value::Boolean(quick)),
+        (
+            "registry".to_string(),
+            Value::record(vec![
+                ("polls".to_string(), Value::Int64(polls as i64)),
+                ("entries_seen".to_string(), Value::Int64(entries_seen as i64)),
+                (
+                    "max_concurrent_seen".to_string(),
+                    Value::Int64(max_concurrent as i64),
+                ),
+                ("drained".to_string(), Value::Boolean(true)),
+            ]),
+        ),
+        (
+            "observed_cancel".to_string(),
+            Value::record(vec![
+                ("query_id".to_string(), Value::Int64(observed_id)),
+                (
+                    "live_tuples_seen".to_string(),
+                    Value::Int64(observed_tuples),
+                ),
+                (
+                    "polls_until_visible".to_string(),
+                    Value::Int64(polls_until_visible as i64),
+                ),
+                (
+                    "cancel_roundtrip_us".to_string(),
+                    Value::Int64(cancel_roundtrip_us as i64),
+                ),
+                ("outcome".to_string(), Value::from("cancelled")),
+            ]),
+        ),
+        (
+            "endpoints".to_string(),
+            Value::record(vec![
+                ("health".to_string(), Value::from("ok")),
+                (
+                    "metric_families".to_string(),
+                    Value::Int64(metric_families as i64),
+                ),
+                ("lsm_datasets".to_string(), Value::Int64(lsm_datasets as i64)),
+                ("slow_entries".to_string(), Value::Int64(slow_entries as i64)),
+            ]),
+        ),
+        (
+            "overhead".to_string(),
+            Value::record(vec![
+                ("iterations".to_string(), Value::Int64((iters * 3) as i64)),
+                ("baseline_us".to_string(), Value::Int64(baseline_us as i64)),
+                ("polled_us".to_string(), Value::Int64(polled_us as i64)),
+                ("overhead_pct".to_string(), Value::double(overhead_pct)),
+                ("budget_pct".to_string(), Value::double(5.0)),
+            ]),
+        ),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_observe.json", &json).unwrap();
+    println!("wrote BENCH_observe.json ({} bytes)", json.len());
 }
 
 /// Current OS thread count of this process (`/proc/self/status`,

@@ -1,0 +1,149 @@
+//! `asterix-admin` — a self-contained demo of the admin HTTP endpoint:
+//! boots an in-process instance, loads a synthetic review dataset,
+//! starts the introspection server, and keeps a background similarity
+//! workload running so `/queries`, `/slow`, and `/trace/<id>` have
+//! live content to show.
+//!
+//! ```text
+//! cargo run --release -p asterix-core --bin asterix_admin -- 127.0.0.1:7900
+//! curl -s http://127.0.0.1:7900/health | python3 -m json.tool
+//! curl -s http://127.0.0.1:7900/queries
+//! curl -s -X POST http://127.0.0.1:7900/queries/7/cancel
+//! ```
+//!
+//! Arguments: `[addr]` (default `127.0.0.1:7900`; use port `0` for an
+//! OS-assigned port — the bound address is printed on startup) and
+//! `--duration <secs>` to exit after a fixed time (CI smoke tests);
+//! without it the server runs until killed.
+
+use asterix_adm::{record, IndexKind};
+use asterix_core::{AdminServer, CoreError, Instance, InstanceConfig, TelemetryConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ADJECTIVES: [&str; 8] = [
+    "great", "awful", "decent", "fantastic", "cheap", "sturdy", "fragile", "reliable",
+];
+const NOUNS: [&str; 8] = [
+    "product", "charger", "cable", "speaker", "keyboard", "monitor", "backpack", "bottle",
+];
+
+fn demo_instance() -> Instance {
+    let config = InstanceConfig {
+        telemetry: TelemetryConfig {
+            // Low threshold so the demo workload populates the slow log
+            // (and therefore /slow and /trace/<id>) quickly.
+            slow_query_threshold: Duration::from_millis(5),
+            ..TelemetryConfig::default()
+        },
+        ..InstanceConfig::default()
+    };
+    let db = Instance::new(config);
+    db.create_dataset("Reviews", "id").expect("create dataset");
+    for i in 0..600i64 {
+        let a = ADJECTIVES[(i % 8) as usize];
+        let b = ADJECTIVES[((i / 8) % 8) as usize];
+        let n = NOUNS[((i / 64) % 8) as usize];
+        db.insert(
+            "Reviews",
+            record! {
+                "id" => i,
+                "reviewerName" => format!("reviewer{}", i % 37),
+                "summary" => format!("{a} {b} {n} number {i}")
+            },
+        )
+        .expect("insert");
+    }
+    db.create_index("Reviews", "smix", "summary", IndexKind::Keyword)
+        .expect("create index");
+    db
+}
+
+/// One round of the background workload: an indexed selection plus an
+/// unindexed similarity self-join (slow enough to be visible in
+/// `/queries` and to land in the slow log).
+fn workload_round(db: &Instance) -> Result<(), CoreError> {
+    db.query(
+        r#"
+        for $r in dataset Reviews
+        where similarity-jaccard(word-tokens($r.summary),
+                                 word-tokens('great fantastic product')) >= 0.5
+        return $r.id
+    "#,
+    )?;
+    db.query(
+        r#"
+        for $a in dataset Reviews
+        for $b in dataset Reviews
+        where similarity-jaccard(word-tokens($a.summary),
+                                 word-tokens($b.summary)) >= 0.8
+        return [$a.id, $b.id]
+    "#,
+    )?;
+    Ok(())
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7900".to_string();
+    let mut duration: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: asterix_admin [addr] [--duration <secs>]");
+                        std::process::exit(2);
+                    });
+                duration = Some(Duration::from_secs(secs));
+            }
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => {
+                eprintln!("unknown argument '{other}'; usage: asterix_admin [addr] [--duration <secs>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("loading demo dataset ...");
+    let db = Arc::new(demo_instance());
+    let admin = AdminServer::start(Arc::clone(&db), &addr).unwrap_or_else(|e| {
+        eprintln!("failed to bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // Parsed by smoke tests — keep the format stable.
+    println!("admin listening on {}", admin.url());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workload = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match workload_round(&db) {
+                    // Cancellation via POST /queries/<id>/cancel is part
+                    // of the demo — keep the workload going.
+                    Ok(()) | Err(CoreError::Cancelled) => {}
+                    Err(e) => {
+                        eprintln!("workload query failed: {e}");
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    stop.store(true, Ordering::SeqCst);
+    workload.join().expect("workload thread");
+    drop(admin);
+}

@@ -314,12 +314,16 @@ impl PreparedQuery {
             pool: db.scheduler().map(|s| s.pool().clone()),
             cancel: None,
             memory_budget: db.scheduler().map(|s| s.memory_budget()),
+            progress: None,
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;
         let execution_time = exec_started.elapsed();
         let profile = counters.map(|c| {
+            // Builder queries bypass the running-query registry, so they
+            // carry the sentinel id 0 (real ids start at 1).
             crate::QueryProfile::build(
+                0,
                 &job,
                 &stats,
                 c.snapshot(),
@@ -330,6 +334,7 @@ impl PreparedQuery {
             )
         });
         Ok(QueryResult {
+            query_id: 0,
             rows: tuples
                 .into_iter()
                 .map(|mut t| t.pop().unwrap_or(Value::Missing))
@@ -339,6 +344,7 @@ impl PreparedQuery {
             compile_time,
             execution_time,
             profile,
+            spans: Vec::new(),
         })
     }
 }

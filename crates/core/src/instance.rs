@@ -3,6 +3,7 @@
 use crate::config::InstanceConfig;
 use crate::durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};
 use crate::error::CoreError;
+use crate::registry::{QueryRegistry, RegistryGuard, RunningQuery};
 use crate::result::{PlanInfo, QueryOptions, QueryResult};
 use crate::scheduler::{QueryScheduler, SchedulerSnapshot};
 use crate::telemetry::{
@@ -12,7 +13,9 @@ use asterix_adm::{DatasetDef, IndexDef, IndexKind, Value};
 use asterix_algebricks::plan::{explain as explain_plan, operator_counts};
 use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen};
 use asterix_aql::{parse_query, translate, Bindings};
-use asterix_hyracks::{run_job_with, CancelToken, ClusterContext, ExecError, JobOptions, JobSpec};
+use asterix_hyracks::{
+    run_job_with, CancelToken, ClusterContext, ExecError, JobOptions, JobProgress, JobSpec,
+};
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
 use asterix_storage::{
     BufferCache, CacheStats, Disk, LsmEventKind, Manifest, PartitionStore, QueryCounters, Trace,
@@ -42,6 +45,9 @@ pub struct IndexBuildStats {
 struct DurabilityState {
     partitions: Vec<PartitionDurability>,
     recovery: RecoveryStats,
+    /// Span tree of the recovery pass (manifest restore, orphan sweep,
+    /// WAL replay), exportable as a Chrome trace like any query's spans.
+    recovery_spans: Vec<asterix_storage::SpanRecord>,
 }
 
 /// A compiled plan plus LRU bookkeeping: `stamp` is the clock value of
@@ -169,6 +175,9 @@ pub struct Instance {
     /// Compiled-plan cache (parse → optimize → jobgen memoized per query
     /// text + optimizer fingerprint), invalidated on DDL.
     plan_cache: PlanCache,
+    /// The running-query registry: assigns every query its monotonic
+    /// `query_id` and tracks in-flight queries for live introspection.
+    registry: QueryRegistry,
 }
 
 impl Instance {
@@ -233,6 +242,7 @@ impl Instance {
             scheduler,
             durability: None,
             plan_cache: PlanCache::new(),
+            registry: QueryRegistry::new(),
         };
         if let Some(root) = data_dir {
             instance.recover(&root, &disks)?;
@@ -244,6 +254,12 @@ impl Instance {
     /// every partition store, sweep orphans, and replay the WAL.
     fn recover(&mut self, root: &std::path::Path, disks: &[Arc<Disk>]) -> Result<(), CoreError> {
         let started = Instant::now();
+        // Cold-start time gets its own span tree (mirroring per-query
+        // traces): "recovery" with manifest-restore / orphan-sweep /
+        // wal-replay children, exportable via
+        // [`Instance::recovery_trace_chrome_json`].
+        let rec_trace = Trace::new();
+        let rec_span = rec_trace.span("recovery");
         let wal_config = WalConfig {
             commit_interval: self.config.durability.wal_commit_interval,
             batch_bytes: self.config.durability.wal_batch_bytes,
@@ -253,7 +269,9 @@ impl Instance {
         let mut partitions = Vec::with_capacity(self.config.num_partitions);
         let mut manifests = Vec::with_capacity(self.config.num_partitions);
         let mut wal_records = Vec::with_capacity(self.config.num_partitions);
+        let restore_span = rec_trace.span("manifest-restore");
         for (p, disk) in disks.iter().enumerate() {
+            let _p_span = rec_trace.span_with("partition-open", Some(restore_span.id()), Some(p));
             let dir = root.join(format!("p{p}"));
             let (pd, manifest, records) =
                 PartitionDurability::open(&dir, wal_config.clone(), disk.clone())?;
@@ -320,11 +338,13 @@ impl Instance {
                 set.insert_store(store);
             }
         }
+        drop(restore_span);
 
         // Orphan sweep — before replay, so components flushed *by* replay
         // are never mistaken for orphans. Files on disk that no manifest
         // references were written by flushes/merges that crashed before
         // their manifest commit; the WAL still holds their operations.
+        let sweep_span = rec_trace.span("orphan-sweep");
         for (p, disk) in disks.iter().enumerate() {
             let referenced: std::collections::HashSet<_> = manifests[p]
                 .as_ref()
@@ -338,10 +358,14 @@ impl Instance {
             }
         }
 
+        drop(sweep_span);
+
         // Replay surviving WAL records above each partition's flushed
         // LSN, in LSN order. Replay is idempotent: inserts overwrite,
         // deletes of absent keys are no-ops.
+        let replay_span = rec_trace.span("wal-replay");
         for (p, records) in wal_records.iter().enumerate() {
+            let _p_span = rec_trace.span_with("partition-replay", Some(replay_span.id()), Some(p));
             let flushed = partitions[p].flushed_lsn();
             let mut set = self.ctx.partitions[p].write();
             for record in records {
@@ -370,6 +394,7 @@ impl Instance {
                 stats.wal_records_replayed += 1;
             }
         }
+        drop(replay_span);
         for (p, pd) in partitions.iter().enumerate() {
             if let Some(log) = &self.config.storage.events {
                 let tag: Arc<str> = Arc::from(format!("recovery/p{p}").as_str());
@@ -388,9 +413,11 @@ impl Instance {
             }
         }
         stats.recovery_time = started.elapsed();
+        drop(rec_span);
         self.durability = Some(DurabilityState {
             partitions,
             recovery: stats,
+            recovery_spans: rec_trace.spans(),
         });
         Ok(())
     }
@@ -400,9 +427,62 @@ impl Instance {
         self.durability.as_ref().map(|d| &d.recovery)
     }
 
+    /// Span tree of the startup recovery pass (manifest restore, orphan
+    /// sweep, WAL replay), for durable instances. Same shape as a query's
+    /// spans; render with [`crate::telemetry::chrome_trace_json`].
+    pub fn recovery_spans(&self) -> Option<&[asterix_storage::SpanRecord]> {
+        self.durability.as_ref().map(|d| d.recovery_spans.as_slice())
+    }
+
+    /// The recovery span tree as Chrome trace-event JSON (Perfetto-
+    /// loadable), for durable instances. Uses pid 0 — query traces use
+    /// their nonzero `query_id` as pid.
+    pub fn recovery_trace_chrome_json(&self) -> Option<String> {
+        self.recovery_spans()
+            .map(|s| crate::telemetry::chrome_trace_json(0, s))
+    }
+
     /// True when this instance persists to a data directory.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// True when any partition's WAL is poisoned: a background write or
+    /// fsync failed, so writes can no longer be made durable. The admin
+    /// `/health` endpoint reports the instance as `degraded` when set.
+    /// Always `false` on in-memory instances.
+    pub fn wal_poisoned(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|d| d.partitions.iter().any(|pd| pd.wal().is_poisoned()))
+    }
+
+    /// Consistent snapshot of every in-flight query — id, text, class,
+    /// queued/running/cancelling state, elapsed time, and live
+    /// per-operator progress sampled from the executor's relaxed
+    /// atomics. Never pauses execution.
+    pub fn running_queries(&self) -> Vec<RunningQuery> {
+        self.registry.running()
+    }
+
+    /// Cancel an in-flight query by its `query_id`: trips the query's
+    /// own cancel token, which stops it whether it is still waiting for
+    /// admission or already executing (the query returns
+    /// [`CoreError::Cancelled`]). Returns `false` when no query with
+    /// that id is in flight.
+    pub fn cancel(&self, query_id: u64) -> bool {
+        self.registry.cancel(query_id)
+    }
+
+    /// The Chrome trace-event JSON of a slow-logged query, by id.
+    /// `None` when telemetry is off or the id is not (or no longer) in
+    /// the slow-query log.
+    pub fn slow_query_trace_chrome_json(&self, query_id: u64) -> Option<String> {
+        let t = self.telemetry.as_ref()?;
+        t.slow_queries()
+            .iter()
+            .find(|s| s.query_id == query_id)
+            .map(|s| crate::telemetry::chrome_trace_json(s.query_id, &s.spans))
     }
 
     /// Snapshot every partition's current LSM state into its manifest,
@@ -1114,13 +1194,20 @@ impl Instance {
         });
         self.ctx.install_cancel(cancel.clone());
 
+        // Register in the running-query registry: assigns the monotonic
+        // query_id and makes the query visible (and cancellable by id)
+        // for its whole lifetime — queue wait included. The guard
+        // deregisters on every exit path below.
+        let query_id = self.registry.register(aql, class, cancel.clone());
+        let _registry_guard = RegistryGuard::new(&self.registry, query_id);
+
         // Admission sits between compile and execute: queue wait is
         // recorded in the scheduler's own histogram and deliberately
         // excluded from the per-class execution-time histogram.
         let permit = match &self.scheduler {
             Some(s) => {
                 let admit_span = trace.as_ref().map(|t| t.span("admission"));
-                let admitted = s.admit(class, &cancel);
+                let admitted = s.admit(class, &cancel, query_id);
                 drop(admit_span);
                 match admitted {
                     Ok(p) => Some(p),
@@ -1140,12 +1227,17 @@ impl Instance {
             }
             None => None,
         };
+        self.registry.set_running(query_id);
 
         let exec_started = Instant::now();
         // Telemetry needs the per-query storage counters even when the
         // caller didn't ask for a profile (cache hit ratios, index funnel).
         let counters = (options.profile || self.telemetry.is_some()).then(QueryCounters::handle);
         let exec_span = trace.as_ref().map(|t| t.span("execute"));
+        // Live per-operator progress, sampled by `running_queries()`
+        // while the job executes.
+        let progress = JobProgress::for_job(&job);
+        self.registry.attach_progress(query_id, progress.clone());
         let job_options = JobOptions {
             timeout: options.timeout,
             counters: counters.clone(),
@@ -1158,6 +1250,7 @@ impl Instance {
             pool: self.scheduler.as_ref().map(|s| s.pool().clone()),
             cancel: Some(cancel),
             memory_budget: self.scheduler.as_ref().map(|s| s.memory_budget()),
+            progress: Some(progress),
         };
         let run = run_job_with(&job, &self.ctx, &job_options);
         drop(exec_span);
@@ -1183,6 +1276,7 @@ impl Instance {
         let storage_snapshot = counters.map(|c| c.snapshot());
         let profile = storage_snapshot.as_ref().map(|s| {
             crate::QueryProfile::build(
+                query_id,
                 &job,
                 &stats,
                 *s,
@@ -1222,6 +1316,7 @@ impl Instance {
             if execution_time >= threshold {
                 if let (Some(p), Some(tr)) = (&profile, &trace) {
                     t.record_slow(
+                        query_id,
                         aql,
                         class,
                         compile_time,
@@ -1235,6 +1330,7 @@ impl Instance {
             }
         }
         Ok(QueryResult {
+            query_id,
             rows,
             stats,
             plan,
@@ -1243,6 +1339,7 @@ impl Instance {
             // Preserve the documented contract: a profile is returned only
             // when asked for, even though telemetry collects one anyway.
             profile: if options.profile { profile } else { None },
+            spans: trace.as_ref().map(|t| t.spans()).unwrap_or_default(),
         })
     }
 

@@ -28,16 +28,19 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod builder;
 pub mod config;
 pub mod durability;
 pub mod error;
 pub mod instance;
 pub mod profile;
+pub mod registry;
 pub mod result;
 pub mod scheduler;
 pub mod telemetry;
 
+pub use admin::AdminServer;
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
 pub use config::{DurabilityConfig, InstanceConfig, TelemetryConfig};
 pub use durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};
@@ -46,11 +49,12 @@ pub use instance::{IndexBuildStats, Instance};
 pub use profile::{
     CacheProfile, IndexSearchProfile, KernelProfile, LsmProfile, OpProfile, QueryProfile,
 };
+pub use registry::{QueryRegistry, QueryState, RunningQuery};
 pub use result::{PlanInfo, QueryOptions, QueryResult};
-pub use scheduler::{AdmissionPermit, QueryScheduler, SchedulerSnapshot};
+pub use scheduler::{AdmissionPermit, AdmissionRecord, QueryScheduler, SchedulerSnapshot};
 pub use telemetry::{
-    Histogram, HistogramSnapshot, InstanceGauges, MetricsSnapshot, QueryClass, QueryOutcome,
-    SlowQuery, Telemetry,
+    chrome_trace_json, Histogram, HistogramSnapshot, InstanceGauges, MetricsSnapshot, QueryClass,
+    QueryOutcome, SlowQuery, Telemetry,
 };
 
 pub use asterix_hyracks::SchedulerConfig;

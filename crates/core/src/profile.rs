@@ -139,6 +139,10 @@ pub struct LsmProfile {
 /// Everything measured about one profiled query.
 #[derive(Clone, Debug)]
 pub struct QueryProfile {
+    /// The instance-wide query id this profile belongs to — the same
+    /// key used by the running-query registry, the slow-query log, and
+    /// trace exports.
+    pub query_id: u64,
     /// Per-operator stats in job-spec order.
     pub operators: Vec<OpProfile>,
     /// Buffer-cache activity attributed to this query.
@@ -160,7 +164,9 @@ pub struct QueryProfile {
 impl QueryProfile {
     /// Assemble a profile from the compiled job, the executor's stats,
     /// and the query's scoped storage counters.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
+        query_id: u64,
         job: &JobSpec,
         stats: &JobStats,
         storage: StorageProfile,
@@ -209,6 +215,7 @@ impl QueryProfile {
             .sum();
 
         QueryProfile {
+            query_id,
             operators,
             cache: CacheProfile {
                 hits: storage.cache_hits,
@@ -287,6 +294,7 @@ impl QueryProfile {
                 .collect(),
         );
         Value::record(vec![
+            ("query_id".into(), Value::Int64(self.query_id as i64)),
             ("operators".into(), operators),
             (
                 "cache".into(),
@@ -395,7 +403,7 @@ impl QueryProfile {
     /// storage and optimizer sections.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        out.push_str("QUERY PROFILE\n");
+        out.push_str(&format!("QUERY PROFILE (query_id {})\n", self.query_id));
 
         // Roots: operators nobody consumes (normally just result-sink).
         let consumed: Vec<OpId> = self.operators.iter().flat_map(|o| o.inputs.clone()).collect();
@@ -483,6 +491,7 @@ mod tests {
     #[test]
     fn to_json_emits_every_key_even_when_zero() {
         let zero = QueryProfile {
+            query_id: 0,
             operators: Vec::new(),
             cache: CacheProfile::default(),
             index_search: IndexSearchProfile::default(),
@@ -494,6 +503,7 @@ mod tests {
         };
         let json = zero.to_json_string();
         for key in [
+            "\"query_id\"",
             "\"operators\"",
             "\"cache\"",
             "\"hits\"",

@@ -1,0 +1,255 @@
+//! The running-query registry: live introspection of in-flight queries.
+//!
+//! Every query gets a monotonic `query_id` when it enters
+//! [`crate::Instance::query_with`]; the registry tracks its text, class,
+//! lifecycle state, start time, cancel token, and — once execution
+//! starts — a shared [`JobProgress`] whose relaxed-atomic counters the
+//! executor updates live. [`QueryRegistry::running`] samples all of it
+//! without pausing execution, and [`QueryRegistry::cancel`] trips the
+//! query's own cancel token (which covers both the admission queue wait
+//! and execution, per PR 1's cooperative cancellation).
+
+use crate::telemetry::QueryClass;
+use asterix_hyracks::{CancelToken, JobProgress, OpProgressSnapshot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lifecycle state of a registered query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryState {
+    /// Waiting in the admission queue (or about to enter it).
+    Queued,
+    /// Admitted and executing.
+    Running,
+    /// [`QueryRegistry::cancel`] was called; the query is unwinding
+    /// cooperatively and will leave the registry when it returns.
+    Cancelling,
+}
+
+impl QueryState {
+    /// Lowercase wire name (`"queued"` / `"running"` / `"cancelling"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryState::Queued => "queued",
+            QueryState::Running => "running",
+            QueryState::Cancelling => "cancelling",
+        }
+    }
+}
+
+/// One row of [`QueryRegistry::running`]: a point-in-time view of an
+/// in-flight query.
+#[derive(Clone, Debug)]
+pub struct RunningQuery {
+    /// The query's monotonic id (assigned at admission, never reused).
+    pub query_id: u64,
+    /// The AQL text (or a builder-query placeholder).
+    pub query: String,
+    /// Workload class from plan classification.
+    pub class: QueryClass,
+    /// Lifecycle state at sample time.
+    pub state: QueryState,
+    /// Time since the query entered the registry (queue wait included).
+    pub elapsed: Duration,
+    /// Live per-operator progress; empty until execution starts.
+    pub operators: Vec<OpProgressSnapshot>,
+}
+
+impl RunningQuery {
+    /// Total tuples pushed downstream across all operators so far.
+    pub fn total_tuples_out(&self) -> u64 {
+        self.operators.iter().map(|o| o.tuples_out).sum()
+    }
+}
+
+struct Entry {
+    query: String,
+    class: QueryClass,
+    state: QueryState,
+    started: Instant,
+    cancel: Arc<CancelToken>,
+    progress: Option<Arc<JobProgress>>,
+}
+
+/// The instance-wide registry of in-flight queries. Registration and
+/// state transitions are a short mutex hold; the per-operator progress
+/// inside is sampled lock-free (relaxed atomics owned by the executor).
+#[derive(Default)]
+pub struct QueryRegistry {
+    next_id: AtomicU64,
+    entries: Mutex<HashMap<u64, Entry>>,
+}
+
+impl QueryRegistry {
+    /// A fresh registry; ids start at 1.
+    pub fn new() -> QueryRegistry {
+        QueryRegistry {
+            next_id: AtomicU64::new(1),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register a query entering the admission path, returning its
+    /// freshly assigned monotonic id.
+    pub fn register(&self, query: &str, class: QueryClass, cancel: Arc<CancelToken>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(
+            id,
+            Entry {
+                query: query.to_string(),
+                class,
+                state: QueryState::Queued,
+                started: Instant::now(),
+                cancel,
+                progress: None,
+            },
+        );
+        id
+    }
+
+    /// Transition a query to [`QueryState::Running`] (post-admission).
+    /// A concurrent cancel wins: `Cancelling` is never overwritten.
+    pub fn set_running(&self, id: u64) {
+        if let Some(e) = self.entries.lock().get_mut(&id) {
+            if e.state == QueryState::Queued {
+                e.state = QueryState::Running;
+            }
+        }
+    }
+
+    /// Attach the job's live progress counters once the job spec exists.
+    pub fn attach_progress(&self, id: u64, progress: Arc<JobProgress>) {
+        if let Some(e) = self.entries.lock().get_mut(&id) {
+            e.progress = Some(progress);
+        }
+    }
+
+    /// Cancel a query by id: flips its state to `Cancelling` and trips
+    /// its cancel token, which stops it whether it is still waiting in
+    /// the admission queue or already executing. Returns `false` when no
+    /// such query is in flight (finished queries leave the registry).
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                e.state = QueryState::Cancelling;
+                e.cancel.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a finished query (any outcome).
+    pub fn finish(&self, id: u64) {
+        self.entries.lock().remove(&id);
+    }
+
+    /// Snapshot every in-flight query, sorted by id. Sampling reads the
+    /// executor's relaxed atomics; nothing is paused.
+    pub fn running(&self) -> Vec<RunningQuery> {
+        let entries = self.entries.lock();
+        let mut out: Vec<RunningQuery> = entries
+            .iter()
+            .map(|(id, e)| RunningQuery {
+                query_id: *id,
+                query: e.query.clone(),
+                class: e.class,
+                state: e.state,
+                elapsed: e.started.elapsed(),
+                operators: e
+                    .progress
+                    .as_ref()
+                    .map(|p| p.snapshot())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        out.sort_by_key(|q| q.query_id);
+        out
+    }
+
+    /// Number of in-flight queries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no query is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+/// Removes a query from the registry when the query path unwinds —
+/// every exit of [`crate::Instance::query_with`] (success, admission
+/// rejection, execution error, panic) deregisters exactly once.
+pub(crate) struct RegistryGuard<'a> {
+    registry: &'a QueryRegistry,
+    id: u64,
+}
+
+impl<'a> RegistryGuard<'a> {
+    pub(crate) fn new(registry: &'a QueryRegistry, id: u64) -> RegistryGuard<'a> {
+        RegistryGuard { registry, id }
+    }
+}
+
+impl Drop for RegistryGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.finish(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token() -> Arc<CancelToken> {
+        Arc::new(CancelToken::new())
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_start_at_one() {
+        let reg = QueryRegistry::new();
+        let a = reg.register("q1", QueryClass::Scan, token());
+        let b = reg.register("q2", QueryClass::Scan, token());
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn lifecycle_states_and_finish() {
+        let reg = QueryRegistry::new();
+        let id = reg.register("q", QueryClass::IndexSelect, token());
+        assert_eq!(reg.running()[0].state, QueryState::Queued);
+        reg.set_running(id);
+        assert_eq!(reg.running()[0].state, QueryState::Running);
+        reg.finish(id);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn cancel_trips_the_token_and_marks_cancelling() {
+        let reg = QueryRegistry::new();
+        let t = token();
+        let id = reg.register("q", QueryClass::Scan, t.clone());
+        assert!(reg.cancel(id));
+        assert!(t.check().is_err());
+        assert_eq!(reg.running()[0].state, QueryState::Cancelling);
+        // Cancel after set_running must not be overwritten back.
+        reg.set_running(id);
+        assert_eq!(reg.running()[0].state, QueryState::Cancelling);
+        assert!(!reg.cancel(999), "unknown id must report false");
+    }
+
+    #[test]
+    fn guard_deregisters_on_drop() {
+        let reg = QueryRegistry::new();
+        let id = reg.register("q", QueryClass::Scan, token());
+        {
+            let _g = RegistryGuard::new(&reg, id);
+        }
+        assert!(reg.is_empty());
+    }
+}

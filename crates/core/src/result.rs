@@ -2,6 +2,7 @@
 
 use asterix_adm::Value;
 use asterix_hyracks::JobStats;
+use asterix_storage::SpanRecord;
 use std::time::Duration;
 
 /// Per-query optimizer overrides (the experiment harness flips these to
@@ -77,6 +78,10 @@ impl PlanInfo {
 /// The result of one query.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
+    /// The instance-wide monotonic id this query ran under. The same id
+    /// keys the running-query registry, the slow-query log, the
+    /// scheduler's admission records, and trace exports.
+    pub query_id: u64,
     /// Result values (one per row — the `return` expression's value).
     pub rows: Vec<Value>,
     /// Per-operator runtime statistics from the executor.
@@ -89,9 +94,21 @@ pub struct QueryResult {
     pub execution_time: Duration,
     /// Present when the query ran with [`QueryOptions::profile`] set.
     pub profile: Option<crate::QueryProfile>,
+    /// The query's span tree (query → admission / execute → one span
+    /// per operator partition). Empty when telemetry is disabled.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl QueryResult {
+    /// Render this query's span tree as Chrome trace-event JSON — load
+    /// the string in Perfetto (ui.perfetto.dev) or `chrome://tracing`
+    /// for a flame-style timeline. The query's `query_id` becomes the
+    /// trace `pid`; operator spans land on one track per partition.
+    /// Empty `spans` (telemetry off) render as a valid empty trace.
+    pub fn trace_chrome_json(&self) -> String {
+        crate::telemetry::chrome_trace_json(self.query_id, &self.spans)
+    }
+
     /// Candidate tuples produced by index searches (Table 6's column C).
     pub fn index_candidates(&self) -> u64 {
         self.stats.total_output_of("secondary-index-search")

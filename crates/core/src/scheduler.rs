@@ -55,6 +55,24 @@ struct SchedulerCounters {
     queue_wait: Histogram,
 }
 
+/// How many per-query admission records the scheduler retains. Enough
+/// to correlate a burst of queries with the registry / slow log by
+/// `query_id` without growing unboundedly.
+const RECENT_ADMISSIONS: usize = 32;
+
+/// One query's passage through admission, keyed by the instance-wide
+/// `query_id` so scheduler metrics correlate with the running-query
+/// registry, the slow-query log, and span exports.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionRecord {
+    /// The query's instance-wide id.
+    pub query_id: u64,
+    /// Workload class it was admitted under.
+    pub class: QueryClass,
+    /// Time it waited for admission (0 for fast-path admits).
+    pub queue_wait_us: u64,
+}
+
 /// Mutable admission state, guarded by one mutex.
 #[derive(Debug)]
 struct AdmissionState {
@@ -97,6 +115,22 @@ struct SchedulerInner {
     /// Notified whenever a slot frees or the queue shape changes.
     slot_freed: Condvar,
     counters: SchedulerCounters,
+    /// Ring of the newest [`RECENT_ADMISSIONS`] admissions, by query id.
+    recent: Mutex<VecDeque<AdmissionRecord>>,
+}
+
+impl SchedulerInner {
+    fn record_admission(&self, query_id: u64, class: QueryClass, queue_wait_us: u64) {
+        let mut recent = self.recent.lock().unwrap();
+        if recent.len() == RECENT_ADMISSIONS {
+            recent.pop_front();
+        }
+        recent.push_back(AdmissionRecord {
+            query_id,
+            class,
+            queue_wait_us,
+        });
+    }
 }
 
 /// The per-instance query scheduler: worker pool, admission controller,
@@ -130,6 +164,7 @@ impl QueryScheduler {
                 }),
                 slot_freed: Condvar::new(),
                 counters: SchedulerCounters::default(),
+                recent: Mutex::new(VecDeque::new()),
             }),
         })
     }
@@ -172,10 +207,15 @@ impl QueryScheduler {
     ///   the ticket and returns [`ExecError::Cancelled`]; an expired
     ///   deadline dequeues and returns [`ExecError::AdmissionTimeout`]
     ///   with the time spent waiting.
+    ///
+    /// `query_id` is the instance-wide id assigned by the running-query
+    /// registry; it keys the scheduler's recent-admission records so
+    /// admission metrics correlate with the registry and the slow log.
     pub fn admit(
         &self,
         class: QueryClass,
         cancel: &CancelToken,
+        query_id: u64,
     ) -> Result<AdmissionPermit, ExecError> {
         let inner = &self.inner;
         let slot = class.slot();
@@ -185,8 +225,10 @@ impl QueryScheduler {
         // Fast path: free slot and an empty queue — nobody to be fair to.
         if state.inflight < inner.max_concurrent && state.total_queued() == 0 {
             state.inflight += 1;
+            drop(state);
             inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
             inner.counters.queue_wait.record_us(0);
+            inner.record_admission(query_id, class, 0);
             return Ok(AdmissionPermit {
                 inner: inner.clone(),
             });
@@ -217,6 +259,7 @@ impl QueryScheduler {
                 drop(state);
                 inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 inner.counters.queue_wait.record(started.elapsed());
+                inner.record_admission(query_id, class, started.elapsed().as_micros() as u64);
                 // The round-robin pointer moved: another class's head may
                 // be admissible now if more slots are free.
                 inner.slot_freed.notify_all();
@@ -279,6 +322,14 @@ impl QueryScheduler {
             rejected_timeout: c.rejected_timeout.load(Ordering::Relaxed),
             cancelled_while_queued: c.cancelled_while_queued.load(Ordering::Relaxed),
             queue_wait: c.queue_wait.snapshot(),
+            recent_admissions: self
+                .inner
+                .recent
+                .lock()
+                .unwrap()
+                .iter()
+                .copied()
+                .collect(),
         }
     }
 }
@@ -334,6 +385,9 @@ pub struct SchedulerSnapshot {
     pub cancelled_while_queued: u64,
     /// Time spent waiting for admission (µs; immediate admits record 0).
     pub queue_wait: HistogramSnapshot,
+    /// The newest admissions (oldest first), keyed by instance-wide
+    /// query id for correlation with the running-query registry.
+    pub recent_admissions: Vec<AdmissionRecord>,
 }
 
 impl SchedulerSnapshot {
@@ -370,8 +424,8 @@ mod tests {
     fn immediate_admission_when_idle() {
         let s = sched(2, 4);
         let live = CancelToken::new();
-        let p1 = s.admit(QueryClass::Scan, &live).unwrap();
-        let p2 = s.admit(QueryClass::IndexJoin, &live).unwrap();
+        let p1 = s.admit(QueryClass::Scan, &live, 0).unwrap();
+        let p2 = s.admit(QueryClass::IndexJoin, &live, 0).unwrap();
         assert_eq!(s.inflight(), 2);
         drop((p1, p2));
         assert_eq!(s.inflight(), 0);
@@ -384,8 +438,8 @@ mod tests {
     fn queue_full_rejects_typed() {
         let s = sched(1, 0);
         let live = CancelToken::new();
-        let _held = s.admit(QueryClass::Scan, &live).unwrap();
-        match s.admit(QueryClass::Scan, &live) {
+        let _held = s.admit(QueryClass::Scan, &live, 0).unwrap();
+        match s.admit(QueryClass::Scan, &live, 0) {
             Err(ExecError::QueueFull {
                 queued: 0,
                 queue_depth: 0,
@@ -399,10 +453,10 @@ mod tests {
     fn deadline_in_queue_is_admission_timeout() {
         let s = sched(1, 4);
         let live = CancelToken::new();
-        let _held = s.admit(QueryClass::Scan, &live).unwrap();
+        let _held = s.admit(QueryClass::Scan, &live, 0).unwrap();
         let deadline = CancelToken::with_timeout(Duration::from_millis(30));
         let started = Instant::now();
-        match s.admit(QueryClass::Scan, &deadline) {
+        match s.admit(QueryClass::Scan, &deadline, 0) {
             Err(ExecError::AdmissionTimeout(waited)) => {
                 assert!(waited >= Duration::from_millis(30), "{waited:?}");
             }
@@ -418,13 +472,13 @@ mod tests {
     fn cancel_while_queued_dequeues_and_counts() {
         let s = sched(1, 4);
         let live = CancelToken::new();
-        let held = s.admit(QueryClass::Scan, &live).unwrap();
+        let held = s.admit(QueryClass::Scan, &live, 0).unwrap();
         let token = Arc::new(CancelToken::new());
         let waiter = {
             let s = &s;
             let waiter_token = token.clone();
             std::thread::scope(|scope| {
-                let h = scope.spawn(move || s.admit(QueryClass::Scan, &waiter_token));
+                let h = scope.spawn(move || s.admit(QueryClass::Scan, &waiter_token, 0));
                 while s.queued() == 0 {
                     std::thread::yield_now();
                 }
@@ -438,19 +492,19 @@ mod tests {
         assert_eq!(snap.queued, 0);
         drop(held);
         // The released slot must still be usable.
-        let _next = s.admit(QueryClass::Scan, &live).unwrap();
+        let _next = s.admit(QueryClass::Scan, &live, 0).unwrap();
     }
 
     #[test]
     fn permit_release_admits_next_waiter() {
         let s = sched(1, 8);
         let live = CancelToken::new();
-        let held = s.admit(QueryClass::Scan, &live).unwrap();
+        let held = s.admit(QueryClass::Scan, &live, 0).unwrap();
         std::thread::scope(|scope| {
             let s = &s;
             let h = scope.spawn(move || {
                 let token = CancelToken::with_timeout(Duration::from_secs(10));
-                s.admit(QueryClass::IndexSelect, &token).map(drop)
+                s.admit(QueryClass::IndexSelect, &token, 0).map(drop)
             });
             while s.queued() == 0 {
                 std::thread::yield_now();
@@ -468,7 +522,7 @@ mod tests {
         // must be admitted after at most one scan, not after all of them.
         let s = Arc::new(sched(1, 16));
         let order = Arc::new(Mutex::new(Vec::new()));
-        let held = s.admit(QueryClass::Scan, &CancelToken::new()).unwrap();
+        let held = s.admit(QueryClass::Scan, &CancelToken::new(), 0).unwrap();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for i in 0..4usize {
@@ -476,7 +530,7 @@ mod tests {
                 let order = order.clone();
                 handles.push(scope.spawn(move || {
                     let token = CancelToken::with_timeout(Duration::from_secs(10));
-                    let permit = s.admit(QueryClass::Scan, &token).unwrap();
+                    let permit = s.admit(QueryClass::Scan, &token, 0).unwrap();
                     order.lock().unwrap().push(format!("scan{i}"));
                     drop(permit);
                 }));
@@ -488,7 +542,7 @@ mod tests {
             let order2 = order.clone();
             handles.push(scope.spawn(move || {
                 let token = CancelToken::with_timeout(Duration::from_secs(10));
-                let permit = s2.admit(QueryClass::IndexJoin, &token).unwrap();
+                let permit = s2.admit(QueryClass::IndexJoin, &token, 0).unwrap();
                 order2.lock().unwrap().push("join".to_string());
                 drop(permit);
             }));

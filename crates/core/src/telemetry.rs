@@ -306,6 +306,11 @@ impl StorageTotals {
 pub struct SlowQuery {
     /// Monotone capture sequence number (never reset).
     pub seq: u64,
+    /// The instance-wide query id — the same key used by the
+    /// running-query registry, scheduler admission records, and
+    /// [`crate::QueryResult::query_id`], so a slow-log entry correlates
+    /// with every other observability surface.
+    pub query_id: u64,
     /// The AQL text (or a builder-query placeholder).
     pub query: String,
     /// Workload class the query was recorded under.
@@ -437,6 +442,7 @@ impl Telemetry {
     #[allow(clippy::too_many_arguments)]
     pub fn record_slow(
         &self,
+        query_id: u64,
         query: &str,
         class: QueryClass,
         compile_time: Duration,
@@ -454,6 +460,7 @@ impl Telemetry {
         }
         log.entries.push_back(SlowQuery {
             seq,
+            query_id,
             query: query.to_string(),
             class,
             compile_time,
@@ -675,6 +682,47 @@ fn span_to_json(s: &SpanRecord) -> Value {
         ("start_us".into(), Value::Int64(s.start_us as i64)),
         ("duration_us".into(), Value::Int64(s.duration_us as i64)),
     ])
+}
+
+/// Render a span tree as Chrome trace-event JSON (the format Perfetto
+/// and `chrome://tracing` load). Each span becomes one complete event
+/// (`"ph": "X"`): `ts`/`dur` come straight from the span's
+/// microsecond clock, `pid` is the query's instance-wide id (so traces
+/// of different queries stay separate when concatenated), and `tid`
+/// groups spans by operator partition — phase spans (query, admission,
+/// execute) sit on track 0, partition `p`'s operator spans on track
+/// `p + 1`. Span ids and parent links ride along in `args` for tools
+/// that want the exact tree.
+pub fn chrome_trace_json(query_id: u64, spans: &[SpanRecord]) -> String {
+    let events = spans
+        .iter()
+        .map(|s| {
+            let mut args = vec![("span_id".into(), Value::Int64(s.id as i64))];
+            if let Some(parent) = s.parent {
+                args.push(("parent".into(), Value::Int64(parent as i64)));
+            }
+            if let Some(p) = s.partition {
+                args.push(("partition".into(), Value::Int64(p as i64)));
+            }
+            Value::record(vec![
+                ("name".into(), Value::from(s.name)),
+                ("cat".into(), Value::from("query")),
+                ("ph".into(), Value::from("X")),
+                ("ts".into(), Value::Int64(s.start_us as i64)),
+                ("dur".into(), Value::Int64(s.duration_us as i64)),
+                ("pid".into(), Value::Int64(query_id as i64)),
+                (
+                    "tid".into(),
+                    Value::Int64(s.partition.map_or(0, |p| p as i64 + 1)),
+                ),
+                ("args".into(), Value::record(args)),
+            ])
+        })
+        .collect();
+    asterix_adm::json::to_string(&Value::record(vec![
+        ("traceEvents".into(), Value::OrderedList(events)),
+        ("displayTimeUnit".into(), Value::from("ms")),
+    ]))
 }
 
 fn event_to_json(e: &LsmEvent) -> Value {
@@ -931,6 +979,7 @@ impl MetricsSnapshot {
                         .map(|s| {
                             Value::record(vec![
                                 ("seq".into(), Value::Int64(s.seq as i64)),
+                                ("query_id".into(), Value::Int64(s.query_id as i64)),
                                 ("query".into(), Value::from(s.query.as_str())),
                                 ("class".into(), Value::from(s.class.name())),
                                 (
@@ -996,6 +1045,25 @@ impl MetricsSnapshot {
                 Value::Int64(sched.cancelled_while_queued as i64),
             ),
             ("queue_wait_us".into(), sched.queue_wait.to_json()),
+            (
+                "recent_admissions".into(),
+                Value::OrderedList(
+                    sched
+                        .recent_admissions
+                        .iter()
+                        .map(|a| {
+                            Value::record(vec![
+                                ("query_id".into(), Value::Int64(a.query_id as i64)),
+                                ("class".into(), Value::from(a.class.name())),
+                                (
+                                    "queue_wait_us".into(),
+                                    Value::Int64(a.queue_wait_us as i64),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]);
         let dur = &self.gauges.durability;
         let durability = Value::record(vec![
@@ -1042,261 +1110,412 @@ impl MetricsSnapshot {
 
     /// Prometheus text exposition (counters and summary quantiles; one
     /// metric family per line group). Class, operator, dataset, and index
-    /// names become labels.
+    /// names become labels (escaped per the exposition format). Every
+    /// family carries a `# HELP` line immediately before its `# TYPE`.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
-        let mut line = |s: String| {
-            out.push_str(&s);
-            out.push('\n');
-        };
-        line(format!(
-            "# TYPE asterix_telemetry_enabled gauge\nasterix_telemetry_enabled {}",
-            if self.enabled { 1 } else { 0 }
-        ));
+        let mut w = PromWriter::default();
+        w.scalar(
+            "asterix_telemetry_enabled",
+            "gauge",
+            "Whether the telemetry registry is active (0 = all other series absent).",
+            if self.enabled { 1 } else { 0 },
+        );
         if !self.enabled {
-            return out;
+            return w.out;
         }
-        line(format!(
-            "# TYPE asterix_uptime_us counter\nasterix_uptime_us {}",
-            self.uptime_us
-        ));
-        line("# TYPE asterix_queries_total counter".to_string());
+        w.scalar(
+            "asterix_uptime_us",
+            "counter",
+            "Microseconds since the instance started.",
+            self.uptime_us,
+        );
+        w.family(
+            "asterix_queries_total",
+            "counter",
+            "Queries by workload class and outcome.",
+        );
         for c in &self.classes {
             let name = c.class.name();
-            line(format!(
-                "asterix_queries_total{{class=\"{name}\",outcome=\"completed\"}} {}",
-                c.completed
-            ));
-            line(format!(
-                "asterix_queries_total{{class=\"{name}\",outcome=\"failed\"}} {}",
-                c.failed
-            ));
-            line(format!(
-                "asterix_queries_total{{class=\"{name}\",outcome=\"timeout\"}} {}",
-                c.timeouts
-            ));
-            line(format!(
-                "asterix_queries_total{{class=\"{name}\",outcome=\"cancelled\"}} {}",
-                c.cancelled
-            ));
+            for (outcome, v) in [
+                ("completed", c.completed),
+                ("failed", c.failed),
+                ("timeout", c.timeouts),
+                ("cancelled", c.cancelled),
+            ] {
+                w.sample(format!(
+                    "asterix_queries_total{{class=\"{}\",outcome=\"{outcome}\"}} {v}",
+                    prom_escape_label(name)
+                ));
+            }
         }
-        line(format!(
-            "# TYPE asterix_compile_errors_total counter\nasterix_compile_errors_total {}",
-            self.compile_errors
-        ));
-        line("# TYPE asterix_query_rows_returned_total counter".to_string());
+        w.scalar(
+            "asterix_compile_errors_total",
+            "counter",
+            "Queries rejected before execution (parse/translate/schema errors).",
+            self.compile_errors,
+        );
+        w.family(
+            "asterix_query_rows_returned_total",
+            "counter",
+            "Rows returned by completed queries, by workload class.",
+        );
         for c in &self.classes {
-            line(format!(
+            w.sample(format!(
                 "asterix_query_rows_returned_total{{class=\"{}\"}} {}",
-                c.class.name(),
+                prom_escape_label(c.class.name()),
                 c.rows_returned
             ));
         }
-        line("# TYPE asterix_query_latency_us summary".to_string());
+        w.family(
+            "asterix_query_latency_us",
+            "summary",
+            "End-to-end query execution time by workload class, in microseconds.",
+        );
         for c in &self.classes {
-            let name = c.class.name();
+            let name = prom_escape_label(c.class.name());
             for q in [0.5, 0.95, 0.99] {
-                line(format!(
+                w.sample(format!(
                     "asterix_query_latency_us{{class=\"{name}\",quantile=\"{q}\"}} {}",
                     c.latency.percentile_us(q)
                 ));
             }
-            line(format!(
+            w.sample(format!(
                 "asterix_query_latency_us_sum{{class=\"{name}\"}} {}",
                 c.latency.sum
             ));
-            line(format!(
+            w.sample(format!(
                 "asterix_query_latency_us_count{{class=\"{name}\"}} {}",
                 c.latency.count
             ));
         }
-        line("# TYPE asterix_operator_exec_us summary".to_string());
+        w.family(
+            "asterix_operator_exec_us",
+            "summary",
+            "Per-partition operator execution time by physical operator, in microseconds.",
+        );
         for (op, h) in &self.operators {
-            line(format!(
-                "asterix_operator_exec_us_sum{{op=\"{op}\"}} {}",
-                h.sum
-            ));
-            line(format!(
+            let op = prom_escape_label(op);
+            w.sample(format!("asterix_operator_exec_us_sum{{op=\"{op}\"}} {}", h.sum));
+            w.sample(format!(
                 "asterix_operator_exec_us_count{{op=\"{op}\"}} {}",
                 h.count
             ));
         }
-        line("# TYPE asterix_partition_busy_us counter".to_string());
+        w.family(
+            "asterix_partition_busy_us",
+            "counter",
+            "Total operator busy time per partition, in microseconds.",
+        );
         for (p, s) in self.partitions.iter().enumerate() {
-            line(format!(
+            w.sample(format!(
                 "asterix_partition_busy_us{{partition=\"{p}\"}} {}",
                 s.busy_us
             ));
         }
-        line(format!(
-            "# TYPE asterix_buffer_cache_hits_total counter\nasterix_buffer_cache_hits_total {}",
-            self.gauges.buffer_cache.hits
-        ));
-        line(format!(
-            "# TYPE asterix_buffer_cache_misses_total counter\nasterix_buffer_cache_misses_total {}",
-            self.gauges.buffer_cache.misses
-        ));
-        line(format!(
-            "# TYPE asterix_buffer_cache_hit_ratio gauge\nasterix_buffer_cache_hit_ratio {}",
-            ratio(self.gauges.buffer_cache.hits, self.gauges.buffer_cache.misses)
-        ));
-        line(format!(
-            "# TYPE asterix_postings_cache_hits_total counter\nasterix_postings_cache_hits_total {}",
-            self.storage.postings_cache_hits
-        ));
-        line(format!(
-            "# TYPE asterix_postings_cache_misses_total counter\nasterix_postings_cache_misses_total {}",
-            self.storage.postings_cache_misses
-        ));
-        line(format!(
-            "# TYPE asterix_bitparallel_ed_calls_total counter\nasterix_bitparallel_ed_calls_total {}",
-            self.storage.bitparallel_ed_calls
-        ));
-        line(format!(
-            "# TYPE asterix_gallop_probes_total counter\nasterix_gallop_probes_total {}",
-            self.storage.gallop_probes
-        ));
-        line(format!(
-            "# TYPE asterix_scancount_fallbacks_total counter\nasterix_scancount_fallbacks_total {}",
-            self.storage.scancount_fallbacks
-        ));
-        line(format!(
-            "# TYPE asterix_plan_cache_hits_total counter\nasterix_plan_cache_hits_total {}",
-            self.gauges.plan_cache_hits
-        ));
-        line(format!(
-            "# TYPE asterix_plan_cache_misses_total counter\nasterix_plan_cache_misses_total {}",
-            self.gauges.plan_cache_misses
-        ));
-        line(format!(
-            "# TYPE asterix_lsm_flushes_total counter\nasterix_lsm_flushes_total {}",
-            self.gauges.lsm_flushes
-        ));
-        line(format!(
-            "# TYPE asterix_lsm_merges_total counter\nasterix_lsm_merges_total {}",
-            self.gauges.lsm_merges
-        ));
-        line("# TYPE asterix_lsm_components gauge".to_string());
-        line("# TYPE asterix_index_size_bytes gauge".to_string());
+        w.scalar(
+            "asterix_buffer_cache_hits_total",
+            "counter",
+            "Buffer-cache page hits across all partitions.",
+            self.gauges.buffer_cache.hits,
+        );
+        w.scalar(
+            "asterix_buffer_cache_misses_total",
+            "counter",
+            "Buffer-cache page misses across all partitions.",
+            self.gauges.buffer_cache.misses,
+        );
+        w.scalar(
+            "asterix_buffer_cache_hit_ratio",
+            "gauge",
+            "Buffer-cache hit ratio in [0, 1].",
+            ratio(self.gauges.buffer_cache.hits, self.gauges.buffer_cache.misses),
+        );
+        w.scalar(
+            "asterix_postings_cache_hits_total",
+            "counter",
+            "Inverted-index postings cache hits.",
+            self.storage.postings_cache_hits,
+        );
+        w.scalar(
+            "asterix_postings_cache_misses_total",
+            "counter",
+            "Inverted-index postings cache misses.",
+            self.storage.postings_cache_misses,
+        );
+        w.scalar(
+            "asterix_bitparallel_ed_calls_total",
+            "counter",
+            "Myers bit-parallel edit-distance kernel invocations.",
+            self.storage.bitparallel_ed_calls,
+        );
+        w.scalar(
+            "asterix_gallop_probes_total",
+            "counter",
+            "Galloping-search probes in T-occurrence posting intersection.",
+            self.storage.gallop_probes,
+        );
+        w.scalar(
+            "asterix_scancount_fallbacks_total",
+            "counter",
+            "T-occurrence merges that fell back to scan-count.",
+            self.storage.scancount_fallbacks,
+        );
+        w.scalar(
+            "asterix_plan_cache_hits_total",
+            "counter",
+            "Compiled-plan cache hits.",
+            self.gauges.plan_cache_hits,
+        );
+        w.scalar(
+            "asterix_plan_cache_misses_total",
+            "counter",
+            "Compiled-plan cache misses.",
+            self.gauges.plan_cache_misses,
+        );
+        w.scalar(
+            "asterix_lsm_flushes_total",
+            "counter",
+            "LSM memory-component flushes across every tree.",
+            self.gauges.lsm_flushes,
+        );
+        w.scalar(
+            "asterix_lsm_merges_total",
+            "counter",
+            "LSM disk-component merges across every tree.",
+            self.gauges.lsm_merges,
+        );
+        w.family(
+            "asterix_lsm_components",
+            "gauge",
+            "Disk components per index, summed over partitions.",
+        );
         for d in &self.gauges.datasets {
             for i in &d.indexes {
-                line(format!(
+                w.sample(format!(
                     "asterix_lsm_components{{dataset=\"{}\",index=\"{}\"}} {}",
-                    d.dataset, i.name, i.components
-                ));
-                line(format!(
-                    "asterix_index_size_bytes{{dataset=\"{}\",index=\"{}\"}} {}",
-                    d.dataset, i.name, i.size_bytes
+                    prom_escape_label(&d.dataset),
+                    prom_escape_label(&i.name),
+                    i.components
                 ));
             }
         }
-        line(format!(
-            "# TYPE asterix_lsm_events_total counter\nasterix_lsm_events_total {}",
-            self.events_recorded
-        ));
-        line(format!(
-            "# TYPE asterix_slow_queries_total counter\nasterix_slow_queries_total {}",
-            self.slow_captured
-        ));
+        w.family(
+            "asterix_index_size_bytes",
+            "gauge",
+            "On-disk byte size per index, summed over partitions.",
+        );
+        for d in &self.gauges.datasets {
+            for i in &d.indexes {
+                w.sample(format!(
+                    "asterix_index_size_bytes{{dataset=\"{}\",index=\"{}\"}} {}",
+                    prom_escape_label(&d.dataset),
+                    prom_escape_label(&i.name),
+                    i.size_bytes
+                ));
+            }
+        }
+        w.scalar(
+            "asterix_lsm_events_total",
+            "counter",
+            "LSM lifecycle events recorded since startup (including dropped).",
+            self.events_recorded,
+        );
+        w.scalar(
+            "asterix_slow_queries_total",
+            "counter",
+            "Slow queries captured since startup (including evicted).",
+            self.slow_captured,
+        );
+        w.scalar(
+            "asterix_slow_query_threshold_us",
+            "gauge",
+            "Execution-time threshold for slow-query capture, in microseconds.",
+            self.slow_query_threshold_us,
+        );
         let dur = &self.gauges.durability;
-        line(format!(
-            "# TYPE asterix_durability_enabled gauge\nasterix_durability_enabled {}",
-            if dur.enabled { 1 } else { 0 }
-        ));
-        line(format!(
-            "# TYPE asterix_disk_fsyncs_total counter\nasterix_disk_fsyncs_total {}",
-            dur.disk_fsyncs
-        ));
-        line(format!(
-            "# TYPE asterix_wal_appends_total counter\nasterix_wal_appends_total {}",
-            dur.wal_appends
-        ));
-        line(format!(
-            "# TYPE asterix_wal_bytes_total counter\nasterix_wal_bytes_total {}",
-            dur.wal_bytes
-        ));
-        line(format!(
-            "# TYPE asterix_wal_group_commits_total counter\nasterix_wal_group_commits_total {}",
-            dur.wal_group_commits
-        ));
-        line(format!(
-            "# TYPE asterix_wal_fsyncs_total counter\nasterix_wal_fsyncs_total {}",
-            dur.wal_fsyncs
-        ));
-        line(format!(
-            "# TYPE asterix_wal_live_bytes gauge\nasterix_wal_live_bytes {}",
-            dur.wal_live_bytes
-        ));
-        line(format!(
-            "# TYPE asterix_recovery_replayed_records gauge\nasterix_recovery_replayed_records {}",
-            dur.replayed_records
-        ));
-        line(format!(
-            "# TYPE asterix_recovery_us gauge\nasterix_recovery_us {}",
-            dur.recovery_us
-        ));
+        w.scalar(
+            "asterix_durability_enabled",
+            "gauge",
+            "Whether the instance persists to a data directory.",
+            if dur.enabled { 1 } else { 0 },
+        );
+        w.scalar(
+            "asterix_disk_fsyncs_total",
+            "counter",
+            "Component-file fsyncs.",
+            dur.disk_fsyncs,
+        );
+        w.scalar(
+            "asterix_wal_appends_total",
+            "counter",
+            "Records appended to the write-ahead logs.",
+            dur.wal_appends,
+        );
+        w.scalar(
+            "asterix_wal_bytes_total",
+            "counter",
+            "Bytes appended to the write-ahead logs.",
+            dur.wal_bytes,
+        );
+        w.scalar(
+            "asterix_wal_group_commits_total",
+            "counter",
+            "WAL group-commit batches flushed.",
+            dur.wal_group_commits,
+        );
+        w.scalar(
+            "asterix_wal_fsyncs_total",
+            "counter",
+            "WAL segment fsyncs.",
+            dur.wal_fsyncs,
+        );
+        w.scalar(
+            "asterix_wal_live_bytes",
+            "gauge",
+            "Bytes currently held in live WAL segments.",
+            dur.wal_live_bytes,
+        );
+        w.scalar(
+            "asterix_recovery_replayed_records",
+            "gauge",
+            "WAL records replayed by the last startup recovery.",
+            dur.replayed_records,
+        );
+        w.scalar(
+            "asterix_recovery_us",
+            "gauge",
+            "Wall-clock time of the last startup recovery, in microseconds.",
+            dur.recovery_us,
+        );
         let sched = &self.gauges.scheduler;
-        line(format!(
-            "# TYPE asterix_scheduler_enabled gauge\nasterix_scheduler_enabled {}",
-            if sched.enabled { 1 } else { 0 }
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_workers gauge\nasterix_scheduler_workers {}",
-            sched.workers
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_busy_workers gauge\nasterix_scheduler_busy_workers {}",
-            sched.busy_workers
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_utilization gauge\nasterix_scheduler_utilization {}",
-            sched.utilization()
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_inflight_queries gauge\nasterix_scheduler_inflight_queries {}",
-            sched.inflight
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_queued_queries gauge\nasterix_scheduler_queued_queries {}",
-            sched.queued
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_admitted_total counter\nasterix_scheduler_admitted_total {}",
-            sched.admitted
-        ));
-        line(format!(
-            "# TYPE asterix_scheduler_queued_total counter\nasterix_scheduler_queued_total {}",
-            sched.queued_total
-        ));
-        line("# TYPE asterix_scheduler_rejected_total counter".to_string());
-        line(format!(
+        w.scalar(
+            "asterix_scheduler_enabled",
+            "gauge",
+            "Whether an admission controller + worker pool is active.",
+            if sched.enabled { 1 } else { 0 },
+        );
+        w.scalar(
+            "asterix_scheduler_workers",
+            "gauge",
+            "Configured worker-thread count.",
+            sched.workers,
+        );
+        w.scalar(
+            "asterix_scheduler_busy_workers",
+            "gauge",
+            "Workers running a task right now.",
+            sched.busy_workers,
+        );
+        w.scalar(
+            "asterix_scheduler_utilization",
+            "gauge",
+            "Fraction of workers busy, in [0, 1].",
+            sched.utilization(),
+        );
+        w.scalar(
+            "asterix_scheduler_inflight_queries",
+            "gauge",
+            "Queries currently executing under an admission permit.",
+            sched.inflight,
+        );
+        w.scalar(
+            "asterix_scheduler_queued_queries",
+            "gauge",
+            "Queries currently waiting for admission.",
+            sched.queued,
+        );
+        w.scalar(
+            "asterix_scheduler_admitted_total",
+            "counter",
+            "Queries ever admitted.",
+            sched.admitted,
+        );
+        w.scalar(
+            "asterix_scheduler_queued_total",
+            "counter",
+            "Queries that waited in the admission queue before their outcome.",
+            sched.queued_total,
+        );
+        w.family(
+            "asterix_scheduler_rejected_total",
+            "counter",
+            "Admission rejections by reason.",
+        );
+        w.sample(format!(
             "asterix_scheduler_rejected_total{{reason=\"queue-full\"}} {}",
             sched.rejected_queue_full
         ));
-        line(format!(
+        w.sample(format!(
             "asterix_scheduler_rejected_total{{reason=\"timeout\"}} {}",
             sched.rejected_timeout
         ));
-        line(format!(
-            "# TYPE asterix_scheduler_cancelled_while_queued_total counter\nasterix_scheduler_cancelled_while_queued_total {}",
-            sched.cancelled_while_queued
-        ));
-        line("# TYPE asterix_scheduler_queue_wait_us summary".to_string());
+        w.scalar(
+            "asterix_scheduler_cancelled_while_queued_total",
+            "counter",
+            "Queued queries cancelled before admission.",
+            sched.cancelled_while_queued,
+        );
+        w.family(
+            "asterix_scheduler_queue_wait_us",
+            "summary",
+            "Admission queue wait time, in microseconds (immediate admits record 0).",
+        );
         for q in [0.5, 0.95, 0.99] {
-            line(format!(
+            w.sample(format!(
                 "asterix_scheduler_queue_wait_us{{quantile=\"{q}\"}} {}",
                 sched.queue_wait.percentile_us(q)
             ));
         }
-        line(format!(
+        w.sample(format!(
             "asterix_scheduler_queue_wait_us_sum {}",
             sched.queue_wait.sum
         ));
-        line(format!(
+        w.sample(format!(
             "asterix_scheduler_queue_wait_us_count {}",
             sched.queue_wait.count
         ));
-        out
+        w.out
+    }
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped.
+pub(crate) fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulates Prometheus text exposition: `family` emits the
+/// `# HELP`/`# TYPE` pair (HELP always immediately before TYPE, as
+/// conformant scrapers expect), `sample` one series line, and `scalar`
+/// a one-sample family in one call.
+#[derive(Default)]
+struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    fn sample(&mut self, line: String) {
+        self.out.push_str(&line);
+        self.out.push('\n');
+    }
+
+    fn scalar(&mut self, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+        self.family(name, kind, help);
+        self.sample(format!("{name} {value}"));
     }
 }
 
@@ -1446,6 +1665,154 @@ mod tests {
         assert!(text.contains("asterix_queries_total{class=\"scan\",outcome=\"completed\"} 0"));
     }
 
+    /// A populated exposition to run the conformance checks against:
+    /// nonzero class counters, operator histograms, partitions, and a
+    /// dataset gauge so every family emits at least one sample.
+    fn populated_prometheus() -> String {
+        let t = Telemetry::new(&TelemetryConfig::default(), 2);
+        t.record_query(
+            QueryClass::Scan,
+            QueryOutcome::Completed,
+            Duration::from_micros(100),
+            Duration::from_micros(500),
+            3,
+        );
+        let gauges = InstanceGauges {
+            datasets: vec![DatasetGauges {
+                dataset: "ARevs".into(),
+                indexes: vec![IndexGauge {
+                    name: "primary".into(),
+                    components: 2,
+                    size_bytes: 4096,
+                }],
+            }],
+            ..InstanceGauges::default()
+        };
+        t.snapshot(gauges).to_prometheus()
+    }
+
+    #[test]
+    fn prometheus_every_type_has_help_and_no_duplicate_families() {
+        let text = populated_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut families = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                let kind = rest.split_whitespace().nth(1).unwrap();
+                assert!(
+                    ["counter", "gauge", "summary"].contains(&kind),
+                    "unknown family kind in {line:?}"
+                );
+                // HELP immediately precedes its TYPE.
+                let help = lines
+                    .get(i.wrapping_sub(1))
+                    .and_then(|l| l.strip_prefix("# HELP "))
+                    .unwrap_or_else(|| panic!("no # HELP before {line:?}"));
+                assert_eq!(
+                    help.split_whitespace().next(),
+                    Some(name),
+                    "# HELP names a different family than {line:?}"
+                );
+                families.push(name);
+            }
+        }
+        assert!(!families.is_empty());
+        let mut deduped = families.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(
+            deduped.len(),
+            families.len(),
+            "duplicate metric family declared: {families:?}"
+        );
+    }
+
+    #[test]
+    fn prometheus_every_sample_belongs_to_a_declared_family() {
+        let text = populated_prometheus();
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|r| r.split_whitespace().next())
+            .collect();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .expect("sample line has a metric name");
+            let base = name
+                .strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                families.contains(&name) || families.contains(&base),
+                "sample {line:?} has no # TYPE declaration"
+            );
+            // Sample lines end in a numeric value.
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "sample {line:?} has non-numeric value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("a\"b"), "a\\\"b");
+        assert_eq!(prom_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prom_escape_label("a\nb"), "a\\nb");
+
+        // A hostile dataset name survives as one well-formed line.
+        let t = Telemetry::new(&TelemetryConfig::default(), 1);
+        let gauges = InstanceGauges {
+            datasets: vec![DatasetGauges {
+                dataset: "we\"ird\\ds\n".into(),
+                indexes: vec![IndexGauge {
+                    name: "primary".into(),
+                    components: 1,
+                    size_bytes: 10,
+                }],
+            }],
+            ..InstanceGauges::default()
+        };
+        let text = t.snapshot(gauges).to_prometheus();
+        assert!(text.contains("dataset=\"we\\\"ird\\\\ds\\n\""), "{text}");
+        // No raw newline leaked into the middle of a sample line.
+        for line in text.lines() {
+            assert!(!line.starts_with('#') || line.starts_with("# "));
+        }
+    }
+
+    #[test]
+    fn prometheus_covers_every_snapshot_section() {
+        let text = populated_prometheus();
+        // Each top-level key of `metrics_snapshot()` has at least one
+        // corresponding family in the Prometheus rendering.
+        for (json_key, family) in [
+            ("telemetry_enabled", "asterix_telemetry_enabled"),
+            ("uptime_us", "asterix_uptime_us"),
+            ("queries_by_class", "asterix_queries_total"),
+            ("compile_errors", "asterix_compile_errors_total"),
+            ("operators", "asterix_operator_exec_us"),
+            ("partitions", "asterix_partition_busy_us"),
+            ("scheduler", "asterix_scheduler_enabled"),
+            ("storage", "asterix_postings_cache_hits_total"),
+            ("plan_cache", "asterix_plan_cache_hits_total"),
+            ("lsm", "asterix_lsm_flushes_total"),
+            ("durability", "asterix_durability_enabled"),
+            ("slow_queries", "asterix_slow_queries_total"),
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "snapshot key {json_key} has no Prometheus family {family}"
+            );
+        }
+        assert!(text.contains("# TYPE asterix_slow_query_threshold_us gauge"));
+    }
+
     #[test]
     fn slow_log_is_bounded_and_keeps_newest() {
         let cfg = TelemetryConfig {
@@ -1454,6 +1821,7 @@ mod tests {
         };
         let t = Telemetry::new(&cfg, 1);
         let profile = QueryProfile {
+            query_id: 0,
             operators: Vec::new(),
             cache: Default::default(),
             index_search: Default::default(),
@@ -1465,6 +1833,7 @@ mod tests {
         };
         for i in 0..5 {
             t.record_slow(
+                i,
                 &format!("q{i}"),
                 QueryClass::Scan,
                 Duration::ZERO,
@@ -1481,5 +1850,6 @@ mod tests {
         assert_eq!(entries[0].query, "q3");
         assert_eq!(entries[1].query, "q4");
         assert_eq!(entries[1].seq, 4);
+        assert_eq!(entries[1].query_id, 4, "query_id must ride along");
     }
 }

@@ -92,6 +92,12 @@ pub struct JobOptions {
     /// softly, postings-cache installs). Exceeding it stops the job with
     /// [`ExecError::MemoryBudgetExceeded`].
     pub memory_budget: Option<Arc<MemoryBudget>>,
+    /// Live per-operator progress counters shared with observers (the
+    /// running-query registry). When set, every task marks itself
+    /// started/finished in its operator's slot and counts pushed tuples
+    /// live via relaxed atomics; observers sample mid-execution without
+    /// pausing anything.
+    pub progress: Option<Arc<crate::progress::JobProgress>>,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
@@ -234,13 +240,25 @@ fn run_task(
         .trace
         .as_ref()
         .map(|(t, parent)| t.span_with(op.name(), Some(*parent), Some(partition)));
+    // Live progress: mark this partition instance started and hand its
+    // operator's counter block to `Out` so pushed tuples count as they
+    // happen, not at task end.
+    let live = shared
+        .options
+        .progress
+        .as_ref()
+        .and_then(|p| p.slot(op_id))
+        .cloned();
+    if let Some(p) = &live {
+        p.task_started();
+    }
     let t0 = Instant::now();
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         run_operator(
             op,
             partition,
             inputs,
-            Out::new(routers),
+            Out::new(routers).with_live(live.clone()),
             shared.ctx,
             shared.cancel,
             shared.sink_tuples,
@@ -266,6 +284,14 @@ fn run_task(
             message: panic_message(payload.as_ref()),
         }),
     };
+    if let Some(p) = &live {
+        // Finished (successfully or not) — input counts are only known
+        // from the operator's return value, so failures fold in zero.
+        p.task_finished(match &outcome {
+            Ok((input_tuples, _)) => *input_tuples,
+            Err(_) => 0,
+        });
+    }
     match outcome {
         Ok((input_tuples, out_counts)) => {
             let mut st = shared.stats.lock();

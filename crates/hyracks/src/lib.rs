@@ -41,6 +41,7 @@ pub mod expr;
 pub mod job;
 pub mod ops;
 pub mod pool;
+pub mod progress;
 pub mod tuple;
 pub mod vectorized;
 
@@ -53,5 +54,6 @@ pub use job::{
 };
 pub use ops::{OpFlags, OutCounts};
 pub use pool::{PoolScope, SchedulerConfig, WorkerPool};
+pub use progress::{JobProgress, OpProgress, OpProgressSnapshot};
 pub use tuple::{Batch, BatchSlice, Column, Frame, FrameRows, SortKey, Tuple, FRAME_CAPACITY};
 pub use vectorized::VerifyKernel;

@@ -239,6 +239,9 @@ pub struct Out {
     routers: Vec<Router>,
     /// Tuples pushed so far.
     pub produced: u64,
+    /// Live progress slot of the owning operator: pushed tuples count
+    /// here as they happen, so observers see mid-execution progress.
+    live: Option<std::sync::Arc<crate::progress::OpProgress>>,
 }
 
 impl Out {
@@ -247,12 +250,23 @@ impl Out {
         Out {
             routers,
             produced: 0,
+            live: None,
         }
+    }
+
+    /// Attach the operator's live progress counters (see
+    /// [`crate::progress::JobProgress`]); `None` leaves counting off.
+    pub fn with_live(mut self, live: Option<std::sync::Arc<crate::progress::OpProgress>>) -> Self {
+        self.live = live;
+        self
     }
 
     /// Push one tuple down every outgoing edge.
     pub fn push(&mut self, tuple: Tuple) -> Result<(), ExecError> {
         self.produced += 1;
+        if let Some(p) = &self.live {
+            p.add_out(1);
+        }
         for r in &mut self.routers {
             r.push(&tuple)?;
         }
@@ -263,6 +277,9 @@ impl Out {
     /// non-hash connectors).
     pub fn push_slice(&mut self, slice: &BatchSlice) -> Result<(), ExecError> {
         self.produced += slice.len() as u64;
+        if let Some(p) = &self.live {
+            p.add_out(slice.len() as u64);
+        }
         for r in &mut self.routers {
             r.push_slice(slice)?;
         }

@@ -1,0 +1,126 @@
+//! Live per-operator progress for a running job.
+//!
+//! A [`JobProgress`] is one relaxed-atomic counter block per operator of
+//! a [`crate::JobSpec`], shared between the executor (which increments)
+//! and observers such as a running-query registry (which sample). All
+//! counters are `Relaxed`: a sample is a consistent-enough point-in-time
+//! view and never pauses execution — the executor side pays one
+//! `fetch_add` per pushed tuple (or per batch slice), which is noise
+//! next to the channel send it accompanies.
+
+use crate::job::{JobSpec, OpId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live counters for one operator of a running job. Written by every
+/// partition instance of the operator, read by observers at any time.
+#[derive(Debug)]
+pub struct OpProgress {
+    op: OpId,
+    name: &'static str,
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+    partitions_started: AtomicU64,
+    partitions_finished: AtomicU64,
+}
+
+impl OpProgress {
+    fn new(op: OpId, name: &'static str) -> OpProgress {
+        OpProgress {
+            op,
+            name,
+            tuples_in: AtomicU64::new(0),
+            tuples_out: AtomicU64::new(0),
+            partitions_started: AtomicU64::new(0),
+            partitions_finished: AtomicU64::new(0),
+        }
+    }
+
+    /// Count `n` tuples pushed downstream by one partition instance.
+    /// Called from the operator's hot loop; relaxed on purpose.
+    pub fn add_out(&self, n: u64) {
+        self.tuples_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Mark one partition instance as started.
+    pub fn task_started(&self) {
+        self.partitions_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark one partition instance as finished, folding in the tuples it
+    /// consumed (input counts are only known at task end).
+    pub fn task_finished(&self, tuples_in: u64) {
+        self.tuples_in.fetch_add(tuples_in, Ordering::Relaxed);
+        self.partitions_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of this operator's counters.
+    pub fn sample(&self) -> OpProgressSnapshot {
+        OpProgressSnapshot {
+            op: self.op.0,
+            name: self.name,
+            tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            tuples_out: self.tuples_out.load(Ordering::Relaxed),
+            partitions_started: self.partitions_started.load(Ordering::Relaxed),
+            partitions_finished: self.partitions_finished.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One sampled row of [`JobProgress::snapshot`].
+#[derive(Clone, Debug)]
+pub struct OpProgressSnapshot {
+    /// Operator id within the job (stable across samples).
+    pub op: usize,
+    /// Operator name (e.g. `"dataset-scan"`, `"similarity-join"`).
+    pub name: &'static str,
+    /// Tuples consumed by finished partition instances so far.
+    pub tuples_in: u64,
+    /// Tuples pushed downstream so far — live, mid-execution.
+    pub tuples_out: u64,
+    /// Partition instances that have started.
+    pub partitions_started: u64,
+    /// Partition instances that have finished.
+    pub partitions_finished: u64,
+}
+
+/// Shared live progress of one job: a counter block per operator, in
+/// the job's operator order.
+#[derive(Debug)]
+pub struct JobProgress {
+    ops: Vec<Arc<OpProgress>>,
+}
+
+impl JobProgress {
+    /// Allocate one counter block per operator of `job`.
+    pub fn for_job(job: &JobSpec) -> Arc<JobProgress> {
+        Arc::new(JobProgress {
+            ops: job
+                .ops
+                .iter()
+                .map(|(id, op)| Arc::new(OpProgress::new(*id, op.name())))
+                .collect(),
+        })
+    }
+
+    /// The counter block of one operator, for the executor to thread
+    /// into that operator's tasks.
+    pub fn slot(&self, op: OpId) -> Option<&Arc<OpProgress>> {
+        self.ops.iter().find(|p| p.op == op)
+    }
+
+    /// Sample every operator's counters (a consistent-enough live view;
+    /// execution is never paused).
+    pub fn snapshot(&self) -> Vec<OpProgressSnapshot> {
+        self.ops.iter().map(|p| p.sample()).collect()
+    }
+
+    /// Total tuples pushed downstream across all operators so far — a
+    /// cheap scalar "is it moving?" signal.
+    pub fn total_tuples_out(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|p| p.tuples_out.load(Ordering::Relaxed))
+            .sum()
+    }
+}

@@ -550,6 +550,14 @@ impl Wal {
         self.state.lock().expect("wal state lock").durable_lsn
     }
 
+    /// Whether the log is poisoned: a background write or fsync failed,
+    /// so every later submit and every not-yet-durable wait returns the
+    /// original error. Health endpoints surface this as "degraded" —
+    /// the instance still serves reads but cannot make writes durable.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().expect("wal state lock").poisoned.is_some()
+    }
+
     /// Raise the LSN counters so the next append is numbered above
     /// `lsn`. [`Wal::open`] resumes numbering from the records still in
     /// the segments, but segments fully covered by a manifest commit are
