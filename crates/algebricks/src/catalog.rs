@@ -28,6 +28,12 @@ impl SimpleCatalog {
     pub fn get_mut(&mut self, name: &str) -> Option<&mut DatasetDef> {
         self.datasets.get_mut(name)
     }
+
+    /// Every dataset definition, in unspecified order (the HTTP
+    /// `GET /datasets` listing sorts by name itself).
+    pub fn datasets(&self) -> impl Iterator<Item = &DatasetDef> {
+        self.datasets.values()
+    }
 }
 
 impl Catalog for SimpleCatalog {

@@ -6,8 +6,8 @@
 //!
 //! `<which>` ∈ {config, datasets, table5, table6, fig15, fig22a, fig22b,
 //! fig24a, fig24b, fig25a, fig25b, fig27a, fig27bc, ablations, profile,
-//! hotpath, monitor, observe, concurrency, durability, all} (default:
-//! all). Scale via env
+//! hotpath, monitor, observe, concurrency, durability, serve, all}
+//! (default: all). Scale via env
 //! `ASTERIX_SCALE` (default 1.0 ≈ 20k Amazon records) and
 //! `ASTERIX_PARTITIONS` (default 4).
 //!
@@ -53,6 +53,18 @@
 //! recovery time and WAL group-commit throughput. Writes
 //! `BENCH_durability.json`. `--quick` shrinks the round counts for CI.
 //!
+//! `serve` exercises the `asterix-server` HTTP service end to end: (a)
+//! streaming parity + latency — concurrent HTTP clients run the same
+//! indexed similarity query as direct library threads at identical
+//! concurrency, every streamed result set must match library execution
+//! exactly, and the HTTP p95 must stay within 1.2× of the library p95;
+//! (b) ingest durability — a child `asterix-server` process is fed
+//! `POST /ingest` batches by concurrent feeders and killed with SIGKILL
+//! mid-feed, after which the parent reopens the data directory and
+//! asserts zero acknowledged-batch loss (a `200` answer means every
+//! record in the batch survived the crash). Writes `BENCH_serve.json`.
+//! `--quick` shrinks client and round counts for CI.
+//!
 //! Absolute times are not comparable with the paper's 8-node cluster; the
 //! *shapes* (who wins, how ratios move with thresholds and sizes) are the
 //! reproduction targets — see EXPERIMENTS.md.
@@ -86,6 +98,12 @@ fn main() {
     // a child writer that gets crashed (crash points / SIGKILL).
     if args.first().map(String::as_str) == Some("durability-child") {
         durability_child(&args[1..]);
+        return;
+    }
+    // Hidden mode: the serve torture harness re-execs this binary as a
+    // child asterix-server process that gets SIGKILLed mid-ingest.
+    if args.first().map(String::as_str) == Some("serve-child") {
+        serve_child(&args[1..]);
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -175,6 +193,9 @@ fn main() {
     }
     if run("durability") {
         durability_report(&cfg, quick);
+    }
+    if run("serve") {
+        serve_report(&cfg, quick);
     }
 }
 
@@ -2709,4 +2730,438 @@ fn durability_report(cfg: &WorkloadConfig, quick: bool) {
     let json = asterix_adm::json::to_string(&doc);
     std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
     println!("wrote BENCH_durability.json");
+}
+
+// --------------------------------------------------------------------
+// serve: the asterix-server HTTP service — streaming parity, latency
+// under concurrency, and zero acked-ingest loss across kill -9.
+// --------------------------------------------------------------------
+
+/// Minimal HTTP/1.1 client exchange (`Connection: close`); decodes a
+/// chunked body when the server streamed one. Errors are connection
+/// failures — expected while the torture child is being killed.
+fn http_exchange(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no head"))?;
+    let head = &text[..head_end];
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body_raw = &text[head_end + 4..];
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let mut out = String::new();
+        let mut rest = body_raw;
+        while let Some(line_end) = rest.find("\r\n") {
+            let size = usize::from_str_radix(rest[..line_end].trim(), 16).unwrap_or(0);
+            if size == 0 || rest.len() < line_end + 2 + size + 2 {
+                break;
+            }
+            out.push_str(&rest[line_end + 2..line_end + 2 + size]);
+            rest = &rest[line_end + 2 + size + 2..];
+        }
+        out
+    } else {
+        body_raw.to_string()
+    };
+    Ok((status, body))
+}
+
+/// Run `statement` over `POST /query` and return the sorted serialized
+/// result rows (the canonical form the parity check compares).
+fn http_query_rows(addr: std::net::SocketAddr, statement: &str) -> (Vec<String>, u64) {
+    use asterix_adm::Value;
+    let body = format!(
+        "{{\"statement\": {}}}",
+        asterix_adm::json::to_string(&Value::from(statement))
+    );
+    // Time only the wire exchange (request out, full stream back);
+    // client-side NDJSON parsing is not server overhead.
+    let started = Instant::now();
+    let (status, text) = http_exchange(addr, "POST", "/query", &body).expect("query exchange");
+    let exchange_us = started.elapsed().as_micros() as u64;
+    assert_eq!(status, 200, "query over HTTP failed: {text}");
+    let mut rows = Vec::new();
+    let mut done = false;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = asterix_adm::json::parse(line).expect("NDJSON line");
+        if !matches!(v.field("row"), Value::Missing) {
+            rows.push(asterix_adm::json::to_string(v.field("row")));
+        } else if !matches!(v.field("done"), Value::Missing) {
+            done = true;
+        } else {
+            panic!("in-band query error: {line}");
+        }
+    }
+    assert!(done, "stream ended without a done line");
+    rows.sort();
+    (rows, exchange_us)
+}
+
+/// Deterministic review record for the serve workload.
+fn serve_record(id: i64) -> asterix_adm::Value {
+    const ADJ: [&str; 8] = [
+        "great", "awful", "decent", "fantastic", "cheap", "sturdy", "fragile", "reliable",
+    ];
+    const NOUN: [&str; 8] = [
+        "product", "charger", "cable", "speaker", "keyboard", "monitor", "backpack", "bottle",
+    ];
+    let summary = format!(
+        "{} {} {} number {}",
+        ADJ[(id.rem_euclid(8)) as usize],
+        ADJ[((id / 8).rem_euclid(8)) as usize],
+        NOUN[((id / 64).rem_euclid(8)) as usize],
+        id
+    );
+    asterix_adm::record! {"id" => id, "summary" => summary.as_str()}
+}
+
+/// Hidden child mode: open the durable instance at `args[0]` (creating
+/// the torture dataset + index on a fresh directory), start a full
+/// `asterix-server` on an OS-assigned port, publish the bound address
+/// atomically at `args[1]`, and serve until killed. The parent SIGKILLs
+/// this process mid-ingest; every batch it answered `200` must survive.
+fn serve_child(args: &[String]) {
+    let dir = std::path::PathBuf::from(args.first().expect("serve-child: data dir"));
+    let addr_file = std::path::PathBuf::from(args.get(1).expect("serve-child: addr file"));
+    let db = Instance::open(torture_config(&dir)).expect("serve-child: open");
+    if db.count_records("ARevs").is_err() {
+        db.create_dataset("ARevs", "id").expect("serve-child: create dataset");
+        db.create_index("ARevs", "sum_kw", "summary", IndexKind::Keyword)
+            .expect("serve-child: create index");
+    }
+    let server = asterix_server::AsterixServer::start(
+        std::sync::Arc::new(db),
+        asterix_server::ServerConfig::ephemeral(),
+    )
+    .expect("serve-child: bind");
+    let tmp = addr_file.with_extension("tmp");
+    std::fs::write(&tmp, server.local_addr().to_string()).expect("serve-child: addr write");
+    std::fs::rename(&tmp, &addr_file).expect("serve-child: addr publish");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Spawn a serve child on a fresh scratch dir and wait for its address.
+fn spawn_serve_child(
+    dir: &std::path::Path,
+    addr_file: &std::path::Path,
+) -> (std::process::Child, std::net::SocketAddr) {
+    let exe = std::env::current_exe().expect("current exe");
+    let child = std::process::Command::new(exe)
+        .arg("serve-child")
+        .arg(dir)
+        .arg(addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .env_remove("ASTERIX_CRASH_POINT")
+        .spawn()
+        .expect("spawn serve child");
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "serve child did not publish its address in time"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn serve_report(cfg: &WorkloadConfig, quick: bool) {
+    use asterix_adm::Value;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    println!("\nServe: HTTP streaming parity, latency, and ingest durability");
+    let records: i64 = if quick { 1_500 } else { 8_000 };
+    let clients: usize = if quick { 8 } else { 64 };
+    let per_client: usize = if quick { 3 } else { 8 };
+    let torture_rounds: usize = if quick { 1 } else { 3 };
+    let feeders: usize = if quick { 2 } else { 4 };
+    let kill_after_acks: usize = if quick { 150 } else { 600 };
+
+    // --- streaming parity + latency under concurrency -------------------
+    let db = Instance::new(InstanceConfig::with_partitions(cfg.partitions));
+    db.create_dataset("Reviews", "id").expect("serve dataset");
+    for i in 0..records {
+        db.insert("Reviews", serve_record(i)).expect("serve seed");
+    }
+    db.create_index("Reviews", "smix", "summary", IndexKind::Keyword)
+        .expect("serve index");
+    let db = Arc::new(db);
+    let query = "for $r in dataset Reviews \
+                 where similarity-jaccard(word-tokens($r.summary), \
+                                          word-tokens('great fantastic product number')) >= 0.4 \
+                 return $r.id";
+
+    let canonical: Vec<String> = {
+        let mut rows: Vec<String> = db
+            .query(query)
+            .expect("library baseline")
+            .rows
+            .iter()
+            .map(asterix_adm::json::to_string)
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert!(!canonical.is_empty(), "serve parity query returned no rows");
+
+    // Library execution at the same concurrency as the HTTP clients, so
+    // the ratio isolates the HTTP + streaming overhead rather than
+    // admission queueing (both paths share the scheduler).
+    let library_lat: Vec<u64> = {
+        let lat = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| {
+                    for _ in 0..per_client {
+                        let started = Instant::now();
+                        let result = db.query(query).expect("library query");
+                        let us = started.elapsed().as_micros() as u64;
+                        assert_eq!(result.rows.len(), canonical.len());
+                        lat.lock().unwrap().push(us);
+                    }
+                });
+            }
+        });
+        let mut lat = lat.into_inner().unwrap();
+        lat.sort_unstable();
+        lat
+    };
+
+    let server = asterix_server::AsterixServer::start(
+        Arc::clone(&db),
+        asterix_server::ServerConfig::ephemeral(),
+    )
+    .expect("start serve server");
+    let addr = server.local_addr();
+    let parity;
+    let http_lat: Vec<u64> = {
+        let lat = Mutex::new(Vec::new());
+        let all_match = AtomicBool::new(true);
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| {
+                    for _ in 0..per_client {
+                        let (rows, us) = http_query_rows(addr, query);
+                        if rows != canonical {
+                            all_match.store(false, Ordering::SeqCst);
+                        }
+                        lat.lock().unwrap().push(us);
+                    }
+                });
+            }
+        });
+        parity = all_match.load(Ordering::SeqCst);
+        let mut lat = lat.into_inner().unwrap();
+        lat.sort_unstable();
+        lat
+    };
+    assert!(parity, "a streamed HTTP result diverged from library execution");
+
+    let lib_p50 = percentile_us(&library_lat, 0.50);
+    let lib_p95 = percentile_us(&library_lat, 0.95);
+    let http_p50 = percentile_us(&http_lat, 0.50);
+    let http_p95 = percentile_us(&http_lat, 0.95);
+    let p95_ratio = http_p95 as f64 / lib_p95.max(1) as f64;
+    print_table(
+        &format!(
+            "Streaming over HTTP vs direct library at {clients} concurrent clients \
+             ({} queries each, {} rows per result)",
+            per_client,
+            canonical.len()
+        ),
+        &["path", "p50", "p95"],
+        &[
+            vec![
+                "library".to_string(),
+                fmt_duration(std::time::Duration::from_micros(lib_p50)),
+                fmt_duration(std::time::Duration::from_micros(lib_p95)),
+            ],
+            vec![
+                "http".to_string(),
+                fmt_duration(std::time::Duration::from_micros(http_p50)),
+                fmt_duration(std::time::Duration::from_micros(http_p95)),
+            ],
+        ],
+    );
+    println!("  parity: all {} HTTP results identical to library execution", clients * per_client);
+    println!("  p95 ratio (http/library): {p95_ratio:.3}");
+    assert!(
+        p95_ratio <= 1.2,
+        "HTTP streaming p95 exceeded 1.2x the library p95 ({p95_ratio:.3})"
+    );
+    drop(server);
+
+    // --- ingest durability across kill -9 --------------------------------
+    let mut round_docs = Vec::new();
+    let mut rows = Vec::new();
+    for round in 0..torture_rounds {
+        let scratch = ScratchDir::new("serve");
+        let addr_file = scratch.path().with_extension(format!("addr{round}"));
+        let (mut child, addr) = spawn_serve_child(scratch.path(), &addr_file);
+
+        let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for f in 0..feeders {
+                let acked = Arc::clone(&acked);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut next = (f as i64 + 1) * 1_000_000;
+                    while !stop.load(Ordering::SeqCst) {
+                        let ids: Vec<i64> = (next..next + 10).collect();
+                        let batch: String = ids
+                            .iter()
+                            .map(|id| {
+                                let mut line =
+                                    asterix_adm::json::to_string(&torture_record(*id));
+                                line.push('\n');
+                                line
+                            })
+                            .collect();
+                        match http_exchange(addr, "POST", "/ingest/ARevs", &batch) {
+                            Ok((200, _)) => {
+                                // 200 means every record in the batch is
+                                // durable — these ids must survive SIGKILL.
+                                acked.lock().unwrap().extend(&ids);
+                                next += 10;
+                            }
+                            Ok((429, _)) => {
+                                // Feed saturated: retry the same batch.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                            }
+                            Ok((status, body)) => {
+                                panic!("unexpected ingest status {status}: {body}")
+                            }
+                            Err(_) => {
+                                // Connection failure: the child is being
+                                // (or has been) killed. Nothing from this
+                                // batch was acknowledged.
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                            }
+                        }
+                    }
+                });
+            }
+            // Kill the server for real once enough batches are acked.
+            while acked.lock().unwrap().len() < kill_after_acks {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            child.kill().expect("SIGKILL serve child");
+            let _ = child.wait();
+            stop.store(true, Ordering::SeqCst);
+        });
+
+        let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+        assert!(acked.len() >= kill_after_acks);
+        let v = verify_torture_round(scratch.path(), &acked);
+        assert_eq!(
+            v.missing, 0,
+            "round {round}: {} HTTP-acked records lost after kill -9",
+            v.missing
+        );
+        assert!(
+            v.scan_eq_index,
+            "round {round}: scan and index disagree after recovery"
+        );
+        println!(
+            "  round {round}: acked={} recovered={} lost=0 replayed={} recovery={}",
+            acked.len(),
+            v.recovered,
+            v.replayed,
+            fmt_duration(std::time::Duration::from_micros(v.recovery_us)),
+        );
+        rows.push(vec![
+            round.to_string(),
+            acked.len().to_string(),
+            v.recovered.to_string(),
+            "0".to_string(),
+            v.replayed.to_string(),
+            fmt_duration(std::time::Duration::from_micros(v.recovery_us)),
+        ]);
+        round_docs.push(Value::record(vec![
+            ("round".to_string(), Value::Int64(round as i64)),
+            ("acked".to_string(), Value::Int64(acked.len() as i64)),
+            ("recovered".to_string(), Value::Int64(v.recovered as i64)),
+            ("lost".to_string(), Value::Int64(v.missing as i64)),
+            ("replayed_records".to_string(), Value::Int64(v.replayed as i64)),
+            ("recovery_us".to_string(), Value::Int64(v.recovery_us as i64)),
+        ]));
+    }
+    print_table(
+        "Ingest-over-HTTP torture: zero acked-batch loss across kill -9",
+        &["round", "acked", "recovered", "lost", "replayed", "recovery"],
+        &rows,
+    );
+
+    let doc = Value::record(vec![
+        ("quick".to_string(), Value::Boolean(quick)),
+        ("records".to_string(), Value::Int64(records)),
+        ("clients".to_string(), Value::Int64(clients as i64)),
+        ("queries_per_client".to_string(), Value::Int64(per_client as i64)),
+        ("rows_per_query".to_string(), Value::Int64(canonical.len() as i64)),
+        (
+            "streaming".to_string(),
+            Value::record(vec![
+                ("parity".to_string(), Value::Boolean(parity)),
+                ("library_p50_us".to_string(), Value::Int64(lib_p50 as i64)),
+                ("library_p95_us".to_string(), Value::Int64(lib_p95 as i64)),
+                ("http_p50_us".to_string(), Value::Int64(http_p50 as i64)),
+                ("http_p95_us".to_string(), Value::Int64(http_p95 as i64)),
+                ("p95_ratio".to_string(), Value::from(p95_ratio)),
+            ]),
+        ),
+        (
+            "ingest".to_string(),
+            Value::record(vec![
+                ("feeders".to_string(), Value::Int64(feeders as i64)),
+                ("kill_after_acks".to_string(), Value::Int64(kill_after_acks as i64)),
+                ("rounds".to_string(), Value::OrderedList(round_docs)),
+                ("zero_loss".to_string(), Value::Boolean(true)),
+            ]),
+        ),
+    ]);
+    let json = asterix_adm::json::to_string(&doc);
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} bytes)", json.len());
 }

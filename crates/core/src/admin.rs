@@ -16,29 +16,22 @@
 //! | `/trace/<id>` | GET | Chrome trace-event JSON of a slow-logged query (Perfetto-loadable) |
 //! | `/trace/recovery` | GET | Chrome trace-event JSON of the startup recovery pass |
 //!
-//! Request parsing is bounded: requests larger than 8 KiB are rejected
-//! with `431` before any allocation proportional to attacker input.
-//! The accept loop runs non-blocking with a 10 ms poll so dropping the
-//! [`AdminServer`] shuts it down promptly.
+//! Request parsing is bounded by the shared [`crate::http`] foundation:
+//! request heads larger than 8 KiB are rejected with `431` before any
+//! allocation proportional to attacker input. The accept loop runs
+//! non-blocking with a 10 ms poll so dropping the [`AdminServer`] shuts
+//! it down promptly.
+//!
+//! The route dispatcher is exported as [`admin_response`] so other HTTP
+//! surfaces (the `asterix-server` query/ingest service) can mount the
+//! same introspection routes under a path prefix (`/admin/*`).
 
+use crate::http::{HttpLimits, HttpServer, Response};
 use crate::instance::Instance;
 use crate::registry::RunningQuery;
 use asterix_adm::Value;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
-use std::time::Duration;
-
-/// Largest request (request line + headers) we accept before answering
-/// `431 Request Header Fields Too Large`.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
-/// Per-connection socket read timeout (a stalled client cannot pin its
-/// handler thread forever).
-const READ_TIMEOUT: Duration = Duration::from_secs(5);
-/// Accept-loop poll interval while no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 /// A running admin HTTP server bound to one [`Instance`].
 ///
@@ -57,9 +50,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// drop(admin); // unbinds promptly
 /// ```
 pub struct AdminServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl AdminServer {
@@ -67,168 +58,39 @@ impl AdminServer {
     /// OS-assigned port) and start serving `instance`'s introspection
     /// routes in a background thread.
     pub fn start(instance: Arc<Instance>, addr: &str) -> std::io::Result<AdminServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let accept_thread = thread::Builder::new()
-            .name("asterix-admin".into())
-            .spawn(move || accept_loop(listener, instance, flag))?;
-        Ok(AdminServer {
-            addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
-        })
+        let limits = HttpLimits {
+            // The admin routes take no request bodies.
+            max_body_bytes: 4 * 1024,
+            ..HttpLimits::default()
+        };
+        let server = HttpServer::bind(addr, "asterix-admin", limits, move |req, _w| {
+            Some(admin_response(&instance, &req.method, req.route_path()))
+        })?;
+        Ok(AdminServer { server })
     }
 
     /// The bound socket address (resolves port `0` binds).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
 
     /// The server's base URL, e.g. `http://127.0.0.1:7900`.
     pub fn url(&self) -> String {
-        format!("http://{}", self.addr)
+        self.server.url()
     }
 
     /// Stop accepting connections and join the accept thread. Called
     /// automatically on drop; idempotent.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.server.shutdown();
     }
 }
 
-impl Drop for AdminServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(listener: TcpListener, instance: Arc<Instance>, shutdown: Arc<AtomicBool>) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let db = Arc::clone(&instance);
-                // Connections are short-lived (`Connection: close`), so
-                // handler threads are detached rather than tracked.
-                let _ = thread::Builder::new()
-                    .name("asterix-admin-conn".into())
-                    .spawn(move || handle_connection(stream, db));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-/// One HTTP response about to be written.
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: String,
-}
-
-impl Response {
-    fn json(status: u16, body: Value) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body: asterix_adm::json::to_string(&body),
-        }
-    }
-
-    fn raw_json(status: u16, body: String) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body,
-        }
-    }
-
-    fn error(status: u16, message: &str) -> Response {
-        Response::json(
-            status,
-            Value::record(vec![("error".into(), Value::from(message))]),
-        )
-    }
-}
-
-fn status_text(code: u16) -> &'static str {
-    match code {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        431 => "Request Header Fields Too Large",
-        _ => "Internal Server Error",
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, instance: Arc<Instance>) {
-    // Accepted sockets are blocking on Linux, but make it explicit —
-    // the bounded read below relies on blocking reads with a timeout.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let response = match read_request(&mut stream) {
-        Ok((method, path)) => route(&instance, &method, &path),
-        Err(status) => Response::error(status, status_text(status)),
-    };
-    let _ = write_response(&mut stream, &response);
-}
-
-/// Read the request head (request line + headers, terminated by a blank
-/// line) with a hard size cap. Returns `(method, path)` or an HTTP
-/// status code to answer with.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String), u16> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return Err(431);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => break, // client closed its half; parse what we have
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(400), // timeout or reset mid-request
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let request_line = head.lines().next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or(400u16)?.to_string();
-    let path = parts.next().ok_or(400u16)?.to_string();
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/") => Ok((method, path)),
-        _ => Err(400),
-    }
-}
-
-fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        r.status,
-        status_text(r.status),
-        r.content_type,
-        r.body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(r.body.as_bytes())?;
-    stream.flush()
-}
-
-/// Dispatch one parsed request. Strips any query string first — the
-/// routes take no parameters beyond path segments.
-fn route(db: &Instance, method: &str, path: &str) -> Response {
-    let path = path.split('?').next().unwrap_or(path);
+/// Dispatch one admin request (path must already be stripped of any
+/// query string and of any mount prefix such as `/admin`). This is the
+/// complete admin route table; [`AdminServer`] serves it at the root
+/// and `asterix-server` mounts it under `/admin/*`.
+pub fn admin_response(db: &Instance, method: &str, path: &str) -> Response {
     match (method, path) {
         ("GET", "/") => index_response(),
         ("GET", "/health") => health_response(db),
@@ -236,6 +98,7 @@ fn route(db: &Instance, method: &str, path: &str) -> Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: db.metrics_prometheus(),
+            extra_headers: Vec::new(),
         },
         ("GET", "/metrics.json") => {
             Response::raw_json(200, asterix_adm::json::to_string(&db.metrics_snapshot()))
@@ -510,6 +373,10 @@ mod tests {
     use super::*;
     use crate::{CoreError, InstanceConfig};
     use asterix_adm::record;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::thread;
+    use std::time::Duration;
 
     /// Minimal HTTP/1.1 client: send one request, read the whole
     /// response, return `(status, body)`.
@@ -615,7 +482,7 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         let huge = format!(
             "GET /health HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
-            "a".repeat(2 * MAX_REQUEST_BYTES)
+            "a".repeat(2 * 8 * 1024)
         );
         let _ = stream.write_all(huge.as_bytes());
         let mut raw = Vec::new();

@@ -315,6 +315,7 @@ impl PreparedQuery {
             cancel: None,
             memory_budget: db.scheduler().map(|s| s.memory_budget()),
             progress: None,
+            result_sink: None,
         };
         let (tuples, stats) =
             run_job_with(&job, db.cluster(), &job_options).map_err(CoreError::from)?;
@@ -339,6 +340,7 @@ impl PreparedQuery {
                 .into_iter()
                 .map(|mut t| t.pop().unwrap_or(Value::Missing))
                 .collect(),
+            streamed_rows: 0,
             stats,
             plan,
             compile_time,

@@ -15,6 +15,7 @@ use asterix_algebricks::{generate_job, optimize, Catalog, SimpleCatalog, VarGen}
 use asterix_aql::{parse_query, translate, Bindings};
 use asterix_hyracks::{
     run_job_with, CancelToken, ClusterContext, ExecError, JobOptions, JobProgress, JobSpec,
+    ResultSink,
 };
 use asterix_simfn::{FunctionRegistry, SimilarityMeasure};
 use asterix_storage::{
@@ -1164,6 +1165,57 @@ impl Instance {
 
     /// Run an AQL query with per-query optimizer overrides.
     pub fn query_with(&self, aql: &str, options: &QueryOptions) -> Result<QueryResult, CoreError> {
+        self.query_inner(aql, options, None)
+    }
+
+    /// Run an AQL query, streaming result rows to `on_rows` as the
+    /// executor produces them instead of buffering the full result set.
+    ///
+    /// `on_rows` is called from the result-sink operator's thread, once
+    /// per arriving frame, in production order; returning `Err` (e.g.
+    /// the consumer disconnected) cancels the whole query, which then
+    /// fails with that message as an operator error. The returned
+    /// [`QueryResult`] has an empty `rows` vector;
+    /// [`QueryResult::streamed_rows`] counts what was delivered. This is
+    /// the foundation of the HTTP `POST /query` endpoint: large
+    /// similarity-join results flow to the client without ever
+    /// materializing server-side.
+    pub fn query_streaming<F>(
+        &self,
+        aql: &str,
+        options: &QueryOptions,
+        on_rows: F,
+    ) -> Result<QueryResult, CoreError>
+    where
+        F: Fn(Vec<Value>) -> Result<(), String> + Send + Sync + 'static,
+    {
+        let delivered = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&delivered);
+        let sink = ResultSink::new(move |tuples: Vec<asterix_hyracks::Tuple>| {
+            // Results are single-column (the translator projects the
+            // return value) — same shape the buffered path unwraps.
+            let rows: Vec<Value> = tuples
+                .into_iter()
+                .map(|mut t| {
+                    debug_assert_eq!(t.len(), 1);
+                    t.pop().unwrap_or(Value::Missing)
+                })
+                .collect();
+            counter.fetch_add(rows.len() as u64, Ordering::Relaxed);
+            on_rows(rows)
+        });
+        self.query_inner(aql, options, Some((sink, delivered)))
+    }
+
+    /// Shared body of [`Instance::query_with`] and
+    /// [`Instance::query_streaming`]: `stream` carries the executor sink
+    /// plus the delivered-row counter when the caller streams.
+    fn query_inner(
+        &self,
+        aql: &str,
+        options: &QueryOptions,
+        stream: Option<(ResultSink, Arc<AtomicU64>)>,
+    ) -> Result<QueryResult, CoreError> {
         // One trace per query when telemetry is on; the "query" root span
         // covers compile + execute, with per-stage children and (via
         // `JobOptions::trace`) per-operator-partition children under
@@ -1182,7 +1234,9 @@ impl Instance {
             }
         };
         let compile_time = compile_started.elapsed();
-        let class = QueryClass::classify(&plan);
+        let class = options
+            .admission_class
+            .unwrap_or_else(|| QueryClass::classify(&plan));
 
         // The cancel token is created (and installed as the context's
         // active target) *before* admission, so its deadline spans queue
@@ -1251,6 +1305,7 @@ impl Instance {
             cancel: Some(cancel),
             memory_budget: self.scheduler.as_ref().map(|s| s.memory_budget()),
             progress: Some(progress),
+            result_sink: stream.as_ref().map(|(sink, _)| sink.clone()),
         };
         let run = run_job_with(&job, &self.ctx, &job_options);
         drop(exec_span);
@@ -1287,7 +1342,8 @@ impl Instance {
             )
         });
         // Results are single-column (the translator projects the return
-        // value).
+        // value). A streaming query already delivered its rows to the
+        // caller's sink; the executor's vector is empty by construction.
         let rows: Vec<Value> = tuples
             .into_iter()
             .map(|mut t| {
@@ -1295,6 +1351,10 @@ impl Instance {
                 t.pop().unwrap_or(Value::Missing)
             })
             .collect();
+        let streamed_rows = stream
+            .as_ref()
+            .map_or(0, |(_, delivered)| delivered.load(Ordering::Relaxed));
+        let row_count = rows.len() as u64 + streamed_rows;
         // Close the root span before a possible slow-query capture so the
         // captured span set includes the full tree.
         drop(query_span);
@@ -1304,7 +1364,7 @@ impl Instance {
                 QueryOutcome::Completed,
                 compile_time,
                 execution_time,
-                rows.len() as u64,
+                row_count,
             );
             t.record_job(&stats);
             if let Some(s) = &storage_snapshot {
@@ -1321,7 +1381,7 @@ impl Instance {
                         class,
                         compile_time,
                         execution_time,
-                        rows.len() as u64,
+                        row_count,
                         plan.explain.clone(),
                         p.clone(),
                         tr.spans(),
@@ -1332,6 +1392,7 @@ impl Instance {
         Ok(QueryResult {
             query_id,
             rows,
+            streamed_rows,
             stats,
             plan,
             compile_time,

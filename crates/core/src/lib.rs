@@ -33,6 +33,7 @@ pub mod builder;
 pub mod config;
 pub mod durability;
 pub mod error;
+pub mod http;
 pub mod instance;
 pub mod profile;
 pub mod registry;
@@ -40,7 +41,8 @@ pub mod result;
 pub mod scheduler;
 pub mod telemetry;
 
-pub use admin::AdminServer;
+pub use admin::{admin_response, AdminServer};
+pub use http::{HttpLimits, HttpServer};
 pub use builder::{ExprBuilder, PreparedQuery, QueryBuilder, RowRef};
 pub use config::{DurabilityConfig, InstanceConfig, TelemetryConfig};
 pub use durability::{DurabilityGauges, PartitionDurability, RecoveryStats, WalOp};

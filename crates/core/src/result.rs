@@ -45,6 +45,11 @@ pub struct QueryOptions {
     /// captures the full plan + profile + spans into the slow-query log.
     /// `None` uses `TelemetryConfig::slow_query_threshold`.
     pub slow_query_threshold: Option<Duration>,
+    /// Admit (and record) this query under the given class instead of
+    /// the class inferred from its optimized plan. The HTTP endpoint
+    /// exposes this so clients can pin which of the scheduler's
+    /// per-class fair queues a query waits in.
+    pub admission_class: Option<crate::QueryClass>,
 }
 
 /// Compile-time information about the chosen plan.
@@ -83,7 +88,13 @@ pub struct QueryResult {
     /// scheduler's admission records, and trace exports.
     pub query_id: u64,
     /// Result values (one per row — the `return` expression's value).
+    /// Empty for a streaming query ([`crate::Instance::query_streaming`]):
+    /// the rows went to the caller's sink as they were produced and
+    /// [`QueryResult::streamed_rows`] carries the count.
     pub rows: Vec<Value>,
+    /// Rows delivered to the streaming sink. `0` for buffered queries
+    /// (their count is `rows.len()`).
+    pub streamed_rows: u64,
     /// Per-operator runtime statistics from the executor.
     pub stats: JobStats,
     /// Compile-time information about the chosen plan.

@@ -82,7 +82,13 @@ impl QueryClass {
         }
     }
 
-    /// Classify a compiled plan by the rewrite rules that fired.
+    /// Parse a class from its stable [`QueryClass::name`] (the form the
+    /// HTTP API accepts in query options). `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<QueryClass> {
+        QueryClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Infer the class from the optimized plan's fired rewrite rules.
     pub fn classify(plan: &PlanInfo) -> QueryClass {
         if plan.used_rule("introduce-index-nested-loop-join") {
             QueryClass::IndexJoin

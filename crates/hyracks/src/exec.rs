@@ -46,6 +46,40 @@ use std::time::{Duration, Instant};
 /// runaway producer is throttled by its slowest consumer.
 pub const EDGE_CHANNEL_FRAMES: usize = 64;
 
+/// Incremental consumer of result rows for streaming execution.
+///
+/// When installed via [`JobOptions::result_sink`], the `ResultSink`
+/// operator hands each arriving frame's rows to this callback instead
+/// of buffering them into the job's result vector — the foundation of
+/// the HTTP streaming endpoint, where large similarity-join results
+/// must never materialize server-side. Delivery happens on the sink
+/// operator's thread in frame-arrival order. Returning `Err` (e.g. the
+/// downstream client disconnected) fails the sink operator, which
+/// cancels every other partition cooperatively.
+#[derive(Clone)]
+pub struct ResultSink(Arc<dyn Fn(Vec<Tuple>) -> Result<(), String> + Send + Sync>);
+
+impl ResultSink {
+    /// Wrap a delivery callback.
+    pub fn new<F>(f: F) -> ResultSink
+    where
+        F: Fn(Vec<Tuple>) -> Result<(), String> + Send + Sync + 'static,
+    {
+        ResultSink(Arc::new(f))
+    }
+
+    /// Deliver one frame of result rows.
+    pub fn deliver(&self, rows: Vec<Tuple>) -> Result<(), String> {
+        (self.0)(rows)
+    }
+}
+
+impl std::fmt::Debug for ResultSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ResultSink(..)")
+    }
+}
+
 /// Knobs for one job run.
 #[derive(Clone, Debug, Default)]
 pub struct JobOptions {
@@ -98,6 +132,10 @@ pub struct JobOptions {
     /// live via relaxed atomics; observers sample mid-execution without
     /// pausing anything.
     pub progress: Option<Arc<crate::progress::JobProgress>>,
+    /// Stream result frames to this sink as they arrive instead of
+    /// buffering them; the job's returned tuple vector is then empty.
+    /// See [`ResultSink`].
+    pub result_sink: Option<ResultSink>,
 }
 
 /// Per-operator runtime statistics, aggregated over partitions.
@@ -253,6 +291,12 @@ fn run_task(
         p.task_started();
     }
     let t0 = Instant::now();
+    // Result rows either buffer into the job's vector (the default) or
+    // stream to the caller's sink as frames arrive.
+    let sink_target = match &shared.options.result_sink {
+        Some(s) => crate::ops::SinkTarget::Stream(s),
+        None => crate::ops::SinkTarget::Buffer(shared.sink_tuples),
+    };
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         run_operator(
             op,
@@ -261,7 +305,7 @@ fn run_task(
             Out::new(routers).with_live(live.clone()),
             shared.ctx,
             shared.cancel,
-            shared.sink_tuples,
+            sink_target,
             crate::ops::OpFlags {
                 disable_hotpath: shared.options.disable_hotpath,
                 disable_batching: shared.options.disable_batching,

@@ -47,7 +47,7 @@ pub mod vectorized;
 
 pub use context::{ClusterContext, PartitionSet};
 pub use error::{CancelToken, ExecError};
-pub use exec::{run_job, run_job_with, JobOptions, JobStats, OpStats};
+pub use exec::{run_job, run_job_with, JobOptions, JobStats, OpStats, ResultSink};
 pub use expr::{CmpOp, Expr};
 pub use job::{
     AggSpec, ConnectorKind, FaultMode, JobSpec, OpId, PhysicalOp, PreTokenized, SearchMeasure,

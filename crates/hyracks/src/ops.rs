@@ -520,6 +520,16 @@ fn forward_frame(out: &mut Out, frame: Frame, consumed: &mut u64) -> Result<(), 
     }
 }
 
+/// Where the `ResultSink` operator puts the rows it receives.
+pub enum SinkTarget<'a> {
+    /// Buffer into the job's result vector (the default: `run_job`
+    /// returns the full row set).
+    Buffer(&'a Mutex<Vec<Tuple>>),
+    /// Stream each arriving frame to the caller's sink; the job's
+    /// returned vector stays empty.
+    Stream(&'a crate::exec::ResultSink),
+}
+
 /// Run one operator instance. Returns (input tuples, output counts).
 /// [`OpFlags`] switches the hot paths and batch execution back to the
 /// seed per-tuple implementations (the bench harness's before/after
@@ -532,7 +542,7 @@ pub fn run_operator(
     out: Out,
     ctx: &ClusterContext,
     cancel: &CancelToken,
-    sink: &Mutex<Vec<Tuple>>,
+    sink: SinkTarget<'_>,
     flags: OpFlags,
 ) -> Result<(u64, OutCounts), OpError> {
     let reg = &ctx.registry;
@@ -1177,9 +1187,24 @@ pub fn run_operator(
             Ok((consumed, out.finish()?))
         }
         PhysicalOp::ResultSink => {
-            let collected = drain_all(&inputs[0], cancel)?;
-            consumed = collected.len() as u64;
-            sink.lock().extend(collected);
+            match sink {
+                SinkTarget::Buffer(buf) => {
+                    let collected = drain_all(&inputs[0], cancel)?;
+                    consumed = collected.len() as u64;
+                    buf.lock().extend(collected);
+                }
+                SinkTarget::Stream(s) => {
+                    // Deliver frame by frame: the client sees rows as
+                    // upstream operators produce them, and a delivery
+                    // failure (client gone) cancels the job via the
+                    // normal operator-error path.
+                    for frame in recv_frames(&inputs[0], cancel) {
+                        let rows: Vec<Tuple> = frame?.into_rows().collect();
+                        consumed += rows.len() as u64;
+                        s.deliver(rows).map_err(OpError::Failed)?;
+                    }
+                }
+            }
             out.finish()?;
             // The sink "emits" its rows to the client, not to a channel.
             Ok((

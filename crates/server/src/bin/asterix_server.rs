@@ -1,0 +1,125 @@
+//! `asterix-server` — the engine as a network service.
+//!
+//! Boots one [`Instance`] (durable when `--data-dir` is given: existing
+//! data recovers from the WAL on startup) and serves the full HTTP API
+//! on `--listen`: streaming `POST /query`, `POST /ingest/<dataset>`
+//! feeds with backpressure, DDL routes, and the `/admin/*` surface.
+//!
+//! ```text
+//! cargo run --release -p asterix-server -- --listen 127.0.0.1:7654 --data-dir ./data
+//! curl -s http://127.0.0.1:7654/ | python3 -m json.tool
+//! curl -s -X POST http://127.0.0.1:7654/query \
+//!      -d '{"statement": "for $r in dataset Reviews return $r.id"}'
+//! ```
+//!
+//! Arguments:
+//!
+//! * `--listen <addr>` — bind address (default `127.0.0.1:7654`; port
+//!   `0` for OS-assigned, printed on startup).
+//! * `--data-dir <path>` — durable storage directory; omitted means
+//!   in-memory only.
+//! * `--partitions <n>` — simulated cluster partitions (default 4).
+//! * `--duration <secs>` — exit after a fixed time (CI smoke tests);
+//!   without it the server runs until killed.
+
+use asterix_core::{DurabilityConfig, Instance, InstanceConfig};
+use asterix_server::{AsterixServer, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    data_dir: Option<String>,
+    partitions: usize,
+    duration: Option<Duration>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7654".to_string(),
+        data_dir: None,
+        partitions: 4,
+        duration: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--partitions" => {
+                args.partitions = value("--partitions")?
+                    .parse()
+                    .map_err(|e| format!("--partitions: {e}"))?
+            }
+            "--duration" => {
+                let secs: u64 = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+                args.duration = Some(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: asterix-server [--listen <addr>] [--data-dir <path>] \
+                     [--partitions <n>] [--duration <secs>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("asterix-server: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut config = InstanceConfig::with_partitions(args.partitions);
+    if let Some(dir) = &args.data_dir {
+        config.durability = DurabilityConfig::at(dir);
+    }
+    let db = match Instance::open(config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("asterix-server: cannot open instance: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(stats) = db.recovery_stats() {
+        eprintln!(
+            "recovered {} partitions, {} wal records replayed",
+            stats.partitions_recovered, stats.wal_records_replayed
+        );
+    }
+
+    let server_config = ServerConfig {
+        listen: args.listen.clone(),
+        ..ServerConfig::default()
+    };
+    let server = match AsterixServer::start(Arc::new(db), server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("asterix-server: cannot bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!("asterix-server listening on {}", server.url());
+    println!("  durable: {}", server.instance().is_durable());
+    println!("  try: curl -s {}/ | python3 -m json.tool", server.url());
+
+    match args.duration {
+        Some(d) => std::thread::sleep(d),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

@@ -1,0 +1,152 @@
+//! The engine-error → HTTP mapping: every [`CoreError`] a query can end
+//! with has one stable status code and machine-readable error code, used
+//! both for full responses (failure before the first result row) and for
+//! the in-band NDJSON error line (failure mid-stream, after the `200`
+//! status line is already on the wire).
+
+use asterix_adm::Value;
+use asterix_core::http::Response;
+use asterix_core::CoreError;
+use asterix_hyracks::ExecError;
+use std::time::Duration;
+
+/// Map an engine error to `(http_status, error_code, retryable)`.
+///
+/// | error                                | status | code                     | retryable |
+/// |--------------------------------------|--------|--------------------------|-----------|
+/// | `Parse`                              | 400    | `parse_error`            | no  |
+/// | `Translate`                          | 400    | `translate_error`        | no  |
+/// | `Schema`                             | 400    | `schema_error`           | no  |
+/// | `Execution(QueueFull)`               | 429    | `queue_full`             | yes |
+/// | `Execution(AdmissionTimeout)`        | 503    | `admission_timeout`      | yes |
+/// | `Execution(MemoryBudgetExceeded)`    | 507    | `memory_budget_exceeded` | no  |
+/// | `Execution(other)`                   | 500    | `execution_error`        | no  |
+/// | `Timeout`                            | 504    | `timeout`                | no  |
+/// | `Cancelled`                          | 499    | `cancelled`              | no  |
+/// | `Io`                                 | 500    | `io_error`               | no  |
+///
+/// `retryable` means the request was rejected by admission control
+/// without running — resending the identical request later can succeed.
+pub fn error_parts(e: &CoreError) -> (u16, &'static str, bool) {
+    match e {
+        CoreError::Parse(_) => (400, "parse_error", false),
+        CoreError::Translate(_) => (400, "translate_error", false),
+        CoreError::Schema(_) => (400, "schema_error", false),
+        CoreError::Execution(ExecError::QueueFull { .. }) => (429, "queue_full", true),
+        CoreError::Execution(ExecError::AdmissionTimeout(_)) => (503, "admission_timeout", true),
+        CoreError::Execution(ExecError::MemoryBudgetExceeded { .. }) => {
+            (507, "memory_budget_exceeded", false)
+        }
+        CoreError::Execution(_) => (500, "execution_error", false),
+        CoreError::Timeout(_) => (504, "timeout", false),
+        CoreError::Cancelled => (499, "cancelled", false),
+        CoreError::Io(_) => (500, "io_error", false),
+    }
+}
+
+/// The error payload both delivery paths share:
+/// `{"error": {"code", "message", "status", "retryable"}}`.
+fn error_value(e: &CoreError) -> Value {
+    let (status, code, retryable) = error_parts(e);
+    Value::record(vec![(
+        "error".to_string(),
+        Value::record(vec![
+            ("code".to_string(), Value::from(code)),
+            ("message".to_string(), Value::from(e.to_string())),
+            ("status".to_string(), Value::from(status as i64)),
+            ("retryable".to_string(), Value::from(retryable)),
+        ]),
+    )])
+}
+
+/// A complete HTTP response for an error discovered before anything was
+/// streamed. Retryable rejections carry `Retry-After: <retry_after>`.
+pub fn error_response(e: &CoreError, retry_after: Duration) -> Response {
+    let (status, _, retryable) = error_parts(e);
+    let response = Response::json(status, error_value(e));
+    if retryable {
+        response.with_header("Retry-After", retry_after.as_secs().max(1).to_string())
+    } else {
+        response
+    }
+}
+
+/// The final NDJSON line for an error discovered mid-stream, newline
+/// included. The `status` field carries the code the response *would*
+/// have had — the actual status line (`200`) is long gone by then.
+pub fn ndjson_error_line(e: &CoreError) -> String {
+    let mut line = asterix_adm::json::to_string(&error_value(e));
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_are_stable() {
+        let cases: Vec<(CoreError, u16, &str)> = vec![
+            (CoreError::Parse("x".into()), 400, "parse_error"),
+            (CoreError::Translate("x".into()), 400, "translate_error"),
+            (CoreError::Schema("x".into()), 400, "schema_error"),
+            (
+                CoreError::Execution(ExecError::QueueFull {
+                    queued: 4,
+                    queue_depth: 4,
+                }),
+                429,
+                "queue_full",
+            ),
+            (
+                CoreError::Execution(ExecError::AdmissionTimeout(Duration::from_secs(1))),
+                503,
+                "admission_timeout",
+            ),
+            (
+                CoreError::Execution(ExecError::MemoryBudgetExceeded { used: 2, limit: 1 }),
+                507,
+                "memory_budget_exceeded",
+            ),
+            (
+                CoreError::Execution(ExecError::InvalidJob("x".into())),
+                500,
+                "execution_error",
+            ),
+            (CoreError::Timeout(Duration::from_secs(1)), 504, "timeout"),
+            (CoreError::Cancelled, 499, "cancelled"),
+            (CoreError::Io("x".into()), 500, "io_error"),
+        ];
+        for (e, status, code) in cases {
+            let (s, c, _) = error_parts(&e);
+            assert_eq!((s, c), (status, code), "{e}");
+        }
+    }
+
+    #[test]
+    fn retryable_rejections_carry_retry_after() {
+        let e = CoreError::Execution(ExecError::QueueFull {
+            queued: 1,
+            queue_depth: 1,
+        });
+        let r = error_response(&e, Duration::from_secs(2));
+        assert_eq!(r.status, 429);
+        assert!(r
+            .extra_headers
+            .iter()
+            .any(|(n, v)| *n == "Retry-After" && v == "2"));
+
+        let r = error_response(&CoreError::Parse("x".into()), Duration::from_secs(2));
+        assert_eq!(r.status, 400);
+        assert!(r.extra_headers.is_empty());
+    }
+
+    #[test]
+    fn ndjson_line_is_one_json_object() {
+        let line = ndjson_error_line(&CoreError::Cancelled);
+        assert!(line.ends_with('\n'));
+        let v = asterix_adm::json::parse(line.trim()).unwrap();
+        assert_eq!(v.field("error").field("code").as_str(), Some("cancelled"));
+        assert_eq!(v.field("error").field("status").as_i64(), Some(499));
+    }
+}

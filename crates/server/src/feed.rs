@@ -1,0 +1,164 @@
+//! Ingestion backpressure: a byte-bounded admission gate for in-flight
+//! feed batches.
+//!
+//! The HTTP body of a `POST /ingest/<dataset>` batch sits in memory from
+//! parse until the last record is durably inserted. The
+//! [`FeedController`] bounds the total of those resident bytes across
+//! all concurrent feed connections by the same per-query memory budget
+//! queries run under — ingestion is allowed to hold what one query may
+//! hold, no more. A batch that does not fit *right now* is rejected
+//! with `429` (`Retry-After` tells the client when to resend); a batch
+//! that could *never* fit is rejected with `413` so the client splits
+//! it instead of retrying forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why [`FeedController::try_admit`] refused a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedRejection {
+    /// In-flight bytes plus this batch would exceed the cap; retry once
+    /// current batches drain (HTTP `429`).
+    Saturated,
+    /// The batch alone exceeds the cap; it can never be admitted and
+    /// must be split (HTTP `413`).
+    TooLarge,
+}
+
+/// Counters shared between the controller and its permits.
+#[derive(Debug, Default)]
+struct FeedState {
+    inflight_bytes: AtomicU64,
+    inflight_batches: AtomicU64,
+    accepted_batches: AtomicU64,
+    rejected_batches: AtomicU64,
+    ingested_records: AtomicU64,
+}
+
+/// The byte-bounded admission gate for feed batches.
+#[derive(Clone, Debug)]
+pub struct FeedController {
+    max_inflight_bytes: u64,
+    state: Arc<FeedState>,
+}
+
+impl FeedController {
+    /// A controller admitting at most `max_inflight_bytes` of batch
+    /// bytes at once (at least one minimal batch is always admissible —
+    /// a zero cap would deadlock the feed).
+    pub fn new(max_inflight_bytes: u64) -> FeedController {
+        FeedController {
+            max_inflight_bytes: max_inflight_bytes.max(1),
+            state: Arc::new(FeedState::default()),
+        }
+    }
+
+    /// Try to admit a `bytes`-sized batch. `Ok` returns a permit that
+    /// releases the bytes when dropped (after the batch's inserts are
+    /// durable); `Err` says whether to retry ([`FeedRejection::Saturated`])
+    /// or split ([`FeedRejection::TooLarge`]).
+    pub fn try_admit(&self, bytes: u64) -> Result<FeedPermit, FeedRejection> {
+        if bytes > self.max_inflight_bytes {
+            self.state.rejected_batches.fetch_add(1, Ordering::Relaxed);
+            return Err(FeedRejection::TooLarge);
+        }
+        // Optimistic charge; undo on overshoot. Concurrent arrivals can
+        // both fail even when one would fit — acceptable for a gate
+        // whose clients retry.
+        let charged = self.state.inflight_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        if charged > self.max_inflight_bytes {
+            self.state.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.state.rejected_batches.fetch_add(1, Ordering::Relaxed);
+            return Err(FeedRejection::Saturated);
+        }
+        self.state.inflight_batches.fetch_add(1, Ordering::SeqCst);
+        self.state.accepted_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(FeedPermit {
+            state: Arc::clone(&self.state),
+            bytes,
+        })
+    }
+
+    /// Record `n` durably-inserted records (drives the `GET /feed`
+    /// counter).
+    pub fn record_ingested(&self, n: u64) {
+        self.state.ingested_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the feed counters.
+    pub fn snapshot(&self) -> FeedSnapshot {
+        FeedSnapshot {
+            max_inflight_bytes: self.max_inflight_bytes,
+            inflight_bytes: self.state.inflight_bytes.load(Ordering::SeqCst),
+            inflight_batches: self.state.inflight_batches.load(Ordering::SeqCst),
+            accepted_batches: self.state.accepted_batches.load(Ordering::Relaxed),
+            rejected_batches: self.state.rejected_batches.load(Ordering::Relaxed),
+            ingested_records: self.state.ingested_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An admitted batch's charge; dropping releases its bytes.
+#[derive(Debug)]
+pub struct FeedPermit {
+    state: Arc<FeedState>,
+    bytes: u64,
+}
+
+impl Drop for FeedPermit {
+    fn drop(&mut self) {
+        self.state
+            .inflight_bytes
+            .fetch_sub(self.bytes, Ordering::SeqCst);
+        self.state.inflight_batches.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What `GET /feed` reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedSnapshot {
+    /// The configured in-flight byte cap.
+    pub max_inflight_bytes: u64,
+    /// Batch bytes currently admitted and not yet durable.
+    pub inflight_bytes: u64,
+    /// Batches currently admitted.
+    pub inflight_batches: u64,
+    /// Batches admitted over the server's lifetime.
+    pub accepted_batches: u64,
+    /// Batches rejected (saturated or too large) over the lifetime.
+    pub rejected_batches: u64,
+    /// Records durably inserted through the feed.
+    pub ingested_records: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_saturated_and_releases_on_drop() {
+        let feed = FeedController::new(100);
+        let a = feed.try_admit(60).unwrap();
+        assert!(matches!(
+            feed.try_admit(60),
+            Err(FeedRejection::Saturated)
+        ));
+        let snap = feed.snapshot();
+        assert_eq!(snap.inflight_bytes, 60);
+        assert_eq!(snap.inflight_batches, 1);
+        assert_eq!(snap.rejected_batches, 1);
+
+        drop(a);
+        assert_eq!(feed.snapshot().inflight_bytes, 0);
+        let _b = feed.try_admit(60).unwrap();
+    }
+
+    #[test]
+    fn oversized_batches_are_permanently_rejected() {
+        let feed = FeedController::new(100);
+        assert!(matches!(feed.try_admit(101), Err(FeedRejection::TooLarge)));
+        // Nothing stays charged after a rejection.
+        assert_eq!(feed.snapshot().inflight_bytes, 0);
+        assert!(feed.try_admit(100).is_ok());
+    }
+}

@@ -1,0 +1,143 @@
+//! Documentation gates: `docs/API.md` must cover every route the server
+//! actually dispatches (and every mounted admin route), and no markdown
+//! file in the repo may carry a broken relative link. CI runs these as
+//! part of the server test target, so the reference cannot drift from
+//! the router.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // tests/ targets run with the crate's manifest dir as cwd
+    // (crates/server), two levels below the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// The admin routes mounted under `/admin/*`
+/// (`asterix_core::admin_response`'s dispatch table), spelled as they
+/// must appear in the API reference.
+const ADMIN_ROUTES: &[&str] = &[
+    "/admin/health",
+    "/admin/metrics",
+    "/admin/metrics.json",
+    "/admin/queries",
+    "/admin/queries/<id>/cancel",
+    "/admin/lsm",
+    "/admin/slow",
+    "/admin/trace/recovery",
+    "/admin/trace/<id>",
+];
+
+#[test]
+fn api_reference_covers_every_route() {
+    let api = fs::read_to_string(repo_root().join("docs/API.md")).expect("docs/API.md exists");
+    for (method, path, _summary) in asterix_server::ROUTES {
+        let line = api
+            .lines()
+            .find(|l| l.contains(path) && (l.contains(method) || *method == "*"));
+        assert!(
+            line.is_some(),
+            "docs/API.md does not document `{method} {path}`"
+        );
+    }
+    for path in ADMIN_ROUTES {
+        assert!(
+            api.contains(path),
+            "docs/API.md does not document admin route `{path}`"
+        );
+    }
+    // The error-mapping table must cover every machine-readable code.
+    for code in [
+        "parse_error",
+        "translate_error",
+        "schema_error",
+        "queue_full",
+        "admission_timeout",
+        "memory_budget_exceeded",
+        "execution_error",
+        "timeout",
+        "cancelled",
+        "io_error",
+        "feed_saturated",
+    ] {
+        assert!(
+            api.contains(code),
+            "docs/API.md error table is missing `{code}`"
+        );
+    }
+}
+
+#[test]
+fn markdown_relative_links_resolve() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in [root.clone(), root.join("docs")] {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            // SNIPPETS/PAPERS/PAPER/ISSUE are imported reference
+            // material whose links point into their source repos, not
+            // part of this repo's docs.
+            let name = entry.file_name();
+            if matches!(
+                name.to_str(),
+                Some("SNIPPETS.md" | "PAPERS.md" | "PAPER.md" | "ISSUE.md")
+            ) {
+                continue;
+            }
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/API.md")),
+        "docs/API.md missing"
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap();
+        let base = file.parent().unwrap();
+        for target in extract_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            if !base.join(path_part).exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken markdown links:\n{}", broken.join("\n"));
+}
+
+/// Every `](target)` markdown link target in `text`.
+fn extract_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                let target = &text[i + 2..i + 2 + end];
+                // Ignore images with titles: take the part before a space.
+                links.push(target.split_whitespace().next().unwrap_or("").to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    links
+}
